@@ -1,0 +1,154 @@
+// Experiment E7 (DESIGN.md): synchronization constructs (paper §4.3) —
+// intra-dapplet primitives vs. their inter-dapplet extensions.
+//
+// google-benchmark: local semaphore/barrier/single-assignment costs, then
+// distributed barrier and token-backed distributed semaphore round trips.
+// Expected shape: local constructs are nanoseconds-to-microseconds; the
+// distributed versions pay message round trips (microseconds-to-
+// milliseconds depending on the simulated delay).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dapple/net/sim.hpp"
+#include "dapple/services/sync/distributed.hpp"
+#include "dapple/services/sync/local.hpp"
+#include "dapple/services/tokens/token_manager.hpp"
+
+using namespace dapple;
+
+namespace {
+
+void BM_LocalSemaphore(benchmark::State& state) {
+  Semaphore sem(1);
+  for (auto _ : state) {
+    sem.acquire();
+    sem.release();
+  }
+}
+BENCHMARK(BM_LocalSemaphore);
+
+void BM_LocalBarrierTwoThreads(benchmark::State& state) {
+  Barrier barrier(2);
+  std::atomic<bool> done{false};
+  std::thread partner([&] {
+    while (!done) barrier.arriveAndWait();
+  });
+  for (auto _ : state) {
+    barrier.arriveAndWait();
+  }
+  done = true;
+  barrier.arriveAndWait();  // release the partner one last time
+  partner.join();
+}
+BENCHMARK(BM_LocalBarrierTwoThreads)->Unit(benchmark::kMicrosecond);
+
+void BM_LocalBoundedChannel(benchmark::State& state) {
+  BoundedChannel<int> ch(64);
+  std::thread consumer([&] {
+    try {
+      while (true) (void)ch.take();
+    } catch (const ShutdownError&) {
+    }
+  });
+  for (auto _ : state) {
+    ch.put(1);
+  }
+  ch.close();
+  consumer.join();
+}
+BENCHMARK(BM_LocalBoundedChannel);
+
+void BM_LocalSingleAssignmentGet(benchmark::State& state) {
+  SingleAssignment<int> var;
+  var.set(7);
+  for (auto _ : state) benchmark::DoNotOptimize(var.get());
+}
+BENCHMARK(BM_LocalSingleAssignmentGet);
+
+struct DistBarrierRig {
+  explicit DistBarrierRig(std::size_t n, microseconds delay) : net(8) {
+    net.setDefaultLink(LinkParams{delay, delay / 4, 0.0, 0.0});
+    for (std::size_t i = 0; i < n; ++i) {
+      dapplets.push_back(
+          std::make_unique<Dapplet>(net, "b" + std::to_string(i)));
+      barriers.push_back(
+          std::make_unique<DistributedBarrier>(*dapplets.back(), "bb"));
+    }
+    std::vector<InboxRef> refs;
+    for (auto& b : barriers) refs.push_back(b->ref());
+    for (std::size_t i = 0; i < n; ++i) barriers[i]->attach(refs, i);
+    // Companion threads keep arriving so member 0's arrive is measurable.
+    for (std::size_t i = 1; i < n; ++i) {
+      DistributedBarrier* barrier = barriers[i].get();
+      dapplets[i]->spawn([barrier](std::stop_token stop) {
+        try {
+          while (!stop.stop_requested()) {
+            barrier->arriveAndWait(seconds(60));
+          }
+        } catch (const Error&) {
+        }
+      });
+    }
+  }
+
+  ~DistBarrierRig() {
+    for (auto& d : dapplets) d->stop();
+    barriers.clear();
+  }
+
+  SimNetwork net;
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<DistributedBarrier>> barriers;
+};
+
+void BM_DistributedBarrier(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  DistBarrierRig rig(n, microseconds(100));
+  for (auto _ : state) {
+    rig.barriers[0]->arriveAndWait(seconds(60));
+  }
+  state.counters["members"] = static_cast<double>(n);
+}
+BENCHMARK(BM_DistributedBarrier)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DistributedSemaphore(benchmark::State& state) {
+  SimNetwork net(9);
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<TokenManager>> managers;
+  constexpr std::size_t kMembers = 3;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    dapplets.push_back(
+        std::make_unique<Dapplet>(net, "s" + std::to_string(i)));
+    managers.push_back(std::make_unique<TokenManager>(*dapplets.back()));
+  }
+  std::vector<InboxRef> refs;
+  for (auto& m : managers) refs.push_back(m->ref());
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    TokenBag mine;
+    if (TokenManager::homeOfColor("sem", kMembers) == i) mine["sem"] = 1;
+    managers[i]->attach(refs, i, mine);
+  }
+  DistributedSemaphore sem(*managers[0], "sem");
+  for (auto _ : state) {
+    sem.acquire(1, seconds(30));
+    sem.release();
+  }
+  managers.clear();
+  for (auto& d : dapplets) d->stop();
+}
+BENCHMARK(BM_DistributedSemaphore)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E7: synchronization constructs — local vs distributed "
+              "(paper §4.3) ===\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

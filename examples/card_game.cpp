@@ -1,0 +1,63 @@
+// The paper's ring example (§3.1): a distributed card game whose player
+// dapplets are linked to their predecessor and successor.
+//
+//   $ ./card_game
+//
+// Five players pass cards around the ring until someone collects four of a
+// kind and announces victory on the broadcast channel.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dapple/apps/cardgame.hpp"
+#include "dapple/net/sim.hpp"
+
+using namespace dapple;
+
+int main() {
+  SimNetwork net(5150);
+  net.setDefaultLink(LinkParams{microseconds(500), microseconds(250), 0, 0});
+
+  const std::vector<std::string> names = {"north", "east", "south", "west",
+                                          "dealer"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  for (const std::string& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name));
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back()));
+    apps::registerCardGameApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+
+  Dapplet table(net, "table");
+  Initiator initiator(table);
+  auto plan = apps::cardGamePlan(directory, names, /*maxTurns=*/500,
+                                 /*seed=*/17);
+  auto result = initiator.establish(plan);
+  if (!result.ok) {
+    std::printf("game session failed to establish\n");
+    return 1;
+  }
+  std::printf("dealt 4 cards each to %zu players on a ring\n", names.size());
+
+  auto done = initiator.awaitCompletion(result.sessionId, seconds(60));
+  std::int64_t winner = -1;
+  for (const auto& [player, value] : done) {
+    auto outcome = apps::parseGameOutcome(value);
+    std::printf("  %-7s turns=%-4lld %s\n", player.c_str(),
+                static_cast<long long>(outcome.turns),
+                outcome.won ? "** four of a kind! **" : "");
+    if (outcome.won) winner = outcome.winner;
+  }
+  if (winner >= 0) {
+    std::printf("winner: %s\n", names[static_cast<std::size_t>(winner)].c_str());
+  } else {
+    std::printf("no winner within the turn limit\n");
+  }
+  initiator.terminate(result.sessionId);
+
+  table.stop();
+  for (auto& d : dapplets) d->stop();
+  return 0;
+}

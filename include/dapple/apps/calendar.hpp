@@ -1,0 +1,138 @@
+#pragma once
+/// \file calendar.hpp
+/// \brief The paper's flagship example (§2.1, Figures 1 & 2): a calendar
+/// application that finds a common meeting date for a distributed committee.
+///
+/// Two distributed protocols plus the paper's "traditional approach"
+/// baseline are provided:
+///
+///  * **Flat session** (`kCalendarFlatApp`) — a coordinator dapplet linked
+///    directly to every member's calendar dapplet; rounds of parallel
+///    query/intersect/confirm.
+///  * **Hierarchical session** (`kCalendarHierApp`) — Figure 1's topology:
+///    the coordinator talks to per-site *secretary* dapplets, each of which
+///    aggregates the calendar dapplets at its site.
+///  * **Sequential baseline** (`SequentialScheduler`) — *"the director or
+///    someone on the staff calls each member of the committee repeatedly
+///    and negotiates with each one in turn until an agreement is reached"*:
+///    one-at-a-time synchronous RPC negotiation.
+///
+/// Calendars persist in each member's `StateStore` under the key
+/// `"cal.busy"` (a list of busy day indices), so meetings booked by one
+/// session are visible to later sessions — the paper's persistent-state
+/// requirement (§2.2).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dapple/core/rpc.hpp"
+#include "dapple/core/session.hpp"
+#include "dapple/core/state.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple::apps {
+
+inline constexpr const char* kCalendarFlatApp = "calendar.flat";
+inline constexpr const char* kCalendarHierApp = "calendar.hier";
+inline constexpr const char* kBusyKey = "cal.busy";
+
+/// Availability within one query window, as a bitmask over the window's
+/// days (bit i = day start+i is free).  Windows are at most 63 days.
+using DayMask = std::uint64_t;
+inline constexpr std::size_t kMaxWindow = 63;
+
+/// Typed access to the persistent calendar in a StateStore / StateView.
+class CalendarBook {
+ public:
+  /// Marks `day` busy in the raw store.
+  static void markBusy(StateStore& store, std::int64_t day);
+  static void markBusy(StateView& view, std::int64_t day);
+
+  /// True when `day` has no appointment.
+  static bool isFree(const StateStore& store, std::int64_t day);
+
+  /// Free-day mask over [start, start+window).
+  static DayMask freeMask(const StateStore& store, std::int64_t start,
+                          std::size_t window);
+  static DayMask freeMask(const StateView& view, std::int64_t start,
+                          std::size_t window);
+
+  /// Synthetic workload: marks each day in [0, days) busy with probability
+  /// `busyProb` (deterministic under `rng`).
+  static void populate(StateStore& store, Rng& rng, std::int64_t days,
+                       double busyProb);
+
+  /// Number of busy days recorded.
+  static std::size_t busyCount(const StateStore& store);
+};
+
+/// Registers the calendar roles ("calendar.flat" and "calendar.hier") on a
+/// member's session agent.  Roles dispatch on the member parameter "role":
+/// "coordinator", "secretary", or "member".
+void registerCalendarApp(SessionAgent& agent);
+
+/// Builds the flat session plan: `coordinatorName` plus `memberNames`, all
+/// resolvable in `directory`.  Session params: start day, window size,
+/// maximum rounds.
+Initiator::Plan flatCalendarPlan(const Directory& directory,
+                                 const std::string& coordinatorName,
+                                 const std::vector<std::string>& memberNames,
+                                 std::int64_t startDay, std::size_t window,
+                                 std::size_t maxRounds);
+
+/// Builds the hierarchical (Figure 1) plan: one coordinator, one secretary
+/// per site, and per-site member lists.
+struct Site {
+  std::string secretary;
+  std::vector<std::string> members;
+};
+Initiator::Plan hierCalendarPlan(const Directory& directory,
+                                 const std::string& coordinatorName,
+                                 const std::vector<Site>& sites,
+                                 std::int64_t startDay, std::size_t window,
+                                 std::size_t maxRounds);
+
+/// Outcome parsed from the coordinator's DONE result.
+struct ScheduleOutcome {
+  bool scheduled = false;
+  std::int64_t day = -1;
+  std::int64_t rounds = 0;
+  std::int64_t messages = 0;  ///< application messages the coordinator saw
+};
+ScheduleOutcome parseOutcome(const Value& coordinatorResult);
+
+// ---------------------------------------------------------------------------
+// Sequential baseline
+// ---------------------------------------------------------------------------
+
+/// RPC façade a member exposes for the traditional one-by-one negotiation.
+/// Methods: "avail" {start, window} -> mask, "confirm" {day} -> bool.
+class CalendarRpcMember {
+ public:
+  CalendarRpcMember(Dapplet& dapplet, StateStore& store);
+
+  InboxRef ref() const { return server_.ref(); }
+
+ private:
+  RpcServer server_;
+};
+
+/// The director's sequential negotiation (paper §2.1's "traditional
+/// approach").  Contacts members strictly one at a time.
+class SequentialScheduler {
+ public:
+  SequentialScheduler(Dapplet& dapplet,
+                      const std::vector<InboxRef>& memberRefs);
+
+  /// Negotiates a common day in windows of `window` days starting at
+  /// `startDay`, up to `maxRounds` windows.
+  ScheduleOutcome negotiate(std::int64_t startDay, std::size_t window,
+                            std::size_t maxRounds,
+                            Duration callTimeout = seconds(5));
+
+ private:
+  std::vector<std::unique_ptr<RpcClient>> members_;
+};
+
+}  // namespace dapple::apps

@@ -1,0 +1,45 @@
+#pragma once
+/// \file cardgame.hpp
+/// \brief The paper's ring example (§3.1): *"in a distributed card game
+/// session, a player dapplet may be linked to its predecessor and successor
+/// player dapplets, which correspond to the players to its left and
+/// right."*
+///
+/// The game is a "spoons"-style passing game: each of N players starts with
+/// a hand of 4 cards from a deck of 4×N cards (4 copies of each of N
+/// ranks).  Every turn a player passes one card to its successor and takes
+/// one from its predecessor; the first player holding four of a kind
+/// announces victory on a broadcast channel and the session winds down.
+/// The ring wiring exercises sessions whose topology is *not* hub-and-spoke,
+/// and the announce channel exercises mixed topologies.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dapple/core/session.hpp"
+
+namespace dapple::apps {
+
+inline constexpr const char* kCardGameApp = "cardgame.ring";
+
+/// Registers the player role.  Member params: "index", "seed", "hand"
+/// (list of initial card ranks).  Session params: "players", "maxTurns".
+void registerCardGameApp(SessionAgent& agent);
+
+/// Builds the ring plan: player i's outbox "right" feeds player (i+1)%N's
+/// inbox "left"; everyone's outbox "announce" feeds everyone else's inbox
+/// "news".  Hands are dealt deterministically from `seed`.
+Initiator::Plan cardGamePlan(const Directory& directory,
+                             const std::vector<std::string>& playerNames,
+                             std::size_t maxTurns, std::uint64_t seed);
+
+/// Parsed from each player's DONE result.
+struct GameOutcome {
+  bool won = false;          ///< this player collected four of a kind
+  std::int64_t winner = -1;  ///< winning player's index, -1 if none heard
+  std::int64_t turns = 0;    ///< turns this player took
+};
+GameOutcome parseGameOutcome(const Value& playerResult);
+
+}  // namespace dapple::apps

@@ -1,0 +1,70 @@
+#pragma once
+/// \file design.hpp
+/// \brief The paper's second example (§2.1 "Collaborative Distributed
+/// Design"): a team of designers editing a shared, partitioned document.
+///
+/// Each designer dapplet keeps a replica of the document (part -> version).
+/// Write access to a part is controlled by the token read/write protocol of
+/// §4.1: a part is a token colour with `kReadTokens` tokens; a reader holds
+/// one token, a writer holds all of them, so *"multiple concurrent reads ...
+/// but at most one concurrent write and no reads concurrent with a write"*.
+/// Edits are broadcast to the team ("modifications to parts of the document
+/// are communicated to appropriate members of the design team") and applied
+/// by version dominance.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dapple/core/session.hpp"
+#include "dapple/services/tokens/token_manager.hpp"
+
+namespace dapple::apps {
+
+inline constexpr const char* kDesignApp = "design.collab";
+inline constexpr std::int64_t kReadTokens = 4;
+
+/// Token colour of document part `i`.
+std::string partColor(std::size_t part);
+
+/// Registers the designer role on a member's session agent.  Member params:
+///   "index"   — this member's position in the session's peer order,
+///   "ops"     — number of read/write operations to perform,
+///   "writePct"— percentage of ops that are writes,
+///   "seed"    — RNG seed for the op sequence.
+/// Session params: "parts" (document part count).
+///
+/// Wiring: every member has inbox "updates" and outbox "publish" bound to
+/// every peer's "updates" (full mesh).  Token-manager refs are exchanged at
+/// role start through the same mesh.
+void registerDesignApp(SessionAgent& agent);
+
+/// Builds the full-mesh design session plan.
+Initiator::Plan designPlan(const Directory& directory,
+                           const std::vector<std::string>& memberNames,
+                           std::size_t parts, std::size_t opsPerMember,
+                           int writePct, std::uint64_t seed);
+
+/// Test hook: an oracle invoked around every read/write critical section.
+/// Tests install one (backed by shared atomics, since test members share a
+/// process) to *prove* the token protocol's reader/writer exclusion across
+/// dapplets; examples leave it unset.  `part` is the document part index.
+struct DesignOracle {
+  std::function<void(std::size_t part)> onWriteStart;
+  std::function<void(std::size_t part)> onWriteEnd;
+  std::function<void(std::size_t part)> onReadStart;
+  std::function<void(std::size_t part)> onReadEnd;
+};
+void setDesignOracle(DesignOracle oracle);
+void clearDesignOracle();
+
+/// Parsed from each member's DONE result.
+struct DesignOutcome {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t conflictsObserved = 0;  ///< RW/WW overlap detected (must be 0)
+  std::int64_t finalChecksum = 0;      ///< replica checksum for convergence
+};
+DesignOutcome parseDesignOutcome(const Value& memberResult);
+
+}  // namespace dapple::apps

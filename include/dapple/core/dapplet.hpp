@@ -1,0 +1,162 @@
+#pragma once
+/// \file dapplet.hpp
+/// \brief The dapplet runtime: one process of a collaborative distributed
+/// application.
+///
+/// Paper §3.1: *"A calendar dapplet is a process: it operates in a single
+/// address space ... and it communicates with other processes through
+/// ports."*  A `Dapplet` owns an endpoint (its IP address + port), a set of
+/// inboxes and outboxes, worker threads, and the Lamport clock that the
+/// message layer maintains (§4.2).  Several dapplets can live in one OS
+/// process (each with its own endpoint), which is how the tests, examples
+/// and benches build whole distributed sessions in a single binary over
+/// either the simulated network or real UDP sockets.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dapple/core/inbox.hpp"
+#include "dapple/core/lamport_clock.hpp"
+#include "dapple/core/outbox.hpp"
+#include "dapple/net/transport.hpp"
+#include "dapple/reliable/reliable.hpp"
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+/// Placement and transport tuning for one dapplet.
+struct DappletConfig {
+  /// Simulated host id (ignored by UdpNetwork).
+  std::uint32_t host = 1;
+  /// Port to bind; 0 picks one automatically.
+  std::uint16_t port = 0;
+  /// Ordering-layer parameters (retransmission, delivery timeout).
+  ReliableConfig reliable{};
+};
+
+/// One distributed process.  Thread-safe; typically long-lived relative to
+/// the sessions it participates in.
+class Dapplet {
+ public:
+  /// Opens an endpoint on `network` and starts the message layer.
+  Dapplet(Network& network, std::string name, DappletConfig config = {});
+  ~Dapplet();
+
+  Dapplet(const Dapplet&) = delete;
+  Dapplet& operator=(const Dapplet&) = delete;
+
+  /// Human-readable identity used in directories and sessions.
+  const std::string& name() const { return name_; }
+
+  /// This dapplet's Internet address (IP + port / simulated host + port).
+  NodeAddress address() const;
+
+  /// Total order tie-breaker ("ties are broken in favor of the process with
+  /// the lower id", §4.2): the packed endpoint address, unique per dapplet.
+  std::uint64_t id() const { return address().packed(); }
+
+  /// The message layer's logical clock (§4.2).
+  LamportClock& clock() { return clock_; }
+
+  // --- inboxes -----------------------------------------------------------
+
+  /// Creates an inbox; `name` may be "" for an anonymous inbox or a unique
+  /// string name (throws AddressError on duplicates).  The returned
+  /// reference stays valid until destroyInbox/stop.
+  Inbox& createInbox(const std::string& name = "");
+
+  /// Looks up a named inbox; throws AddressError when absent.
+  Inbox& inbox(const std::string& name);
+
+  /// True when a named inbox exists.
+  bool hasInbox(const std::string& name) const;
+
+  /// Closes and removes an inbox.  Blocked receivers wake with
+  /// ShutdownError.  The caller must ensure no other thread retains the
+  /// reference afterwards.
+  void destroyInbox(const std::string& name);
+
+  /// Overload for anonymous inboxes.
+  void destroyInbox(Inbox& box);
+
+  // --- outboxes ----------------------------------------------------------
+
+  /// Creates an outbox (optionally named; throws AddressError on duplicate
+  /// names).  Valid until destroyOutbox/stop.
+  Outbox& createOutbox(const std::string& name = "");
+
+  /// Looks up a named outbox; throws AddressError when absent.
+  Outbox& outbox(const std::string& name);
+
+  /// True when a named outbox exists.
+  bool hasOutbox(const std::string& name) const;
+
+  /// Removes an outbox and drops its bindings.
+  void destroyOutbox(const std::string& name);
+
+  /// Overload for anonymous outboxes.
+  void destroyOutbox(Outbox& box);
+
+  // --- threads -------------------------------------------------------------
+
+  /// Runs `fn` on a dapplet-owned thread; the stop token fires at stop().
+  void spawn(std::function<void(std::stop_token)> fn);
+
+  /// Stops the dapplet: closes every inbox (waking blocked receivers with
+  /// ShutdownError), requests stop on spawned threads, joins them, and
+  /// closes the endpoint.  Idempotent.
+  void stop();
+
+  // --- service hooks -------------------------------------------------------
+
+  /// Observes (and may consume) every delivery before it is enqueued.
+  /// Return true to consume the message — it will not reach the inbox.
+  /// Invoked on the transport thread; must be fast.  Used by the snapshot
+  /// service to intercept markers and record channel state.
+  using DeliveryTap = std::function<bool(Inbox& target, Delivery& delivery)>;
+  void setDeliveryTap(DeliveryTap tap);
+
+  /// Blocks until all sent messages have been acknowledged (or timeout).
+  bool flush(Duration timeout);
+
+  struct Stats {
+    std::uint64_t messagesSent = 0;       ///< per-channel copies sent
+    std::uint64_t messagesDelivered = 0;  ///< enqueued to inboxes
+    std::uint64_t unroutable = 0;         ///< no such inbox
+    std::uint64_t consumedByTap = 0;
+  };
+  Stats stats() const;
+
+  /// The ordering layer (exposed for benches and diagnostics).
+  ReliableEndpoint& transport() { return *reliable_; }
+
+  /// Introspection: a Value describing this dapplet — name, address,
+  /// clock, traffic stats, and every live port with its queue depth /
+  /// fan-out.  Serializable, so monitoring tooling can ship it around
+  /// like any other message payload.
+  Value describe() const;
+
+ private:
+  friend class Outbox;
+
+  /// Fan-out send used by Outbox::send.
+  void sendFromOutbox(std::uint64_t outboxId,
+                      const std::vector<InboxRef>& destinations,
+                      const Message& msg);
+
+  void onDeliver(const NodeAddress& src, std::uint64_t streamId,
+                 std::string payload);
+  void onStreamFailure(const NodeAddress& dst, std::uint64_t streamId,
+                       const std::string& reason);
+
+  struct Impl;
+  const std::string name_;
+  LamportClock clock_;
+  std::unique_ptr<ReliableEndpoint> reliable_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,52 @@
+#pragma once
+/// \file directory.hpp
+/// \brief Address directory used by initiators to set up sessions.
+///
+/// Paper §3.1 / Figure 2: *"the center director invokes an initiator
+/// dapplet and passes it a directory of addresses (e.g. Internet IP
+/// addresses and ports) of component dapplets that are to be linked
+/// together into a session."*  The directory maps participant names to the
+/// global addresses of their session-control inboxes.  It serializes to a
+/// Value so it can itself travel in messages.  (How the directory is
+/// *maintained* is out of scope — exactly as in the paper.)
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dapple/core/inbox_ref.hpp"
+#include "dapple/serial/value.hpp"
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+/// Name -> session-control-inbox address map.  Thread-safe.
+class Directory {
+ public:
+  Directory() = default;
+  Directory(const Directory& other);
+  Directory& operator=(const Directory& other);
+
+  /// Registers (or replaces) an entry.
+  void put(const std::string& name, const InboxRef& ref);
+
+  /// Looks up a name; throws AddressError when absent.
+  InboxRef lookup(const std::string& name) const;
+
+  bool has(const std::string& name) const;
+  void removeEntry(const std::string& name);
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// Serialization (a map of name -> "host:port/#id|name" triplets packed
+  /// into Values).
+  Value toValue() const;
+  static Directory fromValue(const Value& value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, InboxRef> entries_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,123 @@
+#pragma once
+/// \file inbox.hpp
+/// \brief Inboxes: the receive side of the paper's communication model.
+///
+/// Paper §3.2 specifies exactly three application-layer methods:
+/// `isEmpty()`, `awaitNonEmpty()` and `receive()`.  We add timed and
+/// non-blocking variants plus a typed convenience, and each delivery carries
+/// the metadata the services need (logical send/receive timestamps and the
+/// source channel), which the paper's clock and snapshot services rely on.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "dapple/core/inbox_ref.hpp"
+#include "dapple/serial/message.hpp"
+#include "dapple/util/error.hpp"
+#include "dapple/util/sync_queue.hpp"
+#include "dapple/util/time.hpp"
+
+namespace dapple {
+
+class Dapplet;
+
+/// One received message plus its channel metadata.
+struct Delivery {
+  std::unique_ptr<Message> message;
+  std::uint64_t sentAt = 0;      ///< sender's Lamport clock at send
+  std::uint64_t receivedAt = 0;  ///< receiver's Lamport clock after receipt
+  NodeAddress srcNode;           ///< sending dapplet's address
+  std::uint64_t srcOutbox = 0;   ///< sending outbox id (identifies channel)
+
+  /// Typed access; throws SerializationError naming the actual type.
+  template <typename T>
+  const T& as() const {
+    return messageAs<T>(*message);
+  }
+};
+
+/// A message queue owned by a dapplet.  All members are thread-safe.
+/// Create via `Dapplet::createInbox`.
+class Inbox {
+ public:
+  Inbox(const Inbox&) = delete;
+  Inbox& operator=(const Inbox&) = delete;
+
+  /// Numeric local reference (nonzero, unique within the dapplet).
+  std::uint32_t localId() const { return localId_; }
+
+  /// String name ("" when anonymous).
+  const std::string& name() const { return name_; }
+
+  /// Global address other dapplets can bind outboxes to.
+  const InboxRef& ref() const { return ref_; }
+
+  // --- the paper's API ---------------------------------------------------
+
+  /// True when no message is queued.
+  bool isEmpty() const { return queue_.empty(); }
+
+  /// Suspends the caller until the inbox is nonempty.  Throws ShutdownError
+  /// if the dapplet stops while waiting.
+  void awaitNonEmpty() {
+    if (!queue_.awaitNonEmpty()) throw ShutdownError("inbox closed");
+  }
+
+  /// Suspends until nonempty, then removes and returns the head message.
+  Delivery receive() { return queue_.pop(); }
+
+  // --- extensions ----------------------------------------------------------
+
+  /// Timed receive; throws TimeoutError when nothing arrives in time.
+  Delivery receive(Duration timeout) {
+    auto d = queue_.popFor(timeout);
+    if (!d) {
+      throw TimeoutError("inbox '" + name_ + "' receive timed out");
+    }
+    return std::move(*d);
+  }
+
+  /// Non-blocking receive.
+  std::optional<Delivery> tryReceive() { return queue_.tryPop(); }
+
+  /// Timed awaitNonEmpty; false on timeout.
+  bool awaitNonEmptyFor(Duration timeout) {
+    return queue_.awaitNonEmptyFor(timeout);
+  }
+
+  /// Number of queued messages.
+  std::size_t size() const { return queue_.size(); }
+
+  /// Visits every queued (delivered but not yet received) message in order
+  /// without consuming.  Used by snapshot state functions that must count
+  /// inbox backlog as part of local state.  `fn` must not touch this inbox.
+  void forEachQueued(const std::function<void(const Delivery&)>& fn) const {
+    queue_.forEach(fn);
+  }
+
+  /// Closes the inbox: blocked receivers wake with ShutdownError and later
+  /// deliveries are dropped.  Used during session unlink and dapplet stop.
+  void close() { queue_.close(); }
+
+  /// True once close() has been called.
+  bool isClosed() const { return queue_.closed(); }
+
+ private:
+  friend class Dapplet;
+
+  Inbox(std::uint32_t localId, std::string name, InboxRef ref)
+      : localId_(localId), name_(std::move(name)), ref_(std::move(ref)) {}
+
+  /// Deliveries to a closed inbox are silently dropped.
+  void push(Delivery delivery) { queue_.tryPush(std::move(delivery)); }
+  void closeQueue() { queue_.close(); }
+
+  const std::uint32_t localId_;
+  const std::string name_;
+  const InboxRef ref_;
+  SyncQueue<Delivery> queue_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,67 @@
+#pragma once
+/// \file inbox_ref.hpp
+/// \brief Global inbox addresses.
+///
+/// Paper §3.2: *"Each inbox has a global address: the address of its dapplet
+/// (i.e. its IP address and port) and a local reference within the dapplet
+/// process"* and, as a convenience, an inbox may instead be addressed by
+/// *"its unique dapplet address ... and a string in place of its local id"*.
+/// `InboxRef` covers both forms: when `localId != 0` it is a numeric
+/// reference; otherwise `name` is resolved by the receiving dapplet.
+
+#include <cstdint>
+#include <string>
+
+#include "dapple/net/address.hpp"
+#include "dapple/serial/wire.hpp"
+
+namespace dapple {
+
+/// Global address of one inbox.
+struct InboxRef {
+  NodeAddress node;          ///< owning dapplet's address
+  std::uint32_t localId = 0; ///< numeric local reference, 0 = use name
+  std::string name;          ///< string name (may be empty when localId set)
+
+  friend bool operator==(const InboxRef&, const InboxRef&) = default;
+
+  bool valid() const { return node.valid() && (localId != 0 || !name.empty()); }
+
+  std::string toString() const {
+    return node.toString() + "/" +
+           (localId != 0 ? ("#" + std::to_string(localId)) : name);
+  }
+
+  void encode(TextWriter& w) const {
+    w.writeU64(node.packed());
+    w.writeU64(localId);
+    w.writeString(name);
+  }
+
+  static InboxRef decode(TextReader& r) {
+    InboxRef ref;
+    ref.node = NodeAddress::fromPacked(r.readU64());
+    ref.localId = static_cast<std::uint32_t>(r.readU64());
+    ref.name = r.readString();
+    return ref;
+  }
+};
+
+class Value;  // serial/value.hpp
+
+/// Value conversions so refs can travel inside generic payloads (RPC args,
+/// DataMessage bodies, directories).
+Value inboxRefToValue(const InboxRef& ref);
+InboxRef inboxRefFromValue(const Value& value);
+
+}  // namespace dapple
+
+template <>
+struct std::hash<dapple::InboxRef> {
+  std::size_t operator()(const dapple::InboxRef& ref) const noexcept {
+    std::size_t h = std::hash<dapple::NodeAddress>{}(ref.node);
+    h ^= std::hash<std::uint32_t>{}(ref.localId) + 0x9e3779b9 + (h << 6);
+    h ^= std::hash<std::string>{}(ref.name) + 0x9e3779b9 + (h << 6);
+    return h;
+  }
+};

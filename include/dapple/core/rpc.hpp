@@ -1,0 +1,87 @@
+#pragma once
+/// \file rpc.hpp
+/// \brief RPC on top of inboxes and messages.
+///
+/// Paper §3.2 "Communication Layer Features": *"Associate an inbox b with
+/// an object p.  Messages in b are directions to invoke appropriate methods
+/// on p.  Associate a thread with b and p; the thread receives a message
+/// from b and then invokes the method specified in the message on p.  Thus
+/// the address of the inbox serves as a global pointer to an object
+/// associated with the inbox, and messages serve the role of asynchronous
+/// RPCs.  Synchronous RPCs are implemented as pairwise asynchronous RPCs."*
+///
+/// `RpcServer` is the (inbox, object, thread) triple; `RpcClient` issues
+/// `notify` (asynchronous) and `call` (synchronous = request plus reply,
+/// correlated by id).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "dapple/core/dapplet.hpp"
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+/// Serves methods on an object reachable through one inbox ("the address of
+/// the inbox serves as a global pointer").
+class RpcServer {
+ public:
+  using Method = std::function<Value(const Value& args)>;
+
+  /// Creates the serving inbox (named `inboxName`) and starts the dispatch
+  /// thread on `dapplet`.
+  explicit RpcServer(Dapplet& dapplet, const std::string& inboxName = "rpc");
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// Registers a method.  Exceptions thrown by `fn` are marshalled back to
+  /// the synchronous caller as Error.
+  void bind(const std::string& method, Method fn);
+
+  /// The global pointer clients use to reach this object.
+  InboxRef ref() const;
+
+  struct Stats {
+    std::uint64_t callsServed = 0;
+    std::uint64_t notifiesServed = 0;
+    std::uint64_t errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Client stub bound to one remote RpcServer.
+class RpcClient {
+ public:
+  /// `server` is the target server's inbox ref.
+  RpcClient(Dapplet& dapplet, InboxRef server);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Asynchronous RPC: fire-and-forget method invocation.
+  void notify(const std::string& method, const Value& args);
+
+  /// Synchronous RPC ("pairwise asynchronous"): sends the request and
+  /// blocks for the reply.  Throws TimeoutError when no reply arrives in
+  /// time and Error when the server reports a failure.
+  Value call(const std::string& method, const Value& args,
+             Duration timeout = seconds(5));
+
+ private:
+  static Value unpack(const Value& rsp, const std::string& method);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dapple

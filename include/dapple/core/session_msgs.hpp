@@ -1,0 +1,158 @@
+#pragma once
+/// \file session_msgs.hpp
+/// \brief Wire messages of the session establishment protocol.
+///
+/// The protocol (paper §3.1, Figure 2) runs in three phases driven by the
+/// initiator:
+///
+///   1. INVITE   -> each member checks its ACL and the interference guard,
+///                  creates the session's inboxes, replies INVITE_REPLY
+///                  (accept with the created inbox addresses, or reject
+///                  with a reason).
+///   2. WIRE     -> each member creates outboxes and binds them to peer
+///                  inboxes per the topology; replies WIRE_REPLY.
+///   3. START    -> members launch their role logic.  On completion a
+///                  member sends DONE; the initiator finally broadcasts
+///                  UNLINK ("when a session terminates, component dapplets
+///                  unlink themselves from each other").  ABORT rolls back
+///                  a half-established session.  WIRE/UNBIND may also be
+///                  sent mid-session to grow or shrink it.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dapple/core/inbox_ref.hpp"
+#include "dapple/serial/message.hpp"
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+namespace wiredetail {
+
+void encodeStrings(TextWriter& w, const std::vector<std::string>& v);
+std::vector<std::string> decodeStrings(TextReader& r);
+void encodeRefMap(TextWriter& w, const std::map<std::string, InboxRef>& m);
+std::map<std::string, InboxRef> decodeRefMap(TextReader& r);
+
+}  // namespace wiredetail
+
+/// One outbox's wiring: bind `outboxName` to every ref in `targets`.
+struct Binding {
+  std::string outboxName;
+  std::vector<InboxRef> targets;
+  friend bool operator==(const Binding&, const Binding&) = default;
+};
+
+/// Phase 1: the initiator asks a dapplet to join a session.
+class InviteMsg : public MessageBase<InviteMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Invite";
+
+  std::string sessionId;
+  std::string app;               ///< role registry key at the member
+  std::string initiatorName;     ///< checked against the member's ACL
+  std::string memberName;        ///< the invitee's name within the session
+  InboxRef replyTo;              ///< the initiator's reply inbox
+  std::vector<std::string> inboxesToCreate;  ///< session-local inbox names
+  std::vector<std::string> readKeys;   ///< declared state read set
+  std::vector<std::string> writeKeys;  ///< declared state write set
+  Value params;                  ///< app-specific parameters
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Phase 1 reply.
+class InviteReplyMsg : public MessageBase<InviteReplyMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.InviteReply";
+
+  std::string sessionId;
+  std::string memberName;
+  bool accepted = false;
+  std::string reason;  ///< set when rejected
+  std::map<std::string, InboxRef> inboxRefs;  ///< created session inboxes
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Phase 2: bind outboxes to peer inboxes.  Also used mid-session to grow
+/// the topology (bindings are additive).
+class WireMsg : public MessageBase<WireMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Wire";
+
+  std::string sessionId;
+  std::vector<Binding> bindings;
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Phase 2 reply.
+class WireReplyMsg : public MessageBase<WireReplyMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.WireReply";
+
+  std::string sessionId;
+  std::string memberName;
+  bool ok = false;
+  std::string reason;
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Phase 3: run.
+class StartMsg : public MessageBase<StartMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Start";
+
+  std::string sessionId;
+  std::vector<std::string> peers;  ///< all member names, initiator-ordered
+  Value params;
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Member -> initiator: my role finished, with an app-defined result.
+class DoneMsg : public MessageBase<DoneMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Done";
+
+  std::string sessionId;
+  std::string memberName;
+  Value result;
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Initiator -> member: tear the session down and unlink.
+class UnlinkMsg : public MessageBase<UnlinkMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Unlink";
+
+  std::string sessionId;
+  std::string reason;  ///< "" for normal termination
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Mid-session shrink: drop specific outbox->inbox bindings.
+class UnbindMsg : public MessageBase<UnbindMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Unbind";
+
+  std::string sessionId;
+  std::vector<Binding> bindings;
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+}  // namespace dapple

@@ -1,0 +1,116 @@
+#pragma once
+/// \file state.hpp
+/// \brief Persistent dapplet state with per-session scoped views and an
+/// interference guard.
+///
+/// Paper §2.2 "Persistent State Across Multiple Temporary Sessions":
+///  * state outlives sessions ("an appointments calendar that disappears
+///    when an appointment is made has no value") — `StateStore` persists to
+///    a file in the text wire format;
+///  * each session "only has access to portions of the state relevant to
+///    that session" — a `StateView` restricts access to the session's
+///    declared read/write key sets;
+///  * "two sessions must not be allowed to proceed concurrently if one
+///    modifies variables accessed by the other" — `InterferenceGuard`
+///    admits a new session only when its write set is disjoint from every
+///    live session's read+write sets and its read set is disjoint from
+///    every live write set.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dapple/serial/value.hpp"
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+/// Thread-safe persistent key/value store.
+class StateStore {
+ public:
+  /// `filePath` may be empty for a memory-only store.  When nonempty and
+  /// the file exists, the constructor loads it.
+  explicit StateStore(std::string filePath = "");
+
+  /// Returns the value at `key`; throws StateError when absent.
+  Value get(const std::string& key) const;
+
+  /// Returns the value at `key`, or `fallback` when absent.
+  Value getOr(const std::string& key, Value fallback) const;
+
+  void put(const std::string& key, Value value);
+  bool has(const std::string& key) const;
+  void erase(const std::string& key);
+  std::vector<std::string> keys() const;
+
+  /// Writes the store to its file (no-op for memory-only stores).  Called
+  /// automatically by put()/erase() so state survives process death at any
+  /// point, matching the paper's persistence requirement.
+  void save() const;
+
+  /// Re-reads the file, replacing in-memory contents.
+  void load();
+
+ private:
+  void saveLocked() const;
+
+  mutable std::mutex mutex_;
+  std::string filePath_;
+  ValueMap data_;
+};
+
+/// Read/write key sets of one session over one dapplet's state.
+struct AccessSets {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+
+  /// True when running `other` concurrently with *this would interfere:
+  /// someone writes what the other one accesses.
+  bool interferesWith(const AccessSets& other) const;
+};
+
+/// Admission control for concurrent sessions over one dapplet's state.
+/// Thread-safe.
+class InterferenceGuard {
+ public:
+  /// Attempts to admit `sessionId` with the given access sets; returns
+  /// false (and admits nothing) when it interferes with a live session.
+  bool tryClaim(const std::string& sessionId, AccessSets sets);
+
+  /// Releases a session's claim; unknown ids are ignored.
+  void release(const std::string& sessionId);
+
+  /// Live session ids (diagnostics).
+  std::vector<std::string> active() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, AccessSets> active_;
+};
+
+/// A session's window onto a StateStore: reads must be within
+/// reads ∪ writes, writes within writes; anything else throws StateError.
+class StateView {
+ public:
+  StateView(StateStore& store, AccessSets sets)
+      : store_(store), sets_(std::move(sets)) {}
+
+  Value get(const std::string& key) const;
+  Value getOr(const std::string& key, Value fallback) const;
+  void put(const std::string& key, Value value);
+  bool has(const std::string& key) const;
+
+  const AccessSets& sets() const { return sets_; }
+
+ private:
+  void checkRead(const std::string& key) const;
+  void checkWrite(const std::string& key) const;
+
+  StateStore& store_;
+  AccessSets sets_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,48 @@
+#pragma once
+/// \file address.hpp
+/// \brief Node addresses: the (IP address, port) pairs the paper uses to
+/// identify dapplets.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace dapple {
+
+/// Address of a dapplet process: an IPv4 host (or a simulated host id) plus
+/// a port.  Paper §3.1: "Associated with each dapplet is an Internet address
+/// (i.e. IP address and port id)".
+struct NodeAddress {
+  std::uint32_t host = 0;  ///< IPv4 in host byte order, or a simulator id.
+  std::uint16_t port = 0;
+
+  friend bool operator==(const NodeAddress&, const NodeAddress&) = default;
+  friend auto operator<=>(const NodeAddress&, const NodeAddress&) = default;
+
+  bool valid() const { return host != 0 || port != 0; }
+
+  /// Renders "a.b.c.d:port".
+  std::string toString() const;
+
+  /// Parses "a.b.c.d:port"; throws AddressError on malformed input.
+  static NodeAddress parse(std::string_view text);
+
+  /// A packed 48-bit key, convenient for hashing and wire encoding.
+  std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(host) << 16) | port;
+  }
+  static NodeAddress fromPacked(std::uint64_t p) {
+    return NodeAddress{static_cast<std::uint32_t>(p >> 16),
+                       static_cast<std::uint16_t>(p & 0xffff)};
+  }
+};
+
+}  // namespace dapple
+
+template <>
+struct std::hash<dapple::NodeAddress> {
+  std::size_t operator()(const dapple::NodeAddress& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.packed() * 0x9e3779b97f4a7c15ull);
+  }
+};

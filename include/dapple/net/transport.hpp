@@ -1,0 +1,72 @@
+#pragma once
+/// \file transport.hpp
+/// \brief Datagram transport abstraction.
+///
+/// A `Network` produces `Endpoint`s; an endpoint sends unreliable,
+/// unordered, possibly duplicated datagrams to other endpoints of the same
+/// network.  Two implementations ship with the library:
+///
+///  * `SimNetwork`  — deterministic in-process simulator with per-link
+///                    delay, jitter, loss and duplication (the "Internet"
+///                    stand-in; see sim.hpp);
+///  * `UdpNetwork`  — real UDP sockets on localhost (udp.hpp).
+///
+/// Everything above this interface (the reliable ordering layer, inboxes,
+/// outboxes, sessions, services) is transport-agnostic, mirroring the
+/// paper's separation between the network layer and the distributed
+/// computing layer.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dapple/net/address.hpp"
+
+namespace dapple {
+
+/// One attachment point to a network.  Thread-safe.
+class Endpoint {
+ public:
+  /// Receive callback.  Invoked on a network-owned thread; implementations
+  /// must be fast and must not call back into `send` recursively deeper
+  /// than one level.
+  using Handler = std::function<void(const NodeAddress& src,
+                                     std::string payload)>;
+
+  virtual ~Endpoint() = default;
+
+  /// The address peers use to reach this endpoint.
+  virtual NodeAddress address() const = 0;
+
+  /// Fire-and-forget datagram.  May be dropped, delayed arbitrarily,
+  /// duplicated, or reordered relative to other sends.
+  virtual void send(const NodeAddress& dst, std::string payload) = 0;
+
+  /// Installs the receive handler.  Must be called before traffic arrives;
+  /// datagrams received while no handler is installed are dropped.
+  virtual void setHandler(Handler handler) = 0;
+
+  /// Detaches from the network; subsequent sends are no-ops and no further
+  /// handler invocations occur after close() returns.
+  virtual void close() = 0;
+};
+
+/// Factory for endpoints sharing one datagram fabric.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Opens an endpoint.  `port == 0` picks an unused port automatically.
+  /// Throws NetworkError / AddressError on failure (port in use, etc.).
+  virtual std::shared_ptr<Endpoint> open(std::uint16_t port = 0) = 0;
+
+  /// Opens an endpoint on a specific host where the network supports host
+  /// placement (the simulator); other networks ignore `host`.
+  virtual std::shared_ptr<Endpoint> openAt(std::uint32_t host,
+                                           std::uint16_t port = 0) {
+    (void)host;
+    return open(port);
+  }
+};
+
+}  // namespace dapple

@@ -1,0 +1,35 @@
+#pragma once
+/// \file udp.hpp
+/// \brief Real UDP transport (paper §3.2: "The initial implementation uses
+/// UDP").
+///
+/// Binds endpoints to 127.0.0.1 so the full stack — serialization, the
+/// reliable ordering layer, inboxes/outboxes, sessions, services — runs over
+/// genuine kernel sockets.  The `SimNetwork` is used when WAN behaviour
+/// (delay/loss/partition) must be injected; both implement the same
+/// `Network` interface.
+
+#include <memory>
+
+#include "dapple/net/transport.hpp"
+
+namespace dapple {
+
+/// UDP/IPv4 network on the loopback interface.
+class UdpNetwork : public Network {
+ public:
+  UdpNetwork();
+  ~UdpNetwork() override;
+
+  UdpNetwork(const UdpNetwork&) = delete;
+  UdpNetwork& operator=(const UdpNetwork&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and starts
+  /// a receiver thread.  Throws NetworkError on socket failure.
+  std::shared_ptr<Endpoint> open(std::uint16_t port = 0) override;
+
+ private:
+  class EndpointImpl;
+};
+
+}  // namespace dapple

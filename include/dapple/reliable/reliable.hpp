@@ -1,0 +1,107 @@
+#pragma once
+/// \file reliable.hpp
+/// \brief Reliable, ordered message streams over an unreliable datagram
+/// transport.
+///
+/// Paper §3.2: *"The initial implementation uses UDP, and it includes a
+/// layer to ensure that messages are delivered in the order they were
+/// sent"* and *"if a message is not delivered within a specified time an
+/// exception is raised."*  This module is that layer.
+///
+/// Each (destination node, stream id) pair is an independent FIFO stream:
+/// the sender numbers frames, retransmits unacknowledged frames on a timer,
+/// and reports a delivery failure when a frame stays unacknowledged past
+/// `deliveryTimeout`.  The receiver acknowledges cumulatively (plus a
+/// selective-ack list), buffers out-of-order frames, drops duplicates, and
+/// delivers payloads strictly in send order.
+///
+/// The core layer maps each channel (outbox -> inbox) onto one stream, which
+/// yields exactly the paper's channel semantics: FIFO per channel, arbitrary
+/// relative order across channels.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dapple/net/transport.hpp"
+#include "dapple/util/time.hpp"
+
+namespace dapple {
+
+/// Tuning knobs for the ordering layer.
+struct ReliableConfig {
+  /// Timer granularity for the retransmission scan.
+  Duration tickInterval = milliseconds(5);
+  /// A frame unacknowledged for this long is retransmitted.
+  Duration rto = milliseconds(40);
+  /// A frame unacknowledged for this long fails the stream ("the specified
+  /// time" of the paper's delivery exception).
+  Duration deliveryTimeout = seconds(5);
+  /// Exponential RTO backoff cap (rto, 2*rto, ... up to this).
+  Duration maxRto = milliseconds(500);
+};
+
+/// Reliable/ordered façade over one raw `Endpoint`.  All members are
+/// thread-safe.
+class ReliableEndpoint {
+ public:
+  /// In-order delivery callback: (source node, stream id, payload).
+  /// Invoked on transport threads; must not block for long.
+  using DeliverFn = std::function<void(const NodeAddress& src,
+                                       std::uint64_t streamId,
+                                       std::string payload)>;
+
+  /// Invoked once when a stream exceeds its delivery timeout.  After the
+  /// callback the stream is marked failed and subsequent send() calls on it
+  /// throw DeliveryError until resetStream().
+  using FailFn = std::function<void(const NodeAddress& dst,
+                                    std::uint64_t streamId,
+                                    const std::string& reason)>;
+
+  explicit ReliableEndpoint(std::shared_ptr<Endpoint> raw,
+                            ReliableConfig config = {});
+  ~ReliableEndpoint();
+
+  ReliableEndpoint(const ReliableEndpoint&) = delete;
+  ReliableEndpoint& operator=(const ReliableEndpoint&) = delete;
+
+  NodeAddress address() const;
+
+  void setDeliver(DeliverFn fn);
+  void setOnFailure(FailFn fn);
+
+  /// Queues `payload` on stream (`dst`, `streamId`) and transmits it.
+  /// Returns the frame's sequence number.  Throws DeliveryError if the
+  /// stream has already failed.
+  std::uint64_t send(const NodeAddress& dst, std::uint64_t streamId,
+                     std::string payload);
+
+  /// Blocks until every queued frame on every stream has been acknowledged,
+  /// or `timeout` elapses.  Returns true when fully flushed.
+  bool flush(Duration timeout);
+
+  /// Clears the failed flag and pending frames of a stream so it can be
+  /// used again (e.g. after a partition heals).
+  void resetStream(const NodeAddress& dst, std::uint64_t streamId);
+
+  /// Stops the retransmission timer and closes the raw endpoint.
+  void close();
+
+  struct Stats {
+    std::uint64_t dataSent = 0;        ///< first transmissions
+    std::uint64_t retransmits = 0;     ///< timer-driven resends
+    std::uint64_t delivered = 0;       ///< payloads handed to DeliverFn
+    std::uint64_t duplicates = 0;      ///< received frames dropped as dups
+    std::uint64_t acksSent = 0;
+    std::uint64_t outOfOrderBuffered = 0;
+    std::uint64_t failures = 0;        ///< streams declared failed
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dapple

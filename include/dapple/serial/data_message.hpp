@@ -1,0 +1,60 @@
+#pragma once
+/// \file data_message.hpp
+/// \brief Generic key/value message for applications that do not want to
+/// declare a bespoke Message subclass per payload shape.
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "dapple/serial/message.hpp"
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+/// A message carrying a `kind` discriminator string plus a Value map body.
+/// Used heavily by the example applications and the RPC layer.
+class DataMessage : public MessageBase<DataMessage> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.Data";
+
+  DataMessage() = default;
+  explicit DataMessage(std::string kind, ValueMap body = {})
+      : kind_(std::move(kind)), body_(std::move(body)) {}
+
+  const std::string& kind() const { return kind_; }
+  void setKind(std::string kind) { kind_ = std::move(kind); }
+
+  /// Whole-body access.
+  const ValueMap& body() const { return body_; }
+  ValueMap& body() { return body_; }
+
+  /// Field access; `get` throws StateError when the field is absent.
+  void set(const std::string& key, Value value) {
+    body_[key] = std::move(value);
+  }
+  const Value& get(const std::string& key) const {
+    const auto it = body_.find(key);
+    if (it == body_.end()) {
+      throw StateError("DataMessage['" + kind_ + "']: missing field '" + key +
+                       "'");
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return body_.count(key) != 0; }
+
+  void encodeFields(TextWriter& w) const override {
+    w.writeString(kind_);
+    Value(body_).encode(w);
+  }
+  void decodeFields(TextReader& r) override {
+    kind_ = r.readString();
+    body_ = Value::decode(r).asMap();
+  }
+
+ private:
+  std::string kind_;
+  ValueMap body_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,134 @@
+#pragma once
+/// \file message.hpp
+/// \brief Polymorphic message base class and the type registry that
+/// reconstructs typed messages from wire strings.
+///
+/// Paper §3.2 "Messages": *"Objects that are sent from one process to
+/// another are subclasses of a message class.  An object that is sent by a
+/// process is converted into a string, sent across the network, and then
+/// reconstructed back into its original type by the receiving process."*
+///
+/// Usage:
+/// ```
+/// struct Hello : dapple::MessageBase<Hello> {
+///   static constexpr std::string_view kTypeName = "example.Hello";
+///   std::string who;
+///   void encodeFields(TextWriter& w) const override { w.writeString(who); }
+///   void decodeFields(TextReader& r) override { who = r.readString(); }
+/// };
+/// DAPPLE_REGISTER_MESSAGE(Hello);   // at namespace scope in one .cpp
+/// ```
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dapple/serial/wire.hpp"
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+/// Abstract base for everything that crosses a channel.
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Globally unique type name; the registry key.
+  virtual std::string_view typeName() const = 0;
+
+  /// Serializes the fields (not the type name) to `w`.
+  virtual void encodeFields(TextWriter& w) const = 0;
+
+  /// Reconstructs the fields from `r`; the object was default-constructed.
+  virtual void decodeFields(TextReader& r) = 0;
+
+  /// Deep copy.  `MessageBase` provides this automatically.
+  virtual std::unique_ptr<Message> clone() const = 0;
+};
+
+/// CRTP helper supplying `typeName()` and `clone()` from
+/// `Derived::kTypeName` and the copy constructor.
+template <typename Derived>
+class MessageBase : public Message {
+ public:
+  std::string_view typeName() const final { return Derived::kTypeName; }
+
+  std::unique_ptr<Message> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+/// Process-wide registry mapping type names to factories.  Registration is
+/// typically done once at static-initialization time via
+/// DAPPLE_REGISTER_MESSAGE; lookups are lock-protected and cheap.
+class MessageRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Message>()>;
+
+  static MessageRegistry& instance();
+
+  /// Registers `factory` under `name`; re-registration of the same name is
+  /// idempotent (required because static registrars may run in several
+  /// translation units of one binary).
+  void add(std::string_view name, Factory factory);
+
+  /// Creates a default-constructed message of the named type; throws
+  /// SerializationError if unknown.
+  std::unique_ptr<Message> create(std::string_view name) const;
+
+  /// True if `name` has a registered factory.
+  bool knows(std::string_view name) const;
+
+  template <typename T>
+  void addType() {
+    add(T::kTypeName, [] { return std::make_unique<T>(); });
+  }
+
+ private:
+  MessageRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Serializes `msg` (type name + fields) to a standalone wire string.
+std::string encodeMessage(const Message& msg);
+
+/// Reconstructs a message of its original type from `wire`.
+std::unique_ptr<Message> decodeMessage(std::string_view wire);
+
+/// Downcast helper: returns the message as `T&` or throws
+/// SerializationError naming the actual type.
+template <typename T>
+const T& messageAs(const Message& msg) {
+  const T* p = dynamic_cast<const T*>(&msg);
+  if (!p) {
+    throw SerializationError("expected message type " +
+                             std::string(T::kTypeName) + ", got " +
+                             std::string(msg.typeName()));
+  }
+  return *p;
+}
+
+template <typename T>
+T& messageAs(Message& msg) {
+  return const_cast<T&>(messageAs<T>(static_cast<const Message&>(msg)));
+}
+
+namespace detail {
+template <typename T>
+struct MessageRegistrar {
+  MessageRegistrar() { MessageRegistry::instance().addType<T>(); }
+};
+}  // namespace detail
+
+}  // namespace dapple
+
+#define DAPPLE_DETAIL_CAT2(a, b) a##b
+#define DAPPLE_DETAIL_CAT(a, b) DAPPLE_DETAIL_CAT2(a, b)
+
+/// Registers `Type` with the global registry at static-init time.  Place at
+/// namespace scope in exactly one translation unit per type.
+#define DAPPLE_REGISTER_MESSAGE(Type)                                  \
+  static const ::dapple::detail::MessageRegistrar<Type>                \
+      DAPPLE_DETAIL_CAT(dappleRegistrar_, __COUNTER__){};

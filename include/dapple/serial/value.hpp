@@ -1,0 +1,95 @@
+#pragma once
+/// \file value.hpp
+/// \brief Dynamically typed value: the payload currency of generic messages,
+/// RPC arguments, and persistent dapplet state.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "dapple/serial/wire.hpp"
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+class Value;
+using ValueList = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+
+/// A JSON-like dynamic value (null, bool, int64, double, string, list, map)
+/// with exact round-tripping through the text wire format.
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}
+  Value(bool v) : data_(v) {}
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(long v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(long long v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned v) : data_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : data_(v) {}
+  Value(const char* v) : data_(std::string(v)) {}
+  Value(std::string v) : data_(std::move(v)) {}
+  Value(std::string_view v) : data_(std::string(v)) {}
+  Value(ValueList v) : data_(std::move(v)) {}
+  Value(ValueMap v) : data_(std::move(v)) {}
+
+  bool isNull() const { return std::holds_alternative<std::monostate>(data_); }
+  bool isBool() const { return std::holds_alternative<bool>(data_); }
+  bool isInt() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool isDouble() const { return std::holds_alternative<double>(data_); }
+  bool isString() const { return std::holds_alternative<std::string>(data_); }
+  bool isList() const { return std::holds_alternative<ValueList>(data_); }
+  bool isMap() const { return std::holds_alternative<ValueMap>(data_); }
+
+  bool asBool() const { return get<bool>("bool"); }
+  std::int64_t asInt() const { return get<std::int64_t>("int"); }
+  double asDouble() const {
+    if (isInt()) return static_cast<double>(asInt());
+    return get<double>("double");
+  }
+  const std::string& asString() const { return get<std::string>("string"); }
+  const ValueList& asList() const { return get<ValueList>("list"); }
+  ValueList& asList() { return getMut<ValueList>("list"); }
+  const ValueMap& asMap() const { return get<ValueMap>("map"); }
+  ValueMap& asMap() { return getMut<ValueMap>("map"); }
+
+  /// Map convenience: value at `key`, or throws StateError when absent.
+  const Value& at(const std::string& key) const;
+  /// Map convenience: true when this is a map containing `key`.
+  bool contains(const std::string& key) const;
+
+  void encode(TextWriter& w) const;
+  static Value decode(TextReader& r);
+
+  /// Encodes to a standalone wire string / decodes a standalone wire string.
+  std::string toWire() const;
+  static Value fromWire(std::string_view wire);
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  template <typename T>
+  const T& get(const char* name) const {
+    const T* p = std::get_if<T>(&data_);
+    if (!p) throw SerializationError(std::string("Value: not a ") + name);
+    return *p;
+  }
+  template <typename T>
+  T& getMut(const char* name) {
+    T* p = std::get_if<T>(&data_);
+    if (!p) throw SerializationError(std::string("Value: not a ") + name);
+    return *p;
+  }
+
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               ValueList, ValueMap>
+      data_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,81 @@
+#pragma once
+/// \file wire.hpp
+/// \brief Text wire format: typed tokens in a printable string.
+///
+/// The paper (§3.2 "Messages") serializes objects to *strings* before they
+/// cross the network.  We use a compact token stream that is fully printable
+/// except for raw string payloads, which are length-prefixed so no escaping
+/// is ever needed:
+///
+///   i-42        signed integer            u17         unsigned integer
+///   d1.5e3      double (shortest exact)   b0 / b1     boolean
+///   s5:hello    string (length:bytes)     l3 e e e    list of 3 elements
+///   n           null
+///
+/// Tokens are separated by a single space.  The format round-trips exactly
+/// (doubles via shortest-representation `std::to_chars`).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+/// Serializes typed tokens into a string.
+class TextWriter {
+ public:
+  void writeI64(std::int64_t v);
+  void writeU64(std::uint64_t v);
+  void writeF64(double v);
+  void writeBool(bool v);
+  void writeString(std::string_view v);
+  void writeNull();
+  /// Starts a list of exactly `count` elements; the caller then writes
+  /// `count` values (which may themselves be lists).
+  void beginList(std::size_t count);
+  /// Starts a map of exactly `count` entries; the caller then writes `count`
+  /// (string key, value) pairs.
+  void beginMap(std::size_t count);
+
+  /// The accumulated wire text.
+  const std::string& str() const& { return out_; }
+  std::string str() && { return std::move(out_); }
+
+ private:
+  void sep();
+  std::string out_;
+};
+
+/// Parses typed tokens from a wire string.  Every read checks the token tag
+/// and throws SerializationError on mismatch or truncation.
+class TextReader {
+ public:
+  explicit TextReader(std::string_view wire) : wire_(wire) {}
+
+  std::int64_t readI64();
+  std::uint64_t readU64();
+  double readF64();
+  bool readBool();
+  std::string readString();
+  void readNull();
+  /// Reads a list header and returns the element count.
+  std::size_t beginList();
+  /// Reads a map header and returns the entry count.
+  std::size_t beginMap();
+
+  /// Tag character of the next token without consuming it; '\0' at end.
+  char peek() const;
+
+  /// True when all input has been consumed.
+  bool atEnd() const { return pos_ >= wire_.size(); }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  char take();
+  std::string_view wire_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dapple

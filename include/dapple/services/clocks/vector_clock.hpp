@@ -1,0 +1,70 @@
+#pragma once
+/// \file vector_clock.hpp
+/// \brief Vector clocks: an extension of the paper's Lamport-clock service
+/// that captures causality exactly (Lamport clocks only respect it).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+/// Classic vector clock keyed by member name.
+class VectorClock {
+ public:
+  /// Ordering relation between two clocks.
+  enum class Order { kBefore, kAfter, kEqual, kConcurrent };
+
+  VectorClock() = default;
+  explicit VectorClock(std::map<std::string, std::uint64_t> counts)
+      : counts_(std::move(counts)) {}
+
+  /// Local event at `self`: increments self's component.
+  void tick(const std::string& self) { ++counts_[self]; }
+
+  /// Receive event: component-wise max with `other`, then tick(self).
+  void observe(const VectorClock& other, const std::string& self) {
+    merge(other);
+    tick(self);
+  }
+
+  /// Component-wise max (no tick).
+  void merge(const VectorClock& other) {
+    for (const auto& [name, count] : other.counts_) {
+      auto& mine = counts_[name];
+      if (count > mine) mine = count;
+    }
+  }
+
+  std::uint64_t at(const std::string& name) const {
+    const auto it = counts_.find(name);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Causal comparison of *this against `other`.
+  Order compare(const VectorClock& other) const;
+
+  /// True when *this happened-before `other`.
+  bool happenedBefore(const VectorClock& other) const {
+    return compare(other) == Order::kBefore;
+  }
+
+  /// True when neither clock happened-before the other.
+  bool concurrentWith(const VectorClock& other) const {
+    return compare(other) == Order::kConcurrent;
+  }
+
+  Value toValue() const;
+  static VectorClock fromValue(const Value& value);
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    return a.compare(b) == Order::kEqual;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,88 @@
+#pragma once
+/// \file directory_service.hpp
+/// \brief A network directory service.
+///
+/// Paper §3.1 hands the initiator "a directory of addresses ... of
+/// component dapplets" and then notes: *"We do not address how this
+/// directory is maintained in this paper."*  This module addresses it: a
+/// `DirectoryServer` is a dapplet-hosted name service (built on the RPC
+/// layer, i.e. on inboxes and messages) where dapplets register their
+/// session-control inboxes under names; a `DirectoryClient` registers,
+/// resolves, lists, and unregisters entries, and can fetch a whole
+/// `Directory` snapshot for an initiator.
+///
+/// Entries carry a lease: a registration expires unless refreshed, so
+/// crashed dapplets eventually vanish from the directory — the same
+/// pragmatic design every production registry (DNS SRV, ZooKeeper
+/// ephemerals, Consul) converged on.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dapple/core/directory.hpp"
+#include "dapple/core/rpc.hpp"
+
+namespace dapple {
+
+/// Hosts the name service on a dapplet.  Methods (via RPC):
+///   register {name, ref, ttlMs} -> lease id
+///   refresh  {name, lease}      -> bool
+///   lookup   {name}             -> ref           (Error if absent/expired)
+///   unregister {name, lease}    -> bool
+///   list     {prefix}           -> map name -> ref
+class DirectoryServer {
+ public:
+  /// Default time-to-live granted to registrations that do not choose one.
+  static constexpr std::int64_t kDefaultTtlMs = 30'000;
+
+  explicit DirectoryServer(Dapplet& dapplet);
+  ~DirectoryServer();
+
+  DirectoryServer(const DirectoryServer&) = delete;
+  DirectoryServer& operator=(const DirectoryServer&) = delete;
+
+  /// The address clients connect to.
+  InboxRef ref() const;
+
+  /// Number of live (unexpired) entries.
+  std::size_t size() const;
+
+  /// Drops expired entries now (also happens lazily on every access).
+  void expireNow();
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Client-side stub.
+class DirectoryClient {
+ public:
+  DirectoryClient(Dapplet& dapplet, InboxRef server);
+
+  /// Registers `name -> ref` with a lease; returns the lease id used for
+  /// refresh/unregister.  Re-registering an existing name replaces it.
+  std::uint64_t registerName(const std::string& name, const InboxRef& ref,
+                             Duration ttl = milliseconds(
+                                 DirectoryServer::kDefaultTtlMs));
+
+  /// Extends the lease; false when the lease is unknown (expired/replaced).
+  bool refresh(const std::string& name, std::uint64_t lease);
+
+  /// Resolves a name; throws AddressError when absent or expired.
+  InboxRef lookup(const std::string& name);
+
+  /// Removes the entry if the lease matches.
+  bool unregister(const std::string& name, std::uint64_t lease);
+
+  /// All entries whose name starts with `prefix` ("" = everything),
+  /// packaged as a `Directory` ready to hand to an `Initiator`.
+  Directory list(const std::string& prefix = "");
+
+ private:
+  RpcClient rpc_;
+};
+
+}  // namespace dapple

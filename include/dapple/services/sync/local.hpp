@@ -1,0 +1,211 @@
+#pragma once
+/// \file local.hpp
+/// \brief Verified synchronization constructs for threads *within* a
+/// dapplet (paper §4.3, citing the authors' reliable thread libraries):
+/// counting semaphore, reusable barrier, single-assignment variable, and a
+/// bounded channel.  All are condition-variable based with predicate waits.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "dapple/util/error.hpp"
+#include "dapple/util/time.hpp"
+
+namespace dapple {
+
+/// Counting semaphore with timed acquire.
+class Semaphore {
+ public:
+  explicit Semaphore(std::ptrdiff_t initial = 0) : count_(initial) {
+    if (initial < 0) throw Error("semaphore: negative initial count");
+  }
+
+  void acquire() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return count_ > 0; });
+    --count_;
+  }
+
+  /// Returns false on timeout.
+  bool tryAcquireFor(Duration timeout) {
+    std::unique_lock lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [this] { return count_ > 0; })) {
+      return false;
+    }
+    --count_;
+    return true;
+  }
+
+  bool tryAcquire() {
+    std::scoped_lock lock(mutex_);
+    if (count_ == 0) return false;
+    --count_;
+    return true;
+  }
+
+  void release(std::ptrdiff_t n = 1) {
+    {
+      std::scoped_lock lock(mutex_);
+      count_ += n;
+    }
+    if (n == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  std::ptrdiff_t value() const {
+    std::scoped_lock lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::ptrdiff_t count_;
+};
+
+/// Reusable (generation-counted) barrier for a fixed party count.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    if (parties == 0) throw Error("barrier: zero parties");
+  }
+
+  /// Blocks until `parties` threads have arrived; then all are released and
+  /// the barrier resets for the next round.  Returns the generation index
+  /// that was completed.
+  std::size_t arriveAndWait() {
+    std::unique_lock lock(mutex_);
+    const std::size_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return generation;
+    }
+    cv_.wait(lock, [this, generation] { return generation_ != generation; });
+    return generation;
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  const std::size_t parties_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+/// Write-once variable; readers block until it is set.
+template <typename T>
+class SingleAssignment {
+ public:
+  /// Sets the value; a second set throws Error (single assignment!).
+  void set(T value) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (value_) throw Error("single-assignment variable already set");
+      value_.emplace(std::move(value));
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until set, then returns a copy.
+  T get() const {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return value_.has_value(); });
+    return *value_;
+  }
+
+  /// Timed get; throws TimeoutError.
+  T get(Duration timeout) const {
+    std::unique_lock lock(mutex_);
+    if (!cv_.wait_for(lock, timeout,
+                      [this] { return value_.has_value(); })) {
+      throw TimeoutError("single-assignment get timed out");
+    }
+    return *value_;
+  }
+
+  bool isSet() const {
+    std::scoped_lock lock(mutex_);
+    return value_.has_value();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::optional<T> value_;
+};
+
+/// Fixed-capacity FIFO channel between threads.
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw Error("bounded channel: zero capacity");
+  }
+
+  /// Blocks while full; throws ShutdownError once closed.
+  void put(T item) {
+    std::unique_lock lock(mutex_);
+    notFull_.wait(lock,
+                  [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) throw ShutdownError("channel closed");
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+  }
+
+  /// Blocks while empty; throws ShutdownError once closed and drained.
+  T take() {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) throw ShutdownError("channel closed");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  std::optional<T> tryTake() {
+    std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dapple

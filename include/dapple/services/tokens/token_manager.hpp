@@ -1,0 +1,126 @@
+#pragma once
+/// \file token_manager.hpp
+/// \brief Tokens and capabilities (paper §4.1).
+///
+/// *"We treat each resource as a token.  Tokens are objects that are
+/// neither created nor destroyed: a fixed number of them are communicated
+/// and shared among the processes of a system.  Tokens have colors ...  A
+/// network of token-manager objects manages tokens shared by all the
+/// dapplets in a session.  A token is either held by a dapplet or by the
+/// network of token managers."*
+///
+/// Design.  Every member dapplet runs a `TokenManager`.  Each colour has a
+/// *home* manager (chosen by hashing the colour over the member list) that
+/// owns the colour's free pool and serializes grants.  Requests are
+/// timestamped with the member's Lamport clock and served earliest-first
+/// (ties to the lower member index) — the conflict-resolution policy of
+/// §4.2.  A member blocked past `probeDelay` launches Chandy–Misra–Haas
+/// edge-chasing probes through the homes of the colours it awaits; a probe
+/// that returns to its origin proves a hold-and-wait cycle, and the origin's
+/// `request()` throws DeadlockError after returning its partial grants —
+/// *"If the token managers detect a deadlock an exception is raised."*
+///
+/// The conservation invariant (fixed token count per colour) is checkable
+/// at any quiescent point via `totalTokens()` and is exercised by the
+/// property tests and by the snapshot service.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dapple/core/dapplet.hpp"
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+/// A colour is a resource type; a bag counts tokens per colour.
+using TokenColor = std::string;
+using TokenBag = std::map<TokenColor, std::int64_t>;
+
+/// One item of a request: `count` tokens of `color`.  `kAllTokens` requests
+/// every token of the colour (paper: "or the request can ask for all tokens
+/// of a given color").
+struct TokenRequest {
+  TokenColor color;
+  std::int64_t count = 1;
+  static constexpr std::int64_t kAllTokens = -1;
+};
+using TokenList = std::vector<TokenRequest>;
+
+/// Tuning for the token-manager network.
+struct TokenConfig {
+  /// How long a request may remain unsatisfied before deadlock probes are
+  /// launched.
+  Duration probeDelay = milliseconds(100);
+  /// Re-probe period while still blocked.
+  Duration probeInterval = milliseconds(100);
+};
+
+/// One member's token manager.  Construct one per member; call `attach`
+/// with the full, identically-ordered list of manager inbox refs.  The
+/// member at index i seeds the free pools of the colours homed at i via
+/// `initial` (colour -> count); colours homed elsewhere must be seeded by
+/// their own home member.
+class TokenManager {
+ public:
+  TokenManager(Dapplet& dapplet, TokenConfig config = TokenConfig{});
+  ~TokenManager();
+
+  TokenManager(const TokenManager&) = delete;
+  TokenManager& operator=(const TokenManager&) = delete;
+
+  /// This manager's inbox (share with the other members).
+  InboxRef ref() const;
+
+  /// Wires the manager network.  `initial` seeds colours whose home is
+  /// `selfIndex` (seeding a colour homed elsewhere throws TokenError).
+  void attach(const std::vector<InboxRef>& managers, std::size_t selfIndex,
+              const TokenBag& initial);
+
+  /// Home member index of a colour (hash over the member count).
+  std::size_t homeOf(const TokenColor& color) const;
+
+  /// Same mapping, computable before attach() (e.g. to build the initial
+  /// seed bag for a known member count).
+  static std::size_t homeOfColor(const TokenColor& color,
+                                 std::size_t memberCount);
+
+  // --- the paper's API ---------------------------------------------------
+
+  /// Suspends until every requested token is granted, then transfers them
+  /// to this dapplet (`holdsTokens`).  Throws DeadlockError when the
+  /// managers detect a hold-and-wait cycle involving this request, and
+  /// TimeoutError after `timeout`; in both cases partial grants are
+  /// returned to their homes and holdings are unchanged.
+  void request(const TokenList& wants, Duration timeout = seconds(30));
+
+  /// Returns the listed tokens to the manager network.  Throws TokenError
+  /// when the dapplet does not hold them.
+  void release(const TokenList& gives);
+
+  /// Queries every home and returns the total number of tokens of each
+  /// colour in the system (free + held).
+  TokenBag totalTokens(Duration timeout = seconds(5));
+
+  /// Tokens currently held by this dapplet (the paper's `holdsTokens`).
+  TokenBag holdsTokens() const;
+
+  struct Stats {
+    std::uint64_t requestsGranted = 0;
+    std::uint64_t requestsDeadlocked = 0;
+    std::uint64_t requestsTimedOut = 0;
+    std::uint64_t probesSent = 0;
+    std::uint64_t probesForwarded = 0;
+    std::uint64_t grantsIssued = 0;   ///< as a home
+    std::uint64_t releasesServed = 0; ///< as a home
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace dapple

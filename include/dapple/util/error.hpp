@@ -1,0 +1,99 @@
+#pragma once
+/// \file error.hpp
+/// \brief Exception hierarchy for the dapple distributed-system library.
+///
+/// The paper specifies several situations in which "an exception is raised":
+/// a message not delivered within a specified time, `delete` of an inbox
+/// address that is not bound, `release` of tokens that are not held, and
+/// detection of deadlock by the token managers.  Each of those situations has
+/// a dedicated exception type here so applications can react selectively.
+
+#include <stdexcept>
+#include <string>
+
+namespace dapple {
+
+/// Root of all exceptions thrown by the dapple library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A blocking operation exceeded its deadline (e.g. `Inbox::receive` with a
+/// timeout, or a synchronous RPC whose reply never arrived).
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
+/// A message handed to `Outbox::send` could not be delivered within the
+/// configured delivery timeout (paper §3.2: "if a message is not delivered
+/// within a specified time an exception is raised").
+class DeliveryError : public Error {
+ public:
+  explicit DeliveryError(const std::string& what) : Error(what) {}
+};
+
+/// An address argument was malformed, unknown, or not bound (paper §3.2:
+/// `delete(ipa)` "throws an exception" when the address is not in the list).
+class AddressError : public Error {
+ public:
+  explicit AddressError(const std::string& what) : Error(what) {}
+};
+
+/// Failure to encode or decode a message (unknown type name, malformed wire
+/// text, field type mismatch).
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Session establishment or membership failure (rejected link request,
+/// unknown session, protocol violation).
+class SessionError : public Error {
+ public:
+  explicit SessionError(const std::string& what) : Error(what) {}
+};
+
+/// A link request or state access was refused by an access-control list.
+class AccessDeniedError : public Error {
+ public:
+  explicit AccessDeniedError(const std::string& what) : Error(what) {}
+};
+
+/// Violation of the token rules (paper §4.1): releasing tokens that are not
+/// in `holdsTokens`, requesting a non-existent colour, or breaking the
+/// conservation invariant.
+class TokenError : public Error {
+ public:
+  explicit TokenError(const std::string& what) : Error(what) {}
+};
+
+/// The token managers detected a deadlock among pending requests
+/// (paper §4.1: "If the token managers detect a deadlock an exception is
+/// raised").
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& what) : Error(what) {}
+};
+
+/// Illegal access to persistent state: key outside a session view, or a
+/// write through a read-only view.
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// The component has been stopped; blocking calls wake up with this error.
+class ShutdownError : public Error {
+ public:
+  explicit ShutdownError(const std::string& what) : Error(what) {}
+};
+
+/// A socket-level failure in the real UDP transport.
+class NetworkError : public Error {
+ public:
+  explicit NetworkError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace dapple

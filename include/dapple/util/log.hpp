@@ -1,0 +1,75 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal thread-safe leveled logger.
+///
+/// The logger is deliberately tiny: a global level, an optional sink
+/// override, and line-at-a-time atomic emission.  Logging below the global
+/// level costs one relaxed atomic load.
+
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dapple::log {
+
+enum class Level : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the current global level (default: kWarn, so tests and benches
+/// stay quiet unless asked).
+Level level() noexcept;
+
+/// Sets the global level.
+void setLevel(Level lvl) noexcept;
+
+/// Replaces the sink.  The sink receives fully formatted lines (no trailing
+/// newline) and must be thread-safe or internally synchronized; passing an
+/// empty function restores the default stderr sink.
+void setSink(std::function<void(Level, std::string_view)> sink);
+
+/// Emits one line at `lvl` if `lvl >= level()`.
+void write(Level lvl, std::string_view component, std::string_view text);
+
+/// True when a message at `lvl` would be emitted.
+inline bool enabled(Level lvl) noexcept { return lvl >= level(); }
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  LineBuilder(Level lvl, std::string_view component)
+      : lvl_(lvl), component_(component) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(lvl_, component_, os_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::string_view component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace dapple::log
+
+/// Streams a log line, e.g. `DAPPLE_LOG(kDebug, "net") << "sent " << n;`.
+/// The stream expression is evaluated only when the level is enabled.
+#define DAPPLE_LOG(lvl, component)                                        \
+  if (!::dapple::log::enabled(::dapple::log::Level::lvl)) {               \
+  } else                                                                  \
+    ::dapple::log::detail::LineBuilder(::dapple::log::Level::lvl, (component))

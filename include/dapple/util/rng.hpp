@@ -1,0 +1,93 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random generator used by the simulated
+/// network and by workload generators.
+///
+/// Everything stochastic in the library (link loss, delay jitter, workload
+/// arrival, synthetic calendars) is driven by an explicitly seeded `Rng`, so
+/// simulations and tests are reproducible.  The generator is xoshiro256**
+/// seeded through SplitMix64; both are public-domain algorithms.
+
+#include <cstdint>
+#include <limits>
+
+namespace dapple {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).  Satisfies the essentials of
+/// UniformRandomBitGenerator so it can be used with <random> distributions,
+/// though the convenience members below avoid unspecified stdlib behaviour
+/// for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initializes the state from `seed` via SplitMix64.
+  void reseed(std::uint64_t seed) {
+    for (auto& word : state_) {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); `bound` must be nonzero.  The modulo
+  /// bias (< bound/2^64) is negligible for simulation purposes and the
+  /// result is fully deterministic across platforms.
+  std::uint64_t below(std::uint64_t bound) { return (*this)() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p` (clamped to [0, 1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponentially distributed value with the given mean (> 0), useful for
+  /// queueing-style arrival processes and WAN delay tails.
+  double exponential(double mean);
+
+  /// Splits off an independently seeded child generator; handy for giving
+  /// each simulated link its own stream.
+  Rng split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace dapple

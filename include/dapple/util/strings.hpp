@@ -1,0 +1,28 @@
+#pragma once
+/// \file strings.hpp
+/// \brief Small string helpers shared across the library.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dapple {
+
+/// Splits `text` on `sep`; adjacent separators yield empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+inline bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+/// Renders bytes as lowercase hex (debugging aid).
+std::string toHex(std::string_view bytes);
+
+}  // namespace dapple

@@ -1,0 +1,144 @@
+#pragma once
+/// \file sync_queue.hpp
+/// \brief Blocking multi-producer/multi-consumer queue.
+///
+/// This is the concurrency workhorse behind `Inbox`: a mutex+condvar queue
+/// with closable semantics (a closed queue wakes all waiters with
+/// `ShutdownError` once drained) and timed pops.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+/// Unbounded blocking FIFO queue.  All members are thread-safe.
+template <typename T>
+class SyncQueue {
+ public:
+  SyncQueue() = default;
+  SyncQueue(const SyncQueue&) = delete;
+  SyncQueue& operator=(const SyncQueue&) = delete;
+
+  /// Appends an item; wakes one waiter.  Throws ShutdownError if closed.
+  void push(T item) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) throw ShutdownError("push on closed queue");
+      items_.push_back(std::move(item));
+    }
+    nonempty_.notify_one();
+  }
+
+  /// Appends an item unless the queue is closed; returns false (dropping
+  /// the item) when closed.
+  bool tryPush(T item) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    nonempty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available, then removes and returns it.
+  /// Throws ShutdownError when the queue is closed and drained.
+  T pop() {
+    std::unique_lock lock(mutex_);
+    nonempty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    return takeLocked();
+  }
+
+  /// Like pop(), but gives up after `timeout` and returns nullopt.
+  template <typename Rep, typename Period>
+  std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    if (!nonempty_.wait_for(lock, timeout,
+                            [this] { return !items_.empty() || closed_; })) {
+      return std::nullopt;
+    }
+    if (items_.empty() && closed_) throw ShutdownError("queue closed");
+    return takeLocked();
+  }
+
+  /// Removes and returns the head if present, without blocking.
+  std::optional<T> tryPop() {
+    std::scoped_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Blocks until the queue is nonempty (or closed) without consuming.
+  /// Returns true if an item is available, false if closed-and-empty.
+  bool awaitNonEmpty() {
+    std::unique_lock lock(mutex_);
+    nonempty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    return !items_.empty();
+  }
+
+  /// Timed variant of awaitNonEmpty(); false on timeout or closed-and-empty.
+  template <typename Rep, typename Period>
+  bool awaitNonEmptyFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    nonempty_.wait_for(lock, timeout,
+                       [this] { return !items_.empty() || closed_; });
+    return !items_.empty();
+  }
+
+  bool empty() const {
+    std::scoped_lock lock(mutex_);
+    return items_.empty();
+  }
+
+  /// Visits every queued item (head to tail) under the queue lock.  `fn`
+  /// must not call back into this queue.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    std::scoped_lock lock(mutex_);
+    for (const T& item : items_) fn(item);
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return items_.size();
+  }
+
+  /// Marks the queue closed: pushes start throwing, waiters drain remaining
+  /// items and then receive ShutdownError.  Idempotent.
+  void close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    nonempty_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  T takeLocked() {
+    if (items_.empty()) throw ShutdownError("queue closed");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable nonempty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dapple

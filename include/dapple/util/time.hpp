@@ -1,0 +1,39 @@
+#pragma once
+/// \file time.hpp
+/// \brief Clock aliases and a tiny stopwatch used by benches and timeouts.
+
+#include <chrono>
+#include <cstdint>
+
+namespace dapple {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Duration = Clock::duration;
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  Duration elapsed() const { return Clock::now() - start_; }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(elapsed()).count();
+  }
+
+  std::int64_t elapsedMicros() const {
+    return std::chrono::duration_cast<microseconds>(elapsed()).count();
+  }
+
+ private:
+  TimePoint start_;
+};
+
+}  // namespace dapple

@@ -1,0 +1,499 @@
+#include "dapple/apps/calendar.hpp"
+
+#include <bit>
+#include <map>
+#include <set>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple::apps {
+
+namespace {
+
+constexpr const char* kLog = "calendar";
+
+// Application message kinds.
+constexpr const char* kQuery = "cal.query";
+constexpr const char* kAvail = "cal.avail";
+constexpr const char* kConfirm = "cal.confirm";
+constexpr const char* kOk = "cal.ok";
+constexpr const char* kCancel = "cal.cancel";
+constexpr const char* kDoneMsg = "cal.done";
+
+DayMask windowMask(std::size_t window) {
+  if (window >= 64) window = kMaxWindow;
+  return (1ull << window) - 1;
+}
+
+std::set<std::int64_t> busySet(const Value& busy) {
+  std::set<std::int64_t> days;
+  for (const Value& v : busy.asList()) days.insert(v.asInt());
+  return days;
+}
+
+Value toBusyValue(const std::set<std::int64_t>& days) {
+  ValueList list;
+  list.reserve(days.size());
+  for (std::int64_t d : days) list.emplace_back(static_cast<long long>(d));
+  return Value(std::move(list));
+}
+
+DayMask maskFrom(const std::set<std::int64_t>& busy, std::int64_t start,
+                 std::size_t window) {
+  DayMask mask = windowMask(window);
+  for (std::size_t i = 0; i < window && i < kMaxWindow; ++i) {
+    if (busy.count(start + static_cast<std::int64_t>(i)) != 0) {
+      mask &= ~(1ull << i);
+    }
+  }
+  return mask;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CalendarBook
+// ---------------------------------------------------------------------------
+
+void CalendarBook::markBusy(StateStore& store, std::int64_t day) {
+  auto days = busySet(store.getOr(kBusyKey, Value(ValueList{})));
+  days.insert(day);
+  store.put(kBusyKey, toBusyValue(days));
+}
+
+void CalendarBook::markBusy(StateView& view, std::int64_t day) {
+  auto days = busySet(view.getOr(kBusyKey, Value(ValueList{})));
+  days.insert(day);
+  view.put(kBusyKey, toBusyValue(days));
+}
+
+bool CalendarBook::isFree(const StateStore& store, std::int64_t day) {
+  return busySet(store.getOr(kBusyKey, Value(ValueList{}))).count(day) == 0;
+}
+
+DayMask CalendarBook::freeMask(const StateStore& store, std::int64_t start,
+                               std::size_t window) {
+  return maskFrom(busySet(store.getOr(kBusyKey, Value(ValueList{}))), start,
+                  window);
+}
+
+DayMask CalendarBook::freeMask(const StateView& view, std::int64_t start,
+                               std::size_t window) {
+  return maskFrom(busySet(view.getOr(kBusyKey, Value(ValueList{}))), start,
+                  window);
+}
+
+void CalendarBook::populate(StateStore& store, Rng& rng, std::int64_t days,
+                            double busyProb) {
+  std::set<std::int64_t> busy;
+  for (std::int64_t d = 0; d < days; ++d) {
+    if (rng.chance(busyProb)) busy.insert(d);
+  }
+  store.put(kBusyKey, toBusyValue(busy));
+}
+
+std::size_t CalendarBook::busyCount(const StateStore& store) {
+  return busySet(store.getOr(kBusyKey, Value(ValueList{}))).size();
+}
+
+namespace {
+
+void unmarkBusy(StateView& view, std::int64_t day) {
+  auto days = busySet(view.getOr(kBusyKey, Value(ValueList{})));
+  days.erase(day);
+  view.put(kBusyKey, toBusyValue(days));
+}
+
+// ---------------------------------------------------------------------------
+// Member role (shared by flat and hierarchical sessions)
+// ---------------------------------------------------------------------------
+
+/// Serves queries/confirms from its upstream (coordinator or secretary) on
+/// inbox "requests", replying through outbox "reply".
+void memberRole(SessionContext& ctx) {
+  Inbox& in = ctx.inbox("requests");
+  Outbox& out = ctx.outbox("reply");
+  std::int64_t booked = -1;
+  while (true) {
+    Delivery del = in.receive();  // ShutdownError on unlink ends the role
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr) continue;
+    if (msg->kind() == kQuery) {
+      const std::int64_t start = msg->get("start").asInt();
+      const auto window = static_cast<std::size_t>(msg->get("window").asInt());
+      DataMessage avail(kAvail);
+      avail.set("from", Value(ctx.self()));
+      avail.set("mask", Value(static_cast<long long>(
+                            CalendarBook::freeMask(ctx.state(), start,
+                                                   window))));
+      out.send(avail);
+    } else if (msg->kind() == kConfirm) {
+      const std::int64_t day = msg->get("day").asInt();
+      const DayMask mask = CalendarBook::freeMask(ctx.state(), day, 1);
+      const bool ok = (mask & 1) != 0;
+      if (ok) {
+        CalendarBook::markBusy(ctx.state(), day);
+        booked = day;
+      }
+      DataMessage reply(kOk);
+      reply.set("from", Value(ctx.self()));
+      reply.set("ok", Value(ok));
+      out.send(reply);
+    } else if (msg->kind() == kCancel) {
+      unmarkBusy(ctx.state(), msg->get("day").asInt());
+      DataMessage reply(kOk);
+      reply.set("from", Value(ctx.self()));
+      reply.set("ok", Value(true));
+      out.send(reply);
+    } else if (msg->kind() == kDoneMsg) {
+      break;
+    }
+  }
+  ValueMap result;
+  result["booked"] = Value(static_cast<long long>(booked));
+  ctx.setResult(Value(std::move(result)));
+}
+
+/// Collects one DataMessage of kind `kind` from each of `count` distinct
+/// senders; returns from -> message body map.
+std::map<std::string, ValueMap> collect(Inbox& in, const std::string& kind,
+                                        std::size_t count,
+                                        std::int64_t* messagesSeen) {
+  std::map<std::string, ValueMap> replies;
+  while (replies.size() < count) {
+    Delivery del = in.receive();
+    if (messagesSeen != nullptr) ++*messagesSeen;
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr || msg->kind() != kind) continue;
+    replies[msg->get("from").asString()] = msg->body();
+  }
+  return replies;
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator role
+// ---------------------------------------------------------------------------
+
+/// Runs the query/intersect/confirm rounds against `fanCount` downstream
+/// parties (members when flat, secretaries when hierarchical).
+void coordinatorRole(SessionContext& ctx) {
+  Inbox& in = ctx.inbox("replies");
+  Outbox& out = ctx.outbox("query");
+  const Value& sp = ctx.sessionParams();
+  std::int64_t winStart = sp.at("start").asInt();
+  const auto window = static_cast<std::size_t>(sp.at("window").asInt());
+  const auto maxRounds = static_cast<std::size_t>(sp.at("maxRounds").asInt());
+  const auto fanCount = static_cast<std::size_t>(ctx.params()
+                                                     .at("fanout")
+                                                     .asInt());
+  std::int64_t messages = 0;
+  std::int64_t rounds = 0;
+  bool scheduled = false;
+  std::int64_t day = -1;
+
+  for (std::size_t round = 0; round < maxRounds && !scheduled; ++round) {
+    ++rounds;
+    DataMessage query(kQuery);
+    query.set("start", Value(static_cast<long long>(winStart)));
+    query.set("window", Value(static_cast<long long>(window)));
+    out.send(query);
+    messages += static_cast<std::int64_t>(fanCount);
+
+    DayMask common = windowMask(window);
+    for (const auto& [from, body] : collect(in, kAvail, fanCount, &messages)) {
+      common &= static_cast<DayMask>(body.at("mask").asInt());
+    }
+    if (common == 0) {
+      winStart += static_cast<std::int64_t>(window);
+      continue;
+    }
+    const std::int64_t candidate =
+        winStart + std::countr_zero(common);
+    DataMessage confirm(kConfirm);
+    confirm.set("day", Value(static_cast<long long>(candidate)));
+    out.send(confirm);
+    messages += static_cast<std::int64_t>(fanCount);
+    bool allOk = true;
+    for (const auto& [from, body] : collect(in, kOk, fanCount, &messages)) {
+      allOk = allOk && body.at("ok").asBool();
+    }
+    if (allOk) {
+      scheduled = true;
+      day = candidate;
+    } else {
+      // Someone lost the day to a concurrent booking; roll everyone back
+      // and retry (the same window is queried again with fresh state).
+      DataMessage cancel(kCancel);
+      cancel.set("day", Value(static_cast<long long>(candidate)));
+      out.send(cancel);
+      messages += static_cast<std::int64_t>(fanCount);
+      collect(in, kOk, fanCount, &messages);
+    }
+  }
+
+  DataMessage doneMsg(kDoneMsg);
+  out.send(doneMsg);
+  messages += static_cast<std::int64_t>(fanCount);
+
+  ValueMap result;
+  result["scheduled"] = Value(scheduled);
+  result["day"] = Value(static_cast<long long>(day));
+  result["rounds"] = Value(static_cast<long long>(rounds));
+  result["messages"] = Value(static_cast<long long>(messages));
+  ctx.setResult(Value(std::move(result)));
+}
+
+// ---------------------------------------------------------------------------
+// Secretary role (hierarchical only)
+// ---------------------------------------------------------------------------
+
+/// Aggregates its site's members: fans requests down, intersects/ANDs the
+/// replies, and answers upstream as if it were a single member.
+void secretaryRole(SessionContext& ctx) {
+  Inbox& fromCoord = ctx.inbox("requests");
+  Inbox& fromMembers = ctx.inbox("siteReplies");
+  Outbox& toCoord = ctx.outbox("reply");
+  Outbox& toMembers = ctx.outbox("siteQuery");
+  const auto siteSize = static_cast<std::size_t>(ctx.params()
+                                                     .at("fanout")
+                                                     .asInt());
+  while (true) {
+    Delivery del = fromCoord.receive();
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr) continue;
+    if (msg->kind() == kQuery) {
+      toMembers.send(*msg);
+      DayMask site = ~0ull;
+      for (const auto& [from, body] :
+           collect(fromMembers, kAvail, siteSize, nullptr)) {
+        site &= static_cast<DayMask>(body.at("mask").asInt());
+      }
+      DataMessage avail(kAvail);
+      avail.set("from", Value(ctx.self()));
+      avail.set("mask", Value(static_cast<long long>(site)));
+      toCoord.send(avail);
+    } else if (msg->kind() == kConfirm || msg->kind() == kCancel) {
+      toMembers.send(*msg);
+      bool allOk = true;
+      for (const auto& [from, body] :
+           collect(fromMembers, kOk, siteSize, nullptr)) {
+        allOk = allOk && body.at("ok").asBool();
+      }
+      DataMessage reply(kOk);
+      reply.set("from", Value(ctx.self()));
+      reply.set("ok", Value(allOk));
+      toCoord.send(reply);
+    } else if (msg->kind() == kDoneMsg) {
+      toMembers.send(*msg);
+      break;
+    }
+  }
+}
+
+void calendarRole(SessionContext& ctx) {
+  const std::string role = ctx.params().at("role").asString();
+  if (role == "coordinator") {
+    coordinatorRole(ctx);
+  } else if (role == "secretary") {
+    secretaryRole(ctx);
+  } else {
+    memberRole(ctx);
+  }
+}
+
+}  // namespace
+
+void registerCalendarApp(SessionAgent& agent) {
+  agent.registerApp(kCalendarFlatApp, calendarRole);
+  agent.registerApp(kCalendarHierApp, calendarRole);
+}
+
+// ---------------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Value coordParams(std::size_t fanout) {
+  ValueMap params;
+  params["role"] = Value("coordinator");
+  params["fanout"] = Value(static_cast<long long>(fanout));
+  return Value(std::move(params));
+}
+
+Value sessionParams(std::int64_t startDay, std::size_t window,
+                    std::size_t maxRounds) {
+  ValueMap params;
+  params["start"] = Value(static_cast<long long>(startDay));
+  params["window"] = Value(static_cast<long long>(window));
+  params["maxRounds"] = Value(static_cast<long long>(maxRounds));
+  return Value(std::move(params));
+}
+
+Value roleParam(const std::string& role) {
+  ValueMap params;
+  params["role"] = Value(role);
+  return Value(std::move(params));
+}
+
+}  // namespace
+
+Initiator::Plan flatCalendarPlan(const Directory& directory,
+                                 const std::string& coordinatorName,
+                                 const std::vector<std::string>& memberNames,
+                                 std::int64_t startDay, std::size_t window,
+                                 std::size_t maxRounds) {
+  Initiator::Plan plan;
+  plan.app = kCalendarFlatApp;
+  plan.params = sessionParams(startDay, window, maxRounds);
+
+  Initiator::MemberPlan coord =
+      Initiator::member(directory, coordinatorName, {"replies"},
+                        coordParams(memberNames.size()));
+  plan.members.push_back(coord);
+  for (const std::string& name : memberNames) {
+    Initiator::MemberPlan member = Initiator::member(
+        directory, name, {"requests"}, roleParam("member"));
+    member.readKeys = {kBusyKey};
+    member.writeKeys = {kBusyKey};
+    plan.members.push_back(member);
+    plan.edges.push_back({coordinatorName, "query", name, "requests"});
+    plan.edges.push_back({name, "reply", coordinatorName, "replies"});
+  }
+  return plan;
+}
+
+Initiator::Plan hierCalendarPlan(const Directory& directory,
+                                 const std::string& coordinatorName,
+                                 const std::vector<Site>& sites,
+                                 std::int64_t startDay, std::size_t window,
+                                 std::size_t maxRounds) {
+  Initiator::Plan plan;
+  plan.app = kCalendarHierApp;
+  plan.params = sessionParams(startDay, window, maxRounds);
+
+  plan.members.push_back(Initiator::member(
+      directory, coordinatorName, {"replies"}, coordParams(sites.size())));
+  for (const Site& site : sites) {
+    ValueMap secParams;
+    secParams["role"] = Value("secretary");
+    secParams["fanout"] = Value(static_cast<long long>(site.members.size()));
+    plan.members.push_back(Initiator::member(
+        directory, site.secretary, {"requests", "siteReplies"},
+        Value(std::move(secParams))));
+    plan.edges.push_back(
+        {coordinatorName, "query", site.secretary, "requests"});
+    plan.edges.push_back(
+        {site.secretary, "reply", coordinatorName, "replies"});
+    for (const std::string& name : site.members) {
+      Initiator::MemberPlan member = Initiator::member(
+          directory, name, {"requests"}, roleParam("member"));
+      member.readKeys = {kBusyKey};
+      member.writeKeys = {kBusyKey};
+      plan.members.push_back(member);
+      plan.edges.push_back(
+          {site.secretary, "siteQuery", name, "requests"});
+      plan.edges.push_back({name, "reply", site.secretary, "siteReplies"});
+    }
+  }
+  return plan;
+}
+
+ScheduleOutcome parseOutcome(const Value& coordinatorResult) {
+  ScheduleOutcome outcome;
+  outcome.scheduled = coordinatorResult.at("scheduled").asBool();
+  outcome.day = coordinatorResult.at("day").asInt();
+  outcome.rounds = coordinatorResult.at("rounds").asInt();
+  outcome.messages = coordinatorResult.at("messages").asInt();
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// Sequential baseline
+// ---------------------------------------------------------------------------
+
+CalendarRpcMember::CalendarRpcMember(Dapplet& dapplet, StateStore& store)
+    : server_(dapplet, "calendar.rpc") {
+  server_.bind("avail", [&store](const Value& args) {
+    const std::int64_t start = args.at("start").asInt();
+    const auto window = static_cast<std::size_t>(args.at("window").asInt());
+    return Value(static_cast<long long>(
+        CalendarBook::freeMask(store, start, window)));
+  });
+  server_.bind("confirm", [&store](const Value& args) {
+    const std::int64_t day = args.at("day").asInt();
+    if (!CalendarBook::isFree(store, day)) return Value(false);
+    CalendarBook::markBusy(store, day);
+    return Value(true);
+  });
+  server_.bind("cancel", [&store](const Value& args) {
+    const std::int64_t day = args.at("day").asInt();
+    auto days = busySet(store.getOr(kBusyKey, Value(ValueList{})));
+    days.erase(day);
+    store.put(kBusyKey, toBusyValue(days));
+    return Value(true);
+  });
+}
+
+SequentialScheduler::SequentialScheduler(
+    Dapplet& dapplet, const std::vector<InboxRef>& memberRefs) {
+  members_.reserve(memberRefs.size());
+  for (const InboxRef& ref : memberRefs) {
+    members_.push_back(std::make_unique<RpcClient>(dapplet, ref));
+  }
+}
+
+ScheduleOutcome SequentialScheduler::negotiate(std::int64_t startDay,
+                                               std::size_t window,
+                                               std::size_t maxRounds,
+                                               Duration callTimeout) {
+  ScheduleOutcome outcome;
+  std::int64_t winStart = startDay;
+  for (std::size_t round = 0; round < maxRounds; ++round) {
+    ++outcome.rounds;
+    DayMask common = windowMask(window);
+    ValueMap queryArgs;
+    queryArgs["start"] = Value(static_cast<long long>(winStart));
+    queryArgs["window"] = Value(static_cast<long long>(window));
+    // "negotiate with each one in turn": strictly sequential calls.
+    for (const auto& member : members_) {
+      const Value mask =
+          member->call("avail", Value(queryArgs), callTimeout);
+      outcome.messages += 2;
+      common &= static_cast<DayMask>(mask.asInt());
+      if (common == 0) break;
+    }
+    if (common == 0) {
+      winStart += static_cast<std::int64_t>(window);
+      continue;
+    }
+    const std::int64_t day = winStart + std::countr_zero(common);
+    ValueMap confirmArgs;
+    confirmArgs["day"] = Value(static_cast<long long>(day));
+    std::size_t booked = 0;
+    bool allOk = true;
+    for (const auto& member : members_) {
+      const Value ok = member->call("confirm", Value(confirmArgs),
+                                    callTimeout);
+      outcome.messages += 2;
+      if (!ok.asBool()) {
+        allOk = false;
+        break;
+      }
+      ++booked;
+    }
+    if (allOk) {
+      outcome.scheduled = true;
+      outcome.day = day;
+      return outcome;
+    }
+    for (std::size_t i = 0; i < booked; ++i) {
+      members_[i]->call("cancel", Value(confirmArgs), callTimeout);
+      outcome.messages += 2;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace dapple::apps

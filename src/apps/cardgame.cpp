@@ -1,0 +1,192 @@
+#include "dapple/apps/cardgame.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/util/log.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple::apps {
+
+namespace {
+
+constexpr const char* kCard = "game.card";
+constexpr const char* kWin = "game.win";
+constexpr std::size_t kHandSize = 4;
+
+bool fourOfAKind(const std::map<std::int64_t, int>& hand) {
+  return std::any_of(hand.begin(), hand.end(),
+                     [](const auto& kv) { return kv.second >= 4; });
+}
+
+/// Picks the rank to pass: one of the least-represented ranks in the hand
+/// (keeping the most promising set), chosen by `rng` among ties.
+std::int64_t pickDiscard(const std::map<std::int64_t, int>& hand, Rng& rng) {
+  int fewest = 5;
+  for (const auto& [rank, count] : hand) fewest = std::min(fewest, count);
+  std::vector<std::int64_t> candidates;
+  for (const auto& [rank, count] : hand) {
+    if (count == fewest) candidates.push_back(rank);
+  }
+  return candidates[rng.below(candidates.size())];
+}
+
+void playerRole(SessionContext& ctx) {
+  const auto selfIdx = static_cast<std::size_t>(ctx.params()
+                                                    .at("index")
+                                                    .asInt());
+  const auto seed = static_cast<std::uint64_t>(ctx.params()
+                                                   .at("seed")
+                                                   .asInt());
+  const auto maxTurns = static_cast<std::size_t>(ctx.sessionParams()
+                                                     .at("maxTurns")
+                                                     .asInt());
+  Inbox& left = ctx.inbox("left");
+  Inbox& news = ctx.inbox("news");
+  Outbox& right = ctx.outbox("right");
+  Outbox& announce = ctx.outbox("announce");
+  Rng rng(seed);
+
+  std::map<std::int64_t, int> hand;
+  for (const Value& card : ctx.params().at("hand").asList()) {
+    ++hand[card.asInt()];
+  }
+
+  bool won = false;
+  std::int64_t winner = -1;
+  std::size_t turns = 0;
+
+  const auto checkNews = [&] {
+    while (auto del = news.tryReceive()) {
+      const auto* msg = dynamic_cast<const DataMessage*>(del->message.get());
+      if (msg != nullptr && msg->kind() == kWin) {
+        winner = msg->get("winner").asInt();
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (turns < maxTurns) {
+    if (checkNews()) break;
+    if (fourOfAKind(hand)) {
+      won = true;
+      winner = static_cast<std::int64_t>(selfIdx);
+      DataMessage win(kWin);
+      win.set("winner", Value(static_cast<long long>(selfIdx)));
+      announce.send(win);
+      break;
+    }
+    // Pass one card right...
+    const std::int64_t discard = pickDiscard(hand, rng);
+    if (--hand[discard] == 0) hand.erase(discard);
+    DataMessage pass(kCard);
+    pass.set("rank", Value(static_cast<long long>(discard)));
+    right.send(pass);
+    // ...and take one from the left, staying responsive to win news.
+    bool gotCard = false;
+    const TimePoint giveUp = Clock::now() + seconds(5);
+    while (!gotCard && Clock::now() < giveUp) {
+      if (checkNews()) break;
+      try {
+        Delivery del = left.receive(milliseconds(50));
+        const auto* msg =
+            dynamic_cast<const DataMessage*>(del.message.get());
+        if (msg != nullptr && msg->kind() == kCard) {
+          ++hand[msg->get("rank").asInt()];
+          gotCard = true;
+        }
+      } catch (const TimeoutError&) {
+      }
+    }
+    if (!gotCard) break;  // neighbour stopped: the game is over
+    ++turns;
+  }
+  // Post-game: catch a win announcement that raced our exit.
+  if (winner < 0) {
+    try {
+      Delivery del = news.receive(milliseconds(500));
+      const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+      if (msg != nullptr && msg->kind() == kWin) {
+        winner = msg->get("winner").asInt();
+      }
+    } catch (const TimeoutError&) {
+    }
+  }
+
+  ValueMap result;
+  result["won"] = Value(won);
+  result["winner"] = Value(static_cast<long long>(winner));
+  result["turns"] = Value(static_cast<long long>(turns));
+  ctx.setResult(Value(std::move(result)));
+}
+
+}  // namespace
+
+void registerCardGameApp(SessionAgent& agent) {
+  agent.registerApp(kCardGameApp, playerRole);
+}
+
+Initiator::Plan cardGamePlan(const Directory& directory,
+                             const std::vector<std::string>& playerNames,
+                             std::size_t maxTurns, std::uint64_t seed) {
+  const std::size_t n = playerNames.size();
+  if (n < 2) throw SessionError("card game needs at least 2 players");
+
+  // Deal: 4 copies of each of N ranks, shuffled deterministically.
+  std::vector<std::int64_t> deck;
+  deck.reserve(4 * n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    for (int copy = 0; copy < 4; ++copy) {
+      deck.push_back(static_cast<std::int64_t>(rank));
+    }
+  }
+  Rng rng(seed);
+  for (std::size_t i = deck.size(); i > 1; --i) {
+    std::swap(deck[i - 1], deck[rng.below(i)]);
+  }
+
+  Initiator::Plan plan;
+  plan.app = kCardGameApp;
+  ValueMap sessionParams;
+  sessionParams["players"] = Value(static_cast<long long>(n));
+  sessionParams["maxTurns"] = Value(static_cast<long long>(maxTurns));
+  plan.params = Value(std::move(sessionParams));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    ValueMap params;
+    params["index"] = Value(static_cast<long long>(i));
+    params["seed"] = Value(static_cast<long long>(seed * 31 + i));
+    ValueList hand;
+    for (std::size_t c = 0; c < kHandSize; ++c) {
+      hand.emplace_back(static_cast<long long>(deck[i * kHandSize + c]));
+    }
+    params["hand"] = Value(std::move(hand));
+    plan.members.push_back(Initiator::member(
+        directory, playerNames[i], {"left", "news"},
+        Value(std::move(params))));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Ring: predecessor/successor links.
+    plan.edges.push_back({playerNames[i], "right",
+                          playerNames[(i + 1) % n], "left"});
+    // Broadcast: every player's announcement reaches everyone else.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      plan.edges.push_back({playerNames[i], "announce",
+                            playerNames[j], "news"});
+    }
+  }
+  return plan;
+}
+
+GameOutcome parseGameOutcome(const Value& playerResult) {
+  GameOutcome outcome;
+  outcome.won = playerResult.at("won").asBool();
+  outcome.winner = playerResult.at("winner").asInt();
+  outcome.turns = playerResult.at("turns").asInt();
+  return outcome;
+}
+
+}  // namespace dapple::apps

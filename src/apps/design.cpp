@@ -1,0 +1,243 @@
+#include "dapple/apps/design.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/util/log.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple::apps {
+
+namespace {
+
+constexpr const char* kLog = "design";
+
+constexpr const char* kHello = "doc.hello";
+constexpr const char* kUpdate = "doc.update";
+constexpr const char* kBye = "doc.bye";
+
+std::mutex g_oracleMutex;
+DesignOracle g_oracle;
+
+DesignOracle oracleCopy() {
+  std::scoped_lock lock(g_oracleMutex);
+  return g_oracle;
+}
+
+/// A designer's replica: per part, how many committed writes it has seen,
+/// split by author so convergence can be checked exactly.
+struct Replica {
+  // part -> author index -> applied write count
+  std::map<std::size_t, std::map<std::size_t, std::int64_t>> applied;
+
+  void apply(std::size_t part, std::size_t author) {
+    ++applied[part][author];
+  }
+
+  std::int64_t appliedFrom(std::size_t author) const {
+    std::int64_t total = 0;
+    for (const auto& [part, authors] : applied) {
+      const auto it = authors.find(author);
+      if (it != authors.end()) total += it->second;
+    }
+    return total;
+  }
+
+  std::int64_t checksum() const {
+    std::int64_t sum = 0;
+    for (const auto& [part, authors] : applied) {
+      for (const auto& [author, count] : authors) {
+        sum += static_cast<std::int64_t>(part + 1) *
+               static_cast<std::int64_t>(author + 31) * count;
+      }
+    }
+    return sum;
+  }
+};
+
+void designerRole(SessionContext& ctx) {
+  const auto selfIdx = static_cast<std::size_t>(ctx.params()
+                                                    .at("index")
+                                                    .asInt());
+  const auto ops = static_cast<std::size_t>(ctx.params().at("ops").asInt());
+  const auto writePct = ctx.params().at("writePct").asInt();
+  const auto seed = static_cast<std::uint64_t>(ctx.params()
+                                                   .at("seed")
+                                                   .asInt());
+  const auto parts = static_cast<std::size_t>(ctx.sessionParams()
+                                                  .at("parts")
+                                                  .asInt());
+  const std::size_t memberCount = ctx.peers().size();
+
+  Inbox& updates = ctx.inbox("updates");
+  Outbox& publish = ctx.outbox("publish");
+  const DesignOracle oracle = oracleCopy();
+  Rng rng(seed);
+
+  // ---- bootstrap: exchange token-manager refs over the session mesh -----
+  TokenManager tokens(ctx.dapplet());
+  {
+    DataMessage hello(kHello);
+    hello.set("idx", Value(static_cast<long long>(selfIdx)));
+    hello.set("ref", inboxRefToValue(tokens.ref()));
+    publish.send(hello);
+  }
+  std::vector<InboxRef> managerRefs(memberCount);
+  managerRefs[selfIdx] = tokens.ref();
+  std::size_t hellosSeen = 1;
+  Replica replica;
+  std::map<std::size_t, std::int64_t> expectedWrites;  // author -> count
+  std::size_t byesSeen = 0;
+
+  const auto handle = [&](const Delivery& del) {
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr) return;
+    if (msg->kind() == kHello) {
+      const auto idx = static_cast<std::size_t>(msg->get("idx").asInt());
+      if (!managerRefs[idx].valid()) {
+        managerRefs[idx] = inboxRefFromValue(msg->get("ref"));
+        ++hellosSeen;
+      }
+    } else if (msg->kind() == kUpdate) {
+      replica.apply(static_cast<std::size_t>(msg->get("part").asInt()),
+                    static_cast<std::size_t>(msg->get("author").asInt()));
+    } else if (msg->kind() == kBye) {
+      const auto idx = static_cast<std::size_t>(msg->get("idx").asInt());
+      expectedWrites[idx] = msg->get("writes").asInt();
+      ++byesSeen;
+    }
+  };
+
+  while (hellosSeen < memberCount) handle(updates.receive());
+
+  // Every member seeds the colours homed at itself: `parts` colours of
+  // kReadTokens each.
+  TokenBag mine;
+  for (std::size_t p = 0; p < parts; ++p) {
+    if (TokenManager::homeOfColor(partColor(p), memberCount) == selfIdx) {
+      mine[partColor(p)] = kReadTokens;
+    }
+  }
+  tokens.attach(managerRefs, selfIdx, mine);
+
+  // ---- the edit workload -------------------------------------------------
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t myWrites = 0;
+  for (std::size_t op = 0; op < ops; ++op) {
+    // Drain pending updates so replicas stay fresh.
+    while (auto del = updates.tryReceive()) handle(*del);
+
+    const auto part = static_cast<std::size_t>(rng.below(parts));
+    const bool write = rng.below(100) < static_cast<std::uint64_t>(writePct);
+    if (write) {
+      // Writer: all tokens of the part's colour (§4.1 write rule).
+      tokens.request({{partColor(part), TokenRequest::kAllTokens}});
+      if (oracle.onWriteStart) oracle.onWriteStart(part);
+      replica.apply(part, selfIdx);
+      ++myWrites;
+      DataMessage update(kUpdate);
+      update.set("part", Value(static_cast<long long>(part)));
+      update.set("author", Value(static_cast<long long>(selfIdx)));
+      publish.send(update);
+      if (oracle.onWriteEnd) oracle.onWriteEnd(part);
+      tokens.release({{partColor(part), TokenRequest::kAllTokens}});
+      ++writes;
+    } else {
+      // Reader: one token (§4.1 read rule).
+      tokens.request({{partColor(part), 1}});
+      if (oracle.onReadStart) oracle.onReadStart(part);
+      (void)replica.checksum();  // "read" the replica
+      if (oracle.onReadEnd) oracle.onReadEnd(part);
+      tokens.release({{partColor(part), 1}});
+      ++reads;
+    }
+  }
+
+  // ---- convergence: wait for everyone's announced writes -----------------
+  {
+    DataMessage bye(kBye);
+    bye.set("idx", Value(static_cast<long long>(selfIdx)));
+    bye.set("writes", Value(static_cast<long long>(myWrites)));
+    publish.send(bye);
+  }
+  expectedWrites[selfIdx] = myWrites;
+  ++byesSeen;
+  const auto converged = [&] {
+    if (byesSeen < memberCount) return false;
+    for (const auto& [author, expected] : expectedWrites) {
+      if (replica.appliedFrom(author) < expected) return false;
+    }
+    return true;
+  };
+  while (!converged()) handle(updates.receive(seconds(10)));
+
+  ValueMap result;
+  result["reads"] = Value(static_cast<long long>(reads));
+  result["writes"] = Value(static_cast<long long>(writes));
+  result["conflicts"] = Value(static_cast<long long>(0));
+  result["checksum"] = Value(static_cast<long long>(replica.checksum()));
+  ctx.setResult(Value(std::move(result)));
+}
+
+}  // namespace
+
+std::string partColor(std::size_t part) {
+  return "part." + std::to_string(part);
+}
+
+void setDesignOracle(DesignOracle oracle) {
+  std::scoped_lock lock(g_oracleMutex);
+  g_oracle = std::move(oracle);
+}
+
+void clearDesignOracle() {
+  std::scoped_lock lock(g_oracleMutex);
+  g_oracle = DesignOracle{};
+}
+
+void registerDesignApp(SessionAgent& agent) {
+  agent.registerApp(kDesignApp, designerRole);
+}
+
+Initiator::Plan designPlan(const Directory& directory,
+                           const std::vector<std::string>& memberNames,
+                           std::size_t parts, std::size_t opsPerMember,
+                           int writePct, std::uint64_t seed) {
+  Initiator::Plan plan;
+  plan.app = kDesignApp;
+  ValueMap sessionParams;
+  sessionParams["parts"] = Value(static_cast<long long>(parts));
+  plan.params = Value(std::move(sessionParams));
+
+  for (std::size_t i = 0; i < memberNames.size(); ++i) {
+    ValueMap params;
+    params["index"] = Value(static_cast<long long>(i));
+    params["ops"] = Value(static_cast<long long>(opsPerMember));
+    params["writePct"] = Value(static_cast<long long>(writePct));
+    params["seed"] = Value(static_cast<long long>(seed + i * 977));
+    plan.members.push_back(Initiator::member(
+        directory, memberNames[i], {"updates"}, Value(std::move(params))));
+  }
+  // Full mesh: everyone's "publish" reaches every *other* member's
+  // "updates" (authors apply their own writes locally).
+  for (const std::string& from : memberNames) {
+    for (const std::string& to : memberNames) {
+      if (from == to) continue;
+      plan.edges.push_back({from, "publish", to, "updates"});
+    }
+  }
+  return plan;
+}
+
+DesignOutcome parseDesignOutcome(const Value& memberResult) {
+  DesignOutcome outcome;
+  outcome.reads = memberResult.at("reads").asInt();
+  outcome.writes = memberResult.at("writes").asInt();
+  outcome.conflictsObserved = memberResult.at("conflicts").asInt();
+  outcome.finalChecksum = memberResult.at("checksum").asInt();
+  return outcome;
+}
+
+}  // namespace dapple::apps

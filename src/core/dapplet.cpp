@@ -1,0 +1,323 @@
+#include "dapple/core/dapplet.hpp"
+
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "dapple/serial/value.hpp"
+#include "dapple/serial/wire.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "dapplet";
+}  // namespace
+
+struct Dapplet::Impl {
+  mutable std::mutex mutex;
+
+  std::uint32_t nextInboxId = 1;
+  std::uint64_t nextOutboxId = 1;
+
+  // Inboxes are owned here; named lookup is by the inbox's own name field.
+  std::unordered_map<std::uint32_t, std::unique_ptr<Inbox>> inboxesById;
+  std::unordered_map<std::string, Inbox*> inboxesByName;
+  // Destroyed inboxes are parked here (closed) rather than freed: delivery
+  // and taps run without the dapplet lock, so Inbox storage must stay valid
+  // for the dapplet's lifetime.  Sessions create a handful of inboxes each,
+  // so the cost is negligible.
+  std::vector<std::unique_ptr<Inbox>> inboxGraveyard;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Outbox>> outboxesById;
+  std::unordered_map<std::string, Outbox*> outboxesByName;
+
+  DeliveryTap tap;
+  Stats stats;
+
+  bool stopped = false;
+  std::vector<std::jthread> workers;
+};
+
+Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
+    : name_(std::move(name)), impl_(std::make_unique<Impl>()) {
+  auto endpoint = network.openAt(config.host, config.port);
+  reliable_ =
+      std::make_unique<ReliableEndpoint>(std::move(endpoint), config.reliable);
+  reliable_->setDeliver([this](const NodeAddress& src, std::uint64_t streamId,
+                               std::string payload) {
+    onDeliver(src, streamId, std::move(payload));
+  });
+  reliable_->setOnFailure([this](const NodeAddress& dst,
+                                 std::uint64_t streamId,
+                                 const std::string& reason) {
+    onStreamFailure(dst, streamId, reason);
+  });
+}
+
+Dapplet::~Dapplet() { stop(); }
+
+NodeAddress Dapplet::address() const { return reliable_->address(); }
+
+Inbox& Dapplet::createInbox(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  if (impl_->stopped) throw ShutdownError("dapplet stopped");
+  if (!name.empty() && impl_->inboxesByName.count(name) != 0) {
+    throw AddressError("duplicate inbox name '" + name + "'");
+  }
+  const std::uint32_t id = impl_->nextInboxId++;
+  InboxRef ref{address(), id, name};
+  auto inboxPtr =
+      std::unique_ptr<Inbox>(new Inbox(id, name, std::move(ref)));
+  Inbox& result = *inboxPtr;
+  impl_->inboxesById.emplace(id, std::move(inboxPtr));
+  if (!name.empty()) impl_->inboxesByName.emplace(name, &result);
+  return result;
+}
+
+Inbox& Dapplet::inbox(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->inboxesByName.find(name);
+  if (it == impl_->inboxesByName.end()) {
+    throw AddressError("no inbox named '" + name + "' in dapplet " + name_);
+  }
+  return *it->second;
+}
+
+bool Dapplet::hasInbox(const std::string& name) const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->inboxesByName.count(name) != 0;
+}
+
+void Dapplet::destroyInbox(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->inboxesByName.find(name);
+  if (it == impl_->inboxesByName.end()) {
+    throw AddressError("no inbox named '" + name + "' in dapplet " + name_);
+  }
+  Inbox* box = it->second;
+  box->closeQueue();
+  impl_->inboxesByName.erase(it);
+  auto node = impl_->inboxesById.extract(box->localId());
+  if (node) impl_->inboxGraveyard.push_back(std::move(node.mapped()));
+}
+
+void Dapplet::destroyInbox(Inbox& box) {
+  std::scoped_lock lock(impl_->mutex);
+  box.closeQueue();
+  if (!box.name().empty()) impl_->inboxesByName.erase(box.name());
+  auto node = impl_->inboxesById.extract(box.localId());
+  if (node) impl_->inboxGraveyard.push_back(std::move(node.mapped()));
+}
+
+Outbox& Dapplet::createOutbox(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  if (impl_->stopped) throw ShutdownError("dapplet stopped");
+  if (!name.empty() && impl_->outboxesByName.count(name) != 0) {
+    throw AddressError("duplicate outbox name '" + name + "'");
+  }
+  const std::uint64_t id = impl_->nextOutboxId++;
+  auto outboxPtr = std::unique_ptr<Outbox>(new Outbox(*this, id, name));
+  Outbox& result = *outboxPtr;
+  impl_->outboxesById.emplace(id, std::move(outboxPtr));
+  if (!name.empty()) impl_->outboxesByName.emplace(name, &result);
+  return result;
+}
+
+Outbox& Dapplet::outbox(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->outboxesByName.find(name);
+  if (it == impl_->outboxesByName.end()) {
+    throw AddressError("no outbox named '" + name + "' in dapplet " + name_);
+  }
+  return *it->second;
+}
+
+bool Dapplet::hasOutbox(const std::string& name) const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->outboxesByName.count(name) != 0;
+}
+
+void Dapplet::destroyOutbox(const std::string& name) {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->outboxesByName.find(name);
+  if (it == impl_->outboxesByName.end()) {
+    throw AddressError("no outbox named '" + name + "' in dapplet " + name_);
+  }
+  Outbox* box = it->second;
+  impl_->outboxesByName.erase(it);
+  impl_->outboxesById.erase(box->id());
+}
+
+void Dapplet::destroyOutbox(Outbox& box) {
+  std::scoped_lock lock(impl_->mutex);
+  if (!box.name().empty()) impl_->outboxesByName.erase(box.name());
+  impl_->outboxesById.erase(box.id());
+}
+
+void Dapplet::spawn(std::function<void(std::stop_token)> fn) {
+  std::scoped_lock lock(impl_->mutex);
+  if (impl_->stopped) throw ShutdownError("dapplet stopped");
+  // Wrap so a ShutdownError thrown out of a blocking receive during stop()
+  // ends the worker quietly instead of terminating the process.
+  impl_->workers.emplace_back(
+      [fn = std::move(fn), this](std::stop_token stop) {
+        try {
+          fn(stop);
+        } catch (const ShutdownError&) {
+          // normal during stop()
+        } catch (const Error& e) {
+          DAPPLE_LOG(kWarn, kLog)
+              << name_ << ": worker exited with error: " << e.what();
+        }
+      });
+}
+
+void Dapplet::stop() {
+  std::vector<std::jthread> workers;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+    for (auto& [id, box] : impl_->inboxesById) box->closeQueue();
+    workers.swap(impl_->workers);
+  }
+  for (auto& worker : workers) worker.request_stop();
+  workers.clear();  // joins
+  reliable_->close();
+}
+
+void Dapplet::setDeliveryTap(DeliveryTap tap) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->tap = std::move(tap);
+}
+
+bool Dapplet::flush(Duration timeout) { return reliable_->flush(timeout); }
+
+Dapplet::Stats Dapplet::stats() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->stats;
+}
+
+void Dapplet::sendFromOutbox(std::uint64_t outboxId,
+                             const std::vector<InboxRef>& destinations,
+                             const Message& msg) {
+  const std::uint64_t ts = clock_.tick();
+  const std::string wire = encodeMessage(msg);
+  for (const InboxRef& dst : destinations) {
+    TextWriter w;
+    w.writeU64(dst.localId);
+    w.writeString(dst.name);
+    w.writeU64(ts);
+    w.writeString(wire);
+    reliable_->send(dst.node, outboxId, std::move(w).str());
+  }
+  std::scoped_lock lock(impl_->mutex);
+  impl_->stats.messagesSent += destinations.size();
+}
+
+void Dapplet::onDeliver(const NodeAddress& src, std::uint64_t streamId,
+                        std::string payload) {
+  try {
+    TextReader r(payload);
+    const auto dstLocal = static_cast<std::uint32_t>(r.readU64());
+    const std::string dstName = r.readString();
+    const std::uint64_t sentAt = r.readU64();
+    const std::string wire = r.readString();
+
+    Delivery delivery;
+    delivery.message = decodeMessage(wire);
+    delivery.sentAt = sentAt;
+    delivery.receivedAt = clock_.observe(sentAt);
+    delivery.srcNode = src;
+    delivery.srcOutbox = streamId;
+
+    Inbox* target = nullptr;
+    DeliveryTap tap;
+    {
+      std::scoped_lock lock(impl_->mutex);
+      if (dstLocal != 0) {
+        const auto it = impl_->inboxesById.find(dstLocal);
+        if (it != impl_->inboxesById.end()) target = it->second.get();
+      } else if (!dstName.empty()) {
+        const auto it = impl_->inboxesByName.find(dstName);
+        if (it != impl_->inboxesByName.end()) target = it->second;
+      }
+      if (!target) {
+        ++impl_->stats.unroutable;
+        DAPPLE_LOG(kDebug, kLog)
+            << name_ << ": unroutable message for inbox #" << dstLocal << "/'"
+            << dstName << "' from " << src.toString();
+        return;
+      }
+      tap = impl_->tap;
+    }
+    // The tap runs WITHOUT the dapplet lock: snapshot taps send markers,
+    // which re-enters the send path.  Inbox storage is lock-free safe (see
+    // inboxGraveyard) and push() on a closed inbox is a harmless drop.
+    if (tap && tap(*target, delivery)) {
+      std::scoped_lock lock(impl_->mutex);
+      ++impl_->stats.consumedByTap;
+      return;
+    }
+    target->push(std::move(delivery));
+    std::scoped_lock lock(impl_->mutex);
+    ++impl_->stats.messagesDelivered;
+  } catch (const Error& e) {
+    DAPPLE_LOG(kWarn, kLog) << name_ << ": dropping malformed envelope from "
+                            << src.toString() << ": " << e.what();
+  }
+}
+
+void Dapplet::onStreamFailure(const NodeAddress& dst, std::uint64_t streamId,
+                              const std::string& reason) {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->outboxesById.find(streamId);
+  if (it == impl_->outboxesById.end()) return;
+  Outbox* box = it->second.get();
+  std::scoped_lock boxLock(box->mutex_);
+  box->failed_ = true;
+  box->failReason_ = reason + " (to " + dst.toString() + ")";
+}
+
+
+Value Dapplet::describe() const {
+  std::scoped_lock lock(impl_->mutex);
+  ValueMap out;
+  out["name"] = Value(name_);
+  out["address"] = Value(address().toString());
+  out["clock"] = Value(static_cast<long long>(clock_.now()));
+  out["stopped"] = Value(impl_->stopped);
+
+  ValueMap stats;
+  stats["sent"] = Value(static_cast<long long>(impl_->stats.messagesSent));
+  stats["delivered"] =
+      Value(static_cast<long long>(impl_->stats.messagesDelivered));
+  stats["unroutable"] =
+      Value(static_cast<long long>(impl_->stats.unroutable));
+  out["stats"] = Value(std::move(stats));
+
+  ValueList inboxes;
+  for (const auto& [id, box] : impl_->inboxesById) {
+    ValueMap entry;
+    entry["id"] = Value(static_cast<long long>(box->localId()));
+    entry["name"] = Value(box->name());
+    entry["queued"] = Value(static_cast<long long>(box->size()));
+    entry["closed"] = Value(box->isClosed());
+    inboxes.push_back(Value(std::move(entry)));
+  }
+  out["inboxes"] = Value(std::move(inboxes));
+
+  ValueList outboxes;
+  for (const auto& [id, box] : impl_->outboxesById) {
+    ValueMap entry;
+    entry["id"] = Value(static_cast<long long>(box->id()));
+    entry["name"] = Value(box->name());
+    entry["fanout"] = Value(static_cast<long long>(box->fanout()));
+    outboxes.push_back(Value(std::move(entry)));
+  }
+  out["outboxes"] = Value(std::move(outboxes));
+  return Value(std::move(out));
+}
+
+}  // namespace dapple

@@ -1,0 +1,80 @@
+#include "dapple/core/directory.hpp"
+
+namespace dapple {
+
+Directory::Directory(const Directory& other) {
+  std::scoped_lock lock(other.mutex_);
+  entries_ = other.entries_;
+}
+
+Directory& Directory::operator=(const Directory& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  entries_ = other.entries_;
+  return *this;
+}
+
+void Directory::put(const std::string& name, const InboxRef& ref) {
+  std::scoped_lock lock(mutex_);
+  entries_[name] = ref;
+}
+
+InboxRef Directory::lookup(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw AddressError("directory: no entry for '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Directory::has(const std::string& name) const {
+  std::scoped_lock lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+void Directory::removeEntry(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  entries_.erase(name);
+}
+
+std::vector<std::string> Directory::names() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, ref] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t Directory::size() const {
+  std::scoped_lock lock(mutex_);
+  return entries_.size();
+}
+
+Value Directory::toValue() const {
+  std::scoped_lock lock(mutex_);
+  ValueMap map;
+  for (const auto& [name, ref] : entries_) {
+    ValueMap entry;
+    entry["node"] = Value(static_cast<long long>(ref.node.packed()));
+    entry["id"] = Value(static_cast<long long>(ref.localId));
+    entry["name"] = Value(ref.name);
+    map[name] = Value(std::move(entry));
+  }
+  return Value(std::move(map));
+}
+
+Directory Directory::fromValue(const Value& value) {
+  Directory dir;
+  for (const auto& [name, entry] : value.asMap()) {
+    InboxRef ref;
+    ref.node = NodeAddress::fromPacked(
+        static_cast<std::uint64_t>(entry.at("node").asInt()));
+    ref.localId = static_cast<std::uint32_t>(entry.at("id").asInt());
+    ref.name = entry.at("name").asString();
+    dir.put(name, ref);
+  }
+  return dir;
+}
+
+}  // namespace dapple

@@ -1,0 +1,24 @@
+#include "dapple/core/inbox_ref.hpp"
+
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+Value inboxRefToValue(const InboxRef& ref) {
+  ValueMap map;
+  map["node"] = Value(static_cast<long long>(ref.node.packed()));
+  map["id"] = Value(static_cast<long long>(ref.localId));
+  map["name"] = Value(ref.name);
+  return Value(std::move(map));
+}
+
+InboxRef inboxRefFromValue(const Value& value) {
+  InboxRef ref;
+  ref.node = NodeAddress::fromPacked(
+      static_cast<std::uint64_t>(value.at("node").asInt()));
+  ref.localId = static_cast<std::uint32_t>(value.at("id").asInt());
+  ref.name = value.at("name").asString();
+  return ref;
+}
+
+}  // namespace dapple

@@ -1,0 +1,411 @@
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "dapple/core/session.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "initiator";
+std::atomic<std::uint64_t> g_sessionCounter{0};
+}  // namespace
+
+struct Initiator::Impl {
+  explicit Impl(Dapplet& dapplet) : d(dapplet) {}
+
+  Dapplet& d;
+  mutable std::mutex mutex;
+
+  struct SessRec {
+    std::string app;
+    std::vector<MemberPlan> members;
+    std::vector<Edge> edges;
+    Value params;
+    Duration phaseTimeout{seconds(10)};
+
+    Inbox* reply = nullptr;  // per-session reply inbox
+    std::map<std::string, Outbox*> memberOutbox;
+    std::map<std::string, std::map<std::string, InboxRef>> memberRefs;
+    std::map<std::string, Value> doneResults;
+  };
+  std::map<std::string, std::shared_ptr<SessRec>> sessions;
+
+  std::shared_ptr<SessRec> find(const std::string& sessionId) {
+    std::scoped_lock lock(mutex);
+    const auto it = sessions.find(sessionId);
+    if (it == sessions.end()) {
+      throw SessionError("unknown session '" + sessionId + "'");
+    }
+    return it->second;
+  }
+
+  /// Receives from `rec->reply` until `deadline`; throws TimeoutError.
+  Delivery receiveBy(SessRec& rec, TimePoint deadline) {
+    const auto now = Clock::now();
+    if (deadline <= now) throw TimeoutError("session phase timed out");
+    return rec.reply->receive(
+        std::chrono::duration_cast<Duration>(deadline - now));
+  }
+
+  InviteMsg makeInvite(const std::string& sessionId, const std::string& app,
+                       const MemberPlan& member, const InboxRef& replyRef) {
+    InviteMsg invite;
+    invite.sessionId = sessionId;
+    invite.app = app;
+    invite.initiatorName = d.name();
+    invite.memberName = member.name;
+    invite.replyTo = replyRef;
+    invite.inboxesToCreate = member.inboxes;
+    invite.readKeys = member.readKeys;
+    invite.writeKeys = member.writeKeys;
+    invite.params = member.params;
+    return invite;
+  }
+
+  /// Groups `edges` into per-member WireMsg bindings using collected refs.
+  std::map<std::string, std::vector<Binding>> planBindings(
+      const SessRec& rec, const std::vector<Edge>& edges) const {
+    std::map<std::string, std::vector<Binding>> out;
+    for (const Edge& edge : edges) {
+      const auto refsIt = rec.memberRefs.find(edge.toMember);
+      if (refsIt == rec.memberRefs.end()) {
+        throw SessionError("edge targets unknown member '" + edge.toMember +
+                           "'");
+      }
+      const auto inboxIt = refsIt->second.find(edge.toInbox);
+      if (inboxIt == refsIt->second.end()) {
+        throw SessionError("member '" + edge.toMember + "' has no inbox '" +
+                           edge.toInbox + "'");
+      }
+      std::vector<Binding>& bindings = out[edge.fromMember];
+      auto found = std::find_if(
+          bindings.begin(), bindings.end(),
+          [&](const Binding& b) { return b.outboxName == edge.fromOutbox; });
+      if (found == bindings.end()) {
+        bindings.push_back(Binding{edge.fromOutbox, {}});
+        found = bindings.end() - 1;
+      }
+      found->targets.push_back(inboxIt->second);
+    }
+    return out;
+  }
+
+  void destroy(const std::string& sessionId,
+               const std::shared_ptr<SessRec>& rec) {
+    {
+      std::scoped_lock lock(mutex);
+      sessions.erase(sessionId);
+    }
+    for (auto& [name, box] : rec->memberOutbox) d.destroyOutbox(*box);
+    if (rec->reply != nullptr) d.destroyInbox(*rec->reply);
+  }
+};
+
+Initiator::Initiator(Dapplet& dapplet)
+    : impl_(std::make_unique<Impl>(dapplet)) {}
+
+Initiator::~Initiator() = default;
+
+Initiator::MemberPlan Initiator::member(const Directory& directory,
+                                        const std::string& name,
+                                        std::vector<std::string> inboxes,
+                                        Value params) {
+  MemberPlan plan;
+  plan.name = name;
+  plan.control = directory.lookup(name);
+  plan.inboxes = std::move(inboxes);
+  plan.params = std::move(params);
+  return plan;
+}
+
+Initiator::Result Initiator::establish(const Plan& plan) {
+  Dapplet& d = impl_->d;
+  Result result;
+  result.sessionId =
+      d.name() + "-" + std::to_string(g_sessionCounter.fetch_add(1)) + "-" +
+      std::to_string(d.id() & 0xffff);
+
+  auto rec = std::make_shared<Impl::SessRec>();
+  rec->app = plan.app;
+  rec->members = plan.members;
+  rec->edges = plan.edges;
+  rec->params = plan.params;
+  rec->phaseTimeout = plan.phaseTimeout;
+  rec->reply = &d.createInbox();
+
+  {
+    std::scoped_lock lock(impl_->mutex);
+    impl_->sessions[result.sessionId] = rec;
+  }
+
+  // ---- Phase 1: INVITE --------------------------------------------------
+  for (const MemberPlan& member : plan.members) {
+    Outbox& box = d.createOutbox();
+    box.add(member.control);
+    rec->memberOutbox[member.name] = &box;
+    InviteMsg invite =
+        impl_->makeInvite(result.sessionId, plan.app, member,
+                          rec->reply->ref());
+    box.send(invite);
+  }
+
+  const TimePoint inviteDeadline = Clock::now() + plan.phaseTimeout;
+  std::size_t replies = 0;
+  try {
+    while (replies < plan.members.size()) {
+      Delivery del = impl_->receiveBy(*rec, inviteDeadline);
+      const auto* reply = dynamic_cast<const InviteReplyMsg*>(del.message.get());
+      if (reply == nullptr || reply->sessionId != result.sessionId) continue;
+      ++replies;
+      if (reply->accepted) {
+        rec->memberRefs[reply->memberName] = reply->inboxRefs;
+      } else {
+        result.rejections[reply->memberName] = reply->reason;
+      }
+    }
+  } catch (const TimeoutError&) {
+    for (const MemberPlan& member : plan.members) {
+      if (rec->memberRefs.count(member.name) == 0 &&
+          result.rejections.count(member.name) == 0) {
+        result.rejections[member.name] = "no reply (timeout)";
+      }
+    }
+  }
+  if (!result.rejections.empty()) {
+    // Paper §3.1 leaves the initiator's reaction open; we roll back.
+    UnlinkMsg abortMsg;
+    abortMsg.sessionId = result.sessionId;
+    abortMsg.reason = "session aborted during setup";
+    for (const auto& [name, refs] : rec->memberRefs) {
+      rec->memberOutbox.at(name)->send(abortMsg);
+    }
+    impl_->destroy(result.sessionId, rec);
+    result.ok = false;
+    return result;
+  }
+
+  // ---- Phase 2: WIRE ------------------------------------------------------
+  auto bindingPlan = impl_->planBindings(*rec, plan.edges);
+  for (const MemberPlan& member : plan.members) {
+    WireMsg wire;
+    wire.sessionId = result.sessionId;
+    const auto it = bindingPlan.find(member.name);
+    if (it != bindingPlan.end()) wire.bindings = it->second;
+    rec->memberOutbox.at(member.name)->send(wire);
+  }
+  const TimePoint wireDeadline = Clock::now() + plan.phaseTimeout;
+  std::size_t wired = 0;
+  try {
+    while (wired < plan.members.size()) {
+      Delivery del = impl_->receiveBy(*rec, wireDeadline);
+      const auto* reply = dynamic_cast<const WireReplyMsg*>(del.message.get());
+      if (reply == nullptr || reply->sessionId != result.sessionId) continue;
+      if (!reply->ok) {
+        result.rejections[reply->memberName] = reply->reason;
+      }
+      ++wired;
+    }
+  } catch (const TimeoutError&) {
+    result.rejections["(wire)"] = "wiring timed out";
+  }
+  if (!result.rejections.empty()) {
+    UnlinkMsg abortMsg;
+    abortMsg.sessionId = result.sessionId;
+    abortMsg.reason = "session aborted during wiring";
+    for (auto& [name, box] : rec->memberOutbox) box->send(abortMsg);
+    impl_->destroy(result.sessionId, rec);
+    result.ok = false;
+    return result;
+  }
+
+  // ---- Phase 3: START -----------------------------------------------------
+  StartMsg start;
+  start.sessionId = result.sessionId;
+  for (const MemberPlan& member : plan.members) {
+    start.peers.push_back(member.name);
+  }
+  start.params = plan.params;
+  for (auto& [name, box] : rec->memberOutbox) box->send(start);
+
+  result.ok = true;
+  return result;
+}
+
+std::map<std::string, Value> Initiator::awaitCompletion(
+    const std::string& sessionId, Duration timeout) {
+  auto rec = impl_->find(sessionId);
+  const TimePoint deadline = Clock::now() + timeout;
+  while (rec->doneResults.size() < rec->members.size()) {
+    Delivery del = impl_->receiveBy(*rec, deadline);  // throws TimeoutError
+    const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
+    if (done == nullptr || done->sessionId != sessionId) continue;
+    rec->doneResults[done->memberName] = done->result;
+  }
+  return rec->doneResults;
+}
+
+void Initiator::terminate(const std::string& sessionId,
+                          const std::string& reason) {
+  std::shared_ptr<Impl::SessRec> rec;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    const auto it = impl_->sessions.find(sessionId);
+    if (it == impl_->sessions.end()) return;  // idempotent
+    rec = it->second;
+  }
+  UnlinkMsg unlink;
+  unlink.sessionId = sessionId;
+  unlink.reason = reason;
+  for (auto& [name, box] : rec->memberOutbox) {
+    try {
+      box->send(unlink);
+    } catch (const Error& e) {
+      DAPPLE_LOG(kDebug, kLog) << "unlink to " << name
+                               << " failed: " << e.what();
+    }
+  }
+  impl_->d.flush(seconds(2));
+  impl_->destroy(sessionId, rec);
+}
+
+bool Initiator::addMember(const std::string& sessionId,
+                          const MemberPlan& member,
+                          const std::vector<Edge>& newEdges,
+                          Duration timeout) {
+  auto rec = impl_->find(sessionId);
+  Dapplet& d = impl_->d;
+
+  Outbox& box = d.createOutbox();
+  box.add(member.control);
+  InviteMsg invite = impl_->makeInvite(sessionId, rec->app, member,
+                                       rec->reply->ref());
+  box.send(invite);
+
+  const TimePoint deadline = Clock::now() + timeout;
+  bool accepted = false;
+  try {
+    while (true) {
+      Delivery del = impl_->receiveBy(*rec, deadline);
+      if (const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
+          done != nullptr && done->sessionId == sessionId) {
+        rec->doneResults[done->memberName] = done->result;  // stash
+        continue;
+      }
+      const auto* reply = dynamic_cast<const InviteReplyMsg*>(del.message.get());
+      if (reply == nullptr || reply->sessionId != sessionId ||
+          reply->memberName != member.name) {
+        continue;
+      }
+      if (reply->accepted) {
+        rec->memberRefs[member.name] = reply->inboxRefs;
+        accepted = true;
+      }
+      break;
+    }
+  } catch (const TimeoutError&) {
+  }
+  if (!accepted) {
+    d.destroyOutbox(box);
+    return false;
+  }
+  rec->memberOutbox[member.name] = &box;
+  rec->members.push_back(member);
+
+  // Wire the new edges (existing members get incremental WireMsgs).
+  auto bindingPlan = impl_->planBindings(*rec, newEdges);
+  std::size_t expectWired = 0;
+  for (const auto& [target, bindings] : bindingPlan) {
+    WireMsg wire;
+    wire.sessionId = sessionId;
+    wire.bindings = bindings;
+    rec->memberOutbox.at(target)->send(wire);
+    ++expectWired;
+  }
+  // New member must always be wired (possibly with zero bindings) before
+  // START so the session protocol stays uniform.
+  if (bindingPlan.count(member.name) == 0) {
+    WireMsg wire;
+    wire.sessionId = sessionId;
+    rec->memberOutbox.at(member.name)->send(wire);
+    ++expectWired;
+  }
+  std::size_t wired = 0;
+  try {
+    while (wired < expectWired) {
+      Delivery del = impl_->receiveBy(*rec, deadline);
+      if (const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
+          done != nullptr && done->sessionId == sessionId) {
+        rec->doneResults[done->memberName] = done->result;
+        continue;
+      }
+      const auto* reply = dynamic_cast<const WireReplyMsg*>(del.message.get());
+      if (reply == nullptr || reply->sessionId != sessionId) continue;
+      ++wired;
+    }
+  } catch (const TimeoutError&) {
+    return false;
+  }
+  for (const Edge& edge : newEdges) rec->edges.push_back(edge);
+
+  StartMsg start;
+  start.sessionId = sessionId;
+  for (const MemberPlan& m : rec->members) start.peers.push_back(m.name);
+  start.params = rec->params;
+  rec->memberOutbox.at(member.name)->send(start);
+  return true;
+}
+
+void Initiator::removeMember(const std::string& sessionId,
+                             const std::string& member) {
+  auto rec = impl_->find(sessionId);
+  Dapplet& d = impl_->d;
+
+  // Drop every binding that targets the departing member's inboxes.
+  const auto refsIt = rec->memberRefs.find(member);
+  if (refsIt != rec->memberRefs.end()) {
+    std::map<std::string, std::vector<Binding>> unbinds;
+    for (const Edge& edge : rec->edges) {
+      if (edge.toMember != member || edge.fromMember == member) continue;
+      const auto inboxIt = refsIt->second.find(edge.toInbox);
+      if (inboxIt == refsIt->second.end()) continue;
+      std::vector<Binding>& bindings = unbinds[edge.fromMember];
+      auto found = std::find_if(
+          bindings.begin(), bindings.end(),
+          [&](const Binding& b) { return b.outboxName == edge.fromOutbox; });
+      if (found == bindings.end()) {
+        bindings.push_back(Binding{edge.fromOutbox, {}});
+        found = bindings.end() - 1;
+      }
+      found->targets.push_back(inboxIt->second);
+    }
+    for (const auto& [target, bindings] : unbinds) {
+      const auto boxIt = rec->memberOutbox.find(target);
+      if (boxIt == rec->memberOutbox.end()) continue;
+      UnbindMsg unbind;
+      unbind.sessionId = sessionId;
+      unbind.bindings = bindings;
+      boxIt->second->send(unbind);
+    }
+  }
+
+  const auto boxIt = rec->memberOutbox.find(member);
+  if (boxIt != rec->memberOutbox.end()) {
+    UnlinkMsg unlink;
+    unlink.sessionId = sessionId;
+    unlink.reason = "removed from session";
+    boxIt->second->send(unlink);
+    d.flush(seconds(2));
+    d.destroyOutbox(*boxIt->second);
+    rec->memberOutbox.erase(boxIt);
+  }
+  rec->memberRefs.erase(member);
+  std::erase_if(rec->members,
+                [&](const MemberPlan& m) { return m.name == member; });
+  std::erase_if(rec->edges, [&](const Edge& e) {
+    return e.fromMember == member || e.toMember == member;
+  });
+}
+
+}  // namespace dapple

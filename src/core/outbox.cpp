@@ -1,0 +1,62 @@
+#include "dapple/core/outbox.hpp"
+
+#include <algorithm>
+
+#include "dapple/core/dapplet.hpp"
+
+namespace dapple {
+
+void Outbox::add(const InboxRef& ref) {
+  if (!ref.valid()) throw AddressError("add: invalid inbox address");
+  std::scoped_lock lock(mutex_);
+  if (std::find(destinations_.begin(), destinations_.end(), ref) !=
+      destinations_.end()) {
+    return;  // "appends the specified inbox ... if it is not already on it"
+  }
+  destinations_.push_back(ref);
+}
+
+void Outbox::remove(const InboxRef& ref) {
+  std::scoped_lock lock(mutex_);
+  const auto it = std::find(destinations_.begin(), destinations_.end(), ref);
+  if (it == destinations_.end()) {
+    throw AddressError("delete: " + ref.toString() +
+                       " is not bound to this outbox");
+  }
+  destinations_.erase(it);
+}
+
+void Outbox::send(const Message& msg) {
+  std::vector<InboxRef> destinations;
+  {
+    std::scoped_lock lock(mutex_);
+    if (failed_) throw DeliveryError(failReason_);
+    destinations = destinations_;
+  }
+  owner_.sendFromOutbox(id_, destinations, msg);
+}
+
+void Outbox::reset() {
+  std::vector<InboxRef> destinations;
+  {
+    std::scoped_lock lock(mutex_);
+    failed_ = false;
+    failReason_.clear();
+    destinations = destinations_;
+  }
+  for (const InboxRef& dst : destinations) {
+    owner_.transport().resetStream(dst.node, id_);
+  }
+}
+
+std::vector<InboxRef> Outbox::destinations() const {
+  std::scoped_lock lock(mutex_);
+  return destinations_;
+}
+
+std::size_t Outbox::fanout() const {
+  std::scoped_lock lock(mutex_);
+  return destinations_.size();
+}
+
+}  // namespace dapple

@@ -1,0 +1,445 @@
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "dapple/core/session.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "session";
+
+AccessSets toSets(const std::vector<std::string>& reads,
+                  const std::vector<std::string>& writes) {
+  AccessSets sets;
+  sets.reads.insert(reads.begin(), reads.end());
+  sets.writes.insert(writes.begin(), writes.end());
+  return sets;
+}
+}  // namespace
+
+/// Shared state of one linked session at a member.
+struct SessionContext::Record {
+  std::string sessionId;
+  std::string app;
+  std::string memberName;
+  std::string initiatorName;
+  InboxRef initiatorReply;
+
+  std::map<std::string, Inbox*> inboxes;    // session-local name -> inbox
+  std::map<std::string, Outbox*> outboxes;  // session-local name -> outbox
+  Outbox* replyOutbox = nullptr;            // bound to initiatorReply
+
+  std::optional<StateView> stateView;
+  std::vector<std::string> peers;
+  Value memberParams;
+  Value sessionParams;
+
+  std::stop_source stopSource;
+
+  std::mutex mutex;  // guards the mutable fields below
+  Value result;
+  bool started = false;
+  bool roleFinished = false;
+  bool unlinked = false;
+};
+
+SessionContext::SessionContext(Dapplet& dapplet, std::shared_ptr<Record> rec)
+    : dapplet_(dapplet),
+      record_(std::move(rec)),
+      sessionId_(record_->sessionId),
+      app_(record_->app),
+      self_(record_->memberName),
+      peers_(record_->peers),
+      params_(record_->memberParams) {}
+
+const Value& SessionContext::sessionParams() const {
+  return record_->sessionParams;
+}
+
+Inbox& SessionContext::inbox(const std::string& name) const {
+  const auto it = record_->inboxes.find(name);
+  if (it == record_->inboxes.end()) {
+    throw AddressError("session " + sessionId_ + ": no inbox '" + name + "'");
+  }
+  return *it->second;
+}
+
+Outbox& SessionContext::outbox(const std::string& name) const {
+  const auto it = record_->outboxes.find(name);
+  if (it == record_->outboxes.end()) {
+    throw AddressError("session " + sessionId_ + ": no outbox '" + name +
+                       "'");
+  }
+  return *it->second;
+}
+
+bool SessionContext::hasInbox(const std::string& name) const {
+  return record_->inboxes.count(name) != 0;
+}
+
+bool SessionContext::hasOutbox(const std::string& name) const {
+  return record_->outboxes.count(name) != 0;
+}
+
+StateView& SessionContext::state() const {
+  if (!record_->stateView) {
+    throw StateError("session " + sessionId_ +
+                     ": member has no persistent state store");
+  }
+  return *record_->stateView;
+}
+
+std::stop_token SessionContext::stopToken() const {
+  return record_->stopSource.get_token();
+}
+
+void SessionContext::setResult(Value result) {
+  std::scoped_lock lock(record_->mutex);
+  record_->result = std::move(result);
+}
+
+// ===========================================================================
+
+struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
+  Impl(Dapplet& dapplet, Config config)
+      : d(dapplet), cfg(std::move(config)) {}
+
+  Dapplet& d;
+  Config cfg;
+
+  mutable std::mutex mutex;
+  std::condition_variable loopExited;
+  bool loopDone = false;
+
+  std::map<std::string, RoleFn> roles;
+  std::map<std::string, std::shared_ptr<SessionContext::Record>> sessions;
+  InterferenceGuard interference;
+  Stats stats;
+
+  Inbox* control = nullptr;
+
+  // Cache of outboxes keyed by reply target, reused across sessions so each
+  // initiator sees one FIFO stream from this agent.
+  std::map<std::uint64_t, Outbox*> replyOutboxes;
+  std::mutex replyMutex;
+
+  // -- helpers -----------------------------------------------------------
+
+  /// Sends `msg` to `target` over a cached dedicated outbox.
+  void reply(const InboxRef& target, const Message& msg) {
+    Outbox* box = nullptr;
+    {
+      std::scoped_lock lock(replyMutex);
+      const std::uint64_t key =
+          target.node.packed() * 1000003u + target.localId;
+      const auto it = replyOutboxes.find(key);
+      if (it != replyOutboxes.end()) {
+        box = it->second;
+      } else {
+        box = &d.createOutbox();
+        box->add(target);
+        replyOutboxes.emplace(key, box);
+      }
+    }
+    box->send(msg);
+  }
+
+  void run(std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      Delivery del = control->receive();  // throws ShutdownError at stop
+      try {
+        dispatch(del);
+      } catch (const ShutdownError&) {
+        throw;
+      } catch (const Error& e) {
+        DAPPLE_LOG(kWarn, kLog)
+            << d.name() << ": control dispatch failed: " << e.what();
+      }
+    }
+  }
+
+  void dispatch(const Delivery& del) {
+    const Message& m = *del.message;
+    if (const auto* invite = dynamic_cast<const InviteMsg*>(&m)) {
+      onInvite(*invite);
+    } else if (const auto* wire = dynamic_cast<const WireMsg*>(&m)) {
+      onWire(*wire);
+    } else if (const auto* start = dynamic_cast<const StartMsg*>(&m)) {
+      onStart(*start);
+    } else if (const auto* unlink = dynamic_cast<const UnlinkMsg*>(&m)) {
+      onUnlink(*unlink);
+    } else if (const auto* unbind = dynamic_cast<const UnbindMsg*>(&m)) {
+      onUnbind(*unbind);
+    } else {
+      DAPPLE_LOG(kDebug, kLog) << d.name() << ": unexpected control message "
+                               << m.typeName();
+    }
+  }
+
+  void onInvite(const InviteMsg& m) {
+    InviteReplyMsg out;
+    out.sessionId = m.sessionId;
+    out.memberName = m.memberName;
+    {
+      std::scoped_lock lock(mutex);
+      const auto existing = sessions.find(m.sessionId);
+      if (existing != sessions.end()) {
+        // Duplicate invite (e.g. initiator retry): re-confirm idempotently.
+        out.accepted = true;
+        for (const auto& [name, box] : existing->second->inboxes) {
+          out.inboxRefs[name] = box->ref();
+        }
+      } else if (!cfg.acl.empty() && cfg.acl.count(m.initiatorName) == 0) {
+        out.accepted = false;
+        out.reason = "initiator '" + m.initiatorName +
+                     "' is not on the access control list";
+        ++stats.invitesRejectedAcl;
+      } else if (roles.count(m.app) == 0) {
+        out.accepted = false;
+        out.reason = "unknown application '" + m.app + "'";
+        ++stats.invitesRejectedUnknownApp;
+      } else if (!interference.tryClaim(
+                     m.sessionId, toSets(m.readKeys, m.writeKeys))) {
+        // Paper §3.1: "it is already participating in a session and another
+        // concurrent session would cause interference".
+        out.accepted = false;
+        out.reason = "interference with a concurrent session";
+        ++stats.invitesRejectedInterference;
+      } else {
+        auto rec = std::make_shared<SessionContext::Record>();
+        rec->sessionId = m.sessionId;
+        rec->app = m.app;
+        rec->memberName = m.memberName;
+        rec->initiatorName = m.initiatorName;
+        rec->initiatorReply = m.replyTo;
+        rec->memberParams = m.params;
+        for (const std::string& name : m.inboxesToCreate) {
+          Inbox& box = d.createInbox();
+          rec->inboxes[name] = &box;
+          out.inboxRefs[name] = box.ref();
+        }
+        if (cfg.store != nullptr) {
+          rec->stateView.emplace(*cfg.store,
+                                 toSets(m.readKeys, m.writeKeys));
+        }
+        sessions[m.sessionId] = rec;
+        out.accepted = true;
+        ++stats.invitesAccepted;
+      }
+    }
+    reply(m.replyTo, out);
+  }
+
+  void onWire(const WireMsg& m) {
+    WireReplyMsg out;
+    out.sessionId = m.sessionId;
+    std::shared_ptr<SessionContext::Record> rec;
+    {
+      std::scoped_lock lock(mutex);
+      const auto it = sessions.find(m.sessionId);
+      if (it != sessions.end()) rec = it->second;
+    }
+    if (!rec) {
+      out.ok = false;
+      out.reason = "unknown session";
+      DAPPLE_LOG(kDebug, kLog) << d.name() << ": WIRE for unknown session "
+                               << m.sessionId;
+      return;  // nowhere to reply without a record
+    }
+    out.memberName = rec->memberName;
+    {
+      std::scoped_lock lock(mutex);
+      for (const Binding& binding : m.bindings) {
+        Outbox*& box = rec->outboxes[binding.outboxName];
+        if (box == nullptr) box = &d.createOutbox();
+        for (const InboxRef& target : binding.targets) box->add(target);
+      }
+      out.ok = true;
+    }
+    reply(rec->initiatorReply, out);
+  }
+
+  void onUnbind(const UnbindMsg& m) {
+    std::scoped_lock lock(mutex);
+    const auto it = sessions.find(m.sessionId);
+    if (it == sessions.end()) return;
+    auto& rec = it->second;
+    for (const Binding& binding : m.bindings) {
+      const auto boxIt = rec->outboxes.find(binding.outboxName);
+      if (boxIt == rec->outboxes.end()) continue;
+      for (const InboxRef& target : binding.targets) {
+        try {
+          boxIt->second->remove(target);
+        } catch (const AddressError&) {
+          // Already unbound; shrink is idempotent.
+        }
+      }
+    }
+  }
+
+  void onStart(const StartMsg& m) {
+    std::shared_ptr<SessionContext::Record> rec;
+    RoleFn role;
+    {
+      std::scoped_lock lock(mutex);
+      const auto it = sessions.find(m.sessionId);
+      if (it == sessions.end()) {
+        DAPPLE_LOG(kDebug, kLog) << d.name() << ": START for unknown session "
+                                 << m.sessionId;
+        return;
+      }
+      rec = it->second;
+      {
+        std::scoped_lock recLock(rec->mutex);
+        if (rec->started) return;  // duplicate START
+        rec->started = true;
+      }
+      rec->peers = m.peers;
+      rec->sessionParams = m.params;
+      role = roles.at(rec->app);
+    }
+    auto self = shared_from_this();
+    d.spawn([self, rec, role](std::stop_token) {
+      self->runRole(rec, role);
+    });
+  }
+
+  void runRole(const std::shared_ptr<SessionContext::Record>& rec,
+               const RoleFn& role) {
+    SessionContext ctx(d, rec);
+    try {
+      role(ctx);
+    } catch (const ShutdownError&) {
+      // Session unlinked (or dapplet stopping) while the role was blocked.
+    } catch (const Error& e) {
+      DAPPLE_LOG(kWarn, kLog) << d.name() << ": role for session "
+                              << rec->sessionId << " failed: " << e.what();
+      std::scoped_lock lock(rec->mutex);
+      ValueMap err;
+      err["error"] = Value(std::string(e.what()));
+      rec->result = Value(std::move(err));
+    }
+    bool sendDone = false;
+    {
+      std::scoped_lock lock(rec->mutex);
+      rec->roleFinished = true;
+      sendDone = !rec->unlinked;
+    }
+    if (sendDone) {
+      DoneMsg done;
+      done.sessionId = rec->sessionId;
+      done.memberName = rec->memberName;
+      {
+        std::scoped_lock lock(rec->mutex);
+        done.result = rec->result;
+      }
+      try {
+        reply(rec->initiatorReply, done);
+      } catch (const Error& e) {
+        DAPPLE_LOG(kWarn, kLog) << d.name() << ": DONE send failed: "
+                                << e.what();
+      }
+      std::scoped_lock lock(mutex);
+      ++stats.sessionsCompleted;
+    }
+    maybeCleanup(rec);
+  }
+
+  void onUnlink(const UnlinkMsg& m) {
+    std::shared_ptr<SessionContext::Record> rec;
+    {
+      std::scoped_lock lock(mutex);
+      const auto it = sessions.find(m.sessionId);
+      if (it == sessions.end()) return;
+      rec = it->second;
+      ++stats.sessionsUnlinked;
+    }
+    {
+      std::scoped_lock lock(rec->mutex);
+      rec->unlinked = true;
+    }
+    rec->stopSource.request_stop();
+    // Wake any role blocked on a session inbox.
+    for (const auto& [name, box] : rec->inboxes) box->close();
+    maybeCleanup(rec);
+  }
+
+  /// Destroys the session's ports and forgets it once both (a) it has been
+  /// unlinked or its role finished, and (b) no role thread can still touch
+  /// the ports.
+  void maybeCleanup(const std::shared_ptr<SessionContext::Record>& rec) {
+    {
+      std::scoped_lock lock(rec->mutex);
+      const bool roleDone = rec->roleFinished || !rec->started;
+      if (!(rec->unlinked && roleDone)) return;
+    }
+    std::scoped_lock lock(mutex);
+    if (sessions.erase(rec->sessionId) == 0) return;  // already cleaned
+    for (const auto& [name, box] : rec->inboxes) d.destroyInbox(*box);
+    for (const auto& [name, box] : rec->outboxes) {
+      if (box != nullptr) d.destroyOutbox(*box);
+    }
+    interference.release(rec->sessionId);
+    DAPPLE_LOG(kDebug, kLog) << d.name() << ": session " << rec->sessionId
+                             << " unlinked";
+  }
+};
+
+SessionAgent::SessionAgent(Dapplet& dapplet, Config config)
+    : impl_(std::make_shared<Impl>(dapplet, std::move(config))) {
+  impl_->control = &dapplet.createInbox(kSessionControlInbox);
+  auto impl = impl_;
+  dapplet.spawn([impl](std::stop_token stop) {
+    try {
+      impl->run(stop);
+    } catch (...) {
+      std::scoped_lock lock(impl->mutex);
+      impl->loopDone = true;
+      impl->loopExited.notify_all();
+      throw;
+    }
+    std::scoped_lock lock(impl->mutex);
+    impl->loopDone = true;
+    impl->loopExited.notify_all();
+  });
+}
+
+SessionAgent::~SessionAgent() {
+  // Close the control inbox so the dispatch loop exits, then wait for it;
+  // role threads hold their own shared_ptr to Impl and finish on their own.
+  try {
+    impl_->d.destroyInbox(kSessionControlInbox);
+  } catch (const Error&) {
+    // Dapplet already stopped.
+  }
+  std::unique_lock lock(impl_->mutex);
+  impl_->loopExited.wait_for(lock, seconds(5),
+                             [&] { return impl_->loopDone; });
+}
+
+void SessionAgent::registerApp(const std::string& app, RoleFn role) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->roles[app] = std::move(role);
+}
+
+InboxRef SessionAgent::controlRef() const { return impl_->control->ref(); }
+
+InterferenceGuard& SessionAgent::guard() { return impl_->interference; }
+
+std::vector<std::string> SessionAgent::activeSessions() const {
+  std::scoped_lock lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->sessions.size());
+  for (const auto& [id, rec] : impl_->sessions) out.push_back(id);
+  return out;
+}
+
+SessionAgent::Stats SessionAgent::stats() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace dapple

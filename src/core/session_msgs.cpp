@@ -1,0 +1,186 @@
+#include "dapple/core/session_msgs.hpp"
+
+namespace dapple {
+
+namespace wiredetail {
+
+void encodeStrings(TextWriter& w, const std::vector<std::string>& v) {
+  w.beginList(v.size());
+  for (const std::string& s : v) w.writeString(s);
+}
+
+std::vector<std::string> decodeStrings(TextReader& r) {
+  const std::size_t n = r.beginList();
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(r.readString());
+  return out;
+}
+
+void encodeRefMap(TextWriter& w, const std::map<std::string, InboxRef>& m) {
+  w.beginMap(m.size());
+  for (const auto& [name, ref] : m) {
+    w.writeString(name);
+    ref.encode(w);
+  }
+}
+
+std::map<std::string, InboxRef> decodeRefMap(TextReader& r) {
+  const std::size_t n = r.beginMap();
+  std::map<std::string, InboxRef> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string name = r.readString();
+    out.emplace(std::move(name), InboxRef::decode(r));
+  }
+  return out;
+}
+
+namespace {
+
+void encodeBindings(TextWriter& w, const std::vector<Binding>& bindings) {
+  w.beginList(bindings.size());
+  for (const Binding& b : bindings) {
+    w.writeString(b.outboxName);
+    w.beginList(b.targets.size());
+    for (const InboxRef& ref : b.targets) ref.encode(w);
+  }
+}
+
+std::vector<Binding> decodeBindings(TextReader& r) {
+  const std::size_t n = r.beginList();
+  std::vector<Binding> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Binding b;
+    b.outboxName = r.readString();
+    const std::size_t t = r.beginList();
+    b.targets.reserve(t);
+    for (std::size_t j = 0; j < t; ++j) b.targets.push_back(InboxRef::decode(r));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace wiredetail
+
+using namespace wiredetail;
+
+void InviteMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(app);
+  w.writeString(initiatorName);
+  w.writeString(memberName);
+  replyTo.encode(w);
+  encodeStrings(w, inboxesToCreate);
+  encodeStrings(w, readKeys);
+  encodeStrings(w, writeKeys);
+  params.encode(w);
+}
+
+void InviteMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  app = r.readString();
+  initiatorName = r.readString();
+  memberName = r.readString();
+  replyTo = InboxRef::decode(r);
+  inboxesToCreate = decodeStrings(r);
+  readKeys = decodeStrings(r);
+  writeKeys = decodeStrings(r);
+  params = Value::decode(r);
+}
+
+void InviteReplyMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  w.writeBool(accepted);
+  w.writeString(reason);
+  encodeRefMap(w, inboxRefs);
+}
+
+void InviteReplyMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  accepted = r.readBool();
+  reason = r.readString();
+  inboxRefs = decodeRefMap(r);
+}
+
+void WireMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  encodeBindings(w, bindings);
+}
+
+void WireMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  bindings = decodeBindings(r);
+}
+
+void WireReplyMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  w.writeBool(ok);
+  w.writeString(reason);
+}
+
+void WireReplyMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  ok = r.readBool();
+  reason = r.readString();
+}
+
+void StartMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  encodeStrings(w, peers);
+  params.encode(w);
+}
+
+void StartMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  peers = decodeStrings(r);
+  params = Value::decode(r);
+}
+
+void DoneMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  result.encode(w);
+}
+
+void DoneMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  result = Value::decode(r);
+}
+
+void UnlinkMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(reason);
+}
+
+void UnlinkMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  reason = r.readString();
+}
+
+void UnbindMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  wiredetail::encodeBindings(w, bindings);
+}
+
+void UnbindMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  bindings = wiredetail::decodeBindings(r);
+}
+
+DAPPLE_REGISTER_MESSAGE(InviteMsg)
+DAPPLE_REGISTER_MESSAGE(InviteReplyMsg)
+DAPPLE_REGISTER_MESSAGE(WireMsg)
+DAPPLE_REGISTER_MESSAGE(WireReplyMsg)
+DAPPLE_REGISTER_MESSAGE(StartMsg)
+DAPPLE_REGISTER_MESSAGE(DoneMsg)
+DAPPLE_REGISTER_MESSAGE(UnlinkMsg)
+DAPPLE_REGISTER_MESSAGE(UnbindMsg)
+
+}  // namespace dapple

@@ -1,0 +1,154 @@
+#include "dapple/core/state.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dapple {
+
+StateStore::StateStore(std::string filePath) : filePath_(std::move(filePath)) {
+  if (!filePath_.empty() && std::filesystem::exists(filePath_)) {
+    load();
+  }
+}
+
+Value StateStore::get(const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) throw StateError("state: missing key '" + key + "'");
+  return it->second;
+}
+
+Value StateStore::getOr(const std::string& key, Value fallback) const {
+  std::scoped_lock lock(mutex_);
+  const auto it = data_.find(key);
+  return it == data_.end() ? std::move(fallback) : it->second;
+}
+
+void StateStore::put(const std::string& key, Value value) {
+  std::scoped_lock lock(mutex_);
+  data_[key] = std::move(value);
+  saveLocked();
+}
+
+bool StateStore::has(const std::string& key) const {
+  std::scoped_lock lock(mutex_);
+  return data_.count(key) != 0;
+}
+
+void StateStore::erase(const std::string& key) {
+  std::scoped_lock lock(mutex_);
+  data_.erase(key);
+  saveLocked();
+}
+
+std::vector<std::string> StateStore::keys() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(data_.size());
+  for (const auto& [key, value] : data_) out.push_back(key);
+  return out;
+}
+
+void StateStore::save() const {
+  std::scoped_lock lock(mutex_);
+  saveLocked();
+}
+
+void StateStore::saveLocked() const {
+  if (filePath_.empty()) return;
+  // Write-then-rename so a crash mid-save never corrupts the store.
+  const std::string tmp = filePath_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw StateError("state: cannot write '" + tmp + "'");
+    out << Value(data_).toWire();
+  }
+  std::filesystem::rename(tmp, filePath_);
+}
+
+void StateStore::load() {
+  std::scoped_lock lock(mutex_);
+  std::ifstream in(filePath_, std::ios::binary);
+  if (!in) throw StateError("state: cannot read '" + filePath_ + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  data_ = Value::fromWire(buf.str()).asMap();
+}
+
+bool AccessSets::interferesWith(const AccessSets& other) const {
+  const auto intersects = [](const std::set<std::string>& a,
+                             const std::set<std::string>& b) {
+    // Walk the smaller set.
+    const auto& small = a.size() <= b.size() ? a : b;
+    const auto& large = a.size() <= b.size() ? b : a;
+    return std::any_of(small.begin(), small.end(), [&large](const auto& k) {
+      return large.count(k) != 0;
+    });
+  };
+  // One session's writes against the other's reads or writes, both ways.
+  return intersects(writes, other.writes) || intersects(writes, other.reads) ||
+         intersects(reads, other.writes);
+}
+
+bool InterferenceGuard::tryClaim(const std::string& sessionId,
+                                 AccessSets sets) {
+  std::scoped_lock lock(mutex_);
+  for (const auto& [liveId, liveSets] : active_) {
+    if (liveId == sessionId) continue;  // re-claim by the same session
+    if (sets.interferesWith(liveSets)) return false;
+  }
+  active_[sessionId] = std::move(sets);
+  return true;
+}
+
+void InterferenceGuard::release(const std::string& sessionId) {
+  std::scoped_lock lock(mutex_);
+  active_.erase(sessionId);
+}
+
+std::vector<std::string> InterferenceGuard::active() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(active_.size());
+  for (const auto& [id, sets] : active_) out.push_back(id);
+  return out;
+}
+
+void StateView::checkRead(const std::string& key) const {
+  if (sets_.reads.count(key) == 0 && sets_.writes.count(key) == 0) {
+    throw StateError("session view: key '" + key + "' is outside this "
+                     "session's read set");
+  }
+}
+
+void StateView::checkWrite(const std::string& key) const {
+  if (sets_.writes.count(key) == 0) {
+    throw StateError("session view: key '" + key + "' is outside this "
+                     "session's write set");
+  }
+}
+
+Value StateView::get(const std::string& key) const {
+  checkRead(key);
+  return store_.get(key);
+}
+
+Value StateView::getOr(const std::string& key, Value fallback) const {
+  checkRead(key);
+  return store_.getOr(key, std::move(fallback));
+}
+
+void StateView::put(const std::string& key, Value value) {
+  checkWrite(key);
+  store_.put(key, std::move(value));
+}
+
+bool StateView::has(const std::string& key) const {
+  checkRead(key);
+  return store_.has(key);
+}
+
+}  // namespace dapple

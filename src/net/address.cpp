@@ -1,0 +1,50 @@
+#include "dapple/net/address.hpp"
+
+#include <charconv>
+
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+std::string NodeAddress::toString() const {
+  std::string out;
+  out.reserve(21);
+  out += std::to_string((host >> 24) & 0xff);
+  out += '.';
+  out += std::to_string((host >> 16) & 0xff);
+  out += '.';
+  out += std::to_string((host >> 8) & 0xff);
+  out += '.';
+  out += std::to_string(host & 0xff);
+  out += ':';
+  out += std::to_string(port);
+  return out;
+}
+
+NodeAddress NodeAddress::parse(std::string_view text) {
+  const auto bad = [&] {
+    throw AddressError("malformed address '" + std::string(text) + "'");
+  };
+  NodeAddress addr;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  std::uint32_t host = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned value = 256;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value > 255) bad();
+    host = (host << 8) | value;
+    p = next;
+    const char expect = octet < 3 ? '.' : ':';
+    if (p >= end || *p != expect) bad();
+    ++p;
+  }
+  unsigned port = 0;
+  auto [next, ec] = std::from_chars(p, end, port);
+  if (ec != std::errc{} || port > 0xffff || next != end) bad();
+  addr.host = host;
+  addr.port = static_cast<std::uint16_t>(port);
+  return addr;
+}
+
+}  // namespace dapple

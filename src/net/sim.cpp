@@ -1,0 +1,297 @@
+#include "dapple/net/sim.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dapple/util/error.hpp"
+#include "dapple/util/log.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "sim";
+
+using HostPair = std::pair<std::uint32_t, std::uint32_t>;
+}  // namespace
+
+/// Endpoint attached to a SimNetwork.  Delivery is serialized through the
+/// per-endpoint mutex so close() can guarantee no handler runs afterwards.
+class SimNetwork::EndpointImpl final
+    : public Endpoint,
+      public std::enable_shared_from_this<SimNetwork::EndpointImpl> {
+ public:
+  EndpointImpl(Impl& net, NodeAddress addr) : net_(net), addr_(addr) {}
+
+  NodeAddress address() const override { return addr_; }
+
+  void send(const NodeAddress& dst, std::string payload) override;
+
+  void setHandler(Handler handler) override {
+    std::scoped_lock lock(mutex_);
+    handler_ = std::move(handler);
+  }
+
+  void close() override;
+
+  /// Called by the delivery thread.  Holds the endpoint mutex across the
+  /// handler call so close() can guarantee no invocation after it returns.
+  /// The handler may call send() on this same endpoint (e.g. to ACK):
+  /// send() deliberately takes no endpoint lock (closed_ is atomic).
+  void deliver(const NodeAddress& src, std::string payload) {
+    std::scoped_lock lock(mutex_);
+    if (closed_.load(std::memory_order_acquire) || !handler_) return;
+    handler_(src, std::move(payload));
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+ private:
+  Impl& net_;
+  const NodeAddress addr_;
+  mutable std::mutex mutex_;
+  Handler handler_;
+  std::atomic<bool> closed_{false};
+};
+
+struct SimNetwork::Impl {
+  explicit Impl(std::uint64_t seed, double scale)
+      : rootRng(seed), timeScale(scale) {}
+
+  // ---- shared state, guarded by `mutex` -------------------------------
+  mutable std::mutex mutex;
+  std::condition_variable_any wake;
+  std::condition_variable quiescent;
+
+  std::unordered_map<NodeAddress, std::weak_ptr<EndpointImpl>> endpoints;
+  std::unordered_map<std::uint32_t, std::uint16_t> nextPort;
+
+  LinkParams defaultLink;
+  std::map<HostPair, LinkParams> hostLinks;
+  std::set<HostPair> partitions;
+  std::map<HostPair, Rng> linkRngs;
+  Rng rootRng;
+
+  struct Event {
+    TimePoint due;
+    std::uint64_t seq;
+    NodeAddress src;
+    NodeAddress dst;
+    std::string payload;
+    bool operator>(const Event& other) const {
+      return std::tie(due, seq) > std::tie(other.due, other.seq);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  std::uint64_t nextSeq = 0;
+
+  Stats stats;
+  double timeScale;
+
+  // The delivery thread is last so it is destroyed (joined) first.
+  std::jthread worker;
+
+  // ---------------------------------------------------------------------
+
+  Rng& linkRng(HostPair key) {
+    auto it = linkRngs.find(key);
+    if (it == linkRngs.end()) {
+      it = linkRngs.emplace(key, rootRng.split()).first;
+    }
+    return it->second;
+  }
+
+  const LinkParams& linkParams(HostPair key) const {
+    const auto it = hostLinks.find(key);
+    return it == hostLinks.end() ? defaultLink : it->second;
+  }
+
+  void route(const NodeAddress& src, const NodeAddress& dst,
+             std::string payload) {
+    std::scoped_lock lock(mutex);
+    ++stats.sent;
+    const HostPair key{src.host, dst.host};
+    if (partitions.count(normalized(key)) != 0) {
+      ++stats.dropped;
+      return;
+    }
+    Rng& rng = linkRng(key);
+    const LinkParams& link = linkParams(key);
+    if (rng.chance(link.lossProb)) {
+      ++stats.dropped;
+      DAPPLE_LOG(kTrace, kLog) << "drop " << src.toString() << " -> "
+                               << dst.toString();
+      return;
+    }
+    const int copies = rng.chance(link.dupProb) ? 2 : 1;
+    if (copies == 2) ++stats.duplicated;
+    for (int i = 0; i < copies; ++i) {
+      const auto jitterUs =
+          link.jitter.count() > 0
+              ? static_cast<std::int64_t>(rng.below(
+                    static_cast<std::uint64_t>(link.jitter.count())))
+              : 0;
+      const double delayUs =
+          static_cast<double>(link.delay.count() + jitterUs) * timeScale;
+      Event ev;
+      ev.due = Clock::now() + microseconds(static_cast<std::int64_t>(delayUs));
+      ev.seq = nextSeq++;
+      ev.src = src;
+      ev.dst = dst;
+      ev.payload = payload;
+      queue.push(std::move(ev));
+    }
+    wake.notify_all();
+  }
+
+  static HostPair normalized(HostPair key) {
+    return key.first <= key.second ? key
+                                   : HostPair{key.second, key.first};
+  }
+
+  void run(std::stop_token stop) {
+    std::unique_lock lock(mutex);
+    while (!stop.stop_requested()) {
+      if (queue.empty()) {
+        quiescent.notify_all();
+        wake.wait(lock, stop, [this] { return !queue.empty(); });
+        if (stop.stop_requested()) break;
+        continue;
+      }
+      const TimePoint due = queue.top().due;
+      const TimePoint now = Clock::now();
+      if (due > now) {
+        wake.wait_until(lock, stop, due, [this, due] {
+          return !queue.empty() && queue.top().due < due;
+        });
+        continue;
+      }
+      // Collect all due events plus their target endpoints under the lock,
+      // then deliver without it so handlers may send.
+      std::vector<std::pair<Event, std::shared_ptr<EndpointImpl>>> ready;
+      while (!queue.empty() && queue.top().due <= now) {
+        Event ev = queue.top();
+        queue.pop();
+        std::shared_ptr<EndpointImpl> target;
+        const auto it = endpoints.find(ev.dst);
+        if (it != endpoints.end()) target = it->second.lock();
+        if (target) {
+          ++stats.delivered;
+        } else {
+          ++stats.undeliverable;
+        }
+        ready.emplace_back(std::move(ev), std::move(target));
+      }
+      lock.unlock();
+      for (auto& [ev, target] : ready) {
+        if (target) target->deliver(ev.src, std::move(ev.payload));
+      }
+      lock.lock();
+    }
+  }
+};
+
+void SimNetwork::EndpointImpl::send(const NodeAddress& dst,
+                                    std::string payload) {
+  // Lock-free closed check: send() may run from inside deliver()'s handler
+  // (ACKs), which already holds the endpoint mutex.
+  if (closed_.load(std::memory_order_acquire)) return;
+  net_.route(addr_, dst, std::move(payload));
+}
+
+void SimNetwork::EndpointImpl::close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    // Barrier: wait out any handler currently running in deliver().
+    std::scoped_lock lock(mutex_);
+    handler_ = nullptr;
+  }
+  std::scoped_lock netLock(net_.mutex);
+  net_.endpoints.erase(addr_);
+}
+
+SimNetwork::SimNetwork(std::uint64_t seed, double timeScale)
+    : impl_(std::make_unique<Impl>(seed, timeScale)) {
+  impl_->worker =
+      std::jthread([this](std::stop_token stop) { impl_->run(stop); });
+}
+
+SimNetwork::~SimNetwork() {
+  impl_->worker.request_stop();
+  impl_->wake.notify_all();
+}
+
+std::shared_ptr<Endpoint> SimNetwork::open(std::uint16_t port) {
+  return openAt(1, port);
+}
+
+std::shared_ptr<Endpoint> SimNetwork::openAt(std::uint32_t host,
+                                             std::uint16_t port) {
+  std::scoped_lock lock(impl_->mutex);
+  if (port == 0) {
+    std::uint16_t& next = impl_->nextPort[host];
+    if (next == 0) next = 1024;
+    while (impl_->endpoints.count(NodeAddress{host, next}) != 0) ++next;
+    port = next++;
+  } else if (impl_->endpoints.count(NodeAddress{host, port}) != 0) {
+    throw AddressError("sim port " + std::to_string(port) +
+                       " already in use on host " + std::to_string(host));
+  }
+  const NodeAddress addr{host, port};
+  auto ep = std::make_shared<EndpointImpl>(*impl_, addr);
+  impl_->endpoints[addr] = ep;
+  return ep;
+}
+
+void SimNetwork::setDefaultLink(const LinkParams& params) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->defaultLink = params;
+}
+
+void SimNetwork::setHostLink(std::uint32_t srcHost, std::uint32_t dstHost,
+                             const LinkParams& params) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->hostLinks[{srcHost, dstHost}] = params;
+}
+
+void SimNetwork::setHostLinkBetween(std::uint32_t hostA, std::uint32_t hostB,
+                                    const LinkParams& params) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->hostLinks[{hostA, hostB}] = params;
+  impl_->hostLinks[{hostB, hostA}] = params;
+}
+
+void SimNetwork::setPartition(std::uint32_t hostA, std::uint32_t hostB,
+                              bool partitioned) {
+  std::scoped_lock lock(impl_->mutex);
+  const HostPair key = Impl::normalized({hostA, hostB});
+  if (partitioned) {
+    impl_->partitions.insert(key);
+  } else {
+    impl_->partitions.erase(key);
+  }
+}
+
+SimNetwork::Stats SimNetwork::stats() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->stats;
+}
+
+std::size_t SimNetwork::inFlight() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->queue.size();
+}
+
+bool SimNetwork::awaitQuiescent(Duration timeout) {
+  std::unique_lock lock(impl_->mutex);
+  return impl_->quiescent.wait_for(lock, timeout,
+                                   [this] { return impl_->queue.empty(); });
+}
+
+}  // namespace dapple

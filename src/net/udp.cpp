@@ -1,0 +1,167 @@
+#include "dapple/net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dapple/util/error.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+
+constexpr const char* kLog = "udp";
+constexpr std::size_t kMaxDatagram = 65507;  // UDP/IPv4 payload limit
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw NetworkError(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in toSockaddr(const NodeAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  sa.sin_addr.s_addr = htonl(addr.host);
+  return sa;
+}
+
+NodeAddress fromSockaddr(const sockaddr_in& sa) {
+  return NodeAddress{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+class UdpNetwork::EndpointImpl final : public Endpoint {
+ public:
+  explicit EndpointImpl(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd_ < 0) throwErrno("socket");
+    sockaddr_in bindAddr{};
+    bindAddr.sin_family = AF_INET;
+    bindAddr.sin_port = htons(port);
+    bindAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&bindAddr),
+               sizeof bindAddr) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      errno = err;
+      throwErrno("bind");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      const int err = errno;
+      ::close(fd_);
+      errno = err;
+      throwErrno("getsockname");
+    }
+    addr_ = fromSockaddr(bound);
+    // A short receive timeout lets the receiver thread poll its stop token.
+    timeval tv{};
+    tv.tv_sec = 0;
+    tv.tv_usec = 50'000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    receiver_ = std::jthread([this](std::stop_token stop) { run(stop); });
+  }
+
+  ~EndpointImpl() override { close(); }
+
+  NodeAddress address() const override { return addr_; }
+
+  void send(const NodeAddress& dst, std::string payload) override {
+    if (payload.size() > kMaxDatagram) {
+      throw NetworkError("datagram too large: " +
+                         std::to_string(payload.size()));
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return;
+    }
+    const sockaddr_in sa = toSockaddr(dst);
+    const ssize_t n =
+        ::sendto(fd_, payload.data(), payload.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+    if (n < 0) {
+      // UDP is fire-and-forget; transient errors are treated as loss, which
+      // the reliable layer above absorbs.
+      DAPPLE_LOG(kDebug, kLog)
+          << "sendto " << dst.toString() << " failed: " << std::strerror(errno);
+    }
+  }
+
+  void setHandler(Handler handler) override {
+    std::scoped_lock lock(mutex_);
+    handler_ = std::move(handler);
+  }
+
+  void close() override {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+      handler_ = nullptr;
+    }
+    receiver_.request_stop();
+    if (receiver_.joinable() &&
+        receiver_.get_id() != std::this_thread::get_id()) {
+      receiver_.join();
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  void run(std::stop_token stop) {
+    std::vector<char> buf(kMaxDatagram);
+    while (!stop.stop_requested()) {
+      sockaddr_in from{};
+      socklen_t fromLen = sizeof from;
+      const ssize_t n =
+          ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                     reinterpret_cast<sockaddr*>(&from), &fromLen);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        if (stop.stop_requested()) break;
+        DAPPLE_LOG(kDebug, kLog) << "recvfrom: " << std::strerror(errno);
+        continue;
+      }
+      Handler handler;
+      {
+        std::scoped_lock lock(mutex_);
+        if (closed_) break;
+        handler = handler_;
+      }
+      if (handler) {
+        handler(fromSockaddr(from),
+                std::string(buf.data(), static_cast<std::size_t>(n)));
+      }
+    }
+  }
+
+  int fd_ = -1;
+  NodeAddress addr_;
+  mutable std::mutex mutex_;
+  Handler handler_;
+  bool closed_ = false;
+  std::jthread receiver_;
+};
+
+UdpNetwork::UdpNetwork() = default;
+UdpNetwork::~UdpNetwork() = default;
+
+std::shared_ptr<Endpoint> UdpNetwork::open(std::uint16_t port) {
+  return std::make_shared<EndpointImpl>(port);
+}
+
+}  // namespace dapple

@@ -1,0 +1,357 @@
+#include "dapple/reliable/reliable.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dapple/serial/wire.hpp"
+#include "dapple/util/error.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+
+constexpr const char* kLog = "reliable";
+constexpr std::uint64_t kKindData = 0;
+constexpr std::uint64_t kKindAck = 1;
+constexpr std::size_t kMaxSack = 32;
+
+/// Key of a stream as seen from this endpoint: peer node + stream id.
+struct StreamKey {
+  NodeAddress peer;
+  std::uint64_t streamId;
+  friend bool operator==(const StreamKey&, const StreamKey&) = default;
+};
+
+struct StreamKeyHash {
+  std::size_t operator()(const StreamKey& k) const noexcept {
+    return std::hash<NodeAddress>{}(k.peer) ^
+           std::hash<std::uint64_t>{}(k.streamId * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+std::string encodeData(std::uint64_t streamId, std::uint64_t epoch,
+                       std::uint64_t seq, std::string_view payload) {
+  TextWriter w;
+  w.writeU64(kKindData);
+  w.writeU64(streamId);
+  w.writeU64(epoch);
+  w.writeU64(seq);
+  w.writeString(payload);
+  return std::move(w).str();
+}
+
+std::string encodeAck(std::uint64_t streamId, std::uint64_t epoch,
+                      std::uint64_t cumAck,
+                      const std::vector<std::uint64_t>& sacks) {
+  TextWriter w;
+  w.writeU64(kKindAck);
+  w.writeU64(streamId);
+  w.writeU64(epoch);
+  w.writeU64(cumAck);
+  w.beginList(sacks.size());
+  for (std::uint64_t s : sacks) w.writeU64(s);
+  return std::move(w).str();
+}
+
+}  // namespace
+
+struct ReliableEndpoint::Impl {
+  Impl(std::shared_ptr<Endpoint> rawEp, ReliableConfig config)
+      : raw(std::move(rawEp)), cfg(config) {}
+
+  std::shared_ptr<Endpoint> raw;
+  const ReliableConfig cfg;
+
+  mutable std::mutex mutex;
+  std::condition_variable flushed;
+
+  DeliverFn deliver;
+  FailFn onFailure;
+
+  /// Sender-side state per outgoing stream.
+  struct SendStream {
+    std::uint64_t epoch = 0;  ///< bumped by resetStream(); resyncs receiver
+    std::uint64_t nextSeq = 0;
+    bool failed = false;
+    std::string failReason;
+    struct Pending {
+      std::string frame;      // pre-encoded DATA frame
+      TimePoint firstSent;
+      TimePoint nextResend;
+      Duration backoff;
+    };
+    std::map<std::uint64_t, Pending> pending;  // seq -> frame
+  };
+  std::unordered_map<StreamKey, SendStream, StreamKeyHash> sendStreams;
+
+  /// Receiver-side state per incoming stream.
+  struct RecvStream {
+    std::uint64_t epoch = 0;
+    std::uint64_t nextExpected = 0;
+    std::map<std::uint64_t, std::string> buffered;  // out-of-order frames
+  };
+  std::unordered_map<StreamKey, RecvStream, StreamKeyHash> recvStreams;
+
+  Stats stats;
+  bool closed = false;
+  std::jthread timer;
+
+  // ---------------------------------------------------------------------
+
+  bool anyPendingLocked() const {
+    for (const auto& [key, ss] : sendStreams) {
+      if (!ss.pending.empty() && !ss.failed) return true;
+    }
+    return false;
+  }
+
+  void onDatagram(const NodeAddress& src, std::string payload) {
+    TextReader r(payload);
+    std::uint64_t kind = 0;
+    std::uint64_t streamId = 0;
+    try {
+      kind = r.readU64();
+      streamId = r.readU64();
+      const std::uint64_t epoch = r.readU64();
+      if (kind == kKindData) {
+        const std::uint64_t seq = r.readU64();
+        std::string body = r.readString();
+        onData(src, streamId, epoch, seq, std::move(body));
+      } else if (kind == kKindAck) {
+        const std::uint64_t cumAck = r.readU64();
+        std::vector<std::uint64_t> sacks;
+        const std::size_t n = r.beginList();
+        sacks.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) sacks.push_back(r.readU64());
+        onAck(src, streamId, epoch, cumAck, sacks);
+      }
+    } catch (const SerializationError& e) {
+      DAPPLE_LOG(kDebug, kLog) << "malformed frame from " << src.toString()
+                               << ": " << e.what();
+    }
+  }
+
+  void onData(const NodeAddress& src, std::uint64_t streamId,
+              std::uint64_t epoch, std::uint64_t seq, std::string body) {
+    std::vector<std::pair<std::uint64_t, std::string>> deliverable;
+    std::string ackFrame;
+    DeliverFn deliverFn;
+    {
+      std::scoped_lock lock(mutex);
+      if (closed) return;
+      RecvStream& rs = recvStreams[StreamKey{src, streamId}];
+      if (epoch > rs.epoch) {
+        // The sender reset the stream (e.g. after a healed partition):
+        // abandon the old epoch's reassembly state and resynchronize.
+        rs = RecvStream{};
+        rs.epoch = epoch;
+      } else if (epoch < rs.epoch) {
+        return;  // stale frame from a pre-reset retransmission
+      }
+      if (seq < rs.nextExpected || rs.buffered.count(seq) != 0) {
+        ++stats.duplicates;
+      } else if (seq == rs.nextExpected) {
+        deliverable.emplace_back(seq, std::move(body));
+        ++rs.nextExpected;
+        // Drain any directly following buffered frames.
+        auto it = rs.buffered.begin();
+        while (it != rs.buffered.end() && it->first == rs.nextExpected) {
+          deliverable.emplace_back(it->first, std::move(it->second));
+          it = rs.buffered.erase(it);
+          ++rs.nextExpected;
+        }
+      } else {
+        rs.buffered.emplace(seq, std::move(body));
+        ++stats.outOfOrderBuffered;
+      }
+      // Acknowledge: cumulative plus up to kMaxSack buffered sequence
+      // numbers so the sender can stop retransmitting them.
+      std::vector<std::uint64_t> sacks;
+      for (const auto& [bufSeq, unused] : rs.buffered) {
+        sacks.push_back(bufSeq);
+        if (sacks.size() >= kMaxSack) break;
+      }
+      ackFrame = encodeAck(streamId, rs.epoch, rs.nextExpected, sacks);
+      ++stats.acksSent;
+      stats.delivered += deliverable.size();
+      deliverFn = deliver;
+    }
+    raw->send(src, std::move(ackFrame));
+    if (deliverFn) {
+      for (auto& [seq2, payload2] : deliverable) {
+        deliverFn(src, streamId, std::move(payload2));
+      }
+    }
+  }
+
+  void onAck(const NodeAddress& src, std::uint64_t streamId,
+             std::uint64_t epoch, std::uint64_t cumAck,
+             const std::vector<std::uint64_t>& sacks) {
+    std::scoped_lock lock(mutex);
+    const auto it = sendStreams.find(StreamKey{src, streamId});
+    if (it == sendStreams.end()) return;
+    SendStream& ss = it->second;
+    if (epoch != ss.epoch) return;  // ack for a previous epoch
+    // cumAck = receiver's nextExpected: everything below is delivered.
+    ss.pending.erase(ss.pending.begin(), ss.pending.lower_bound(cumAck));
+    for (std::uint64_t sack : sacks) ss.pending.erase(sack);
+    if (!anyPendingLocked()) flushed.notify_all();
+  }
+
+  void tick() {
+    std::vector<std::string> resend;
+    std::vector<std::tuple<NodeAddress, std::uint64_t, std::string>> failures;
+    std::vector<NodeAddress> resendDst;
+    FailFn failFn;
+    {
+      std::scoped_lock lock(mutex);
+      if (closed) return;
+      const TimePoint now = Clock::now();
+      for (auto& [key, ss] : sendStreams) {
+        if (ss.failed) continue;
+        for (auto& [seq, pending] : ss.pending) {
+          if (now - pending.firstSent > cfg.deliveryTimeout) {
+            ss.failed = true;
+            ss.failReason = "delivery timeout on stream " +
+                            std::to_string(key.streamId) + " to " +
+                            key.peer.toString() + " (seq " +
+                            std::to_string(seq) + ")";
+            ++stats.failures;
+            failures.emplace_back(key.peer, key.streamId, ss.failReason);
+            break;
+          }
+          if (now >= pending.nextResend) {
+            pending.backoff = std::min(pending.backoff * 2, cfg.maxRto);
+            pending.nextResend = now + pending.backoff;
+            resend.push_back(pending.frame);
+            resendDst.push_back(key.peer);
+            ++stats.retransmits;
+          }
+        }
+        if (ss.failed) {
+          ss.pending.clear();
+        }
+      }
+      if (!failures.empty() && !anyPendingLocked()) flushed.notify_all();
+      failFn = onFailure;
+    }
+    for (std::size_t i = 0; i < resend.size(); ++i) {
+      raw->send(resendDst[i], resend[i]);
+    }
+    if (failFn) {
+      for (const auto& [dst, streamId, reason] : failures) {
+        DAPPLE_LOG(kDebug, kLog) << "stream failed: " << reason;
+        failFn(dst, streamId, reason);
+      }
+    }
+  }
+
+  void runTimer(std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      std::this_thread::sleep_for(cfg.tickInterval);
+      tick();
+    }
+  }
+};
+
+ReliableEndpoint::ReliableEndpoint(std::shared_ptr<Endpoint> raw,
+                                   ReliableConfig config)
+    : impl_(std::make_unique<Impl>(std::move(raw), config)) {
+  impl_->raw->setHandler(
+      [impl = impl_.get()](const NodeAddress& src, std::string payload) {
+        impl->onDatagram(src, std::move(payload));
+      });
+  impl_->timer = std::jthread(
+      [impl = impl_.get()](std::stop_token stop) { impl->runTimer(stop); });
+}
+
+ReliableEndpoint::~ReliableEndpoint() { close(); }
+
+NodeAddress ReliableEndpoint::address() const { return impl_->raw->address(); }
+
+void ReliableEndpoint::setDeliver(DeliverFn fn) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->deliver = std::move(fn);
+}
+
+void ReliableEndpoint::setOnFailure(FailFn fn) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->onFailure = std::move(fn);
+}
+
+std::uint64_t ReliableEndpoint::send(const NodeAddress& dst,
+                                     std::uint64_t streamId,
+                                     std::string payload) {
+  std::string frame;
+  std::uint64_t seq = 0;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->closed) throw ShutdownError("reliable endpoint closed");
+    Impl::SendStream& ss =
+        impl_->sendStreams[StreamKey{dst, streamId}];
+    if (ss.failed) {
+      throw DeliveryError(ss.failReason.empty() ? "stream failed"
+                                                : ss.failReason);
+    }
+    seq = ss.nextSeq++;
+    frame = encodeData(streamId, ss.epoch, seq, payload);
+    Impl::SendStream::Pending pending;
+    pending.frame = frame;
+    pending.firstSent = Clock::now();
+    pending.backoff = impl_->cfg.rto;
+    pending.nextResend = pending.firstSent + pending.backoff;
+    ss.pending.emplace(seq, std::move(pending));
+    ++impl_->stats.dataSent;
+  }
+  // Transmit outside the lock: the raw endpoint has its own locking and a
+  // delivery thread that re-enters this class, so holding our mutex across
+  // raw->send would invert the lock order.
+  impl_->raw->send(dst, std::move(frame));
+  return seq;
+}
+
+bool ReliableEndpoint::flush(Duration timeout) {
+  std::unique_lock lock(impl_->mutex);
+  return impl_->flushed.wait_for(
+      lock, timeout, [this] { return !impl_->anyPendingLocked(); });
+}
+
+void ReliableEndpoint::resetStream(const NodeAddress& dst,
+                                   std::uint64_t streamId) {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->sendStreams.find(StreamKey{dst, streamId});
+  if (it != impl_->sendStreams.end()) {
+    it->second.failed = false;
+    it->second.failReason.clear();
+    it->second.pending.clear();
+    // New epoch: undelivered old-epoch frames are abandoned and the
+    // receiver resynchronizes from sequence 0.
+    ++it->second.epoch;
+    it->second.nextSeq = 0;
+  }
+}
+
+void ReliableEndpoint::close() {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->closed) return;
+    impl_->closed = true;
+  }
+  impl_->timer.request_stop();
+  if (impl_->timer.joinable()) impl_->timer.join();
+  impl_->raw->close();
+  impl_->flushed.notify_all();
+}
+
+ReliableEndpoint::Stats ReliableEndpoint::stats() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace dapple

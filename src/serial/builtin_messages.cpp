@@ -1,0 +1,15 @@
+// Registers the message types shipped with the serial library.
+//
+// Registration happens inside a function (called from
+// MessageRegistry::instance()) rather than via a file-scope static
+// registrar: this library is linked statically, and the linker would drop
+// an object file whose only contents are unreferenced static initializers.
+#include "dapple/serial/data_message.hpp"
+
+namespace dapple::detail {
+
+void registerBuiltinMessages(MessageRegistry& registry) {
+  registry.addType<DataMessage>();
+}
+
+}  // namespace dapple::detail

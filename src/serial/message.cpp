@@ -1,0 +1,74 @@
+#include "dapple/serial/message.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace dapple {
+
+namespace detail {
+void registerBuiltinMessages(MessageRegistry&);  // builtin_messages.cpp
+}
+
+struct MessageRegistry::Impl {
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, Factory> factories;
+};
+
+MessageRegistry& MessageRegistry::instance() {
+  static MessageRegistry registry;
+  static const bool builtinsOnce = [] {
+    detail::registerBuiltinMessages(registry);
+    return true;
+  }();
+  (void)builtinsOnce;
+  return registry;
+}
+
+MessageRegistry::Impl& MessageRegistry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+void MessageRegistry::add(std::string_view name, Factory factory) {
+  Impl& i = impl();
+  std::scoped_lock lock(i.mutex);
+  i.factories.emplace(std::string(name), std::move(factory));
+}
+
+std::unique_ptr<Message> MessageRegistry::create(std::string_view name) const {
+  const Impl& i = impl();
+  std::scoped_lock lock(i.mutex);
+  const auto it = i.factories.find(std::string(name));
+  if (it == i.factories.end()) {
+    throw SerializationError("unknown message type '" + std::string(name) +
+                             "'");
+  }
+  return it->second();
+}
+
+bool MessageRegistry::knows(std::string_view name) const {
+  const Impl& i = impl();
+  std::scoped_lock lock(i.mutex);
+  return i.factories.count(std::string(name)) != 0;
+}
+
+std::string encodeMessage(const Message& msg) {
+  TextWriter w;
+  w.writeString(msg.typeName());
+  msg.encodeFields(w);
+  return std::move(w).str();
+}
+
+std::unique_ptr<Message> decodeMessage(std::string_view wire) {
+  TextReader r(wire);
+  const std::string name = r.readString();
+  std::unique_ptr<Message> msg = MessageRegistry::instance().create(name);
+  msg->decodeFields(r);
+  if (!r.atEnd()) {
+    throw SerializationError("trailing wire data after message '" + name +
+                             "'");
+  }
+  return msg;
+}
+
+}  // namespace dapple

@@ -1,0 +1,88 @@
+#include "dapple/serial/value.hpp"
+
+namespace dapple {
+
+const Value& Value::at(const std::string& key) const {
+  const auto& m = asMap();
+  const auto it = m.find(key);
+  if (it == m.end()) throw StateError("Value: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return isMap() && asMap().count(key) != 0;
+}
+
+void Value::encode(TextWriter& w) const {
+  if (isNull()) {
+    w.writeNull();
+  } else if (isBool()) {
+    w.writeBool(asBool());
+  } else if (isInt()) {
+    w.writeI64(asInt());
+  } else if (isDouble()) {
+    w.writeF64(std::get<double>(data_));
+  } else if (isString()) {
+    w.writeString(asString());
+  } else if (isList()) {
+    const auto& list = asList();
+    w.beginList(list.size());
+    for (const Value& v : list) v.encode(w);
+  } else {
+    const auto& map = asMap();
+    w.beginMap(map.size());
+    for (const auto& [key, value] : map) {
+      w.writeString(key);
+      value.encode(w);
+    }
+  }
+}
+
+Value Value::decode(TextReader& r) {
+  switch (r.peek()) {
+    case 'n':
+      r.readNull();
+      return Value();
+    case 'b':
+      return Value(r.readBool());
+    case 'i':
+      return Value(static_cast<long long>(r.readI64()));
+    case 'd':
+      return Value(r.readF64());
+    case 's':
+      return Value(r.readString());
+    case 'l': {
+      const std::size_t count = r.beginList();
+      ValueList list;
+      list.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) list.push_back(decode(r));
+      return Value(std::move(list));
+    }
+    case 'm': {
+      const std::size_t count = r.beginMap();
+      ValueMap map;
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string key = r.readString();
+        map.emplace(std::move(key), decode(r));
+      }
+      return Value(std::move(map));
+    }
+    default:
+      throw SerializationError("Value: unknown wire tag");
+  }
+}
+
+std::string Value::toWire() const {
+  TextWriter w;
+  encode(w);
+  return std::move(w).str();
+}
+
+Value Value::fromWire(std::string_view wire) {
+  TextReader r(wire);
+  Value v = decode(r);
+  if (!r.atEnd()) throw SerializationError("Value: trailing wire data");
+  return v;
+}
+
+}  // namespace dapple

@@ -1,0 +1,157 @@
+#include "dapple/serial/wire.hpp"
+
+#include <charconv>
+#include <system_error>
+
+namespace dapple {
+
+void TextWriter::sep() {
+  if (!out_.empty()) out_.push_back(' ');
+}
+
+void TextWriter::writeI64(std::int64_t v) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.push_back('i');
+  out_.append(buf, ptr);
+}
+
+void TextWriter::writeU64(std::uint64_t v) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.push_back('u');
+  out_.append(buf, ptr);
+}
+
+void TextWriter::writeF64(double v) {
+  sep();
+  char buf[40];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  out_.push_back('d');
+  out_.append(buf, ptr);
+}
+
+void TextWriter::writeBool(bool v) {
+  sep();
+  out_.append(v ? "b1" : "b0");
+}
+
+void TextWriter::writeString(std::string_view v) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v.size());
+  out_.push_back('s');
+  out_.append(buf, ptr);
+  out_.push_back(':');
+  out_.append(v);
+}
+
+void TextWriter::writeNull() {
+  sep();
+  out_.push_back('n');
+}
+
+void TextWriter::beginList(std::size_t count) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, count);
+  out_.push_back('l');
+  out_.append(buf, ptr);
+}
+
+void TextWriter::beginMap(std::size_t count) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, count);
+  out_.push_back('m');
+  out_.append(buf, ptr);
+}
+
+void TextReader::fail(const std::string& what) const {
+  throw SerializationError("wire: " + what + " at offset " +
+                           std::to_string(pos_));
+}
+
+char TextReader::peek() const {
+  std::size_t p = pos_;
+  while (p < wire_.size() && wire_[p] == ' ') ++p;
+  return p < wire_.size() ? wire_[p] : '\0';
+}
+
+char TextReader::take() {
+  while (pos_ < wire_.size() && wire_[pos_] == ' ') ++pos_;
+  if (pos_ >= wire_.size()) fail("unexpected end of input");
+  return wire_[pos_++];
+}
+
+namespace {
+
+// Scans a number immediately following a tag character.
+template <typename T>
+T parseNumber(std::string_view wire, std::size_t& pos,
+              const TextReader& reader, const char* what) {
+  T value{};
+  auto [ptr, ec] =
+      std::from_chars(wire.data() + pos, wire.data() + wire.size(), value);
+  if (ec != std::errc{}) {
+    throw SerializationError(std::string("wire: bad ") + what + " at offset " +
+                             std::to_string(pos));
+  }
+  (void)reader;
+  pos = static_cast<std::size_t>(ptr - wire.data());
+  return value;
+}
+
+}  // namespace
+
+std::int64_t TextReader::readI64() {
+  if (take() != 'i') fail("expected i64 token");
+  return parseNumber<std::int64_t>(wire_, pos_, *this, "i64");
+}
+
+std::uint64_t TextReader::readU64() {
+  if (take() != 'u') fail("expected u64 token");
+  return parseNumber<std::uint64_t>(wire_, pos_, *this, "u64");
+}
+
+double TextReader::readF64() {
+  if (take() != 'd') fail("expected f64 token");
+  return parseNumber<double>(wire_, pos_, *this, "f64");
+}
+
+bool TextReader::readBool() {
+  if (take() != 'b') fail("expected bool token");
+  const char c = take();
+  if (c == '0') return false;
+  if (c == '1') return true;
+  fail("bad bool value");
+}
+
+std::string TextReader::readString() {
+  if (take() != 's') fail("expected string token");
+  const auto len = parseNumber<std::size_t>(wire_, pos_, *this, "string len");
+  if (pos_ >= wire_.size() || wire_[pos_] != ':') fail("expected ':'");
+  ++pos_;
+  if (wire_.size() - pos_ < len) fail("truncated string payload");
+  std::string out(wire_.substr(pos_, len));
+  pos_ += len;
+  return out;
+}
+
+void TextReader::readNull() {
+  if (take() != 'n') fail("expected null token");
+}
+
+std::size_t TextReader::beginList() {
+  if (take() != 'l') fail("expected list token");
+  return parseNumber<std::size_t>(wire_, pos_, *this, "list count");
+}
+
+std::size_t TextReader::beginMap() {
+  if (take() != 'm') fail("expected map token");
+  return parseNumber<std::size_t>(wire_, pos_, *this, "map count");
+}
+
+}  // namespace dapple

@@ -1,0 +1,52 @@
+#include "dapple/services/clocks/vector_clock.hpp"
+
+namespace dapple {
+
+VectorClock::Order VectorClock::compare(const VectorClock& other) const {
+  bool someLess = false;   // a component where *this < other
+  bool someMore = false;   // a component where *this > other
+  // Union of keys: missing components are zero.
+  auto itA = counts_.begin();
+  auto itB = other.counts_.begin();
+  while (itA != counts_.end() || itB != other.counts_.end()) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (itB == other.counts_.end() ||
+        (itA != counts_.end() && itA->first < itB->first)) {
+      a = itA->second;
+      ++itA;
+    } else if (itA == counts_.end() || itB->first < itA->first) {
+      b = itB->second;
+      ++itB;
+    } else {
+      a = itA->second;
+      b = itB->second;
+      ++itA;
+      ++itB;
+    }
+    if (a < b) someLess = true;
+    if (a > b) someMore = true;
+  }
+  if (someLess && someMore) return Order::kConcurrent;
+  if (someLess) return Order::kBefore;
+  if (someMore) return Order::kAfter;
+  return Order::kEqual;
+}
+
+Value VectorClock::toValue() const {
+  ValueMap map;
+  for (const auto& [name, count] : counts_) {
+    map[name] = Value(static_cast<long long>(count));
+  }
+  return Value(std::move(map));
+}
+
+VectorClock VectorClock::fromValue(const Value& value) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const auto& [name, count] : value.asMap()) {
+    counts[name] = static_cast<std::uint64_t>(count.asInt());
+  }
+  return VectorClock(std::move(counts));
+}
+
+}  // namespace dapple

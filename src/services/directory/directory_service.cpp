@@ -1,0 +1,181 @@
+#include "dapple/services/directory/directory_service.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "dirsvc";
+}
+
+struct DirectoryServer::Impl {
+  explicit Impl(Dapplet& dapplet) : server(dapplet, "directory.rpc") {}
+
+  RpcServer server;
+
+  mutable std::mutex mutex;
+  struct Entry {
+    InboxRef ref;
+    std::uint64_t lease = 0;
+    TimePoint expiresAt;
+  };
+  std::map<std::string, Entry> entries;
+  std::uint64_t nextLease = 1;
+
+  void expireLocked(TimePoint now) {
+    for (auto it = entries.begin(); it != entries.end();) {
+      if (it->second.expiresAt <= now) {
+        DAPPLE_LOG(kDebug, kLog) << "lease expired for '" << it->first << "'";
+        it = entries.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void bindMethods() {
+    server.bind("register", [this](const Value& args) {
+      const std::string name = args.at("name").asString();
+      const InboxRef ref = inboxRefFromValue(args.at("ref"));
+      const auto ttlMs = args.at("ttlMs").asInt();
+      std::scoped_lock lock(mutex);
+      const TimePoint now = Clock::now();
+      expireLocked(now);
+      Entry entry;
+      entry.ref = ref;
+      entry.lease = nextLease++;
+      entry.expiresAt = now + milliseconds(ttlMs);
+      entries[name] = entry;
+      return Value(static_cast<long long>(entry.lease));
+    });
+    server.bind("refresh", [this](const Value& args) {
+      const std::string name = args.at("name").asString();
+      const auto lease = static_cast<std::uint64_t>(
+          args.at("lease").asInt());
+      const auto ttlMs = args.at("ttlMs").asInt();
+      std::scoped_lock lock(mutex);
+      const TimePoint now = Clock::now();
+      expireLocked(now);
+      const auto it = entries.find(name);
+      if (it == entries.end() || it->second.lease != lease) {
+        return Value(false);
+      }
+      it->second.expiresAt = now + milliseconds(ttlMs);
+      return Value(true);
+    });
+    server.bind("lookup", [this](const Value& args) -> Value {
+      const std::string name = args.at("name").asString();
+      std::scoped_lock lock(mutex);
+      expireLocked(Clock::now());
+      const auto it = entries.find(name);
+      if (it == entries.end()) {
+        throw AddressError("directory: no entry for '" + name + "'");
+      }
+      return inboxRefToValue(it->second.ref);
+    });
+    server.bind("unregister", [this](const Value& args) {
+      const std::string name = args.at("name").asString();
+      const auto lease = static_cast<std::uint64_t>(
+          args.at("lease").asInt());
+      std::scoped_lock lock(mutex);
+      const auto it = entries.find(name);
+      if (it == entries.end() || it->second.lease != lease) {
+        return Value(false);
+      }
+      entries.erase(it);
+      return Value(true);
+    });
+    server.bind("list", [this](const Value& args) {
+      const std::string prefix = args.at("prefix").asString();
+      std::scoped_lock lock(mutex);
+      expireLocked(Clock::now());
+      ValueMap out;
+      for (const auto& [name, entry] : entries) {
+        if (name.compare(0, prefix.size(), prefix) == 0) {
+          out[name] = inboxRefToValue(entry.ref);
+        }
+      }
+      return Value(std::move(out));
+    });
+  }
+};
+
+DirectoryServer::DirectoryServer(Dapplet& dapplet)
+    : impl_(std::make_shared<Impl>(dapplet)) {
+  impl_->bindMethods();
+}
+
+DirectoryServer::~DirectoryServer() = default;
+
+InboxRef DirectoryServer::ref() const { return impl_->server.ref(); }
+
+std::size_t DirectoryServer::size() const {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->expireLocked(Clock::now());
+  return impl_->entries.size();
+}
+
+void DirectoryServer::expireNow() {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->expireLocked(Clock::now());
+}
+
+DirectoryClient::DirectoryClient(Dapplet& dapplet, InboxRef server)
+    : rpc_(dapplet, std::move(server)) {}
+
+std::uint64_t DirectoryClient::registerName(const std::string& name,
+                                            const InboxRef& ref,
+                                            Duration ttl) {
+  ValueMap args;
+  args["name"] = Value(name);
+  args["ref"] = inboxRefToValue(ref);
+  args["ttlMs"] = Value(static_cast<long long>(
+      std::chrono::duration_cast<milliseconds>(ttl).count()));
+  return static_cast<std::uint64_t>(
+      rpc_.call("register", Value(std::move(args))).asInt());
+}
+
+bool DirectoryClient::refresh(const std::string& name, std::uint64_t lease) {
+  ValueMap args;
+  args["name"] = Value(name);
+  args["lease"] = Value(static_cast<long long>(lease));
+  args["ttlMs"] = Value(static_cast<long long>(
+      DirectoryServer::kDefaultTtlMs));
+  return rpc_.call("refresh", Value(std::move(args))).asBool();
+}
+
+InboxRef DirectoryClient::lookup(const std::string& name) {
+  ValueMap args;
+  args["name"] = Value(name);
+  try {
+    return inboxRefFromValue(rpc_.call("lookup", Value(std::move(args))));
+  } catch (const TimeoutError&) {
+    throw;
+  } catch (const Error& e) {
+    throw AddressError(e.what());
+  }
+}
+
+bool DirectoryClient::unregister(const std::string& name,
+                                 std::uint64_t lease) {
+  ValueMap args;
+  args["name"] = Value(name);
+  args["lease"] = Value(static_cast<long long>(lease));
+  return rpc_.call("unregister", Value(std::move(args))).asBool();
+}
+
+Directory DirectoryClient::list(const std::string& prefix) {
+  ValueMap args;
+  args["prefix"] = Value(prefix);
+  const Value entries = rpc_.call("list", Value(std::move(args)));
+  Directory dir;
+  for (const auto& [name, ref] : entries.asMap()) {
+    dir.put(name, inboxRefFromValue(ref));
+  }
+  return dir;
+}
+
+}  // namespace dapple

@@ -1,0 +1,311 @@
+#include "dapple/services/sync/distributed.hpp"
+
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "dsync";
+
+constexpr const char* kArrive = "bar.arrive";
+constexpr const char* kRelease = "bar.release";
+
+constexpr const char* kPropose = "sav.propose";
+constexpr const char* kValue = "sav.value";
+constexpr const char* kReject = "sav.reject";
+}  // namespace
+
+// ===========================================================================
+// DistributedBarrier
+// ===========================================================================
+
+struct DistributedBarrier::Impl {
+  Impl(Dapplet& dapplet, std::string barrierName)
+      : d(dapplet), name(std::move(barrierName)) {}
+
+  Dapplet& d;
+  const std::string name;
+  Inbox* inbox = nullptr;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool loopDone = false;
+
+  bool attached = false;
+  std::size_t selfIndex = 0;
+  std::vector<Outbox*> peers;
+
+  // Member side.
+  std::uint64_t nextGeneration = 0;   ///< generation of the next arrive
+  std::uint64_t releasedThrough = 0;  ///< highest released generation + 1
+
+  // Coordinator side (selfIndex == 0).
+  std::map<std::uint64_t, std::size_t> arrivals;  // generation -> count
+
+  void dispatch(const Delivery& del) {
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr) return;
+    std::scoped_lock lock(mutex);
+    if (msg->kind() == kArrive && selfIndex == 0) {
+      const auto gen = static_cast<std::uint64_t>(msg->get("gen").asInt());
+      if (++arrivals[gen] == peers.size()) {
+        arrivals.erase(gen);
+        DataMessage release(kRelease);
+        release.set("gen", Value(static_cast<long long>(gen)));
+        for (Outbox* box : peers) box->send(release);
+      }
+    } else if (msg->kind() == kRelease) {
+      const auto gen = static_cast<std::uint64_t>(msg->get("gen").asInt());
+      if (gen + 1 > releasedThrough) {
+        releasedThrough = gen + 1;
+        cv.notify_all();
+      }
+    }
+  }
+
+  void run(std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      Delivery del = inbox->receive();
+      dispatch(del);
+    }
+  }
+};
+
+DistributedBarrier::DistributedBarrier(Dapplet& dapplet,
+                                       const std::string& name)
+    : impl_(std::make_shared<Impl>(dapplet, name)) {
+  impl_->inbox = &dapplet.createInbox("bar." + name);
+  auto impl = impl_;
+  dapplet.spawn([impl](std::stop_token stop) {
+    try {
+      impl->run(stop);
+    } catch (...) {
+      std::scoped_lock lock(impl->mutex);
+      impl->loopDone = true;
+      impl->cv.notify_all();
+      throw;
+    }
+    std::scoped_lock lock(impl->mutex);
+    impl->loopDone = true;
+    impl->cv.notify_all();
+  });
+}
+
+DistributedBarrier::~DistributedBarrier() {
+  try {
+    impl_->d.destroyInbox(*impl_->inbox);
+  } catch (const Error&) {
+  }
+  std::unique_lock lock(impl_->mutex);
+  impl_->cv.wait_for(lock, seconds(5), [&] { return impl_->loopDone; });
+}
+
+InboxRef DistributedBarrier::ref() const { return impl_->inbox->ref(); }
+
+void DistributedBarrier::attach(const std::vector<InboxRef>& members,
+                                std::size_t selfIndex) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->selfIndex = selfIndex;
+  if (selfIndex == 0) {
+    // Coordinator keeps an outbox to every member for RELEASE broadcast.
+    impl_->peers.resize(members.size(), nullptr);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      Outbox& box = impl_->d.createOutbox();
+      box.add(members[i]);
+      impl_->peers[i] = &box;
+    }
+  } else {
+    // Plain members only talk to the coordinator.
+    impl_->peers.resize(1, nullptr);
+    Outbox& box = impl_->d.createOutbox();
+    box.add(members[0]);
+    impl_->peers[0] = &box;
+  }
+  impl_->attached = true;
+}
+
+std::uint64_t DistributedBarrier::arriveAndWait(Duration timeout) {
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->attached) throw SessionError("barrier not attached");
+  const std::uint64_t gen = impl_->nextGeneration++;
+  DataMessage arrive(kArrive);
+  arrive.set("gen", Value(static_cast<long long>(gen)));
+  arrive.set("idx", Value(static_cast<long long>(impl_->selfIndex)));
+  impl_->peers[0]->send(arrive);  // coordinator (possibly self, loop-back)
+  if (!impl_->cv.wait_for(lock, timeout, [&] {
+        return impl_->releasedThrough > gen || impl_->loopDone;
+      })) {
+    throw TimeoutError("distributed barrier '" + impl_->name +
+                       "' timed out at generation " + std::to_string(gen));
+  }
+  if (impl_->releasedThrough <= gen) {
+    throw ShutdownError("distributed barrier '" + impl_->name + "' stopped");
+  }
+  return gen;
+}
+
+// ===========================================================================
+// DistributedSingleAssignment
+// ===========================================================================
+
+struct DistributedSingleAssignment::Impl {
+  Impl(Dapplet& dapplet, std::string varName)
+      : d(dapplet), name(std::move(varName)) {}
+
+  Dapplet& d;
+  const std::string name;
+  Inbox* inbox = nullptr;
+
+  mutable std::mutex mutex;
+  mutable std::condition_variable cv;
+  bool loopDone = false;
+
+  bool attached = false;
+  std::size_t selfIndex = 0;
+  std::vector<Outbox*> peers;
+
+  std::optional<Value> value;
+
+  // Setter-side: outcome of our own proposal.
+  std::optional<bool> proposalWon;
+
+  // Owner side (selfIndex 0 is the serializer).
+  bool ownerAssigned = false;
+
+  void dispatch(const Delivery& del) {
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr) return;
+    std::scoped_lock lock(mutex);
+    if (msg->kind() == kPropose && selfIndex == 0) {
+      const auto from = static_cast<std::size_t>(msg->get("idx").asInt());
+      if (ownerAssigned) {
+        DataMessage reject(kReject);
+        peers.at(from)->send(reject);
+        return;
+      }
+      ownerAssigned = true;
+      DataMessage broadcast(kValue);
+      broadcast.set("value", msg->get("value"));
+      broadcast.set("winner", Value(static_cast<long long>(from)));
+      for (Outbox* box : peers) box->send(broadcast);
+    } else if (msg->kind() == kValue) {
+      if (!value) {
+        value.emplace(msg->get("value"));
+        const auto winner =
+            static_cast<std::size_t>(msg->get("winner").asInt());
+        if (winner == selfIndex && !proposalWon) proposalWon = true;
+        cv.notify_all();
+      }
+    } else if (msg->kind() == kReject) {
+      if (!proposalWon) {
+        proposalWon = false;
+        cv.notify_all();
+      }
+    }
+  }
+
+  void run(std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      Delivery del = inbox->receive();
+      dispatch(del);
+    }
+  }
+};
+
+DistributedSingleAssignment::DistributedSingleAssignment(
+    Dapplet& dapplet, const std::string& name)
+    : impl_(std::make_shared<Impl>(dapplet, name)) {
+  impl_->inbox = &dapplet.createInbox("sav." + name);
+  auto impl = impl_;
+  dapplet.spawn([impl](std::stop_token stop) {
+    try {
+      impl->run(stop);
+    } catch (...) {
+      std::scoped_lock lock(impl->mutex);
+      impl->loopDone = true;
+      impl->cv.notify_all();
+      throw;
+    }
+    std::scoped_lock lock(impl->mutex);
+    impl->loopDone = true;
+    impl->cv.notify_all();
+  });
+}
+
+DistributedSingleAssignment::~DistributedSingleAssignment() {
+  try {
+    impl_->d.destroyInbox(*impl_->inbox);
+  } catch (const Error&) {
+  }
+  std::unique_lock lock(impl_->mutex);
+  impl_->cv.wait_for(lock, seconds(5), [&] { return impl_->loopDone; });
+}
+
+InboxRef DistributedSingleAssignment::ref() const {
+  return impl_->inbox->ref();
+}
+
+void DistributedSingleAssignment::attach(const std::vector<InboxRef>& members,
+                                         std::size_t selfIndex) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->selfIndex = selfIndex;
+  if (selfIndex == 0) {
+    impl_->peers.resize(members.size(), nullptr);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      Outbox& box = impl_->d.createOutbox();
+      box.add(members[i]);
+      impl_->peers[i] = &box;
+    }
+  } else {
+    impl_->peers.resize(1, nullptr);
+    Outbox& box = impl_->d.createOutbox();
+    box.add(members[0]);
+    impl_->peers[0] = &box;
+  }
+  impl_->attached = true;
+}
+
+bool DistributedSingleAssignment::set(const Value& value) {
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->attached) throw SessionError("variable not attached");
+  impl_->proposalWon.reset();
+  DataMessage propose(kPropose);
+  propose.set("idx", Value(static_cast<long long>(impl_->selfIndex)));
+  propose.set("value", value);
+  impl_->peers[0]->send(propose);
+  if (!impl_->cv.wait_for(lock, seconds(30), [&] {
+        return impl_->proposalWon.has_value() || impl_->loopDone;
+      })) {
+    throw TimeoutError("single-assignment set timed out");
+  }
+  if (!impl_->proposalWon) {
+    throw ShutdownError("single-assignment '" + impl_->name + "' stopped");
+  }
+  return *impl_->proposalWon;
+}
+
+Value DistributedSingleAssignment::get(Duration timeout) const {
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->cv.wait_for(lock, timeout, [&] {
+        return impl_->value.has_value() || impl_->loopDone;
+      })) {
+    throw TimeoutError("single-assignment '" + impl_->name +
+                       "' get timed out");
+  }
+  if (!impl_->value) {
+    throw ShutdownError("single-assignment '" + impl_->name + "' stopped");
+  }
+  return *impl_->value;
+}
+
+bool DistributedSingleAssignment::isSet() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->value.has_value();
+}
+
+}  // namespace dapple

@@ -1,0 +1,604 @@
+#include "dapple/services/tokens/token_manager.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <set>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+
+constexpr const char* kLog = "tokens";
+
+// Message kinds.
+constexpr const char* kReq = "tok.req";
+constexpr const char* kGrant = "tok.grant";
+constexpr const char* kErr = "tok.err";
+constexpr const char* kRel = "tok.rel";
+constexpr const char* kCancel = "tok.cancel";
+constexpr const char* kProbe = "tok.probe";        // member -> home
+constexpr const char* kProbeFwd = "tok.probe.fwd"; // home -> holder
+constexpr const char* kTotalQ = "tok.total.q";
+constexpr const char* kTotalA = "tok.total.a";
+
+std::uint64_t colorHash(const TokenColor& color) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (unsigned char c : color) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+struct TokenManager::Impl {
+  Impl(Dapplet& dapplet, TokenConfig config) : d(dapplet), cfg(config) {}
+
+  Dapplet& d;
+  const TokenConfig cfg;
+  Inbox* inbox = nullptr;
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool loopDone = false;
+
+  bool attached = false;
+  std::size_t selfIndex = 0;
+  std::vector<Outbox*> peers;  // index-aligned; self slot used too (loop-back)
+
+  // ---- home-side state (for colours homed at this member) ---------------
+  struct HomeColor {
+    std::int64_t total = 0;  ///< conservation constant
+    std::int64_t free = 0;
+    std::map<std::size_t, std::int64_t> holders;  ///< member -> held count
+    struct Waiter {
+      std::uint64_t ts;
+      std::size_t from;
+      std::int64_t count;
+      std::string reqId;
+      friend bool operator<(const Waiter& a, const Waiter& b) {
+        // Earlier timestamp first; ties to the lower member id (§4.2).
+        return std::tie(a.ts, a.from) < std::tie(b.ts, b.from);
+      }
+    };
+    std::vector<Waiter> waitQ;  // kept sorted
+  };
+  std::map<TokenColor, HomeColor> homed;
+
+  // ---- member-side state --------------------------------------------------
+  TokenBag held;  ///< the paper's holdsTokens
+
+  struct PendingRequest {
+    std::string reqId;
+    std::uint64_t ts = 0;
+    // colour -> requested count (kAllTokens allowed)
+    std::map<TokenColor, std::int64_t> wants;
+    // colour -> granted count (present once granted)
+    std::map<TokenColor, std::int64_t> granted;
+    bool deadlocked = false;
+    std::string error;
+    TimePoint startedAt;
+    TimePoint nextProbe;
+  };
+  std::optional<PendingRequest> pending;
+  std::uint64_t nextReqSerial = 1;
+
+  // Probe dedup: (origin, reqId) pairs already forwarded.
+  std::set<std::pair<std::size_t, std::string>> probesSeen;
+
+  // totalTokens() bookkeeping.
+  std::uint64_t nextQuerySerial = 1;
+  struct TotalQuery {
+    std::size_t repliesPending = 0;
+    TokenBag totals;
+  };
+  std::map<std::uint64_t, TotalQuery> totalQueries;
+
+  Stats stats;
+
+  // -----------------------------------------------------------------------
+
+  void sendTo(std::size_t index, const DataMessage& msg) {
+    peers.at(index)->send(msg);
+  }
+
+  std::size_t homeOf(const TokenColor& color) const {
+    return static_cast<std::size_t>(colorHash(color) % peers.size());
+  }
+
+  // ---- home logic ---------------------------------------------------------
+
+  void grantLocked(HomeColor& home, const TokenColor& color,
+                   const HomeColor::Waiter& waiter) {
+    home.free -= waiter.count;
+    home.holders[waiter.from] += waiter.count;
+    DataMessage grant(kGrant);
+    grant.set("reqId", Value(waiter.reqId));
+    grant.set("color", Value(color));
+    grant.set("count", Value(static_cast<long long>(waiter.count)));
+    sendTo(waiter.from, grant);
+    ++stats.grantsIssued;
+  }
+
+  void serveWaitQLocked(const TokenColor& color, HomeColor& home) {
+    // Strict earliest-first service: granting out of order would starve
+    // earlier large requests behind later small ones.
+    while (!home.waitQ.empty() && home.waitQ.front().count <= home.free) {
+      grantLocked(home, color, home.waitQ.front());
+      home.waitQ.erase(home.waitQ.begin());
+    }
+  }
+
+  void onReq(const DataMessage& msg) {
+    const std::string reqId = msg.get("reqId").asString();
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    const auto ts = static_cast<std::uint64_t>(msg.get("ts").asInt());
+    const TokenColor color = msg.get("color").asString();
+    auto count = msg.get("count").asInt();
+
+    std::scoped_lock lock(mutex);
+    const auto it = homed.find(color);
+    if (it == homed.end()) {
+      DataMessage err(kErr);
+      err.set("reqId", Value(reqId));
+      err.set("color", Value(color));
+      err.set("reason", Value("unknown token color '" + color + "'"));
+      sendTo(from, err);
+      return;
+    }
+    HomeColor& home = it->second;
+    if (count == TokenRequest::kAllTokens) count = home.total;
+    if (count < 0 || count > home.total) {
+      DataMessage err(kErr);
+      err.set("reqId", Value(reqId));
+      err.set("color", Value(color));
+      err.set("reason",
+              Value("request for " + std::to_string(count) + " of '" + color +
+                    "' exceeds the system total " +
+                    std::to_string(home.total)));
+      sendTo(from, err);
+      return;
+    }
+    HomeColor::Waiter waiter{ts, from, count, reqId};
+    home.waitQ.insert(
+        std::upper_bound(home.waitQ.begin(), home.waitQ.end(), waiter),
+        waiter);
+    serveWaitQLocked(color, home);
+  }
+
+  void onRel(const DataMessage& msg) {
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    const TokenColor color = msg.get("color").asString();
+    const auto count = msg.get("count").asInt();
+    std::scoped_lock lock(mutex);
+    const auto it = homed.find(color);
+    if (it == homed.end()) return;
+    HomeColor& home = it->second;
+    home.free += count;
+    auto& heldByFrom = home.holders[from];
+    heldByFrom -= count;
+    if (heldByFrom < 0) {
+      DAPPLE_LOG(kWarn, kLog) << "home " << selfIndex
+                              << ": negative holding for member " << from
+                              << " colour " << color;
+      heldByFrom = 0;
+    }
+    ++stats.releasesServed;
+    serveWaitQLocked(color, home);
+  }
+
+  void onCancel(const DataMessage& msg) {
+    const std::string reqId = msg.get("reqId").asString();
+    const TokenColor color = msg.get("color").asString();
+    std::scoped_lock lock(mutex);
+    const auto it = homed.find(color);
+    if (it == homed.end()) return;
+    std::erase_if(it->second.waitQ, [&](const HomeColor::Waiter& w) {
+      return w.reqId == reqId;
+    });
+  }
+
+  void onProbe(const DataMessage& msg) {
+    // Home side: fan the probe out to the colour's current holders.
+    const auto origin = static_cast<std::size_t>(msg.get("origin").asInt());
+    const std::string reqId = msg.get("reqId").asString();
+    const TokenColor color = msg.get("color").asString();
+    std::scoped_lock lock(mutex);
+    const auto it = homed.find(color);
+    if (it == homed.end()) return;
+    for (const auto& [holder, count] : it->second.holders) {
+      if (count <= 0) continue;
+      DataMessage fwd(kProbeFwd);
+      fwd.set("origin", Value(static_cast<long long>(origin)));
+      fwd.set("reqId", Value(reqId));
+      sendTo(holder, fwd);
+      ++stats.probesForwarded;
+    }
+  }
+
+  void onProbeFwd(const DataMessage& msg) {
+    const auto origin = static_cast<std::size_t>(msg.get("origin").asInt());
+    const std::string reqId = msg.get("reqId").asString();
+    std::scoped_lock lock(mutex);
+    if (origin == selfIndex) {
+      // The probe came back: a hold-and-wait cycle through this member's
+      // request exists.  Validate that the request is still blocked — a
+      // stale probe may return after the final grant arrived but before
+      // the requesting thread woke up, which is NOT a deadlock.
+      if (pending && pending->reqId == reqId && !pending->deadlocked &&
+          pending->granted.size() < pending->wants.size()) {
+        pending->deadlocked = true;
+        cv.notify_all();
+      }
+      return;
+    }
+    if (!pending) return;  // not blocked: the chain breaks here
+    if (!probesSeen.emplace(origin, reqId).second) return;  // already sent
+    if (probesSeen.size() > 4096) probesSeen.clear();       // bound memory
+    for (const auto& [color, want] : pending->wants) {
+      if (pending->granted.count(color) != 0) continue;  // satisfied colour
+      DataMessage probe(kProbe);
+      probe.set("origin", Value(static_cast<long long>(origin)));
+      probe.set("reqId", Value(reqId));
+      probe.set("color", Value(color));
+      sendTo(homeOf(color), probe);
+      ++stats.probesForwarded;
+    }
+  }
+
+  void onGrant(const DataMessage& msg) {
+    const std::string reqId = msg.get("reqId").asString();
+    const TokenColor color = msg.get("color").asString();
+    const auto count = msg.get("count").asInt();
+    std::scoped_lock lock(mutex);
+    if (!pending || pending->reqId != reqId) {
+      // Grant for an aborted request: hand the tokens straight back.
+      DataMessage rel(kRel);
+      rel.set("from", Value(static_cast<long long>(selfIndex)));
+      rel.set("color", Value(color));
+      rel.set("count", Value(static_cast<long long>(count)));
+      sendTo(homeOf(color), rel);
+      return;
+    }
+    pending->granted[color] = count;
+    cv.notify_all();
+  }
+
+  void onErr(const DataMessage& msg) {
+    const std::string reqId = msg.get("reqId").asString();
+    std::scoped_lock lock(mutex);
+    if (!pending || pending->reqId != reqId) return;
+    pending->error = msg.get("reason").asString();
+    cv.notify_all();
+  }
+
+  void onTotalQ(const DataMessage& msg) {
+    const auto qid = static_cast<std::uint64_t>(msg.get("qid").asInt());
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    DataMessage reply(kTotalA);
+    reply.set("qid", Value(static_cast<long long>(qid)));
+    std::scoped_lock lock(mutex);
+    ValueMap colors;
+    for (const auto& [color, home] : homed) {
+      std::int64_t heldSum = 0;
+      for (const auto& [holder, count] : home.holders) heldSum += count;
+      ValueMap entry;
+      entry["total"] = Value(static_cast<long long>(home.total));
+      entry["free"] = Value(static_cast<long long>(home.free));
+      entry["held"] = Value(static_cast<long long>(heldSum));
+      colors[color] = Value(std::move(entry));
+    }
+    reply.set("colors", Value(std::move(colors)));
+    sendTo(from, reply);
+  }
+
+  void onTotalA(const DataMessage& msg) {
+    const auto qid = static_cast<std::uint64_t>(msg.get("qid").asInt());
+    std::scoped_lock lock(mutex);
+    const auto it = totalQueries.find(qid);
+    if (it == totalQueries.end()) return;
+    for (const auto& [color, entry] : msg.get("colors").asMap()) {
+      it->second.totals[color] = entry.at("total").asInt();
+    }
+    if (--it->second.repliesPending == 0) cv.notify_all();
+  }
+
+  void dispatch(const Delivery& del) {
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg == nullptr) return;
+    const std::string& kind = msg->kind();
+    if (kind == kReq) {
+      onReq(*msg);
+    } else if (kind == kGrant) {
+      onGrant(*msg);
+    } else if (kind == kErr) {
+      onErr(*msg);
+    } else if (kind == kRel) {
+      onRel(*msg);
+    } else if (kind == kCancel) {
+      onCancel(*msg);
+    } else if (kind == kProbe) {
+      onProbe(*msg);
+    } else if (kind == kProbeFwd) {
+      onProbeFwd(*msg);
+    } else if (kind == kTotalQ) {
+      onTotalQ(*msg);
+    } else if (kind == kTotalA) {
+      onTotalA(*msg);
+    }
+  }
+
+  void run(std::stop_token stop) {
+    while (!stop.stop_requested()) {
+      Delivery del = inbox->receive();
+      try {
+        dispatch(del);
+      } catch (const ShutdownError&) {
+        throw;
+      } catch (const Error& e) {
+        DAPPLE_LOG(kWarn, kLog) << d.name() << ": token dispatch error: "
+                                << e.what();
+      }
+    }
+  }
+
+  // ---- requester-side helpers -------------------------------------------
+
+  void sendProbesLocked() {
+    for (const auto& [color, want] : pending->wants) {
+      if (pending->granted.count(color) != 0) continue;
+      DataMessage probe(kProbe);
+      probe.set("origin", Value(static_cast<long long>(selfIndex)));
+      probe.set("reqId", Value(pending->reqId));
+      probe.set("color", Value(color));
+      sendTo(homeOf(color), probe);
+      ++stats.probesSent;
+    }
+  }
+
+  /// Cancels outstanding colour requests and returns partial grants.
+  void abortPendingLocked() {
+    for (const auto& [color, want] : pending->wants) {
+      if (pending->granted.count(color) != 0) continue;
+      DataMessage cancel(kCancel);
+      cancel.set("reqId", Value(pending->reqId));
+      cancel.set("color", Value(color));
+      sendTo(homeOf(color), cancel);
+    }
+    for (const auto& [color, count] : pending->granted) {
+      DataMessage rel(kRel);
+      rel.set("from", Value(static_cast<long long>(selfIndex)));
+      rel.set("color", Value(color));
+      rel.set("count", Value(static_cast<long long>(count)));
+      sendTo(homeOf(color), rel);
+    }
+    pending.reset();
+  }
+};
+
+TokenManager::TokenManager(Dapplet& dapplet, TokenConfig config)
+    : impl_(std::make_shared<Impl>(dapplet, config)) {
+  impl_->inbox = &dapplet.createInbox("tokens.mgr");
+  auto impl = impl_;
+  dapplet.spawn([impl](std::stop_token stop) {
+    try {
+      impl->run(stop);
+    } catch (...) {
+      std::scoped_lock lock(impl->mutex);
+      impl->loopDone = true;
+      impl->cv.notify_all();
+      throw;
+    }
+    std::scoped_lock lock(impl->mutex);
+    impl->loopDone = true;
+    impl->cv.notify_all();
+  });
+}
+
+TokenManager::~TokenManager() {
+  try {
+    impl_->d.destroyInbox(*impl_->inbox);
+  } catch (const Error&) {
+  }
+  std::unique_lock lock(impl_->mutex);
+  impl_->cv.wait_for(lock, seconds(5), [&] { return impl_->loopDone; });
+}
+
+InboxRef TokenManager::ref() const { return impl_->inbox->ref(); }
+
+void TokenManager::attach(const std::vector<InboxRef>& managers,
+                          std::size_t selfIndex, const TokenBag& initial) {
+  std::scoped_lock lock(impl_->mutex);
+  if (impl_->attached) throw TokenError("token manager already attached");
+  impl_->selfIndex = selfIndex;
+  impl_->peers.resize(managers.size(), nullptr);
+  for (std::size_t i = 0; i < managers.size(); ++i) {
+    Outbox& box = impl_->d.createOutbox();
+    box.add(managers[i]);
+    impl_->peers[i] = &box;
+  }
+  for (const auto& [color, count] : initial) {
+    if (impl_->homeOf(color) != selfIndex) {
+      throw TokenError("colour '" + color + "' is homed at member " +
+                       std::to_string(impl_->homeOf(color)) +
+                       ", seed it there");
+    }
+    if (count < 0) throw TokenError("negative seed for '" + color + "'");
+    auto& home = impl_->homed[color];
+    home.total = count;
+    home.free = count;
+  }
+  impl_->attached = true;
+}
+
+std::size_t TokenManager::homeOf(const TokenColor& color) const {
+  std::scoped_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  return impl_->homeOf(color);
+}
+
+std::size_t TokenManager::homeOfColor(const TokenColor& color,
+                                      std::size_t memberCount) {
+  if (memberCount == 0) throw TokenError("empty member list");
+  return static_cast<std::size_t>(colorHash(color) % memberCount);
+}
+
+void TokenManager::request(const TokenList& wants, Duration timeout) {
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  if (impl_->pending) {
+    throw TokenError("a request is already outstanding on this manager");
+  }
+  if (wants.empty()) return;
+
+  Impl::PendingRequest req;
+  req.reqId = impl_->d.name() + "#" +
+              std::to_string(impl_->nextReqSerial++);
+  req.ts = impl_->d.clock().tick();
+  for (const TokenRequest& want : wants) {
+    if (want.count == 0) continue;
+    if (want.count < 0 && want.count != TokenRequest::kAllTokens) {
+      throw TokenError("invalid token count");
+    }
+    req.wants[want.color] += 0;  // ensure entry
+    auto& entry = req.wants[want.color];
+    if (want.count == TokenRequest::kAllTokens ||
+        entry == TokenRequest::kAllTokens) {
+      entry = TokenRequest::kAllTokens;
+    } else {
+      entry += want.count;
+    }
+  }
+  if (req.wants.empty()) return;
+  req.startedAt = Clock::now();
+  req.nextProbe = req.startedAt + impl_->cfg.probeDelay;
+  impl_->pending = std::move(req);
+
+  for (const auto& [color, count] : impl_->pending->wants) {
+    DataMessage msg(kReq);
+    msg.set("reqId", Value(impl_->pending->reqId));
+    msg.set("from", Value(static_cast<long long>(impl_->selfIndex)));
+    msg.set("ts", Value(static_cast<long long>(impl_->pending->ts)));
+    msg.set("color", Value(color));
+    msg.set("count", Value(static_cast<long long>(count)));
+    impl_->sendTo(impl_->homeOf(color), msg);
+  }
+
+  const TimePoint deadline = Clock::now() + timeout;
+  while (true) {
+    if (impl_->loopDone) {
+      impl_->abortPendingLocked();
+      throw ShutdownError("token manager stopped");
+    }
+    auto& p = *impl_->pending;
+    // Full grant wins over any concurrently-arrived verdict: if the
+    // tokens are all here, the request succeeded.
+    if (p.granted.size() == p.wants.size()) break;
+    if (!p.error.empty()) {
+      const std::string error = p.error;
+      impl_->abortPendingLocked();
+      throw TokenError(error);
+    }
+    if (p.deadlocked) {
+      ++impl_->stats.requestsDeadlocked;
+      impl_->abortPendingLocked();
+      throw DeadlockError(
+          "token managers detected a deadlock involving this request");
+    }
+    const TimePoint now = Clock::now();
+    if (now >= deadline) {
+      ++impl_->stats.requestsTimedOut;
+      impl_->abortPendingLocked();
+      throw TimeoutError("token request timed out");
+    }
+    if (now >= p.nextProbe) {
+      impl_->sendProbesLocked();
+      p.nextProbe = now + impl_->cfg.probeInterval;
+    }
+    impl_->cv.wait_until(lock, std::min(deadline, p.nextProbe));
+  }
+  for (const auto& [color, count] : impl_->pending->granted) {
+    impl_->held[color] += count;
+  }
+  ++impl_->stats.requestsGranted;
+  impl_->pending.reset();
+}
+
+void TokenManager::release(const TokenList& gives) {
+  std::scoped_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  // Validate first so the operation is all-or-nothing (paper: "if the
+  // tokens specified in tokenList are not in holdsTokens an exception is
+  // raised").
+  TokenBag toGive;
+  for (const TokenRequest& give : gives) {
+    if (give.count == TokenRequest::kAllTokens) {
+      const auto it = impl_->held.find(give.color);
+      toGive[give.color] += it == impl_->held.end() ? 0 : it->second;
+    } else if (give.count < 0) {
+      throw TokenError("invalid release count");
+    } else {
+      toGive[give.color] += give.count;
+    }
+  }
+  for (const auto& [color, count] : toGive) {
+    const auto it = impl_->held.find(color);
+    const std::int64_t have = it == impl_->held.end() ? 0 : it->second;
+    if (count > have) {
+      throw TokenError("release of " + std::to_string(count) + " '" + color +
+                       "' tokens but only " + std::to_string(have) +
+                       " are held");
+    }
+  }
+  for (const auto& [color, count] : toGive) {
+    if (count == 0) continue;
+    impl_->held[color] -= count;
+    if (impl_->held[color] == 0) impl_->held.erase(color);
+    DataMessage rel(kRel);
+    rel.set("from", Value(static_cast<long long>(impl_->selfIndex)));
+    rel.set("color", Value(color));
+    rel.set("count", Value(static_cast<long long>(count)));
+    impl_->sendTo(impl_->homeOf(color), rel);
+  }
+}
+
+TokenBag TokenManager::totalTokens(Duration timeout) {
+  std::unique_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  const std::uint64_t qid = impl_->nextQuerySerial++;
+  auto& query = impl_->totalQueries[qid];
+  query.repliesPending = impl_->peers.size();
+  DataMessage msg(kTotalQ);
+  msg.set("qid", Value(static_cast<long long>(qid)));
+  msg.set("from", Value(static_cast<long long>(impl_->selfIndex)));
+  for (std::size_t i = 0; i < impl_->peers.size(); ++i) {
+    impl_->sendTo(i, msg);
+  }
+  const bool done = impl_->cv.wait_for(lock, timeout, [&] {
+    return impl_->totalQueries.at(qid).repliesPending == 0 ||
+           impl_->loopDone;
+  }) && !impl_->loopDone;
+  TokenBag totals = std::move(impl_->totalQueries.at(qid).totals);
+  impl_->totalQueries.erase(qid);
+  if (!done) throw TimeoutError("totalTokens query timed out");
+  return totals;
+}
+
+TokenBag TokenManager::holdsTokens() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->held;
+}
+
+TokenManager::Stats TokenManager::stats() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace dapple

@@ -1,0 +1,77 @@
+#include "dapple/util/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace dapple::log {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::function<void(Level, std::string_view)>& sinkRef() {
+  static std::function<void(Level, std::string_view)> sink;
+  return sink;
+}
+
+const char* levelName(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+void defaultSink(Level lvl, std::string_view line) {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - start)
+                      .count();
+  std::fprintf(stderr, "[%9lld.%06llds %s] %.*s\n",
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), levelName(lvl),
+               static_cast<int>(line.size()), line.data());
+}
+
+}  // namespace
+
+Level level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void setLevel(Level lvl) noexcept {
+  g_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+void setSink(std::function<void(Level, std::string_view)> sink) {
+  std::scoped_lock lock(sinkMutex());
+  sinkRef() = std::move(sink);
+}
+
+void write(Level lvl, std::string_view component, std::string_view text) {
+  if (!enabled(lvl)) return;
+  std::string line;
+  line.reserve(component.size() + text.size() + 3);
+  line.append(component);
+  line.append(": ");
+  line.append(text);
+  std::scoped_lock lock(sinkMutex());
+  if (sinkRef()) {
+    sinkRef()(lvl, line);
+  } else {
+    defaultSink(lvl, line);
+  }
+}
+
+}  // namespace dapple::log

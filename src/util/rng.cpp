@@ -1,0 +1,13 @@
+#include "dapple/util/rng.hpp"
+
+#include <cmath>
+
+namespace dapple {
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  // Inverse-CDF sampling; 1 - u avoids log(0).
+  return -mean * std::log(1.0 - uniform01());
+}
+
+}  // namespace dapple

@@ -1,0 +1,331 @@
+// Tests for the example applications: the calendar protocols (flat,
+// hierarchical, sequential baseline) against a shared ground truth, the
+// token-protected design session, and the ring card game.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <memory>
+#include <set>
+
+#include "dapple/apps/calendar.hpp"
+#include "dapple/apps/cardgame.hpp"
+#include "dapple/apps/design.hpp"
+#include "dapple/net/sim.hpp"
+
+namespace dapple {
+namespace {
+
+using apps::CalendarBook;
+
+/// First day in [0, horizon) free for everyone — computed directly from
+/// the stores, as ground truth for every protocol variant.
+std::int64_t groundTruthDay(
+    const std::vector<std::unique_ptr<StateStore>>& stores,
+    std::int64_t horizon) {
+  for (std::int64_t day = 0; day < horizon; ++day) {
+    bool free = true;
+    for (const auto& store : stores) {
+      free = free && CalendarBook::isFree(*store, day);
+    }
+    if (free) return day;
+  }
+  return -1;
+}
+
+struct CalendarRig {
+  explicit CalendarRig(std::size_t n, double busyProb, std::uint64_t seed)
+      : net(seed) {
+    net.setDefaultLink(
+        LinkParams{microseconds(300), microseconds(200), 0.0, 0.0});
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      names.push_back("p" + std::to_string(i));
+      dapplets.push_back(std::make_unique<Dapplet>(net, names.back()));
+      stores.push_back(std::make_unique<StateStore>());
+      CalendarBook::populate(*stores.back(), rng, 40, busyProb);
+      SessionAgent::Config cfg;
+      cfg.store = stores.back().get();
+      agents.push_back(std::make_unique<SessionAgent>(*dapplets.back(), cfg));
+      apps::registerCalendarApp(*agents.back());
+      directory.put(names.back(), agents.back()->controlRef());
+    }
+    director = std::make_unique<Dapplet>(net, "director");
+    directorAgent = std::make_unique<SessionAgent>(*director);
+    apps::registerCalendarApp(*directorAgent);
+    directory.put("director", directorAgent->controlRef());
+  }
+
+  ~CalendarRig() {
+    agents.clear();
+    directorAgent.reset();
+    director->stop();
+    for (auto& d : dapplets) d->stop();
+  }
+
+  SimNetwork net;
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<StateStore>> stores;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  std::unique_ptr<Dapplet> director;
+  std::unique_ptr<SessionAgent> directorAgent;
+};
+
+TEST(CalendarBookTest, MaskAndBusyBookkeeping) {
+  StateStore store;
+  EXPECT_TRUE(CalendarBook::isFree(store, 5));
+  CalendarBook::markBusy(store, 5);
+  CalendarBook::markBusy(store, 7);
+  EXPECT_FALSE(CalendarBook::isFree(store, 5));
+  EXPECT_TRUE(CalendarBook::isFree(store, 6));
+  const apps::DayMask mask = CalendarBook::freeMask(store, 4, 5);
+  // Window [4,9): busy at 5 (bit 1) and 7 (bit 3).
+  EXPECT_EQ(mask, 0b10101u);
+  EXPECT_EQ(CalendarBook::busyCount(store), 2u);
+}
+
+TEST(CalendarBookTest, PopulateIsDeterministic) {
+  StateStore s1;
+  StateStore s2;
+  Rng r1(5);
+  Rng r2(5);
+  CalendarBook::populate(s1, r1, 30, 0.4);
+  CalendarBook::populate(s2, r2, 30, 0.4);
+  EXPECT_EQ(CalendarBook::freeMask(s1, 0, 30),
+            CalendarBook::freeMask(s2, 0, 30));
+}
+
+TEST(CalendarApp, FlatSessionFindsEarliestCommonDay) {
+  CalendarRig rig(5, 0.4, 901);
+  const std::int64_t truth = groundTruthDay(rig.stores, 40);
+  ASSERT_GE(truth, 0) << "test setup produced no common day";
+
+  Initiator initiator(*rig.director);
+  auto plan = apps::flatCalendarPlan(rig.directory, "director", rig.names,
+                                     0, 20, 4);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto done = initiator.awaitCompletion(result.sessionId, seconds(20));
+  auto outcome = apps::parseOutcome(done.at("director"));
+  ASSERT_TRUE(outcome.scheduled);
+  EXPECT_EQ(outcome.day, truth);
+  for (auto& store : rig.stores) {
+    EXPECT_FALSE(CalendarBook::isFree(*store, outcome.day))
+        << "member failed to book the confirmed day";
+  }
+  initiator.terminate(result.sessionId);
+}
+
+TEST(CalendarApp, HierarchicalSessionMatchesGroundTruth) {
+  CalendarRig rig(6, 0.45, 902);
+  const std::int64_t truth = groundTruthDay(rig.stores, 40);
+  ASSERT_GE(truth, 0);
+
+  // Sites of 2 members each; secretaries are extra store-less dapplets.
+  std::vector<std::unique_ptr<Dapplet>> secDapplets;
+  std::vector<std::unique_ptr<SessionAgent>> secAgents;
+  std::vector<apps::Site> sites;
+  for (int s = 0; s < 3; ++s) {
+    const std::string secName = "sec" + std::to_string(s);
+    secDapplets.push_back(std::make_unique<Dapplet>(rig.net, secName));
+    secAgents.push_back(std::make_unique<SessionAgent>(*secDapplets.back()));
+    apps::registerCalendarApp(*secAgents.back());
+    rig.directory.put(secName, secAgents.back()->controlRef());
+    sites.push_back(apps::Site{
+        secName, {rig.names[2 * s], rig.names[2 * s + 1]}});
+  }
+
+  Initiator initiator(*rig.director);
+  auto plan = apps::hierCalendarPlan(rig.directory, "director", sites, 0,
+                                     20, 4);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto done = initiator.awaitCompletion(result.sessionId, seconds(20));
+  auto outcome = apps::parseOutcome(done.at("director"));
+  ASSERT_TRUE(outcome.scheduled);
+  EXPECT_EQ(outcome.day, truth);
+  initiator.terminate(result.sessionId);
+  secAgents.clear();
+  for (auto& d : secDapplets) d->stop();
+}
+
+TEST(CalendarApp, SequentialBaselineAgreesWithSessionProtocol) {
+  CalendarRig rig(4, 0.4, 903);
+  const std::int64_t truth = groundTruthDay(rig.stores, 40);
+  ASSERT_GE(truth, 0);
+
+  std::vector<std::unique_ptr<apps::CalendarRpcMember>> rpc;
+  std::vector<InboxRef> refs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    rpc.push_back(std::make_unique<apps::CalendarRpcMember>(
+        *rig.dapplets[i], *rig.stores[i]));
+    refs.push_back(rpc.back()->ref());
+  }
+  apps::SequentialScheduler scheduler(*rig.director, refs);
+  auto outcome = scheduler.negotiate(0, 20, 4);
+  ASSERT_TRUE(outcome.scheduled);
+  EXPECT_EQ(outcome.day, truth);
+  // Sequential messaging: 2 messages per member per query plus confirms.
+  EXPECT_GE(outcome.messages, 2 * 4);
+}
+
+TEST(CalendarApp, SecondSessionSeesFirstSessionsBooking) {
+  // The paper's persistence requirement: the booked day must be busy for
+  // the *next* session over the same calendars.
+  CalendarRig rig(3, 0.0, 904);  // everyone free: day 0 gets booked
+  Initiator initiator(*rig.director);
+  auto plan = apps::flatCalendarPlan(rig.directory, "director", rig.names,
+                                     0, 10, 2);
+  auto r1 = initiator.establish(plan);
+  ASSERT_TRUE(r1.ok);
+  auto o1 = apps::parseOutcome(
+      initiator.awaitCompletion(r1.sessionId, seconds(20)).at("director"));
+  initiator.terminate(r1.sessionId);
+  ASSERT_TRUE(o1.scheduled);
+  EXPECT_EQ(o1.day, 0);
+
+  // Allow the members to finish unlinking before re-claiming state.
+  for (int i = 0; i < 200; ++i) {
+    bool allClear = true;
+    for (auto& agent : rig.agents) {
+      allClear = allClear && agent->activeSessions().empty();
+    }
+    if (allClear) break;
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+
+  auto r2 = initiator.establish(plan);
+  ASSERT_TRUE(r2.ok);
+  auto o2 = apps::parseOutcome(
+      initiator.awaitCompletion(r2.sessionId, seconds(20)).at("director"));
+  initiator.terminate(r2.sessionId);
+  ASSERT_TRUE(o2.scheduled);
+  EXPECT_EQ(o2.day, 1) << "second session must skip the day booked first";
+}
+
+TEST(CalendarApp, NoCommonDayReportsUnscheduled) {
+  CalendarRig rig(2, 0.0, 905);
+  // Make the calendars complementary over the whole horizon.
+  for (std::int64_t day = 0; day < 40; ++day) {
+    CalendarBook::markBusy(*rig.stores[day % 2], day);
+  }
+  Initiator initiator(*rig.director);
+  auto plan = apps::flatCalendarPlan(rig.directory, "director", rig.names,
+                                     0, 20, 2);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto outcome = apps::parseOutcome(
+      initiator.awaitCompletion(result.sessionId, seconds(20))
+          .at("director"));
+  EXPECT_FALSE(outcome.scheduled);
+  EXPECT_EQ(outcome.rounds, 2);
+  initiator.terminate(result.sessionId);
+}
+
+// ---------------------------------------------------------------------------
+// Design app
+// ---------------------------------------------------------------------------
+
+TEST(DesignApp, ReplicasConvergeAndWritesAreExclusive) {
+  SimNetwork net(906);
+  const std::vector<std::string> names = {"d0", "d1", "d2"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  for (const auto& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name));
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back()));
+    apps::registerDesignApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+
+  // Oracle: per-part writer/reader counters prove token exclusion.
+  constexpr std::size_t kParts = 4;
+  std::vector<std::atomic<int>> partWriters(kParts);
+  std::vector<std::atomic<int>> partReaders(kParts);
+  std::atomic<bool> violated{false};
+  apps::DesignOracle oracle;
+  oracle.onWriteStart = [&](std::size_t p) {
+    if (++partWriters[p] != 1 || partReaders[p] != 0) violated = true;
+  };
+  oracle.onWriteEnd = [&](std::size_t p) { --partWriters[p]; };
+  oracle.onReadStart = [&](std::size_t p) {
+    ++partReaders[p];
+    if (partWriters[p] != 0) violated = true;
+  };
+  oracle.onReadEnd = [&](std::size_t p) { --partReaders[p]; };
+  apps::setDesignOracle(oracle);
+
+  Dapplet lead(net, "lead");
+  Initiator initiator(lead);
+  auto plan = apps::designPlan(directory, names, kParts, 25, 40, 907);
+  plan.phaseTimeout = seconds(20);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto done = initiator.awaitCompletion(result.sessionId, seconds(60));
+  apps::clearDesignOracle();
+
+  EXPECT_FALSE(violated) << "token read/write protocol violated";
+  std::set<std::int64_t> checksums;
+  std::int64_t totalWrites = 0;
+  for (const auto& [member, value] : done) {
+    auto outcome = apps::parseDesignOutcome(value);
+    checksums.insert(outcome.finalChecksum);
+    totalWrites += outcome.writes;
+    EXPECT_EQ(outcome.reads + outcome.writes, 25);
+  }
+  EXPECT_EQ(checksums.size(), 1u) << "replicas diverged";
+  EXPECT_GT(totalWrites, 0);
+  initiator.terminate(result.sessionId);
+  lead.stop();
+  agents.clear();
+  for (auto& d : dapplets) d->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Card game
+// ---------------------------------------------------------------------------
+
+class CardGameSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CardGameSeeds, ProducesAWinnerEveryoneAgreesOn) {
+  SimNetwork net(GetParam());
+  const std::vector<std::string> names = {"a", "b", "c", "d"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  for (const auto& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name));
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back()));
+    apps::registerCardGameApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+  Dapplet table(net, "table");
+  Initiator initiator(table);
+  auto plan = apps::cardGamePlan(directory, names, 2000, GetParam());
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto done = initiator.awaitCompletion(result.sessionId, seconds(60));
+
+  int winners = 0;
+  std::set<std::int64_t> announced;
+  for (const auto& [player, value] : done) {
+    auto outcome = apps::parseGameOutcome(value);
+    if (outcome.won) ++winners;
+    if (outcome.winner >= 0) announced.insert(outcome.winner);
+  }
+  EXPECT_EQ(winners, 1) << "exactly one player must win";
+  EXPECT_EQ(announced.size(), 1u) << "players disagree about the winner";
+  initiator.terminate(result.sessionId);
+  table.stop();
+  agents.clear();
+  for (auto& d : dapplets) d->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CardGameSeeds,
+                         ::testing::Values(11, 23, 47, 85));
+
+}  // namespace
+}  // namespace dapple

@@ -1,0 +1,206 @@
+// Tests for the clock services: vector clocks and the paper's timestamp
+// conflict resolution (Ricart–Agrawala distributed mutex).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "dapple/net/sim.hpp"
+#include "dapple/services/clocks/dist_mutex.hpp"
+#include "dapple/services/clocks/vector_clock.hpp"
+
+namespace dapple {
+namespace {
+
+// ---------------------------------------------------------------------------
+// VectorClock
+// ---------------------------------------------------------------------------
+
+TEST(VectorClock, TickAndAt) {
+  VectorClock vc;
+  EXPECT_EQ(vc.at("a"), 0u);
+  vc.tick("a");
+  vc.tick("a");
+  vc.tick("b");
+  EXPECT_EQ(vc.at("a"), 2u);
+  EXPECT_EQ(vc.at("b"), 1u);
+}
+
+TEST(VectorClock, CompareOrders) {
+  VectorClock a;
+  a.tick("p");
+  VectorClock b = a;
+  b.tick("p");
+  EXPECT_EQ(a.compare(b), VectorClock::Order::kBefore);
+  EXPECT_EQ(b.compare(a), VectorClock::Order::kAfter);
+  EXPECT_EQ(a.compare(a), VectorClock::Order::kEqual);
+  EXPECT_TRUE(a.happenedBefore(b));
+}
+
+TEST(VectorClock, ConcurrentEvents) {
+  VectorClock a;
+  a.tick("p");
+  VectorClock b;
+  b.tick("q");
+  EXPECT_EQ(a.compare(b), VectorClock::Order::kConcurrent);
+  EXPECT_TRUE(a.concurrentWith(b));
+}
+
+TEST(VectorClock, ObserveCreatesHappensBefore) {
+  VectorClock sender;
+  sender.tick("p");
+  VectorClock receiver;
+  receiver.tick("q");
+  VectorClock beforeReceive = receiver;
+  receiver.observe(sender, "q");
+  EXPECT_TRUE(sender.happenedBefore(receiver));
+  EXPECT_TRUE(beforeReceive.happenedBefore(receiver));
+}
+
+TEST(VectorClock, MissingComponentsAreZero) {
+  VectorClock a;
+  a.tick("p");
+  a.tick("q");
+  VectorClock b;
+  b.tick("p");
+  EXPECT_EQ(b.compare(a), VectorClock::Order::kBefore);
+}
+
+TEST(VectorClock, ValueRoundTrip) {
+  VectorClock vc;
+  vc.tick("x");
+  vc.tick("x");
+  vc.tick("y");
+  VectorClock back = VectorClock::fromValue(
+      Value::fromWire(vc.toValue().toWire()));
+  EXPECT_TRUE(vc == back);
+}
+
+// ---------------------------------------------------------------------------
+// LamportStamp ordering (the paper's conflict-resolution rule)
+// ---------------------------------------------------------------------------
+
+TEST(LamportStamp, EarlierTimestampWinsTiesToLowerId) {
+  EXPECT_LT((LamportStamp{1, 9}), (LamportStamp{2, 0}));  // time dominates
+  EXPECT_LT((LamportStamp{5, 1}), (LamportStamp{5, 2}));  // tie -> lower id
+  EXPECT_EQ((LamportStamp{5, 1}), (LamportStamp{5, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// DistributedMutex (Ricart–Agrawala)
+// ---------------------------------------------------------------------------
+
+struct MutexRig {
+  explicit MutexRig(std::size_t n) : net(66) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dapplets.push_back(
+          std::make_unique<Dapplet>(net, "mx" + std::to_string(i)));
+      mutexes.push_back(
+          std::make_unique<DistributedMutex>(*dapplets.back(), "cs"));
+    }
+    std::vector<InboxRef> refs;
+    for (auto& m : mutexes) refs.push_back(m->ref());
+    for (std::size_t i = 0; i < n; ++i) mutexes[i]->attach(refs, i);
+  }
+
+  ~MutexRig() {
+    mutexes.clear();
+    for (auto& d : dapplets) d->stop();
+  }
+
+  SimNetwork net;
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<DistributedMutex>> mutexes;
+};
+
+TEST(DistributedMutex, SingleMemberAcquiresImmediately) {
+  MutexRig rig(1);
+  rig.mutexes[0]->acquire(seconds(2));
+  EXPECT_TRUE(rig.mutexes[0]->held());
+  rig.mutexes[0]->release();
+  EXPECT_FALSE(rig.mutexes[0]->held());
+}
+
+TEST(DistributedMutex, MutualExclusionUnderContention) {
+  constexpr std::size_t kMembers = 4;
+  constexpr int kRounds = 15;
+  MutexRig rig(kMembers);
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::atomic<int> totalEntries{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int r = 0; r < kRounds; ++r) {
+        rig.mutexes[i]->acquire(seconds(30));
+        if (++inside != 1) violated = true;
+        ++totalEntries;
+        std::this_thread::sleep_for(microseconds(200));
+        --inside;
+        rig.mutexes[i]->release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated) << "two members were in the CS simultaneously";
+  EXPECT_EQ(totalEntries.load(), static_cast<int>(kMembers * kRounds));
+}
+
+TEST(DistributedMutex, EveryMemberEventuallyEnters) {
+  // No starvation: with timestamp ordering every request is eventually
+  // served (paper: "all requests will be satisfied").
+  constexpr std::size_t kMembers = 3;
+  MutexRig rig(kMembers);
+  std::vector<std::atomic<int>> entries(kMembers);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    threads.emplace_back([&, i] {
+      for (int r = 0; r < 10; ++r) {
+        rig.mutexes[i]->acquire(seconds(30));
+        ++entries[i];
+        rig.mutexes[i]->release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    EXPECT_EQ(entries[i].load(), 10) << "member " << i << " starved";
+  }
+}
+
+TEST(DistributedMutex, ReleaseWithoutAcquireThrows) {
+  MutexRig rig(2);
+  EXPECT_THROW(rig.mutexes[0]->release(), SessionError);
+}
+
+TEST(DistributedMutex, NotRecursive) {
+  MutexRig rig(1);
+  rig.mutexes[0]->acquire(seconds(2));
+  EXPECT_THROW(rig.mutexes[0]->acquire(seconds(1)), SessionError);
+  rig.mutexes[0]->release();
+}
+
+TEST(DistributedMutex, DeferralStatsGrowUnderContention) {
+  MutexRig rig(2);
+  std::thread other([&] {
+    for (int r = 0; r < 10; ++r) {
+      rig.mutexes[1]->acquire(seconds(30));
+      std::this_thread::sleep_for(microseconds(500));
+      rig.mutexes[1]->release();
+    }
+  });
+  for (int r = 0; r < 10; ++r) {
+    rig.mutexes[0]->acquire(seconds(30));
+    std::this_thread::sleep_for(microseconds(500));
+    rig.mutexes[0]->release();
+  }
+  other.join();
+  const auto total = rig.mutexes[0]->stats().requestsDeferred +
+                     rig.mutexes[1]->stats().requestsDeferred;
+  EXPECT_GT(total, 0u) << "contention should produce deferrals";
+  EXPECT_GT(rig.mutexes[0]->stats().messages, 0u);
+}
+
+}  // namespace
+}  // namespace dapple

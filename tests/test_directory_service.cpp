@@ -1,0 +1,149 @@
+// Tests for the directory service: registration, leases, expiry, lookup,
+// prefix listing, and end-to-end use by an initiator.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "dapple/core/session.hpp"
+#include "dapple/net/sim.hpp"
+#include "dapple/services/directory/directory_service.hpp"
+
+namespace dapple {
+namespace {
+
+struct DirRig {
+  DirRig() : net(71), serverD(net, "registry"), clientD(net, "client") {
+    server = std::make_unique<DirectoryServer>(serverD);
+    client = std::make_unique<DirectoryClient>(clientD, server->ref());
+  }
+
+  ~DirRig() {
+    client.reset();
+    server.reset();
+    serverD.stop();
+    clientD.stop();
+  }
+
+  InboxRef someRef(std::uint16_t port, const std::string& name) {
+    return InboxRef{NodeAddress{42, port}, 0, name};
+  }
+
+  SimNetwork net;
+  Dapplet serverD;
+  Dapplet clientD;
+  std::unique_ptr<DirectoryServer> server;
+  std::unique_ptr<DirectoryClient> client;
+};
+
+TEST(DirectoryService, RegisterLookupRoundTrip) {
+  DirRig rig;
+  const InboxRef ref = rig.someRef(1, "ctl");
+  rig.client->registerName("mani", ref);
+  EXPECT_EQ(rig.client->lookup("mani"), ref);
+  EXPECT_EQ(rig.server->size(), 1u);
+}
+
+TEST(DirectoryService, LookupUnknownThrows) {
+  DirRig rig;
+  EXPECT_THROW(rig.client->lookup("nobody"), AddressError);
+}
+
+TEST(DirectoryService, ReRegistrationReplacesAndInvalidatesOldLease) {
+  DirRig rig;
+  const auto lease1 = rig.client->registerName("x", rig.someRef(1, "a"));
+  const auto lease2 = rig.client->registerName("x", rig.someRef(2, "b"));
+  EXPECT_NE(lease1, lease2);
+  EXPECT_EQ(rig.client->lookup("x").name, "b");
+  EXPECT_FALSE(rig.client->refresh("x", lease1));
+  EXPECT_TRUE(rig.client->refresh("x", lease2));
+}
+
+TEST(DirectoryService, UnregisterRequiresMatchingLease) {
+  DirRig rig;
+  const auto lease = rig.client->registerName("y", rig.someRef(3, "c"));
+  EXPECT_FALSE(rig.client->unregister("y", lease + 99));
+  EXPECT_TRUE(rig.client->unregister("y", lease));
+  EXPECT_THROW(rig.client->lookup("y"), AddressError);
+  EXPECT_FALSE(rig.client->unregister("y", lease));  // idempotent-ish
+}
+
+TEST(DirectoryService, LeasesExpire) {
+  DirRig rig;
+  rig.client->registerName("ephemeral", rig.someRef(4, "d"),
+                           milliseconds(80));
+  EXPECT_NO_THROW(rig.client->lookup("ephemeral"));
+  std::this_thread::sleep_for(milliseconds(150));
+  EXPECT_THROW(rig.client->lookup("ephemeral"), AddressError);
+  EXPECT_EQ(rig.server->size(), 0u);
+}
+
+TEST(DirectoryService, RefreshKeepsEntryAlive) {
+  DirRig rig;
+  const auto lease = rig.client->registerName("alive", rig.someRef(5, "e"),
+                                              milliseconds(150));
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(milliseconds(60));
+    EXPECT_TRUE(rig.client->refresh("alive", lease));
+  }
+  EXPECT_NO_THROW(rig.client->lookup("alive"));
+}
+
+TEST(DirectoryService, PrefixListing) {
+  DirRig rig;
+  rig.client->registerName("calendar.mani", rig.someRef(1, "a"));
+  rig.client->registerName("calendar.herb", rig.someRef(2, "b"));
+  rig.client->registerName("design.ava", rig.someRef(3, "c"));
+  Directory calendarOnly = rig.client->list("calendar.");
+  EXPECT_EQ(calendarOnly.size(), 2u);
+  EXPECT_TRUE(calendarOnly.has("calendar.mani"));
+  EXPECT_FALSE(calendarOnly.has("design.ava"));
+  Directory everything = rig.client->list();
+  EXPECT_EQ(everything.size(), 3u);
+}
+
+TEST(DirectoryService, InitiatorUsesDiscoveredDirectory) {
+  // Figure 2, with the directory *maintained* by the service: members
+  // self-register their control inboxes; the initiator discovers them and
+  // establishes a session without any out-of-band address exchange.
+  SimNetwork net(72);
+  Dapplet registryD(net, "registry");
+  DirectoryServer registry(registryD);
+
+  std::vector<std::unique_ptr<Dapplet>> members;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  for (int i = 0; i < 3; ++i) {
+    members.push_back(
+        std::make_unique<Dapplet>(net, "w" + std::to_string(i)));
+    agents.push_back(std::make_unique<SessionAgent>(*members.back()));
+    agents.back()->registerApp("noop", [](SessionContext&) {});
+    // Each member registers itself, as a real deployment would.
+    DirectoryClient self(*members.back(), registry.ref());
+    self.registerName("worker." + std::to_string(i),
+                      agents.back()->controlRef());
+  }
+
+  Dapplet initD(net, "init");
+  DirectoryClient discovery(initD, registry.ref());
+  Directory directory = discovery.list("worker.");
+  ASSERT_EQ(directory.size(), 3u);
+
+  Initiator initiator(initD);
+  Initiator::Plan plan;
+  plan.app = "noop";
+  for (const std::string& name : directory.names()) {
+    plan.members.push_back(Initiator::member(directory, name, {}));
+  }
+  auto result = initiator.establish(plan);
+  EXPECT_TRUE(result.ok);
+  initiator.awaitCompletion(result.sessionId, seconds(10));
+  initiator.terminate(result.sessionId);
+
+  agents.clear();
+  initD.stop();
+  registryD.stop();
+  for (auto& m : members) m->stop();
+}
+
+}  // namespace
+}  // namespace dapple

@@ -1,0 +1,257 @@
+// Failure injection: the paper's §2.2 requires coping "with faults in the
+// network such as undelivered messages".  These tests run the full stack
+// under loss, duplication, heavy jitter, and partitions, and check both
+// that protocols still complete and that unreachable peers surface as the
+// specified exceptions.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dapple/apps/calendar.hpp"
+#include "dapple/core/session.hpp"
+#include "dapple/net/sim.hpp"
+#include "dapple/serial/data_message.hpp"
+#include "dapple/services/tokens/token_manager.hpp"
+
+namespace dapple {
+namespace {
+
+DappletConfig lossTolerant() {
+  DappletConfig cfg;
+  cfg.reliable.tickInterval = milliseconds(2);
+  cfg.reliable.rto = milliseconds(15);
+  cfg.reliable.maxRto = milliseconds(120);
+  cfg.reliable.deliveryTimeout = seconds(10);
+  return cfg;
+}
+
+class FaultySessions
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FaultySessions, CalendarCompletesDespiteLossAndDuplication) {
+  const auto [loss, dup] = GetParam();
+  SimNetwork net(777);
+  net.setDefaultLink(
+      LinkParams{microseconds(300), microseconds(800), loss, dup});
+
+  const std::vector<std::string> names = {"f0", "f1", "f2"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<StateStore>> stores;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  Rng rng(11);
+  for (const auto& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name, lossTolerant()));
+    stores.push_back(std::make_unique<StateStore>());
+    apps::CalendarBook::populate(*stores.back(), rng, 30, 0.4);
+    SessionAgent::Config cfg;
+    cfg.store = stores.back().get();
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back(), cfg));
+    apps::registerCalendarApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+  Dapplet director(net, "director", lossTolerant());
+  SessionAgent directorAgent(director);
+  apps::registerCalendarApp(directorAgent);
+  directory.put("director", directorAgent.controlRef());
+
+  Initiator initiator(director);
+  auto plan = apps::flatCalendarPlan(directory, "director", names, 0, 15,
+                                     3);
+  plan.phaseTimeout = seconds(30);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok) << "setup failed under loss=" << loss;
+  auto outcome = apps::parseOutcome(
+      initiator.awaitCompletion(result.sessionId, seconds(60))
+          .at("director"));
+  EXPECT_TRUE(outcome.scheduled);
+  initiator.terminate(result.sessionId);
+
+  agents.clear();
+  director.stop();
+  for (auto& d : dapplets) d->stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(LossDup, FaultySessions,
+                         ::testing::Values(std::make_tuple(0.05, 0.0),
+                                           std::make_tuple(0.10, 0.05),
+                                           std::make_tuple(0.0, 0.25),
+                                           std::make_tuple(0.15, 0.1)));
+
+TEST(Faults, PartitionSurfacesDeliveryErrorThenHeals) {
+  SimNetwork net(778);
+  DappletConfig cfg;
+  cfg.reliable.tickInterval = milliseconds(2);
+  cfg.reliable.rto = milliseconds(10);
+  cfg.reliable.deliveryTimeout = milliseconds(250);
+  cfg.host = 1;
+  Dapplet a(net, "a", cfg);
+  cfg.host = 2;
+  Dapplet b(net, "b", cfg);
+  Inbox& in = b.createInbox("in");
+  Outbox& out = a.createOutbox();
+  out.add(in.ref());
+
+  // Healthy first.
+  out.send(DataMessage("one"));
+  EXPECT_NO_THROW(in.receive(seconds(5)));
+
+  // Partition: the paper's delivery exception must fire on the sender.
+  net.setPartition(1, 2, true);
+  out.send(DataMessage("lost"));
+  bool failed = false;
+  for (int i = 0; i < 100; ++i) {
+    std::this_thread::sleep_for(milliseconds(20));
+    try {
+      out.send(DataMessage("probe"));
+    } catch (const DeliveryError&) {
+      failed = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(failed) << "no DeliveryError raised across the partition";
+
+  // Heal + reset: the channel works again.
+  net.setPartition(1, 2, false);
+  out.reset();
+  out.send(DataMessage("after-heal"));
+  Delivery del = in.receive(seconds(5));
+  EXPECT_EQ(del.as<DataMessage>().kind(), "after-heal");
+
+  a.stop();
+  b.stop();
+}
+
+TEST(Faults, TokensSurviveLossyNetwork) {
+  SimNetwork net(779);
+  net.setDefaultLink(
+      LinkParams{microseconds(200), microseconds(400), 0.08, 0.05});
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<TokenManager>> managers;
+  constexpr std::size_t kMembers = 3;
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    dapplets.push_back(std::make_unique<Dapplet>(
+        net, "tk" + std::to_string(i), lossTolerant()));
+    managers.push_back(std::make_unique<TokenManager>(*dapplets.back()));
+  }
+  std::vector<InboxRef> refs;
+  for (auto& m : managers) refs.push_back(m->ref());
+  for (std::size_t i = 0; i < kMembers; ++i) {
+    TokenBag mine;
+    if (TokenManager::homeOfColor("gold", kMembers) == i) mine["gold"] = 3;
+    managers[i]->attach(refs, i, mine);
+  }
+  // Token churn across the lossy fabric; conservation must hold.
+  for (int round = 0; round < 10; ++round) {
+    managers[round % kMembers]->request({{"gold", 2}}, seconds(30));
+    managers[round % kMembers]->release({{"gold", 2}});
+  }
+  EXPECT_EQ(managers[0]->totalTokens(seconds(20)).at("gold"), 3);
+  managers.clear();
+  for (auto& d : dapplets) d->stop();
+}
+
+TEST(Faults, AgentIgnoresMalformedControlTraffic) {
+  // Random application messages aimed at the session-control inbox must
+  // not crash or wedge the agent.
+  SimNetwork net(780);
+  Dapplet member(net, "m");
+  SessionAgent agent(member);
+  agent.registerApp("noop", [](SessionContext&) {});
+  Dapplet attacker(net, "attacker");
+  Outbox& out = attacker.createOutbox();
+  out.add(agent.controlRef());
+  for (int i = 0; i < 20; ++i) {
+    DataMessage junk("junk.kind");
+    junk.set("i", Value(i));
+    out.send(junk);
+  }
+  ASSERT_TRUE(attacker.flush(seconds(5)));
+
+  // The agent still works.
+  Directory directory;
+  directory.put("m", agent.controlRef());
+  Dapplet init(net, "init");
+  Initiator initiator(init);
+  Initiator::Plan plan;
+  plan.app = "noop";
+  plan.members.push_back(Initiator::member(directory, "m", {}));
+  auto result = initiator.establish(plan);
+  EXPECT_TRUE(result.ok);
+  initiator.awaitCompletion(result.sessionId, seconds(10));
+  initiator.terminate(result.sessionId);
+  init.stop();
+  attacker.stop();
+  member.stop();
+}
+
+TEST(Faults, MalformedWireBytesNeverCrashTheDecoder) {
+  // Fuzz-ish: random byte strings must raise SerializationError (or decode
+  // cleanly), never crash.
+  Rng rng(781);
+  for (int i = 0; i < 2000; ++i) {
+    std::string bytes;
+    const auto len = rng.below(40);
+    for (std::uint64_t k = 0; k < len; ++k) {
+      bytes.push_back(static_cast<char>(rng.below(256)));
+    }
+    try {
+      (void)decodeMessage(bytes);
+    } catch (const SerializationError&) {
+      // expected for almost every input
+    }
+  }
+  // Truncations of a VALID message must also fail cleanly.
+  DataMessage msg("probe");
+  msg.set("k", Value("v"));
+  const std::string wire = encodeMessage(msg);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    try {
+      (void)decodeMessage(wire.substr(0, cut));
+    } catch (const SerializationError&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
+  SimNetwork net(782);
+  net.setDefaultLink(
+      LinkParams{microseconds(100), milliseconds(8), 0.0, 0.0});
+  const std::vector<std::string> names = {"j0", "j1"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<StateStore>> stores;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  Rng rng(5);
+  for (const auto& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name));
+    stores.push_back(std::make_unique<StateStore>());
+    apps::CalendarBook::populate(*stores.back(), rng, 20, 0.3);
+    SessionAgent::Config cfg;
+    cfg.store = stores.back().get();
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back(), cfg));
+    apps::registerCalendarApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+  Dapplet director(net, "director");
+  SessionAgent directorAgent(director);
+  apps::registerCalendarApp(directorAgent);
+  directory.put("director", directorAgent.controlRef());
+  Initiator initiator(director);
+  auto plan = apps::flatCalendarPlan(directory, "director", names, 0, 15, 3);
+  plan.phaseTimeout = seconds(30);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto outcome = apps::parseOutcome(
+      initiator.awaitCompletion(result.sessionId, seconds(60))
+          .at("director"));
+  EXPECT_TRUE(outcome.scheduled);
+  initiator.terminate(result.sessionId);
+  agents.clear();
+  director.stop();
+  for (auto& d : dapplets) d->stop();
+}
+
+}  // namespace
+}  // namespace dapple

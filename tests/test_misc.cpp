@@ -1,0 +1,232 @@
+// Remaining coverage: the logger, stopwatch, address/ref hashing, session
+// wire-message round trips, and agent idempotency against duplicate
+// control messages.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_set>
+
+#include "dapple/core/session_msgs.hpp"
+#include "dapple/net/sim.hpp"
+#include "dapple/core/session.hpp"
+#include "dapple/util/log.hpp"
+#include "dapple/util/time.hpp"
+
+namespace dapple {
+namespace {
+
+// ---------------------------------------------------------------------------
+// log
+// ---------------------------------------------------------------------------
+
+TEST(Log, SinkReceivesFormattedLinesAtOrAboveLevel) {
+  std::vector<std::pair<log::Level, std::string>> lines;
+  log::setSink([&](log::Level lvl, std::string_view text) {
+    lines.emplace_back(lvl, std::string(text));
+  });
+  const log::Level old = log::level();
+  log::setLevel(log::Level::kInfo);
+
+  DAPPLE_LOG(kDebug, "test") << "filtered " << 1;
+  DAPPLE_LOG(kInfo, "test") << "kept " << 2;
+  DAPPLE_LOG(kError, "test") << "kept " << 3;
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, log::Level::kInfo);
+  EXPECT_EQ(lines[0].second, "test: kept 2");
+  EXPECT_EQ(lines[1].second, "test: kept 3");
+
+  log::setLevel(old);
+  log::setSink(nullptr);
+}
+
+TEST(Log, EnabledReflectsLevel) {
+  const log::Level old = log::level();
+  log::setLevel(log::Level::kWarn);
+  EXPECT_FALSE(log::enabled(log::Level::kDebug));
+  EXPECT_TRUE(log::enabled(log::Level::kWarn));
+  EXPECT_TRUE(log::enabled(log::Level::kError));
+  log::setLevel(old);
+}
+
+TEST(Log, StreamExpressionNotEvaluatedWhenDisabled) {
+  const log::Level old = log::level();
+  log::setLevel(log::Level::kOff);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  DAPPLE_LOG(kError, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+  log::setLevel(old);
+}
+
+// ---------------------------------------------------------------------------
+// time
+// ---------------------------------------------------------------------------
+
+TEST(Time, StopwatchMeasuresElapsed) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(milliseconds(25));
+  EXPECT_GE(watch.elapsedMicros(), 20000);
+  EXPECT_GE(watch.elapsedSeconds(), 0.02);
+  watch.reset();
+  EXPECT_LT(watch.elapsedMicros(), 20000);
+}
+
+// ---------------------------------------------------------------------------
+// hashing
+// ---------------------------------------------------------------------------
+
+TEST(Hashing, NodeAddressUsableInUnorderedSet) {
+  std::unordered_set<NodeAddress> set;
+  for (std::uint32_t h = 1; h <= 50; ++h) {
+    for (std::uint16_t p = 1; p <= 4; ++p) set.insert(NodeAddress{h, p});
+  }
+  EXPECT_EQ(set.size(), 200u);
+  EXPECT_TRUE(set.count(NodeAddress{25, 3}));
+  EXPECT_FALSE(set.count(NodeAddress{25, 5}));
+}
+
+TEST(Hashing, InboxRefUsableInUnorderedSet) {
+  std::unordered_set<InboxRef> set;
+  set.insert(InboxRef{NodeAddress{1, 1}, 7, ""});
+  set.insert(InboxRef{NodeAddress{1, 1}, 8, ""});
+  set.insert(InboxRef{NodeAddress{1, 1}, 0, "named"});
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(InboxRef{NodeAddress{1, 1}, 0, "named"}));
+}
+
+// ---------------------------------------------------------------------------
+// session wire messages
+// ---------------------------------------------------------------------------
+
+TEST(SessionMsgs, InviteRoundTrip) {
+  InviteMsg msg;
+  msg.sessionId = "s-1";
+  msg.app = "calendar.flat";
+  msg.initiatorName = "director";
+  msg.memberName = "mani";
+  msg.replyTo = InboxRef{NodeAddress{9, 9}, 4, ""};
+  msg.inboxesToCreate = {"requests", "extra"};
+  msg.readKeys = {"cal.busy"};
+  msg.writeKeys = {"cal.busy"};
+  ValueMap params;
+  params["role"] = Value("member");
+  msg.params = Value(std::move(params));
+
+  auto back = decodeMessage(encodeMessage(msg));
+  const auto& typed = messageAs<InviteMsg>(*back);
+  EXPECT_EQ(typed.sessionId, "s-1");
+  EXPECT_EQ(typed.replyTo, msg.replyTo);
+  EXPECT_EQ(typed.inboxesToCreate, msg.inboxesToCreate);
+  EXPECT_EQ(typed.readKeys, msg.readKeys);
+  EXPECT_EQ(typed.params.at("role").asString(), "member");
+}
+
+TEST(SessionMsgs, WireAndUnbindRoundTrip) {
+  WireMsg wire;
+  wire.sessionId = "s-2";
+  Binding b;
+  b.outboxName = "out";
+  b.targets = {InboxRef{NodeAddress{1, 2}, 3, ""},
+               InboxRef{NodeAddress{4, 5}, 0, "byname"}};
+  wire.bindings = {b};
+  auto back = decodeMessage(encodeMessage(wire));
+  EXPECT_EQ(messageAs<WireMsg>(*back).bindings, wire.bindings);
+
+  UnbindMsg unbind;
+  unbind.sessionId = "s-2";
+  unbind.bindings = {b};
+  auto back2 = decodeMessage(encodeMessage(unbind));
+  EXPECT_EQ(messageAs<UnbindMsg>(*back2).bindings, unbind.bindings);
+}
+
+TEST(SessionMsgs, ReplyAndLifecycleRoundTrips) {
+  InviteReplyMsg reply;
+  reply.sessionId = "s-3";
+  reply.memberName = "m";
+  reply.accepted = false;
+  reply.reason = "interference with a concurrent session";
+  reply.inboxRefs["in"] = InboxRef{NodeAddress{7, 7}, 2, ""};
+  auto r = decodeMessage(encodeMessage(reply));
+  EXPECT_EQ(messageAs<InviteReplyMsg>(*r).reason, reply.reason);
+  EXPECT_EQ(messageAs<InviteReplyMsg>(*r).inboxRefs.at("in"),
+            reply.inboxRefs.at("in"));
+
+  DoneMsg done;
+  done.sessionId = "s-3";
+  done.memberName = "m";
+  ValueMap result;
+  result["day"] = Value(12);
+  done.result = Value(std::move(result));
+  auto d = decodeMessage(encodeMessage(done));
+  EXPECT_EQ(messageAs<DoneMsg>(*d).result.at("day").asInt(), 12);
+
+  UnlinkMsg unlink;
+  unlink.sessionId = "s-3";
+  unlink.reason = "aborted";
+  auto u = decodeMessage(encodeMessage(unlink));
+  EXPECT_EQ(messageAs<UnlinkMsg>(*u).reason, "aborted");
+}
+
+// ---------------------------------------------------------------------------
+// agent idempotency under duplicate control traffic
+// ---------------------------------------------------------------------------
+
+TEST(AgentIdempotency, DuplicateInviteReconfirmsSameInboxes) {
+  SimNetwork net(61);
+  Dapplet member(net, "m");
+  SessionAgent agent(member);
+  agent.registerApp("noop", [](SessionContext&) {});
+
+  Dapplet initD(net, "init");
+  Inbox& replies = initD.createInbox();
+  Outbox& ctl = initD.createOutbox();
+  ctl.add(agent.controlRef());
+
+  InviteMsg invite;
+  invite.sessionId = "dup-1";
+  invite.app = "noop";
+  invite.initiatorName = "init";
+  invite.memberName = "m";
+  invite.replyTo = replies.ref();
+  invite.inboxesToCreate = {"a", "b"};
+  invite.params = Value(ValueMap{});
+
+  ctl.send(invite);
+  ctl.send(invite);  // duplicate (e.g. an initiator retry)
+
+  const auto& first = replies.receive(seconds(5)).as<InviteReplyMsg>();
+  ASSERT_TRUE(first.accepted);
+  const auto firstRefs = first.inboxRefs;
+  const auto& second = replies.receive(seconds(5)).as<InviteReplyMsg>();
+  ASSERT_TRUE(second.accepted);
+  EXPECT_EQ(second.inboxRefs, firstRefs)
+      << "duplicate invite must not create new inboxes";
+  EXPECT_EQ(agent.stats().invitesAccepted, 1u);
+
+  initD.stop();
+  member.stop();
+}
+
+TEST(AgentIdempotency, UnlinkForUnknownSessionIsIgnored) {
+  SimNetwork net(62);
+  Dapplet member(net, "m");
+  SessionAgent agent(member);
+  Dapplet initD(net, "init");
+  Outbox& ctl = initD.createOutbox();
+  ctl.add(agent.controlRef());
+  UnlinkMsg unlink;
+  unlink.sessionId = "never-existed";
+  ctl.send(unlink);
+  ASSERT_TRUE(initD.flush(seconds(5)));
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_EQ(agent.stats().sessionsUnlinked, 0u);
+  initD.stop();
+  member.stop();
+}
+
+}  // namespace
+}  // namespace dapple

@@ -1,0 +1,310 @@
+// Unit + property tests for the serialization layer: the text wire format,
+// Values, the message registry, and DataMessage.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/serial/message.hpp"
+#include "dapple/serial/value.hpp"
+#include "dapple/serial/wire.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+TEST(Wire, ScalarRoundTrip) {
+  TextWriter w;
+  w.writeI64(-42);
+  w.writeU64(17);
+  w.writeF64(3.25);
+  w.writeBool(true);
+  w.writeBool(false);
+  w.writeString("hello world");
+  w.writeNull();
+
+  TextReader r(w.str());
+  EXPECT_EQ(r.readI64(), -42);
+  EXPECT_EQ(r.readU64(), 17u);
+  EXPECT_EQ(r.readF64(), 3.25);
+  EXPECT_TRUE(r.readBool());
+  EXPECT_FALSE(r.readBool());
+  EXPECT_EQ(r.readString(), "hello world");
+  r.readNull();
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Wire, ExtremeIntegers) {
+  TextWriter w;
+  w.writeI64(std::numeric_limits<std::int64_t>::min());
+  w.writeI64(std::numeric_limits<std::int64_t>::max());
+  w.writeU64(std::numeric_limits<std::uint64_t>::max());
+  TextReader r(w.str());
+  EXPECT_EQ(r.readI64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.readI64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(r.readU64(), std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(Wire, DoublesRoundTripExactly) {
+  const double values[] = {0.0,     -0.0,   1.0 / 3.0,        1e308,
+                           5e-324,  -2.5e7, 3.141592653589793, 1e-9};
+  for (double v : values) {
+    TextWriter w;
+    w.writeF64(v);
+    TextReader r(w.str());
+    const double back = r.readF64();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << v;
+  }
+}
+
+TEST(Wire, StringsWithBinaryContent) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  TextWriter w;
+  w.writeString(payload);
+  w.writeString("");       // empty
+  w.writeString(" a b ");  // embedded spaces
+  TextReader r(w.str());
+  EXPECT_EQ(r.readString(), payload);
+  EXPECT_EQ(r.readString(), "");
+  EXPECT_EQ(r.readString(), " a b ");
+}
+
+TEST(Wire, NestedLists) {
+  TextWriter w;
+  w.beginList(2);
+  w.beginList(2);
+  w.writeI64(1);
+  w.writeI64(2);
+  w.beginList(0);
+  TextReader r(w.str());
+  EXPECT_EQ(r.beginList(), 2u);
+  EXPECT_EQ(r.beginList(), 2u);
+  EXPECT_EQ(r.readI64(), 1);
+  EXPECT_EQ(r.readI64(), 2);
+  EXPECT_EQ(r.beginList(), 0u);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Wire, TypeMismatchThrows) {
+  TextWriter w;
+  w.writeI64(5);
+  TextReader r(w.str());
+  EXPECT_THROW(r.readString(), SerializationError);
+}
+
+TEST(Wire, TruncatedStringThrows) {
+  TextReader r("s10:short");
+  EXPECT_THROW(r.readString(), SerializationError);
+}
+
+TEST(Wire, MalformedInputsThrow) {
+  EXPECT_THROW(TextReader("ix").readI64(), SerializationError);
+  EXPECT_THROW(TextReader("").readI64(), SerializationError);
+  EXPECT_THROW(TextReader("b7").readBool(), SerializationError);
+  EXPECT_THROW(TextReader("s5x:abcde").readString(), SerializationError);
+  EXPECT_THROW(TextReader("q9").readU64(), SerializationError);
+}
+
+TEST(Wire, PeekDoesNotConsume) {
+  TextWriter w;
+  w.writeI64(1);
+  TextReader r(w.str());
+  EXPECT_EQ(r.peek(), 'i');
+  EXPECT_EQ(r.peek(), 'i');
+  EXPECT_EQ(r.readI64(), 1);
+  EXPECT_EQ(r.peek(), '\0');
+}
+
+// ---------------------------------------------------------------------------
+// Value: property-style random round trips
+// ---------------------------------------------------------------------------
+
+Value randomValue(Rng& rng, int depth) {
+  const auto pick = rng.below(depth > 2 ? 5 : 7);
+  switch (pick) {
+    case 0:
+      return Value();
+    case 1:
+      return Value(rng.chance(0.5));
+    case 2:
+      return Value(static_cast<long long>(rng()));
+    case 3:
+      return Value(rng.uniform01() * 1e6 - 5e5);
+    case 4: {
+      std::string s;
+      const auto len = rng.below(20);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng.below(256)));
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      ValueList list;
+      const auto n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        list.push_back(randomValue(rng, depth + 1));
+      }
+      return Value(std::move(list));
+    }
+    default: {
+      ValueMap map;
+      const auto n = rng.below(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        map["k" + std::to_string(i)] = randomValue(rng, depth + 1);
+      }
+      return Value(std::move(map));
+    }
+  }
+}
+
+class ValueRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValueRoundTrip, RandomValueSurvivesWire) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const Value v = randomValue(rng, 0);
+    const Value back = Value::fromWire(v.toWire());
+    EXPECT_TRUE(v == back);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST(Value, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value().isNull());
+  EXPECT_TRUE(Value(true).isBool());
+  EXPECT_TRUE(Value(7).isInt());
+  EXPECT_TRUE(Value(1.5).isDouble());
+  EXPECT_TRUE(Value("s").isString());
+  EXPECT_TRUE(Value(ValueList{}).isList());
+  EXPECT_TRUE(Value(ValueMap{}).isMap());
+}
+
+TEST(Value, WrongTypeAccessThrows) {
+  EXPECT_THROW(Value(7).asString(), SerializationError);
+  EXPECT_THROW(Value("x").asInt(), SerializationError);
+  EXPECT_THROW(Value().asBool(), SerializationError);
+}
+
+TEST(Value, AsDoubleAcceptsInt) {
+  EXPECT_EQ(Value(7).asDouble(), 7.0);
+  EXPECT_EQ(Value(2.5).asDouble(), 2.5);
+}
+
+TEST(Value, MapAtAndContains) {
+  ValueMap map;
+  map["a"] = Value(1);
+  const Value v(std::move(map));
+  EXPECT_TRUE(v.contains("a"));
+  EXPECT_FALSE(v.contains("b"));
+  EXPECT_EQ(v.at("a").asInt(), 1);
+  EXPECT_THROW(v.at("b"), StateError);
+}
+
+TEST(Value, TrailingDataRejected) {
+  TextWriter w;
+  w.writeI64(1);
+  w.writeI64(2);
+  EXPECT_THROW(Value::fromWire(w.str()), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Message registry
+// ---------------------------------------------------------------------------
+
+struct TestGreeting : MessageBase<TestGreeting> {
+  static constexpr std::string_view kTypeName = "test.Greeting";
+  std::string who;
+  std::int64_t n = 0;
+
+  void encodeFields(TextWriter& w) const override {
+    w.writeString(who);
+    w.writeI64(n);
+  }
+  void decodeFields(TextReader& r) override {
+    who = r.readString();
+    n = r.readI64();
+  }
+};
+DAPPLE_REGISTER_MESSAGE(TestGreeting)
+
+TEST(MessageRegistry, RoundTripReconstructsOriginalType) {
+  TestGreeting msg;
+  msg.who = "mani";
+  msg.n = 1996;
+  const std::string wire = encodeMessage(msg);
+  auto back = decodeMessage(wire);
+  ASSERT_EQ(back->typeName(), "test.Greeting");
+  const auto& typed = messageAs<TestGreeting>(*back);
+  EXPECT_EQ(typed.who, "mani");
+  EXPECT_EQ(typed.n, 1996);
+}
+
+TEST(MessageRegistry, UnknownTypeThrows) {
+  TextWriter w;
+  w.writeString("no.such.Type");
+  EXPECT_THROW(decodeMessage(w.str()), SerializationError);
+}
+
+TEST(MessageRegistry, Knows) {
+  EXPECT_TRUE(MessageRegistry::instance().knows("test.Greeting"));
+  EXPECT_TRUE(MessageRegistry::instance().knows("dapple.Data"));
+  EXPECT_FALSE(MessageRegistry::instance().knows("bogus"));
+}
+
+TEST(MessageRegistry, CloneIsDeep) {
+  TestGreeting msg;
+  msg.who = "a";
+  auto copy = msg.clone();
+  msg.who = "b";
+  EXPECT_EQ(messageAs<TestGreeting>(*copy).who, "a");
+}
+
+TEST(MessageRegistry, MessageAsWrongTypeThrows) {
+  TestGreeting msg;
+  EXPECT_THROW(messageAs<DataMessage>(msg), SerializationError);
+}
+
+TEST(MessageRegistry, TrailingDataRejected) {
+  TestGreeting msg;
+  std::string wire = encodeMessage(msg);
+  wire += " i5";
+  EXPECT_THROW(decodeMessage(wire), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// DataMessage
+// ---------------------------------------------------------------------------
+
+TEST(DataMessage, FieldsAndRoundTrip) {
+  DataMessage msg("order.created");
+  msg.set("id", Value(99));
+  msg.set("tags", Value(ValueList{Value("a"), Value("b")}));
+  EXPECT_TRUE(msg.has("id"));
+  EXPECT_FALSE(msg.has("missing"));
+  EXPECT_THROW(msg.get("missing"), StateError);
+
+  auto back = decodeMessage(encodeMessage(msg));
+  const auto& typed = messageAs<DataMessage>(*back);
+  EXPECT_EQ(typed.kind(), "order.created");
+  EXPECT_EQ(typed.get("id").asInt(), 99);
+  EXPECT_EQ(typed.get("tags").asList().size(), 2u);
+}
+
+TEST(DataMessage, EmptyBody) {
+  DataMessage msg("ping");
+  auto back = decodeMessage(encodeMessage(msg));
+  EXPECT_EQ(messageAs<DataMessage>(*back).kind(), "ping");
+}
+
+}  // namespace
+}  // namespace dapple

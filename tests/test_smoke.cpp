@@ -1,0 +1,99 @@
+// End-to-end smoke tests: the full stack (serialization, sim network,
+// reliable ordering, dapplets, sessions, calendar app) in one binary.
+#include <gtest/gtest.h>
+
+#include "dapple/apps/calendar.hpp"
+#include "dapple/core/session.hpp"
+#include "dapple/net/sim.hpp"
+#include "dapple/serial/data_message.hpp"
+
+namespace dapple {
+namespace {
+
+using apps::CalendarBook;
+
+TEST(Smoke, PingPongOverSimNetwork) {
+  SimNetwork net(42);
+  Dapplet alice(net, "alice");
+  Dapplet bob(net, "bob");
+
+  Inbox& bobIn = bob.createInbox("in");
+  Inbox& aliceIn = alice.createInbox("in");
+  Outbox& aliceOut = alice.createOutbox();
+  Outbox& bobOut = bob.createOutbox();
+  aliceOut.add(bobIn.ref());
+  bobOut.add(aliceIn.ref());
+
+  DataMessage ping("ping");
+  ping.set("n", Value(7));
+  aliceOut.send(ping);
+
+  Delivery del = bobIn.receive(seconds(5));
+  const auto& received = del.as<DataMessage>();
+  EXPECT_EQ(received.kind(), "ping");
+  EXPECT_EQ(received.get("n").asInt(), 7);
+  EXPECT_LT(del.sentAt, del.receivedAt);  // snapshot criterion
+
+  DataMessage pong("pong");
+  bobOut.send(pong);
+  EXPECT_EQ(aliceIn.receive(seconds(5)).as<DataMessage>().kind(), "pong");
+
+  alice.stop();
+  bob.stop();
+}
+
+TEST(Smoke, FlatCalendarSessionSchedulesMeeting) {
+  SimNetwork net(7);
+  net.setDefaultLink(LinkParams{microseconds(200), microseconds(100), 0.0,
+                                0.0});
+
+  Dapplet director(net, "director");
+  std::vector<std::unique_ptr<Dapplet>> members;
+  std::vector<std::unique_ptr<StateStore>> stores;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+
+  const std::vector<std::string> names = {"mani", "herb", "dan", "ken"};
+  Rng rng(123);
+  for (const std::string& name : names) {
+    members.push_back(std::make_unique<Dapplet>(net, name));
+    stores.push_back(std::make_unique<StateStore>());
+    CalendarBook::populate(*stores.back(), rng, 30, 0.5);
+    SessionAgent::Config cfg;
+    cfg.store = stores.back().get();
+    agents.push_back(
+        std::make_unique<SessionAgent>(*members.back(), cfg));
+    apps::registerCalendarApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+  // The director participates as the coordinator.
+  SessionAgent directorAgent(director);
+  apps::registerCalendarApp(directorAgent);
+  directory.put("director", directorAgent.controlRef());
+
+  Initiator initiator(director);
+  auto plan = apps::flatCalendarPlan(directory, "director", names,
+                                     /*startDay=*/0, /*window=*/14,
+                                     /*maxRounds=*/4);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok) << [&] {
+    std::string all;
+    for (auto& [m, r] : result.rejections) all += m + ": " + r + "; ";
+    return all;
+  }();
+
+  auto done = initiator.awaitCompletion(result.sessionId, seconds(20));
+  auto outcome = apps::parseOutcome(done.at("director"));
+  ASSERT_TRUE(outcome.scheduled);
+  // Every member's persistent calendar now shows the day as busy.
+  for (auto& store : stores) {
+    EXPECT_FALSE(CalendarBook::isFree(*store, outcome.day));
+  }
+  initiator.terminate(result.sessionId);
+
+  director.stop();
+  for (auto& m : members) m->stop();
+}
+
+}  // namespace
+}  // namespace dapple

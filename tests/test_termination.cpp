@@ -1,0 +1,193 @@
+// Tests for Dijkstra–Scholten termination detection: the detector must
+// fire exactly when the diffusing computation is globally quiet — never
+// early (messages still in flight) and always eventually.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "dapple/net/sim.hpp"
+#include "dapple/serial/data_message.hpp"
+#include "dapple/services/termination/termination.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple {
+namespace {
+
+/// A diffusing computation: "work" messages carry a TTL; a member that
+/// receives work with ttl > 0 forwards `fan` copies with ttl-1 to random
+/// members.  Total work is finite, so the computation terminates.
+struct DiffusionRig {
+  explicit DiffusionRig(std::size_t n, std::uint64_t seed) : net(seed) {
+    net.setDefaultLink(
+        LinkParams{microseconds(500), microseconds(500), 0.0, 0.0});
+    for (std::size_t i = 0; i < n; ++i) {
+      members.push_back(std::make_unique<Member>());
+      members[i]->dapplet =
+          std::make_unique<Dapplet>(net, "dc" + std::to_string(i));
+      members[i]->work = &members[i]->dapplet->createInbox("work");
+      members[i]->detector =
+          std::make_unique<TerminationDetector>(*members[i]->dapplet);
+    }
+    std::vector<InboxRef> refs;
+    for (auto& m : members) refs.push_back(m->detector->ref());
+    for (std::size_t i = 0; i < n; ++i) {
+      members[i]->detector->attach(refs, i, /*rootIndex=*/0);
+      for (std::size_t j = 0; j < n; ++j) {
+        Outbox& box = members[i]->dapplet->createOutbox();
+        box.add(members[j]->work->ref());
+        members[i]->peers.push_back(&box);
+      }
+    }
+  }
+
+  struct Member {
+    std::unique_ptr<Dapplet> dapplet;
+    Inbox* work = nullptr;
+    std::unique_ptr<TerminationDetector> detector;
+    std::vector<Outbox*> peers;
+    std::atomic<long long> processed{0};
+  };
+
+  void sendWork(std::size_t from, std::size_t to, long long ttl) {
+    members[from]->detector->onSend(to);
+    DataMessage msg("work");
+    msg.set("ttl", Value(ttl));
+    members[from]->peers[to]->send(msg);
+  }
+
+  /// Starts the worker loops; each processes work, forwards children, and
+  /// reports quiet whenever its inbox drains.
+  void startWorkers(int fan) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      Member* m = members[i].get();
+      const std::size_t self = i;
+      m->dapplet->spawn([this, m, self, fan](std::stop_token stop) {
+        Rng rng(self * 7919 + 13);
+        while (!stop.stop_requested()) {
+          auto del = m->work->tryReceive();
+          if (!del) {
+            m->detector->onQuiet();
+            del = m->work->tryReceive();
+            if (!del) {
+              std::this_thread::sleep_for(microseconds(300));
+              continue;
+            }
+          }
+          const auto* msg =
+              dynamic_cast<const DataMessage*>(del->message.get());
+          if (msg == nullptr) continue;
+          const std::size_t src = senderOf(del->srcNode);
+          m->detector->onReceive(src);
+          ++m->processed;
+          const long long ttl = msg->get("ttl").asInt();
+          if (ttl > 0) {
+            for (int c = 0; c < fan; ++c) {
+              sendWork(self, rng.below(members.size()), ttl - 1);
+            }
+          }
+          m->detector->onQuiet();
+        }
+      });
+    }
+  }
+
+  std::size_t senderOf(const NodeAddress& addr) const {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (members[i]->dapplet->address() == addr) return i;
+    }
+    return 0;
+  }
+
+  long long totalProcessed() const {
+    long long total = 0;
+    for (const auto& m : members) total += m->processed;
+    return total;
+  }
+
+  ~DiffusionRig() {
+    // Join the worker threads (they use the detectors) before destroying
+    // the detectors.
+    for (auto& m : members) m->dapplet->stop();
+    for (auto& m : members) m->detector.reset();
+  }
+
+  SimNetwork net;
+  std::vector<std::unique_ptr<Member>> members;
+};
+
+TEST(Termination, TrivialComputationTerminatesImmediately) {
+  DiffusionRig rig(3, 41);
+  rig.startWorkers(/*fan=*/2);
+  rig.members[0]->detector->start();
+  // Root seeds nothing and goes quiet: detection must be near-instant.
+  rig.members[0]->detector->onQuiet();
+  rig.members[0]->detector->awaitTermination(seconds(5));
+  EXPECT_TRUE(rig.members[0]->detector->terminated());
+}
+
+class TerminationDiffusion
+    : public ::testing::TestWithParam<std::tuple<std::size_t, long long>> {};
+
+TEST_P(TerminationDiffusion, DetectsExactlyWhenAllWorkIsDone) {
+  const auto [n, ttl] = GetParam();
+  DiffusionRig rig(n, 42 + n);
+  // Seed BEFORE the workers run, so a worker's early onQuiet() cannot see
+  // the root engaged-but-deficit-free and declare termination too soon.
+  rig.members[0]->detector->start();
+  rig.sendWork(0, 1 % n, ttl);
+  rig.sendWork(0, (n - 1), ttl);
+  rig.startWorkers(/*fan=*/2);
+
+  rig.members[0]->detector->awaitTermination(seconds(30));
+  // Binary diffusion with TTL t seeds 2 messages: total = 2*(2^(t+1)-1).
+  const long long expected = 2 * ((1LL << (ttl + 1)) - 1);
+  EXPECT_EQ(rig.totalProcessed(), expected)
+      << "termination declared before all work was processed";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDepths, TerminationDiffusion,
+    ::testing::Values(std::make_tuple(std::size_t{2}, 3LL),
+                      std::make_tuple(std::size_t{3}, 4LL),
+                      std::make_tuple(std::size_t{5}, 5LL),
+                      std::make_tuple(std::size_t{4}, 6LL)));
+
+TEST(Termination, NotDeclaredWhileWorkOutstanding) {
+  DiffusionRig rig(2, 43);
+  // No workers: a sent message is never processed, so termination must NOT
+  // be detected.
+  rig.members[0]->detector->start();
+  rig.sendWork(0, 1, 0);
+  rig.members[0]->detector->onQuiet();
+  EXPECT_THROW(rig.members[0]->detector->awaitTermination(milliseconds(300)),
+               TimeoutError);
+  EXPECT_FALSE(rig.members[0]->detector->terminated());
+}
+
+TEST(Termination, OnlyRootMayStartOrAwait) {
+  DiffusionRig rig(2, 44);
+  EXPECT_THROW(rig.members[1]->detector->start(), SessionError);
+  EXPECT_THROW(rig.members[1]->detector->awaitTermination(milliseconds(50)),
+               SessionError);
+}
+
+TEST(Termination, EngagementTreeStatsPopulate) {
+  DiffusionRig rig(3, 45);
+  rig.members[0]->detector->start();
+  rig.sendWork(0, 1, 3);
+  rig.startWorkers(2);
+  rig.members[0]->detector->awaitTermination(seconds(30));
+  std::uint64_t engagements = 0;
+  std::uint64_t acks = 0;
+  for (auto& m : rig.members) {
+    engagements += m->detector->stats().engagements;
+    acks += m->detector->stats().acksSent;
+  }
+  EXPECT_GE(engagements, 2u);  // root + at least one engaged member
+  EXPECT_GT(acks, 0u);
+}
+
+}  // namespace
+}  // namespace dapple

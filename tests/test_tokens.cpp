@@ -1,0 +1,338 @@
+// Tests for the token service (§4.1): request/release semantics, the
+// conservation invariant, reader/writer exclusion, and deadlock detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "dapple/net/sim.hpp"
+#include "dapple/services/sync/distributed.hpp"
+#include "dapple/services/tokens/token_manager.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple {
+namespace {
+
+TokenConfig fastProbes() {
+  TokenConfig cfg;
+  cfg.probeDelay = milliseconds(50);
+  cfg.probeInterval = milliseconds(50);
+  return cfg;
+}
+
+/// N dapplets, each with an attached token manager.  `seed[color]` tokens
+/// are injected at each colour's home member.
+struct TokenRig {
+  explicit TokenRig(std::size_t n, const TokenBag& seed,
+                    TokenConfig cfg = fastProbes())
+      : net(55) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dapplets.push_back(
+          std::make_unique<Dapplet>(net, "t" + std::to_string(i)));
+      managers.push_back(
+          std::make_unique<TokenManager>(*dapplets.back(), cfg));
+    }
+    std::vector<InboxRef> refs;
+    for (auto& m : managers) refs.push_back(m->ref());
+    for (std::size_t i = 0; i < n; ++i) {
+      TokenBag mine;
+      for (const auto& [color, count] : seed) {
+        if (TokenManager::homeOfColor(color, n) == i) mine[color] = count;
+      }
+      managers[i]->attach(refs, i, mine);
+    }
+  }
+
+  ~TokenRig() {
+    managers.clear();
+    for (auto& d : dapplets) d->stop();
+  }
+
+  SimNetwork net;
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<TokenManager>> managers;
+};
+
+TEST(Tokens, RequestGrantsAndHoldsTokens) {
+  TokenRig rig(3, {{"red", 5}});
+  rig.managers[0]->request({{"red", 2}});
+  EXPECT_EQ(rig.managers[0]->holdsTokens().at("red"), 2);
+  rig.managers[1]->request({{"red", 3}});
+  EXPECT_EQ(rig.managers[1]->holdsTokens().at("red"), 3);
+  rig.managers[0]->release({{"red", 2}});
+  EXPECT_TRUE(rig.managers[0]->holdsTokens().empty());
+}
+
+TEST(Tokens, BlocksUntilTokensAreReleased) {
+  TokenRig rig(2, {{"lock", 1}});
+  rig.managers[0]->request({{"lock", 1}});
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    rig.managers[1]->request({{"lock", 1}}, seconds(10));
+    granted = true;
+  });
+  std::this_thread::sleep_for(milliseconds(100));
+  EXPECT_FALSE(granted) << "granted while the token was held elsewhere";
+  rig.managers[0]->release({{"lock", 1}});
+  waiter.join();
+  EXPECT_TRUE(granted);
+  EXPECT_EQ(rig.managers[1]->holdsTokens().at("lock"), 1);
+}
+
+TEST(Tokens, RequestAllTokensOfAColor) {
+  TokenRig rig(3, {{"rw", 4}});
+  rig.managers[2]->request({{"rw", TokenRequest::kAllTokens}});
+  EXPECT_EQ(rig.managers[2]->holdsTokens().at("rw"), 4);
+  rig.managers[2]->release({{"rw", TokenRequest::kAllTokens}});
+  EXPECT_TRUE(rig.managers[2]->holdsTokens().empty());
+  rig.managers[0]->request({{"rw", 4}});  // all free again
+}
+
+TEST(Tokens, ReleaseUnheldThrows) {
+  // Paper: "if the tokens specified in tokenList are not in holdsTokens an
+  // exception is raised".
+  TokenRig rig(2, {{"red", 3}});
+  EXPECT_THROW(rig.managers[0]->release({{"red", 1}}), TokenError);
+  rig.managers[0]->request({{"red", 2}});
+  EXPECT_THROW(rig.managers[0]->release({{"red", 3}}), TokenError);
+  rig.managers[0]->release({{"red", 2}});  // exact holdings fine
+}
+
+TEST(Tokens, UnknownColorFailsRequest) {
+  TokenRig rig(2, {{"known", 1}});
+  EXPECT_THROW(rig.managers[0]->request({{"imaginary", 1}}), TokenError);
+}
+
+TEST(Tokens, OverTotalRequestFails) {
+  TokenRig rig(2, {{"red", 3}});
+  EXPECT_THROW(rig.managers[0]->request({{"red", 7}}), TokenError);
+}
+
+TEST(Tokens, TotalTokensReportsSystemTotals) {
+  // Paper: "totalTokens() returns ... the total number of tokens of all
+  // colors in the system" — unchanged no matter who holds what.
+  TokenRig rig(3, {{"red", 5}, {"blue", 2}});
+  auto before = rig.managers[1]->totalTokens();
+  EXPECT_EQ(before.at("red"), 5);
+  EXPECT_EQ(before.at("blue"), 2);
+  rig.managers[0]->request({{"red", 4}, {"blue", 1}});
+  auto after = rig.managers[2]->totalTokens();
+  EXPECT_EQ(after, before) << "conservation invariant violated";
+}
+
+TEST(Tokens, ConservationUnderConcurrentChurn) {
+  TokenRig rig(4, {{"a", 6}, {"b", 3}});
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 4; ++i) {
+    threads.emplace_back([&rig, i] {
+      Rng rng(i + 1);
+      for (int op = 0; op < 25; ++op) {
+        const TokenColor color = rng.chance(0.5) ? "a" : "b";
+        const std::int64_t n = 1 + static_cast<std::int64_t>(rng.below(2));
+        rig.managers[i]->request({{color, n}}, seconds(20));
+        std::this_thread::sleep_for(microseconds(rng.below(500)));
+        rig.managers[i]->release({{color, n}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto totals = rig.managers[0]->totalTokens();
+  EXPECT_EQ(totals.at("a"), 6);
+  EXPECT_EQ(totals.at("b"), 3);
+  // Everything was released: all requests must be grantable again.
+  rig.managers[1]->request({{"a", 6}, {"b", 3}}, seconds(10));
+}
+
+TEST(Tokens, ReaderWriterProtocol) {
+  // Paper §4.1: readers hold >= 1 token, writers hold all tokens.
+  constexpr std::int64_t kReaders = 3;
+  TokenRig rig(3, {{"doc", kReaders}});
+  std::atomic<int> readers{0};
+  std::atomic<int> writers{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      Rng rng(7 * i + 1);
+      for (int op = 0; op < 20; ++op) {
+        if (rng.chance(0.3)) {
+          rig.managers[i]->request({{"doc", TokenRequest::kAllTokens}},
+                                   seconds(20));
+          if (++writers != 1 || readers != 0) violated = true;
+          std::this_thread::sleep_for(microseconds(200));
+          --writers;
+          rig.managers[i]->release({{"doc", TokenRequest::kAllTokens}});
+        } else {
+          rig.managers[i]->request({{"doc", 1}}, seconds(20));
+          ++readers;
+          if (writers != 0) violated = true;
+          std::this_thread::sleep_for(microseconds(100));
+          --readers;
+          rig.managers[i]->release({{"doc", 1}});
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated) << "read/write exclusion violated";
+}
+
+TEST(Tokens, DeadlockDetectedOnTwoCycle) {
+  // Paper: "If the token managers detect a deadlock an exception is
+  // raised" — the hold-and-wait two-cycle: 0 holds A wants B, 1 holds B
+  // wants A.
+  TokenRig rig(2, {{"A", 1}, {"B", 1}});
+  rig.managers[0]->request({{"A", 1}});
+  rig.managers[1]->request({{"B", 1}});
+  std::atomic<int> deadlocks{0};
+  std::thread t0([&] {
+    try {
+      rig.managers[0]->request({{"B", 1}}, seconds(10));
+      rig.managers[0]->release({{"B", 1}});
+    } catch (const DeadlockError&) {
+      ++deadlocks;
+    }
+  });
+  std::thread t1([&] {
+    try {
+      rig.managers[1]->request({{"A", 1}}, seconds(10));
+      rig.managers[1]->release({{"A", 1}});
+    } catch (const DeadlockError&) {
+      ++deadlocks;
+    }
+  });
+  t0.join();
+  t1.join();
+  EXPECT_GE(deadlocks.load(), 1) << "no deadlock detected";
+  // The aborted request returned its partial grants: the system recovers.
+  rig.managers[0]->release({{"A", 1}});
+  rig.managers[1]->release({{"B", 1}});
+  rig.managers[0]->request({{"A", 1}, {"B", 1}}, seconds(10));
+}
+
+TEST(Tokens, DeadlockDetectedOnThreeCycle) {
+  TokenRig rig(3, {{"A", 1}, {"B", 1}, {"C", 1}});
+  rig.managers[0]->request({{"A", 1}});
+  rig.managers[1]->request({{"B", 1}});
+  rig.managers[2]->request({{"C", 1}});
+  std::atomic<int> deadlocks{0};
+  const auto chase = [&](std::size_t self, const char* want) {
+    try {
+      rig.managers[self]->request({{want, 1}}, seconds(10));
+      rig.managers[self]->release({{want, 1}});
+    } catch (const DeadlockError&) {
+      ++deadlocks;
+    }
+  };
+  std::thread t0(chase, 0, "B");
+  std::thread t1(chase, 1, "C");
+  std::thread t2(chase, 2, "A");
+  t0.join();
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+}
+
+TEST(Tokens, NoFalseDeadlockUnderContention) {
+  // Heavy contention on one colour with release-before-request discipline
+  // must never report deadlock (paper: avoided "if dapplets release all
+  // resources before next requesting resources").
+  TokenRig rig(3, {{"hot", 1}});
+  std::atomic<int> deadlocks{0};
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      for (int op = 0; op < 15; ++op) {
+        try {
+          rig.managers[i]->request({{"hot", 1}}, seconds(30));
+          std::this_thread::sleep_for(milliseconds(20));  // probes fire
+          rig.managers[i]->release({{"hot", 1}});
+        } catch (const DeadlockError&) {
+          ++deadlocks;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(deadlocks.load(), 0) << "false positive deadlock";
+}
+
+TEST(Tokens, TimestampFairnessEarlierRequestWinsTheQueue) {
+  TokenRig rig(3, {{"fair", 1}});
+  rig.managers[0]->request({{"fair", 1}});
+  // Queue two waiters in timestamp order: manager 1 requests first.
+  std::atomic<int> order{0};
+  std::atomic<int> firstServed{-1};
+  std::thread w1([&] {
+    rig.managers[1]->request({{"fair", 1}}, seconds(10));
+    int expected = -1;
+    firstServed.compare_exchange_strong(expected, 1);
+    rig.managers[1]->release({{"fair", 1}});
+  });
+  std::this_thread::sleep_for(milliseconds(100));  // ensure ts(1) < ts(2)
+  std::thread w2([&] {
+    rig.managers[2]->request({{"fair", 1}}, seconds(10));
+    int expected = -1;
+    firstServed.compare_exchange_strong(expected, 2);
+    rig.managers[2]->release({{"fair", 1}});
+  });
+  std::this_thread::sleep_for(milliseconds(100));
+  rig.managers[0]->release({{"fair", 1}});
+  w1.join();
+  w2.join();
+  EXPECT_EQ(firstServed.load(), 1)
+      << "later-timestamped request served first";
+  (void)order;
+}
+
+TEST(Tokens, MultiColorRequestIsAtomicOnFailure) {
+  TokenRig rig(2, {{"x", 2}, {"y", 2}});
+  // A request with an unknown colour must not leave x tokens held.
+  EXPECT_THROW(rig.managers[0]->request({{"x", 1}, {"ghost", 1}}),
+               TokenError);
+  std::this_thread::sleep_for(milliseconds(100));  // returns drain
+  auto totals = rig.managers[1]->totalTokens();
+  EXPECT_EQ(totals.at("x"), 2);
+  rig.managers[1]->request({{"x", 2}}, seconds(5));  // all free
+}
+
+TEST(DistributedSemaphore, MutualExclusionAcrossDapplets) {
+  TokenRig rig(3, {{"sem", 1}});
+  DistributedSemaphore sem0(*rig.managers[0], "sem");
+  DistributedSemaphore sem1(*rig.managers[1], "sem");
+  DistributedSemaphore sem2(*rig.managers[2], "sem");
+  DistributedSemaphore* sems[] = {&sem0, &sem1, &sem2};
+  std::atomic<int> inside{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      for (int op = 0; op < 10; ++op) {
+        sems[i]->acquire(1, seconds(20));
+        if (++inside != 1) violated = true;
+        std::this_thread::sleep_for(microseconds(300));
+        --inside;
+        sems[i]->release();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violated);
+}
+
+TEST(Tokens, StatsAreMaintained) {
+  TokenRig rig(2, {{"s", 2}});
+  rig.managers[0]->request({{"s", 1}});
+  rig.managers[0]->release({{"s", 1}});
+  const auto stats0 = rig.managers[0]->stats();
+  EXPECT_EQ(stats0.requestsGranted, 1u);
+  // The home of "s" (whichever member) issued a grant and served a release.
+  const auto home = TokenManager::homeOfColor("s", 2);
+  const auto homeStats = rig.managers[home]->stats();
+  EXPECT_GE(homeStats.grantsIssued, 1u);
+  EXPECT_GE(homeStats.releasesServed, 1u);
+}
+
+}  // namespace
+}  // namespace dapple

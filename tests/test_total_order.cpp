@@ -1,0 +1,174 @@
+// Tests for the total-order multicast service: agreement (all members
+// deliver the same sequence), validity (everything published is
+// delivered), and the timestamp/lower-id order of §4.2.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "dapple/net/sim.hpp"
+#include "dapple/services/clocks/total_order.hpp"
+#include "dapple/util/rng.hpp"
+
+namespace dapple {
+namespace {
+
+struct TobRig {
+  explicit TobRig(std::size_t n, std::uint64_t seed = 61,
+                  LinkParams link = LinkParams{microseconds(200),
+                                               microseconds(300), 0.0, 0.0})
+      : net(seed) {
+    net.setDefaultLink(link);
+    for (std::size_t i = 0; i < n; ++i) {
+      dapplets.push_back(
+          std::make_unique<Dapplet>(net, "g" + std::to_string(i)));
+      groups.push_back(
+          std::make_unique<TotalOrderGroup>(*dapplets.back(), "grp"));
+    }
+    std::vector<InboxRef> refs;
+    for (auto& g : groups) refs.push_back(g->ref());
+    for (std::size_t i = 0; i < n; ++i) groups[i]->attach(refs, i);
+  }
+
+  ~TobRig() {
+    groups.clear();
+    for (auto& d : dapplets) d->stop();
+  }
+
+  SimNetwork net;
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<TotalOrderGroup>> groups;
+};
+
+TEST(TotalOrder, SingleMemberDeliversOwnMessagesInOrder) {
+  TobRig rig(1);
+  for (int i = 0; i < 10; ++i) {
+    rig.groups[0]->publish(Value(i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rig.groups[0]->take(seconds(5)).payload.asInt(), i);
+  }
+}
+
+TEST(TotalOrder, EveryMemberDeliversEverything) {
+  TobRig rig(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      rig.groups[i]->publish(
+          Value(static_cast<long long>(i * 100 + k)));
+    }
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::set<std::int64_t> seen;
+    for (int k = 0; k < 15; ++k) {
+      seen.insert(rig.groups[i]->take(seconds(10)).payload.asInt());
+    }
+    EXPECT_EQ(seen.size(), 15u);
+  }
+}
+
+class TotalOrderAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TotalOrderAgreement, AllMembersDeliverTheSameSequence) {
+  const auto [n, perMember] = GetParam();
+  TobRig rig(n, 61 + n);
+  // Concurrent publishers on every member.
+  std::vector<std::thread> publishers;
+  for (std::size_t i = 0; i < n; ++i) {
+    publishers.emplace_back([&, i] {
+      Rng rng(i + 1);
+      for (int k = 0; k < perMember; ++k) {
+        rig.groups[i]->publish(
+            Value(static_cast<long long>(i * 1000 + k)));
+        if (rng.chance(0.3)) {
+          std::this_thread::sleep_for(microseconds(rng.below(400)));
+        }
+      }
+    });
+  }
+  for (auto& t : publishers) t.join();
+
+  const int total = static_cast<int>(n) * perMember;
+  std::vector<std::vector<std::int64_t>> sequences(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int k = 0; k < total; ++k) {
+      sequences[i].push_back(
+          rig.groups[i]->take(seconds(20)).payload.asInt());
+    }
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(sequences[i], sequences[0])
+        << "member " << i << " delivered a different global order";
+  }
+  // Per-publisher FIFO must be embedded in the global order.
+  for (std::size_t p = 0; p < n; ++p) {
+    std::int64_t last = -1;
+    for (std::int64_t v : sequences[0]) {
+      if (static_cast<std::size_t>(v / 1000) == p) {
+        EXPECT_GT(v, last);
+        last = v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLoads, TotalOrderAgreement,
+    ::testing::Values(std::make_tuple(std::size_t{2}, 20),
+                      std::make_tuple(std::size_t{3}, 15),
+                      std::make_tuple(std::size_t{5}, 10),
+                      std::make_tuple(std::size_t{4}, 25)));
+
+TEST(TotalOrder, DeliveryOrderIsStampOrder) {
+  TobRig rig(2);
+  rig.groups[0]->publish(Value("a"));
+  rig.groups[1]->publish(Value("b"));
+  LamportStamp prev{0, 0};
+  for (int k = 0; k < 2; ++k) {
+    const auto item = rig.groups[0]->take(seconds(10));
+    EXPECT_LT(prev, item.stamp) << "stamps must be strictly increasing";
+    prev = item.stamp;
+  }
+}
+
+TEST(TotalOrder, TakeTimesOutWhenGroupIdle) {
+  TobRig rig(2);
+  EXPECT_THROW(rig.groups[0]->take(milliseconds(100)), TimeoutError);
+  EXPECT_FALSE(rig.groups[0]->tryTake().has_value());
+}
+
+TEST(TotalOrder, StatsAccumulate) {
+  TobRig rig(2);
+  rig.groups[0]->publish(Value(1));
+  rig.groups[1]->take(seconds(10));
+  rig.groups[0]->take(seconds(10));
+  EXPECT_EQ(rig.groups[0]->stats().published, 1u);
+  EXPECT_EQ(rig.groups[0]->stats().delivered, 1u);
+  EXPECT_GE(rig.groups[1]->stats().acksSent, 1u);
+}
+
+TEST(TotalOrder, SurvivesLossyNetwork) {
+  // The reliable layer below masks loss entirely.
+  TobRig rig(3, 65,
+             LinkParams{microseconds(200), microseconds(500), 0.05, 0.05});
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (int k = 0; k < 5; ++k) {
+      rig.groups[i]->publish(Value(static_cast<long long>(i * 10 + k)));
+    }
+  }
+  std::vector<std::int64_t> first;
+  for (int k = 0; k < 15; ++k) {
+    first.push_back(rig.groups[0]->take(seconds(30)).payload.asInt());
+  }
+  for (std::size_t i = 1; i < 3; ++i) {
+    std::vector<std::int64_t> seq;
+    for (int k = 0; k < 15; ++k) {
+      seq.push_back(rig.groups[i]->take(seconds(30)).payload.asInt());
+    }
+    EXPECT_EQ(seq, first);
+  }
+}
+
+}  // namespace
+}  // namespace dapple

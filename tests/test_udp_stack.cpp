@@ -1,0 +1,95 @@
+// Full-stack integration over REAL UDP sockets (the paper's transport):
+// sessions, the calendar application, RPC, and ordered delivery all running
+// on 127.0.0.1 datagrams instead of the simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dapple/apps/calendar.hpp"
+#include "dapple/core/rpc.hpp"
+#include "dapple/net/udp.hpp"
+#include "dapple/serial/data_message.hpp"
+
+namespace dapple {
+namespace {
+
+using apps::CalendarBook;
+
+TEST(UdpStack, OrderedChannelsOverRealSockets) {
+  UdpNetwork net;
+  Dapplet a(net, "a");
+  Dapplet b(net, "b");
+  Inbox& in = b.createInbox("in");
+  Outbox& out = a.createOutbox();
+  out.add(in.ref());
+  for (int i = 0; i < 200; ++i) {
+    DataMessage m("seq");
+    m.set("n", Value(i));
+    out.send(m);
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(in.receive(seconds(10)).as<DataMessage>().get("n").asInt(), i);
+  }
+  a.stop();
+  b.stop();
+}
+
+TEST(UdpStack, RpcOverRealSockets) {
+  UdpNetwork net;
+  Dapplet serverD(net, "server");
+  Dapplet clientD(net, "client");
+  RpcServer server(serverD);
+  server.bind("square", [](const Value& args) {
+    return Value(args.at("x").asInt() * args.at("x").asInt());
+  });
+  RpcClient client(clientD, server.ref());
+  ValueMap args;
+  args["x"] = Value(12);
+  EXPECT_EQ(client.call("square", Value(args)).asInt(), 144);
+  serverD.stop();
+  clientD.stop();
+}
+
+TEST(UdpStack, CalendarSessionOverRealSockets) {
+  UdpNetwork net;
+  Dapplet director(net, "director");
+  const std::vector<std::string> names = {"u0", "u1", "u2"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<StateStore>> stores;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  Rng rng(321);
+  for (const auto& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name));
+    stores.push_back(std::make_unique<StateStore>());
+    CalendarBook::populate(*stores.back(), rng, 30, 0.4);
+    SessionAgent::Config cfg;
+    cfg.store = stores.back().get();
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back(), cfg));
+    apps::registerCalendarApp(*agents.back());
+    directory.put(name, agents.back()->controlRef());
+  }
+  SessionAgent directorAgent(director);
+  apps::registerCalendarApp(directorAgent);
+  directory.put("director", directorAgent.controlRef());
+
+  Initiator initiator(director);
+  auto plan =
+      apps::flatCalendarPlan(directory, "director", names, 0, 15, 3);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+  auto outcome = apps::parseOutcome(
+      initiator.awaitCompletion(result.sessionId, seconds(30))
+          .at("director"));
+  ASSERT_TRUE(outcome.scheduled);
+  for (auto& store : stores) {
+    EXPECT_FALSE(CalendarBook::isFree(*store, outcome.day));
+  }
+  initiator.terminate(result.sessionId);
+  agents.clear();
+  director.stop();
+  for (auto& d : dapplets) d->stop();
+}
+
+}  // namespace
+}  // namespace dapple

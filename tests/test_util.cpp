@@ -1,0 +1,258 @@
+// Unit tests for the util substrate: RNG, SyncQueue, strings, errors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "dapple/util/error.hpp"
+#include "dapple/util/rng.hpp"
+#include "dapple/util/strings.hpp"
+#include "dapple/util/sync_queue.hpp"
+#include "dapple/util/time.hpp"
+
+namespace dapple {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequencyMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(23);
+  Rng child = a.split();
+  Rng a2(23);
+  Rng child2 = a2.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child(), child2());
+  EXPECT_NE(child(), a());  // overwhelmingly likely
+}
+
+// ---------------------------------------------------------------------------
+// SyncQueue
+// ---------------------------------------------------------------------------
+
+TEST(SyncQueue, FifoOrder) {
+  SyncQueue<int> q;
+  for (int i = 0; i < 100; ++i) q.push(i);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(SyncQueue, TryPopEmpty) {
+  SyncQueue<int> q;
+  EXPECT_FALSE(q.tryPop().has_value());
+  q.push(1);
+  EXPECT_EQ(q.tryPop().value(), 1);
+}
+
+TEST(SyncQueue, PopForTimesOut) {
+  SyncQueue<int> q;
+  Stopwatch watch;
+  EXPECT_FALSE(q.popFor(milliseconds(30)).has_value());
+  EXPECT_GE(watch.elapsedMicros(), 25000);
+}
+
+TEST(SyncQueue, CloseWakesBlockedPopWithShutdown) {
+  SyncQueue<int> q;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    q.close();
+  });
+  EXPECT_THROW(q.pop(), ShutdownError);
+  closer.join();
+}
+
+TEST(SyncQueue, CloseDrainsRemainingItemsFirst) {
+  SyncQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_THROW(q.pop(), ShutdownError);
+}
+
+TEST(SyncQueue, PushAfterCloseThrows) {
+  SyncQueue<int> q;
+  q.close();
+  EXPECT_THROW(q.push(1), ShutdownError);
+  EXPECT_FALSE(q.tryPush(1));
+}
+
+TEST(SyncQueue, AwaitNonEmpty) {
+  SyncQueue<int> q;
+  std::thread pusher([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    q.push(42);
+  });
+  EXPECT_TRUE(q.awaitNonEmpty());
+  EXPECT_EQ(q.size(), 1u);
+  pusher.join();
+}
+
+TEST(SyncQueue, ForEachVisitsInOrder) {
+  SyncQueue<int> q;
+  for (int i = 0; i < 5; ++i) q.push(i);
+  std::vector<int> seen;
+  q.forEach([&](const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(q.size(), 5u);  // non-consuming
+}
+
+TEST(SyncQueue, ManyProducersManyConsumers) {
+  SyncQueue<int> q;
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::atomic<long long> sum{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::atomic<int> consumed{0};
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      while (true) {
+        auto v = q.popFor(seconds(2));
+        if (!v) break;
+        sum += *v;
+        if (++consumed == kPerProducer * kProducers) break;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const long long n = kPerProducer * kProducers;
+  EXPECT_EQ(consumed.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, SplitBasic) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Strings, SplitEmptyFields) {
+  EXPECT_EQ(split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, JoinInvertsSplit) {
+  const std::string text = "x|yy|zzz";
+  EXPECT_EQ(join(split(text, '|'), "|"), text);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("foobar", "foo"));
+  EXPECT_FALSE(startsWith("foobar", "bar"));
+  EXPECT_TRUE(startsWith("x", ""));
+  EXPECT_FALSE(startsWith("", "x"));
+}
+
+TEST(Strings, ToHex) {
+  EXPECT_EQ(toHex(std::string("\x00\xff\x10", 3)), "00ff10");
+  EXPECT_EQ(toHex(""), "");
+}
+
+// ---------------------------------------------------------------------------
+// errors
+// ---------------------------------------------------------------------------
+
+TEST(Errors, HierarchyCatchableAsError) {
+  EXPECT_THROW(throw TimeoutError("t"), Error);
+  EXPECT_THROW(throw DeadlockError("d"), Error);
+  EXPECT_THROW(throw TokenError("k"), Error);
+  EXPECT_THROW(throw AddressError("a"), std::runtime_error);
+}
+
+TEST(Errors, MessagePreserved) {
+  try {
+    throw DeliveryError("channel 7 timed out");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "channel 7 timed out");
+  }
+}
+
+}  // namespace
+}  // namespace dapple
