@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_calendar.dir/bench_calendar.cpp.o"
+  "CMakeFiles/bench_calendar.dir/bench_calendar.cpp.o.d"
+  "bench_calendar"
+  "bench_calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reliable.dir/bench_reliable.cpp.o"
+  "CMakeFiles/bench_reliable.dir/bench_reliable.cpp.o.d"
+  "bench_reliable"
+  "bench_reliable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_totalorder.dir/bench_totalorder.cpp.o"
+  "CMakeFiles/bench_totalorder.dir/bench_totalorder.cpp.o.d"
+  "bench_totalorder"
+  "bench_totalorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_totalorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/card_game.dir/card_game.cpp.o"
+  "CMakeFiles/card_game.dir/card_game.cpp.o.d"
+  "card_game"
+  "card_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/card_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_collab.dir/design_collab.cpp.o"
+  "CMakeFiles/design_collab.dir/design_collab.cpp.o.d"
+  "design_collab"
+  "design_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

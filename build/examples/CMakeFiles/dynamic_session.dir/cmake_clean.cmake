@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_session.dir/dynamic_session.cpp.o"
+  "CMakeFiles/dynamic_session.dir/dynamic_session.cpp.o.d"
+  "dynamic_session"
+  "dynamic_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_demo.dir/snapshot_demo.cpp.o"
+  "CMakeFiles/snapshot_demo.dir/snapshot_demo.cpp.o.d"
+  "snapshot_demo"
+  "snapshot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_apps.dir/calendar.cpp.o"
+  "CMakeFiles/dapple_apps.dir/calendar.cpp.o.d"
+  "CMakeFiles/dapple_apps.dir/cardgame.cpp.o"
+  "CMakeFiles/dapple_apps.dir/cardgame.cpp.o.d"
+  "CMakeFiles/dapple_apps.dir/design.cpp.o"
+  "CMakeFiles/dapple_apps.dir/design.cpp.o.d"
+  "libdapple_apps.a"
+  "libdapple_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dapplet.cpp" "src/core/CMakeFiles/dapple_core.dir/dapplet.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/dapplet.cpp.o.d"
+  "/root/repo/src/core/directory.cpp" "src/core/CMakeFiles/dapple_core.dir/directory.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/directory.cpp.o.d"
+  "/root/repo/src/core/inbox_ref.cpp" "src/core/CMakeFiles/dapple_core.dir/inbox_ref.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/inbox_ref.cpp.o.d"
+  "/root/repo/src/core/initiator.cpp" "src/core/CMakeFiles/dapple_core.dir/initiator.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/initiator.cpp.o.d"
+  "/root/repo/src/core/outbox.cpp" "src/core/CMakeFiles/dapple_core.dir/outbox.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/outbox.cpp.o.d"
+  "/root/repo/src/core/rpc.cpp" "src/core/CMakeFiles/dapple_core.dir/rpc.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/rpc.cpp.o.d"
+  "/root/repo/src/core/session_agent.cpp" "src/core/CMakeFiles/dapple_core.dir/session_agent.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/session_agent.cpp.o.d"
+  "/root/repo/src/core/session_msgs.cpp" "src/core/CMakeFiles/dapple_core.dir/session_msgs.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/session_msgs.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/dapple_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/dapple_core.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reliable/CMakeFiles/dapple_reliable.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dapple_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dapple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dapple_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

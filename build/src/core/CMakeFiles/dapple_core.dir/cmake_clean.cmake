@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_core.dir/dapplet.cpp.o"
+  "CMakeFiles/dapple_core.dir/dapplet.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/directory.cpp.o"
+  "CMakeFiles/dapple_core.dir/directory.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/inbox_ref.cpp.o"
+  "CMakeFiles/dapple_core.dir/inbox_ref.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/initiator.cpp.o"
+  "CMakeFiles/dapple_core.dir/initiator.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/outbox.cpp.o"
+  "CMakeFiles/dapple_core.dir/outbox.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/rpc.cpp.o"
+  "CMakeFiles/dapple_core.dir/rpc.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/session_agent.cpp.o"
+  "CMakeFiles/dapple_core.dir/session_agent.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/session_msgs.cpp.o"
+  "CMakeFiles/dapple_core.dir/session_msgs.cpp.o.d"
+  "CMakeFiles/dapple_core.dir/state.cpp.o"
+  "CMakeFiles/dapple_core.dir/state.cpp.o.d"
+  "libdapple_core.a"
+  "libdapple_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

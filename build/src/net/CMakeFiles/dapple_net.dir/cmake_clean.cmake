@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_net.dir/address.cpp.o"
+  "CMakeFiles/dapple_net.dir/address.cpp.o.d"
+  "CMakeFiles/dapple_net.dir/sim.cpp.o"
+  "CMakeFiles/dapple_net.dir/sim.cpp.o.d"
+  "CMakeFiles/dapple_net.dir/udp.cpp.o"
+  "CMakeFiles/dapple_net.dir/udp.cpp.o.d"
+  "libdapple_net.a"
+  "libdapple_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_reliable.dir/reliable.cpp.o"
+  "CMakeFiles/dapple_reliable.dir/reliable.cpp.o.d"
+  "libdapple_reliable.a"
+  "libdapple_reliable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_reliable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serial/builtin_messages.cpp" "src/serial/CMakeFiles/dapple_serial.dir/builtin_messages.cpp.o" "gcc" "src/serial/CMakeFiles/dapple_serial.dir/builtin_messages.cpp.o.d"
+  "/root/repo/src/serial/message.cpp" "src/serial/CMakeFiles/dapple_serial.dir/message.cpp.o" "gcc" "src/serial/CMakeFiles/dapple_serial.dir/message.cpp.o.d"
+  "/root/repo/src/serial/value.cpp" "src/serial/CMakeFiles/dapple_serial.dir/value.cpp.o" "gcc" "src/serial/CMakeFiles/dapple_serial.dir/value.cpp.o.d"
+  "/root/repo/src/serial/wire.cpp" "src/serial/CMakeFiles/dapple_serial.dir/wire.cpp.o" "gcc" "src/serial/CMakeFiles/dapple_serial.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dapple_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

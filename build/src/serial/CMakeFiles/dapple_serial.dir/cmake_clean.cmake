@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_serial.dir/builtin_messages.cpp.o"
+  "CMakeFiles/dapple_serial.dir/builtin_messages.cpp.o.d"
+  "CMakeFiles/dapple_serial.dir/message.cpp.o"
+  "CMakeFiles/dapple_serial.dir/message.cpp.o.d"
+  "CMakeFiles/dapple_serial.dir/value.cpp.o"
+  "CMakeFiles/dapple_serial.dir/value.cpp.o.d"
+  "CMakeFiles/dapple_serial.dir/wire.cpp.o"
+  "CMakeFiles/dapple_serial.dir/wire.cpp.o.d"
+  "libdapple_serial.a"
+  "libdapple_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

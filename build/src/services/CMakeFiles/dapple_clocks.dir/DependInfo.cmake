@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/clocks/causal_order.cpp" "src/services/CMakeFiles/dapple_clocks.dir/clocks/causal_order.cpp.o" "gcc" "src/services/CMakeFiles/dapple_clocks.dir/clocks/causal_order.cpp.o.d"
+  "/root/repo/src/services/clocks/dist_mutex.cpp" "src/services/CMakeFiles/dapple_clocks.dir/clocks/dist_mutex.cpp.o" "gcc" "src/services/CMakeFiles/dapple_clocks.dir/clocks/dist_mutex.cpp.o.d"
+  "/root/repo/src/services/clocks/total_order.cpp" "src/services/CMakeFiles/dapple_clocks.dir/clocks/total_order.cpp.o" "gcc" "src/services/CMakeFiles/dapple_clocks.dir/clocks/total_order.cpp.o.d"
+  "/root/repo/src/services/clocks/vector_clock.cpp" "src/services/CMakeFiles/dapple_clocks.dir/clocks/vector_clock.cpp.o" "gcc" "src/services/CMakeFiles/dapple_clocks.dir/clocks/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dapple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliable/CMakeFiles/dapple_reliable.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dapple_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dapple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dapple_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_clocks.dir/clocks/causal_order.cpp.o"
+  "CMakeFiles/dapple_clocks.dir/clocks/causal_order.cpp.o.d"
+  "CMakeFiles/dapple_clocks.dir/clocks/dist_mutex.cpp.o"
+  "CMakeFiles/dapple_clocks.dir/clocks/dist_mutex.cpp.o.d"
+  "CMakeFiles/dapple_clocks.dir/clocks/total_order.cpp.o"
+  "CMakeFiles/dapple_clocks.dir/clocks/total_order.cpp.o.d"
+  "CMakeFiles/dapple_clocks.dir/clocks/vector_clock.cpp.o"
+  "CMakeFiles/dapple_clocks.dir/clocks/vector_clock.cpp.o.d"
+  "libdapple_clocks.a"
+  "libdapple_clocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_directory.dir/directory/directory_service.cpp.o"
+  "CMakeFiles/dapple_directory.dir/directory/directory_service.cpp.o.d"
+  "libdapple_directory.a"
+  "libdapple_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

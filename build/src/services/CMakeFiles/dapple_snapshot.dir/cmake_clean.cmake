@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_snapshot.dir/snapshot/snapshot.cpp.o"
+  "CMakeFiles/dapple_snapshot.dir/snapshot/snapshot.cpp.o.d"
+  "libdapple_snapshot.a"
+  "libdapple_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_sync.dir/sync/distributed.cpp.o"
+  "CMakeFiles/dapple_sync.dir/sync/distributed.cpp.o.d"
+  "libdapple_sync.a"
+  "libdapple_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

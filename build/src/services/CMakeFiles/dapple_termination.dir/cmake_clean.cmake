@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_termination.dir/termination/termination.cpp.o"
+  "CMakeFiles/dapple_termination.dir/termination/termination.cpp.o.d"
+  "libdapple_termination.a"
+  "libdapple_termination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_tokens.dir/tokens/token_manager.cpp.o"
+  "CMakeFiles/dapple_tokens.dir/tokens/token_manager.cpp.o.d"
+  "libdapple_tokens.a"
+  "libdapple_tokens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_util.dir/log.cpp.o"
+  "CMakeFiles/dapple_util.dir/log.cpp.o.d"
+  "CMakeFiles/dapple_util.dir/rng.cpp.o"
+  "CMakeFiles/dapple_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dapple_util.dir/strings.cpp.o"
+  "CMakeFiles/dapple_util.dir/strings.cpp.o.d"
+  "libdapple_util.a"
+  "libdapple_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

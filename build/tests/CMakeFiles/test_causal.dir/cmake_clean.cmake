@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_causal.dir/test_causal.cpp.o"
+  "CMakeFiles/test_causal.dir/test_causal.cpp.o.d"
+  "test_causal"
+  "test_causal.pdb"
+  "test_causal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_causal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

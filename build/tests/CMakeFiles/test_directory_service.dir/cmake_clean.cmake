@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directory_service.dir/test_directory_service.cpp.o"
+  "CMakeFiles/test_directory_service.dir/test_directory_service.cpp.o.d"
+  "test_directory_service"
+  "test_directory_service.pdb"
+  "test_directory_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directory_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_introspection.dir/test_introspection.cpp.o"
+  "CMakeFiles/test_introspection.dir/test_introspection.cpp.o.d"
+  "test_introspection"
+  "test_introspection.pdb"
+  "test_introspection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tokens.dir/test_tokens.cpp.o"
+  "CMakeFiles/test_tokens.dir/test_tokens.cpp.o.d"
+  "test_tokens"
+  "test_tokens.pdb"
+  "test_tokens[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tokens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_stack.dir/test_udp_stack.cpp.o"
+  "CMakeFiles/test_udp_stack.dir/test_udp_stack.cpp.o.d"
+  "test_udp_stack"
+  "test_udp_stack.pdb"
+  "test_udp_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
