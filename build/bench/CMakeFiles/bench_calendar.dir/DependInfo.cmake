@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/services/CMakeFiles/dapple_sync.dir/DependInfo.cmake"
   "/root/repo/build/src/services/CMakeFiles/dapple_termination.dir/DependInfo.cmake"
   "/root/repo/build/src/services/CMakeFiles/dapple_directory.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/dapple_liveness.dir/DependInfo.cmake"
   "/root/repo/build/src/apps/CMakeFiles/dapple_apps.dir/DependInfo.cmake"
   "/root/repo/build/src/services/CMakeFiles/dapple_tokens.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/dapple_core.dir/DependInfo.cmake"

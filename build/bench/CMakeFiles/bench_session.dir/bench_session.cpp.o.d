@@ -246,6 +246,7 @@ bench/CMakeFiles/bench_session.dir/bench_session.cpp.o: \
  /root/repo/include/dapple/reliable/reliable.hpp \
  /root/repo/include/dapple/serial/value.hpp /usr/include/c++/12/variant \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/net/sim.hpp

@@ -248,6 +248,7 @@ examples/CMakeFiles/calendar_demo.dir/calendar_demo.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/util/rng.hpp \

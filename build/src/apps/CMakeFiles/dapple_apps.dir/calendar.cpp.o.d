@@ -247,6 +247,7 @@ src/apps/CMakeFiles/dapple_apps.dir/calendar.cpp.o: \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/util/rng.hpp \

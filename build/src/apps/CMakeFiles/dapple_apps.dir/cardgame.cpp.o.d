@@ -247,6 +247,7 @@ src/apps/CMakeFiles/dapple_apps.dir/cardgame.cpp.o: \
  /root/repo/include/dapple/reliable/reliable.hpp \
  /root/repo/include/dapple/serial/value.hpp /usr/include/c++/12/variant \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \

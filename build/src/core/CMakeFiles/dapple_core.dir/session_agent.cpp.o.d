@@ -245,6 +245,7 @@ src/core/CMakeFiles/dapple_core.dir/session_agent.cpp.o: \
  /root/repo/include/dapple/reliable/reliable.hpp \
  /root/repo/include/dapple/serial/value.hpp /usr/include/c++/12/variant \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/util/log.hpp

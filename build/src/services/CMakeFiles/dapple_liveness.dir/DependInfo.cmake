@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/liveness/liveness.cpp" "src/services/CMakeFiles/dapple_liveness.dir/liveness/liveness.cpp.o" "gcc" "src/services/CMakeFiles/dapple_liveness.dir/liveness/liveness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dapple_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliable/CMakeFiles/dapple_reliable.dir/DependInfo.cmake"
+  "/root/repo/build/src/serial/CMakeFiles/dapple_serial.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dapple_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dapple_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

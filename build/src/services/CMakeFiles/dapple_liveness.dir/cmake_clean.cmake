@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dapple_liveness.dir/liveness/liveness.cpp.o"
+  "CMakeFiles/dapple_liveness.dir/liveness/liveness.cpp.o.d"
+  "libdapple_liveness.a"
+  "libdapple_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dapple_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

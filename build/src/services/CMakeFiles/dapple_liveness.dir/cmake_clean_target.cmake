@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdapple_liveness.a"
+)

@@ -321,6 +321,7 @@ tests/CMakeFiles/test_apps.dir/test_apps.cpp.o: \
  /root/repo/include/dapple/serial/value.hpp \
  /root/repo/include/dapple/core/session.hpp \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/util/rng.hpp \

@@ -320,6 +320,7 @@ tests/CMakeFiles/test_directory_service.dir/test_directory_service.cpp.o: \
  /root/repo/include/dapple/reliable/reliable.hpp \
  /root/repo/include/dapple/serial/value.hpp \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/net/sim.hpp \

@@ -321,9 +321,11 @@ tests/CMakeFiles/test_faults.dir/test_faults.cpp.o: \
  /root/repo/include/dapple/serial/value.hpp \
  /root/repo/include/dapple/core/session.hpp \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/session_msgs.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/util/rng.hpp \
  /root/repo/include/dapple/net/sim.hpp \
  /root/repo/include/dapple/serial/data_message.hpp \
+ /root/repo/include/dapple/services/liveness/liveness.hpp \
  /root/repo/include/dapple/services/tokens/token_manager.hpp

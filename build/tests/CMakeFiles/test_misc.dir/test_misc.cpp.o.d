@@ -325,5 +325,6 @@ tests/CMakeFiles/test_misc.dir/test_misc.cpp.o: \
  /root/repo/include/dapple/core/outbox.hpp \
  /root/repo/include/dapple/reliable/reliable.hpp \
  /root/repo/include/dapple/core/directory.hpp \
+ /root/repo/include/dapple/core/peer_monitor.hpp \
  /root/repo/include/dapple/core/state.hpp \
  /root/repo/include/dapple/util/log.hpp

@@ -21,6 +21,7 @@ include("/root/repo/build/tests/test_udp_stack[1]_include.cmake")
 include("/root/repo/build/tests/test_directory_service[1]_include.cmake")
 include("/root/repo/build/tests/test_total_order[1]_include.cmake")
 include("/root/repo/build/tests/test_faults[1]_include.cmake")
+include("/root/repo/build/tests/test_liveness[1]_include.cmake")
 include("/root/repo/build/tests/test_causal[1]_include.cmake")
 include("/root/repo/build/tests/test_stress[1]_include.cmake")
 include("/root/repo/build/tests/test_introspection[1]_include.cmake")

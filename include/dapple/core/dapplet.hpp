@@ -35,6 +35,11 @@ struct DappletConfig {
   std::uint16_t port = 0;
   /// Ordering-layer parameters (retransmission, delivery timeout).
   ReliableConfig reliable{};
+  /// Failure-detector knobs (consumed by services/liveness): how often a
+  /// LivenessMonitor on this dapplet sends heartbeats to watched peers, and
+  /// how long a peer may stay silent before it is suspected crashed.
+  Duration heartbeatInterval = std::chrono::milliseconds(50);
+  Duration suspectTimeout = std::chrono::milliseconds(250);
 };
 
 /// One distributed process.  Thread-safe; typically long-lived relative to
@@ -110,6 +115,12 @@ class Dapplet {
   /// closes the endpoint.  Idempotent.
   void stop();
 
+  /// Crash-stop fault injection: abruptly closes the endpoint FIRST — no
+  /// further packets (data, ACKs, heartbeats, UNLINK handshakes) leave this
+  /// process — then tears down inboxes and workers.  Peers see only silence,
+  /// exactly as if the process had died.  Idempotent; safe alongside stop().
+  void crash();
+
   // --- service hooks -------------------------------------------------------
 
   /// Observes (and may consume) every delivery before it is enqueued.
@@ -121,6 +132,18 @@ class Dapplet {
 
   /// Blocks until all sent messages have been acknowledged (or timeout).
   bool flush(Duration timeout);
+
+  /// Notified when the reliable layer declares a stream to `dst` dead
+  /// (delivery timeout exhausted).  Invoked on the transport tick thread
+  /// WITHOUT the dapplet lock, so listeners may reset streams or send.
+  /// Listeners cannot be removed; register once per long-lived component.
+  using PeerFailureListener = std::function<void(
+      const NodeAddress& dst, std::uint64_t outboxId, const std::string& reason)>;
+  void addPeerFailureListener(PeerFailureListener listener);
+
+  /// The configuration this dapplet was created with (note: `port` is the
+  /// requested port; use address() for the bound one).
+  const DappletConfig& config() const { return config_; }
 
   struct Stats {
     std::uint64_t messagesSent = 0;       ///< per-channel copies sent
@@ -154,6 +177,7 @@ class Dapplet {
 
   struct Impl;
   const std::string name_;
+  const DappletConfig config_;
   LamportClock clock_;
   std::unique_ptr<ReliableEndpoint> reliable_;
   std::unique_ptr<Impl> impl_;

@@ -33,7 +33,16 @@ struct Delivery {
 
   /// Typed access; throws SerializationError naming the actual type.
   template <typename T>
-  const T& as() const {
+  const T& as() const& {
+    return messageAs<T>(*message);
+  }
+
+  /// On rvalues (`inbox.receive(t).as<T>()`) a reference would dangle once
+  /// the temporary Delivery dies at the end of the full expression, so this
+  /// overload returns a copy instead — `const auto& m = ...receive().as<T>()`
+  /// then binds to a lifetime-extended temporary and stays valid.
+  template <typename T>
+  T as() const&& {
     return messageAs<T>(*message);
   }
 };
@@ -96,6 +105,11 @@ class Inbox {
   void forEachQueued(const std::function<void(const Delivery&)>& fn) const {
     queue_.forEach(fn);
   }
+
+  /// Posts a peer-failure alert: queued messages still drain, then one
+  /// blocked or subsequent receive throws PeerDownError with `reason`.
+  /// Raised by the session agent when a member feeding this inbox crashes.
+  void raise(std::string reason) { queue_.raise(std::move(reason)); }
 
   /// Closes the inbox: blocked receivers wake with ShutdownError and later
   /// deliveries are dropped.  Used during session unlink and dapplet stop.

@@ -45,6 +45,11 @@ class Outbox {
   /// `delete`, renamed because `delete` is reserved in C++).
   void remove(const InboxRef& ref);
 
+  /// Unbinds every destination living at `node` (used when a peer dapplet
+  /// is declared crashed).  Returns the number of bindings dropped; never
+  /// throws on absence.
+  std::size_t removeNode(const NodeAddress& node);
+
   /// Sends a copy of `msg` along every channel.  One logical-clock send
   /// event stamps all copies.  Throws DeliveryError if a previous message
   /// on one of this outbox's channels exceeded the delivery timeout.

@@ -1,0 +1,53 @@
+#pragma once
+/// \file peer_monitor.hpp
+/// \brief Abstract failure-detector interface consumed by the session layer.
+///
+/// The session machinery (SessionAgent, Initiator) lives in the core layer
+/// and must not depend on any concrete service, so crash detection is
+/// expressed through this small interface.  The liveness service
+/// (`dapple/services/liveness`) provides the heartbeat-based implementation;
+/// tests may plug in scripted fakes.
+///
+/// Identity model: a watched peer is its dapplet's `InboxRef` — heartbeats
+/// are matched to watches by the sender's NodeAddress, so peers need not
+/// agree on names.  Watch keys are caller-chosen strings (the initiator uses
+/// "sessionId/memberName"), which lets one peer be watched independently by
+/// several sessions.
+
+#include <functional>
+#include <string>
+
+#include "dapple/core/inbox_ref.hpp"
+
+namespace dapple {
+
+/// Crash (suspect) detector for a set of watched peers.  Implementations
+/// must be thread-safe; callbacks fire on the implementation's own thread
+/// and must not block for long.
+class PeerMonitor {
+ public:
+  virtual ~PeerMonitor() = default;
+
+  /// Callback invoked with the watch key and the watched ref.
+  using PeerFn = std::function<void(const std::string& key, const InboxRef& peer)>;
+
+  /// The inbox other monitors should send heartbeats to.  Exchanged during
+  /// session setup (InviteMsg/InviteReplyMsg `livenessRef` fields).
+  virtual InboxRef ref() const = 0;
+
+  /// Starts watching `peer` under `key`; re-watching an existing key
+  /// replaces the previous entry and resets its failure state.
+  virtual void watch(const std::string& key, const InboxRef& peer) = 0;
+
+  /// Stops watching `key` (no-op when absent).  No callbacks fire for the
+  /// key after unwatch returns.
+  virtual void unwatch(const std::string& key) = 0;
+
+  /// Registers a callback fired once per transition into "suspected".
+  virtual void onSuspect(PeerFn fn) = 0;
+
+  /// Registers a callback fired when a suspected peer proves alive again.
+  virtual void onAlive(PeerFn fn) = 0;
+};
+
+}  // namespace dapple

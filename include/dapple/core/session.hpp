@@ -22,6 +22,7 @@
 
 #include "dapple/core/dapplet.hpp"
 #include "dapple/core/directory.hpp"
+#include "dapple/core/peer_monitor.hpp"
 #include "dapple/core/session_msgs.hpp"
 #include "dapple/core/state.hpp"
 #include "dapple/serial/value.hpp"
@@ -96,6 +97,11 @@ class SessionAgent {
     std::set<std::string> acl;
     /// Persistent state shared across sessions (may be null).
     StateStore* store = nullptr;
+    /// Optional failure detector (typically a LivenessMonitor).  When set,
+    /// the agent advertises its heartbeat inbox in INVITE replies, watches
+    /// each session's initiator, and unlinks sessions whose initiator is
+    /// suspected dead.  Must outlive the agent.
+    PeerMonitor* monitor = nullptr;
   };
 
   explicit SessionAgent(Dapplet& dapplet) : SessionAgent(dapplet, Config{}) {}
@@ -124,6 +130,8 @@ class SessionAgent {
     std::uint64_t invitesRejectedUnknownApp = 0;
     std::uint64_t sessionsCompleted = 0;
     std::uint64_t sessionsUnlinked = 0;
+    std::uint64_t peersEvicted = 0;       ///< MEMBER_DOWN notices processed
+    std::uint64_t initiatorsLost = 0;     ///< sessions dropped: initiator died
   };
   Stats stats() const;
 
@@ -137,7 +145,10 @@ class SessionAgent {
 /// Establishes, grows, shrinks, and terminates sessions from any dapplet.
 class Initiator {
  public:
-  explicit Initiator(Dapplet& dapplet);
+  /// `monitor` (optional, typically a LivenessMonitor) lets the initiator
+  /// watch member liveness: a suspected member is evicted via failMember().
+  /// Must outlive the initiator.
+  explicit Initiator(Dapplet& dapplet, PeerMonitor* monitor = nullptr);
   ~Initiator();
 
   Initiator(const Initiator&) = delete;
@@ -168,6 +179,12 @@ class Initiator {
     std::vector<Edge> edges;
     Value params;                 ///< session-wide parameters
     Duration phaseTimeout = seconds(10);
+    /// Setup retry policy: INVITE/WIRE/START are re-sent to unresponsive
+    /// members up to `setupAttempts` times, waiting a jittered exponential
+    /// backoff (`retryBase`, `2*retryBase`, ...) between attempts, all
+    /// bounded by `phaseTimeout`.  One attempt = no retries.
+    std::size_t setupAttempts = 4;
+    Duration retryBase = milliseconds(200);
   };
 
   /// Outcome of establish().
@@ -189,11 +206,27 @@ class Initiator {
   /// the accepted members are sent ABORT-style unlinks and `ok` is false.
   Result establish(const Plan& plan);
 
-  /// Waits until every member of `sessionId` reported DONE (or timeout);
-  /// returns member -> result values.  Throws TimeoutError on timeout and
-  /// SessionError for unknown sessions.
+  /// Waits until every member of `sessionId` reported DONE — or was evicted
+  /// as crashed — then returns member -> result values.  An evicted member's
+  /// entry is a map `{peerDown: true, member: <name>, reason: <verdict>}`,
+  /// so callers get partial results naming the failed member instead of a
+  /// timeout.  Throws TimeoutError when survivors are still running at the
+  /// deadline and SessionError for unknown sessions.
   std::map<std::string, Value> awaitCompletion(const std::string& sessionId,
                                                Duration timeout);
+
+  /// Declares `member` of `sessionId` crashed: evicts it, broadcasts
+  /// MEMBER_DOWN to the survivors (whose blocked receives fail fast with
+  /// PeerDownError), and annotates awaitCompletion's result.  Invoked
+  /// automatically by the liveness monitor and by reliable-stream failures;
+  /// public so applications and tests can evict explicitly.  Idempotent;
+  /// unknown sessions/members are ignored.
+  void failMember(const std::string& sessionId, const std::string& member,
+                  const std::string& reason);
+
+  /// Members of `sessionId` evicted so far (name -> reason).
+  std::map<std::string, std::string> downMembers(
+      const std::string& sessionId) const;
 
   /// Broadcasts UNLINK, ending the session.  Idempotent.
   void terminate(const std::string& sessionId, const std::string& reason = "");
@@ -210,7 +243,9 @@ class Initiator {
 
  private:
   struct Impl;
-  std::unique_ptr<Impl> impl_;
+  // Shared because failure hooks (liveness monitor, dapplet stream-failure
+  // listeners) hold weak references that may fire after destruction.
+  std::shared_ptr<Impl> impl_;
 };
 
 }  // namespace dapple

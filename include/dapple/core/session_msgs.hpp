@@ -58,6 +58,8 @@ class InviteMsg : public MessageBase<InviteMsg> {
   std::vector<std::string> readKeys;   ///< declared state read set
   std::vector<std::string> writeKeys;  ///< declared state write set
   Value params;                  ///< app-specific parameters
+  InboxRef livenessRef;          ///< initiator's heartbeat inbox (may be
+                                 ///< invalid when it runs no detector)
 
   void encodeFields(TextWriter& w) const override;
   void decodeFields(TextReader& r) override;
@@ -73,6 +75,7 @@ class InviteReplyMsg : public MessageBase<InviteReplyMsg> {
   bool accepted = false;
   std::string reason;  ///< set when rejected
   std::map<std::string, InboxRef> inboxRefs;  ///< created session inboxes
+  InboxRef livenessRef;  ///< member's heartbeat inbox (may be invalid)
 
   void encodeFields(TextWriter& w) const override;
   void decodeFields(TextReader& r) override;
@@ -138,6 +141,23 @@ class UnlinkMsg : public MessageBase<UnlinkMsg> {
 
   std::string sessionId;
   std::string reason;  ///< "" for normal termination
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Initiator -> surviving members: a member crash-stopped and has been
+/// evicted.  Receivers drop bindings to the dead node and fail blocked
+/// receives on the session's inboxes with PeerDownError so roles do not
+/// hang out the full delivery timeout.
+class MemberDownMsg : public MessageBase<MemberDownMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.MemberDown";
+
+  std::string sessionId;
+  std::string memberName;   ///< the evicted member
+  std::uint64_t node = 0;   ///< NodeAddress::packed() of the dead dapplet
+  std::string reason;       ///< detector verdict (liveness / stream failure)
 
   void encodeFields(TextWriter& w) const override;
   void decodeFields(TextReader& r) override;

@@ -71,6 +71,16 @@ class SimNetwork : public Network {
   void setPartition(std::uint32_t hostA, std::uint32_t hostB,
                     bool partitioned);
 
+  /// Crash-stop injection: abruptly closes the endpoint bound at `addr`
+  /// (as if its process died — no FIN, no handshake; subsequent datagrams
+  /// to it count as undeliverable).  Returns true when an endpoint was
+  /// killed, false when the address was not bound.
+  bool kill(const NodeAddress& addr);
+
+  /// Kills every endpoint on a simulated host — whole-machine failure.
+  /// Returns the number of endpoints killed.
+  std::size_t killHost(std::uint32_t host);
+
   /// Traffic counters (cumulative since construction).
   struct Stats {
     std::uint64_t sent = 0;        ///< datagrams handed to the network

@@ -90,6 +90,14 @@ class ShutdownError : public Error {
   explicit ShutdownError(const std::string& what) : Error(what) {}
 };
 
+/// A session peer was declared dead (crash-stop) by the liveness detector or
+/// by a reliable-stream failure.  Blocked receives on inboxes fed by that
+/// peer raise this instead of waiting out the full delivery timeout.
+class PeerDownError : public Error {
+ public:
+  explicit PeerDownError(const std::string& what) : Error(what) {}
+};
+
 /// A socket-level failure in the real UDP transport.
 class NetworkError : public Error {
  public:

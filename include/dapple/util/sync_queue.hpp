@@ -49,10 +49,11 @@ class SyncQueue {
   }
 
   /// Blocks until an item is available, then removes and returns it.
-  /// Throws ShutdownError when the queue is closed and drained.
+  /// Throws ShutdownError when the queue is closed and drained, or
+  /// PeerDownError when an alert is pending and no data remains.
   T pop() {
     std::unique_lock lock(mutex_);
-    nonempty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    nonempty_.wait(lock, [this] { return wakeLocked(); });
     return takeLocked();
   }
 
@@ -60,8 +61,7 @@ class SyncQueue {
   template <typename Rep, typename Period>
   std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    if (!nonempty_.wait_for(lock, timeout,
-                            [this] { return !items_.empty() || closed_; })) {
+    if (!nonempty_.wait_for(lock, timeout, [this] { return wakeLocked(); })) {
       return std::nullopt;
     }
     if (items_.empty() && closed_) throw ShutdownError("queue closed");
@@ -79,9 +79,11 @@ class SyncQueue {
 
   /// Blocks until the queue is nonempty (or closed) without consuming.
   /// Returns true if an item is available, false if closed-and-empty.
+  /// Throws PeerDownError when only an alert is pending.
   bool awaitNonEmpty() {
     std::unique_lock lock(mutex_);
-    nonempty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    nonempty_.wait(lock, [this] { return wakeLocked(); });
+    throwAlertIfOnlyAlertLocked();
     return !items_.empty();
   }
 
@@ -89,8 +91,8 @@ class SyncQueue {
   template <typename Rep, typename Period>
   bool awaitNonEmptyFor(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    nonempty_.wait_for(lock, timeout,
-                       [this] { return !items_.empty() || closed_; });
+    nonempty_.wait_for(lock, timeout, [this] { return wakeLocked(); });
+    throwAlertIfOnlyAlertLocked();
     return !items_.empty();
   }
 
@@ -127,8 +129,41 @@ class SyncQueue {
     return closed_;
   }
 
+  /// Posts an out-of-band failure alert.  Queued data still drains first;
+  /// once the queue is empty a blocked (or subsequent) pop/await consumes one
+  /// alert and throws PeerDownError carrying `reason`.  Consume-once: each
+  /// raise() fails exactly one blocking call, so survivors of a dead peer see
+  /// the failure promptly without looping on it forever.
+  void raise(std::string reason) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return;  // shutdown already wakes everyone
+      alerts_.push_back(std::move(reason));
+    }
+    nonempty_.notify_all();
+  }
+
+  /// Number of pending (unconsumed) alerts.
+  std::size_t pendingAlerts() const {
+    std::scoped_lock lock(mutex_);
+    return alerts_.size();
+  }
+
  private:
+  bool wakeLocked() const {
+    return !items_.empty() || !alerts_.empty() || closed_;
+  }
+
+  void throwAlertIfOnlyAlertLocked() {
+    if (items_.empty() && !alerts_.empty()) {
+      std::string reason = std::move(alerts_.front());
+      alerts_.pop_front();
+      throw PeerDownError(reason);
+    }
+  }
+
   T takeLocked() {
+    throwAlertIfOnlyAlertLocked();
     if (items_.empty()) throw ShutdownError("queue closed");
     T item = std::move(items_.front());
     items_.pop_front();
@@ -138,6 +173,7 @@ class SyncQueue {
   mutable std::mutex mutex_;
   std::condition_variable nonempty_;
   std::deque<T> items_;
+  std::deque<std::string> alerts_;
   bool closed_ = false;
 };
 

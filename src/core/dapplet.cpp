@@ -34,13 +34,14 @@ struct Dapplet::Impl {
 
   DeliveryTap tap;
   Stats stats;
+  std::vector<PeerFailureListener> peerFailureListeners;
 
   bool stopped = false;
   std::vector<std::jthread> workers;
 };
 
 Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
-    : name_(std::move(name)), impl_(std::make_unique<Impl>()) {
+    : name_(std::move(name)), config_(config), impl_(std::make_unique<Impl>()) {
   auto endpoint = network.openAt(config.host, config.port);
   reliable_ =
       std::make_unique<ReliableEndpoint>(std::move(endpoint), config.reliable);
@@ -187,6 +188,28 @@ void Dapplet::stop() {
   reliable_->close();
 }
 
+void Dapplet::crash() {
+  // Crash-stop semantics: the endpoint dies FIRST, so nothing — not even the
+  // retransmission/ACK machinery — escapes after this line.  stop() is the
+  // graceful inverse (drain, then close).
+  reliable_->close();
+  std::vector<std::jthread> workers;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+    for (auto& [id, box] : impl_->inboxesById) box->closeQueue();
+    workers.swap(impl_->workers);
+  }
+  for (auto& worker : workers) worker.request_stop();
+  workers.clear();  // joins
+}
+
+void Dapplet::addPeerFailureListener(PeerFailureListener listener) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->peerFailureListeners.push_back(std::move(listener));
+}
+
 void Dapplet::setDeliveryTap(DeliveryTap tap) {
   std::scoped_lock lock(impl_->mutex);
   impl_->tap = std::move(tap);
@@ -271,13 +294,22 @@ void Dapplet::onDeliver(const NodeAddress& src, std::uint64_t streamId,
 
 void Dapplet::onStreamFailure(const NodeAddress& dst, std::uint64_t streamId,
                               const std::string& reason) {
-  std::scoped_lock lock(impl_->mutex);
-  const auto it = impl_->outboxesById.find(streamId);
-  if (it == impl_->outboxesById.end()) return;
-  Outbox* box = it->second.get();
-  std::scoped_lock boxLock(box->mutex_);
-  box->failed_ = true;
-  box->failReason_ = reason + " (to " + dst.toString() + ")";
+  std::vector<PeerFailureListener> listeners;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    const auto it = impl_->outboxesById.find(streamId);
+    if (it != impl_->outboxesById.end()) {
+      Outbox* box = it->second.get();
+      std::scoped_lock boxLock(box->mutex_);
+      box->failed_ = true;
+      box->failReason_ = reason + " (to " + dst.toString() + ")";
+    }
+    listeners = impl_->peerFailureListeners;
+  }
+  // Listeners run without the dapplet lock (the reliable layer already
+  // invokes failure callbacks outside its own lock), so they may reset
+  // streams, unbind outboxes, or raise inbox alerts.
+  for (const auto& listener : listeners) listener(dst, streamId, reason);
 }
 
 

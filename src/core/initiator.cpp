@@ -1,9 +1,11 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <set>
 
 #include "dapple/core/session.hpp"
 #include "dapple/util/log.hpp"
+#include "dapple/util/rng.hpp"
 
 namespace dapple {
 
@@ -13,10 +15,13 @@ std::atomic<std::uint64_t> g_sessionCounter{0};
 }  // namespace
 
 struct Initiator::Impl {
-  explicit Impl(Dapplet& dapplet) : d(dapplet) {}
+  Impl(Dapplet& dapplet, PeerMonitor* mon)
+      : d(dapplet), monitor(mon), rng(dapplet.id() ^ 0x5e551041u) {}
 
   Dapplet& d;
+  PeerMonitor* monitor;
   mutable std::mutex mutex;
+  Rng rng;  // jitter source; guarded by `mutex`
 
   struct SessRec {
     std::string app;
@@ -26,9 +31,21 @@ struct Initiator::Impl {
     Duration phaseTimeout{seconds(10)};
 
     Inbox* reply = nullptr;  // per-session reply inbox
+
+    // `mtx` guards everything below: establish() runs single-threaded, but
+    // once `established` is set, failure hooks (liveness suspicion, stream
+    // failures) mutate membership from detector threads.
+    mutable std::mutex mtx;
     std::map<std::string, Outbox*> memberOutbox;
     std::map<std::string, std::map<std::string, InboxRef>> memberRefs;
+    std::map<std::string, InboxRef> memberLiveness;
+    std::map<std::string, NodeAddress> memberNodes;
     std::map<std::string, Value> doneResults;
+    std::map<std::string, std::string> down;  // evicted member -> reason
+    // Dead members' outboxes are parked here (sends may race with eviction)
+    // and destroyed with the session.
+    std::vector<Outbox*> retired;
+    bool established = false;
   };
   std::map<std::string, std::shared_ptr<SessRec>> sessions;
 
@@ -41,12 +58,55 @@ struct Initiator::Impl {
     return it->second;
   }
 
+  std::shared_ptr<SessRec> tryFind(const std::string& sessionId) {
+    std::scoped_lock lock(mutex);
+    const auto it = sessions.find(sessionId);
+    return it == sessions.end() ? nullptr : it->second;
+  }
+
   /// Receives from `rec->reply` until `deadline`; throws TimeoutError.
   Delivery receiveBy(SessRec& rec, TimePoint deadline) {
     const auto now = Clock::now();
     if (deadline <= now) throw TimeoutError("session phase timed out");
     return rec.reply->receive(
         std::chrono::duration_cast<Duration>(deadline - now));
+  }
+
+  /// Jittered exponential backoff: base * 2^attempt, scaled by a uniform
+  /// factor in [0.75, 1.25) so retrying initiators do not synchronize.
+  Duration backoff(const Plan& plan, std::size_t attempt) {
+    double factor;
+    {
+      std::scoped_lock lock(mutex);
+      factor = 0.75 + rng.uniform01() * 0.5;
+    }
+    const auto base = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        plan.retryBase);
+    const double ns =
+        static_cast<double>(base.count()) *
+        static_cast<double>(std::uint64_t{1} << std::min<std::size_t>(attempt, 16)) *
+        factor;
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::nanoseconds(static_cast<std::int64_t>(ns)));
+  }
+
+  /// Sends `msg` on `box`, resetting a failed stream once and retrying; the
+  /// reliable layer's retransmission handles packet loss below this.
+  bool sendOn(Outbox& box, const Message& msg) {
+    try {
+      box.send(msg);
+      return true;
+    } catch (const DeliveryError&) {
+      box.reset();
+    } catch (const Error&) {
+      return false;
+    }
+    try {
+      box.send(msg);
+      return true;
+    } catch (const Error&) {
+      return false;
+    }
   }
 
   InviteMsg makeInvite(const std::string& sessionId, const std::string& app,
@@ -61,6 +121,7 @@ struct Initiator::Impl {
     invite.readKeys = member.readKeys;
     invite.writeKeys = member.writeKeys;
     invite.params = member.params;
+    if (monitor != nullptr) invite.livenessRef = monitor->ref();
     return invite;
   }
 
@@ -92,19 +153,121 @@ struct Initiator::Impl {
     return out;
   }
 
+  void failMember(const std::string& sessionId, const std::string& member,
+                  const std::string& reason) {
+    auto rec = tryFind(sessionId);
+    if (!rec) return;
+    MemberDownMsg notice;
+    notice.sessionId = sessionId;
+    notice.memberName = member;
+    notice.reason = reason;
+    {
+      std::scoped_lock lock(rec->mtx);
+      // Mid-setup failures are owned by the phase retry/timeout logic; a
+      // hook firing then must not mutate maps establish() is iterating.
+      if (!rec->established) return;
+      if (rec->down.count(member) != 0) return;
+      // A member whose result is already in has completed its role; it
+      // stops heartbeating afterwards, so late suspicion is expected and
+      // must not evict it.
+      if (rec->doneResults.count(member) != 0) return;
+      const bool known =
+          std::any_of(rec->members.begin(), rec->members.end(),
+                      [&](const MemberPlan& m) { return m.name == member; });
+      if (!known) return;
+      rec->down[member] = reason;
+      const auto nodeIt = rec->memberNodes.find(member);
+      if (nodeIt != rec->memberNodes.end()) {
+        notice.node = nodeIt->second.packed();
+      }
+      const auto boxIt = rec->memberOutbox.find(member);
+      if (boxIt != rec->memberOutbox.end()) {
+        rec->retired.push_back(boxIt->second);
+        rec->memberOutbox.erase(boxIt);
+      }
+      DAPPLE_LOG(kInfo, kLog) << d.name() << ": session " << sessionId
+                              << ": member '" << member << "' declared down ("
+                              << reason << ")";
+      // Broadcast MEMBER_DOWN to the survivors while still holding `mtx` so
+      // a concurrent terminate() cannot free the outboxes mid-send.
+      for (const auto& [name, box] : rec->memberOutbox) {
+        if (!sendOn(*box, notice)) {
+          DAPPLE_LOG(kDebug, kLog)
+              << d.name() << ": MEMBER_DOWN to '" << name << "' failed";
+        }
+      }
+    }
+    if (monitor != nullptr) monitor->unwatch(sessionId + "/" + member);
+  }
+
   void destroy(const std::string& sessionId,
                const std::shared_ptr<SessRec>& rec) {
     {
       std::scoped_lock lock(mutex);
       sessions.erase(sessionId);
     }
+    if (monitor != nullptr) {
+      std::vector<std::string> keys;
+      {
+        std::scoped_lock lock(rec->mtx);
+        for (const auto& [name, ref] : rec->memberLiveness) {
+          keys.push_back(sessionId + "/" + name);
+        }
+      }
+      for (const std::string& key : keys) monitor->unwatch(key);
+    }
+    std::scoped_lock lock(rec->mtx);
     for (auto& [name, box] : rec->memberOutbox) d.destroyOutbox(*box);
+    rec->memberOutbox.clear();
+    for (Outbox* box : rec->retired) d.destroyOutbox(*box);
+    rec->retired.clear();
     if (rec->reply != nullptr) d.destroyInbox(*rec->reply);
   }
 };
 
-Initiator::Initiator(Dapplet& dapplet)
-    : impl_(std::make_unique<Impl>(dapplet)) {}
+Initiator::Initiator(Dapplet& dapplet, PeerMonitor* monitor)
+    : impl_(std::make_shared<Impl>(dapplet, monitor)) {
+  // Failure hooks use weak references: the dapplet and monitor may outlive
+  // this initiator and offer no callback removal.
+  std::weak_ptr<Impl> weak = impl_;
+  dapplet.addPeerFailureListener(
+      [weak](const NodeAddress& dst, std::uint64_t outboxId,
+             const std::string& reason) {
+        auto impl = weak.lock();
+        if (!impl) return;
+        (void)dst;
+        std::string sessionId;
+        std::string member;
+        {
+          std::scoped_lock lock(impl->mutex);
+          for (const auto& [id, rec] : impl->sessions) {
+            std::scoped_lock recLock(rec->mtx);
+            for (const auto& [name, box] : rec->memberOutbox) {
+              if (box->id() == outboxId) {
+                sessionId = id;
+                member = name;
+                break;
+              }
+            }
+            if (!member.empty()) break;
+          }
+        }
+        if (!member.empty()) {
+          impl->failMember(sessionId, member, "stream failure: " + reason);
+        }
+      });
+  if (monitor != nullptr) {
+    monitor->onSuspect([weak](const std::string& key, const InboxRef&) {
+      auto impl = weak.lock();
+      if (!impl) return;
+      // Initiator watch keys are "<sessionId>/<memberName>".
+      const auto slash = key.find('/');
+      if (slash == std::string::npos) return;
+      impl->failMember(key.substr(0, slash), key.substr(slash + 1),
+                       "liveness: peer suspected dead");
+    });
+  }
+}
 
 Initiator::~Initiator() = default;
 
@@ -140,37 +303,72 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     impl_->sessions[result.sessionId] = rec;
   }
 
+  const std::size_t attempts = std::max<std::size_t>(1, plan.setupAttempts);
+
   // ---- Phase 1: INVITE --------------------------------------------------
+  // Retry loop: each attempt (re)sends INVITE to every member that has not
+  // answered yet, then waits out a jittered exponential backoff for the
+  // replies.  Duplicate invites are idempotent at the agent, and answers
+  // dedup naturally through the per-member maps.
   for (const MemberPlan& member : plan.members) {
     Outbox& box = d.createOutbox();
     box.add(member.control);
     rec->memberOutbox[member.name] = &box;
-    InviteMsg invite =
-        impl_->makeInvite(result.sessionId, plan.app, member,
-                          rec->reply->ref());
-    box.send(invite);
   }
-
   const TimePoint inviteDeadline = Clock::now() + plan.phaseTimeout;
-  std::size_t replies = 0;
-  try {
-    while (replies < plan.members.size()) {
-      Delivery del = impl_->receiveBy(*rec, inviteDeadline);
-      const auto* reply = dynamic_cast<const InviteReplyMsg*>(del.message.get());
-      if (reply == nullptr || reply->sessionId != result.sessionId) continue;
-      ++replies;
-      if (reply->accepted) {
-        rec->memberRefs[reply->memberName] = reply->inboxRefs;
-      } else {
-        result.rejections[reply->memberName] = reply->reason;
-      }
-    }
-  } catch (const TimeoutError&) {
+  const auto inviteAnswered = [&](const MemberPlan& member) {
+    return rec->memberRefs.count(member.name) != 0 ||
+           result.rejections.count(member.name) != 0;
+  };
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    bool all = true;
     for (const MemberPlan& member : plan.members) {
-      if (rec->memberRefs.count(member.name) == 0 &&
-          result.rejections.count(member.name) == 0) {
-        result.rejections[member.name] = "no reply (timeout)";
+      if (inviteAnswered(member)) continue;
+      all = false;
+      InviteMsg invite = impl_->makeInvite(result.sessionId, plan.app, member,
+                                           rec->reply->ref());
+      impl_->sendOn(*rec->memberOutbox.at(member.name), invite);
+    }
+    if (all) break;
+    const TimePoint attemptDeadline =
+        attempt + 1 == attempts
+            ? inviteDeadline
+            : std::min(inviteDeadline,
+                       Clock::now() + impl_->backoff(plan, attempt));
+    try {
+      for (;;) {
+        bool answered = true;
+        for (const MemberPlan& member : plan.members) {
+          if (!inviteAnswered(member)) {
+            answered = false;
+            break;
+          }
+        }
+        if (answered) break;
+        Delivery del = impl_->receiveBy(*rec, attemptDeadline);
+        const auto* reply =
+            dynamic_cast<const InviteReplyMsg*>(del.message.get());
+        if (reply == nullptr || reply->sessionId != result.sessionId) continue;
+        if (reply->accepted) {
+          rec->memberRefs[reply->memberName] = reply->inboxRefs;
+          if (reply->livenessRef.valid()) {
+            rec->memberLiveness[reply->memberName] = reply->livenessRef;
+          }
+        } else {
+          result.rejections[reply->memberName] = reply->reason;
+        }
       }
+      break;  // everyone answered
+    } catch (const TimeoutError&) {
+      if (Clock::now() >= inviteDeadline) break;
+      DAPPLE_LOG(kDebug, kLog)
+          << d.name() << ": INVITE attempt " << (attempt + 1) << "/"
+          << attempts << " incomplete, retrying";
+    }
+  }
+  for (const MemberPlan& member : plan.members) {
+    if (!inviteAnswered(member)) {
+      result.rejections[member.name] = "no reply (timeout)";
     }
   }
   if (!result.rejections.empty()) {
@@ -179,7 +377,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     abortMsg.sessionId = result.sessionId;
     abortMsg.reason = "session aborted during setup";
     for (const auto& [name, refs] : rec->memberRefs) {
-      rec->memberOutbox.at(name)->send(abortMsg);
+      impl_->sendOn(*rec->memberOutbox.at(name), abortMsg);
     }
     impl_->destroy(result.sessionId, rec);
     result.ok = false;
@@ -188,46 +386,98 @@ Initiator::Result Initiator::establish(const Plan& plan) {
 
   // ---- Phase 2: WIRE ------------------------------------------------------
   auto bindingPlan = impl_->planBindings(*rec, plan.edges);
-  for (const MemberPlan& member : plan.members) {
-    WireMsg wire;
-    wire.sessionId = result.sessionId;
-    const auto it = bindingPlan.find(member.name);
-    if (it != bindingPlan.end()) wire.bindings = it->second;
-    rec->memberOutbox.at(member.name)->send(wire);
-  }
   const TimePoint wireDeadline = Clock::now() + plan.phaseTimeout;
-  std::size_t wired = 0;
-  try {
-    while (wired < plan.members.size()) {
-      Delivery del = impl_->receiveBy(*rec, wireDeadline);
-      const auto* reply = dynamic_cast<const WireReplyMsg*>(del.message.get());
-      if (reply == nullptr || reply->sessionId != result.sessionId) continue;
-      if (!reply->ok) {
-        result.rejections[reply->memberName] = reply->reason;
+  std::set<std::string> wiredOk;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    bool all = true;
+    for (const MemberPlan& member : plan.members) {
+      if (wiredOk.count(member.name) != 0 ||
+          result.rejections.count(member.name) != 0) {
+        continue;
       }
-      ++wired;
+      all = false;
+      WireMsg wire;
+      wire.sessionId = result.sessionId;
+      const auto it = bindingPlan.find(member.name);
+      if (it != bindingPlan.end()) wire.bindings = it->second;
+      impl_->sendOn(*rec->memberOutbox.at(member.name), wire);
     }
-  } catch (const TimeoutError&) {
+    if (all) break;
+    const TimePoint attemptDeadline =
+        attempt + 1 == attempts
+            ? wireDeadline
+            : std::min(wireDeadline,
+                       Clock::now() + impl_->backoff(plan, attempt));
+    try {
+      while (wiredOk.size() + result.rejections.size() < plan.members.size()) {
+        Delivery del = impl_->receiveBy(*rec, attemptDeadline);
+        const auto* reply =
+            dynamic_cast<const WireReplyMsg*>(del.message.get());
+        if (reply == nullptr || reply->sessionId != result.sessionId) continue;
+        if (reply->ok) {
+          wiredOk.insert(reply->memberName);
+        } else {
+          result.rejections[reply->memberName] = reply->reason;
+        }
+      }
+      break;
+    } catch (const TimeoutError&) {
+      if (Clock::now() >= wireDeadline) break;
+      DAPPLE_LOG(kDebug, kLog)
+          << d.name() << ": WIRE attempt " << (attempt + 1) << "/" << attempts
+          << " incomplete, retrying";
+    }
+  }
+  if (wiredOk.size() < plan.members.size() && result.rejections.empty()) {
     result.rejections["(wire)"] = "wiring timed out";
   }
   if (!result.rejections.empty()) {
     UnlinkMsg abortMsg;
     abortMsg.sessionId = result.sessionId;
     abortMsg.reason = "session aborted during wiring";
-    for (auto& [name, box] : rec->memberOutbox) box->send(abortMsg);
+    for (auto& [name, box] : rec->memberOutbox) impl_->sendOn(*box, abortMsg);
     impl_->destroy(result.sessionId, rec);
     result.ok = false;
     return result;
   }
 
   // ---- Phase 3: START -----------------------------------------------------
+  // START has no reply; confirmation is transport-level.  Send, then flush;
+  // a failed stream gets reset and START re-sent (duplicate STARTs are
+  // ignored by the agent's `started` latch).
   StartMsg start;
   start.sessionId = result.sessionId;
   for (const MemberPlan& member : plan.members) {
     start.peers.push_back(member.name);
   }
   start.params = plan.params;
-  for (auto& [name, box] : rec->memberOutbox) box->send(start);
+  const TimePoint startDeadline = Clock::now() + plan.phaseTimeout;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    for (auto& [name, box] : rec->memberOutbox) impl_->sendOn(*box, start);
+    const TimePoint flushBy =
+        attempt + 1 == attempts
+            ? startDeadline
+            : std::min(startDeadline,
+                       Clock::now() + impl_->backoff(plan, attempt));
+    const auto now = Clock::now();
+    if (d.flush(flushBy > now ? flushBy - now : Duration::zero())) break;
+    if (Clock::now() >= startDeadline) break;
+    for (auto& [name, box] : rec->memberOutbox) box->reset();
+  }
+
+  // The session is live: start watching member liveness.
+  {
+    std::scoped_lock lock(rec->mtx);
+    for (const MemberPlan& member : plan.members) {
+      rec->memberNodes[member.name] = member.control.node;
+    }
+    rec->established = true;
+  }
+  if (impl_->monitor != nullptr) {
+    for (const auto& [name, ref] : rec->memberLiveness) {
+      impl_->monitor->watch(result.sessionId + "/" + name, ref);
+    }
+  }
 
   result.ok = true;
   return result;
@@ -237,13 +487,71 @@ std::map<std::string, Value> Initiator::awaitCompletion(
     const std::string& sessionId, Duration timeout) {
   auto rec = impl_->find(sessionId);
   const TimePoint deadline = Clock::now() + timeout;
-  while (rec->doneResults.size() < rec->members.size()) {
-    Delivery del = impl_->receiveBy(*rec, deadline);  // throws TimeoutError
-    const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
-    if (done == nullptr || done->sessionId != sessionId) continue;
-    rec->doneResults[done->memberName] = done->result;
+  // Poll in short slices: evictions arrive from detector threads, not from
+  // the reply inbox, so a blocked receive alone could miss "everyone left
+  // alive is done".
+  for (;;) {
+    bool complete;
+    {
+      std::scoped_lock lock(rec->mtx);
+      std::size_t settled = 0;
+      for (const MemberPlan& member : rec->members) {
+        if (rec->doneResults.count(member.name) != 0 ||
+            rec->down.count(member.name) != 0) {
+          ++settled;
+        }
+      }
+      complete = settled >= rec->members.size();
+    }
+    if (complete) break;
+    const TimePoint now = Clock::now();
+    if (now >= deadline) {
+      throw TimeoutError("session '" + sessionId +
+                         "' did not complete in time");
+    }
+    const Duration slice =
+        std::min<Duration>(milliseconds(50), deadline - now);
+    try {
+      Delivery del = rec->reply->receive(slice);
+      const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
+      if (done == nullptr || done->sessionId != sessionId) continue;
+      std::scoped_lock lock(rec->mtx);
+      rec->doneResults[done->memberName] = done->result;
+    } catch (const TimeoutError&) {
+      // slice elapsed; re-check eviction state
+    }
   }
-  return rec->doneResults;
+  std::map<std::string, Value> out;
+  std::scoped_lock lock(rec->mtx);
+  out = rec->doneResults;
+  for (const auto& [name, reason] : rec->down) {
+    if (out.count(name) != 0) continue;  // finished before the verdict
+    ValueMap ann;
+    ann["peerDown"] = Value(true);
+    ann["member"] = Value(name);
+    ann["reason"] = Value(reason);
+    out[name] = Value(std::move(ann));
+  }
+  return out;
+}
+
+void Initiator::failMember(const std::string& sessionId,
+                           const std::string& member,
+                           const std::string& reason) {
+  impl_->failMember(sessionId, member, reason);
+}
+
+std::map<std::string, std::string> Initiator::downMembers(
+    const std::string& sessionId) const {
+  std::shared_ptr<Impl::SessRec> rec;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    const auto it = impl_->sessions.find(sessionId);
+    if (it == impl_->sessions.end()) return {};
+    rec = it->second;
+  }
+  std::scoped_lock lock(rec->mtx);
+  return rec->down;
 }
 
 void Initiator::terminate(const std::string& sessionId,
@@ -258,12 +566,15 @@ void Initiator::terminate(const std::string& sessionId,
   UnlinkMsg unlink;
   unlink.sessionId = sessionId;
   unlink.reason = reason;
-  for (auto& [name, box] : rec->memberOutbox) {
-    try {
-      box->send(unlink);
-    } catch (const Error& e) {
-      DAPPLE_LOG(kDebug, kLog) << "unlink to " << name
-                               << " failed: " << e.what();
+  {
+    std::scoped_lock lock(rec->mtx);
+    for (auto& [name, box] : rec->memberOutbox) {
+      try {
+        box->send(unlink);
+      } catch (const Error& e) {
+        DAPPLE_LOG(kDebug, kLog) << "unlink to " << name
+                                 << " failed: " << e.what();
+      }
     }
   }
   impl_->d.flush(seconds(2));
@@ -285,11 +596,13 @@ bool Initiator::addMember(const std::string& sessionId,
 
   const TimePoint deadline = Clock::now() + timeout;
   bool accepted = false;
+  InboxRef liveRef;
   try {
     while (true) {
       Delivery del = impl_->receiveBy(*rec, deadline);
       if (const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
           done != nullptr && done->sessionId == sessionId) {
+        std::scoped_lock lock(rec->mtx);
         rec->doneResults[done->memberName] = done->result;  // stash
         continue;
       }
@@ -300,6 +613,7 @@ bool Initiator::addMember(const std::string& sessionId,
       }
       if (reply->accepted) {
         rec->memberRefs[member.name] = reply->inboxRefs;
+        liveRef = reply->livenessRef;
         accepted = true;
       }
       break;
@@ -310,26 +624,34 @@ bool Initiator::addMember(const std::string& sessionId,
     d.destroyOutbox(box);
     return false;
   }
-  rec->memberOutbox[member.name] = &box;
-  rec->members.push_back(member);
+  {
+    std::scoped_lock lock(rec->mtx);
+    rec->memberOutbox[member.name] = &box;
+    rec->members.push_back(member);
+    rec->memberNodes[member.name] = member.control.node;
+    if (liveRef.valid()) rec->memberLiveness[member.name] = liveRef;
+  }
 
   // Wire the new edges (existing members get incremental WireMsgs).
   auto bindingPlan = impl_->planBindings(*rec, newEdges);
   std::size_t expectWired = 0;
-  for (const auto& [target, bindings] : bindingPlan) {
-    WireMsg wire;
-    wire.sessionId = sessionId;
-    wire.bindings = bindings;
-    rec->memberOutbox.at(target)->send(wire);
-    ++expectWired;
-  }
-  // New member must always be wired (possibly with zero bindings) before
-  // START so the session protocol stays uniform.
-  if (bindingPlan.count(member.name) == 0) {
-    WireMsg wire;
-    wire.sessionId = sessionId;
-    rec->memberOutbox.at(member.name)->send(wire);
-    ++expectWired;
+  {
+    std::scoped_lock lock(rec->mtx);
+    for (const auto& [target, bindings] : bindingPlan) {
+      WireMsg wire;
+      wire.sessionId = sessionId;
+      wire.bindings = bindings;
+      rec->memberOutbox.at(target)->send(wire);
+      ++expectWired;
+    }
+    // New member must always be wired (possibly with zero bindings) before
+    // START so the session protocol stays uniform.
+    if (bindingPlan.count(member.name) == 0) {
+      WireMsg wire;
+      wire.sessionId = sessionId;
+      rec->memberOutbox.at(member.name)->send(wire);
+      ++expectWired;
+    }
   }
   std::size_t wired = 0;
   try {
@@ -337,6 +659,7 @@ bool Initiator::addMember(const std::string& sessionId,
       Delivery del = impl_->receiveBy(*rec, deadline);
       if (const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
           done != nullptr && done->sessionId == sessionId) {
+        std::scoped_lock lock(rec->mtx);
         rec->doneResults[done->memberName] = done->result;
         continue;
       }
@@ -351,9 +674,15 @@ bool Initiator::addMember(const std::string& sessionId,
 
   StartMsg start;
   start.sessionId = sessionId;
-  for (const MemberPlan& m : rec->members) start.peers.push_back(m.name);
-  start.params = rec->params;
-  rec->memberOutbox.at(member.name)->send(start);
+  {
+    std::scoped_lock lock(rec->mtx);
+    for (const MemberPlan& m : rec->members) start.peers.push_back(m.name);
+    start.params = rec->params;
+    rec->memberOutbox.at(member.name)->send(start);
+  }
+  if (impl_->monitor != nullptr && liveRef.valid()) {
+    impl_->monitor->watch(sessionId + "/" + member.name, liveRef);
+  }
   return true;
 }
 
@@ -380,6 +709,7 @@ void Initiator::removeMember(const std::string& sessionId,
       }
       found->targets.push_back(inboxIt->second);
     }
+    std::scoped_lock lock(rec->mtx);
     for (const auto& [target, bindings] : unbinds) {
       const auto boxIt = rec->memberOutbox.find(target);
       if (boxIt == rec->memberOutbox.end()) continue;
@@ -390,19 +720,31 @@ void Initiator::removeMember(const std::string& sessionId,
     }
   }
 
-  const auto boxIt = rec->memberOutbox.find(member);
-  if (boxIt != rec->memberOutbox.end()) {
-    UnlinkMsg unlink;
-    unlink.sessionId = sessionId;
-    unlink.reason = "removed from session";
-    boxIt->second->send(unlink);
-    d.flush(seconds(2));
-    d.destroyOutbox(*boxIt->second);
-    rec->memberOutbox.erase(boxIt);
+  {
+    std::scoped_lock lock(rec->mtx);
+    const auto boxIt = rec->memberOutbox.find(member);
+    if (boxIt != rec->memberOutbox.end()) {
+      UnlinkMsg unlink;
+      unlink.sessionId = sessionId;
+      unlink.reason = "removed from session";
+      boxIt->second->send(unlink);
+      // Park the outbox instead of freeing it under a failure hook's feet.
+      rec->retired.push_back(boxIt->second);
+      rec->memberOutbox.erase(boxIt);
+    }
+    rec->memberNodes.erase(member);
+    rec->memberLiveness.erase(member);
+  }
+  d.flush(seconds(2));
+  if (impl_->monitor != nullptr) {
+    impl_->monitor->unwatch(sessionId + "/" + member);
   }
   rec->memberRefs.erase(member);
-  std::erase_if(rec->members,
-                [&](const MemberPlan& m) { return m.name == member; });
+  {
+    std::scoped_lock lock(rec->mtx);
+    std::erase_if(rec->members,
+                  [&](const MemberPlan& m) { return m.name == member; });
+  }
   std::erase_if(rec->edges, [&](const Edge& e) {
     return e.fromMember == member || e.toMember == member;
   });

@@ -26,6 +26,13 @@ void Outbox::remove(const InboxRef& ref) {
   destinations_.erase(it);
 }
 
+std::size_t Outbox::removeNode(const NodeAddress& node) {
+  std::scoped_lock lock(mutex_);
+  return std::erase_if(destinations_, [&](const InboxRef& ref) {
+    return ref.node == node;
+  });
+}
+
 void Outbox::send(const Message& msg) {
   std::vector<InboxRef> destinations;
   {

@@ -36,6 +36,7 @@ struct SessionContext::Record {
   std::vector<std::string> peers;
   Value memberParams;
   Value sessionParams;
+  std::string livenessKey;  // monitor watch key for the initiator ("" = none)
 
   std::stop_source stopSource;
 
@@ -173,6 +174,8 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       onUnlink(*unlink);
     } else if (const auto* unbind = dynamic_cast<const UnbindMsg*>(&m)) {
       onUnbind(*unbind);
+    } else if (const auto* down = dynamic_cast<const MemberDownMsg*>(&m)) {
+      onMemberDown(*down);
     } else {
       DAPPLE_LOG(kDebug, kLog) << d.name() << ": unexpected control message "
                                << m.typeName();
@@ -192,6 +195,7 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         for (const auto& [name, box] : existing->second->inboxes) {
           out.inboxRefs[name] = box->ref();
         }
+        if (cfg.monitor != nullptr) out.livenessRef = cfg.monitor->ref();
       } else if (!cfg.acl.empty() && cfg.acl.count(m.initiatorName) == 0) {
         out.accepted = false;
         out.reason = "initiator '" + m.initiatorName +
@@ -224,6 +228,15 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         if (cfg.store != nullptr) {
           rec->stateView.emplace(*cfg.store,
                                  toSets(m.readKeys, m.writeKeys));
+        }
+        if (cfg.monitor != nullptr) {
+          out.livenessRef = cfg.monitor->ref();
+          if (m.livenessRef.valid()) {
+            // Watch the initiator back: if it dies, the session is headless
+            // and this member unlinks itself (see the onSuspect hook).
+            rec->livenessKey = "init/" + m.sessionId;
+            cfg.monitor->watch(rec->livenessKey, m.livenessRef);
+          }
         }
         sessions[m.sessionId] = rec;
         out.accepted = true;
@@ -355,7 +368,20 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       const auto it = sessions.find(m.sessionId);
       if (it == sessions.end()) return;
       rec = it->second;
+    }
+    unlinkLocal(rec, false);
+  }
+
+  /// Tears a linked session down from this side: used for UNLINK and when
+  /// the session's initiator is declared dead (headless sessions cannot
+  /// complete — nobody would collect DONE or send UNLINK).
+  void unlinkLocal(const std::shared_ptr<SessionContext::Record>& rec,
+                   bool initiatorLost) {
+    {
+      std::scoped_lock lock(mutex);
+      if (sessions.count(rec->sessionId) == 0) return;
       ++stats.sessionsUnlinked;
+      if (initiatorLost) ++stats.initiatorsLost;
     }
     {
       std::scoped_lock lock(rec->mutex);
@@ -367,6 +393,84 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
     maybeCleanup(rec);
   }
 
+  /// A peer dapplet at `node` crash-stopped: drop this session's bindings to
+  /// it, clear the resulting stream failures so survivor channels keep
+  /// working, and fail blocked receives fast.  Every session inbox gets one
+  /// PeerDownError alert — the agent cannot know which inboxes the dead peer
+  /// fed, so roles must treat the error as "session degraded, a peer is
+  /// gone" and re-enter receive if they still expect survivor traffic.
+  void evictNode(const std::shared_ptr<SessionContext::Record>& rec,
+                 const NodeAddress& node, const std::string& reason) {
+    std::vector<Outbox*> outboxes;
+    {
+      std::scoped_lock lock(mutex);
+      if (sessions.count(rec->sessionId) == 0) return;  // already unlinked
+      for (const auto& [name, box] : rec->outboxes) {
+        if (box != nullptr) outboxes.push_back(box);
+      }
+      ++stats.peersEvicted;
+    }
+    for (Outbox* box : outboxes) {
+      if (box->removeNode(node) > 0) box->reset();
+    }
+    for (const auto& [name, box] : rec->inboxes) box->raise(reason);
+    DAPPLE_LOG(kInfo, kLog) << d.name() << ": session " << rec->sessionId
+                            << ": evicted peer at " << node.toString() << " ("
+                            << reason << ")";
+  }
+
+  void onMemberDown(const MemberDownMsg& m) {
+    std::shared_ptr<SessionContext::Record> rec;
+    {
+      std::scoped_lock lock(mutex);
+      const auto it = sessions.find(m.sessionId);
+      if (it == sessions.end()) return;
+      rec = it->second;
+    }
+    evictNode(rec, NodeAddress::fromPacked(m.node),
+              "member '" + m.memberName + "' down: " + m.reason);
+  }
+
+  /// Reliable-stream failure hook: a send stream from this dapplet timed
+  /// out.  When it is one of a session's data outboxes, evict the dead node
+  /// locally (the initiator's MEMBER_DOWN may lag or never come if the
+  /// initiator died too).  When it is a cached reply stream, every session
+  /// whose initiator lives at `dst` just lost its head — unlink them.
+  void onPeerFailure(const NodeAddress& dst, std::uint64_t outboxId,
+                     const std::string& reason) {
+    bool isReplyStream = false;
+    {
+      std::scoped_lock lock(replyMutex);
+      for (const auto& [key, box] : replyOutboxes) {
+        if (box->id() == outboxId) {
+          isReplyStream = true;
+          break;
+        }
+      }
+    }
+    std::vector<std::shared_ptr<SessionContext::Record>> evict;
+    std::vector<std::shared_ptr<SessionContext::Record>> headless;
+    {
+      std::scoped_lock lock(mutex);
+      for (const auto& [id, rec] : sessions) {
+        if (isReplyStream) {
+          if (rec->initiatorReply.node == dst) headless.push_back(rec);
+          continue;
+        }
+        for (const auto& [name, box] : rec->outboxes) {
+          if (box != nullptr && box->id() == outboxId) {
+            evict.push_back(rec);
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& rec : evict) {
+      evictNode(rec, dst, "stream failure: " + reason);
+    }
+    for (const auto& rec : headless) unlinkLocal(rec, true);
+  }
+
   /// Destroys the session's ports and forgets it once both (a) it has been
   /// unlinked or its role finished, and (b) no role thread can still touch
   /// the ports.
@@ -376,13 +480,18 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       const bool roleDone = rec->roleFinished || !rec->started;
       if (!(rec->unlinked && roleDone)) return;
     }
-    std::scoped_lock lock(mutex);
-    if (sessions.erase(rec->sessionId) == 0) return;  // already cleaned
-    for (const auto& [name, box] : rec->inboxes) d.destroyInbox(*box);
-    for (const auto& [name, box] : rec->outboxes) {
-      if (box != nullptr) d.destroyOutbox(*box);
+    {
+      std::scoped_lock lock(mutex);
+      if (sessions.erase(rec->sessionId) == 0) return;  // already cleaned
+      for (const auto& [name, box] : rec->inboxes) d.destroyInbox(*box);
+      for (const auto& [name, box] : rec->outboxes) {
+        if (box != nullptr) d.destroyOutbox(*box);
+      }
+      interference.release(rec->sessionId);
     }
-    interference.release(rec->sessionId);
+    if (cfg.monitor != nullptr && !rec->livenessKey.empty()) {
+      cfg.monitor->unwatch(rec->livenessKey);
+    }
     DAPPLE_LOG(kDebug, kLog) << d.name() << ": session " << rec->sessionId
                              << " unlinked";
   }
@@ -391,6 +500,29 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
 SessionAgent::SessionAgent(Dapplet& dapplet, Config config)
     : impl_(std::make_shared<Impl>(dapplet, std::move(config))) {
   impl_->control = &dapplet.createInbox(kSessionControlInbox);
+  // Failure hooks capture weak_ptrs: the monitor and the dapplet may both
+  // outlive this agent, and neither supports callback removal.
+  std::weak_ptr<Impl> weak = impl_;
+  dapplet.addPeerFailureListener(
+      [weak](const NodeAddress& dst, std::uint64_t outboxId,
+             const std::string& reason) {
+        if (auto impl = weak.lock()) impl->onPeerFailure(dst, outboxId, reason);
+      });
+  if (impl_->cfg.monitor != nullptr) {
+    impl_->cfg.monitor->onSuspect(
+        [weak](const std::string& key, const InboxRef&) {
+          auto impl = weak.lock();
+          if (!impl || key.rfind("init/", 0) != 0) return;
+          std::shared_ptr<SessionContext::Record> rec;
+          {
+            std::scoped_lock lock(impl->mutex);
+            const auto it = impl->sessions.find(key.substr(5));
+            if (it == impl->sessions.end()) return;
+            rec = it->second;
+          }
+          impl->unlinkLocal(rec, true);
+        });
+  }
   auto impl = impl_;
   dapplet.spawn([impl](std::stop_token stop) {
     try {

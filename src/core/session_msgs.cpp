@@ -76,6 +76,7 @@ void InviteMsg::encodeFields(TextWriter& w) const {
   encodeStrings(w, readKeys);
   encodeStrings(w, writeKeys);
   params.encode(w);
+  livenessRef.encode(w);
 }
 
 void InviteMsg::decodeFields(TextReader& r) {
@@ -88,6 +89,7 @@ void InviteMsg::decodeFields(TextReader& r) {
   readKeys = decodeStrings(r);
   writeKeys = decodeStrings(r);
   params = Value::decode(r);
+  livenessRef = InboxRef::decode(r);
 }
 
 void InviteReplyMsg::encodeFields(TextWriter& w) const {
@@ -96,6 +98,7 @@ void InviteReplyMsg::encodeFields(TextWriter& w) const {
   w.writeBool(accepted);
   w.writeString(reason);
   encodeRefMap(w, inboxRefs);
+  livenessRef.encode(w);
 }
 
 void InviteReplyMsg::decodeFields(TextReader& r) {
@@ -104,6 +107,7 @@ void InviteReplyMsg::decodeFields(TextReader& r) {
   accepted = r.readBool();
   reason = r.readString();
   inboxRefs = decodeRefMap(r);
+  livenessRef = InboxRef::decode(r);
 }
 
 void WireMsg::encodeFields(TextWriter& w) const {
@@ -164,6 +168,20 @@ void UnlinkMsg::decodeFields(TextReader& r) {
   reason = r.readString();
 }
 
+void MemberDownMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  w.writeU64(node);
+  w.writeString(reason);
+}
+
+void MemberDownMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  node = r.readU64();
+  reason = r.readString();
+}
+
 void UnbindMsg::encodeFields(TextWriter& w) const {
   w.writeString(sessionId);
   wiredetail::encodeBindings(w, bindings);
@@ -182,5 +200,6 @@ DAPPLE_REGISTER_MESSAGE(StartMsg)
 DAPPLE_REGISTER_MESSAGE(DoneMsg)
 DAPPLE_REGISTER_MESSAGE(UnlinkMsg)
 DAPPLE_REGISTER_MESSAGE(UnbindMsg)
+DAPPLE_REGISTER_MESSAGE(MemberDownMsg)
 
 }  // namespace dapple

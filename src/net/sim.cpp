@@ -278,6 +278,33 @@ void SimNetwork::setPartition(std::uint32_t hostA, std::uint32_t hostB,
   }
 }
 
+bool SimNetwork::kill(const NodeAddress& addr) {
+  // Grab the shared_ptr under the net lock, close outside it: close() takes
+  // the endpoint mutex (handler barrier) and then re-takes the net mutex.
+  std::shared_ptr<EndpointImpl> target;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    const auto it = impl_->endpoints.find(addr);
+    if (it != impl_->endpoints.end()) target = it->second.lock();
+  }
+  if (!target) return false;
+  target->close();
+  return true;
+}
+
+std::size_t SimNetwork::killHost(std::uint32_t host) {
+  std::vector<std::shared_ptr<EndpointImpl>> targets;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    for (const auto& [addr, weak] : impl_->endpoints) {
+      if (addr.host != host) continue;
+      if (auto ep = weak.lock()) targets.push_back(std::move(ep));
+    }
+  }
+  for (const auto& ep : targets) ep->close();
+  return targets.size();
+}
+
 SimNetwork::Stats SimNetwork::stats() const {
   std::scoped_lock lock(impl_->mutex);
   return impl_->stats;

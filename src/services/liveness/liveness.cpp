@@ -1,0 +1,274 @@
+#include "dapple/services/liveness/liveness.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "dapple/serial/data_message.hpp"
+#include "dapple/util/log.hpp"
+
+namespace dapple {
+
+namespace {
+constexpr const char* kLog = "liveness";
+constexpr const char* kHeartbeat = "live.hb";
+}  // namespace
+
+struct LivenessMonitor::Impl {
+  Impl(Dapplet& dapplet, LivenessConfig cfg) : d(dapplet) {
+    interval = cfg.heartbeatInterval > Duration::zero()
+                   ? cfg.heartbeatInterval
+                   : dapplet.config().heartbeatInterval;
+    timeout = cfg.suspectTimeout > Duration::zero()
+                  ? cfg.suspectTimeout
+                  : dapplet.config().suspectTimeout;
+  }
+
+  Dapplet& d;
+  Inbox* inbox = nullptr;
+  Duration interval{};
+  Duration timeout{};
+
+  mutable std::mutex mutex;
+  std::condition_variable cv;
+  bool loopDone = false;
+
+  struct Watch {
+    InboxRef peer;
+    Outbox* out = nullptr;
+    TimePoint lastHeard;
+    bool suspected = false;
+  };
+  std::unordered_map<std::string, Watch> watches;
+  // Outboxes replaced by watch()/unwatch() are parked here, not destroyed:
+  // beat() sends on raw Outbox pointers outside the lock, so storage must
+  // outlive the beat loop.  Freed in the destructor once the loop is done.
+  std::vector<Outbox*> retired;
+
+  std::vector<PeerFn> suspectFns;
+  std::vector<PeerFn> aliveFns;
+  Stats stats;
+
+  struct Event {
+    std::string key;
+    InboxRef peer;
+    bool down = false;  // true: suspect, false: alive
+  };
+
+  /// Heartbeats are matched by the sender's node address — every watch whose
+  /// peer lives at `src` is refreshed.
+  void onHeartbeat(const NodeAddress& src, std::vector<Event>& events) {
+    std::scoped_lock lock(mutex);
+    ++stats.heartbeatsReceived;
+    const TimePoint now = Clock::now();
+    for (auto& [key, w] : watches) {
+      if (w.peer.node != src) continue;
+      w.lastHeard = now;
+      if (w.suspected) {
+        w.suspected = false;
+        ++stats.recoveryEvents;
+        events.push_back({key, w.peer, false});
+      }
+    }
+  }
+
+  /// One detector beat: emit heartbeats to every watched peer, then check
+  /// silence deadlines.  Returns suspect transitions to fire outside the
+  /// lock.
+  void beat(std::vector<Event>& events) {
+    // (outbox, reset-before-send): probes to suspected peers drop the
+    // unacked backlog first so a dead stream never accumulates frames the
+    // retransmit timer would replay forever.
+    std::vector<std::pair<Outbox*, bool>> targets;
+    {
+      std::scoped_lock lock(mutex);
+      const TimePoint now = Clock::now();
+      for (auto& [key, w] : watches) {
+        if (!w.suspected && now - w.lastHeard > timeout) {
+          w.suspected = true;
+          ++stats.suspectEvents;
+          events.push_back({key, w.peer, true});
+          DAPPLE_LOG(kInfo, kLog)
+              << d.name() << ": suspecting peer " << w.peer.toString()
+              << " (key '" << key << "')";
+        }
+        targets.emplace_back(w.out, w.suspected);
+      }
+      stats.heartbeatsSent += targets.size();
+    }
+    DataMessage hb(kHeartbeat);
+    for (auto& [out, suspected] : targets) {
+      try {
+        if (suspected) out->reset();
+        out->send(hb);
+      } catch (const DeliveryError&) {
+        // Stream to a (probably dead) peer failed; re-arm so heartbeats
+        // resume if the peer heals.  Suspicion itself is silence-driven.
+        out->reset();
+      } catch (const Error&) {
+        // Endpoint closing down; the run loop will exit shortly.
+      }
+    }
+  }
+
+  void fire(const std::vector<Event>& events) {
+    std::vector<PeerFn> down, up;
+    {
+      std::scoped_lock lock(mutex);
+      down = suspectFns;
+      up = aliveFns;
+    }
+    for (const Event& ev : events) {
+      for (const auto& fn : (ev.down ? down : up)) fn(ev.key, ev.peer);
+    }
+  }
+
+  void run(std::stop_token stop) {
+    // Beats are paced by wall time, NOT by the receive loop: one iteration
+    // per incoming message would make every received heartbeat trigger an
+    // immediate multicast to all watches — a positive-feedback storm once
+    // several monitors watch each other.
+    TimePoint nextBeat = Clock::now();
+    while (!stop.stop_requested()) {
+      std::vector<Event> events;
+      if (Clock::now() >= nextBeat) {
+        beat(events);
+        nextBeat = Clock::now() + interval;
+      }
+      const Duration wait =
+          std::max(Duration::zero(), nextBeat - Clock::now());
+      try {
+        Delivery del = inbox->receive(wait);
+        const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+        if (msg != nullptr && msg->kind() == kHeartbeat) {
+          onHeartbeat(del.srcNode, events);
+        }
+      } catch (const TimeoutError&) {
+        // quiet interval — the next iteration beats
+      }
+      fire(events);
+    }
+  }
+};
+
+LivenessMonitor::LivenessMonitor(Dapplet& dapplet, LivenessConfig config)
+    : impl_(std::make_shared<Impl>(dapplet, config)) {
+  impl_->inbox = &dapplet.createInbox("live.ctl");
+  auto impl = impl_;
+  dapplet.spawn([impl](std::stop_token stop) {
+    try {
+      impl->run(stop);
+    } catch (...) {
+      std::scoped_lock lock(impl->mutex);
+      impl->loopDone = true;
+      impl->cv.notify_all();
+      throw;
+    }
+    std::scoped_lock lock(impl->mutex);
+    impl->loopDone = true;
+    impl->cv.notify_all();
+  });
+}
+
+LivenessMonitor::~LivenessMonitor() {
+  try {
+    impl_->d.destroyInbox(*impl_->inbox);
+  } catch (const Error&) {
+  }
+  std::unique_lock lock(impl_->mutex);
+  impl_->cv.wait_for(lock, seconds(5), [&] { return impl_->loopDone; });
+  for (auto& [key, w] : impl_->watches) {
+    try {
+      impl_->d.destroyOutbox(*w.out);
+    } catch (const Error&) {
+    }
+  }
+  impl_->watches.clear();
+  for (Outbox* out : impl_->retired) {
+    try {
+      impl_->d.destroyOutbox(*out);
+    } catch (const Error&) {
+    }
+  }
+  impl_->retired.clear();
+}
+
+InboxRef LivenessMonitor::ref() const { return impl_->inbox->ref(); }
+
+void LivenessMonitor::watch(const std::string& key, const InboxRef& peer) {
+  if (!peer.valid()) return;  // peers without a detector are simply unwatched
+  Outbox* out = &impl_->d.createOutbox();
+  out->add(peer);
+  Outbox* replaced = nullptr;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    auto [it, inserted] = impl_->watches.try_emplace(key);
+    if (!inserted) {
+      replaced = it->second.out;
+      impl_->retired.push_back(replaced);
+    }
+    it->second = {peer, out, Clock::now(), false};
+  }
+  if (replaced != nullptr) {
+    try {
+      replaced->reset();
+    } catch (const Error&) {
+    }
+  }
+}
+
+void LivenessMonitor::unwatch(const std::string& key) {
+  Outbox* out = nullptr;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    const auto it = impl_->watches.find(key);
+    if (it == impl_->watches.end()) return;
+    out = it->second.out;
+    impl_->retired.push_back(out);
+    impl_->watches.erase(it);
+  }
+  try {
+    // Drop unacked heartbeats so a retired stream to a dead peer does not
+    // pin dapplet-wide flush() until the delivery timeout.
+    out->reset();
+  } catch (const Error&) {
+  }
+}
+
+void LivenessMonitor::onSuspect(PeerFn fn) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->suspectFns.push_back(std::move(fn));
+}
+
+void LivenessMonitor::onAlive(PeerFn fn) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->aliveFns.push_back(std::move(fn));
+}
+
+bool LivenessMonitor::suspected(const std::string& key) const {
+  std::scoped_lock lock(impl_->mutex);
+  const auto it = impl_->watches.find(key);
+  return it != impl_->watches.end() && it->second.suspected;
+}
+
+std::vector<std::string> LivenessMonitor::watchedKeys() const {
+  std::scoped_lock lock(impl_->mutex);
+  std::vector<std::string> keys;
+  keys.reserve(impl_->watches.size());
+  for (const auto& [key, w] : impl_->watches) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+Duration LivenessMonitor::heartbeatInterval() const { return impl_->interval; }
+
+Duration LivenessMonitor::suspectTimeout() const { return impl_->timeout; }
+
+LivenessMonitor::Stats LivenessMonitor::stats() const {
+  std::scoped_lock lock(impl_->mutex);
+  return impl_->stats;
+}
+
+}  // namespace dapple

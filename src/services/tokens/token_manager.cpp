@@ -173,11 +173,8 @@ struct TokenManager::Impl {
     serveWaitQLocked(color, home);
   }
 
-  void onRel(const DataMessage& msg) {
-    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
-    const TokenColor color = msg.get("color").asString();
-    const auto count = msg.get("count").asInt();
-    std::scoped_lock lock(mutex);
+  void applyReleaseLocked(std::size_t from, const TokenColor& color,
+                          std::int64_t count) {
     const auto it = homed.find(color);
     if (it == homed.end()) return;
     HomeColor& home = it->second;
@@ -192,6 +189,14 @@ struct TokenManager::Impl {
     }
     ++stats.releasesServed;
     serveWaitQLocked(color, home);
+  }
+
+  void onRel(const DataMessage& msg) {
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    const TokenColor color = msg.get("color").asString();
+    const auto count = msg.get("count").asInt();
+    std::scoped_lock lock(mutex);
+    applyReleaseLocked(from, color, count);
   }
 
   void onCancel(const DataMessage& msg) {
@@ -561,11 +566,19 @@ void TokenManager::release(const TokenList& gives) {
     if (count == 0) continue;
     impl_->held[color] -= count;
     if (impl_->held[color] == 0) impl_->held.erase(color);
+    const std::size_t home = impl_->homeOf(color);
+    if (home == impl_->selfIndex) {
+      // Self-homed colours are applied synchronously: routing the release
+      // through the loopback would leave a window where the tokens are
+      // neither held nor free, so stats (and grants) lag the caller.
+      impl_->applyReleaseLocked(impl_->selfIndex, color, count);
+      continue;
+    }
     DataMessage rel(kRel);
     rel.set("from", Value(static_cast<long long>(impl_->selfIndex)));
     rel.set("color", Value(color));
     rel.set("count", Value(static_cast<long long>(count)));
-    impl_->sendTo(impl_->homeOf(color), rel);
+    impl_->sendTo(home, rel);
   }
 }
 

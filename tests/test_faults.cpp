@@ -11,6 +11,7 @@
 #include "dapple/core/session.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/serial/data_message.hpp"
+#include "dapple/services/liveness/liveness.hpp"
 #include "dapple/services/tokens/token_manager.hpp"
 
 namespace dapple {
@@ -251,6 +252,254 @@ TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
   agents.clear();
   director.stop();
   for (auto& d : dapplets) d->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop fault tolerance: a member process dies mid-session.  The
+// liveness layer must turn its silence into MEMBER_DOWN, survivors' blocked
+// receives must fail fast with PeerDownError (not the delivery timeout), and
+// the initiator must return partial results naming the failed member.
+
+TEST(CrashStop, SessionSurvivesMemberCrashWithPartialResults) {
+  SimNetwork net(790);
+  DappletConfig cfg = lossTolerant();
+  cfg.heartbeatInterval = milliseconds(25);
+  cfg.suspectTimeout = milliseconds(300);
+
+  const std::vector<std::string> names = {"c0", "c1", "c2", "c3"};
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<LivenessMonitor>> monitors;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  for (const auto& name : names) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name, cfg));
+    monitors.push_back(std::make_unique<LivenessMonitor>(*dapplets.back()));
+    SessionAgent::Config acfg;
+    acfg.monitor = monitors.back().get();
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back(), acfg));
+    // The crasher ("c1") feeds everyone else; survivors block on a message
+    // that will never come and must be released by eviction, not by the
+    // receive timeout.
+    agents.back()->registerApp("crashdemo", [name](SessionContext& ctx) {
+      if (name == "c1") {
+        try {
+          ctx.inbox("in").receive(seconds(30));
+        } catch (const Error&) {
+          // crash() fires first; nothing to do
+        }
+        return;
+      }
+      ValueMap r;
+      try {
+        ctx.inbox("in").receive(seconds(30));
+        r["sawPeerDown"] = Value(false);
+      } catch (const PeerDownError& e) {
+        r["sawPeerDown"] = Value(true);
+        r["verdict"] = Value(std::string(e.what()));
+      }
+      ctx.setResult(Value(std::move(r)));
+    });
+    directory.put(name, agents.back()->controlRef());
+  }
+
+  Dapplet director(net, "director", cfg);
+  LivenessMonitor directorMonitor(director);
+  Initiator initiator(director, &directorMonitor);
+
+  Initiator::Plan plan;
+  plan.app = "crashdemo";
+  for (const auto& name : names) {
+    plan.members.push_back(Initiator::member(directory, name, {"in"}));
+  }
+  for (const auto& name : names) {
+    if (name == "c1") continue;
+    plan.edges.push_back({"c1", "feed", name, "in"});
+  }
+  plan.phaseTimeout = seconds(30);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+
+  // Crash-stop c1 mid-protocol: every survivor is now blocked in receive().
+  std::this_thread::sleep_for(milliseconds(100));
+  dapplets[1]->crash();
+  const TimePoint crashedAt = Clock::now();
+
+  // The detector must evict c1 within 2x the suspect timeout.
+  const TimePoint detectBy = crashedAt + 2 * cfg.suspectTimeout;
+  bool evicted = false;
+  while (Clock::now() < detectBy) {
+    if (initiator.downMembers(result.sessionId).count("c1") != 0) {
+      evicted = true;
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  EXPECT_TRUE(evicted) << "c1 not evicted within 2x suspect timeout";
+
+  // Partial results: survivors report PeerDownError, c1's entry names it as
+  // down.  Well under the roles' 30s receive timeout, proving fail-fast.
+  auto results = initiator.awaitCompletion(result.sessionId, seconds(10));
+  ASSERT_EQ(results.size(), names.size());
+  for (const auto& name : names) {
+    ASSERT_TRUE(results.count(name) != 0) << "missing entry for " << name;
+    const Value& entry = results.at(name);
+    if (name == "c1") {
+      EXPECT_TRUE(entry.at("peerDown").asBool());
+      EXPECT_EQ(entry.at("member").asString(), "c1");
+      EXPECT_FALSE(entry.at("reason").asString().empty());
+    } else {
+      EXPECT_TRUE(entry.at("sawPeerDown").asBool())
+          << name << " fell through to the receive timeout";
+    }
+  }
+  const auto down = initiator.downMembers(result.sessionId);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_TRUE(down.count("c1") != 0);
+
+  initiator.terminate(result.sessionId);
+  agents.clear();
+  monitors.clear();
+  director.stop();
+  for (std::size_t i = 0; i < dapplets.size(); ++i) {
+    if (i != 1) dapplets[i]->stop();  // c1 already crashed
+  }
+}
+
+TEST(CrashStop, SurvivorAgentsRecordEviction) {
+  // Same shape, smaller: assert the agent-side stats counter moves.
+  SimNetwork net(791);
+  DappletConfig cfg = lossTolerant();
+  cfg.heartbeatInterval = milliseconds(25);
+  cfg.suspectTimeout = milliseconds(250);
+
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<LivenessMonitor>> monitors;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  for (const std::string name : {"s0", "s1", "s2"}) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name, cfg));
+    monitors.push_back(std::make_unique<LivenessMonitor>(*dapplets.back()));
+    SessionAgent::Config acfg;
+    acfg.monitor = monitors.back().get();
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back(), acfg));
+    agents.back()->registerApp("wait", [name](SessionContext& ctx) {
+      if (name == "s1") {
+        try {
+          ctx.inbox("in").receive(seconds(30));
+        } catch (const Error&) {
+        }
+        return;
+      }
+      try {
+        ctx.inbox("in").receive(seconds(30));
+      } catch (const PeerDownError&) {
+      }
+      ctx.setResult(Value(ValueMap{}));
+    });
+    directory.put(name, agents.back()->controlRef());
+  }
+  Dapplet director(net, "director", cfg);
+  LivenessMonitor directorMonitor(director);
+  Initiator initiator(director, &directorMonitor);
+  Initiator::Plan plan;
+  plan.app = "wait";
+  for (const std::string name : {"s0", "s1", "s2"}) {
+    plan.members.push_back(Initiator::member(directory, name, {"in"}));
+  }
+  plan.edges.push_back({"s1", "feed", "s0", "in"});
+  plan.edges.push_back({"s1", "feed", "s2", "in"});
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok);
+
+  std::this_thread::sleep_for(milliseconds(100));
+  dapplets[1]->crash();
+  (void)initiator.awaitCompletion(result.sessionId, seconds(10));
+
+  // Survivor agents processed the MEMBER_DOWN broadcast.
+  EXPECT_GE(agents[0]->stats().peersEvicted, 1u);
+  EXPECT_GE(agents[2]->stats().peersEvicted, 1u);
+
+  initiator.terminate(result.sessionId);
+  agents.clear();
+  monitors.clear();
+  director.stop();
+  dapplets[0]->stop();
+  dapplets[2]->stop();
+}
+
+TEST(CrashStop, SetupRetriesThroughHeavyLoss) {
+  // 20% loss with a deliberately small delivery timeout: single-shot setup
+  // messages can die with their stream, so establishment must succeed via
+  // the initiator's jittered retry/backoff (duplicate INVITEs/WIREs are
+  // idempotent at the agent).
+  SimNetwork net(792);
+  net.setDefaultLink(
+      LinkParams{microseconds(300), microseconds(900), 0.20, 0.0});
+  DappletConfig cfg;
+  cfg.reliable.tickInterval = milliseconds(2);
+  cfg.reliable.rto = milliseconds(15);
+  cfg.reliable.maxRto = milliseconds(80);
+  cfg.reliable.deliveryTimeout = milliseconds(400);
+
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<SessionAgent>> agents;
+  Directory directory;
+  for (const std::string name : {"r0", "r1", "r2", "r3"}) {
+    dapplets.push_back(std::make_unique<Dapplet>(net, name, cfg));
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets.back()));
+    agents.back()->registerApp("noop", [](SessionContext& ctx) {
+      ctx.setResult(Value(ValueMap{}));
+    });
+    directory.put(name, agents.back()->controlRef());
+  }
+  Dapplet director(net, "director", cfg);
+  Initiator initiator(director);
+  Initiator::Plan plan;
+  plan.app = "noop";
+  for (const std::string name : {"r0", "r1", "r2", "r3"}) {
+    plan.members.push_back(Initiator::member(directory, name, {}));
+  }
+  plan.phaseTimeout = seconds(30);
+  plan.setupAttempts = 8;
+  plan.retryBase = milliseconds(100);
+  auto result = initiator.establish(plan);
+  ASSERT_TRUE(result.ok) << "setup failed under 20% loss";
+  auto results = initiator.awaitCompletion(result.sessionId, seconds(30));
+  EXPECT_EQ(results.size(), 4u);
+  initiator.terminate(result.sessionId);
+  agents.clear();
+  director.stop();
+  for (auto& d : dapplets) d->stop();
+}
+
+TEST(CrashStop, SimNetworkKillDropsTheEndpoint) {
+  // The injection primitive itself: kill() closes the victim's endpoint so
+  // traffic to it starts failing at the reliable layer.
+  SimNetwork net(793);
+  DappletConfig cfg;
+  cfg.reliable.tickInterval = milliseconds(2);
+  cfg.reliable.rto = milliseconds(10);
+  cfg.reliable.deliveryTimeout = milliseconds(200);
+  Dapplet a(net, "a", cfg);
+  Dapplet b(net, "b", cfg);
+  Inbox& in = b.createInbox("in");
+  Outbox& out = a.createOutbox();
+  out.add(in.ref());
+  out.send(DataMessage("ping"));
+  EXPECT_NO_THROW(in.receive(seconds(5)));
+
+  ASSERT_TRUE(net.kill(b.address()));
+  bool failed = false;
+  for (int i = 0; i < 200 && !failed; ++i) {
+    std::this_thread::sleep_for(milliseconds(10));
+    try {
+      out.send(DataMessage("probe"));
+    } catch (const DeliveryError&) {
+      failed = true;
+    }
+  }
+  EXPECT_TRUE(failed) << "no DeliveryError after the endpoint was killed";
+  a.stop();
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+// Heartbeat failure detection (crash-stop model).  A LivenessMonitor must
+// stay quiet while its peers beat, suspect a crashed peer within the
+// configured timeout, and un-suspect a peer whose heartbeats resume after a
+// partition heals.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "dapple/net/sim.hpp"
+#include "dapple/services/liveness/liveness.hpp"
+
+namespace dapple {
+namespace {
+
+DappletConfig fastDetect() {
+  DappletConfig cfg;
+  cfg.reliable.tickInterval = milliseconds(2);
+  cfg.reliable.rto = milliseconds(15);
+  cfg.reliable.deliveryTimeout = milliseconds(500);
+  cfg.heartbeatInterval = milliseconds(20);
+  cfg.suspectTimeout = milliseconds(150);
+  return cfg;
+}
+
+/// Waits until `pred()` or `limit` elapses; returns whether pred held.
+template <typename Pred>
+bool eventually(Duration limit, Pred pred) {
+  const TimePoint deadline = Clock::now() + limit;
+  while (Clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  return pred();
+}
+
+TEST(Liveness, HealthyPeersAreNeverSuspected) {
+  SimNetwork net(900);
+  Dapplet a(net, "a", fastDetect());
+  Dapplet b(net, "b", fastDetect());
+  LivenessMonitor ma(a);
+  LivenessMonitor mb(b);
+  ma.watch("peer-b", mb.ref());
+  mb.watch("peer-a", ma.ref());
+
+  // Sleep through many suspect windows: both stay trusted.
+  std::this_thread::sleep_for(milliseconds(600));
+  EXPECT_FALSE(ma.suspected("peer-b"));
+  EXPECT_FALSE(mb.suspected("peer-a"));
+  const auto stats = ma.stats();
+  EXPECT_GT(stats.heartbeatsSent, 0u);
+  EXPECT_GT(stats.heartbeatsReceived, 0u);
+  EXPECT_EQ(stats.suspectEvents, 0u);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(Liveness, CrashedPeerIsSuspectedWithinTwoTimeouts) {
+  SimNetwork net(901);
+  Dapplet a(net, "a", fastDetect());
+  auto b = std::make_unique<Dapplet>(net, "b", fastDetect());
+  LivenessMonitor ma(a);
+  LivenessMonitor mb(*b);
+  ma.watch("peer-b", mb.ref());
+  mb.watch("peer-a", ma.ref());
+
+  std::atomic<bool> fired{false};
+  std::string firedKey;
+  ma.onSuspect([&](const std::string& key, const InboxRef&) {
+    firedKey = key;
+    fired = true;
+  });
+
+  // Let the pair exchange a few beats, then crash-stop b.
+  ASSERT_TRUE(eventually(seconds(2), [&] {
+    return ma.stats().heartbeatsReceived > 0;
+  }));
+  b->crash();
+  const TimePoint crashedAt = Clock::now();
+
+  ASSERT_TRUE(eventually(seconds(5), [&] { return fired.load(); }));
+  const Duration detectIn = Clock::now() - crashedAt;
+  EXPECT_LT(detectIn, 2 * ma.suspectTimeout())
+      << "detection took "
+      << std::chrono::duration_cast<std::chrono::milliseconds>(detectIn)
+             .count()
+      << "ms";
+  EXPECT_EQ(firedKey, "peer-b");
+  EXPECT_TRUE(ma.suspected("peer-b"));
+  EXPECT_GE(ma.stats().suspectEvents, 1u);
+
+  a.stop();
+}
+
+TEST(Liveness, PartitionHealRecoversTheSuspect) {
+  SimNetwork net(902);
+  auto cfg = fastDetect();
+  cfg.host = 1;
+  Dapplet a(net, "a", cfg);
+  cfg.host = 2;
+  Dapplet b(net, "b", cfg);
+  LivenessMonitor ma(a);
+  LivenessMonitor mb(b);
+  ma.watch("peer-b", mb.ref());
+  mb.watch("peer-a", ma.ref());
+
+  std::atomic<int> recoveries{0};
+  ma.onAlive([&](const std::string&, const InboxRef&) { ++recoveries; });
+
+  net.setPartition(1, 2, true);
+  ASSERT_TRUE(eventually(seconds(5), [&] { return ma.suspected("peer-b"); }));
+
+  net.setPartition(1, 2, false);
+  // Accuracy is eventual: one delivered heartbeat clears the suspicion.
+  ASSERT_TRUE(eventually(seconds(5), [&] { return !ma.suspected("peer-b"); }));
+  EXPECT_GE(recoveries.load(), 1);
+  EXPECT_GE(ma.stats().recoveryEvents, 1u);
+
+  a.stop();
+  b.stop();
+}
+
+TEST(Liveness, UnwatchSilencesEventsForThatPeer) {
+  SimNetwork net(903);
+  Dapplet a(net, "a", fastDetect());
+  auto b = std::make_unique<Dapplet>(net, "b", fastDetect());
+  LivenessMonitor ma(a);
+  LivenessMonitor mb(*b);
+  ma.watch("peer-b", mb.ref());
+  mb.watch("peer-a", ma.ref());
+
+  std::atomic<bool> fired{false};
+  ma.onSuspect([&](const std::string&, const InboxRef&) { fired = true; });
+
+  ma.unwatch("peer-b");
+  EXPECT_TRUE(ma.watchedKeys().empty());
+  b->crash();
+  std::this_thread::sleep_for(4 * ma.suspectTimeout());
+  EXPECT_FALSE(fired.load());
+
+  a.stop();
+}
+
+TEST(Liveness, ConfigInheritsFromDappletAndOverrides) {
+  SimNetwork net(904);
+  DappletConfig cfg;
+  cfg.heartbeatInterval = milliseconds(35);
+  cfg.suspectTimeout = milliseconds(210);
+  Dapplet d(net, "d", cfg);
+  Dapplet e(net, "e", cfg);  // one monitor per dapplet: "live.ctl" is unique
+
+  LivenessMonitor inherited(d);
+  EXPECT_EQ(inherited.heartbeatInterval(), milliseconds(35));
+  EXPECT_EQ(inherited.suspectTimeout(), milliseconds(210));
+
+  LivenessConfig mine;
+  mine.heartbeatInterval = milliseconds(10);
+  mine.suspectTimeout = milliseconds(80);
+  LivenessMonitor overridden(e, mine);
+  EXPECT_EQ(overridden.heartbeatInterval(), milliseconds(10));
+  EXPECT_EQ(overridden.suspectTimeout(), milliseconds(80));
+
+  d.stop();
+  e.stop();
+}
+
+TEST(Liveness, WatchingManyPeersKeysAreIndependent) {
+  SimNetwork net(905);
+  Dapplet a(net, "a", fastDetect());
+  auto b = std::make_unique<Dapplet>(net, "b", fastDetect());
+  Dapplet c(net, "c", fastDetect());
+  LivenessMonitor ma(a);
+  LivenessMonitor mb(*b);
+  LivenessMonitor mc(c);
+  // Two independent watches of b (e.g. two sessions) plus one of c.
+  ma.watch("s1/b", mb.ref());
+  ma.watch("s2/b", mb.ref());
+  ma.watch("s1/c", mc.ref());
+  mb.watch("peer-a", ma.ref());
+  mc.watch("peer-a", ma.ref());
+  EXPECT_EQ(ma.watchedKeys().size(), 3u);
+
+  b->crash();
+  // Both watches of b trip; c stays trusted.
+  ASSERT_TRUE(eventually(seconds(5), [&] {
+    return ma.suspected("s1/b") && ma.suspected("s2/b");
+  }));
+  EXPECT_FALSE(ma.suspected("s1/c"));
+
+  a.stop();
+  c.stop();
+}
+
+}  // namespace
+}  // namespace dapple
