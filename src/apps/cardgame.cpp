@@ -1,6 +1,7 @@
 #include "dapple/apps/cardgame.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 
 #include "dapple/serial/data_message.hpp"
@@ -53,28 +54,38 @@ void playerRole(SessionContext& ctx) {
     ++hand[card.asInt()];
   }
 
-  bool won = false;
-  std::int64_t winner = -1;
   std::size_t turns = 0;
 
-  const auto checkNews = [&] {
-    while (auto del = news.tryReceive()) {
-      const auto* msg = dynamic_cast<const DataMessage*>(del->message.get());
-      if (msg != nullptr && msg->kind() == kWin) {
-        winner = msg->get("winner").asInt();
-        return true;
-      }
+  // Two players can reach four of a kind in the same wave: a winner's
+  // announcement races the next card around the ring, so a neighbour may
+  // complete its own set before the news lands.  Announcements are therefore
+  // *claims* (player index + turn count), and after the play loop every
+  // player collects claims until they go quiet and applies the same
+  // deterministic rule — earliest turn, lowest index on ties — so all
+  // players announce the same winner.
+  std::map<std::int64_t, std::int64_t> claims;  // player index -> claim turn
+
+  const auto recordNews = [&](const Delivery& del) {
+    const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+    if (msg != nullptr && msg->kind() == kWin) {
+      claims[msg->get("winner").asInt()] = msg->get("turns").asInt();
+      return true;
     }
     return false;
+  };
+  const auto checkNews = [&] {
+    while (auto del = news.tryReceive()) recordNews(*del);
+    return !claims.empty();
   };
 
   while (turns < maxTurns) {
     if (checkNews()) break;
     if (fourOfAKind(hand)) {
-      won = true;
-      winner = static_cast<std::int64_t>(selfIdx);
+      claims[static_cast<std::int64_t>(selfIdx)] =
+          static_cast<std::int64_t>(turns);
       DataMessage win(kWin);
       win.set("winner", Value(static_cast<long long>(selfIdx)));
+      win.set("turns", Value(static_cast<long long>(turns)));
       announce.send(win);
       break;
     }
@@ -103,16 +114,36 @@ void playerRole(SessionContext& ctx) {
     if (!gotCard) break;  // neighbour stopped: the game is over
     ++turns;
   }
-  // Post-game: catch a win announcement that raced our exit.
-  if (winner < 0) {
+
+  // Resolution: rival claims can only originate within ~one ring round of the
+  // first one, so draining the news inbox until it stays quiet gathers them
+  // all; if the game ended with no claim at all, give up quickly as before.
+  const auto quietWindow = milliseconds(250);
+  const TimePoint resolveStart = Clock::now();
+  const TimePoint resolveCap = resolveStart + seconds(3);
+  TimePoint lastNews = resolveStart;
+  while (Clock::now() < resolveCap) {
+    if (claims.empty() &&
+        Clock::now() - resolveStart >= milliseconds(500)) {
+      break;
+    }
+    if (!claims.empty() && Clock::now() - lastNews >= quietWindow) break;
     try {
-      Delivery del = news.receive(milliseconds(500));
-      const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
-      if (msg != nullptr && msg->kind() == kWin) {
-        winner = msg->get("winner").asInt();
-      }
+      Delivery del = news.receive(milliseconds(50));
+      if (recordNews(del)) lastNews = Clock::now();
     } catch (const TimeoutError&) {
     }
+  }
+
+  bool won = false;
+  std::int64_t winner = -1;
+  if (!claims.empty()) {
+    auto best = claims.begin();
+    for (auto it = std::next(claims.begin()); it != claims.end(); ++it) {
+      if (it->second < best->second) best = it;
+    }
+    winner = best->first;
+    won = winner == static_cast<std::int64_t>(selfIdx);
   }
 
   ValueMap result;

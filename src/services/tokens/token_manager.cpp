@@ -48,6 +48,7 @@ struct TokenManager::Impl {
   mutable std::mutex mutex;
   std::condition_variable cv;
   bool loopDone = false;
+  bool stopping = false;
 
   bool attached = false;
   std::size_t selfIndex = 0;
@@ -343,11 +344,26 @@ struct TokenManager::Impl {
   void run(std::stop_token stop) {
     while (!stop.stop_requested()) {
       Delivery del = inbox->receive();
+      {
+        // The manager's ref is typically shared (e.g. over a session mesh)
+        // before every member has called attach(), so an eager peer's
+        // request can arrive while `peers` is still empty.  Hold the
+        // delivery until attach() — the inbox keeps queueing behind it, so
+        // FIFO order is preserved.
+        std::unique_lock lock(mutex);
+        while (!attached && !stopping && !stop.stop_requested()) {
+          cv.wait_for(lock, milliseconds(50));
+        }
+        if (stopping) break;
+      }
+      if (stop.stop_requested()) break;
       try {
         dispatch(del);
       } catch (const ShutdownError&) {
         throw;
-      } catch (const Error& e) {
+      } catch (const std::exception& e) {
+        // Error subclasses and standard exceptions alike (a malformed
+        // message can surface std::out_of_range): log and keep serving.
         DAPPLE_LOG(kWarn, kLog) << d.name() << ": token dispatch error: "
                                 << e.what();
       }
@@ -408,6 +424,11 @@ TokenManager::TokenManager(Dapplet& dapplet, TokenConfig config)
 }
 
 TokenManager::~TokenManager() {
+  {
+    std::scoped_lock lock(impl_->mutex);
+    impl_->stopping = true;
+    impl_->cv.notify_all();
+  }
   try {
     impl_->d.destroyInbox(*impl_->inbox);
   } catch (const Error&) {
@@ -441,6 +462,7 @@ void TokenManager::attach(const std::vector<InboxRef>& managers,
     home.free = count;
   }
   impl_->attached = true;
+  impl_->cv.notify_all();  // release any delivery parked by the loop
 }
 
 std::size_t TokenManager::homeOf(const TokenColor& color) const {
