@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dapple/apps/calendar.hpp"
 #include "dapple/net/sim.hpp"
 
@@ -146,7 +147,9 @@ Row runSize(std::size_t n, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  dapple::benchutil::BenchReport report("calendar");
   std::printf("=== F1/E2: calendar scheduling — sessions vs the "
               "traditional sequential approach ===\n");
   std::printf("2ms WAN delay, %.0f%%-busy calendars, window %zu days, "
@@ -157,7 +160,10 @@ int main() {
               "day", "agree");
   std::printf("---------------------------------------------------------"
               "--------------------\n");
-  for (std::size_t n : {3, 6, 9, 12, 18, 24}) {
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{3, 6}
+            : std::vector<std::size_t>{3, 6, 9, 12, 18, 24};
+  for (std::size_t n : sizes) {
     const Row row = runSize(n, 1000 + n);
     std::printf("%-8zu %10.1f %10.1f %10.1f %10lld %10lld %6lld %6s\n", n,
                 row.flatMs, row.hierMs, row.seqMs,
@@ -165,6 +171,13 @@ int main() {
                 static_cast<long long>(row.seqMsgs),
                 static_cast<long long>(row.day),
                 row.agree ? "yes" : "NO!");
+    report.row("schedule/members=" + std::to_string(n))
+        .num("flat_ms", row.flatMs)
+        .num("hier_ms", row.hierMs)
+        .num("seq_ms", row.seqMs)
+        .num("flat_msgs", static_cast<double>(row.flatMsgs))
+        .num("seq_msgs", static_cast<double>(row.seqMsgs))
+        .num("agree", row.agree ? 1 : 0);
   }
   std::printf("\nExpected shape: flat/hier makespan ~constant in N (one "
               "parallel query round\nplus confirm); sequential makespan "

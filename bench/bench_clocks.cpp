@@ -7,6 +7,8 @@
 // and the timestamp-priority property under contention.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -134,8 +136,8 @@ void printMutexTable() {
 int main(int argc, char** argv) {
   std::printf("=== E4: clocks and timestamp conflict resolution (paper "
               "§4.2) ===\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const int rc = dapple::benchutil::runBenchmarks("clocks", argc, argv);
+  if (rc != 0) return rc;
   printMutexTable();
   return 0;
 }

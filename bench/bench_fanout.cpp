@@ -7,6 +7,8 @@
 // delivery throughput (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -131,7 +133,7 @@ BENCHMARK(BM_ManyToOneInbox)->Arg(1)->Arg(4)->Arg(16)->Arg(48)
 int main(int argc, char** argv) {
   std::printf("=== F3: outbox/inbox binding (paper Figure 3) ===\n");
   runFigure3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const int rc = dapple::benchutil::runBenchmarks("fanout", argc, argv);
+  if (rc != 0) return rc;
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/reliable/reliable.hpp"
 #include "dapple/util/time.hpp"
@@ -72,10 +73,15 @@ DelayStats measureRaw(microseconds base, microseconds jitter, int count,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  dapple::benchutil::BenchReport report("network");
+  const int delayCount = quick ? 200 : 1000;
+  const int fifoCount = quick ? 100 : 500;
   std::printf("=== E8: simulated WAN fidelity (paper §2.2) ===\n\n");
-  std::printf("--- Delay distribution: configured vs measured (1000 "
-              "datagrams) ---\n");
+  std::printf("--- Delay distribution: configured vs measured (%d "
+              "datagrams) ---\n",
+              delayCount);
   std::printf("%-22s %9s %9s %9s %10s\n", "link (base+jitter)", "mean ms",
               "p50 ms", "p99 ms", "reordered");
   struct Config {
@@ -89,10 +95,17 @@ int main() {
       {milliseconds(10), milliseconds(20)},
   };
   for (const auto& cfg : configs) {
-    const DelayStats stats = measureRaw(cfg.base, cfg.jitter, 1000, 3);
+    const DelayStats stats = measureRaw(cfg.base, cfg.jitter, delayCount, 3);
     std::printf("%6.1f + %-6.1f ms      %9.2f %9.2f %9.2f %10d\n",
                 cfg.base.count() / 1000.0, cfg.jitter.count() / 1000.0,
                 stats.meanMs, stats.p50Ms, stats.p99Ms, stats.reordered);
+    report
+        .row("delay/base_us=" + std::to_string(cfg.base.count()) +
+             "/jitter_us=" + std::to_string(cfg.jitter.count()))
+        .num("mean_ms", stats.meanMs)
+        .num("p50_ms", stats.p50Ms)
+        .num("p99_ms", stats.p99Ms)
+        .num("reordered", stats.reordered);
   }
   std::printf("\nExpected: mean ~ base + jitter/2; p99 ~ base + jitter; "
               "reordering grows\nwith jitter (delays are independent per "
@@ -102,9 +115,13 @@ int main() {
               "---\n");
   std::printf("%-22s %12s %14s\n", "jitter", "raw reorders",
               "channel reorders");
-  for (auto jitter : {milliseconds(0), milliseconds(2), milliseconds(10)}) {
+  const std::vector<milliseconds> jitters =
+      quick ? std::vector<milliseconds>{milliseconds(0), milliseconds(2)}
+            : std::vector<milliseconds>{milliseconds(0), milliseconds(2),
+                                        milliseconds(10)};
+  for (auto jitter : jitters) {
     // Raw.
-    const DelayStats raw = measureRaw(milliseconds(1), jitter, 500, 4);
+    const DelayStats raw = measureRaw(milliseconds(1), jitter, fifoCount, 4);
     // Through the reliable layer.
     SimNetwork net(5);
     net.setDefaultLink(LinkParams{milliseconds(1), jitter, 0.0, 0.0});
@@ -122,13 +139,15 @@ int main() {
           got.push_back(std::stoi(payload));
           cv.notify_all();
         });
-    for (int i = 0; i < 500; ++i) {
+    for (int i = 0; i < fifoCount; ++i) {
       tx.send(rx.address(), 1, std::to_string(i));
     }
     int channelReorders = 0;
     {
       std::unique_lock lock(mutex);
-      cv.wait_for(lock, seconds(30), [&] { return got.size() >= 500u; });
+      cv.wait_for(lock, seconds(30), [&] {
+        return got.size() >= static_cast<std::size_t>(fifoCount);
+      });
       for (std::size_t i = 1; i < got.size(); ++i) {
         if (got[i] < got[i - 1]) ++channelReorders;
       }
@@ -136,6 +155,9 @@ int main() {
     std::printf("%6.0f ms              %12d %14d\n",
                 std::chrono::duration<double, std::milli>(jitter).count(),
                 raw.reordered, channelReorders);
+    report.row("fifo/jitter_ms=" + std::to_string(jitter.count()))
+        .num("raw_reorders", raw.reordered)
+        .num("channel_reorders", channelReorders);
   }
   std::printf("\nExpected: raw reordering grows with jitter; the channel "
               "layer always shows 0\n(\"messages sent along a channel are "

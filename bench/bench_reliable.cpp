@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/reliable/reliable.hpp"
 #include "dapple/util/time.hpp"
@@ -22,7 +23,7 @@ using namespace dapple;
 
 namespace {
 
-constexpr int kMessages = 400;
+int kMessages = 400;  // shrunk under --quick
 
 struct RawResult {
   int delivered = 0;
@@ -104,7 +105,10 @@ ReliableResult runReliable(double loss, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  if (quick) kMessages = 100;
+  dapple::benchutil::BenchReport report("reliable");
   std::printf("=== E1: ordering-layer overhead vs raw datagrams ===\n");
   std::printf("%d messages, 0.2ms base delay + 0.4ms jitter per link.\n\n",
               kMessages);
@@ -115,7 +119,10 @@ int main() {
               "all");
   std::printf("--------+------------------------------+---------------------"
               "-----------------\n");
-  for (double loss : {0.0, 0.01, 0.05, 0.10, 0.20}) {
+  const std::vector<double> losses =
+      quick ? std::vector<double>{0.0, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.05, 0.10, 0.20};
+  for (double loss : losses) {
     const RawResult raw = runRaw(loss, 7);
     const ReliableResult rel = runReliable(loss, 7);
     std::printf("%-7.0f | %9d %9d %8.1f | %9.1f %12llu %6s %6s\n",
@@ -123,6 +130,13 @@ int main() {
                 rel.wallMs,
                 static_cast<unsigned long long>(rel.retransmits),
                 rel.fifo ? "yes" : "NO!", "yes");
+    report.row("loss_pct=" + std::to_string(static_cast<int>(loss * 100)))
+        .num("raw_delivered", raw.delivered)
+        .num("raw_reordered", raw.reordered)
+        .num("raw_ms", raw.wallMs)
+        .num("reliable_ms", rel.wallMs)
+        .num("retransmits", static_cast<double>(rel.retransmits))
+        .num("fifo", rel.fifo ? 1 : 0);
   }
   std::printf("\nExpected shape: raw loses ~loss%% of messages and reorders "
               "under jitter;\nthe reliable layer always delivers all %d in "

@@ -6,6 +6,8 @@
 // asynchronous notify throughput, and payload-size scaling.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <atomic>
 #include <cstdio>
 #include <memory>
@@ -108,7 +110,7 @@ int main(int argc, char** argv) {
               "fire-and-forget message.\nExpected shape: sync latency ~ "
               "2x one-way delay + fixed stack cost; notify\nthroughput "
               "independent of delay; payload cost linear in size.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const int rc = dapple::benchutil::runBenchmarks("rpc", argc, argv);
+  if (rc != 0) return rc;
   return 0;
 }

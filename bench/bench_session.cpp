@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dapple/core/session.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/util/time.hpp"
@@ -66,15 +67,22 @@ double establishOnce(std::size_t members, microseconds delay,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  dapple::benchutil::BenchReport report("session");
+  const int reps = quick ? 1 : 3;
   std::printf("=== F2: session establishment (paper Figure 2) ===\n");
   std::printf("Initiator links N dapplets (ring topology) via the address "
               "directory.\nColumns: one-way WAN delay; cells: "
-              "establishment latency in ms (median of 3).\n\n");
-  const std::vector<std::size_t> sizes = {2, 4, 8, 16, 32};
-  const std::vector<microseconds> delays = {microseconds(0),
-                                            milliseconds(2),
-                                            milliseconds(10)};
+              "establishment latency in ms (median of %d).\n\n",
+              reps);
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{2, 4}
+            : std::vector<std::size_t>{2, 4, 8, 16, 32};
+  const std::vector<microseconds> delays =
+      quick ? std::vector<microseconds>{microseconds(0), milliseconds(2)}
+            : std::vector<microseconds>{microseconds(0), milliseconds(2),
+                                        milliseconds(10)};
   std::printf("%-8s", "members");
   for (auto d : delays) {
     std::printf("  delay=%-4lldms", static_cast<long long>(d.count() / 1000));
@@ -83,12 +91,17 @@ int main() {
   for (std::size_t n : sizes) {
     std::printf("%-8zu", n);
     for (auto d : delays) {
-      double samples[3];
-      for (int r = 0; r < 3; ++r) {
-        samples[r] = establishOnce(n, d, 42 + r);
+      std::vector<double> samples;
+      for (int r = 0; r < reps; ++r) {
+        samples.push_back(establishOnce(n, d, 42 + r));
       }
-      std::sort(samples, samples + 3);
-      std::printf("  %10.2f  ", samples[1]);
+      std::sort(samples.begin(), samples.end());
+      const double medianMs = samples[samples.size() / 2];
+      std::printf("  %10.2f  ", medianMs);
+      report
+          .row("establish/members=" + std::to_string(n) +
+               "/delay_ms=" + std::to_string(d.count() / 1000))
+          .num("median_ms", medianMs);
     }
     std::printf("\n");
   }

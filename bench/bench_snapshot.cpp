@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/serial/data_message.hpp"
 #include "dapple/services/snapshot/snapshot.hpp"
@@ -128,7 +129,9 @@ std::size_t channelMsgs(const GlobalSnapshot& snap) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  dapple::benchutil::BenchReport report("snapshot");
   std::printf("=== E5: global snapshot cost — clock-based (paper) vs "
               "Chandy-Lamport markers ===\n");
   std::printf("Coin ring under live traffic; conserved total verifies the "
@@ -139,7 +142,10 @@ int main() {
               "chan-msgs", "exact", "ms", "chan-msgs", "exact");
   std::printf("-------+------------------------------+-------------------"
               "-----------\n");
-  for (std::size_t n : {2, 4, 8, 16}) {
+  const std::vector<std::size_t> ringSizes =
+      quick ? std::vector<std::size_t>{2, 4}
+            : std::vector<std::size_t>{2, 4, 8, 16};
+  for (std::size_t n : ringSizes) {
     const std::int64_t expected =
         kCoinsPerNode * static_cast<std::int64_t>(n);
     double clockMs = 0;
@@ -194,6 +200,13 @@ int main() {
     std::printf("%-6zu | %9.1f %9zu %7s | %9.1f %9zu %7s\n", n, clockMs,
                 clockChan, clockExact ? "yes" : "NO!", markerMs, markerChan,
                 markerExact ? "yes" : "NO!");
+    report.row("snapshot/nodes=" + std::to_string(n))
+        .num("clock_ms", clockMs)
+        .num("clock_chan_msgs", static_cast<double>(clockChan))
+        .num("clock_exact", clockExact ? 1 : 0)
+        .num("marker_ms", markerMs)
+        .num("marker_chan_msgs", static_cast<double>(markerChan))
+        .num("marker_exact", markerExact ? 1 : 0);
   }
   std::printf("\nExpected shape: the clock checkpoint pays a fixed settle "
               "window plus clock-query\nand gather rounds; the marker "

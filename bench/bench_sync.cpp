@@ -8,6 +8,8 @@
 // milliseconds depending on the simulated delay).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -32,19 +34,17 @@ void BM_LocalSemaphore(benchmark::State& state) {
 BENCHMARK(BM_LocalSemaphore);
 
 void BM_LocalBarrierTwoThreads(benchmark::State& state) {
-  Barrier barrier(2);
-  std::atomic<bool> done{false};
-  std::thread partner([&] {
-    while (!done) barrier.arriveAndWait();
-  });
+  // Both gbench threads run the same iteration count, so every arrival
+  // pairs exactly.  (A hand-rolled partner thread with a `done` flag races:
+  // the partner can observe `done` after the final pairing and exit while
+  // the main thread blocks on one more arriveAndWait.)
+  static Barrier barrier(2);  // reusable across repetitions by design
   for (auto _ : state) {
     barrier.arriveAndWait();
   }
-  done = true;
-  barrier.arriveAndWait();  // release the partner one last time
-  partner.join();
 }
-BENCHMARK(BM_LocalBarrierTwoThreads)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LocalBarrierTwoThreads)->Threads(2)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_LocalBoundedChannel(benchmark::State& state) {
   BoundedChannel<int> ch(64);
@@ -148,7 +148,7 @@ BENCHMARK(BM_DistributedSemaphore)->Unit(benchmark::kMicrosecond);
 int main(int argc, char** argv) {
   std::printf("=== E7: synchronization constructs — local vs distributed "
               "(paper §4.3) ===\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const int rc = dapple::benchutil::runBenchmarks("sync", argc, argv);
+  if (rc != 0) return rc;
   return 0;
 }

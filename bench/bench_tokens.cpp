@@ -7,6 +7,8 @@
 // probe must traverse the whole cycle) on top of the probe delay.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -169,8 +171,8 @@ void printDeadlockTable() {
 
 int main(int argc, char** argv) {
   std::printf("=== E3: token service (paper §4.1) ===\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  const int rc = dapple::benchutil::runBenchmarks("tokens", argc, argv);
+  if (rc != 0) return rc;
   printDeadlockTable();
   return 0;
 }

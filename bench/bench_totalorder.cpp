@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/services/clocks/causal_order.hpp"
 #include "dapple/services/clocks/total_order.hpp"
@@ -105,18 +106,30 @@ Row runCausal(std::size_t n, microseconds delay, int messages) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  dapple::benchutil::BenchReport report("totalorder");
+  const int messages = quick ? 40 : 150;
+  const std::vector<std::size_t> groupSizes =
+      quick ? std::vector<std::size_t>{2, 4}
+            : std::vector<std::size_t>{2, 4, 8};
   std::printf("=== E9: totally-ordered multicast (Lamport order, paper "
               "§4.2 / ref [8]) ===\n\n");
   std::printf("%-8s %-10s %16s %14s %12s\n", "members", "delay",
               "latency ms", "msgs/s", "max holdback");
-  for (std::size_t n : {2, 4, 8}) {
+  for (std::size_t n : groupSizes) {
     for (auto delay : {microseconds(0), microseconds(1000)}) {
-      const Row row = run(n, delay, 150);
+      const Row row = run(n, delay, messages);
       std::printf("%-8zu %6.1f ms  %16.2f %14.0f %12llu\n", n,
                   delay.count() / 1000.0, row.publishToSelfDeliverMs,
                   row.throughputPerSec,
                   static_cast<unsigned long long>(row.maxHoldback));
+      report
+          .row("total/members=" + std::to_string(n) +
+               "/delay_us=" + std::to_string(delay.count()))
+          .num("latency_ms", row.publishToSelfDeliverMs)
+          .num("msgs_per_s", row.throughputPerSec)
+          .num("max_holdback", static_cast<double>(row.maxHoldback));
     }
   }
   std::printf("\nExpected shape: latency ~ 2 one-way delays (message + "
@@ -126,12 +139,17 @@ int main() {
   std::printf("\n--- Ablation: causal order (no acks) vs total order ---\n");
   std::printf("%-8s %-10s %20s %20s\n", "members", "delay",
               "causal latency ms", "causal msgs/s");
-  for (std::size_t n : {2, 4, 8}) {
+  for (std::size_t n : groupSizes) {
     for (auto delay : {microseconds(0), microseconds(1000)}) {
-      const Row row = runCausal(n, delay, 150);
+      const Row row = runCausal(n, delay, messages);
       std::printf("%-8zu %6.1f ms  %20.2f %20.0f\n", n,
                   delay.count() / 1000.0, row.publishToSelfDeliverMs,
                   row.throughputPerSec);
+      report
+          .row("causal/members=" + std::to_string(n) +
+               "/delay_us=" + std::to_string(delay.count()))
+          .num("latency_ms", row.publishToSelfDeliverMs)
+          .num("msgs_per_s", row.throughputPerSec);
     }
   }
   std::printf("\nExpected: causal delivery needs only the message itself "

@@ -22,6 +22,7 @@
 #include "dapple/core/lamport_clock.hpp"
 #include "dapple/core/outbox.hpp"
 #include "dapple/net/transport.hpp"
+#include "dapple/obs/metrics.hpp"
 #include "dapple/reliable/reliable.hpp"
 #include "dapple/serial/value.hpp"
 
@@ -35,11 +36,42 @@ struct DappletConfig {
   std::uint16_t port = 0;
   /// Ordering-layer parameters (retransmission, delivery timeout).
   ReliableConfig reliable{};
+
   /// Failure-detector knobs (consumed by services/liveness): how often a
   /// LivenessMonitor on this dapplet sends heartbeats to watched peers, and
   /// how long a peer may stay silent before it is suspected crashed.
-  Duration heartbeatInterval = std::chrono::milliseconds(50);
-  Duration suspectTimeout = std::chrono::milliseconds(250);
+  /// (Nested like `reliable` — one struct per policy domain.)
+  struct LivenessConfig {
+    Duration heartbeatInterval = std::chrono::milliseconds(50);
+    Duration suspectTimeout = std::chrono::milliseconds(250);
+  };
+  LivenessConfig liveness{};
+
+  /// \deprecated Flat aliases of `liveness.heartbeatInterval` /
+  /// `liveness.suspectTimeout`, kept so pre-observability code compiles.
+  /// Zero means "unset"; a nonzero value overrides the nested field (the
+  /// Dapplet constructor normalizes, so `config().liveness` is always
+  /// authoritative afterwards).
+  Duration heartbeatInterval = Duration::zero();
+  Duration suspectTimeout = Duration::zero();
+
+  /// Capacity of the dapplet's trace-event ring (see obs/trace.hpp).
+  std::size_t traceCapacity = 512;
+
+  /// Resolves the deprecated flat liveness fields into `liveness` and
+  /// mirrors the result back, so both spellings read identically.
+  DappletConfig normalized() const {
+    DappletConfig out = *this;
+    if (out.heartbeatInterval > Duration::zero()) {
+      out.liveness.heartbeatInterval = out.heartbeatInterval;
+    }
+    if (out.suspectTimeout > Duration::zero()) {
+      out.liveness.suspectTimeout = out.suspectTimeout;
+    }
+    out.heartbeatInterval = out.liveness.heartbeatInterval;
+    out.suspectTimeout = out.liveness.suspectTimeout;
+    return out;
+  }
 };
 
 /// One distributed process.  Thread-safe; typically long-lived relative to
@@ -141,9 +173,31 @@ class Dapplet {
       const NodeAddress& dst, std::uint64_t outboxId, const std::string& reason)>;
   void addPeerFailureListener(PeerFailureListener listener);
 
-  /// The configuration this dapplet was created with (note: `port` is the
+  /// The configuration this dapplet was created with, normalized (deprecated
+  /// flat liveness knobs folded into `liveness`; note: `port` is the
   /// requested port; use address() for the bound one).
   const DappletConfig& config() const { return config_; }
+
+  // --- observability -------------------------------------------------------
+
+  /// The dapplet-wide metrics registry.  Components (session agent,
+  /// services, applications) create named counters/gauges/histograms here at
+  /// construction and record wait-free afterwards.
+  obs::MetricsRegistry& metricsRegistry() { return metricsRegistry_; }
+  const obs::MetricsRegistry& metricsRegistry() const {
+    return metricsRegistry_;
+  }
+
+  /// Structured trace-event ring (shorthand for metricsRegistry().trace()).
+  obs::TraceRing& trace() { return metricsRegistry_.trace(); }
+
+  /// Point-in-time snapshot of every layer's metrics, under one namespace:
+  /// `net.*` (transport datagrams), `reliable.*` (retransmits, acks,
+  /// delivery latency, reorder depth), `core.*` (sends, deliveries, fan-out,
+  /// inbox backlog high-water), plus whatever components registered
+  /// (`session.*`, `liveness.*`, `tokens.*`, ...).  Dump with
+  /// `metrics().toText()` or `metrics().toJson()`.
+  obs::MetricsSnapshot metrics() const;
 
   struct Stats {
     std::uint64_t messagesSent = 0;       ///< per-channel copies sent
@@ -179,6 +233,9 @@ class Dapplet {
   const std::string name_;
   const DappletConfig config_;
   LamportClock clock_;
+  // Declared before reliable_/impl_: both record into the registry during
+  // teardown, so it must outlive them.
+  obs::MetricsRegistry metricsRegistry_;
   std::unique_ptr<ReliableEndpoint> reliable_;
   std::unique_ptr<Impl> impl_;
 };

@@ -4,9 +4,18 @@
 ///
 /// Paper §3.2 specifies exactly three application-layer methods:
 /// `isEmpty()`, `awaitNonEmpty()` and `receive()`.  We add timed and
-/// non-blocking variants plus a typed convenience, and each delivery carries
+/// non-blocking variants plus typed conveniences, and each delivery carries
 /// the metadata the services need (logical send/receive timestamps and the
 /// source channel), which the paper's clock and snapshot services rely on.
+///
+/// Receive-surface conventions (beyond the paper's trio):
+///  * `receiveFor(timeout)` / `tryReceive()` report "nothing arrived" in the
+///    return value (`std::nullopt`), never by exception — use these in retry
+///    loops.
+///  * `receive(timeout)` throws TimeoutError — use it when a missed deadline
+///    IS the failure.
+///  * All receives throw ShutdownError once the inbox is closed-and-drained
+///    and PeerDownError when a peer-failure alert is pending (see raise()).
 
 #include <cstdint>
 #include <memory>
@@ -88,6 +97,27 @@ class Inbox {
     return std::move(*d);
   }
 
+  /// Timed receive without the timeout exception: nullopt when nothing
+  /// arrives in time.  Closed inboxes and pending peer-failure alerts still
+  /// throw (ShutdownError / PeerDownError) — those are failures, not
+  /// timeouts.
+  std::optional<Delivery> receiveFor(Duration timeout) {
+    return queue_.popFor(timeout);
+  }
+
+  /// Typed receive: blocks, then decodes the head message as `T` (throws
+  /// SerializationError naming the actual type on mismatch).
+  template <typename T>
+  T receiveAs() {
+    return receive().template as<T>();
+  }
+
+  /// Typed timed receive; throws TimeoutError like receive(timeout).
+  template <typename T>
+  T receiveAs(Duration timeout) {
+    return receive(timeout).template as<T>();
+  }
+
   /// Non-blocking receive.
   std::optional<Delivery> tryReceive() { return queue_.tryPop(); }
 
@@ -99,6 +129,10 @@ class Inbox {
   /// Number of queued messages.
   std::size_t size() const { return queue_.size(); }
 
+  /// Largest queue depth ever observed — the backlog high-water mark that
+  /// Dapplet::metrics() aggregates into `core.inbox_queue_hwm`.
+  std::size_t queueHighWater() const { return queue_.highWater(); }
+
   /// Visits every queued (delivered but not yet received) message in order
   /// without consuming.  Used by snapshot state functions that must count
   /// inbox backlog as part of local state.  `fn` must not touch this inbox.
@@ -106,9 +140,12 @@ class Inbox {
     queue_.forEach(fn);
   }
 
-  /// Posts a peer-failure alert: queued messages still drain, then one
-  /// blocked or subsequent receive throws PeerDownError with `reason`.
-  /// Raised by the session agent when a member feeding this inbox crashes.
+  /// Posts a peer-failure alert with **drain-then-throw ordering**: queued
+  /// messages — including deliveries that arrive *after* the alert, e.g.
+  /// survivor traffic racing the eviction notice — always drain first; only
+  /// an empty-queue receive consumes the alert and throws PeerDownError with
+  /// `reason`.  Raised by the session agent when a member feeding this inbox
+  /// crashes.
   void raise(std::string reason) { queue_.raise(std::move(reason)); }
 
   /// Closes the inbox: blocked receivers wake with ShutdownError and later
@@ -124,9 +161,10 @@ class Inbox {
   Inbox(std::uint32_t localId, std::string name, InboxRef ref)
       : localId_(localId), name_(std::move(name)), ref_(std::move(ref)) {}
 
-  /// Deliveries to a closed inbox are silently dropped.
+  /// Deliveries to a closed inbox are silently dropped.  After raise() the
+  /// push still queues normally (drain-then-throw: the data outranks the
+  /// pending alert).
   void push(Delivery delivery) { queue_.tryPush(std::move(delivery)); }
-  void closeQueue() { queue_.close(); }
 
   const std::uint32_t localId_;
   const std::string name_;

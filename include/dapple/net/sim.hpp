@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "dapple/net/transport.hpp"
+#include "dapple/obs/metrics.hpp"
 #include "dapple/util/time.hpp"
 
 namespace dapple {
@@ -90,6 +91,12 @@ class SimNetwork : public Network {
     std::uint64_t undeliverable = 0;  ///< destination endpoint absent
   };
   Stats stats() const;
+
+  /// stats() as a mergeable snapshot (`sim.*` counters), so a test or bench
+  /// can fold the fabric's view into a dapplet's metrics() dump.  Once the
+  /// network is quiescent the counters satisfy
+  /// `delivered + undeliverable == sent - dropped + duplicated`.
+  obs::MetricsSnapshot metrics() const;
 
   /// Number of datagrams currently queued for future delivery.
   std::size_t inFlight() const;

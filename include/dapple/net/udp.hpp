@@ -9,9 +9,11 @@
 /// (delay/loss/partition) must be injected; both implement the same
 /// `Network` interface.
 
+#include <cstdint>
 #include <memory>
 
 #include "dapple/net/transport.hpp"
+#include "dapple/obs/metrics.hpp"
 
 namespace dapple {
 
@@ -28,8 +30,22 @@ class UdpNetwork : public Network {
   /// a receiver thread.  Throws NetworkError on socket failure.
   std::shared_ptr<Endpoint> open(std::uint16_t port = 0) override;
 
+  /// Socket-level traffic counters, aggregated across every endpoint this
+  /// network opened (cumulative; endpoints keep counting until closed).
+  struct Stats {
+    std::uint64_t sent = 0;        ///< datagrams handed to sendto()
+    std::uint64_t received = 0;    ///< datagrams handed to the handler
+    std::uint64_t sendErrors = 0;  ///< sendto() failures (treated as loss)
+  };
+  Stats stats() const;
+
+  /// stats() as a mergeable snapshot (`udp.*` counters).
+  obs::MetricsSnapshot metrics() const;
+
  private:
   class EndpointImpl;
+  struct Counters;
+  std::shared_ptr<Counters> counters_;
 };
 
 }  // namespace dapple

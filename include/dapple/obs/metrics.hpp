@@ -1,0 +1,218 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Lock-cheap metrics: counters, gauges, and log-scale histograms.
+///
+/// The paper's channels have "arbitrary and independent" delays (§3.2), so a
+/// production deployment cannot be tuned by guesswork: retry knobs, heartbeat
+/// intervals and queue sizing all need measurement of the live message path.
+/// This module is that instrumentation plane.  Design rules:
+///
+///  * **Recording is wait-free.**  Every metric is a handful of relaxed
+///    atomics; no mutex is taken on the hot path.  Call sites resolve a
+///    metric once (`registry.counter("x")` returns a stable reference) and
+///    then only touch atomics.
+///  * **Registration is rare and locked.**  Creating/looking up metrics by
+///    name takes the registry mutex; components do this at construction.
+///  * **Snapshots are consistent enough.**  `snapshot()` reads each atomic
+///    once; counters are monotonic so readers see a value that was true at
+///    some instant near the call.
+///
+/// Histograms use fixed log2 buckets: bucket 0 holds the value 0 and bucket
+/// `i >= 1` holds values in `[2^(i-1), 2^i)`.  Bucket boundaries are exact
+/// and identical across processes, so histograms can be merged by adding
+/// bucket counts — no configuration to agree on.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dapple/obs/trace.hpp"
+
+namespace dapple::obs {
+
+/// Monotonic event counter.  Wait-free; relaxed memory order is enough
+/// because readers only need eventual, not causal, visibility.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time value with a high-water helper (queue depths, fan-out).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Raises the gauge to `v` if `v` is larger (monotonic high-water mark).
+  void recordMax(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// One histogram's state at a point in time (see Histogram for the bucket
+/// scheme).  Plain data; serializable via MetricsSnapshot.
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 65;  // bit_width(u64) in [0, 64]
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of bucket `i` (inclusive): 0 for bucket 0, else 2^i - 1.
+  static std::uint64_t bucketUpperBound(std::size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  /// Conservative quantile estimate: the upper bound of the bucket holding
+  /// the q-th sample (q in [0,1]).  Within a factor of 2 of the true value,
+  /// which is enough to pick timeouts and spot regressions.
+  std::uint64_t quantile(double q) const {
+    if (count == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(count - 1));  // 0-based sample index
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (seen > rank) return bucketUpperBound(i);
+    }
+    return max;
+  }
+};
+
+/// Fixed log2-bucket histogram.  Recording is 4 relaxed atomic ops (bucket,
+/// count, sum, max); values are dimensionless — callers pick a unit and
+/// encode it in the metric name (`*_us`, `*_bytes`, ...).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  /// Bucket index of `value`: `std::bit_width` — 0 for 0, else
+  /// 1 + floor(log2(value)), so bucket i covers [2^(i-1), 2^i).
+  static std::size_t bucketOf(std::uint64_t value) noexcept {
+    return static_cast<std::size_t>(std::bit_width(value));
+  }
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (value > cur && !max_.compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot s;
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum = sum_.load(std::memory_order_relaxed);
+    s.max = max_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Every metric of one registry at a point in time, plus dump helpers.
+/// Mergeable so a process can aggregate per-dapplet and per-network views.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Merges `other` in: counters add, gauges take the max (they are almost
+  /// always high-water marks), histograms add bucket-wise.  Keys may be
+  /// rewritten with `prefix` (e.g. "net." for a network's view).
+  void merge(const MetricsSnapshot& other, const std::string& prefix = "");
+
+  /// One metric per line, sorted by name — for logs and terminals.
+  std::string toText() const;
+
+  /// Machine-readable dump: `{"counters": {...}, "gauges": {...},
+  /// "histograms": {"name": {"count": n, "sum": n, "max": n, "p50": n,
+  /// "p99": n, "buckets": [[upper_bound, count], ...]}}}`.  Zero buckets are
+  /// omitted.
+  std::string toJson() const;
+};
+
+/// Names metrics and owns their storage.  Metric references returned by
+/// `counter`/`gauge`/`histogram` stay valid for the registry's lifetime, so
+/// components resolve them once at construction and record lock-free after.
+/// All members are thread-safe.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t traceCapacity = 512)
+      : trace_(traceCapacity) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named metric.  Looking a name up as two different
+  /// metric kinds throws MetricsError.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// The registry's structured trace-event ring (see trace.hpp).
+  TraceRing& trace() { return trace_; }
+  const TraceRing& trace() const { return trace_; }
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  // deques: stable element addresses under growth.
+  std::deque<Counter> counterStore_;
+  std::deque<Gauge> gaugeStore_;
+  std::deque<Histogram> histogramStore_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
+  TraceRing trace_;
+};
+
+}  // namespace dapple::obs

@@ -1,0 +1,77 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Structured trace events in a fixed-capacity overwrite ring.
+///
+/// Where metrics (metrics.hpp) aggregate, traces narrate: one `TraceEvent`
+/// per control-plane incident — a session round, a stream failure, an
+/// eviction, a retransmission burst — so "why was this session slow" can be
+/// answered after the fact without logs.  The ring holds the last
+/// `capacity` events; older events are overwritten, never blocked on.
+/// Emission takes one short mutex (events are control-plane rate, not
+/// per-message rate) and never allocates while holding other locks.
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dapple/util/time.hpp"
+
+namespace dapple::obs {
+
+/// One recorded incident.  `category` must be a string literal (it is
+/// stored by pointer); `name`/`detail` are copied.
+struct TraceEvent {
+  std::uint64_t seq = 0;       ///< emission index since ring construction
+  std::int64_t atMicros = 0;   ///< steady-clock µs since ring construction
+  const char* category = "";   ///< subsystem, e.g. "session", "reliable"
+  std::string name;            ///< event, e.g. "invite.reject"
+  std::string detail;          ///< free-form context (member, reason, ...)
+  std::int64_t a = 0;          ///< numeric payload (latency, id, count...)
+  std::int64_t b = 0;          ///< second numeric payload
+};
+
+/// Bounded ring of TraceEvents with overwrite-oldest semantics.
+/// All members are thread-safe.
+class TraceRing {
+ public:
+  explicit TraceRing(std::size_t capacity = 512);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Records an event, overwriting the oldest once the ring is full.
+  /// `category` MUST be a string literal or otherwise outlive the ring.
+  void emit(const char* category, std::string name, std::string detail = "",
+            std::int64_t a = 0, std::int64_t b = 0);
+
+  /// The retained events, oldest first.  At most `capacity()` entries; the
+  /// `seq` field exposes how many were overwritten before the window.
+  std::vector<TraceEvent> events() const;
+
+  /// Total events ever emitted (retained + overwritten).
+  std::uint64_t emitted() const;
+
+  /// Events lost to overwrite: `emitted() - events().size()`.
+  std::uint64_t overwritten() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Drops all retained events (emitted() keeps counting from where it was).
+  void clear();
+
+  /// Events as a JSON array, oldest first:
+  /// `[{"seq":n,"at_us":n,"category":"...","name":"...","detail":"...",
+  ///    "a":n,"b":n}, ...]`.
+  std::string toJson() const;
+
+ private:
+  const std::size_t capacity_;
+  const TimePoint epoch_;
+  mutable std::mutex mutex_;
+  std::deque<TraceEvent> ring_;  // oldest at front; pop_front on overflow
+  std::uint64_t next_ = 0;       // next seq to assign == emitted()
+};
+
+}  // namespace dapple::obs

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "dapple/net/transport.hpp"
+#include "dapple/obs/metrics.hpp"
 #include "dapple/util/time.hpp"
 
 namespace dapple {
@@ -59,8 +60,12 @@ class ReliableEndpoint {
                                     std::uint64_t streamId,
                                     const std::string& reason)>;
 
+  /// `metrics`, when given, must outlive this endpoint; the layer records
+  /// `reliable.*` counters/histograms (ack latency, reorder depth) and
+  /// `reliable` trace events into it.  Null disables instrumentation.
   explicit ReliableEndpoint(std::shared_ptr<Endpoint> raw,
-                            ReliableConfig config = {});
+                            ReliableConfig config = {},
+                            obs::MetricsRegistry* metrics = nullptr);
   ~ReliableEndpoint();
 
   ReliableEndpoint(const ReliableEndpoint&) = delete;

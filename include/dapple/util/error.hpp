@@ -104,4 +104,11 @@ class NetworkError : public Error {
   explicit NetworkError(const std::string& what) : Error(what) {}
 };
 
+/// Misuse of the metrics registry: one name looked up as two different
+/// metric kinds (a counter cannot also be a histogram).
+class MetricsError : public Error {
+ public:
+  explicit MetricsError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace dapple

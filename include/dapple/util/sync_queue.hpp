@@ -27,11 +27,14 @@ class SyncQueue {
   SyncQueue& operator=(const SyncQueue&) = delete;
 
   /// Appends an item; wakes one waiter.  Throws ShutdownError if closed.
+  /// Pushing after raise() is allowed: queued data always drains before the
+  /// alert fires (see raise()).
   void push(T item) {
     {
       std::scoped_lock lock(mutex_);
       if (closed_) throw ShutdownError("push on closed queue");
       items_.push_back(std::move(item));
+      if (items_.size() > highWater_) highWater_ = items_.size();
     }
     nonempty_.notify_one();
   }
@@ -43,6 +46,7 @@ class SyncQueue {
       std::scoped_lock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
+      if (items_.size() > highWater_) highWater_ = items_.size();
     }
     nonempty_.notify_one();
     return true;
@@ -114,6 +118,13 @@ class SyncQueue {
     return items_.size();
   }
 
+  /// Largest queue depth ever observed (after a push).  Maintained under the
+  /// queue lock, so reading it costs nothing extra on the hot path.
+  std::size_t highWater() const {
+    std::scoped_lock lock(mutex_);
+    return highWater_;
+  }
+
   /// Marks the queue closed: pushes start throwing, waiters drain remaining
   /// items and then receive ShutdownError.  Idempotent.
   void close() {
@@ -129,9 +140,11 @@ class SyncQueue {
     return closed_;
   }
 
-  /// Posts an out-of-band failure alert.  Queued data still drains first;
-  /// once the queue is empty a blocked (or subsequent) pop/await consumes one
-  /// alert and throws PeerDownError carrying `reason`.  Consume-once: each
+  /// Posts an out-of-band failure alert.  **Drain-then-throw ordering**:
+  /// data queued at raise() time — and data pushed *after* raise(), e.g.
+  /// late deliveries from surviving peers — always drains first; only when
+  /// the queue is empty does a blocked (or subsequent) pop/await consume one
+  /// alert and throw PeerDownError carrying `reason`.  Consume-once: each
   /// raise() fails exactly one blocking call, so survivors of a dead peer see
   /// the failure promptly without looping on it forever.
   void raise(std::string reason) {
@@ -174,6 +187,7 @@ class SyncQueue {
   std::condition_variable nonempty_;
   std::deque<T> items_;
   std::deque<std::string> alerts_;
+  std::size_t highWater_ = 0;
   bool closed_ = false;
 };
 

@@ -100,15 +100,13 @@ void playerRole(SessionContext& ctx) {
     const TimePoint giveUp = Clock::now() + seconds(5);
     while (!gotCard && Clock::now() < giveUp) {
       if (checkNews()) break;
-      try {
-        Delivery del = left.receive(milliseconds(50));
+      if (auto del = left.receiveFor(milliseconds(50))) {
         const auto* msg =
-            dynamic_cast<const DataMessage*>(del.message.get());
+            dynamic_cast<const DataMessage*>(del->message.get());
         if (msg != nullptr && msg->kind() == kCard) {
           ++hand[msg->get("rank").asInt()];
           gotCard = true;
         }
-      } catch (const TimeoutError&) {
       }
     }
     if (!gotCard) break;  // neighbour stopped: the game is over
@@ -128,10 +126,8 @@ void playerRole(SessionContext& ctx) {
       break;
     }
     if (!claims.empty() && Clock::now() - lastNews >= quietWindow) break;
-    try {
-      Delivery del = news.receive(milliseconds(50));
-      if (recordNews(del)) lastNews = Clock::now();
-    } catch (const TimeoutError&) {
+    if (auto del = news.receiveFor(milliseconds(50))) {
+      if (recordNews(*del)) lastNews = Clock::now();
     }
   }
 

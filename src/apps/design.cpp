@@ -171,6 +171,8 @@ void designerRole(SessionContext& ctx) {
     }
     return true;
   };
+  // receive(timeout) (not receiveFor): a 10s stall here means replication
+  // genuinely broke, and the TimeoutError is the right way to fail the role.
   while (!converged()) handle(updates.receive(seconds(10)));
 
   ValueMap result;

@@ -1,5 +1,6 @@
 #include "dapple/core/dapplet.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
@@ -36,15 +37,21 @@ struct Dapplet::Impl {
   Stats stats;
   std::vector<PeerFailureListener> peerFailureListeners;
 
+  obs::Histogram* mFanout = nullptr;  ///< destinations per outbox send
+
   bool stopped = false;
   std::vector<std::jthread> workers;
 };
 
 Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
-    : name_(std::move(name)), config_(config), impl_(std::make_unique<Impl>()) {
-  auto endpoint = network.openAt(config.host, config.port);
-  reliable_ =
-      std::make_unique<ReliableEndpoint>(std::move(endpoint), config.reliable);
+    : name_(std::move(name)),
+      config_(config.normalized()),
+      metricsRegistry_(config_.traceCapacity),
+      impl_(std::make_unique<Impl>()) {
+  impl_->mFanout = &metricsRegistry_.histogram("core.fanout");
+  auto endpoint = network.openAt(config_.host, config_.port);
+  reliable_ = std::make_unique<ReliableEndpoint>(
+      std::move(endpoint), config_.reliable, &metricsRegistry_);
   reliable_->setDeliver([this](const NodeAddress& src, std::uint64_t streamId,
                                std::string payload) {
     onDeliver(src, streamId, std::move(payload));
@@ -97,7 +104,7 @@ void Dapplet::destroyInbox(const std::string& name) {
     throw AddressError("no inbox named '" + name + "' in dapplet " + name_);
   }
   Inbox* box = it->second;
-  box->closeQueue();
+  box->close();
   impl_->inboxesByName.erase(it);
   auto node = impl_->inboxesById.extract(box->localId());
   if (node) impl_->inboxGraveyard.push_back(std::move(node.mapped()));
@@ -105,7 +112,7 @@ void Dapplet::destroyInbox(const std::string& name) {
 
 void Dapplet::destroyInbox(Inbox& box) {
   std::scoped_lock lock(impl_->mutex);
-  box.closeQueue();
+  box.close();
   if (!box.name().empty()) impl_->inboxesByName.erase(box.name());
   auto node = impl_->inboxesById.extract(box.localId());
   if (node) impl_->inboxGraveyard.push_back(std::move(node.mapped()));
@@ -180,7 +187,7 @@ void Dapplet::stop() {
     std::scoped_lock lock(impl_->mutex);
     if (impl_->stopped) return;
     impl_->stopped = true;
-    for (auto& [id, box] : impl_->inboxesById) box->closeQueue();
+    for (auto& [id, box] : impl_->inboxesById) box->close();
     workers.swap(impl_->workers);
   }
   for (auto& worker : workers) worker.request_stop();
@@ -198,7 +205,7 @@ void Dapplet::crash() {
     std::scoped_lock lock(impl_->mutex);
     if (impl_->stopped) return;
     impl_->stopped = true;
-    for (auto& [id, box] : impl_->inboxesById) box->closeQueue();
+    for (auto& [id, box] : impl_->inboxesById) box->close();
     workers.swap(impl_->workers);
   }
   for (auto& worker : workers) worker.request_stop();
@@ -222,11 +229,50 @@ Dapplet::Stats Dapplet::stats() const {
   return impl_->stats;
 }
 
+obs::MetricsSnapshot Dapplet::metrics() const {
+  obs::MetricsSnapshot snap = metricsRegistry_.snapshot();
+
+  // The ordering layer keeps its own Stats struct (cheap, always on);
+  // project it into the snapshot so one dump covers every layer.
+  const ReliableEndpoint::Stats rs = reliable_->stats();
+  snap.counters["reliable.data_sent"] += rs.dataSent;
+  snap.counters["reliable.retransmits"] += rs.retransmits;
+  snap.counters["reliable.delivered"] += rs.delivered;
+  snap.counters["reliable.duplicates"] += rs.duplicates;
+  snap.counters["reliable.acks_sent"] += rs.acksSent;
+  snap.counters["reliable.out_of_order_buffered"] += rs.outOfOrderBuffered;
+  snap.counters["reliable.stream_failures"] += rs.failures;
+
+  std::scoped_lock lock(impl_->mutex);
+  snap.counters["core.messages_sent"] += impl_->stats.messagesSent;
+  snap.counters["core.messages_delivered"] += impl_->stats.messagesDelivered;
+  snap.counters["core.unroutable"] += impl_->stats.unroutable;
+  snap.counters["core.consumed_by_tap"] += impl_->stats.consumedByTap;
+  snap.gauges["core.inboxes"] =
+      static_cast<std::int64_t>(impl_->inboxesById.size());
+  snap.gauges["core.outboxes"] =
+      static_cast<std::int64_t>(impl_->outboxesById.size());
+
+  // Backlog high-water across every inbox this dapplet ever had (destroyed
+  // inboxes park in the graveyard, so their peaks still count).
+  std::int64_t hwm = 0;
+  const auto consider = [&hwm](const Inbox& box) {
+    const auto peak = static_cast<std::int64_t>(box.queueHighWater());
+    if (peak > hwm) hwm = peak;
+  };
+  for (const auto& [id, box] : impl_->inboxesById) consider(*box);
+  for (const auto& box : impl_->inboxGraveyard) consider(*box);
+  snap.gauges["core.inbox_queue_hwm"] =
+      std::max(snap.gauges["core.inbox_queue_hwm"], hwm);
+  return snap;
+}
+
 void Dapplet::sendFromOutbox(std::uint64_t outboxId,
                              const std::vector<InboxRef>& destinations,
                              const Message& msg) {
   const std::uint64_t ts = clock_.tick();
   const std::string wire = encodeMessage(msg);
+  impl_->mFanout->record(destinations.size());
   for (const InboxRef& dst : destinations) {
     TextWriter w;
     w.writeU64(dst.localId);

@@ -16,12 +16,31 @@ std::atomic<std::uint64_t> g_sessionCounter{0};
 
 struct Initiator::Impl {
   Impl(Dapplet& dapplet, PeerMonitor* mon)
-      : d(dapplet), monitor(mon), rng(dapplet.id() ^ 0x5e551041u) {}
+      : d(dapplet),
+        monitor(mon),
+        rng(dapplet.id() ^ 0x5e551041u),
+        mInviteRoundUs(&d.metricsRegistry().histogram("session.invite_round_us")),
+        mWireRoundUs(&d.metricsRegistry().histogram("session.wire_round_us")),
+        mStartRoundUs(&d.metricsRegistry().histogram("session.start_round_us")),
+        trace(&d.trace()) {}
 
   Dapplet& d;
   PeerMonitor* monitor;
   mutable std::mutex mutex;
   Rng rng;  // jitter source; guarded by `mutex`
+
+  // Setup-phase round latencies (send -> all replies / flush), per session.
+  obs::Histogram* mInviteRoundUs;
+  obs::Histogram* mWireRoundUs;
+  obs::Histogram* mStartRoundUs;
+  obs::TraceRing* trace;
+
+  static std::uint64_t microsSince(TimePoint start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start)
+            .count());
+  }
 
   struct SessRec {
     std::string app;
@@ -64,11 +83,13 @@ struct Initiator::Impl {
     return it == sessions.end() ? nullptr : it->second;
   }
 
-  /// Receives from `rec->reply` until `deadline`; throws TimeoutError.
-  Delivery receiveBy(SessRec& rec, TimePoint deadline) {
+  /// Receives from `rec->reply` until `deadline`; nullopt once the deadline
+  /// passes (the phase loops treat that as "this attempt is over", so it is
+  /// flow control, not an error — see inbox.hpp's receive conventions).
+  std::optional<Delivery> receiveBy(SessRec& rec, TimePoint deadline) {
     const auto now = Clock::now();
-    if (deadline <= now) throw TimeoutError("session phase timed out");
-    return rec.reply->receive(
+    if (deadline <= now) return std::nullopt;
+    return rec.reply->receiveFor(
         std::chrono::duration_cast<Duration>(deadline - now));
   }
 
@@ -315,7 +336,8 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     box.add(member.control);
     rec->memberOutbox[member.name] = &box;
   }
-  const TimePoint inviteDeadline = Clock::now() + plan.phaseTimeout;
+  const TimePoint inviteStart = Clock::now();
+  const TimePoint inviteDeadline = inviteStart + plan.phaseTimeout;
   const auto inviteAnswered = [&](const MemberPlan& member) {
     return rec->memberRefs.count(member.name) != 0 ||
            result.rejections.count(member.name) != 0;
@@ -335,37 +357,40 @@ Initiator::Result Initiator::establish(const Plan& plan) {
             ? inviteDeadline
             : std::min(inviteDeadline,
                        Clock::now() + impl_->backoff(plan, attempt));
-    try {
-      for (;;) {
-        bool answered = true;
-        for (const MemberPlan& member : plan.members) {
-          if (!inviteAnswered(member)) {
-            answered = false;
-            break;
-          }
-        }
-        if (answered) break;
-        Delivery del = impl_->receiveBy(*rec, attemptDeadline);
-        const auto* reply =
-            dynamic_cast<const InviteReplyMsg*>(del.message.get());
-        if (reply == nullptr || reply->sessionId != result.sessionId) continue;
-        if (reply->accepted) {
-          rec->memberRefs[reply->memberName] = reply->inboxRefs;
-          if (reply->livenessRef.valid()) {
-            rec->memberLiveness[reply->memberName] = reply->livenessRef;
-          }
-        } else {
-          result.rejections[reply->memberName] = reply->reason;
+    bool attemptTimedOut = false;
+    for (;;) {
+      bool answered = true;
+      for (const MemberPlan& member : plan.members) {
+        if (!inviteAnswered(member)) {
+          answered = false;
+          break;
         }
       }
-      break;  // everyone answered
-    } catch (const TimeoutError&) {
-      if (Clock::now() >= inviteDeadline) break;
-      DAPPLE_LOG(kDebug, kLog)
-          << d.name() << ": INVITE attempt " << (attempt + 1) << "/"
-          << attempts << " incomplete, retrying";
+      if (answered) break;
+      auto del = impl_->receiveBy(*rec, attemptDeadline);
+      if (!del) {
+        attemptTimedOut = true;
+        break;
+      }
+      const auto* reply =
+          dynamic_cast<const InviteReplyMsg*>(del->message.get());
+      if (reply == nullptr || reply->sessionId != result.sessionId) continue;
+      if (reply->accepted) {
+        rec->memberRefs[reply->memberName] = reply->inboxRefs;
+        if (reply->livenessRef.valid()) {
+          rec->memberLiveness[reply->memberName] = reply->livenessRef;
+        }
+      } else {
+        result.rejections[reply->memberName] = reply->reason;
+      }
     }
+    if (!attemptTimedOut) break;  // everyone answered
+    if (Clock::now() >= inviteDeadline) break;
+    DAPPLE_LOG(kDebug, kLog)
+        << d.name() << ": INVITE attempt " << (attempt + 1) << "/"
+        << attempts << " incomplete, retrying";
   }
+  impl_->mInviteRoundUs->record(Impl::microsSince(inviteStart));
   for (const MemberPlan& member : plan.members) {
     if (!inviteAnswered(member)) {
       result.rejections[member.name] = "no reply (timeout)";
@@ -386,7 +411,8 @@ Initiator::Result Initiator::establish(const Plan& plan) {
 
   // ---- Phase 2: WIRE ------------------------------------------------------
   auto bindingPlan = impl_->planBindings(*rec, plan.edges);
-  const TimePoint wireDeadline = Clock::now() + plan.phaseTimeout;
+  const TimePoint wireStart = Clock::now();
+  const TimePoint wireDeadline = wireStart + plan.phaseTimeout;
   std::set<std::string> wiredOk;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     bool all = true;
@@ -408,26 +434,29 @@ Initiator::Result Initiator::establish(const Plan& plan) {
             ? wireDeadline
             : std::min(wireDeadline,
                        Clock::now() + impl_->backoff(plan, attempt));
-    try {
-      while (wiredOk.size() + result.rejections.size() < plan.members.size()) {
-        Delivery del = impl_->receiveBy(*rec, attemptDeadline);
-        const auto* reply =
-            dynamic_cast<const WireReplyMsg*>(del.message.get());
-        if (reply == nullptr || reply->sessionId != result.sessionId) continue;
-        if (reply->ok) {
-          wiredOk.insert(reply->memberName);
-        } else {
-          result.rejections[reply->memberName] = reply->reason;
-        }
+    bool attemptTimedOut = false;
+    while (wiredOk.size() + result.rejections.size() < plan.members.size()) {
+      auto del = impl_->receiveBy(*rec, attemptDeadline);
+      if (!del) {
+        attemptTimedOut = true;
+        break;
       }
-      break;
-    } catch (const TimeoutError&) {
-      if (Clock::now() >= wireDeadline) break;
-      DAPPLE_LOG(kDebug, kLog)
-          << d.name() << ": WIRE attempt " << (attempt + 1) << "/" << attempts
-          << " incomplete, retrying";
+      const auto* reply =
+          dynamic_cast<const WireReplyMsg*>(del->message.get());
+      if (reply == nullptr || reply->sessionId != result.sessionId) continue;
+      if (reply->ok) {
+        wiredOk.insert(reply->memberName);
+      } else {
+        result.rejections[reply->memberName] = reply->reason;
+      }
     }
+    if (!attemptTimedOut) break;
+    if (Clock::now() >= wireDeadline) break;
+    DAPPLE_LOG(kDebug, kLog)
+        << d.name() << ": WIRE attempt " << (attempt + 1) << "/" << attempts
+        << " incomplete, retrying";
   }
+  impl_->mWireRoundUs->record(Impl::microsSince(wireStart));
   if (wiredOk.size() < plan.members.size() && result.rejections.empty()) {
     result.rejections["(wire)"] = "wiring timed out";
   }
@@ -451,7 +480,8 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     start.peers.push_back(member.name);
   }
   start.params = plan.params;
-  const TimePoint startDeadline = Clock::now() + plan.phaseTimeout;
+  const TimePoint startStart = Clock::now();
+  const TimePoint startDeadline = startStart + plan.phaseTimeout;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     for (auto& [name, box] : rec->memberOutbox) impl_->sendOn(*box, start);
     const TimePoint flushBy =
@@ -464,6 +494,9 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     if (Clock::now() >= startDeadline) break;
     for (auto& [name, box] : rec->memberOutbox) box->reset();
   }
+  impl_->mStartRoundUs->record(Impl::microsSince(startStart));
+  impl_->trace->emit("session", "session.established", result.sessionId,
+                     static_cast<std::int64_t>(plan.members.size()));
 
   // The session is live: start watching member liveness.
   {
@@ -511,14 +544,12 @@ std::map<std::string, Value> Initiator::awaitCompletion(
     }
     const Duration slice =
         std::min<Duration>(milliseconds(50), deadline - now);
-    try {
-      Delivery del = rec->reply->receive(slice);
-      const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
+    // An empty slice just means "re-check eviction state".
+    if (auto del = rec->reply->receiveFor(slice)) {
+      const auto* done = dynamic_cast<const DoneMsg*>(del->message.get());
       if (done == nullptr || done->sessionId != sessionId) continue;
       std::scoped_lock lock(rec->mtx);
       rec->doneResults[done->memberName] = done->result;
-    } catch (const TimeoutError&) {
-      // slice elapsed; re-check eviction state
     }
   }
   std::map<std::string, Value> out;
@@ -597,28 +628,24 @@ bool Initiator::addMember(const std::string& sessionId,
   const TimePoint deadline = Clock::now() + timeout;
   bool accepted = false;
   InboxRef liveRef;
-  try {
-    while (true) {
-      Delivery del = impl_->receiveBy(*rec, deadline);
-      if (const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
-          done != nullptr && done->sessionId == sessionId) {
-        std::scoped_lock lock(rec->mtx);
-        rec->doneResults[done->memberName] = done->result;  // stash
-        continue;
-      }
-      const auto* reply = dynamic_cast<const InviteReplyMsg*>(del.message.get());
-      if (reply == nullptr || reply->sessionId != sessionId ||
-          reply->memberName != member.name) {
-        continue;
-      }
-      if (reply->accepted) {
-        rec->memberRefs[member.name] = reply->inboxRefs;
-        liveRef = reply->livenessRef;
-        accepted = true;
-      }
-      break;
+  while (auto del = impl_->receiveBy(*rec, deadline)) {
+    if (const auto* done = dynamic_cast<const DoneMsg*>(del->message.get());
+        done != nullptr && done->sessionId == sessionId) {
+      std::scoped_lock lock(rec->mtx);
+      rec->doneResults[done->memberName] = done->result;  // stash
+      continue;
     }
-  } catch (const TimeoutError&) {
+    const auto* reply = dynamic_cast<const InviteReplyMsg*>(del->message.get());
+    if (reply == nullptr || reply->sessionId != sessionId ||
+        reply->memberName != member.name) {
+      continue;
+    }
+    if (reply->accepted) {
+      rec->memberRefs[member.name] = reply->inboxRefs;
+      liveRef = reply->livenessRef;
+      accepted = true;
+    }
+    break;
   }
   if (!accepted) {
     d.destroyOutbox(box);
@@ -654,21 +681,18 @@ bool Initiator::addMember(const std::string& sessionId,
     }
   }
   std::size_t wired = 0;
-  try {
-    while (wired < expectWired) {
-      Delivery del = impl_->receiveBy(*rec, deadline);
-      if (const auto* done = dynamic_cast<const DoneMsg*>(del.message.get());
-          done != nullptr && done->sessionId == sessionId) {
-        std::scoped_lock lock(rec->mtx);
-        rec->doneResults[done->memberName] = done->result;
-        continue;
-      }
-      const auto* reply = dynamic_cast<const WireReplyMsg*>(del.message.get());
-      if (reply == nullptr || reply->sessionId != sessionId) continue;
-      ++wired;
+  while (wired < expectWired) {
+    auto del = impl_->receiveBy(*rec, deadline);
+    if (!del) return false;  // wiring window closed
+    if (const auto* done = dynamic_cast<const DoneMsg*>(del->message.get());
+        done != nullptr && done->sessionId == sessionId) {
+      std::scoped_lock lock(rec->mtx);
+      rec->doneResults[done->memberName] = done->result;
+      continue;
     }
-  } catch (const TimeoutError&) {
-    return false;
+    const auto* reply = dynamic_cast<const WireReplyMsg*>(del->message.get());
+    if (reply == nullptr || reply->sessionId != sessionId) continue;
+    ++wired;
   }
   for (const Edge& edge : newEdges) rec->edges.push_back(edge);
 

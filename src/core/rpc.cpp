@@ -234,8 +234,7 @@ Value RpcClient::call(const std::string& method, const Value& args,
     lock.unlock();
     std::optional<Delivery> del;
     try {
-      del = impl_->replyInbox->receive(milliseconds(20));
-    } catch (const TimeoutError&) {
+      del = impl_->replyInbox->receiveFor(milliseconds(20));
     } catch (...) {
       lock.lock();
       impl_->someoneReceiving = false;

@@ -106,10 +106,30 @@ void SessionContext::setResult(Value result) {
 
 struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
   Impl(Dapplet& dapplet, Config config)
-      : d(dapplet), cfg(std::move(config)) {}
+      : d(dapplet),
+        cfg(std::move(config)),
+        mInvitesAccepted(&d.metricsRegistry().counter("session.invites_accepted")),
+        mInvitesRejected(&d.metricsRegistry().counter("session.invites_rejected")),
+        mSessionsCompleted(
+            &d.metricsRegistry().counter("session.sessions_completed")),
+        mSessionsUnlinked(
+            &d.metricsRegistry().counter("session.sessions_unlinked")),
+        mInitiatorsLost(&d.metricsRegistry().counter("session.initiators_lost")),
+        mPeersEvicted(&d.metricsRegistry().counter("session.peers_evicted")),
+        trace(&d.trace()) {}
 
   Dapplet& d;
   Config cfg;
+
+  // Counters registered once on the owning dapplet; a Stats struct mirror is
+  // kept for the pre-observability stats() accessor.
+  obs::Counter* mInvitesAccepted;
+  obs::Counter* mInvitesRejected;
+  obs::Counter* mSessionsCompleted;
+  obs::Counter* mSessionsUnlinked;
+  obs::Counter* mInitiatorsLost;
+  obs::Counter* mPeersEvicted;
+  obs::TraceRing* trace;
 
   mutable std::mutex mutex;
   std::condition_variable loopExited;
@@ -201,10 +221,14 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         out.reason = "initiator '" + m.initiatorName +
                      "' is not on the access control list";
         ++stats.invitesRejectedAcl;
+        mInvitesRejected->inc();
+        trace->emit("session", "invite.reject", out.reason);
       } else if (roles.count(m.app) == 0) {
         out.accepted = false;
         out.reason = "unknown application '" + m.app + "'";
         ++stats.invitesRejectedUnknownApp;
+        mInvitesRejected->inc();
+        trace->emit("session", "invite.reject", out.reason);
       } else if (!interference.tryClaim(
                      m.sessionId, toSets(m.readKeys, m.writeKeys))) {
         // Paper §3.1: "it is already participating in a session and another
@@ -212,6 +236,9 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         out.accepted = false;
         out.reason = "interference with a concurrent session";
         ++stats.invitesRejectedInterference;
+        mInvitesRejected->inc();
+        trace->emit("session", "invite.reject",
+                    m.sessionId + ": " + out.reason);
       } else {
         auto rec = std::make_shared<SessionContext::Record>();
         rec->sessionId = m.sessionId;
@@ -241,6 +268,7 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         sessions[m.sessionId] = rec;
         out.accepted = true;
         ++stats.invitesAccepted;
+        mInvitesAccepted->inc();
       }
     }
     reply(m.replyTo, out);
@@ -355,8 +383,12 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         DAPPLE_LOG(kWarn, kLog) << d.name() << ": DONE send failed: "
                                 << e.what();
       }
-      std::scoped_lock lock(mutex);
-      ++stats.sessionsCompleted;
+      {
+        std::scoped_lock lock(mutex);
+        ++stats.sessionsCompleted;
+      }
+      mSessionsCompleted->inc();
+      trace->emit("session", "session.done", rec->sessionId);
     }
     maybeCleanup(rec);
   }
@@ -382,6 +414,11 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       if (sessions.count(rec->sessionId) == 0) return;
       ++stats.sessionsUnlinked;
       if (initiatorLost) ++stats.initiatorsLost;
+    }
+    mSessionsUnlinked->inc();
+    if (initiatorLost) {
+      mInitiatorsLost->inc();
+      trace->emit("session", "initiator.lost", rec->sessionId);
     }
     {
       std::scoped_lock lock(rec->mutex);
@@ -414,6 +451,9 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       if (box->removeNode(node) > 0) box->reset();
     }
     for (const auto& [name, box] : rec->inboxes) box->raise(reason);
+    mPeersEvicted->inc();
+    trace->emit("session", "member.evict",
+                rec->sessionId + ": " + node.toString() + ": " + reason);
     DAPPLE_LOG(kInfo, kLog) << d.name() << ": session " << rec->sessionId
                             << ": evicted peer at " << node.toString() << " ("
                             << reason << ")";

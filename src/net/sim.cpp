@@ -310,6 +310,18 @@ SimNetwork::Stats SimNetwork::stats() const {
   return impl_->stats;
 }
 
+obs::MetricsSnapshot SimNetwork::metrics() const {
+  const Stats s = stats();
+  obs::MetricsSnapshot snap;
+  snap.counters["sim.sent"] = s.sent;
+  snap.counters["sim.delivered"] = s.delivered;
+  snap.counters["sim.dropped"] = s.dropped;
+  snap.counters["sim.duplicated"] = s.duplicated;
+  snap.counters["sim.undeliverable"] = s.undeliverable;
+  snap.gauges["sim.in_flight"] = static_cast<std::int64_t>(inFlight());
+  return snap;
+}
+
 std::size_t SimNetwork::inFlight() const {
   std::scoped_lock lock(impl_->mutex);
   return impl_->queue.size();

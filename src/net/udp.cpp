@@ -6,6 +6,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 #include <mutex>
@@ -40,9 +41,18 @@ NodeAddress fromSockaddr(const sockaddr_in& sa) {
 
 }  // namespace
 
+/// Shared across the network's endpoints (wait-free relaxed atomics, same
+/// discipline as obs::Counter).
+struct UdpNetwork::Counters {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> received{0};
+  std::atomic<std::uint64_t> sendErrors{0};
+};
+
 class UdpNetwork::EndpointImpl final : public Endpoint {
  public:
-  explicit EndpointImpl(std::uint16_t port) {
+  EndpointImpl(std::uint16_t port, std::shared_ptr<Counters> counters)
+      : counters_(std::move(counters)) {
     fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
     if (fd_ < 0) throwErrno("socket");
     sockaddr_in bindAddr{};
@@ -93,8 +103,11 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
     if (n < 0) {
       // UDP is fire-and-forget; transient errors are treated as loss, which
       // the reliable layer above absorbs.
+      counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
       DAPPLE_LOG(kDebug, kLog)
           << "sendto " << dst.toString() << " failed: " << std::strerror(errno);
+    } else {
+      counters_->sent.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -143,12 +156,14 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
         handler = handler_;
       }
       if (handler) {
+        counters_->received.fetch_add(1, std::memory_order_relaxed);
         handler(fromSockaddr(from),
                 std::string(buf.data(), static_cast<std::size_t>(n)));
       }
     }
   }
 
+  std::shared_ptr<Counters> counters_;
   int fd_ = -1;
   NodeAddress addr_;
   mutable std::mutex mutex_;
@@ -157,11 +172,28 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
   std::jthread receiver_;
 };
 
-UdpNetwork::UdpNetwork() = default;
+UdpNetwork::UdpNetwork() : counters_(std::make_shared<Counters>()) {}
 UdpNetwork::~UdpNetwork() = default;
 
 std::shared_ptr<Endpoint> UdpNetwork::open(std::uint16_t port) {
-  return std::make_shared<EndpointImpl>(port);
+  return std::make_shared<EndpointImpl>(port, counters_);
+}
+
+UdpNetwork::Stats UdpNetwork::stats() const {
+  Stats s;
+  s.sent = counters_->sent.load(std::memory_order_relaxed);
+  s.received = counters_->received.load(std::memory_order_relaxed);
+  s.sendErrors = counters_->sendErrors.load(std::memory_order_relaxed);
+  return s;
+}
+
+obs::MetricsSnapshot UdpNetwork::metrics() const {
+  const Stats s = stats();
+  obs::MetricsSnapshot snap;
+  snap.counters["udp.sent"] = s.sent;
+  snap.counters["udp.received"] = s.received;
+  snap.counters["udp.send_errors"] = s.sendErrors;
+  return snap;
 }
 
 }  // namespace dapple

@@ -1,0 +1,159 @@
+#include "dapple/obs/metrics.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "dapple/util/error.hpp"
+
+namespace dapple::obs {
+
+namespace {
+
+/// Minimal JSON string escaping — metric names are dotted identifiers, but
+/// trace details may carry arbitrary reasons.
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw MetricsError("metric '" + name + "' already exists with another kind");
+  }
+  Counter& c = counterStore_.emplace_back();
+  counters_.emplace(name, &c);
+  return c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw MetricsError("metric '" + name + "' already exists with another kind");
+  }
+  Gauge& g = gaugeStore_.emplace_back();
+  gauges_.emplace(name, &g);
+  return g;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw MetricsError("metric '" + name + "' already exists with another kind");
+  }
+  Histogram& h = histogramStore_.emplace_back();
+  histograms_.emplace(name, &h);
+  return h;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::scoped_lock lock(mutex_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->snapshot();
+  }
+  return out;
+}
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other,
+                            const std::string& prefix) {
+  for (const auto& [name, v] : other.counters) counters[prefix + name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(prefix + name, v);
+    if (!inserted && v > it->second) it->second = v;
+  }
+  for (const auto& [name, h] : other.histograms) {
+    HistogramSnapshot& mine = histograms[prefix + name];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    if (h.max > mine.max) mine.max = h.max;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      mine.buckets[i] += h.buckets[i];
+    }
+  }
+}
+
+std::string MetricsSnapshot::toText() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters) out << name << " " << v << "\n";
+  for (const auto& [name, v] : gauges) out << name << " " << v << "\n";
+  for (const auto& [name, h] : histograms) {
+    out << name << " count=" << h.count << " mean=" << h.mean()
+        << " p50=" << h.quantile(0.5) << " p99=" << h.quantile(0.99)
+        << " max=" << h.max << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    appendJsonString(out, name);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    appendJsonString(out, name);
+    out += ':';
+    out += std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    appendJsonString(out, name);
+    out += ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) +
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"p50\":" + std::to_string(h.quantile(0.5)) +
+           ",\"p99\":" + std::to_string(h.quantile(0.99)) + ",\"buckets\":[";
+    bool firstBucket = true;
+    for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!firstBucket) out += ',';
+      firstBucket = false;
+      out += '[' + std::to_string(HistogramSnapshot::bucketUpperBound(i)) +
+             ',' + std::to_string(h.buckets[i]) + ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace dapple::obs

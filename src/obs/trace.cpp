@@ -1,0 +1,92 @@
+#include "dapple/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dapple::obs {
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)), epoch_(Clock::now()) {}
+
+void TraceRing::emit(const char* category, std::string name,
+                     std::string detail, std::int64_t a, std::int64_t b) {
+  TraceEvent ev;
+  ev.atMicros = std::chrono::duration_cast<microseconds>(Clock::now() - epoch_)
+                    .count();
+  ev.category = category;
+  ev.name = std::move(name);
+  ev.detail = std::move(detail);
+  ev.a = a;
+  ev.b = b;
+  std::scoped_lock lock(mutex_);
+  ev.seq = next_++;
+  ring_.push_back(std::move(ev));
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::scoped_lock lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t TraceRing::emitted() const {
+  std::scoped_lock lock(mutex_);
+  return next_;
+}
+
+std::uint64_t TraceRing::overwritten() const {
+  std::scoped_lock lock(mutex_);
+  return next_ - ring_.size();
+}
+
+void TraceRing::clear() {
+  std::scoped_lock lock(mutex_);
+  ring_.clear();
+}
+
+namespace {
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string TraceRing::toJson() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out = "[";
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"seq\":" + std::to_string(ev.seq) +
+           ",\"at_us\":" + std::to_string(ev.atMicros) + ",\"category\":";
+    appendJsonString(out, ev.category);
+    out += ",\"name\":";
+    appendJsonString(out, ev.name);
+    out += ",\"detail\":";
+    appendJsonString(out, ev.detail);
+    out += ",\"a\":" + std::to_string(ev.a) +
+           ",\"b\":" + std::to_string(ev.b) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dapple::obs

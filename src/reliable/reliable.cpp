@@ -1,6 +1,7 @@
 #include "dapple/reliable/reliable.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <mutex>
@@ -62,11 +63,28 @@ std::string encodeAck(std::uint64_t streamId, std::uint64_t epoch,
 }  // namespace
 
 struct ReliableEndpoint::Impl {
-  Impl(std::shared_ptr<Endpoint> rawEp, ReliableConfig config)
-      : raw(std::move(rawEp)), cfg(config) {}
+  Impl(std::shared_ptr<Endpoint> rawEp, ReliableConfig config,
+       obs::MetricsRegistry* metrics)
+      : raw(std::move(rawEp)), cfg(config) {
+    if (metrics != nullptr) {
+      // Resolve once; recording below is wait-free.
+      mDatagramsIn = &metrics->counter("net.datagrams_in");
+      mDatagramsOut = &metrics->counter("net.datagrams_out");
+      mAckLatencyUs = &metrics->histogram("reliable.ack_latency_us");
+      mReorderDepth = &metrics->histogram("reliable.reorder_depth");
+      trace = &metrics->trace();
+    }
+  }
 
   std::shared_ptr<Endpoint> raw;
   const ReliableConfig cfg;
+
+  // Optional instrumentation (null when no registry was supplied).
+  obs::Counter* mDatagramsIn = nullptr;
+  obs::Counter* mDatagramsOut = nullptr;
+  obs::Histogram* mAckLatencyUs = nullptr;  ///< send -> cumulative/selective ack
+  obs::Histogram* mReorderDepth = nullptr;  ///< buffered frames per gap event
+  obs::TraceRing* trace = nullptr;
 
   mutable std::mutex mutex;
   std::condition_variable flushed;
@@ -112,6 +130,7 @@ struct ReliableEndpoint::Impl {
   }
 
   void onDatagram(const NodeAddress& src, std::string payload) {
+    if (mDatagramsIn != nullptr) mDatagramsIn->inc();
     TextReader r(payload);
     std::uint64_t kind = 0;
     std::uint64_t streamId = 0;
@@ -169,6 +188,7 @@ struct ReliableEndpoint::Impl {
       } else {
         rs.buffered.emplace(seq, std::move(body));
         ++stats.outOfOrderBuffered;
+        if (mReorderDepth != nullptr) mReorderDepth->record(rs.buffered.size());
       }
       // Acknowledge: cumulative plus up to kMaxSack buffered sequence
       // numbers so the sender can stop retransmitting them.
@@ -183,6 +203,7 @@ struct ReliableEndpoint::Impl {
       deliverFn = deliver;
     }
     raw->send(src, std::move(ackFrame));
+    if (mDatagramsOut != nullptr) mDatagramsOut->inc();
     if (deliverFn) {
       for (auto& [seq2, payload2] : deliverable) {
         deliverFn(src, streamId, std::move(payload2));
@@ -199,8 +220,30 @@ struct ReliableEndpoint::Impl {
     SendStream& ss = it->second;
     if (epoch != ss.epoch) return;  // ack for a previous epoch
     // cumAck = receiver's nextExpected: everything below is delivered.
-    ss.pending.erase(ss.pending.begin(), ss.pending.lower_bound(cumAck));
-    for (std::uint64_t sack : sacks) ss.pending.erase(sack);
+    const TimePoint now = Clock::now();
+    const auto ackedEnd = ss.pending.lower_bound(cumAck);
+    if (mAckLatencyUs != nullptr) {
+      // The newly acknowledged frames' send->ack round trips.  Walks only
+      // entries being erased, so the cost scales with acked frames.
+      for (auto it2 = ss.pending.begin(); it2 != ackedEnd; ++it2) {
+        mAckLatencyUs->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - it2->second.firstSent)
+                .count()));
+      }
+    }
+    ss.pending.erase(ss.pending.begin(), ackedEnd);
+    for (std::uint64_t sack : sacks) {
+      const auto it2 = ss.pending.find(sack);
+      if (it2 == ss.pending.end()) continue;
+      if (mAckLatencyUs != nullptr) {
+        mAckLatencyUs->record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                now - it2->second.firstSent)
+                .count()));
+      }
+      ss.pending.erase(it2);
+    }
     if (!anyPendingLocked()) flushed.notify_all();
   }
 
@@ -244,11 +287,16 @@ struct ReliableEndpoint::Impl {
     for (std::size_t i = 0; i < resend.size(); ++i) {
       raw->send(resendDst[i], resend[i]);
     }
-    if (failFn) {
-      for (const auto& [dst, streamId, reason] : failures) {
-        DAPPLE_LOG(kDebug, kLog) << "stream failed: " << reason;
-        failFn(dst, streamId, reason);
+    if (mDatagramsOut != nullptr && !resend.empty()) {
+      mDatagramsOut->inc(resend.size());
+    }
+    for (const auto& [dst, streamId, reason] : failures) {
+      DAPPLE_LOG(kDebug, kLog) << "stream failed: " << reason;
+      if (trace != nullptr) {
+        trace->emit("reliable", "stream.fail", reason,
+                    static_cast<std::int64_t>(streamId));
       }
+      if (failFn) failFn(dst, streamId, reason);
     }
   }
 
@@ -261,8 +309,9 @@ struct ReliableEndpoint::Impl {
 };
 
 ReliableEndpoint::ReliableEndpoint(std::shared_ptr<Endpoint> raw,
-                                   ReliableConfig config)
-    : impl_(std::make_unique<Impl>(std::move(raw), config)) {
+                                   ReliableConfig config,
+                                   obs::MetricsRegistry* metrics)
+    : impl_(std::make_unique<Impl>(std::move(raw), config, metrics)) {
   impl_->raw->setHandler(
       [impl = impl_.get()](const NodeAddress& src, std::string payload) {
         impl->onDatagram(src, std::move(payload));
@@ -313,6 +362,7 @@ std::uint64_t ReliableEndpoint::send(const NodeAddress& dst,
   // delivery thread that re-enters this class, so holding our mutex across
   // raw->send would invert the lock order.
   impl_->raw->send(dst, std::move(frame));
+  if (impl_->mDatagramsOut != nullptr) impl_->mDatagramsOut->inc();
   return seq;
 }
 

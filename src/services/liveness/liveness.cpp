@@ -17,16 +17,27 @@ constexpr const char* kHeartbeat = "live.hb";
 }  // namespace
 
 struct LivenessMonitor::Impl {
-  Impl(Dapplet& dapplet, LivenessConfig cfg) : d(dapplet) {
+  Impl(Dapplet& dapplet, LivenessConfig cfg)
+      : d(dapplet),
+        mSuspects(&d.metricsRegistry().counter("liveness.suspect_events")),
+        mRecoveries(&d.metricsRegistry().counter("liveness.recovery_events")),
+        mHbGapUs(&d.metricsRegistry().histogram("liveness.heartbeat_gap_us")),
+        trace(&d.trace()) {
     interval = cfg.heartbeatInterval > Duration::zero()
                    ? cfg.heartbeatInterval
-                   : dapplet.config().heartbeatInterval;
+                   : dapplet.config().liveness.heartbeatInterval;
     timeout = cfg.suspectTimeout > Duration::zero()
                   ? cfg.suspectTimeout
-                  : dapplet.config().suspectTimeout;
+                  : dapplet.config().liveness.suspectTimeout;
   }
 
   Dapplet& d;
+  obs::Counter* mSuspects;
+  obs::Counter* mRecoveries;
+  /// Observed inter-arrival gap between heartbeats from the same peer — the
+  /// live measurement `suspectTimeout` must dominate (see DESIGN.md).
+  obs::Histogram* mHbGapUs;
+  obs::TraceRing* trace;
   Inbox* inbox = nullptr;
   Duration interval{};
   Duration timeout{};
@@ -65,10 +76,16 @@ struct LivenessMonitor::Impl {
     const TimePoint now = Clock::now();
     for (auto& [key, w] : watches) {
       if (w.peer.node != src) continue;
+      mHbGapUs->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              now - w.lastHeard)
+              .count()));
       w.lastHeard = now;
       if (w.suspected) {
         w.suspected = false;
         ++stats.recoveryEvents;
+        mRecoveries->inc();
+        trace->emit("liveness", "peer.alive", key);
         events.push_back({key, w.peer, false});
       }
     }
@@ -89,6 +106,8 @@ struct LivenessMonitor::Impl {
         if (!w.suspected && now - w.lastHeard > timeout) {
           w.suspected = true;
           ++stats.suspectEvents;
+          mSuspects->inc();
+          trace->emit("liveness", "peer.suspect", key);
           events.push_back({key, w.peer, true});
           DAPPLE_LOG(kInfo, kLog)
               << d.name() << ": suspecting peer " << w.peer.toString()
@@ -139,14 +158,12 @@ struct LivenessMonitor::Impl {
       }
       const Duration wait =
           std::max(Duration::zero(), nextBeat - Clock::now());
-      try {
-        Delivery del = inbox->receive(wait);
-        const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+      // A quiet interval just means the next iteration beats.
+      if (auto del = inbox->receiveFor(wait)) {
+        const auto* msg = dynamic_cast<const DataMessage*>(del->message.get());
         if (msg != nullptr && msg->kind() == kHeartbeat) {
-          onHeartbeat(del.srcNode, events);
+          onHeartbeat(del->srcNode, events);
         }
-      } catch (const TimeoutError&) {
-        // quiet interval — the next iteration beats
       }
       fire(events);
     }

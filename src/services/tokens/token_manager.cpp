@@ -39,10 +39,22 @@ std::uint64_t colorHash(const TokenColor& color) {
 }  // namespace
 
 struct TokenManager::Impl {
-  Impl(Dapplet& dapplet, TokenConfig config) : d(dapplet), cfg(config) {}
+  Impl(Dapplet& dapplet, TokenConfig config)
+      : d(dapplet),
+        cfg(config),
+        mGrants(&d.metricsRegistry().counter("tokens.grants_issued")),
+        mDenied(&d.metricsRegistry().counter("tokens.requests_denied")),
+        mProbes(&d.metricsRegistry().counter("tokens.probes_sent")),
+        trace(&d.trace()) {}
 
   Dapplet& d;
   const TokenConfig cfg;
+  // `requests_denied` counts deadlock verdicts and timeouts together — the
+  // two ways a request() fails without a grant.
+  obs::Counter* mGrants;
+  obs::Counter* mDenied;
+  obs::Counter* mProbes;
+  obs::TraceRing* trace;
   Inbox* inbox = nullptr;
 
   mutable std::mutex mutex;
@@ -126,6 +138,7 @@ struct TokenManager::Impl {
     grant.set("count", Value(static_cast<long long>(waiter.count)));
     sendTo(waiter.from, grant);
     ++stats.grantsIssued;
+    mGrants->inc();
   }
 
   void serveWaitQLocked(const TokenColor& color, HomeColor& home) {
@@ -381,6 +394,7 @@ struct TokenManager::Impl {
       probe.set("color", Value(color));
       sendTo(homeOf(color), probe);
       ++stats.probesSent;
+      mProbes->inc();
     }
   }
 
@@ -535,6 +549,8 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
     }
     if (p.deadlocked) {
       ++impl_->stats.requestsDeadlocked;
+      impl_->mDenied->inc();
+      impl_->trace->emit("tokens", "request.deadlock");
       impl_->abortPendingLocked();
       throw DeadlockError(
           "token managers detected a deadlock involving this request");
@@ -542,6 +558,8 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
     const TimePoint now = Clock::now();
     if (now >= deadline) {
       ++impl_->stats.requestsTimedOut;
+      impl_->mDenied->inc();
+      impl_->trace->emit("tokens", "request.timeout");
       impl_->abortPendingLocked();
       throw TimeoutError("token request timed out");
     }

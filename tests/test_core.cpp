@@ -77,6 +77,47 @@ TEST(Inbox, TryReceiveNonBlocking) {
   EXPECT_FALSE(in.tryReceive().has_value());
 }
 
+TEST(Inbox, ReceiveForReturnsNulloptOnTimeout) {
+  Pair p;
+  Inbox& in = p.b.createInbox("in");
+  EXPECT_FALSE(in.receiveFor(milliseconds(30)).has_value());
+
+  Outbox& out = p.a.createOutbox();
+  out.add(in.ref());
+  out.send(msg("x", 7));
+  const auto del = in.receiveFor(seconds(2));
+  ASSERT_TRUE(del.has_value());
+  EXPECT_EQ(del->as<DataMessage>().get("n").asInt(), 7);
+}
+
+TEST(Inbox, ReceiveAsExtractsTypedMessage) {
+  Pair p;
+  Inbox& in = p.b.createInbox("in");
+  Outbox& out = p.a.createOutbox();
+  out.add(in.ref());
+  out.send(msg("typed", 5));
+  const DataMessage m = in.receiveAs<DataMessage>(seconds(2));
+  EXPECT_EQ(m.get("n").asInt(), 5);
+}
+
+TEST(Inbox, QueueHighWaterSurvivesDraining) {
+  Pair p;
+  Inbox& in = p.b.createInbox("in");
+  Outbox& out = p.a.createOutbox();
+  out.add(in.ref());
+  out.send(msg("a"));
+  out.send(msg("b"));
+  out.send(msg("c"));
+  // Wait until all three are queued, then drain.
+  for (int i = 0; i < 200 && in.size() < 3; ++i) {
+    std::this_thread::sleep_for(milliseconds(5));
+  }
+  while (in.tryReceive()) {
+  }
+  EXPECT_GE(in.queueHighWater(), 3u);
+  EXPECT_TRUE(in.isEmpty());
+}
+
 TEST(Inbox, StopWakesBlockedReceiverWithShutdown) {
   SimNetwork net(1);
   Dapplet d(net, "d");

@@ -263,8 +263,8 @@ TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
 TEST(CrashStop, SessionSurvivesMemberCrashWithPartialResults) {
   SimNetwork net(790);
   DappletConfig cfg = lossTolerant();
-  cfg.heartbeatInterval = milliseconds(25);
-  cfg.suspectTimeout = milliseconds(300);
+  cfg.liveness.heartbeatInterval = milliseconds(25);
+  cfg.liveness.suspectTimeout = milliseconds(300);
 
   const std::vector<std::string> names = {"c0", "c1", "c2", "c3"};
   std::vector<std::unique_ptr<Dapplet>> dapplets;
@@ -325,7 +325,7 @@ TEST(CrashStop, SessionSurvivesMemberCrashWithPartialResults) {
   const TimePoint crashedAt = Clock::now();
 
   // The detector must evict c1 within 2x the suspect timeout.
-  const TimePoint detectBy = crashedAt + 2 * cfg.suspectTimeout;
+  const TimePoint detectBy = crashedAt + 2 * cfg.liveness.suspectTimeout;
   bool evicted = false;
   while (Clock::now() < detectBy) {
     if (initiator.downMembers(result.sessionId).count("c1") != 0) {
@@ -369,8 +369,8 @@ TEST(CrashStop, SurvivorAgentsRecordEviction) {
   // Same shape, smaller: assert the agent-side stats counter moves.
   SimNetwork net(791);
   DappletConfig cfg = lossTolerant();
-  cfg.heartbeatInterval = milliseconds(25);
-  cfg.suspectTimeout = milliseconds(250);
+  cfg.liveness.heartbeatInterval = milliseconds(25);
+  cfg.liveness.suspectTimeout = milliseconds(250);
 
   std::vector<std::unique_ptr<Dapplet>> dapplets;
   std::vector<std::unique_ptr<LivenessMonitor>> monitors;

@@ -18,8 +18,8 @@ DappletConfig fastDetect() {
   cfg.reliable.tickInterval = milliseconds(2);
   cfg.reliable.rto = milliseconds(15);
   cfg.reliable.deliveryTimeout = milliseconds(500);
-  cfg.heartbeatInterval = milliseconds(20);
-  cfg.suspectTimeout = milliseconds(150);
+  cfg.liveness.heartbeatInterval = milliseconds(20);
+  cfg.liveness.suspectTimeout = milliseconds(150);
   return cfg;
 }
 
@@ -145,8 +145,8 @@ TEST(Liveness, UnwatchSilencesEventsForThatPeer) {
 TEST(Liveness, ConfigInheritsFromDappletAndOverrides) {
   SimNetwork net(904);
   DappletConfig cfg;
-  cfg.heartbeatInterval = milliseconds(35);
-  cfg.suspectTimeout = milliseconds(210);
+  cfg.liveness.heartbeatInterval = milliseconds(35);
+  cfg.liveness.suspectTimeout = milliseconds(210);
   Dapplet d(net, "d", cfg);
   Dapplet e(net, "e", cfg);  // one monitor per dapplet: "live.ctl" is unique
 
@@ -163,6 +163,27 @@ TEST(Liveness, ConfigInheritsFromDappletAndOverrides) {
 
   d.stop();
   e.stop();
+}
+
+// Compatibility shim: the deprecated flat DappletConfig knobs must keep
+// working, and a flat knob set explicitly wins over the nested default.
+TEST(Liveness, LegacyFlatConfigKnobsStillApply) {
+  SimNetwork net(906);
+  DappletConfig cfg;
+  cfg.heartbeatInterval = milliseconds(40);  // legacy flat field only
+  cfg.suspectTimeout = milliseconds(320);
+  Dapplet d(net, "d", cfg);
+
+  EXPECT_EQ(d.config().liveness.heartbeatInterval, milliseconds(40));
+  EXPECT_EQ(d.config().liveness.suspectTimeout, milliseconds(320));
+  // The flat mirrors reflect the resolved values too.
+  EXPECT_EQ(d.config().heartbeatInterval, milliseconds(40));
+  EXPECT_EQ(d.config().suspectTimeout, milliseconds(320));
+
+  LivenessMonitor inherited(d);
+  EXPECT_EQ(inherited.heartbeatInterval(), milliseconds(40));
+  EXPECT_EQ(inherited.suspectTimeout(), milliseconds(320));
+  d.stop();
 }
 
 TEST(Liveness, WatchingManyPeersKeysAreIndependent) {

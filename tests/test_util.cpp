@@ -150,6 +150,40 @@ TEST(SyncQueue, PushAfterCloseThrows) {
   EXPECT_FALSE(q.tryPush(1));
 }
 
+TEST(SyncQueue, RaiseDrainsDataBeforeThrowingEvenWhenPushedAfter) {
+  SyncQueue<int> q;
+  q.push(1);
+  q.raise("peer died");
+  // Data pushed *after* the alert still drains first (late deliveries from
+  // surviving peers must not be lost).
+  q.push(2);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_THROW(q.pop(), PeerDownError);
+}
+
+TEST(SyncQueue, RaiseIsConsumeOnce) {
+  SyncQueue<int> q;
+  q.raise("peer died");
+  EXPECT_EQ(q.pendingAlerts(), 1u);
+  EXPECT_THROW(q.pop(), PeerDownError);
+  EXPECT_EQ(q.pendingAlerts(), 0u);
+  // The alert is spent: a later pop blocks/times out instead of re-throwing.
+  EXPECT_FALSE(q.popFor(milliseconds(30)).has_value());
+}
+
+TEST(SyncQueue, HighWaterTracksDeepestQueue) {
+  SyncQueue<int> q;
+  EXPECT_EQ(q.highWater(), 0u);
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  (void)q.pop();
+  (void)q.pop();
+  q.push(4);  // depth 2 now; high water stays 3
+  EXPECT_EQ(q.highWater(), 3u);
+}
+
 TEST(SyncQueue, AwaitNonEmpty) {
   SyncQueue<int> q;
   std::thread pusher([&] {
