@@ -58,6 +58,13 @@ struct DappletConfig {
   /// Capacity of the dapplet's trace-event ring (see obs/trace.hpp).
   std::size_t traceCapacity = 512;
 
+  /// Time source for every timer, timeout and sleep in this dapplet (the
+  /// reliable layer, inbox waits, liveness, initiator backoff, services).
+  /// Null selects `ClockSource::system()`; tests inject a
+  /// `testkit::VirtualClock` to run fault scenarios in virtual time.  Must
+  /// outlive the dapplet.
+  ClockSource* clock = nullptr;
+
   /// Resolves the deprecated flat liveness fields into `liveness` and
   /// mirrors the result back, so both spellings read identically.
   DappletConfig normalized() const {
@@ -97,6 +104,10 @@ class Dapplet {
 
   /// The message layer's logical clock (§4.2).
   LamportClock& clock() { return clock_; }
+
+  /// The wall/virtual time source every component of this dapplet waits on
+  /// (see DappletConfig::clock).  Never null.
+  ClockSource& clockSource() const { return *clockSource_; }
 
   // --- inboxes -----------------------------------------------------------
 
@@ -232,6 +243,7 @@ class Dapplet {
   struct Impl;
   const std::string name_;
   const DappletConfig config_;
+  ClockSource* clockSource_;
   LamportClock clock_;
   // Declared before reliable_/impl_: both record into the registry during
   // teardown, so it must outlive them.

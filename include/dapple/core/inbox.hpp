@@ -161,6 +161,10 @@ class Inbox {
   Inbox(std::uint32_t localId, std::string name, InboxRef ref)
       : localId_(localId), name_(std::move(name)), ref_(std::move(ref)) {}
 
+  /// Routes this inbox's waits through the dapplet's clock (virtual time in
+  /// tests).  Called by Dapplet::createInbox before the inbox is visible.
+  void setClockSource(ClockSource* clock) { queue_.setClockSource(clock); }
+
   /// Deliveries to a closed inbox are silently dropped.  After raise() the
   /// push still queues normally (drain-then-throw: the data outranks the
   /// pending alert).

@@ -41,9 +41,28 @@ struct LinkParams {
 /// Deterministic simulated datagram network.  All members are thread-safe.
 class SimNetwork : public Network {
  public:
+  struct Options {
+    /// Multiplies all link delays (e.g. 0.01 runs a "50 ms WAN" scenario
+    /// 100x faster in real time; irrelevant under a virtual clock).
+    double timeScale = 1.0;
+    /// Time source for datagram due-times and the delivery thread's waits.
+    /// Null selects `ClockSource::system()`; inject a
+    /// `testkit::VirtualClock` for zero-wall-clock-sleep delivery.
+    ClockSource* clock = nullptr;
+    /// Schedule-independent stochastic decisions: loss/duplication/jitter
+    /// for a datagram are drawn from a hash of (seed, src, dst, payload,
+    /// retransmission ordinal) instead of a shared sequential RNG.  Two runs
+    /// then make identical per-datagram decisions even when unrelated
+    /// traffic interleaves differently — the property the scenario fuzzer's
+    /// byte-identical replay digest rests on.
+    bool hashedLinkRandomness = false;
+  };
+
   /// `seed` drives every stochastic decision; `timeScale` multiplies all
   /// link delays (use e.g. 0.01 to run a "50 ms WAN" scenario 100x faster).
   explicit SimNetwork(std::uint64_t seed = 1, double timeScale = 1.0);
+
+  SimNetwork(std::uint64_t seed, const Options& options);
   ~SimNetwork() override;
 
   SimNetwork(const SimNetwork&) = delete;

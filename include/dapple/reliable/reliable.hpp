@@ -63,9 +63,12 @@ class ReliableEndpoint {
   /// `metrics`, when given, must outlive this endpoint; the layer records
   /// `reliable.*` counters/histograms (ack latency, reorder depth) and
   /// `reliable` trace events into it.  Null disables instrumentation.
+  /// `clock` drives the retransmission timer, timestamps and flush waits
+  /// (null selects `ClockSource::system()`); must outlive this endpoint.
   explicit ReliableEndpoint(std::shared_ptr<Endpoint> raw,
                             ReliableConfig config = {},
-                            obs::MetricsRegistry* metrics = nullptr);
+                            obs::MetricsRegistry* metrics = nullptr,
+                            ClockSource* clock = nullptr);
   ~ReliableEndpoint();
 
   ReliableEndpoint(const ReliableEndpoint&) = delete;

@@ -1,0 +1,38 @@
+#pragma once
+/// \file seed.hpp
+/// \brief Seed plumbing for stochastic tests.
+///
+/// Every seeded test takes its seed from `testSeed(fallback)`: the checked-in
+/// fallback keeps CI deterministic, while `DAPPLE_TEST_SEED=N ctest ...`
+/// re-runs the whole suite's stochastic tests under a different seed without
+/// recompiling.  Pair it with `DAPPLE_SEED_TRACE` so any assertion failure
+/// prints the seed needed to reproduce it.
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace dapple::testkit {
+
+/// Returns `DAPPLE_TEST_SEED` from the environment when set to a valid
+/// decimal number, `fallback` otherwise.
+inline std::uint64_t testSeed(std::uint64_t fallback) {
+  const char* env = std::getenv("DAPPLE_TEST_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace dapple::testkit
+
+/// Attaches the active seed to every assertion failure in the enclosing
+/// scope (gtest only; expands to nothing elsewhere).
+#if defined(GTEST_API_)
+#define DAPPLE_SEED_TRACE(seed) \
+  SCOPED_TRACE(::testing::Message() << "DAPPLE_TEST_SEED=" << (seed))
+#else
+#define DAPPLE_SEED_TRACE(seed) \
+  do {                          \
+  } while (false)
+#endif

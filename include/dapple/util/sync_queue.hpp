@@ -5,6 +5,10 @@
 /// This is the concurrency workhorse behind `Inbox`: a mutex+condvar queue
 /// with closable semantics (a closed queue wakes all waiters with
 /// `ShutdownError` once drained) and timed pops.
+///
+/// All blocking and waking routes through a `ClockSource` (the system clock
+/// by default), so a queue attached to a `testkit::VirtualClock` parks its
+/// waiters on virtual time: `popFor(5s)` in a test costs no wall-clock time.
 
 #include <chrono>
 #include <condition_variable>
@@ -15,6 +19,7 @@
 #include <utility>
 
 #include "dapple/util/error.hpp"
+#include "dapple/util/time.hpp"
 
 namespace dapple {
 
@@ -26,29 +31,40 @@ class SyncQueue {
   SyncQueue(const SyncQueue&) = delete;
   SyncQueue& operator=(const SyncQueue&) = delete;
 
+  /// Injects the clock that waits park on and notifies route through.
+  /// Call before any concurrent use (e.g. right after construction).
+  void setClockSource(ClockSource* clock) {
+    std::scoped_lock lock(mutex_);
+    clock_ = clock != nullptr ? clock : &ClockSource::system();
+  }
+
   /// Appends an item; wakes one waiter.  Throws ShutdownError if closed.
   /// Pushing after raise() is allowed: queued data always drains before the
   /// alert fires (see raise()).
   void push(T item) {
+    ClockSource* clk;
     {
       std::scoped_lock lock(mutex_);
       if (closed_) throw ShutdownError("push on closed queue");
       items_.push_back(std::move(item));
       if (items_.size() > highWater_) highWater_ = items_.size();
+      clk = clock_;
     }
-    nonempty_.notify_one();
+    clk->notifyOne(nonempty_);
   }
 
   /// Appends an item unless the queue is closed; returns false (dropping
   /// the item) when closed.
   bool tryPush(T item) {
+    ClockSource* clk;
     {
       std::scoped_lock lock(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
       if (items_.size() > highWater_) highWater_ = items_.size();
+      clk = clock_;
     }
-    nonempty_.notify_one();
+    clk->notifyOne(nonempty_);
     return true;
   }
 
@@ -57,7 +73,7 @@ class SyncQueue {
   /// PeerDownError when an alert is pending and no data remains.
   T pop() {
     std::unique_lock lock(mutex_);
-    nonempty_.wait(lock, [this] { return wakeLocked(); });
+    clock_->wait(lock, nonempty_, [this] { return wakeLocked(); });
     return takeLocked();
   }
 
@@ -65,7 +81,8 @@ class SyncQueue {
   template <typename Rep, typename Period>
   std::optional<T> popFor(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    if (!nonempty_.wait_for(lock, timeout, [this] { return wakeLocked(); })) {
+    if (!clock_->waitFor(lock, nonempty_, timeout,
+                         [this] { return wakeLocked(); })) {
       return std::nullopt;
     }
     if (items_.empty() && closed_) throw ShutdownError("queue closed");
@@ -86,7 +103,7 @@ class SyncQueue {
   /// Throws PeerDownError when only an alert is pending.
   bool awaitNonEmpty() {
     std::unique_lock lock(mutex_);
-    nonempty_.wait(lock, [this] { return wakeLocked(); });
+    clock_->wait(lock, nonempty_, [this] { return wakeLocked(); });
     throwAlertIfOnlyAlertLocked();
     return !items_.empty();
   }
@@ -95,7 +112,7 @@ class SyncQueue {
   template <typename Rep, typename Period>
   bool awaitNonEmptyFor(std::chrono::duration<Rep, Period> timeout) {
     std::unique_lock lock(mutex_);
-    nonempty_.wait_for(lock, timeout, [this] { return wakeLocked(); });
+    clock_->waitFor(lock, nonempty_, timeout, [this] { return wakeLocked(); });
     throwAlertIfOnlyAlertLocked();
     return !items_.empty();
   }
@@ -128,11 +145,13 @@ class SyncQueue {
   /// Marks the queue closed: pushes start throwing, waiters drain remaining
   /// items and then receive ShutdownError.  Idempotent.
   void close() {
+    ClockSource* clk;
     {
       std::scoped_lock lock(mutex_);
       closed_ = true;
+      clk = clock_;
     }
-    nonempty_.notify_all();
+    clk->notifyAll(nonempty_);
   }
 
   bool closed() const {
@@ -148,12 +167,14 @@ class SyncQueue {
   /// raise() fails exactly one blocking call, so survivors of a dead peer see
   /// the failure promptly without looping on it forever.
   void raise(std::string reason) {
+    ClockSource* clk;
     {
       std::scoped_lock lock(mutex_);
       if (closed_) return;  // shutdown already wakes everyone
       alerts_.push_back(std::move(reason));
+      clk = clock_;
     }
-    nonempty_.notify_all();
+    clk->notifyAll(nonempty_);
   }
 
   /// Number of pending (unconsumed) alerts.
@@ -185,6 +206,7 @@ class SyncQueue {
 
   mutable std::mutex mutex_;
   std::condition_variable nonempty_;
+  ClockSource* clock_ = &ClockSource::system();
   std::deque<T> items_;
   std::deque<std::string> alerts_;
   std::size_t highWater_ = 0;

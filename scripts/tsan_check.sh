@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# TSan gate for the concurrency-heavy test subset.
+#
+# Configures a dedicated ThreadSanitizer build tree, builds the test
+# binaries, and runs the `faults` and `fuzz-smoke` ctest labels — the
+# failure-injection suites and the scenario-fuzzer smoke sweep.  Those run
+# on the virtual clock, so TSan reports reproduce run-to-run.
+#
+#   scripts/tsan_check.sh [build-dir]     (default: build-tsan)
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -DDAPPLE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke'

@@ -48,6 +48,9 @@ void playerRole(SessionContext& ctx) {
   Outbox& right = ctx.outbox("right");
   Outbox& announce = ctx.outbox("announce");
   Rng rng(seed);
+  // Turn and resolution deadlines pace on the dapplet's clock so the game
+  // runs unchanged under virtual time.
+  ClockSource& clk = ctx.dapplet().clockSource();
 
   std::map<std::int64_t, int> hand;
   for (const Value& card : ctx.params().at("hand").asList()) {
@@ -97,8 +100,8 @@ void playerRole(SessionContext& ctx) {
     right.send(pass);
     // ...and take one from the left, staying responsive to win news.
     bool gotCard = false;
-    const TimePoint giveUp = Clock::now() + seconds(5);
-    while (!gotCard && Clock::now() < giveUp) {
+    const TimePoint giveUp = clk.now() + seconds(5);
+    while (!gotCard && clk.now() < giveUp) {
       if (checkNews()) break;
       if (auto del = left.receiveFor(milliseconds(50))) {
         const auto* msg =
@@ -117,17 +120,17 @@ void playerRole(SessionContext& ctx) {
   // first one, so draining the news inbox until it stays quiet gathers them
   // all; if the game ended with no claim at all, give up quickly as before.
   const auto quietWindow = milliseconds(250);
-  const TimePoint resolveStart = Clock::now();
+  const TimePoint resolveStart = clk.now();
   const TimePoint resolveCap = resolveStart + seconds(3);
   TimePoint lastNews = resolveStart;
-  while (Clock::now() < resolveCap) {
+  while (clk.now() < resolveCap) {
     if (claims.empty() &&
-        Clock::now() - resolveStart >= milliseconds(500)) {
+        clk.now() - resolveStart >= milliseconds(500)) {
       break;
     }
-    if (!claims.empty() && Clock::now() - lastNews >= quietWindow) break;
+    if (!claims.empty() && clk.now() - lastNews >= quietWindow) break;
     if (auto del = news.receiveFor(milliseconds(50))) {
-      if (recordNews(*del)) lastNews = Clock::now();
+      if (recordNews(*del)) lastNews = clk.now();
     }
   }
 

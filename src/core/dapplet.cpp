@@ -46,12 +46,14 @@ struct Dapplet::Impl {
 Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
     : name_(std::move(name)),
       config_(config.normalized()),
+      clockSource_(config_.clock != nullptr ? config_.clock
+                                            : &ClockSource::system()),
       metricsRegistry_(config_.traceCapacity),
       impl_(std::make_unique<Impl>()) {
   impl_->mFanout = &metricsRegistry_.histogram("core.fanout");
   auto endpoint = network.openAt(config_.host, config_.port);
   reliable_ = std::make_unique<ReliableEndpoint>(
-      std::move(endpoint), config_.reliable, &metricsRegistry_);
+      std::move(endpoint), config_.reliable, &metricsRegistry_, clockSource_);
   reliable_->setDeliver([this](const NodeAddress& src, std::uint64_t streamId,
                                std::string payload) {
     onDeliver(src, streamId, std::move(payload));
@@ -77,6 +79,7 @@ Inbox& Dapplet::createInbox(const std::string& name) {
   InboxRef ref{address(), id, name};
   auto inboxPtr =
       std::unique_ptr<Inbox>(new Inbox(id, name, std::move(ref)));
+  inboxPtr->setClockSource(clockSource_);
   Inbox& result = *inboxPtr;
   impl_->inboxesById.emplace(id, std::move(inboxPtr));
   if (!name.empty()) impl_->inboxesByName.emplace(name, &result);
@@ -167,9 +170,14 @@ void Dapplet::spawn(std::function<void(std::stop_token)> fn) {
   std::scoped_lock lock(impl_->mutex);
   if (impl_->stopped) throw ShutdownError("dapplet stopped");
   // Wrap so a ShutdownError thrown out of a blocking receive during stop()
-  // ends the worker quietly instead of terminating the process.
+  // ends the worker quietly instead of terminating the process.  Worker
+  // registration tells a virtual clock this thread's waits gate time
+  // advancement (compute between waits is instantaneous in virtual time);
+  // announced first so the clock cannot advance before the thread is up.
+  clockSource_->announceWorker();
   impl_->workers.emplace_back(
       [fn = std::move(fn), this](std::stop_token stop) {
+        ClockSource::WorkerScope workerScope(*clockSource_);
         try {
           fn(stop);
         } catch (const ShutdownError&) {
@@ -191,6 +199,10 @@ void Dapplet::stop() {
     workers.swap(impl_->workers);
   }
   for (auto& worker : workers) worker.request_stop();
+  // Workers parked in timed clocked waits (heartbeat pacing, probe loops)
+  // re-check their stop tokens only when woken; under a virtual clock that
+  // wake must be routed, not waited out.
+  clockSource_->interruptAll();
   workers.clear();  // joins
   reliable_->close();
 }
@@ -209,6 +221,7 @@ void Dapplet::crash() {
     workers.swap(impl_->workers);
   }
   for (auto& worker : workers) worker.request_stop();
+  clockSource_->interruptAll();
   workers.clear();  // joins
 }
 
@@ -329,9 +342,13 @@ void Dapplet::onDeliver(const NodeAddress& src, std::uint64_t streamId,
       ++impl_->stats.consumedByTap;
       return;
     }
+    {
+      // Count before push: a receiver unblocked by the push may read
+      // metrics immediately, and the tally must already include it.
+      std::scoped_lock lock(impl_->mutex);
+      ++impl_->stats.messagesDelivered;
+    }
     target->push(std::move(delivery));
-    std::scoped_lock lock(impl_->mutex);
-    ++impl_->stats.messagesDelivered;
   } catch (const Error& e) {
     DAPPLE_LOG(kWarn, kLog) << name_ << ": dropping malformed envelope from "
                             << src.toString() << ": " << e.what();

@@ -11,7 +11,6 @@ namespace dapple {
 
 namespace {
 constexpr const char* kLog = "initiator";
-std::atomic<std::uint64_t> g_sessionCounter{0};
 }  // namespace
 
 struct Initiator::Impl {
@@ -28,6 +27,9 @@ struct Initiator::Impl {
   PeerMonitor* monitor;
   mutable std::mutex mutex;
   Rng rng;  // jitter source; guarded by `mutex`
+  // Per-initiator (not process-global) so session ids are reproducible run
+  // to run; the initiator's name + node id keep them unique on the wire.
+  std::atomic<std::uint64_t> sessionCounter{0};
 
   // Setup-phase round latencies (send -> all replies / flush), per session.
   obs::Histogram* mInviteRoundUs;
@@ -35,10 +37,12 @@ struct Initiator::Impl {
   obs::Histogram* mStartRoundUs;
   obs::TraceRing* trace;
 
-  static std::uint64_t microsSince(TimePoint start) {
+  /// Session timeouts and backoff all pace on the dapplet's clock.
+  TimePoint now() const { return d.clockSource().now(); }
+
+  std::uint64_t microsSince(TimePoint start) const {
     return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                              start)
+        std::chrono::duration_cast<std::chrono::microseconds>(now() - start)
             .count());
   }
 
@@ -87,10 +91,10 @@ struct Initiator::Impl {
   /// passes (the phase loops treat that as "this attempt is over", so it is
   /// flow control, not an error — see inbox.hpp's receive conventions).
   std::optional<Delivery> receiveBy(SessRec& rec, TimePoint deadline) {
-    const auto now = Clock::now();
-    if (deadline <= now) return std::nullopt;
+    const TimePoint t = now();
+    if (deadline <= t) return std::nullopt;
     return rec.reply->receiveFor(
-        std::chrono::duration_cast<Duration>(deadline - now));
+        std::chrono::duration_cast<Duration>(deadline - t));
   }
 
   /// Jittered exponential backoff: base * 2^attempt, scaled by a uniform
@@ -308,7 +312,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
   Dapplet& d = impl_->d;
   Result result;
   result.sessionId =
-      d.name() + "-" + std::to_string(g_sessionCounter.fetch_add(1)) + "-" +
+      d.name() + "-" + std::to_string(impl_->sessionCounter.fetch_add(1)) + "-" +
       std::to_string(d.id() & 0xffff);
 
   auto rec = std::make_shared<Impl::SessRec>();
@@ -336,7 +340,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     box.add(member.control);
     rec->memberOutbox[member.name] = &box;
   }
-  const TimePoint inviteStart = Clock::now();
+  const TimePoint inviteStart = impl_->now();
   const TimePoint inviteDeadline = inviteStart + plan.phaseTimeout;
   const auto inviteAnswered = [&](const MemberPlan& member) {
     return rec->memberRefs.count(member.name) != 0 ||
@@ -356,7 +360,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
         attempt + 1 == attempts
             ? inviteDeadline
             : std::min(inviteDeadline,
-                       Clock::now() + impl_->backoff(plan, attempt));
+                       impl_->now() + impl_->backoff(plan, attempt));
     bool attemptTimedOut = false;
     for (;;) {
       bool answered = true;
@@ -385,12 +389,12 @@ Initiator::Result Initiator::establish(const Plan& plan) {
       }
     }
     if (!attemptTimedOut) break;  // everyone answered
-    if (Clock::now() >= inviteDeadline) break;
+    if (impl_->now() >= inviteDeadline) break;
     DAPPLE_LOG(kDebug, kLog)
         << d.name() << ": INVITE attempt " << (attempt + 1) << "/"
         << attempts << " incomplete, retrying";
   }
-  impl_->mInviteRoundUs->record(Impl::microsSince(inviteStart));
+  impl_->mInviteRoundUs->record(impl_->microsSince(inviteStart));
   for (const MemberPlan& member : plan.members) {
     if (!inviteAnswered(member)) {
       result.rejections[member.name] = "no reply (timeout)";
@@ -411,7 +415,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
 
   // ---- Phase 2: WIRE ------------------------------------------------------
   auto bindingPlan = impl_->planBindings(*rec, plan.edges);
-  const TimePoint wireStart = Clock::now();
+  const TimePoint wireStart = impl_->now();
   const TimePoint wireDeadline = wireStart + plan.phaseTimeout;
   std::set<std::string> wiredOk;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
@@ -433,7 +437,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
         attempt + 1 == attempts
             ? wireDeadline
             : std::min(wireDeadline,
-                       Clock::now() + impl_->backoff(plan, attempt));
+                       impl_->now() + impl_->backoff(plan, attempt));
     bool attemptTimedOut = false;
     while (wiredOk.size() + result.rejections.size() < plan.members.size()) {
       auto del = impl_->receiveBy(*rec, attemptDeadline);
@@ -451,12 +455,12 @@ Initiator::Result Initiator::establish(const Plan& plan) {
       }
     }
     if (!attemptTimedOut) break;
-    if (Clock::now() >= wireDeadline) break;
+    if (impl_->now() >= wireDeadline) break;
     DAPPLE_LOG(kDebug, kLog)
         << d.name() << ": WIRE attempt " << (attempt + 1) << "/" << attempts
         << " incomplete, retrying";
   }
-  impl_->mWireRoundUs->record(Impl::microsSince(wireStart));
+  impl_->mWireRoundUs->record(impl_->microsSince(wireStart));
   if (wiredOk.size() < plan.members.size() && result.rejections.empty()) {
     result.rejections["(wire)"] = "wiring timed out";
   }
@@ -480,7 +484,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     start.peers.push_back(member.name);
   }
   start.params = plan.params;
-  const TimePoint startStart = Clock::now();
+  const TimePoint startStart = impl_->now();
   const TimePoint startDeadline = startStart + plan.phaseTimeout;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     for (auto& [name, box] : rec->memberOutbox) impl_->sendOn(*box, start);
@@ -488,13 +492,13 @@ Initiator::Result Initiator::establish(const Plan& plan) {
         attempt + 1 == attempts
             ? startDeadline
             : std::min(startDeadline,
-                       Clock::now() + impl_->backoff(plan, attempt));
-    const auto now = Clock::now();
+                       impl_->now() + impl_->backoff(plan, attempt));
+    const auto now = impl_->now();
     if (d.flush(flushBy > now ? flushBy - now : Duration::zero())) break;
-    if (Clock::now() >= startDeadline) break;
+    if (impl_->now() >= startDeadline) break;
     for (auto& [name, box] : rec->memberOutbox) box->reset();
   }
-  impl_->mStartRoundUs->record(Impl::microsSince(startStart));
+  impl_->mStartRoundUs->record(impl_->microsSince(startStart));
   impl_->trace->emit("session", "session.established", result.sessionId,
                      static_cast<std::int64_t>(plan.members.size()));
 
@@ -519,7 +523,7 @@ Initiator::Result Initiator::establish(const Plan& plan) {
 std::map<std::string, Value> Initiator::awaitCompletion(
     const std::string& sessionId, Duration timeout) {
   auto rec = impl_->find(sessionId);
-  const TimePoint deadline = Clock::now() + timeout;
+  const TimePoint deadline = impl_->now() + timeout;
   // Poll in short slices: evictions arrive from detector threads, not from
   // the reply inbox, so a blocked receive alone could miss "everyone left
   // alive is done".
@@ -537,7 +541,7 @@ std::map<std::string, Value> Initiator::awaitCompletion(
       complete = settled >= rec->members.size();
     }
     if (complete) break;
-    const TimePoint now = Clock::now();
+    const TimePoint now = impl_->now();
     if (now >= deadline) {
       throw TimeoutError("session '" + sessionId +
                          "' did not complete in time");
@@ -625,7 +629,7 @@ bool Initiator::addMember(const std::string& sessionId,
                                        rec->reply->ref());
   box.send(invite);
 
-  const TimePoint deadline = Clock::now() + timeout;
+  const TimePoint deadline = impl_->now() + timeout;
   bool accepted = false;
   InboxRef liveRef;
   while (auto del = impl_->receiveBy(*rec, deadline)) {

@@ -214,7 +214,8 @@ Value RpcClient::call(const std::string& method, const Value& args,
   // Several threads may call concurrently over the one reply inbox, so a
   // single "leader" drains the inbox into the stash while the others wait
   // on the stash; every arrival wakes everyone to re-check.
-  const TimePoint deadline = Clock::now() + timeout;
+  ClockSource& clk = impl_->d.clockSource();
+  const TimePoint deadline = clk.now() + timeout;
   std::unique_lock lock(impl_->mutex);
   while (true) {
     const auto it = impl_->stashedReplies.find(id);
@@ -223,11 +224,11 @@ Value RpcClient::call(const std::string& method, const Value& args,
       impl_->stashedReplies.erase(it);
       return unpack(rsp, method);
     }
-    if (Clock::now() >= deadline) {
+    if (clk.now() >= deadline) {
       throw TimeoutError("rpc call '" + method + "' timed out");
     }
     if (impl_->someoneReceiving) {
-      impl_->stashChanged.wait_until(lock, deadline);
+      clk.parkUntil(lock, impl_->stashChanged, deadline);
       continue;
     }
     impl_->someoneReceiving = true;
@@ -238,7 +239,7 @@ Value RpcClient::call(const std::string& method, const Value& args,
     } catch (...) {
       lock.lock();
       impl_->someoneReceiving = false;
-      impl_->stashChanged.notify_all();
+      clk.notifyAll(impl_->stashChanged);
       throw;
     }
     lock.lock();
@@ -251,7 +252,7 @@ Value RpcClient::call(const std::string& method, const Value& args,
         impl_->stashedReplies.emplace(rspId, Value(rsp->body()));
       }
     }
-    impl_->stashChanged.notify_all();
+    clk.notifyAll(impl_->stashChanged);
   }
 }
 

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <queue>
 #include <set>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -19,6 +20,22 @@ namespace {
 constexpr const char* kLog = "sim";
 
 using HostPair = std::pair<std::uint32_t, std::uint32_t>;
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 /// Endpoint attached to a SimNetwork.  Delivery is serialized through the
@@ -61,12 +78,17 @@ class SimNetwork::EndpointImpl final
 };
 
 struct SimNetwork::Impl {
-  explicit Impl(std::uint64_t seed, double scale)
-      : rootRng(seed), timeScale(scale) {}
+  Impl(std::uint64_t seed, const Options& options)
+      : rootRng(seed),
+        seed(seed),
+        timeScale(options.timeScale),
+        hashedRandomness(options.hashedLinkRandomness),
+        clk(options.clock != nullptr ? options.clock
+                                     : &ClockSource::system()) {}
 
   // ---- shared state, guarded by `mutex` -------------------------------
   mutable std::mutex mutex;
-  std::condition_variable_any wake;
+  std::condition_variable wake;
   std::condition_variable quiescent;
 
   std::unordered_map<NodeAddress, std::weak_ptr<EndpointImpl>> endpoints;
@@ -80,19 +102,28 @@ struct SimNetwork::Impl {
 
   struct Event {
     TimePoint due;
+    std::uint64_t hash;  ///< content hash tie-break (0 in sequential mode)
     std::uint64_t seq;
     NodeAddress src;
     NodeAddress dst;
     std::string payload;
     bool operator>(const Event& other) const {
-      return std::tie(due, seq) > std::tie(other.due, other.seq);
+      return std::tie(due, hash, seq) > std::tie(other.due, other.hash,
+                                                 other.seq);
     }
   };
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
   std::uint64_t nextSeq = 0;
 
   Stats stats;
-  double timeScale;
+  const std::uint64_t seed;
+  const double timeScale;
+  const bool hashedRandomness;
+  ClockSource* const clk;
+  /// Hashed mode: ordinal per identical (src, dst, payload) datagram so a
+  /// retransmission's fate differs from the original's without depending on
+  /// what other traffic interleaved between them.
+  std::unordered_map<std::uint64_t, std::uint32_t> occurrences;
 
   // The delivery thread is last so it is destroyed (joined) first.
   std::jthread worker;
@@ -114,40 +145,59 @@ struct SimNetwork::Impl {
 
   void route(const NodeAddress& src, const NodeAddress& dst,
              std::string payload) {
-    std::scoped_lock lock(mutex);
-    ++stats.sent;
-    const HostPair key{src.host, dst.host};
-    if (partitions.count(normalized(key)) != 0) {
-      ++stats.dropped;
-      return;
+    {
+      std::scoped_lock lock(mutex);
+      ++stats.sent;
+      const HostPair key{src.host, dst.host};
+      if (partitions.count(normalized(key)) != 0) {
+        ++stats.dropped;
+        return;
+      }
+      const LinkParams& link = linkParams(key);
+      // Sequential mode draws from the shared per-link RNG (historical
+      // behaviour, preserved so existing seeded tests replay unchanged);
+      // hashed mode derives a private RNG from the datagram's identity so
+      // the decision sequence is independent of send interleaving.
+      std::uint64_t contentHash = 0;
+      Rng hashedRng(0);
+      Rng* rng;
+      if (hashedRandomness) {
+        contentHash = mix64(fnv1a(payload) ^ mix64(src.packed()) ^
+                            mix64(mix64(dst.packed())));
+        const std::uint32_t ordinal = occurrences[contentHash]++;
+        hashedRng = Rng(mix64(seed ^ mix64(contentHash + ordinal)));
+        rng = &hashedRng;
+      } else {
+        rng = &linkRng(key);
+      }
+      if (rng->chance(link.lossProb)) {
+        ++stats.dropped;
+        DAPPLE_LOG(kTrace, kLog) << "drop " << src.toString() << " -> "
+                                 << dst.toString();
+        return;
+      }
+      const int copies = rng->chance(link.dupProb) ? 2 : 1;
+      if (copies == 2) ++stats.duplicated;
+      for (int i = 0; i < copies; ++i) {
+        const auto jitterUs =
+            link.jitter.count() > 0
+                ? static_cast<std::int64_t>(rng->below(
+                      static_cast<std::uint64_t>(link.jitter.count())))
+                : 0;
+        const double delayUs =
+            static_cast<double>(link.delay.count() + jitterUs) * timeScale;
+        Event ev;
+        ev.due =
+            clk->now() + microseconds(static_cast<std::int64_t>(delayUs));
+        ev.hash = contentHash;
+        ev.seq = nextSeq++;
+        ev.src = src;
+        ev.dst = dst;
+        ev.payload = payload;
+        queue.push(std::move(ev));
+      }
     }
-    Rng& rng = linkRng(key);
-    const LinkParams& link = linkParams(key);
-    if (rng.chance(link.lossProb)) {
-      ++stats.dropped;
-      DAPPLE_LOG(kTrace, kLog) << "drop " << src.toString() << " -> "
-                               << dst.toString();
-      return;
-    }
-    const int copies = rng.chance(link.dupProb) ? 2 : 1;
-    if (copies == 2) ++stats.duplicated;
-    for (int i = 0; i < copies; ++i) {
-      const auto jitterUs =
-          link.jitter.count() > 0
-              ? static_cast<std::int64_t>(rng.below(
-                    static_cast<std::uint64_t>(link.jitter.count())))
-              : 0;
-      const double delayUs =
-          static_cast<double>(link.delay.count() + jitterUs) * timeScale;
-      Event ev;
-      ev.due = Clock::now() + microseconds(static_cast<std::int64_t>(delayUs));
-      ev.seq = nextSeq++;
-      ev.src = src;
-      ev.dst = dst;
-      ev.payload = payload;
-      queue.push(std::move(ev));
-    }
-    wake.notify_all();
+    clk->notifyAll(wake);
   }
 
   static HostPair normalized(HostPair key) {
@@ -156,19 +206,25 @@ struct SimNetwork::Impl {
   }
 
   void run(std::stop_token stop) {
+    // Registered as a clock worker: while this thread is parked waiting for
+    // the next due datagram, a virtual clock may jump straight to it.
+    ClockSource::WorkerScope workerScope(*clk);
     std::unique_lock lock(mutex);
     while (!stop.stop_requested()) {
       if (queue.empty()) {
-        quiescent.notify_all();
-        wake.wait(lock, stop, [this] { return !queue.empty(); });
+        clk->notifyAll(quiescent);
+        clk->wait(lock, wake, [this, &stop] {
+          return stop.stop_requested() || !queue.empty();
+        });
         if (stop.stop_requested()) break;
         continue;
       }
       const TimePoint due = queue.top().due;
-      const TimePoint now = Clock::now();
+      const TimePoint now = clk->now();
       if (due > now) {
-        wake.wait_until(lock, stop, due, [this, due] {
-          return !queue.empty() && queue.top().due < due;
+        clk->waitUntil(lock, wake, due, [this, &stop, due] {
+          return stop.stop_requested() ||
+                 (!queue.empty() && queue.top().due < due);
         });
         continue;
       }
@@ -217,14 +273,20 @@ void SimNetwork::EndpointImpl::close() {
 }
 
 SimNetwork::SimNetwork(std::uint64_t seed, double timeScale)
-    : impl_(std::make_unique<Impl>(seed, timeScale)) {
+    : SimNetwork(seed, Options{.timeScale = timeScale}) {}
+
+SimNetwork::SimNetwork(std::uint64_t seed, const Options& options)
+    : impl_(std::make_unique<Impl>(seed, options)) {
+  // Announce before spawn: a virtual clock must not advance during the
+  // window where the delivery thread exists but has not yet registered.
+  impl_->clk->announceWorker();
   impl_->worker =
       std::jthread([this](std::stop_token stop) { impl_->run(stop); });
 }
 
 SimNetwork::~SimNetwork() {
   impl_->worker.request_stop();
-  impl_->wake.notify_all();
+  impl_->clk->notifyAll(impl_->wake);
 }
 
 std::shared_ptr<Endpoint> SimNetwork::open(std::uint16_t port) {
@@ -329,8 +391,8 @@ std::size_t SimNetwork::inFlight() const {
 
 bool SimNetwork::awaitQuiescent(Duration timeout) {
   std::unique_lock lock(impl_->mutex);
-  return impl_->quiescent.wait_for(lock, timeout,
-                                   [this] { return impl_->queue.empty(); });
+  return impl_->clk->waitFor(lock, impl_->quiescent, timeout,
+                             [this] { return impl_->queue.empty(); });
 }
 
 }  // namespace dapple

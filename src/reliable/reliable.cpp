@@ -64,8 +64,10 @@ std::string encodeAck(std::uint64_t streamId, std::uint64_t epoch,
 
 struct ReliableEndpoint::Impl {
   Impl(std::shared_ptr<Endpoint> rawEp, ReliableConfig config,
-       obs::MetricsRegistry* metrics)
-      : raw(std::move(rawEp)), cfg(config) {
+       obs::MetricsRegistry* metrics, ClockSource* clock)
+      : raw(std::move(rawEp)),
+        cfg(config),
+        clk(clock != nullptr ? clock : &ClockSource::system()) {
     if (metrics != nullptr) {
       // Resolve once; recording below is wait-free.
       mDatagramsIn = &metrics->counter("net.datagrams_in");
@@ -78,6 +80,7 @@ struct ReliableEndpoint::Impl {
 
   std::shared_ptr<Endpoint> raw;
   const ReliableConfig cfg;
+  ClockSource* const clk;  ///< all timestamps, timer ticks and flush waits
 
   // Optional instrumentation (null when no registry was supplied).
   obs::Counter* mDatagramsIn = nullptr;
@@ -88,6 +91,12 @@ struct ReliableEndpoint::Impl {
 
   mutable std::mutex mutex;
   std::condition_variable flushed;
+
+  /// Timer pacing: the retransmission scan parks here between ticks so a
+  /// virtual clock can advance straight to the next tick instead of the
+  /// thread wall-sleeping (`timerMutex` only guards the parked wait).
+  std::mutex timerMutex;
+  std::condition_variable timerWake;
 
   DeliverFn deliver;
   FailFn onFailure;
@@ -220,7 +229,7 @@ struct ReliableEndpoint::Impl {
     SendStream& ss = it->second;
     if (epoch != ss.epoch) return;  // ack for a previous epoch
     // cumAck = receiver's nextExpected: everything below is delivered.
-    const TimePoint now = Clock::now();
+    const TimePoint now = clk->now();
     const auto ackedEnd = ss.pending.lower_bound(cumAck);
     if (mAckLatencyUs != nullptr) {
       // The newly acknowledged frames' send->ack round trips.  Walks only
@@ -244,7 +253,7 @@ struct ReliableEndpoint::Impl {
       }
       ss.pending.erase(it2);
     }
-    if (!anyPendingLocked()) flushed.notify_all();
+    if (!anyPendingLocked()) clk->notifyAll(flushed);
   }
 
   void tick() {
@@ -255,7 +264,7 @@ struct ReliableEndpoint::Impl {
     {
       std::scoped_lock lock(mutex);
       if (closed) return;
-      const TimePoint now = Clock::now();
+      const TimePoint now = clk->now();
       for (auto& [key, ss] : sendStreams) {
         if (ss.failed) continue;
         for (auto& [seq, pending] : ss.pending) {
@@ -281,7 +290,7 @@ struct ReliableEndpoint::Impl {
           ss.pending.clear();
         }
       }
-      if (!failures.empty() && !anyPendingLocked()) flushed.notify_all();
+      if (!failures.empty() && !anyPendingLocked()) clk->notifyAll(flushed);
       failFn = onFailure;
     }
     for (std::size_t i = 0; i < resend.size(); ++i) {
@@ -301,21 +310,35 @@ struct ReliableEndpoint::Impl {
   }
 
   void runTimer(std::stop_token stop) {
+    // A worker in virtual time: the clock advances to the next tick the
+    // moment everything else is parked, so a lossy scenario's retransmit
+    // schedule plays out in microseconds of wall time.
+    ClockSource::WorkerScope workerScope(*clk);
+    std::unique_lock lock(timerMutex);
     while (!stop.stop_requested()) {
-      std::this_thread::sleep_for(cfg.tickInterval);
+      clk->waitFor(lock, timerWake, cfg.tickInterval,
+                   [&] { return stop.stop_requested(); });
+      if (stop.stop_requested()) break;
+      lock.unlock();
       tick();
+      lock.lock();
     }
   }
 };
 
 ReliableEndpoint::ReliableEndpoint(std::shared_ptr<Endpoint> raw,
                                    ReliableConfig config,
-                                   obs::MetricsRegistry* metrics)
-    : impl_(std::make_unique<Impl>(std::move(raw), config, metrics)) {
+                                   obs::MetricsRegistry* metrics,
+                                   ClockSource* clock)
+    : impl_(std::make_unique<Impl>(std::move(raw), config, metrics, clock)) {
   impl_->raw->setHandler(
       [impl = impl_.get()](const NodeAddress& src, std::string payload) {
         impl->onDatagram(src, std::move(payload));
       });
+  // Announce before spawn: a virtual clock advancing in the window before
+  // the timer thread registers could leap past the delivery timeout and
+  // fail streams that never got a single retransmit.
+  impl_->clk->announceWorker();
   impl_->timer = std::jthread(
       [impl = impl_.get()](std::stop_token stop) { impl->runTimer(stop); });
 }
@@ -352,7 +375,7 @@ std::uint64_t ReliableEndpoint::send(const NodeAddress& dst,
     frame = encodeData(streamId, ss.epoch, seq, payload);
     Impl::SendStream::Pending pending;
     pending.frame = frame;
-    pending.firstSent = Clock::now();
+    pending.firstSent = impl_->clk->now();
     pending.backoff = impl_->cfg.rto;
     pending.nextResend = pending.firstSent + pending.backoff;
     ss.pending.emplace(seq, std::move(pending));
@@ -368,8 +391,8 @@ std::uint64_t ReliableEndpoint::send(const NodeAddress& dst,
 
 bool ReliableEndpoint::flush(Duration timeout) {
   std::unique_lock lock(impl_->mutex);
-  return impl_->flushed.wait_for(
-      lock, timeout, [this] { return !impl_->anyPendingLocked(); });
+  return impl_->clk->waitFor(lock, impl_->flushed, timeout,
+                             [this] { return !impl_->anyPendingLocked(); });
 }
 
 void ReliableEndpoint::resetStream(const NodeAddress& dst,
@@ -394,9 +417,10 @@ void ReliableEndpoint::close() {
     impl_->closed = true;
   }
   impl_->timer.request_stop();
+  impl_->clk->notifyAll(impl_->timerWake);  // wake the parked tick wait
   if (impl_->timer.joinable()) impl_->timer.join();
   impl_->raw->close();
-  impl_->flushed.notify_all();
+  impl_->clk->notifyAll(impl_->flushed);
 }
 
 ReliableEndpoint::Stats ReliableEndpoint::stats() const {

@@ -12,7 +12,12 @@ constexpr const char* kLog = "dirsvc";
 }
 
 struct DirectoryServer::Impl {
-  explicit Impl(Dapplet& dapplet) : server(dapplet, "directory.rpc") {}
+  explicit Impl(Dapplet& dapplet)
+      : d(dapplet), server(dapplet, "directory.rpc") {}
+
+  Dapplet& d;
+  /// Lease expiry is judged on the dapplet's clock.
+  TimePoint now() const { return d.clockSource().now(); }
 
   RpcServer server;
 
@@ -42,7 +47,7 @@ struct DirectoryServer::Impl {
       const InboxRef ref = inboxRefFromValue(args.at("ref"));
       const auto ttlMs = args.at("ttlMs").asInt();
       std::scoped_lock lock(mutex);
-      const TimePoint now = Clock::now();
+      const TimePoint now = this->now();
       expireLocked(now);
       Entry entry;
       entry.ref = ref;
@@ -57,7 +62,7 @@ struct DirectoryServer::Impl {
           args.at("lease").asInt());
       const auto ttlMs = args.at("ttlMs").asInt();
       std::scoped_lock lock(mutex);
-      const TimePoint now = Clock::now();
+      const TimePoint now = this->now();
       expireLocked(now);
       const auto it = entries.find(name);
       if (it == entries.end() || it->second.lease != lease) {
@@ -69,7 +74,7 @@ struct DirectoryServer::Impl {
     server.bind("lookup", [this](const Value& args) -> Value {
       const std::string name = args.at("name").asString();
       std::scoped_lock lock(mutex);
-      expireLocked(Clock::now());
+      expireLocked(now());
       const auto it = entries.find(name);
       if (it == entries.end()) {
         throw AddressError("directory: no entry for '" + name + "'");
@@ -91,7 +96,7 @@ struct DirectoryServer::Impl {
     server.bind("list", [this](const Value& args) {
       const std::string prefix = args.at("prefix").asString();
       std::scoped_lock lock(mutex);
-      expireLocked(Clock::now());
+      expireLocked(now());
       ValueMap out;
       for (const auto& [name, entry] : entries) {
         if (name.compare(0, prefix.size(), prefix) == 0) {
@@ -114,13 +119,13 @@ InboxRef DirectoryServer::ref() const { return impl_->server.ref(); }
 
 std::size_t DirectoryServer::size() const {
   std::scoped_lock lock(impl_->mutex);
-  impl_->expireLocked(Clock::now());
+  impl_->expireLocked(impl_->now());
   return impl_->entries.size();
 }
 
 void DirectoryServer::expireNow() {
   std::scoped_lock lock(impl_->mutex);
-  impl_->expireLocked(Clock::now());
+  impl_->expireLocked(impl_->now());
 }
 
 DirectoryClient::DirectoryClient(Dapplet& dapplet, InboxRef server)

@@ -32,6 +32,8 @@ struct LivenessMonitor::Impl {
   }
 
   Dapplet& d;
+  /// All silence deadlines and beat pacing run on the dapplet's clock.
+  TimePoint now() const { return d.clockSource().now(); }
   obs::Counter* mSuspects;
   obs::Counter* mRecoveries;
   /// Observed inter-arrival gap between heartbeats from the same peer — the
@@ -73,14 +75,14 @@ struct LivenessMonitor::Impl {
   void onHeartbeat(const NodeAddress& src, std::vector<Event>& events) {
     std::scoped_lock lock(mutex);
     ++stats.heartbeatsReceived;
-    const TimePoint now = Clock::now();
+    const TimePoint t = now();
     for (auto& [key, w] : watches) {
       if (w.peer.node != src) continue;
       mHbGapUs->record(static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
-              now - w.lastHeard)
+              t - w.lastHeard)
               .count()));
-      w.lastHeard = now;
+      w.lastHeard = t;
       if (w.suspected) {
         w.suspected = false;
         ++stats.recoveryEvents;
@@ -101,9 +103,9 @@ struct LivenessMonitor::Impl {
     std::vector<std::pair<Outbox*, bool>> targets;
     {
       std::scoped_lock lock(mutex);
-      const TimePoint now = Clock::now();
+      const TimePoint t = now();
       for (auto& [key, w] : watches) {
-        if (!w.suspected && now - w.lastHeard > timeout) {
+        if (!w.suspected && t - w.lastHeard > timeout) {
           w.suspected = true;
           ++stats.suspectEvents;
           mSuspects->inc();
@@ -149,15 +151,15 @@ struct LivenessMonitor::Impl {
     // per incoming message would make every received heartbeat trigger an
     // immediate multicast to all watches — a positive-feedback storm once
     // several monitors watch each other.
-    TimePoint nextBeat = Clock::now();
+    TimePoint nextBeat = now();
     while (!stop.stop_requested()) {
       std::vector<Event> events;
-      if (Clock::now() >= nextBeat) {
+      if (now() >= nextBeat) {
         beat(events);
-        nextBeat = Clock::now() + interval;
+        nextBeat = now() + interval;
       }
       const Duration wait =
-          std::max(Duration::zero(), nextBeat - Clock::now());
+          std::max(Duration::zero(), nextBeat - now());
       // A quiet interval just means the next iteration beats.
       if (auto del = inbox->receiveFor(wait)) {
         const auto* msg = dynamic_cast<const DataMessage*>(del->message.get());
@@ -226,7 +228,7 @@ void LivenessMonitor::watch(const std::string& key, const InboxRef& peer) {
       replaced = it->second.out;
       impl_->retired.push_back(replaced);
     }
-    it->second = {peer, out, Clock::now(), false};
+    it->second = {peer, out, impl_->now(), false};
   }
   if (replaced != nullptr) {
     try {

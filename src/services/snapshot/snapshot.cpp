@@ -50,6 +50,8 @@ struct CheckpointService::Impl {
   Impl(Dapplet& dapplet, StateFn fn) : d(dapplet), stateFn(std::move(fn)) {}
 
   Dapplet& d;
+  /// Gather waits, their notifies, and the settle pause pace on this clock.
+  ClockSource& clk() const { return d.clockSource(); }
   StateFn stateFn;
   Inbox* control = nullptr;
 
@@ -120,7 +122,7 @@ struct CheckpointService::Impl {
       it->second.maxClock =
           std::max(it->second.maxClock,
                    static_cast<std::uint64_t>(msg->get("clock").asInt()));
-      if (--it->second.maxPending == 0) cv.notify_all();
+      if (--it->second.maxPending == 0) clk().notifyAll(cv);
     } else if (kind == kTake) {
       const auto time = static_cast<std::uint64_t>(msg->get("T").asInt());
       const auto snapId =
@@ -165,7 +167,7 @@ struct CheckpointService::Impl {
       const auto idx = static_cast<std::size_t>(msg->get("idx").asInt());
       it->second.snapshot.states[idx] = msg->get("state");
       it->second.snapshot.channels[idx] = msg->get("channel").asList();
-      if (--it->second.reportsPending == 0) cv.notify_all();
+      if (--it->second.reportsPending == 0) clk().notifyAll(cv);
     }
   }
 
@@ -197,12 +199,12 @@ CheckpointService::CheckpointService(Dapplet& dapplet, StateFn stateFn)
     } catch (...) {
       std::scoped_lock lock(impl->mutex);
       impl->loopDone = true;
-      impl->cv.notify_all();
+      impl->clk().notifyAll(impl->cv);
       throw;
     }
     std::scoped_lock lock(impl->mutex);
     impl->loopDone = true;
-    impl->cv.notify_all();
+    impl->clk().notifyAll(impl->cv);
   });
 }
 
@@ -244,7 +246,7 @@ GlobalSnapshot CheckpointService::take(Duration settle, Duration timeout) {
   maxq.set("qid", Value(static_cast<long long>(snapId)));
   maxq.set("from", Value(static_cast<long long>(impl_->selfIndex)));
   impl_->broadcast(maxq);
-  if (!impl_->cv.wait_for(lock, timeout, [&] {
+  if (!impl_->clk().waitFor(lock, impl_->cv, timeout, [&] {
         return impl_->gathers.at(snapId).maxPending == 0 ||
                impl_->loopDone;
       }) || impl_->loopDone) {
@@ -264,7 +266,7 @@ GlobalSnapshot CheckpointService::take(Duration settle, Duration timeout) {
 
   // Phase 3: allow pre-T traffic to drain into channel recordings.
   lock.unlock();
-  std::this_thread::sleep_for(settle);
+  impl_->clk().sleepFor(settle);
   lock.lock();
 
   // Phase 4: gather reports.
@@ -272,7 +274,7 @@ GlobalSnapshot CheckpointService::take(Duration settle, Duration timeout) {
   report.set("snapId", Value(static_cast<long long>(snapId)));
   report.set("from", Value(static_cast<long long>(impl_->selfIndex)));
   impl_->broadcast(report);
-  if (!impl_->cv.wait_for(lock, timeout, [&] {
+  if (!impl_->clk().waitFor(lock, impl_->cv, timeout, [&] {
         return impl_->gathers.at(snapId).reportsPending == 0 ||
                impl_->loopDone;
       }) || impl_->loopDone) {
@@ -297,6 +299,8 @@ struct MarkerRegion::Impl {
   Impl(Dapplet& dapplet, StateFn fn) : d(dapplet), stateFn(std::move(fn)) {}
 
   Dapplet& d;
+  /// Gather waits and their notifies pace on the dapplet's clock.
+  ClockSource& clk() const { return d.clockSource(); }
   StateFn stateFn;
   Inbox* control = nullptr;
 
@@ -415,7 +419,7 @@ struct MarkerRegion::Impl {
       const auto idx = static_cast<std::size_t>(msg->get("idx").asInt());
       it->second.snapshot.states[idx] = msg->get("state");
       it->second.snapshot.channels[idx] = msg->get("channel").asList();
-      if (--it->second.reportsPending == 0) cv.notify_all();
+      if (--it->second.reportsPending == 0) clk().notifyAll(cv);
     }
   }
 
@@ -447,12 +451,12 @@ MarkerRegion::MarkerRegion(Dapplet& dapplet, StateFn stateFn)
     } catch (...) {
       std::scoped_lock lock(impl->mutex);
       impl->loopDone = true;
-      impl->cv.notify_all();
+      impl->clk().notifyAll(impl->cv);
       throw;
     }
     std::scoped_lock lock(impl->mutex);
     impl->loopDone = true;
-    impl->cv.notify_all();
+    impl->clk().notifyAll(impl->cv);
   });
 }
 
@@ -501,7 +505,7 @@ GlobalSnapshot MarkerRegion::take(Duration timeout) {
   for (std::size_t i = 0; i < impl_->peers.size(); ++i) {
     impl_->sendTo(i, start);
   }
-  if (!impl_->cv.wait_for(lock, timeout, [&] {
+  if (!impl_->clk().waitFor(lock, impl_->cv, timeout, [&] {
         return impl_->gathers.at(snapId).reportsPending == 0 ||
                impl_->loopDone;
       }) || impl_->loopDone) {

@@ -49,6 +49,10 @@ struct TokenManager::Impl {
 
   Dapplet& d;
   const TokenConfig cfg;
+  /// Request deadlines, probe pacing, and every cv wait/notify run on the
+  /// dapplet's clock so virtual-time tests advance through them.
+  ClockSource& clk() const { return d.clockSource(); }
+  TimePoint now() const { return clk().now(); }
   // `requests_denied` counts deadlock verdicts and timeouts together — the
   // two ways a request() fails without a grant.
   obs::Counter* mGrants;
@@ -254,7 +258,7 @@ struct TokenManager::Impl {
       if (pending && pending->reqId == reqId && !pending->deadlocked &&
           pending->granted.size() < pending->wants.size()) {
         pending->deadlocked = true;
-        cv.notify_all();
+        clk().notifyAll(cv);
       }
       return;
     }
@@ -287,7 +291,7 @@ struct TokenManager::Impl {
       return;
     }
     pending->granted[color] = count;
-    cv.notify_all();
+    clk().notifyAll(cv);
   }
 
   void onErr(const DataMessage& msg) {
@@ -295,7 +299,7 @@ struct TokenManager::Impl {
     std::scoped_lock lock(mutex);
     if (!pending || pending->reqId != reqId) return;
     pending->error = msg.get("reason").asString();
-    cv.notify_all();
+    clk().notifyAll(cv);
   }
 
   void onTotalQ(const DataMessage& msg) {
@@ -326,7 +330,7 @@ struct TokenManager::Impl {
     for (const auto& [color, entry] : msg.get("colors").asMap()) {
       it->second.totals[color] = entry.at("total").asInt();
     }
-    if (--it->second.repliesPending == 0) cv.notify_all();
+    if (--it->second.repliesPending == 0) clk().notifyAll(cv);
   }
 
   void dispatch(const Delivery& del) {
@@ -365,7 +369,7 @@ struct TokenManager::Impl {
         // FIFO order is preserved.
         std::unique_lock lock(mutex);
         while (!attached && !stopping && !stop.stop_requested()) {
-          cv.wait_for(lock, milliseconds(50));
+          clk().parkFor(lock, cv, milliseconds(50));
         }
         if (stopping) break;
       }
@@ -428,12 +432,12 @@ TokenManager::TokenManager(Dapplet& dapplet, TokenConfig config)
     } catch (...) {
       std::scoped_lock lock(impl->mutex);
       impl->loopDone = true;
-      impl->cv.notify_all();
+      impl->clk().notifyAll(impl->cv);
       throw;
     }
     std::scoped_lock lock(impl->mutex);
     impl->loopDone = true;
-    impl->cv.notify_all();
+    impl->clk().notifyAll(impl->cv);
   });
 }
 
@@ -441,7 +445,7 @@ TokenManager::~TokenManager() {
   {
     std::scoped_lock lock(impl_->mutex);
     impl_->stopping = true;
-    impl_->cv.notify_all();
+    impl_->clk().notifyAll(impl_->cv);
   }
   try {
     impl_->d.destroyInbox(*impl_->inbox);
@@ -476,7 +480,7 @@ void TokenManager::attach(const std::vector<InboxRef>& managers,
     home.free = count;
   }
   impl_->attached = true;
-  impl_->cv.notify_all();  // release any delivery parked by the loop
+  impl_->clk().notifyAll(impl_->cv);  // release a delivery parked by the loop
 }
 
 std::size_t TokenManager::homeOf(const TokenColor& color) const {
@@ -518,7 +522,7 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
     }
   }
   if (req.wants.empty()) return;
-  req.startedAt = Clock::now();
+  req.startedAt = impl_->now();
   req.nextProbe = req.startedAt + impl_->cfg.probeDelay;
   impl_->pending = std::move(req);
 
@@ -532,7 +536,7 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
     impl_->sendTo(impl_->homeOf(color), msg);
   }
 
-  const TimePoint deadline = Clock::now() + timeout;
+  const TimePoint deadline = impl_->now() + timeout;
   while (true) {
     if (impl_->loopDone) {
       impl_->abortPendingLocked();
@@ -555,7 +559,7 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
       throw DeadlockError(
           "token managers detected a deadlock involving this request");
     }
-    const TimePoint now = Clock::now();
+    const TimePoint now = impl_->now();
     if (now >= deadline) {
       ++impl_->stats.requestsTimedOut;
       impl_->mDenied->inc();
@@ -567,7 +571,7 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
       impl_->sendProbesLocked();
       p.nextProbe = now + impl_->cfg.probeInterval;
     }
-    impl_->cv.wait_until(lock, std::min(deadline, p.nextProbe));
+    impl_->clk().parkUntil(lock, impl_->cv, std::min(deadline, p.nextProbe));
   }
   for (const auto& [color, count] : impl_->pending->granted) {
     impl_->held[color] += count;
@@ -634,7 +638,7 @@ TokenBag TokenManager::totalTokens(Duration timeout) {
   for (std::size_t i = 0; i < impl_->peers.size(); ++i) {
     impl_->sendTo(i, msg);
   }
-  const bool done = impl_->cv.wait_for(lock, timeout, [&] {
+  const bool done = impl_->clk().waitFor(lock, impl_->cv, timeout, [&] {
     return impl_->totalQueries.at(qid).repliesPending == 0 ||
            impl_->loopDone;
   }) && !impl_->loopDone;

@@ -1,0 +1,48 @@
+#include "dapple/util/time.hpp"
+
+#include <thread>
+
+namespace dapple {
+
+namespace {
+
+/// Production clock: steady_clock reads and ordinary condvar waits.  The
+/// notify members intentionally mirror the raw condition-variable calls so
+/// routing through the clock costs one virtual dispatch and nothing else.
+class SystemClockSource final : public ClockSource {
+ public:
+  TimePoint now() const override { return Clock::now(); }
+
+  void sleepFor(Duration d) override { std::this_thread::sleep_for(d); }
+
+  bool waitUntilImpl(std::unique_lock<std::mutex>& lock,
+                     std::condition_variable& cv, TimePoint deadline,
+                     PredFn pred, void* ctx) override {
+    if (deadline == TimePoint::max()) {
+      cv.wait(lock, [&] { return pred(ctx); });
+      return true;
+    }
+    return cv.wait_until(lock, deadline, [&] { return pred(ctx); });
+  }
+
+  void parkUntil(std::unique_lock<std::mutex>& lock,
+                 std::condition_variable& cv, TimePoint deadline) override {
+    if (deadline == TimePoint::max()) {
+      cv.wait(lock);
+    } else {
+      cv.wait_until(lock, deadline);
+    }
+  }
+
+  void notifyOne(std::condition_variable& cv) override { cv.notify_one(); }
+  void notifyAll(std::condition_variable& cv) override { cv.notify_all(); }
+};
+
+}  // namespace
+
+ClockSource& ClockSource::system() {
+  static SystemClockSource instance;
+  return instance;
+}
+
+}  // namespace dapple

@@ -1,0 +1,99 @@
+// dapple_fuzz: property-based scenario fuzzer CLI.
+//
+//   dapple_fuzz --seed N          replay one scenario (the repro mode)
+//   dapple_fuzz --count M         run seeds [--start, --start + M)
+//   dapple_fuzz --canary          run with the retransmit path disabled;
+//                                 exits 0 only if some seed FAILS (fuzzer
+//                                 self-test: it must be able to see bugs)
+//
+// On any oracle failure the tool prints a one-line repro command and the
+// trace digest; the same seed always reproduces the same digest.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--start N] [--count M] [--canary] "
+               "[--quiet]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using dapple::testkit::reproLine;
+  using dapple::testkit::runScenario;
+  using dapple::testkit::ScenarioOptions;
+
+  std::uint64_t start = 0;
+  std::uint64_t count = 1;
+  bool haveSeed = false;
+  bool quiet = false;
+  ScenarioOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::uint64_t {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return std::strtoull(argv[++i], nullptr, 10);
+    };
+    if (arg == "--seed") {
+      start = next();
+      count = 1;
+      haveSeed = true;
+    } else if (arg == "--start") {
+      start = next();
+    } else if (arg == "--count") {
+      count = next();
+    } else if (arg == "--canary") {
+      options.canaryDisableRetransmit = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  (void)haveSeed;
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = start; seed < start + count; ++seed) {
+    const auto result = runScenario(seed, options);
+    if (!result.ok) {
+      ++failures;
+      std::printf("FAIL seed=%llu digest=%016llx %s\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(result.digest),
+                  result.summary.c_str());
+      std::printf("  %s\n", result.failure.c_str());
+      std::printf("  repro: %s\n", reproLine(seed).c_str());
+      if (options.canaryDisableRetransmit) break;  // one catch is proof
+    } else if (!quiet) {
+      std::printf("ok   seed=%llu digest=%016llx %s\n",
+                  static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(result.digest),
+                  result.summary.c_str());
+    }
+  }
+
+  if (options.canaryDisableRetransmit) {
+    if (failures == 0) {
+      std::printf("canary NOT caught in %llu seed(s) — the fuzzer is "
+                  "blind\n",
+                  static_cast<unsigned long long>(count));
+      return 1;
+    }
+    std::printf("canary caught (%llu failing seed(s))\n",
+                static_cast<unsigned long long>(failures));
+    return 0;
+  }
+  return failures == 0 ? 0 : 1;
+}

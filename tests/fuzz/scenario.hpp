@@ -1,0 +1,59 @@
+#pragma once
+/// \file scenario.hpp
+/// \brief Property-based scenario fuzzer for the dapple stack.
+///
+/// One seed deterministically generates a whole distributed scenario —
+/// topology size, link delay/jitter/loss/duplication, a fault schedule of
+/// partitions (always healed) and crash-stops, and a module-specific
+/// workload on top of a full-mesh FIFO exchange — then runs it under a
+/// `testkit::VirtualClock` (zero wall-clock sleeps) and checks invariant
+/// oracles:
+///
+///  * per-channel FIFO: every surviving channel delivers its messages in
+///    send order, without gaps;
+///  * sim flow conservation: `delivered + undeliverable ==
+///    sent - dropped + duplicated` (see sim.hpp);
+///  * token conservation across managers (module 0);
+///  * single-winner agreement in the card game (module 1);
+///  * session membership convergence after a member crash (module 2).
+///
+/// The run folds its observable outcome (per-channel content sequences,
+/// oracle verdicts, module results) into an FNV-1a digest.  With
+/// `SimNetwork`'s hashed link randomness, the same seed produces a
+/// byte-identical digest on every run — the repro contract behind
+/// `dapple_fuzz --seed N`.
+
+#include <cstdint>
+#include <string>
+
+#include "dapple/util/time.hpp"
+
+namespace dapple::testkit {
+
+struct ScenarioOptions {
+  /// Self-test canary: configure the reliable layer so the retransmit path
+  /// never fires (rto beyond the delivery timeout).  Any lossy seed must
+  /// then fail an oracle — proving the fuzzer can actually see bugs.
+  bool canaryDisableRetransmit = false;
+};
+
+struct ScenarioResult {
+  bool ok = true;
+  /// One-line oracle verdicts, empty when ok.  The first line is the
+  /// headline failure.
+  std::string failure;
+  /// FNV-1a digest of the canonical outcome; identical across runs of the
+  /// same seed.
+  std::uint64_t digest = 0;
+  /// Human-oriented counts ("n=3 loss=0.10 module=tokens ..." ).
+  std::string summary;
+};
+
+/// Runs the scenario for `seed` entirely in virtual time.
+ScenarioResult runScenario(std::uint64_t seed,
+                           const ScenarioOptions& options = {});
+
+/// The one-line reproduction command printed on failure.
+std::string reproLine(std::uint64_t seed);
+
+}  // namespace dapple::testkit

@@ -1,0 +1,47 @@
+// Fuzz smoke: a handful of scenario seeds run on every `ctest` invocation
+// (label `fuzz-smoke`).  Each seed runs TWICE and must produce a
+// byte-identical digest — the repro guarantee behind `dapple_fuzz --seed N`.
+// A separate test proves the canary bug (retransmit path disabled) is
+// caught, i.e. the oracles can actually see faults.
+#include <gtest/gtest.h>
+
+#include "dapple/testkit/seed.hpp"
+#include "scenario.hpp"
+
+namespace dapple::testkit {
+namespace {
+
+TEST(FuzzSmoke, SeedsPassAndReplayToIdenticalDigest) {
+  const std::uint64_t base = testSeed(0);
+  for (std::uint64_t offset = 0; offset < 6; ++offset) {
+    const std::uint64_t seed = base + offset;
+    DAPPLE_SEED_TRACE(seed);
+    const ScenarioResult first = runScenario(seed);
+    EXPECT_TRUE(first.ok) << first.failure << "\n  repro: "
+                          << reproLine(seed) << "\n  " << first.summary;
+    const ScenarioResult second = runScenario(seed);
+    EXPECT_EQ(first.digest, second.digest)
+        << "same seed must replay to a byte-identical digest ("
+        << reproLine(seed) << ")";
+    EXPECT_EQ(first.ok, second.ok);
+  }
+}
+
+TEST(FuzzSmoke, CanaryBugIsCaught) {
+  // Disable the retransmit path; some seed in the first few must fail an
+  // oracle.  If none does, the fuzzer has gone blind.
+  ScenarioOptions options;
+  options.canaryDisableRetransmit = true;
+  const std::uint64_t base = testSeed(0);
+  bool caught = false;
+  std::uint64_t seed = base;
+  for (; seed < base + 20 && !caught; ++seed) {
+    DAPPLE_SEED_TRACE(seed);
+    caught = !runScenario(seed, options).ok;
+  }
+  EXPECT_TRUE(caught)
+      << "canary (disabled retransmits) not caught in 20 seeds";
+}
+
+}  // namespace
+}  // namespace dapple::testkit

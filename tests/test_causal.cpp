@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "dapple/net/sim.hpp"
+#include "dapple/testkit/seed.hpp"
 #include "dapple/services/clocks/causal_order.hpp"
 #include "dapple/util/rng.hpp"
 
@@ -54,8 +55,10 @@ TEST(CausalOrder, ReplyNeverBeforeItsCause) {
   // Member 0 publishes a question; member 1 delivers it and publishes the
   // answer.  Member 2 (and everyone else) must deliver question before
   // answer, however the channels race.
+  const std::uint64_t base = testkit::testSeed(0);
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-    CausalRig rig(3, seed * 13,
+    DAPPLE_SEED_TRACE(base + seed * 13);
+    CausalRig rig(3, base + seed * 13,
                   LinkParams{microseconds(100), milliseconds(3), 0.0, 0.0});
     rig.groups[0]->publish(Value("question"));
     // Member 1 answers only after delivering the question.

@@ -13,12 +13,24 @@
 #include "dapple/serial/data_message.hpp"
 #include "dapple/services/liveness/liveness.hpp"
 #include "dapple/services/tokens/token_manager.hpp"
+#include "dapple/testkit/seed.hpp"
+#include "dapple/testkit/virtual_clock.hpp"
 
 namespace dapple {
 namespace {
 
-DappletConfig lossTolerant() {
+// Every fault test runs on a VirtualClock: the clock jumps to the next
+// retransmission tick or timeout the moment all workers park, so seconds of
+// simulated fault time cost milliseconds of wall time.
+SimNetwork::Options simOn(testkit::VirtualClock& clock) {
+  SimNetwork::Options opts;
+  opts.clock = &clock;
+  return opts;
+}
+
+DappletConfig lossTolerant(testkit::VirtualClock& clock) {
   DappletConfig cfg;
+  cfg.clock = &clock;
   cfg.reliable.tickInterval = milliseconds(2);
   cfg.reliable.rto = milliseconds(15);
   cfg.reliable.maxRto = milliseconds(120);
@@ -31,7 +43,10 @@ class FaultySessions
 
 TEST_P(FaultySessions, CalendarCompletesDespiteLossAndDuplication) {
   const auto [loss, dup] = GetParam();
-  SimNetwork net(777);
+  const std::uint64_t seed = testkit::testSeed(777);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
   net.setDefaultLink(
       LinkParams{microseconds(300), microseconds(800), loss, dup});
 
@@ -42,7 +57,8 @@ TEST_P(FaultySessions, CalendarCompletesDespiteLossAndDuplication) {
   Directory directory;
   Rng rng(11);
   for (const auto& name : names) {
-    dapplets.push_back(std::make_unique<Dapplet>(net, name, lossTolerant()));
+    dapplets.push_back(
+        std::make_unique<Dapplet>(net, name, lossTolerant(clock)));
     stores.push_back(std::make_unique<StateStore>());
     apps::CalendarBook::populate(*stores.back(), rng, 30, 0.4);
     SessionAgent::Config cfg;
@@ -51,7 +67,7 @@ TEST_P(FaultySessions, CalendarCompletesDespiteLossAndDuplication) {
     apps::registerCalendarApp(*agents.back());
     directory.put(name, agents.back()->controlRef());
   }
-  Dapplet director(net, "director", lossTolerant());
+  Dapplet director(net, "director", lossTolerant(clock));
   SessionAgent directorAgent(director);
   apps::registerCalendarApp(directorAgent);
   directory.put("director", directorAgent.controlRef());
@@ -80,8 +96,12 @@ INSTANTIATE_TEST_SUITE_P(LossDup, FaultySessions,
                                            std::make_tuple(0.15, 0.1)));
 
 TEST(Faults, PartitionSurfacesDeliveryErrorThenHeals) {
-  SimNetwork net(778);
+  const std::uint64_t seed = testkit::testSeed(778);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
   DappletConfig cfg;
+  cfg.clock = &clock;
   cfg.reliable.tickInterval = milliseconds(2);
   cfg.reliable.rto = milliseconds(10);
   cfg.reliable.deliveryTimeout = milliseconds(250);
@@ -102,7 +122,7 @@ TEST(Faults, PartitionSurfacesDeliveryErrorThenHeals) {
   out.send(DataMessage("lost"));
   bool failed = false;
   for (int i = 0; i < 100; ++i) {
-    std::this_thread::sleep_for(milliseconds(20));
+    clock.sleepFor(milliseconds(20));
     try {
       out.send(DataMessage("probe"));
     } catch (const DeliveryError&) {
@@ -124,7 +144,10 @@ TEST(Faults, PartitionSurfacesDeliveryErrorThenHeals) {
 }
 
 TEST(Faults, TokensSurviveLossyNetwork) {
-  SimNetwork net(779);
+  const std::uint64_t seed = testkit::testSeed(779);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
   net.setDefaultLink(
       LinkParams{microseconds(200), microseconds(400), 0.08, 0.05});
   std::vector<std::unique_ptr<Dapplet>> dapplets;
@@ -132,7 +155,7 @@ TEST(Faults, TokensSurviveLossyNetwork) {
   constexpr std::size_t kMembers = 3;
   for (std::size_t i = 0; i < kMembers; ++i) {
     dapplets.push_back(std::make_unique<Dapplet>(
-        net, "tk" + std::to_string(i), lossTolerant()));
+        net, "tk" + std::to_string(i), lossTolerant(clock)));
     managers.push_back(std::make_unique<TokenManager>(*dapplets.back()));
   }
   std::vector<InboxRef> refs;
@@ -155,11 +178,16 @@ TEST(Faults, TokensSurviveLossyNetwork) {
 TEST(Faults, AgentIgnoresMalformedControlTraffic) {
   // Random application messages aimed at the session-control inbox must
   // not crash or wedge the agent.
-  SimNetwork net(780);
-  Dapplet member(net, "m");
+  const std::uint64_t seed = testkit::testSeed(780);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
+  DappletConfig cfg;
+  cfg.clock = &clock;
+  Dapplet member(net, "m", cfg);
   SessionAgent agent(member);
   agent.registerApp("noop", [](SessionContext&) {});
-  Dapplet attacker(net, "attacker");
+  Dapplet attacker(net, "attacker", cfg);
   Outbox& out = attacker.createOutbox();
   out.add(agent.controlRef());
   for (int i = 0; i < 20; ++i) {
@@ -172,7 +200,7 @@ TEST(Faults, AgentIgnoresMalformedControlTraffic) {
   // The agent still works.
   Directory directory;
   directory.put("m", agent.controlRef());
-  Dapplet init(net, "init");
+  Dapplet init(net, "init", cfg);
   Initiator initiator(init);
   Initiator::Plan plan;
   plan.app = "noop";
@@ -216,9 +244,14 @@ TEST(Faults, MalformedWireBytesNeverCrashTheDecoder) {
 }
 
 TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
-  SimNetwork net(782);
+  const std::uint64_t seed = testkit::testSeed(782);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
   net.setDefaultLink(
       LinkParams{microseconds(100), milliseconds(8), 0.0, 0.0});
+  DappletConfig jcfg;
+  jcfg.clock = &clock;
   const std::vector<std::string> names = {"j0", "j1"};
   std::vector<std::unique_ptr<Dapplet>> dapplets;
   std::vector<std::unique_ptr<StateStore>> stores;
@@ -226,7 +259,7 @@ TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
   Directory directory;
   Rng rng(5);
   for (const auto& name : names) {
-    dapplets.push_back(std::make_unique<Dapplet>(net, name));
+    dapplets.push_back(std::make_unique<Dapplet>(net, name, jcfg));
     stores.push_back(std::make_unique<StateStore>());
     apps::CalendarBook::populate(*stores.back(), rng, 20, 0.3);
     SessionAgent::Config cfg;
@@ -235,7 +268,7 @@ TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
     apps::registerCalendarApp(*agents.back());
     directory.put(name, agents.back()->controlRef());
   }
-  Dapplet director(net, "director");
+  Dapplet director(net, "director", jcfg);
   SessionAgent directorAgent(director);
   apps::registerCalendarApp(directorAgent);
   directory.put("director", directorAgent.controlRef());
@@ -261,8 +294,11 @@ TEST(Faults, SessionUnderHeavyJitterStillAgrees) {
 // the initiator must return partial results naming the failed member.
 
 TEST(CrashStop, SessionSurvivesMemberCrashWithPartialResults) {
-  SimNetwork net(790);
-  DappletConfig cfg = lossTolerant();
+  const std::uint64_t seed = testkit::testSeed(790);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
+  DappletConfig cfg = lossTolerant(clock);
   cfg.liveness.heartbeatInterval = milliseconds(25);
   cfg.liveness.suspectTimeout = milliseconds(300);
 
@@ -320,19 +356,19 @@ TEST(CrashStop, SessionSurvivesMemberCrashWithPartialResults) {
   ASSERT_TRUE(result.ok);
 
   // Crash-stop c1 mid-protocol: every survivor is now blocked in receive().
-  std::this_thread::sleep_for(milliseconds(100));
+  clock.sleepFor(milliseconds(100));
   dapplets[1]->crash();
-  const TimePoint crashedAt = Clock::now();
+  const TimePoint crashedAt = clock.now();
 
   // The detector must evict c1 within 2x the suspect timeout.
   const TimePoint detectBy = crashedAt + 2 * cfg.liveness.suspectTimeout;
   bool evicted = false;
-  while (Clock::now() < detectBy) {
+  while (clock.now() < detectBy) {
     if (initiator.downMembers(result.sessionId).count("c1") != 0) {
       evicted = true;
       break;
     }
-    std::this_thread::sleep_for(milliseconds(10));
+    clock.sleepFor(milliseconds(10));
   }
   EXPECT_TRUE(evicted) << "c1 not evicted within 2x suspect timeout";
 
@@ -367,8 +403,11 @@ TEST(CrashStop, SessionSurvivesMemberCrashWithPartialResults) {
 
 TEST(CrashStop, SurvivorAgentsRecordEviction) {
   // Same shape, smaller: assert the agent-side stats counter moves.
-  SimNetwork net(791);
-  DappletConfig cfg = lossTolerant();
+  const std::uint64_t seed = testkit::testSeed(791);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
+  DappletConfig cfg = lossTolerant(clock);
   cfg.liveness.heartbeatInterval = milliseconds(25);
   cfg.liveness.suspectTimeout = milliseconds(250);
 
@@ -411,7 +450,7 @@ TEST(CrashStop, SurvivorAgentsRecordEviction) {
   auto result = initiator.establish(plan);
   ASSERT_TRUE(result.ok);
 
-  std::this_thread::sleep_for(milliseconds(100));
+  clock.sleepFor(milliseconds(100));
   dapplets[1]->crash();
   (void)initiator.awaitCompletion(result.sessionId, seconds(10));
 
@@ -432,10 +471,14 @@ TEST(CrashStop, SetupRetriesThroughHeavyLoss) {
   // messages can die with their stream, so establishment must succeed via
   // the initiator's jittered retry/backoff (duplicate INVITEs/WIREs are
   // idempotent at the agent).
-  SimNetwork net(792);
+  const std::uint64_t seed = testkit::testSeed(792);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
   net.setDefaultLink(
       LinkParams{microseconds(300), microseconds(900), 0.20, 0.0});
   DappletConfig cfg;
+  cfg.clock = &clock;
   cfg.reliable.tickInterval = milliseconds(2);
   cfg.reliable.rto = milliseconds(15);
   cfg.reliable.maxRto = milliseconds(80);
@@ -475,8 +518,12 @@ TEST(CrashStop, SetupRetriesThroughHeavyLoss) {
 TEST(CrashStop, SimNetworkKillDropsTheEndpoint) {
   // The injection primitive itself: kill() closes the victim's endpoint so
   // traffic to it starts failing at the reliable layer.
-  SimNetwork net(793);
+  const std::uint64_t seed = testkit::testSeed(793);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
   DappletConfig cfg;
+  cfg.clock = &clock;
   cfg.reliable.tickInterval = milliseconds(2);
   cfg.reliable.rto = milliseconds(10);
   cfg.reliable.deliveryTimeout = milliseconds(200);
@@ -491,7 +538,7 @@ TEST(CrashStop, SimNetworkKillDropsTheEndpoint) {
   ASSERT_TRUE(net.kill(b.address()));
   bool failed = false;
   for (int i = 0; i < 200 && !failed; ++i) {
-    std::this_thread::sleep_for(milliseconds(10));
+    clock.sleepFor(milliseconds(10));
     try {
       out.send(DataMessage("probe"));
     } catch (const DeliveryError&) {

@@ -9,12 +9,23 @@
 
 #include "dapple/net/sim.hpp"
 #include "dapple/services/liveness/liveness.hpp"
+#include "dapple/testkit/virtual_clock.hpp"
 
 namespace dapple {
 namespace {
 
-DappletConfig fastDetect() {
+// All timing-sensitive tests run on a VirtualClock: heartbeat/suspect
+// schedules play out in virtual time, so "sleep through many suspect
+// windows" costs microseconds of wall time.
+SimNetwork::Options simOn(testkit::VirtualClock& clock) {
+  SimNetwork::Options opts;
+  opts.clock = &clock;
+  return opts;
+}
+
+DappletConfig fastDetect(testkit::VirtualClock& clock) {
   DappletConfig cfg;
+  cfg.clock = &clock;
   cfg.reliable.tickInterval = milliseconds(2);
   cfg.reliable.rto = milliseconds(15);
   cfg.reliable.deliveryTimeout = milliseconds(500);
@@ -23,28 +34,30 @@ DappletConfig fastDetect() {
   return cfg;
 }
 
-/// Waits until `pred()` or `limit` elapses; returns whether pred held.
+/// Waits (in virtual time) until `pred()` or `limit` elapses; returns
+/// whether pred held.
 template <typename Pred>
-bool eventually(Duration limit, Pred pred) {
-  const TimePoint deadline = Clock::now() + limit;
-  while (Clock::now() < deadline) {
+bool eventually(testkit::VirtualClock& clock, Duration limit, Pred pred) {
+  const TimePoint deadline = clock.now() + limit;
+  while (clock.now() < deadline) {
     if (pred()) return true;
-    std::this_thread::sleep_for(milliseconds(5));
+    clock.sleepFor(milliseconds(5));
   }
   return pred();
 }
 
 TEST(Liveness, HealthyPeersAreNeverSuspected) {
-  SimNetwork net(900);
-  Dapplet a(net, "a", fastDetect());
-  Dapplet b(net, "b", fastDetect());
+  testkit::VirtualClock clock;
+  SimNetwork net(900, simOn(clock));
+  Dapplet a(net, "a", fastDetect(clock));
+  Dapplet b(net, "b", fastDetect(clock));
   LivenessMonitor ma(a);
   LivenessMonitor mb(b);
   ma.watch("peer-b", mb.ref());
   mb.watch("peer-a", ma.ref());
 
   // Sleep through many suspect windows: both stay trusted.
-  std::this_thread::sleep_for(milliseconds(600));
+  clock.sleepFor(milliseconds(600));
   EXPECT_FALSE(ma.suspected("peer-b"));
   EXPECT_FALSE(mb.suspected("peer-a"));
   const auto stats = ma.stats();
@@ -57,9 +70,10 @@ TEST(Liveness, HealthyPeersAreNeverSuspected) {
 }
 
 TEST(Liveness, CrashedPeerIsSuspectedWithinTwoTimeouts) {
-  SimNetwork net(901);
-  Dapplet a(net, "a", fastDetect());
-  auto b = std::make_unique<Dapplet>(net, "b", fastDetect());
+  testkit::VirtualClock clock;
+  SimNetwork net(901, simOn(clock));
+  Dapplet a(net, "a", fastDetect(clock));
+  auto b = std::make_unique<Dapplet>(net, "b", fastDetect(clock));
   LivenessMonitor ma(a);
   LivenessMonitor mb(*b);
   ma.watch("peer-b", mb.ref());
@@ -73,14 +87,14 @@ TEST(Liveness, CrashedPeerIsSuspectedWithinTwoTimeouts) {
   });
 
   // Let the pair exchange a few beats, then crash-stop b.
-  ASSERT_TRUE(eventually(seconds(2), [&] {
+  ASSERT_TRUE(eventually(clock, seconds(2), [&] {
     return ma.stats().heartbeatsReceived > 0;
   }));
   b->crash();
-  const TimePoint crashedAt = Clock::now();
+  const TimePoint crashedAt = clock.now();
 
-  ASSERT_TRUE(eventually(seconds(5), [&] { return fired.load(); }));
-  const Duration detectIn = Clock::now() - crashedAt;
+  ASSERT_TRUE(eventually(clock, seconds(5), [&] { return fired.load(); }));
+  const Duration detectIn = clock.now() - crashedAt;
   EXPECT_LT(detectIn, 2 * ma.suspectTimeout())
       << "detection took "
       << std::chrono::duration_cast<std::chrono::milliseconds>(detectIn)
@@ -94,8 +108,9 @@ TEST(Liveness, CrashedPeerIsSuspectedWithinTwoTimeouts) {
 }
 
 TEST(Liveness, PartitionHealRecoversTheSuspect) {
-  SimNetwork net(902);
-  auto cfg = fastDetect();
+  testkit::VirtualClock clock;
+  SimNetwork net(902, simOn(clock));
+  auto cfg = fastDetect(clock);
   cfg.host = 1;
   Dapplet a(net, "a", cfg);
   cfg.host = 2;
@@ -109,11 +124,13 @@ TEST(Liveness, PartitionHealRecoversTheSuspect) {
   ma.onAlive([&](const std::string&, const InboxRef&) { ++recoveries; });
 
   net.setPartition(1, 2, true);
-  ASSERT_TRUE(eventually(seconds(5), [&] { return ma.suspected("peer-b"); }));
+  ASSERT_TRUE(
+      eventually(clock, seconds(5), [&] { return ma.suspected("peer-b"); }));
 
   net.setPartition(1, 2, false);
   // Accuracy is eventual: one delivered heartbeat clears the suspicion.
-  ASSERT_TRUE(eventually(seconds(5), [&] { return !ma.suspected("peer-b"); }));
+  ASSERT_TRUE(
+      eventually(clock, seconds(5), [&] { return !ma.suspected("peer-b"); }));
   EXPECT_GE(recoveries.load(), 1);
   EXPECT_GE(ma.stats().recoveryEvents, 1u);
 
@@ -122,9 +139,10 @@ TEST(Liveness, PartitionHealRecoversTheSuspect) {
 }
 
 TEST(Liveness, UnwatchSilencesEventsForThatPeer) {
-  SimNetwork net(903);
-  Dapplet a(net, "a", fastDetect());
-  auto b = std::make_unique<Dapplet>(net, "b", fastDetect());
+  testkit::VirtualClock clock;
+  SimNetwork net(903, simOn(clock));
+  Dapplet a(net, "a", fastDetect(clock));
+  auto b = std::make_unique<Dapplet>(net, "b", fastDetect(clock));
   LivenessMonitor ma(a);
   LivenessMonitor mb(*b);
   ma.watch("peer-b", mb.ref());
@@ -136,7 +154,7 @@ TEST(Liveness, UnwatchSilencesEventsForThatPeer) {
   ma.unwatch("peer-b");
   EXPECT_TRUE(ma.watchedKeys().empty());
   b->crash();
-  std::this_thread::sleep_for(4 * ma.suspectTimeout());
+  clock.sleepFor(4 * ma.suspectTimeout());
   EXPECT_FALSE(fired.load());
 
   a.stop();
@@ -187,10 +205,11 @@ TEST(Liveness, LegacyFlatConfigKnobsStillApply) {
 }
 
 TEST(Liveness, WatchingManyPeersKeysAreIndependent) {
-  SimNetwork net(905);
-  Dapplet a(net, "a", fastDetect());
-  auto b = std::make_unique<Dapplet>(net, "b", fastDetect());
-  Dapplet c(net, "c", fastDetect());
+  testkit::VirtualClock clock;
+  SimNetwork net(905, simOn(clock));
+  Dapplet a(net, "a", fastDetect(clock));
+  auto b = std::make_unique<Dapplet>(net, "b", fastDetect(clock));
+  Dapplet c(net, "c", fastDetect(clock));
   LivenessMonitor ma(a);
   LivenessMonitor mb(*b);
   LivenessMonitor mc(c);
@@ -204,7 +223,7 @@ TEST(Liveness, WatchingManyPeersKeysAreIndependent) {
 
   b->crash();
   // Both watches of b trip; c stays trusted.
-  ASSERT_TRUE(eventually(seconds(5), [&] {
+  ASSERT_TRUE(eventually(clock, seconds(5), [&] {
     return ma.suspected("s1/b") && ma.suspected("s2/b");
   }));
   EXPECT_FALSE(ma.suspected("s1/c"));

@@ -83,8 +83,11 @@ TEST_F(SessionRig, EstablishLinkRunCollectResults) {
   EXPECT_EQ(done.at("m1").at("member").asString(), "m1");
 
   initiator.terminate(result.sessionId);
-  // Unlink must clean member-side session state.
-  for (int i = 0; i < 100 && !agents[0]->activeSessions().empty(); ++i) {
+  // Unlink must clean member-side session state.  UNLINKs race each other,
+  // so wait for both members, not just the first.
+  for (int i = 0; i < 100 && !(agents[0]->activeSessions().empty() &&
+                               agents[1]->activeSessions().empty());
+       ++i) {
     std::this_thread::sleep_for(milliseconds(10));
   }
   EXPECT_TRUE(agents[0]->activeSessions().empty());

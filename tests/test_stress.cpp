@@ -11,6 +11,7 @@
 
 #include "dapple/core/session.hpp"
 #include "dapple/net/sim.hpp"
+#include "dapple/testkit/seed.hpp"
 #include "dapple/serial/data_message.hpp"
 #include "dapple/services/snapshot/snapshot.hpp"
 #include "dapple/util/rng.hpp"
@@ -25,7 +26,10 @@ namespace {
 class RandomTopology : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RandomTopology, FloodMatchesInDegree) {
-  const std::uint64_t seed = GetParam();
+  // DAPPLE_TEST_SEED shifts the whole checked-in sweep to a fresh region
+  // of seed space without recompiling.
+  const std::uint64_t seed = testkit::testSeed(0) + GetParam();
+  DAPPLE_SEED_TRACE(seed);
   Rng rng(seed);
   const std::size_t n = 3 + rng.below(5);  // 3..7 members
 
@@ -115,7 +119,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomTopology,
 TEST(Stress, ManyConcurrentSessionsOverSharedMembers) {
   // 6 members, 8 concurrent sessions with disjoint state keys: all must
   // establish and complete, and the members must end fully unlinked.
-  SimNetwork net(9000);
+  const std::uint64_t seed = testkit::testSeed(9000);
+  DAPPLE_SEED_TRACE(seed);
+  SimNetwork net(seed);
   constexpr std::size_t kMembers = 6;
   constexpr int kSessions = 8;
 
@@ -184,7 +190,9 @@ TEST(Stress, ManyConcurrentSessionsOverSharedMembers) {
 
 TEST(Stress, SessionChurnOnLongLivedDapplets) {
   // The paper's model: long-lived dapplets joining many short sessions.
-  SimNetwork net(9100);
+  const std::uint64_t seed = testkit::testSeed(9100);
+  DAPPLE_SEED_TRACE(seed);
+  SimNetwork net(seed);
   Dapplet member(net, "veteran");
   SessionAgent agent(member);
   std::atomic<int> runs{0};
