@@ -37,9 +37,9 @@ DelayStats measureRaw(microseconds base, microseconds jitter, int count,
   std::mutex mutex;
   std::vector<std::pair<int, double>> arrivals;  // (seq, delay ms)
   std::vector<TimePoint> sentAt(static_cast<std::size_t>(count));
-  rx->setHandler([&](const NodeAddress&, std::string payload) {
+  rx->setHandler([&](const NodeAddress&, std::string_view payload) {
     const auto now = Clock::now();
-    const int seq = std::stoi(payload);
+    const int seq = std::stoi(std::string(payload));
     std::scoped_lock lock(mutex);
     const double ms =
         std::chrono::duration<double, std::milli>(
@@ -134,9 +134,9 @@ int main(int argc, char** argv) {
     std::condition_variable cv;
     std::vector<int> got;
     rx.setDeliver(
-        [&](const NodeAddress&, std::uint64_t, std::string payload) {
+        [&](const NodeAddress&, std::uint64_t, std::string_view payload) {
           std::scoped_lock lock(mutex);
-          got.push_back(std::stoi(payload));
+          got.push_back(std::stoi(std::string(payload)));
           cv.notify_all();
         });
     for (int i = 0; i < fifoCount; ++i) {

@@ -40,9 +40,9 @@ RawResult runRaw(double loss, std::uint64_t seed) {
   std::mutex mutex;
   std::condition_variable cv;
   std::vector<int> got;
-  rx->setHandler([&](const NodeAddress&, std::string payload) {
+  rx->setHandler([&](const NodeAddress&, std::string_view payload) {
     std::scoped_lock lock(mutex);
-    got.push_back(std::stoi(payload));
+    got.push_back(std::stoi(std::string(payload)));
     cv.notify_all();
   });
   Stopwatch watch;
@@ -79,11 +79,12 @@ ReliableResult runReliable(double loss, std::uint64_t seed) {
   std::mutex mutex;
   std::condition_variable cv;
   std::vector<int> got;
-  rx.setDeliver([&](const NodeAddress&, std::uint64_t, std::string payload) {
-    std::scoped_lock lock(mutex);
-    got.push_back(std::stoi(payload));
-    cv.notify_all();
-  });
+  rx.setDeliver(
+      [&](const NodeAddress&, std::uint64_t, std::string_view payload) {
+        std::scoped_lock lock(mutex);
+        got.push_back(std::stoi(std::string(payload)));
+        cv.notify_all();
+      });
   Stopwatch watch;
   for (int i = 0; i < kMessages; ++i) {
     tx.send(rx.address(), 1, std::to_string(i));
@@ -100,6 +101,60 @@ ReliableResult runReliable(double loss, std::uint64_t seed) {
   for (int i = 0; i < kMessages; ++i) {
     if (got[static_cast<std::size_t>(i)] != i) result.fifo = false;
   }
+  return result;
+}
+
+struct AckEconomy {
+  std::uint64_t delivered = 0;
+  std::uint64_t ackDatagrams = 0;  ///< standalone ACK frames on the wire
+  std::uint64_t acksCoalesced = 0;
+  double acksPerMsg = 0;
+};
+
+/// E1b: ack datagram economy under light loss.  `coalesce=false` reproduces
+/// the historical ack-per-frame behaviour (flush threshold 1, no delay, no
+/// piggyback); `coalesce=true` is the shipping default.
+AckEconomy runAckEconomy(bool coalesce, std::uint64_t seed) {
+  SimNetwork net(seed);
+  net.setDefaultLink(
+      LinkParams{microseconds(200), microseconds(400), 0.01, 0.0});
+  ReliableConfig cfg;
+  cfg.tickInterval = milliseconds(2);
+  cfg.rto = milliseconds(8);
+  cfg.maxRto = milliseconds(100);
+  cfg.ackEvery = coalesce ? 8 : 1;
+  cfg.ackDelay = coalesce ? milliseconds(2) : milliseconds(0);
+  cfg.ackPiggyback = coalesce;
+  ReliableEndpoint tx(net.open(), cfg);
+  ReliableEndpoint rx(net.open(), cfg);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t got = 0;
+  rx.setDeliver([&](const NodeAddress&, std::uint64_t, std::string_view) {
+    std::scoped_lock lock(mutex);
+    ++got;
+    cv.notify_all();
+  });
+  for (int i = 0; i < kMessages; ++i) {
+    tx.send(rx.address(), 1, std::to_string(i));
+  }
+  {
+    std::unique_lock lock(mutex);
+    cv.wait_for(lock, seconds(30), [&] {
+      return got >= static_cast<std::size_t>(kMessages);
+    });
+  }
+  tx.flush(seconds(10));
+  const ReliableEndpoint::Stats rs = rx.stats();
+  AckEconomy result;
+  result.delivered = rs.delivered;
+  result.ackDatagrams = rs.ackFramesSent;
+  result.acksCoalesced = rs.acksCoalesced;
+  result.acksPerMsg =
+      rs.delivered == 0
+          ? 0
+          : static_cast<double>(rs.ackFramesSent) /
+                static_cast<double>(rs.delivered);
   return result;
 }
 
@@ -143,5 +198,31 @@ int main(int argc, char** argv) {
               "FIFO order, with completion\ntime and retransmissions "
               "growing with the loss rate.\n",
               kMessages);
+
+  std::printf("\n=== E1b: ack coalescing economy (1%% loss) ===\n");
+  const AckEconomy legacy = runAckEconomy(false, 11);
+  const AckEconomy coalesced = runAckEconomy(true, 11);
+  const double ratio = coalesced.acksPerMsg > 0
+                           ? legacy.acksPerMsg / coalesced.acksPerMsg
+                           : 0;
+  std::printf("%-22s %12s %12s %12s\n", "", "delivered", "ack dgrams",
+              "acks/msg");
+  std::printf("%-22s %12llu %12llu %12.3f\n", "ack-per-frame (legacy)",
+              static_cast<unsigned long long>(legacy.delivered),
+              static_cast<unsigned long long>(legacy.ackDatagrams),
+              legacy.acksPerMsg);
+  std::printf("%-22s %12llu %12llu %12.3f\n", "coalesced (default)",
+              static_cast<unsigned long long>(coalesced.delivered),
+              static_cast<unsigned long long>(coalesced.ackDatagrams),
+              coalesced.acksPerMsg);
+  std::printf("reduction: %.1fx fewer ack datagrams per delivered message "
+              "(%llu arrivals folded)\n",
+              ratio,
+              static_cast<unsigned long long>(coalesced.acksCoalesced));
+  report.row("ack_economy")
+      .num("legacy_acks_per_msg", legacy.acksPerMsg)
+      .num("coalesced_acks_per_msg", coalesced.acksPerMsg)
+      .num("ack_reduction_ratio", ratio)
+      .num("acks_coalesced", static_cast<double>(coalesced.acksCoalesced));
   return 0;
 }

@@ -11,6 +11,8 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "dapple/core/rpc.hpp"
 #include "dapple/net/sim.hpp"
@@ -86,6 +88,58 @@ void BM_AsyncNotifyThroughput(benchmark::State& state) {
                          benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_AsyncNotifyThroughput)->Unit(benchmark::kMicrosecond);
+
+// Broadcast notify: one client outbox bound to N servers (the paper's
+// fan-out model applied to asynchronous RPC).  The request body is encoded
+// once and shared across all destinations (DESIGN.md §10), so deliveries/s
+// should scale with N rather than flattening at the encoder.
+void BM_NotifyFanout(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  SimNetwork net(6);
+  net.setDefaultLink(LinkParams{microseconds(0), microseconds(0), 0.0, 0.0});
+  std::vector<std::unique_ptr<Dapplet>> serverDs;
+  std::vector<std::unique_ptr<RpcServer>> servers;
+  std::atomic<std::int64_t> served{0};
+  for (std::size_t i = 0; i < width; ++i) {
+    serverDs.push_back(
+        std::make_unique<Dapplet>(net, "server" + std::to_string(i)));
+    servers.push_back(std::make_unique<RpcServer>(*serverDs.back()));
+    servers.back()->bind("bump", [&served](const Value&) {
+      ++served;
+      return Value();
+    });
+  }
+  Dapplet clientD(net, "client");
+  RpcClient client(clientD, servers[0]->ref());
+  for (std::size_t i = 1; i < width; ++i) client.addServer(servers[i]->ref());
+  ValueMap args;
+  args["blob"] = Value(std::string(256, 'z'));
+  const Value v(args);
+  std::int64_t sent = 0;
+  for (auto _ : state) {
+    client.notify("bump", v);
+    ++sent;
+    if (sent % 64 == 0) {
+      // Keep every server's inbox bounded.
+      while (served.load() + 200 * static_cast<std::int64_t>(width) <
+             sent * static_cast<std::int64_t>(width)) {
+        std::this_thread::sleep_for(microseconds(50));
+      }
+    }
+  }
+  while (served.load() < sent * static_cast<std::int64_t>(width)) {
+    std::this_thread::sleep_for(microseconds(100));
+  }
+  state.counters["deliveries/s"] = benchmark::Counter(
+      static_cast<double>(sent * static_cast<std::int64_t>(width)),
+      benchmark::Counter::kIsRate);
+  state.counters["fanout"] = static_cast<double>(width);
+  servers.clear();
+  for (auto& d : serverDs) d->stop();
+  clientD.stop();
+}
+BENCHMARK(BM_NotifyFanout)->Arg(1)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SyncCallPayloadSize(benchmark::State& state) {
   const auto bytes = static_cast<std::size_t>(state.range(0));

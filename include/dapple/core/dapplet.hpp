@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dapple/core/inbox.hpp"
@@ -236,7 +237,7 @@ class Dapplet {
                       const Message& msg);
 
   void onDeliver(const NodeAddress& src, std::uint64_t streamId,
-                 std::string payload);
+                 std::string_view payload);
   void onStreamFailure(const NodeAddress& dst, std::uint64_t streamId,
                        const std::string& reason);
 

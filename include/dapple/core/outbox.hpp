@@ -9,6 +9,7 @@
 /// versa; each channel is FIFO while inter-channel order is arbitrary.
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -65,6 +66,10 @@ class Outbox {
   /// Number of bound inboxes.
   std::size_t fanout() const;
 
+  /// Monotonic counter bumped by every add/remove/removeNode; lets callers
+  /// detect binding churn without comparing lists.
+  std::uint64_t destinationsVersion() const;
+
  private:
   friend class Dapplet;
 
@@ -76,7 +81,12 @@ class Outbox {
   const std::string name_;
 
   mutable std::mutex mutex_;
-  std::vector<InboxRef> destinations_;
+  /// Immutable snapshot, replaced copy-on-write by add/remove/removeNode.
+  /// send() grabs a reference under the lock — a pointer bump, not a list
+  /// copy — so the send fast path cost is independent of fan-out width.
+  std::shared_ptr<const std::vector<InboxRef>> destinations_ =
+      std::make_shared<const std::vector<InboxRef>>();
+  std::uint64_t version_ = 0;
   bool failed_ = false;
   std::string failReason_;
 };

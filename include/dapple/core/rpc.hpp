@@ -68,7 +68,14 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
-  /// Asynchronous RPC: fire-and-forget method invocation.
+  /// Binds an additional server inbox.  `notify` then fans out to every
+  /// bound server through the one request outbox (the body is encoded once
+  /// and shared, per DESIGN.md §10).  `call` expects a single reply and
+  /// should only be used on a client bound to exactly one server.
+  void addServer(InboxRef server);
+
+  /// Asynchronous RPC: fire-and-forget method invocation, delivered to
+  /// every bound server.
   void notify(const std::string& method, const Value& args);
 
   /// Synchronous RPC ("pairwise asynchronous"): sends the request and

@@ -19,19 +19,29 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "dapple/net/address.hpp"
 
 namespace dapple {
+
+/// One datagram of a batched submit (see Endpoint::sendBatch).
+struct Datagram {
+  NodeAddress dst;
+  std::string payload;
+};
 
 /// One attachment point to a network.  Thread-safe.
 class Endpoint {
  public:
   /// Receive callback.  Invoked on a network-owned thread; implementations
   /// must be fast and must not call back into `send` recursively deeper
-  /// than one level.
+  /// than one level.  The payload view is valid only for the duration of
+  /// the call — copy it if it must outlive the callback (zero-copy receive:
+  /// transports hand out views of their receive buffers).
   using Handler = std::function<void(const NodeAddress& src,
-                                     std::string payload)>;
+                                     std::string_view payload)>;
 
   virtual ~Endpoint() = default;
 
@@ -41,6 +51,16 @@ class Endpoint {
   /// Fire-and-forget datagram.  May be dropped, delayed arbitrarily,
   /// duplicated, or reordered relative to other sends.
   virtual void send(const NodeAddress& dst, std::string payload) = 0;
+
+  /// Batched submit: hands every datagram to the network in one call.  The
+  /// reliable layer's fan-out send, retransmission scan and coalesced-ack
+  /// flush use this so a burst costs one syscall (`sendmmsg` on UDP) or one
+  /// lock acquisition (simulator) instead of one per datagram.  Transports
+  /// that do not override it get the portable one-at-a-time fallback; the
+  /// per-datagram loss/duplication/ordering contract of send() is unchanged.
+  virtual void sendBatch(std::vector<Datagram> batch) {
+    for (Datagram& d : batch) send(d.dst, std::move(d.payload));
+  }
 
   /// Installs the receive handler.  Must be called before traffic arrives;
   /// datagrams received while no handler is installed are dropped.

@@ -23,9 +23,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "dapple/net/transport.hpp"
 #include "dapple/obs/metrics.hpp"
+#include "dapple/serial/payload.hpp"
 #include "dapple/util/time.hpp"
 
 namespace dapple {
@@ -41,6 +44,29 @@ struct ReliableConfig {
   Duration deliveryTimeout = seconds(5);
   /// Exponential RTO backoff cap (rto, 2*rto, ... up to this).
   Duration maxRto = milliseconds(500);
+  /// Acks are coalesced: one cumulative+SACK block per receive stream is
+  /// emitted after this many frame arrivals fold into it.
+  std::uint32_t ackEvery = 8;
+  /// A pending ack older than this is flushed by the next timer tick, so
+  /// the worst-case ack delay is ackDelay + tickInterval.  Keep that sum
+  /// under `rto`: the sender is timer-driven (no fast retransmit), so a
+  /// deferred SACK still reaches it before the retransmission fires.
+  Duration ackDelay = milliseconds(2);
+  /// When true, pending ack blocks ride inside outgoing DATA frames to the
+  /// same peer instead of costing their own datagram.  Off makes every
+  /// DATA frame's bytes independent of ack timing (deterministic replay
+  /// under content-hashed link randomness — the scenario fuzzer disables
+  /// piggybacking for exactly that reason).
+  bool ackPiggyback = true;
+};
+
+/// One destination of a fan-out send: the target node plus the
+/// per-destination prefix of the application payload.  The shared body
+/// passed to `sendMany` follows the head on the wire; the pair is stored
+/// un-assembled so retransmit state shares the body allocation.
+struct OutSend {
+  NodeAddress dst;
+  std::string head;
 };
 
 /// Reliable/ordered façade over one raw `Endpoint`.  All members are
@@ -48,10 +74,14 @@ struct ReliableConfig {
 class ReliableEndpoint {
  public:
   /// In-order delivery callback: (source node, stream id, payload).
-  /// Invoked on transport threads; must not block for long.
+  /// Invoked on transport threads; must not block for long.  The payload
+  /// view is valid only for the duration of the call: in-order frames are
+  /// delivered as views straight into the transport's receive buffer
+  /// (zero-copy); only frames that had to be buffered out of order were
+  /// copied once.
   using DeliverFn = std::function<void(const NodeAddress& src,
                                        std::uint64_t streamId,
-                                       std::string payload)>;
+                                       std::string_view payload)>;
 
   /// Invoked once when a stream exceeds its delivery timeout.  After the
   /// callback the stream is marked failed and subsequent send() calls on it
@@ -85,6 +115,18 @@ class ReliableEndpoint {
   std::uint64_t send(const NodeAddress& dst, std::uint64_t streamId,
                      std::string payload);
 
+  /// Fan-out send: queues `sends[i].head + body` on stream
+  /// (`sends[i].dst`, `streamId`) for every destination.  The body is the
+  /// refcounted shared buffer — it is encoded once by the caller, shared by
+  /// every destination's retransmit state, and its bytes are copied exactly
+  /// once per wire transmission (at frame-assembly time).  All first
+  /// transmissions go out as one `Endpoint::sendBatch` submit.  Returns the
+  /// per-destination sequence numbers.  Admission is all-or-nothing: if any
+  /// target stream has already failed, throws DeliveryError and queues
+  /// nothing.
+  std::vector<std::uint64_t> sendMany(std::vector<OutSend> sends,
+                                      std::uint64_t streamId, Payload body);
+
   /// Blocks until every queued frame on every stream has been acknowledged,
   /// or `timeout` elapses.  Returns true when fully flushed.
   bool flush(Duration timeout);
@@ -101,7 +143,24 @@ class ReliableEndpoint {
     std::uint64_t retransmits = 0;     ///< timer-driven resends
     std::uint64_t delivered = 0;       ///< payloads handed to DeliverFn
     std::uint64_t duplicates = 0;      ///< received frames dropped as dups
+    /// Ack block emissions — one per receive stream per flush, whether the
+    /// block rode in a standalone ACK datagram or piggybacked on DATA.
     std::uint64_t acksSent = 0;
+    /// Standalone ACK datagrams (the denominator the ack-coalescing bench
+    /// compares against delivered frames).
+    std::uint64_t ackFramesSent = 0;
+    /// Frame arrivals folded into an already-pending ack block; each one is
+    /// an ack datagram the pre-coalescing design would have sent.
+    std::uint64_t acksCoalesced = 0;
+    /// Duplicate DATA frames whose re-ack was deferred to the coalesced
+    /// flush instead of answered with an immediate datagram (the ack-storm
+    /// fix: a burst of dups used to cost one ack datagram each).
+    std::uint64_t dupAcksSuppressed = 0;
+    /// Payload byte materializations: one per frame assembled onto the wire
+    /// (send + retransmit) plus one per frame buffered out of order on
+    /// receive.  The zero-copy invariant is copies ~= wire transmissions,
+    /// independent of fan-out width.
+    std::uint64_t payloadCopies = 0;
     std::uint64_t outOfOrderBuffered = 0;
     std::uint64_t failures = 0;        ///< streams declared failed
   };

@@ -1,0 +1,94 @@
+#pragma once
+/// \file payload.hpp
+/// \brief Refcounted immutable byte buffers for the zero-copy data path.
+///
+/// The paper's channel model (§3.2 "Messages", §3.1 fan-out outboxes)
+/// serializes a message *once* and delivers copies to every bound inbox.
+/// `Payload` makes that literal: the encoded message body lives in one
+/// refcounted immutable allocation, and a fan-out send shares it across all
+/// destinations — each destination adds only a small owned header.
+///
+/// `WireBuffer` is the (header, shared payload) pair the layers below pass
+/// around: the reliable layer keeps one per un-acked frame (retransmit state
+/// is a ref bump, not a frame copy) and gathers header + body into a
+/// datagram only at transmit time.  See DESIGN.md §10 "Data-path copy
+/// discipline" for who owns bytes at each layer.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dapple {
+
+/// Immutable, refcounted byte buffer.  Copying a Payload is a reference
+/// bump; the bytes are never duplicated.  An empty Payload views "".
+class Payload {
+ public:
+  Payload() = default;
+
+  /// Takes ownership of `bytes` (no copy beyond the move).
+  explicit Payload(std::string bytes)
+      : bytes_(std::make_shared<const std::string>(std::move(bytes))) {}
+
+  /// Copies `bytes` into a fresh buffer.
+  static Payload copyOf(std::string_view bytes) {
+    return Payload(std::string(bytes));
+  }
+
+  std::string_view view() const {
+    return bytes_ ? std::string_view(*bytes_) : std::string_view();
+  }
+
+  std::size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  bool empty() const { return size() == 0; }
+
+  /// Number of WireBuffers / Payloads sharing these bytes (diagnostics;
+  /// racy under concurrent copies, exact when quiescent).
+  long refCount() const { return bytes_ ? bytes_.use_count() : 0; }
+
+ private:
+  std::shared_ptr<const std::string> bytes_;
+};
+
+/// One wire unit awaiting transmission: a small owned header followed by a
+/// shared immutable body.  `size()` is what goes on the wire; the bytes are
+/// materialized (gathered) only by `appendTo`/`assemble` at transmit time.
+class WireBuffer {
+ public:
+  WireBuffer() = default;
+
+  /// Header-only buffer (control frames).
+  explicit WireBuffer(std::string head) : head_(std::move(head)) {}
+
+  WireBuffer(std::string head, Payload body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  const std::string& head() const { return head_; }
+  const Payload& body() const { return body_; }
+
+  std::size_t size() const { return head_.size() + body_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Gathers header + body onto the end of `out` (the scatter/gather step;
+  /// the single point where payload bytes are copied onto the wire).
+  void appendTo(std::string& out) const {
+    out.append(head_);
+    out.append(body_.view());
+  }
+
+  /// Materializes the full wire bytes.
+  std::string assemble() const {
+    std::string out;
+    out.reserve(size());
+    appendTo(out);
+    return out;
+  }
+
+ private:
+  std::string head_;
+  Payload body_;
+};
+
+}  // namespace dapple

@@ -31,6 +31,11 @@ class TextWriter {
   void writeF64(double v);
   void writeBool(bool v);
   void writeString(std::string_view v);
+  /// Writes only the `s<len>:` header of a string token whose `len` payload
+  /// bytes the caller appends out-of-band (e.g. gathered from a shared
+  /// `Payload` at transmit time).  The text returned by str() is a valid
+  /// token stream only once exactly `len` raw bytes follow it.
+  void beginString(std::size_t len);
   void writeNull();
   /// Starts a list of exactly `count` elements; the caller then writes
   /// `count` values (which may themselves be lists).
@@ -59,6 +64,11 @@ class TextReader {
   double readF64();
   bool readBool();
   std::string readString();
+  /// Zero-copy readString: the returned view aliases the wire buffer this
+  /// reader was constructed over and is valid only while that buffer lives.
+  /// Use for header fields and payloads that are fully consumed before the
+  /// buffer is released (envelope decode, frame parse).
+  std::string_view readStringView();
   void readNull();
   /// Reads a list header and returns the element count.
   std::size_t beginList();

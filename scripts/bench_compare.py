@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare two sets of BENCH_*.json files and fail on throughput regression.
+
+Usage:
+    scripts/bench_compare.py BASELINE_DIR CANDIDATE_DIR [--threshold 0.10]
+
+Both directories hold BENCH_<name>.json files — google-benchmark's native
+JSON or the hand-rolled `dapple-bench-v1` shape from bench/bench_common.hpp
+(both are `{"context": ..., "benchmarks": [{"name": ..., <numbers>}]}`).
+Committed baselines live in bench/baselines/; a fresh run drops candidates
+next to the binaries (build/bench/BENCH_*.json).
+
+Rows are matched by (file, benchmark name).  Only *throughput* metrics gate
+the comparison — keys ending in "/s", "_per_s", "per_second", or containing
+"throughput" / "ratio" — because latency-shaped fields in the loss-sweep
+benches (e.g. `reliable_ms` at 10% loss) are dominated by which datagrams
+the seeded link happened to drop, not by code speed.  Everything else is
+informational.
+
+A throughput metric that drops by more than the threshold (default 10%) is
+a regression.  Exit code 1 when any regression is found, 0 otherwise.
+Missing counterpart files or rows are reported but are not failures (bench
+sets may grow).
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+RATE_SUFFIXES = ("/s", "_per_s", "per_second")
+RATE_SUBSTRINGS = ("throughput", "ratio")
+
+
+def classify(key: str):
+    """Return 'rate' for gating metrics, None for informational ones."""
+    low = key.lower()
+    if low == "iterations":  # contains "ratio", but is just a sample count
+        return None
+    if low.endswith(RATE_SUFFIXES) or any(s in low for s in RATE_SUBSTRINGS):
+        return "rate"
+    return None
+
+
+def load_rows(path: Path):
+    """-> {benchmark name: {metric: float}} for one BENCH_*.json file."""
+    with path.open() as f:
+        doc = json.load(f)
+    rows = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name")
+        if not name:
+            continue
+        rows[name] = {
+            k: float(v)
+            for k, v in bench.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+    return rows
+
+
+def compare(baseline_dir: Path, candidate_dir: Path, threshold: float):
+    regressions = []
+    notes = []
+    files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not files:
+        notes.append(f"no BENCH_*.json under {baseline_dir}")
+    for base_file in files:
+        cand_file = candidate_dir / base_file.name
+        if not cand_file.exists():
+            notes.append(f"{base_file.name}: no candidate run, skipped")
+            continue
+        base_rows = load_rows(base_file)
+        cand_rows = load_rows(cand_file)
+        for name, base_metrics in sorted(base_rows.items()):
+            cand_metrics = cand_rows.get(name)
+            if cand_metrics is None:
+                notes.append(f"{base_file.name}: row '{name}' missing from "
+                             "candidate, skipped")
+                continue
+            for key, base_val in sorted(base_metrics.items()):
+                kind = classify(key)
+                if kind is None or key not in cand_metrics:
+                    continue
+                cand_val = cand_metrics[key]
+                if base_val <= 0 or not math.isfinite(base_val):
+                    continue
+                # change > 0 means the candidate is better.
+                change = cand_val / base_val - 1.0
+                line = (f"{base_file.name} :: {name} :: {key}: "
+                        f"{base_val:.4g} -> {cand_val:.4g} "
+                        f"({change:+.1%})")
+                if change < -threshold:
+                    regressions.append(line)
+                else:
+                    print(f"  ok  {line}")
+    return regressions, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed fractional regression (default 0.10)")
+    args = parser.parse_args()
+    regressions, notes = compare(args.baseline, args.candidate,
+                                 args.threshold)
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  FAIL {line}", file=sys.stderr)
+        return 1
+    print("\nno regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

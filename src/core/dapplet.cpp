@@ -55,8 +55,8 @@ Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
   reliable_ = std::make_unique<ReliableEndpoint>(
       std::move(endpoint), config_.reliable, &metricsRegistry_, clockSource_);
   reliable_->setDeliver([this](const NodeAddress& src, std::uint64_t streamId,
-                               std::string payload) {
-    onDeliver(src, streamId, std::move(payload));
+                               std::string_view payload) {
+    onDeliver(src, streamId, payload);
   });
   reliable_->setOnFailure([this](const NodeAddress& dst,
                                  std::uint64_t streamId,
@@ -253,6 +253,10 @@ obs::MetricsSnapshot Dapplet::metrics() const {
   snap.counters["reliable.delivered"] += rs.delivered;
   snap.counters["reliable.duplicates"] += rs.duplicates;
   snap.counters["reliable.acks_sent"] += rs.acksSent;
+  snap.counters["reliable.ack_frames_sent"] += rs.ackFramesSent;
+  snap.counters["reliable.acks_coalesced"] += rs.acksCoalesced;
+  snap.counters["reliable.dup_acks_suppressed"] += rs.dupAcksSuppressed;
+  snap.counters["reliable.payload_copies"] += rs.payloadCopies;
   snap.counters["reliable.out_of_order_buffered"] += rs.outOfOrderBuffered;
   snap.counters["reliable.stream_failures"] += rs.failures;
 
@@ -284,28 +288,36 @@ void Dapplet::sendFromOutbox(std::uint64_t outboxId,
                              const std::vector<InboxRef>& destinations,
                              const Message& msg) {
   const std::uint64_t ts = clock_.tick();
-  const std::string wire = encodeMessage(msg);
+  // Encode ONCE; every destination shares the refcounted body and adds only
+  // its small addressing head (the `s<len>:` prefix written by beginString
+  // is completed by the body bytes at frame-assembly time).
+  const Payload body(encodeMessage(msg));
   impl_->mFanout->record(destinations.size());
+  std::vector<OutSend> sends;
+  sends.reserve(destinations.size());
   for (const InboxRef& dst : destinations) {
     TextWriter w;
     w.writeU64(dst.localId);
     w.writeString(dst.name);
     w.writeU64(ts);
-    w.writeString(wire);
-    reliable_->send(dst.node, outboxId, std::move(w).str());
+    w.beginString(body.size());
+    sends.push_back(OutSend{dst.node, std::move(w).str()});
   }
+  reliable_->sendMany(std::move(sends), outboxId, body);
   std::scoped_lock lock(impl_->mutex);
   impl_->stats.messagesSent += destinations.size();
 }
 
 void Dapplet::onDeliver(const NodeAddress& src, std::uint64_t streamId,
-                        std::string payload) {
+                        std::string_view payload) {
   try {
+    // Zero-copy envelope decode: every field is a view into the frame the
+    // reliable layer handed us; decodeMessage copies only the leaf values.
     TextReader r(payload);
     const auto dstLocal = static_cast<std::uint32_t>(r.readU64());
-    const std::string dstName = r.readString();
+    const std::string_view dstName = r.readStringView();
     const std::uint64_t sentAt = r.readU64();
-    const std::string wire = r.readString();
+    const std::string_view wire = r.readStringView();
 
     Delivery delivery;
     delivery.message = decodeMessage(wire);
@@ -322,7 +334,9 @@ void Dapplet::onDeliver(const NodeAddress& src, std::uint64_t streamId,
         const auto it = impl_->inboxesById.find(dstLocal);
         if (it != impl_->inboxesById.end()) target = it->second.get();
       } else if (!dstName.empty()) {
-        const auto it = impl_->inboxesByName.find(dstName);
+        // Name routing is the rare path (refs minted by createInbox carry a
+        // local id); only it pays the key materialization.
+        const auto it = impl_->inboxesByName.find(std::string(dstName));
         if (it != impl_->inboxesByName.end()) target = it->second;
       }
       if (!target) {

@@ -189,6 +189,10 @@ RpcClient::~RpcClient() {
   }
 }
 
+void RpcClient::addServer(InboxRef server) {
+  impl_->requestOutbox->add(server);
+}
+
 void RpcClient::notify(const std::string& method, const Value& args) {
   DataMessage req(kRequestKind);
   req.set("method", Value(method));

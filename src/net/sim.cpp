@@ -49,6 +49,7 @@ class SimNetwork::EndpointImpl final
   NodeAddress address() const override { return addr_; }
 
   void send(const NodeAddress& dst, std::string payload) override;
+  void sendBatch(std::vector<Datagram> batch) override;
 
   void setHandler(Handler handler) override {
     std::scoped_lock lock(mutex_);
@@ -61,10 +62,10 @@ class SimNetwork::EndpointImpl final
   /// handler call so close() can guarantee no invocation after it returns.
   /// The handler may call send() on this same endpoint (e.g. to ACK):
   /// send() deliberately takes no endpoint lock (closed_ is atomic).
-  void deliver(const NodeAddress& src, std::string payload) {
+  void deliver(const NodeAddress& src, std::string_view payload) {
     std::scoped_lock lock(mutex_);
     if (closed_.load(std::memory_order_acquire) || !handler_) return;
-    handler_(src, std::move(payload));
+    handler_(src, payload);
   }
 
   bool closed() const { return closed_.load(std::memory_order_acquire); }
@@ -147,57 +148,75 @@ struct SimNetwork::Impl {
              std::string payload) {
     {
       std::scoped_lock lock(mutex);
-      ++stats.sent;
-      const HostPair key{src.host, dst.host};
-      if (partitions.count(normalized(key)) != 0) {
-        ++stats.dropped;
-        return;
-      }
-      const LinkParams& link = linkParams(key);
-      // Sequential mode draws from the shared per-link RNG (historical
-      // behaviour, preserved so existing seeded tests replay unchanged);
-      // hashed mode derives a private RNG from the datagram's identity so
-      // the decision sequence is independent of send interleaving.
-      std::uint64_t contentHash = 0;
-      Rng hashedRng(0);
-      Rng* rng;
-      if (hashedRandomness) {
-        contentHash = mix64(fnv1a(payload) ^ mix64(src.packed()) ^
-                            mix64(mix64(dst.packed())));
-        const std::uint32_t ordinal = occurrences[contentHash]++;
-        hashedRng = Rng(mix64(seed ^ mix64(contentHash + ordinal)));
-        rng = &hashedRng;
-      } else {
-        rng = &linkRng(key);
-      }
-      if (rng->chance(link.lossProb)) {
-        ++stats.dropped;
-        DAPPLE_LOG(kTrace, kLog) << "drop " << src.toString() << " -> "
-                                 << dst.toString();
-        return;
-      }
-      const int copies = rng->chance(link.dupProb) ? 2 : 1;
-      if (copies == 2) ++stats.duplicated;
-      for (int i = 0; i < copies; ++i) {
-        const auto jitterUs =
-            link.jitter.count() > 0
-                ? static_cast<std::int64_t>(rng->below(
-                      static_cast<std::uint64_t>(link.jitter.count())))
-                : 0;
-        const double delayUs =
-            static_cast<double>(link.delay.count() + jitterUs) * timeScale;
-        Event ev;
-        ev.due =
-            clk->now() + microseconds(static_cast<std::int64_t>(delayUs));
-        ev.hash = contentHash;
-        ev.seq = nextSeq++;
-        ev.src = src;
-        ev.dst = dst;
-        ev.payload = payload;
-        queue.push(std::move(ev));
-      }
+      routeLocked(src, dst, std::move(payload));
     }
     clk->notifyAll(wake);
+  }
+
+  /// Batched counterpart: every datagram is enqueued under ONE lock
+  /// acquisition and the delivery thread is woken once, so a fan-out burst
+  /// or retransmission sweep costs O(1) synchronization instead of O(n).
+  void routeBatch(const NodeAddress& src, std::vector<Datagram> batch) {
+    {
+      std::scoped_lock lock(mutex);
+      for (Datagram& d : batch) routeLocked(src, d.dst, std::move(d.payload));
+    }
+    clk->notifyAll(wake);
+  }
+
+  /// Loss/duplication/delay decisions + enqueue for one datagram.  Caller
+  /// holds `mutex` and wakes the delivery thread afterwards.
+  void routeLocked(const NodeAddress& src, const NodeAddress& dst,
+                   std::string payload) {
+    ++stats.sent;
+    const HostPair key{src.host, dst.host};
+    if (partitions.count(normalized(key)) != 0) {
+      ++stats.dropped;
+      return;
+    }
+    const LinkParams& link = linkParams(key);
+    // Sequential mode draws from the shared per-link RNG (historical
+    // behaviour, preserved so existing seeded tests replay unchanged);
+    // hashed mode derives a private RNG from the datagram's identity so
+    // the decision sequence is independent of send interleaving.
+    std::uint64_t contentHash = 0;
+    Rng hashedRng(0);
+    Rng* rng;
+    if (hashedRandomness) {
+      contentHash = mix64(fnv1a(payload) ^ mix64(src.packed()) ^
+                          mix64(mix64(dst.packed())));
+      const std::uint32_t ordinal = occurrences[contentHash]++;
+      hashedRng = Rng(mix64(seed ^ mix64(contentHash + ordinal)));
+      rng = &hashedRng;
+    } else {
+      rng = &linkRng(key);
+    }
+    if (rng->chance(link.lossProb)) {
+      ++stats.dropped;
+      DAPPLE_LOG(kTrace, kLog) << "drop " << src.toString() << " -> "
+                               << dst.toString();
+      return;
+    }
+    const int copies = rng->chance(link.dupProb) ? 2 : 1;
+    if (copies == 2) ++stats.duplicated;
+    for (int i = 0; i < copies; ++i) {
+      const auto jitterUs =
+          link.jitter.count() > 0
+              ? static_cast<std::int64_t>(rng->below(
+                    static_cast<std::uint64_t>(link.jitter.count())))
+              : 0;
+      const double delayUs =
+          static_cast<double>(link.delay.count() + jitterUs) * timeScale;
+      Event ev;
+      ev.due =
+          clk->now() + microseconds(static_cast<std::int64_t>(delayUs));
+      ev.hash = contentHash;
+      ev.seq = nextSeq++;
+      ev.src = src;
+      ev.dst = dst;
+      ev.payload = payload;
+      queue.push(std::move(ev));
+    }
   }
 
   static HostPair normalized(HostPair key) {
@@ -259,6 +278,11 @@ void SimNetwork::EndpointImpl::send(const NodeAddress& dst,
   // (ACKs), which already holds the endpoint mutex.
   if (closed_.load(std::memory_order_acquire)) return;
   net_.route(addr_, dst, std::move(payload));
+}
+
+void SimNetwork::EndpointImpl::sendBatch(std::vector<Datagram> batch) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  net_.routeBatch(addr_, std::move(batch));
 }
 
 void SimNetwork::EndpointImpl::close() {

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -111,6 +112,71 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
     }
   }
 
+  void sendBatch(std::vector<Datagram> batch) override {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return;
+    }
+#ifdef __linux__
+    // One sendmmsg syscall per (up to) kBatch datagrams instead of one
+    // sendto each.  Oversize datagrams are counted and skipped — the batch
+    // paths (retransmit sweep, ack flush) run on the timer thread, where a
+    // throw has nowhere useful to go; loss semantics match a dropped
+    // datagram, which the reliable layer absorbs.
+    constexpr std::size_t kBatch = 64;
+    std::size_t i = 0;
+    while (i < batch.size()) {
+      sockaddr_in sas[kBatch];
+      iovec iovs[kBatch];
+      mmsghdr msgs[kBatch];
+      std::size_t n = 0;
+      while (i < batch.size() && n < kBatch) {
+        Datagram& d = batch[i++];
+        if (d.payload.size() > kMaxDatagram) {
+          counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
+          DAPPLE_LOG(kDebug, kLog) << "batched datagram too large: "
+                                   << d.payload.size();
+          continue;
+        }
+        sas[n] = toSockaddr(d.dst);
+        iovs[n] = {const_cast<char*>(d.payload.data()), d.payload.size()};
+        msgs[n] = mmsghdr{};
+        msgs[n].msg_hdr.msg_name = &sas[n];
+        msgs[n].msg_hdr.msg_namelen = sizeof sas[n];
+        msgs[n].msg_hdr.msg_iov = &iovs[n];
+        msgs[n].msg_hdr.msg_iovlen = 1;
+        ++n;
+      }
+      if (n == 0) continue;
+      std::size_t done = 0;
+      while (done < n) {
+        const int sent = ::sendmmsg(fd_, msgs + done,
+                                    static_cast<unsigned>(n - done), 0);
+        if (sent < 0) {
+          if (errno == EINTR) continue;
+          // Transient errors are loss; the reliable layer retransmits.
+          counters_->sendErrors.fetch_add(n - done,
+                                          std::memory_order_relaxed);
+          DAPPLE_LOG(kDebug, kLog)
+              << "sendmmsg failed: " << std::strerror(errno);
+          break;
+        }
+        counters_->sent.fetch_add(static_cast<std::uint64_t>(sent),
+                                  std::memory_order_relaxed);
+        done += static_cast<std::size_t>(sent);
+      }
+    }
+#else
+    for (Datagram& d : batch) {
+      if (d.payload.size() > kMaxDatagram) {
+        counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      send(d.dst, std::move(d.payload));
+    }
+#endif
+  }
+
   void setHandler(Handler handler) override {
     std::scoped_lock lock(mutex_);
     handler_ = std::move(handler);
@@ -133,6 +199,52 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
   }
 
  private:
+#ifdef __linux__
+  void run(std::stop_token stop) {
+    // Drain bursts with one recvmmsg syscall into preallocated buffers and
+    // hand the handler views into them (zero-copy receive).  MSG_WAITFORONE
+    // blocks (honoring SO_RCVTIMEO, which keeps the stop-token poll alive)
+    // until at least one datagram lands, then grabs whatever else is queued.
+    constexpr std::size_t kBatch = 16;
+    std::vector<std::vector<char>> bufs(kBatch,
+                                        std::vector<char>(kMaxDatagram));
+    sockaddr_in froms[kBatch];
+    iovec iovs[kBatch];
+    mmsghdr msgs[kBatch];
+    while (!stop.stop_requested()) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        iovs[i] = {bufs[i].data(), bufs[i].size()};
+        msgs[i] = mmsghdr{};
+        msgs[i].msg_hdr.msg_name = &froms[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof froms[i];
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      const int n = ::recvmmsg(fd_, msgs, kBatch, MSG_WAITFORONE, nullptr);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          continue;
+        }
+        if (stop.stop_requested()) break;
+        DAPPLE_LOG(kDebug, kLog) << "recvmmsg: " << std::strerror(errno);
+        continue;
+      }
+      Handler handler;
+      {
+        std::scoped_lock lock(mutex_);
+        if (closed_) break;
+        handler = handler_;
+      }
+      if (!handler) continue;
+      counters_->received.fetch_add(static_cast<std::uint64_t>(n),
+                                    std::memory_order_relaxed);
+      for (int i = 0; i < n; ++i) {
+        handler(fromSockaddr(froms[i]),
+                std::string_view(bufs[i].data(), msgs[i].msg_len));
+      }
+    }
+  }
+#else
   void run(std::stop_token stop) {
     std::vector<char> buf(kMaxDatagram);
     while (!stop.stop_requested()) {
@@ -158,10 +270,11 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
       if (handler) {
         counters_->received.fetch_add(1, std::memory_order_relaxed);
         handler(fromSockaddr(from),
-                std::string(buf.data(), static_cast<std::size_t>(n)));
+                std::string_view(buf.data(), static_cast<std::size_t>(n)));
       }
     }
   }
+#endif
 
   std::shared_ptr<Counters> counters_;
   int fd_ = -1;

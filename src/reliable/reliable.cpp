@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -36,27 +37,66 @@ struct StreamKeyHash {
   }
 };
 
-std::string encodeData(std::uint64_t streamId, std::uint64_t epoch,
-                       std::uint64_t seq, std::string_view payload) {
+/// One receive stream's acknowledgement: the receiver's nextExpected
+/// (cumulative) plus up to kMaxSack out-of-order sequence numbers.  ACK
+/// datagrams and DATA piggyback slots carry a *list* of blocks so a single
+/// datagram acknowledges every stream owed to that peer at once.
+struct AckBlock {
+  std::uint64_t streamId = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t cumAck = 0;
+  std::vector<std::uint64_t> sacks;
+};
+
+void writeAckBlocks(TextWriter& w, const std::vector<AckBlock>& blocks) {
+  w.beginList(blocks.size());
+  for (const AckBlock& b : blocks) {
+    w.writeU64(b.streamId);
+    w.writeU64(b.epoch);
+    w.writeU64(b.cumAck);
+    w.beginList(b.sacks.size());
+    for (std::uint64_t s : b.sacks) w.writeU64(s);
+  }
+}
+
+std::vector<AckBlock> readAckBlocks(TextReader& r) {
+  const std::size_t n = r.beginList();
+  std::vector<AckBlock> blocks;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AckBlock b;
+    b.streamId = r.readU64();
+    b.epoch = r.readU64();
+    b.cumAck = r.readU64();
+    const std::size_t k = r.beginList();
+    b.sacks.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) b.sacks.push_back(r.readU64());
+    blocks.push_back(std::move(b));
+  }
+  return blocks;
+}
+
+/// DATA frame header: every token up to and including the payload string's
+/// `s<len>:` prefix.  The payload bytes follow raw; they are gathered from
+/// the shared envelope only at transmit time (see Impl::assembleData).
+std::string encodeDataHead(std::uint64_t streamId, std::uint64_t epoch,
+                           std::uint64_t seq,
+                           const std::vector<AckBlock>& piggyback,
+                           std::size_t payloadLen) {
   TextWriter w;
   w.writeU64(kKindData);
   w.writeU64(streamId);
   w.writeU64(epoch);
   w.writeU64(seq);
-  w.writeString(payload);
+  writeAckBlocks(w, piggyback);
+  w.beginString(payloadLen);
   return std::move(w).str();
 }
 
-std::string encodeAck(std::uint64_t streamId, std::uint64_t epoch,
-                      std::uint64_t cumAck,
-                      const std::vector<std::uint64_t>& sacks) {
+std::string encodeAck(const std::vector<AckBlock>& blocks) {
   TextWriter w;
   w.writeU64(kKindAck);
-  w.writeU64(streamId);
-  w.writeU64(epoch);
-  w.writeU64(cumAck);
-  w.beginList(sacks.size());
-  for (std::uint64_t s : sacks) w.writeU64(s);
+  writeAckBlocks(w, blocks);
   return std::move(w).str();
 }
 
@@ -72,6 +112,7 @@ struct ReliableEndpoint::Impl {
       // Resolve once; recording below is wait-free.
       mDatagramsIn = &metrics->counter("net.datagrams_in");
       mDatagramsOut = &metrics->counter("net.datagrams_out");
+      mBatchSize = &metrics->histogram("net.batch_size");
       mAckLatencyUs = &metrics->histogram("reliable.ack_latency_us");
       mReorderDepth = &metrics->histogram("reliable.reorder_depth");
       trace = &metrics->trace();
@@ -85,6 +126,7 @@ struct ReliableEndpoint::Impl {
   // Optional instrumentation (null when no registry was supplied).
   obs::Counter* mDatagramsIn = nullptr;
   obs::Counter* mDatagramsOut = nullptr;
+  obs::Histogram* mBatchSize = nullptr;     ///< datagrams per sendBatch submit
   obs::Histogram* mAckLatencyUs = nullptr;  ///< send -> cumulative/selective ack
   obs::Histogram* mReorderDepth = nullptr;  ///< buffered frames per gap event
   obs::TraceRing* trace = nullptr;
@@ -108,12 +150,15 @@ struct ReliableEndpoint::Impl {
     bool failed = false;
     std::string failReason;
     struct Pending {
-      std::string frame;      // pre-encoded DATA frame
+      /// Per-destination head + refcounted shared body.  Retransmit state
+      /// holds a reference, not a frame copy; the wire bytes (frame header
+      /// + head + body) are assembled fresh at each transmission.
+      WireBuffer envelope;
       TimePoint firstSent;
       TimePoint nextResend;
       Duration backoff;
     };
-    std::map<std::uint64_t, Pending> pending;  // seq -> frame
+    std::map<std::uint64_t, Pending> pending;  // seq -> un-acked frame
   };
   std::unordered_map<StreamKey, SendStream, StreamKeyHash> sendStreams;
 
@@ -122,8 +167,17 @@ struct ReliableEndpoint::Impl {
     std::uint64_t epoch = 0;
     std::uint64_t nextExpected = 0;
     std::map<std::uint64_t, std::string> buffered;  // out-of-order frames
+    // ---- coalesced-ack state ------------------------------------------
+    bool ackPending = false;   ///< >=1 arrival not yet acknowledged
+    TimePoint pendingSince{};  ///< when ackPending last became true
+    std::uint32_t pendingFrames = 0;  ///< arrivals folded into pending ack
   };
   std::unordered_map<StreamKey, RecvStream, StreamKeyHash> recvStreams;
+
+  /// Peers owed an acknowledgement -> their pending stream keys.  Entries
+  /// can go stale (the flag cleared by a piggyback ride or an earlier
+  /// flush); collectAckBlocksLocked skips those.
+  std::unordered_map<NodeAddress, std::vector<StreamKey>> ackQueue;
 
   Stats stats;
   bool closed = false;
@@ -138,26 +192,64 @@ struct ReliableEndpoint::Impl {
     return false;
   }
 
-  void onDatagram(const NodeAddress& src, std::string payload) {
+  /// Gathers frame header + envelope (head + shared body) into the final
+  /// wire bytes — the single point on the transmit path where payload bytes
+  /// are copied.  Caller holds `mutex` (stats).
+  std::string assembleData(const std::string& frameHead,
+                           const WireBuffer& envelope) {
+    std::string out;
+    out.reserve(frameHead.size() + envelope.size());
+    out.append(frameHead);
+    envelope.appendTo(out);
+    ++stats.payloadCopies;
+    return out;
+  }
+
+  /// Emits and clears every pending ack block owed to `peer`.  Caller holds
+  /// `mutex` and is responsible for putting the blocks on the wire (either
+  /// a standalone ACK datagram or a DATA piggyback).
+  std::vector<AckBlock> collectAckBlocksLocked(const NodeAddress& peer) {
+    std::vector<AckBlock> blocks;
+    const auto it = ackQueue.find(peer);
+    if (it == ackQueue.end()) return blocks;
+    for (const StreamKey& key : it->second) {
+      const auto rit = recvStreams.find(key);
+      if (rit == recvStreams.end()) continue;
+      RecvStream& rs = rit->second;
+      if (!rs.ackPending) continue;  // stale queue entry
+      AckBlock b;
+      b.streamId = key.streamId;
+      b.epoch = rs.epoch;
+      b.cumAck = rs.nextExpected;
+      for (const auto& [bufSeq, unused] : rs.buffered) {
+        b.sacks.push_back(bufSeq);
+        if (b.sacks.size() >= kMaxSack) break;
+      }
+      ++stats.acksSent;
+      if (rs.pendingFrames > 1) stats.acksCoalesced += rs.pendingFrames - 1;
+      rs.ackPending = false;
+      rs.pendingFrames = 0;
+      blocks.push_back(std::move(b));
+    }
+    ackQueue.erase(it);
+    return blocks;
+  }
+
+  void onDatagram(const NodeAddress& src, std::string_view payload) {
     if (mDatagramsIn != nullptr) mDatagramsIn->inc();
     TextReader r(payload);
-    std::uint64_t kind = 0;
-    std::uint64_t streamId = 0;
     try {
-      kind = r.readU64();
-      streamId = r.readU64();
-      const std::uint64_t epoch = r.readU64();
+      const std::uint64_t kind = r.readU64();
       if (kind == kKindData) {
+        const std::uint64_t streamId = r.readU64();
+        const std::uint64_t epoch = r.readU64();
         const std::uint64_t seq = r.readU64();
-        std::string body = r.readString();
-        onData(src, streamId, epoch, seq, std::move(body));
+        const std::vector<AckBlock> piggyback = readAckBlocks(r);
+        const std::string_view body = r.readStringView();
+        if (!piggyback.empty()) onAckBlocks(src, piggyback);
+        onData(src, streamId, epoch, seq, body);
       } else if (kind == kKindAck) {
-        const std::uint64_t cumAck = r.readU64();
-        std::vector<std::uint64_t> sacks;
-        const std::size_t n = r.beginList();
-        sacks.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) sacks.push_back(r.readU64());
-        onAck(src, streamId, epoch, cumAck, sacks);
+        onAckBlocks(src, readAckBlocks(r));
       }
     } catch (const SerializationError& e) {
       DAPPLE_LOG(kDebug, kLog) << "malformed frame from " << src.toString()
@@ -166,14 +258,17 @@ struct ReliableEndpoint::Impl {
   }
 
   void onData(const NodeAddress& src, std::uint64_t streamId,
-              std::uint64_t epoch, std::uint64_t seq, std::string body) {
-    std::vector<std::pair<std::uint64_t, std::string>> deliverable;
-    std::string ackFrame;
+              std::uint64_t epoch, std::uint64_t seq, std::string_view body) {
+    bool deliverHead = false;
+    std::string_view headPayload;
+    std::vector<std::string> drained;
+    std::string ackDatagram;
     DeliverFn deliverFn;
     {
       std::scoped_lock lock(mutex);
       if (closed) return;
-      RecvStream& rs = recvStreams[StreamKey{src, streamId}];
+      const StreamKey key{src, streamId};
+      RecvStream& rs = recvStreams[key];
       if (epoch > rs.epoch) {
         // The sender reset the stream (e.g. after a healed partition):
         // abandon the old epoch's reassembly state and resynchronize.
@@ -184,82 +279,106 @@ struct ReliableEndpoint::Impl {
       }
       if (seq < rs.nextExpected || rs.buffered.count(seq) != 0) {
         ++stats.duplicates;
+        // A duplicate means our ack was lost or is still in flight.  The
+        // re-ack folds into the coalesced flush below instead of costing an
+        // immediate datagram — a burst of dups used to trigger one ack
+        // datagram each (an ack storm).
+        ++stats.dupAcksSuppressed;
       } else if (seq == rs.nextExpected) {
-        deliverable.emplace_back(seq, std::move(body));
+        // In order: delivered as a view into the transport's receive
+        // buffer, zero copies.
+        deliverHead = true;
+        headPayload = body;
         ++rs.nextExpected;
         // Drain any directly following buffered frames.
         auto it = rs.buffered.begin();
         while (it != rs.buffered.end() && it->first == rs.nextExpected) {
-          deliverable.emplace_back(it->first, std::move(it->second));
+          drained.push_back(std::move(it->second));
           it = rs.buffered.erase(it);
           ++rs.nextExpected;
         }
       } else {
-        rs.buffered.emplace(seq, std::move(body));
+        // Out of order: the one place the receive path pays an owned copy
+        // (the view dies with the datagram; the frame must outlive it).
+        rs.buffered.emplace(seq, std::string(body));
+        ++stats.payloadCopies;
         ++stats.outOfOrderBuffered;
         if (mReorderDepth != nullptr) mReorderDepth->record(rs.buffered.size());
       }
-      // Acknowledge: cumulative plus up to kMaxSack buffered sequence
-      // numbers so the sender can stop retransmitting them.
-      std::vector<std::uint64_t> sacks;
-      for (const auto& [bufSeq, unused] : rs.buffered) {
-        sacks.push_back(bufSeq);
-        if (sacks.size() >= kMaxSack) break;
+      if (!rs.ackPending) {
+        rs.ackPending = true;
+        rs.pendingSince = clk->now();
+        ackQueue[src].push_back(key);
       }
-      ackFrame = encodeAck(streamId, rs.epoch, rs.nextExpected, sacks);
-      ++stats.acksSent;
-      stats.delivered += deliverable.size();
+      ++rs.pendingFrames;
+      // Flush once ackEvery arrivals have coalesced; otherwise the timer
+      // flushes after ackDelay, or the next outgoing DATA frame to this
+      // peer piggybacks the blocks for free.  Deferral is safe for SACK
+      // promptness because the sender is timer-driven: ackDelay +
+      // tickInterval is well under the rto in every configuration, so the
+      // sender always hears about buffered frames before it retransmits.
+      if (rs.pendingFrames >= cfg.ackEvery) {
+        const std::vector<AckBlock> blocks = collectAckBlocksLocked(src);
+        if (!blocks.empty()) {
+          ackDatagram = encodeAck(blocks);
+          ++stats.ackFramesSent;
+        }
+      }
+      stats.delivered += (deliverHead ? 1 : 0) + drained.size();
       deliverFn = deliver;
     }
-    raw->send(src, std::move(ackFrame));
-    if (mDatagramsOut != nullptr) mDatagramsOut->inc();
+    if (!ackDatagram.empty()) {
+      raw->send(src, std::move(ackDatagram));
+      if (mDatagramsOut != nullptr) mDatagramsOut->inc();
+    }
     if (deliverFn) {
-      for (auto& [seq2, payload2] : deliverable) {
-        deliverFn(src, streamId, std::move(payload2));
-      }
+      if (deliverHead) deliverFn(src, streamId, headPayload);
+      for (const std::string& p : drained) deliverFn(src, streamId, p);
     }
   }
 
-  void onAck(const NodeAddress& src, std::uint64_t streamId,
-             std::uint64_t epoch, std::uint64_t cumAck,
-             const std::vector<std::uint64_t>& sacks) {
+  void onAckBlocks(const NodeAddress& src,
+                   const std::vector<AckBlock>& blocks) {
     std::scoped_lock lock(mutex);
-    const auto it = sendStreams.find(StreamKey{src, streamId});
-    if (it == sendStreams.end()) return;
-    SendStream& ss = it->second;
-    if (epoch != ss.epoch) return;  // ack for a previous epoch
-    // cumAck = receiver's nextExpected: everything below is delivered.
+    bool ackedAny = false;
     const TimePoint now = clk->now();
-    const auto ackedEnd = ss.pending.lower_bound(cumAck);
-    if (mAckLatencyUs != nullptr) {
-      // The newly acknowledged frames' send->ack round trips.  Walks only
-      // entries being erased, so the cost scales with acked frames.
-      for (auto it2 = ss.pending.begin(); it2 != ackedEnd; ++it2) {
-        mAckLatencyUs->record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                now - it2->second.firstSent)
-                .count()));
-      }
-    }
-    ss.pending.erase(ss.pending.begin(), ackedEnd);
-    for (std::uint64_t sack : sacks) {
-      const auto it2 = ss.pending.find(sack);
-      if (it2 == ss.pending.end()) continue;
+    for (const AckBlock& b : blocks) {
+      const auto it = sendStreams.find(StreamKey{src, b.streamId});
+      if (it == sendStreams.end()) continue;
+      SendStream& ss = it->second;
+      if (b.epoch != ss.epoch) continue;  // ack for a previous epoch
+      // cumAck = receiver's nextExpected: everything below is delivered.
+      const auto ackedEnd = ss.pending.lower_bound(b.cumAck);
       if (mAckLatencyUs != nullptr) {
-        mAckLatencyUs->record(static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                now - it2->second.firstSent)
-                .count()));
+        // The newly acknowledged frames' send->ack round trips.  Walks only
+        // entries being erased, so the cost scales with acked frames.
+        for (auto it2 = ss.pending.begin(); it2 != ackedEnd; ++it2) {
+          mAckLatencyUs->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - it2->second.firstSent)
+                  .count()));
+        }
       }
-      ss.pending.erase(it2);
+      ss.pending.erase(ss.pending.begin(), ackedEnd);
+      for (std::uint64_t sack : b.sacks) {
+        const auto it2 = ss.pending.find(sack);
+        if (it2 == ss.pending.end()) continue;
+        if (mAckLatencyUs != nullptr) {
+          mAckLatencyUs->record(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  now - it2->second.firstSent)
+                  .count()));
+        }
+        ss.pending.erase(it2);
+      }
+      ackedAny = true;
     }
-    if (!anyPendingLocked()) clk->notifyAll(flushed);
+    if (ackedAny && !anyPendingLocked()) clk->notifyAll(flushed);
   }
 
   void tick() {
-    std::vector<std::string> resend;
+    std::vector<Datagram> batch;
     std::vector<std::tuple<NodeAddress, std::uint64_t, std::string>> failures;
-    std::vector<NodeAddress> resendDst;
     FailFn failFn;
     {
       std::scoped_lock lock(mutex);
@@ -281,8 +400,15 @@ struct ReliableEndpoint::Impl {
           if (now >= pending.nextResend) {
             pending.backoff = std::min(pending.backoff * 2, cfg.maxRto);
             pending.nextResend = now + pending.backoff;
-            resend.push_back(pending.frame);
-            resendDst.push_back(key.peer);
+            const std::vector<AckBlock> piggyback =
+                cfg.ackPiggyback ? collectAckBlocksLocked(key.peer)
+                                 : std::vector<AckBlock>{};
+            batch.push_back(Datagram{
+                key.peer,
+                assembleData(
+                    encodeDataHead(key.streamId, ss.epoch, seq, piggyback,
+                                   pending.envelope.size()),
+                    pending.envelope)});
             ++stats.retransmits;
           }
         }
@@ -290,14 +416,34 @@ struct ReliableEndpoint::Impl {
           ss.pending.clear();
         }
       }
+      // Deferred-ack flush: every peer holding a block older than ackDelay
+      // gets ONE datagram carrying all of its pending blocks.
+      std::vector<NodeAddress> duePeers;
+      for (const auto& [peer, keys] : ackQueue) {
+        for (const StreamKey& key : keys) {
+          const auto rit = recvStreams.find(key);
+          if (rit == recvStreams.end()) continue;
+          const RecvStream& rs = rit->second;
+          if (rs.ackPending && now - rs.pendingSince >= cfg.ackDelay) {
+            duePeers.push_back(peer);
+            break;
+          }
+        }
+      }
+      for (const NodeAddress& peer : duePeers) {
+        const std::vector<AckBlock> blocks = collectAckBlocksLocked(peer);
+        if (blocks.empty()) continue;
+        batch.push_back(Datagram{peer, encodeAck(blocks)});
+        ++stats.ackFramesSent;
+      }
       if (!failures.empty() && !anyPendingLocked()) clk->notifyAll(flushed);
       failFn = onFailure;
     }
-    for (std::size_t i = 0; i < resend.size(); ++i) {
-      raw->send(resendDst[i], resend[i]);
-    }
-    if (mDatagramsOut != nullptr && !resend.empty()) {
-      mDatagramsOut->inc(resend.size());
+    if (!batch.empty()) {
+      if (mBatchSize != nullptr) mBatchSize->record(batch.size());
+      const std::size_t n = batch.size();
+      raw->sendBatch(std::move(batch));
+      if (mDatagramsOut != nullptr) mDatagramsOut->inc(n);
     }
     for (const auto& [dst, streamId, reason] : failures) {
       DAPPLE_LOG(kDebug, kLog) << "stream failed: " << reason;
@@ -332,8 +478,8 @@ ReliableEndpoint::ReliableEndpoint(std::shared_ptr<Endpoint> raw,
                                    ClockSource* clock)
     : impl_(std::make_unique<Impl>(std::move(raw), config, metrics, clock)) {
   impl_->raw->setHandler(
-      [impl = impl_.get()](const NodeAddress& src, std::string payload) {
-        impl->onDatagram(src, std::move(payload));
+      [impl = impl_.get()](const NodeAddress& src, std::string_view payload) {
+        impl->onDatagram(src, payload);
       });
   // Announce before spawn: a virtual clock advancing in the window before
   // the timer thread registers could leap past the delivery timeout and
@@ -360,33 +506,62 @@ void ReliableEndpoint::setOnFailure(FailFn fn) {
 std::uint64_t ReliableEndpoint::send(const NodeAddress& dst,
                                      std::uint64_t streamId,
                                      std::string payload) {
-  std::string frame;
-  std::uint64_t seq = 0;
+  std::vector<OutSend> one;
+  one.push_back(OutSend{dst, std::move(payload)});
+  return sendMany(std::move(one), streamId, Payload())[0];
+}
+
+std::vector<std::uint64_t> ReliableEndpoint::sendMany(
+    std::vector<OutSend> sends, std::uint64_t streamId, Payload body) {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(sends.size());
+  std::vector<Datagram> batch;
+  batch.reserve(sends.size());
   {
     std::scoped_lock lock(impl_->mutex);
     if (impl_->closed) throw ShutdownError("reliable endpoint closed");
-    Impl::SendStream& ss =
-        impl_->sendStreams[StreamKey{dst, streamId}];
-    if (ss.failed) {
-      throw DeliveryError(ss.failReason.empty() ? "stream failed"
-                                                : ss.failReason);
+    // All-or-nothing admission: probe every target stream before queueing
+    // anything so a failed stream cannot leave a partial fan-out behind.
+    for (const OutSend& s : sends) {
+      const auto it = impl_->sendStreams.find(StreamKey{s.dst, streamId});
+      if (it != impl_->sendStreams.end() && it->second.failed) {
+        throw DeliveryError(it->second.failReason.empty()
+                                ? "stream failed"
+                                : it->second.failReason);
+      }
     }
-    seq = ss.nextSeq++;
-    frame = encodeData(streamId, ss.epoch, seq, payload);
-    Impl::SendStream::Pending pending;
-    pending.frame = frame;
-    pending.firstSent = impl_->clk->now();
-    pending.backoff = impl_->cfg.rto;
-    pending.nextResend = pending.firstSent + pending.backoff;
-    ss.pending.emplace(seq, std::move(pending));
-    ++impl_->stats.dataSent;
+    const TimePoint now = impl_->clk->now();
+    for (OutSend& s : sends) {
+      Impl::SendStream& ss = impl_->sendStreams[StreamKey{s.dst, streamId}];
+      const std::uint64_t seq = ss.nextSeq++;
+      Impl::SendStream::Pending pending;
+      pending.envelope = WireBuffer(std::move(s.head), body);
+      pending.firstSent = now;
+      pending.backoff = impl_->cfg.rto;
+      pending.nextResend = now + pending.backoff;
+      const std::vector<AckBlock> piggyback =
+          impl_->cfg.ackPiggyback ? impl_->collectAckBlocksLocked(s.dst)
+                                  : std::vector<AckBlock>{};
+      batch.push_back(Datagram{
+          s.dst, impl_->assembleData(
+                     encodeDataHead(streamId, ss.epoch, seq, piggyback,
+                                    pending.envelope.size()),
+                     pending.envelope)});
+      ss.pending.emplace(seq, std::move(pending));
+      ++impl_->stats.dataSent;
+      seqs.push_back(seq);
+    }
   }
   // Transmit outside the lock: the raw endpoint has its own locking and a
   // delivery thread that re-enters this class, so holding our mutex across
-  // raw->send would invert the lock order.
-  impl_->raw->send(dst, std::move(frame));
-  if (impl_->mDatagramsOut != nullptr) impl_->mDatagramsOut->inc();
-  return seq;
+  // the submit would invert the lock order.
+  if (!batch.empty()) {
+    if (impl_->mBatchSize != nullptr) impl_->mBatchSize->record(batch.size());
+    const std::size_t n = batch.size();
+    impl_->raw->sendBatch(std::move(batch));
+    if (impl_->mDatagramsOut != nullptr) impl_->mDatagramsOut->inc(n);
+  }
+  return seqs;
 }
 
 bool ReliableEndpoint::flush(Duration timeout) {

@@ -48,6 +48,15 @@ void TextWriter::writeString(std::string_view v) {
   out_.append(v);
 }
 
+void TextWriter::beginString(std::size_t len) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, len);
+  out_.push_back('s');
+  out_.append(buf, ptr);
+  out_.push_back(':');
+}
+
 void TextWriter::writeNull() {
   sep();
   out_.push_back('n');
@@ -129,13 +138,15 @@ bool TextReader::readBool() {
   fail("bad bool value");
 }
 
-std::string TextReader::readString() {
+std::string TextReader::readString() { return std::string(readStringView()); }
+
+std::string_view TextReader::readStringView() {
   if (take() != 's') fail("expected string token");
   const auto len = parseNumber<std::size_t>(wire_, pos_, *this, "string len");
   if (pos_ >= wire_.size() || wire_[pos_] != ':') fail("expected ':'");
   ++pos_;
   if (wire_.size() - pos_ < len) fail("truncated string payload");
-  std::string out(wire_.substr(pos_, len));
+  std::string_view out = wire_.substr(pos_, len);
   pos_ += len;
   return out;
 }

@@ -162,6 +162,12 @@ ScenarioResult runScenario(std::uint64_t seed,
   cfg.reliable.rto = milliseconds(15);
   cfg.reliable.maxRto = milliseconds(120);
   cfg.reliable.deliveryTimeout = seconds(10);
+  // Piggybacked ack blocks splice ack state into DATA frame bytes, which
+  // would make the content-hashed link faults depend on ack timing (a
+  // schedule artifact).  Standalone coalesced acks keep DATA bytes — and so
+  // the fault pattern and digest — schedule-independent; the coalescing
+  // machinery itself (ackEvery/ackDelay defaults) stays fully exercised.
+  cfg.reliable.ackPiggyback = false;
   cfg.liveness.heartbeatInterval = milliseconds(25);
   cfg.liveness.suspectTimeout = milliseconds(300);
   if (options.canaryDisableRetransmit) {
@@ -481,6 +487,26 @@ ScenarioResult runScenario(std::uint64_t seed,
       }
       digest.addf("ch fz", i, "->fz", j, " got=", got,
                   " pay=", paySum[i]);
+    }
+  }
+
+  mark("ack-discipline");
+  // ---- ack economy oracle ------------------------------------------------
+  // Delayed/coalesced acks must never stall delivery (the drain above already
+  // proved completeness within the delivery timeout); here we check the
+  // bookkeeping side: every ack block emission is justified by at least one
+  // frame arrival, so coalescing can only ever *reduce* ack traffic.
+  for (std::size_t i = 0; i < shape.n; ++i) {
+    if (dead.count(i) != 0) continue;
+    const ReliableEndpoint::Stats rs = dapplets[i]->transport().stats();
+    if (rs.acksSent > rs.delivered + rs.duplicates + rs.outOfOrderBuffered) {
+      oracles.fail("acks: fz", i, " emitted ", rs.acksSent,
+                   " ack blocks for only ", rs.delivered, "+", rs.duplicates,
+                   "+", rs.outOfOrderBuffered, " frame arrivals");
+    }
+    if (rs.dupAcksSuppressed != rs.duplicates) {
+      oracles.fail("acks: fz", i, " suppressed ", rs.dupAcksSuppressed,
+                   " dup re-acks but saw ", rs.duplicates, " duplicates");
     }
   }
 

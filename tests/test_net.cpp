@@ -58,9 +58,9 @@ struct Sink {
   std::vector<std::string> got;
 
   Endpoint::Handler handler() {
-    return [this](const NodeAddress&, std::string payload) {
+    return [this](const NodeAddress&, std::string_view payload) {
       std::scoped_lock lock(mutex);
-      got.push_back(std::move(payload));
+      got.emplace_back(payload);  // the view dies with the callback
       cv.notify_all();
     };
   }

@@ -1,5 +1,6 @@
 // Tests for the reliable ordering layer: FIFO delivery under loss, jitter
-// and duplication; delivery-timeout exceptions; flushing; stream isolation.
+// and duplication; delivery-timeout exceptions; flushing; stream isolation;
+// ack coalescing (delay/threshold flushes, dup-ack suppression).
 #include <gtest/gtest.h>
 
 #include <condition_variable>
@@ -9,6 +10,7 @@
 
 #include "dapple/net/sim.hpp"
 #include "dapple/reliable/reliable.hpp"
+#include "dapple/testkit/virtual_clock.hpp"
 #include "dapple/util/error.hpp"
 
 namespace dapple {
@@ -22,9 +24,9 @@ struct OrderedSink {
 
   ReliableEndpoint::DeliverFn fn() {
     return [this](const NodeAddress&, std::uint64_t streamId,
-                  std::string payload) {
+                  std::string_view payload) {
       std::scoped_lock lock(mutex);
-      streams[streamId].push_back(std::move(payload));
+      streams[streamId].emplace_back(payload);  // view dies with the call
       cv.notify_all();
     };
   }
@@ -201,6 +203,197 @@ TEST(Reliable, LargePayloadSurvives) {
   a.send(b.address(), 1, big);
   ASSERT_TRUE(sink.waitFor(1, 1, seconds(10)));
   EXPECT_EQ(sink.get(1)[0], big);
+}
+
+// ---------------------------------------------------------------------------
+// Ack coalescing (virtual clock: flush scheduling is deterministic-time)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Two reliable endpoints over a virtual-time SimNetwork.
+struct VirtualPair {
+  testkit::VirtualClock clock;
+  SimNetwork net;
+  ReliableEndpoint a;
+  ReliableEndpoint b;
+
+  explicit VirtualPair(std::uint64_t seed, ReliableConfig cfg,
+                       LinkParams link = LinkParams{microseconds(50),
+                                                    microseconds(0), 0.0,
+                                                    0.0})
+      : net(seed,
+            [this] {
+              SimNetwork::Options o;
+              o.clock = &clock;
+              return o;
+            }()),
+        a((net.setDefaultLink(link), net.open()), cfg, nullptr, &clock),
+        b(net.open(), cfg, nullptr, &clock) {}
+
+  ~VirtualPair() {
+    // Endpoints must close before the clock dies (member order handles the
+    // network; close explicitly so timers stop first).
+    a.close();
+    b.close();
+  }
+};
+}  // namespace
+
+TEST(ReliableAcks, CoalescingCutsAckDatagramsOnBurst) {
+  ReliableConfig cfg = fastConfig();
+  cfg.ackPiggyback = false;  // isolate the threshold/delay machinery
+  VirtualPair pair(41, cfg);
+  OrderedSink sink;
+  pair.b.setDeliver(sink.fn());
+  // One sendMany burst: every frame shares the refcounted body and all of
+  // them land in a single simulator sweep, so the flush pattern is purely
+  // the threshold's (no timer interleaving to make counts flaky).
+  constexpr int kCount = 64;
+  const Payload body(std::string(512, 'z'));
+  std::vector<OutSend> sends;
+  for (int i = 0; i < kCount; ++i) {
+    sends.push_back(OutSend{pair.b.address(), std::to_string(i) + ":"});
+  }
+  pair.a.sendMany(std::move(sends), 1, body);
+  ASSERT_TRUE(sink.waitFor(1, kCount, seconds(10)));
+  ASSERT_TRUE(pair.a.flush(seconds(5)));
+  EXPECT_EQ(body.refCount(), 1);  // acked: all references released
+  const auto got = sink.get(1);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(got[i], std::to_string(i) + ":" + std::string(512, 'z'));
+  }
+  const auto stats = pair.b.stats();
+  EXPECT_EQ(stats.delivered, static_cast<std::uint64_t>(kCount));
+  // One ack datagram per ackEvery-sized chunk of the burst (plus at most a
+  // couple of timer flushes at the tail), instead of one per frame.
+  EXPECT_LT(stats.ackFramesSent, static_cast<std::uint64_t>(kCount) / 3);
+  EXPECT_GT(stats.acksCoalesced, 0u);
+  // Every ack block emission is justified by at least one frame arrival.
+  EXPECT_LE(stats.acksSent,
+            stats.delivered + stats.duplicates + stats.outOfOrderBuffered);
+  // Zero-copy invariant: payload materializations track wire transmissions
+  // (first sends + retransmits), not fan-out or queue depth.
+  EXPECT_EQ(pair.a.stats().payloadCopies,
+            pair.a.stats().dataSent + pair.a.stats().retransmits);
+}
+
+TEST(ReliableAcks, DelayedAcksNeverStallDeliveryOrFailStreams) {
+  // Pathological config: the threshold never fires, so every ack waits for
+  // the ackDelay timer.  Delivery must stay prompt and no stream may fail.
+  ReliableConfig cfg = fastConfig();
+  cfg.ackEvery = 100000;          // never threshold-flush
+  cfg.ackDelay = milliseconds(5); // timer-only acks
+  cfg.ackPiggyback = false;
+  cfg.deliveryTimeout = seconds(2);
+  VirtualPair pair(42, cfg);
+  OrderedSink sink;
+  pair.b.setDeliver(sink.fn());
+  for (int i = 0; i < 10; ++i) {
+    pair.a.send(pair.b.address(), 1, std::to_string(i));
+  }
+  ASSERT_TRUE(sink.waitFor(1, 10, seconds(10)));
+  // Acks arrive within ackDelay + tickInterval — far inside deliveryTimeout
+  // — so the sender drains and no failure fires.
+  EXPECT_TRUE(pair.a.flush(seconds(5)));
+  EXPECT_EQ(pair.a.stats().failures, 0u);
+  const auto got = sink.get(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(got[i], std::to_string(i));
+}
+
+TEST(ReliableAcks, SackSemanticsSurviveLossReorderAndDuplication) {
+  ReliableConfig cfg = fastConfig();
+  cfg.deliveryTimeout = seconds(10);
+  VirtualPair pair(43, cfg,
+                   LinkParams{microseconds(50), microseconds(2000), 0.10,
+                              0.20});
+  OrderedSink sink;
+  pair.b.setDeliver(sink.fn());
+  // Burst in one sendMany so every frame is in flight at once: the 2ms
+  // jitter then guarantees reordering regardless of scheduling.
+  constexpr int kCount = 150;
+  std::vector<OutSend> sends;
+  for (int i = 0; i < kCount; ++i) {
+    sends.push_back(OutSend{pair.b.address(), std::to_string(i)});
+  }
+  pair.a.sendMany(std::move(sends), 1, Payload());
+  ASSERT_TRUE(sink.waitFor(1, kCount, seconds(30)));
+  const auto got = sink.get(1);
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(got[i], std::to_string(i)) << "order violated at " << i;
+  }
+  EXPECT_TRUE(pair.a.flush(seconds(10)));
+  const auto stats = pair.b.stats();
+  // SACKed out-of-order frames were buffered, not retransmitted forever.
+  EXPECT_GT(stats.outOfOrderBuffered, 0u);
+  EXPECT_LE(stats.acksSent,
+            stats.delivered + stats.duplicates + stats.outOfOrderBuffered);
+}
+
+TEST(ReliableAcks, DuplicateFramesDoNotTriggerAckStorm) {
+  // Every datagram is duplicated by the link.  The legacy design answered
+  // each dup with an immediate ack datagram; now dups fold into the
+  // coalesced flush and are counted.
+  ReliableConfig cfg = fastConfig();
+  cfg.ackPiggyback = false;
+  VirtualPair pair(44, cfg,
+                   LinkParams{microseconds(50), microseconds(0), 0.0, 1.0});
+  OrderedSink sink;
+  pair.b.setDeliver(sink.fn());
+  // One burst, so originals and duplicates all arrive in one sweep and the
+  // ack count reflects the threshold, not timer interleavings.
+  constexpr int kCount = 40;
+  std::vector<OutSend> sends;
+  for (int i = 0; i < kCount; ++i) {
+    sends.push_back(OutSend{pair.b.address(), std::to_string(i)});
+  }
+  pair.a.sendMany(std::move(sends), 1, Payload());
+  ASSERT_TRUE(sink.waitFor(1, kCount, seconds(10)));
+  ASSERT_TRUE(pair.a.flush(seconds(5)));
+  const auto stats = pair.b.stats();
+  EXPECT_EQ(stats.delivered, static_cast<std::uint64_t>(kCount));
+  EXPECT_GT(stats.duplicates, 0u);
+  // The ack-storm fix: every dup's re-ack was deferred, and the total ack
+  // datagram count stays below the frame arrival count by a wide margin.
+  EXPECT_EQ(stats.dupAcksSuppressed, stats.duplicates);
+  EXPECT_LT(stats.ackFramesSent, static_cast<std::uint64_t>(kCount));
+}
+
+TEST(ReliableAcks, PiggybackedAcksRideReverseTraffic) {
+  // Bidirectional chatter: with piggybacking on, ack blocks should ride the
+  // reverse DATA frames, keeping standalone ack datagrams rare.  The ack
+  // delay is set far beyond the test's active phase so the timer cannot
+  // flush first — piggybacking is the only timely ack path (correctness
+  // does not depend on it: the 500ms timer still backstops the tail).
+  ReliableConfig cfg = fastConfig();
+  cfg.ackPiggyback = true;
+  cfg.ackDelay = milliseconds(500);
+  cfg.deliveryTimeout = seconds(30);
+  VirtualPair pair(45, cfg);
+  OrderedSink sinkA;
+  OrderedSink sinkB;
+  pair.a.setDeliver(sinkA.fn());
+  pair.b.setDeliver(sinkB.fn());
+  constexpr int kRounds = 40;
+  for (int i = 0; i < kRounds; ++i) {
+    pair.a.send(pair.b.address(), 1, "ping-" + std::to_string(i));
+    ASSERT_TRUE(sinkB.waitFor(1, static_cast<std::size_t>(i) + 1,
+                              seconds(5)));
+    pair.b.send(pair.a.address(), 2, "pong-" + std::to_string(i));
+    ASSERT_TRUE(sinkA.waitFor(2, static_cast<std::size_t>(i) + 1,
+                              seconds(5)));
+  }
+  EXPECT_TRUE(pair.a.flush(seconds(5)));
+  EXPECT_TRUE(pair.b.flush(seconds(5)));
+  // Every ping was acknowledged (the senders drained), yet almost every ack
+  // rode a reverse DATA frame: standalone ack datagrams stay far below the
+  // 2*kRounds the ack-per-frame design would have emitted.
+  const auto statsA = pair.a.stats();
+  const auto statsB = pair.b.stats();
+  EXPECT_GT(statsA.acksSent, 0u);
+  EXPECT_GT(statsB.acksSent, 0u);
+  EXPECT_LT(statsA.ackFramesSent + statsB.ackFramesSent,
+            static_cast<std::uint64_t>(kRounds));
 }
 
 TEST(Reliable, DuplicatesOnCleanRetransmitPathAreDropped) {

@@ -112,6 +112,46 @@ TEST(Wire, MalformedInputsThrow) {
   EXPECT_THROW(TextReader("q9").readU64(), SerializationError);
 }
 
+TEST(Wire, ReadStringViewAliasesWireBuffer) {
+  TextWriter w;
+  w.writeString("payload-bytes");
+  const std::string wire = std::move(w).str();
+  TextReader r(wire);
+  const std::string_view view = r.readStringView();
+  EXPECT_EQ(view, "payload-bytes");
+  // Zero-copy: the view points into the wire buffer itself.
+  EXPECT_GE(view.data(), wire.data());
+  EXPECT_LE(view.data() + view.size(), wire.data() + wire.size());
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Wire, ReadStringViewChecksLikeReadString) {
+  EXPECT_THROW(TextReader("s10:short").readStringView(), SerializationError);
+  EXPECT_THROW(TextReader("i3").readStringView(), SerializationError);
+  EXPECT_EQ(TextReader("s0:").readStringView(), "");
+}
+
+TEST(Wire, BeginStringMatchesOutOfBandPayload) {
+  // beginString writes only the s<len>: header; appending exactly len raw
+  // bytes afterwards must yield the same wire text as writeString.
+  const std::string body = "shared body \x01\x02 bytes";
+  TextWriter header;
+  header.writeU64(7);
+  header.beginString(body.size());
+  std::string assembled = std::move(header).str();
+  assembled += body;  // the scatter/gather step
+
+  TextWriter direct;
+  direct.writeU64(7);
+  direct.writeString(body);
+  EXPECT_EQ(assembled, direct.str());
+
+  TextReader r(assembled);
+  EXPECT_EQ(r.readU64(), 7u);
+  EXPECT_EQ(r.readStringView(), body);
+  EXPECT_TRUE(r.atEnd());
+}
+
 TEST(Wire, PeekDoesNotConsume) {
   TextWriter w;
   w.writeI64(1);
