@@ -34,23 +34,48 @@
 namespace dapple {
 
 /// Tuning knobs for the ordering layer.
+///
+/// The sender is adaptive (DESIGN.md §11): the retransmission timeout is
+/// estimated per peer (Jacobson SRTT/RTTVAR, Karn's rule) and each stream
+/// runs a slow-start + AIMD congestion window.  The *fixed-RTO, unwindowed*
+/// behaviour of the original layer is still expressible through this struct
+/// — pin `minRto == rto == maxRto` and raise `initialCwnd`/`maxCwnd` past
+/// the offered load — which is exactly how `bench_transport` reproduces the
+/// old sender as its baseline.
 struct ReliableConfig {
   /// Timer granularity for the retransmission scan.
   Duration tickInterval = milliseconds(5);
-  /// A frame unacknowledged for this long is retransmitted.
+  /// Initial retransmission timeout, used for a peer until the first RTT
+  /// sample lands.  After that the RTO is srtt + 4*rttvar, clamped to
+  /// [minRto, maxRto].
   Duration rto = milliseconds(40);
-  /// A frame unacknowledged for this long fails the stream ("the specified
-  /// time" of the paper's delivery exception).
+  /// A frame unacknowledged for this long after admission fails the stream
+  /// ("the specified time" of the paper's delivery exception).  Frames
+  /// still queued behind the congestion window count too: admission starts
+  /// the delivery clock, not the first wire transmission.
   Duration deliveryTimeout = seconds(5);
-  /// Exponential RTO backoff cap (rto, 2*rto, ... up to this).
+  /// RTO floor.  Must stay comfortably above the receiver's worst-case ack
+  /// deferral (ackDelay + tickInterval) or delayed acks masquerade as
+  /// losses; `normalized()` enforces that.
+  Duration minRto = milliseconds(15);
+  /// Exponential per-frame backoff cap (RTO, 2*RTO, ... up to this).
   Duration maxRto = milliseconds(500);
+  /// Congestion window at stream creation and after resetStream, in frames.
+  std::uint32_t initialCwnd = 4;
+  /// Congestion window ceiling, in frames.
+  std::uint32_t maxCwnd = 256;
+  /// Duplicate-SACK evidence threshold for fast retransmit: a pending frame
+  /// that stays unacked while this many later ack blocks cover higher
+  /// sequence numbers is retransmitted immediately instead of waiting out
+  /// its timer.  Set very high (e.g. UINT32_MAX) to disable.
+  std::uint32_t fastRetransmitDups = 3;
   /// Acks are coalesced: one cumulative+SACK block per receive stream is
   /// emitted after this many frame arrivals fold into it.
   std::uint32_t ackEvery = 8;
   /// A pending ack older than this is flushed by the next timer tick, so
-  /// the worst-case ack delay is ackDelay + tickInterval.  Keep that sum
-  /// under `rto`: the sender is timer-driven (no fast retransmit), so a
-  /// deferred SACK still reaches it before the retransmission fires.
+  /// the worst-case ack delay is ackDelay + tickInterval.  `normalized()`
+  /// keeps that sum under half the (initial and minimum) rto so a deferred
+  /// SACK still reaches the sender before its retransmission fires.
   Duration ackDelay = milliseconds(2);
   /// When true, pending ack blocks ride inside outgoing DATA frames to the
   /// same peer instead of costing their own datagram.  Off makes every
@@ -58,6 +83,14 @@ struct ReliableConfig {
   /// under content-hashed link randomness — the scenario fuzzer disables
   /// piggybacking for exactly that reason).
   bool ackPiggyback = true;
+
+  /// Returns a copy with inconsistent knob combinations clamped to safe
+  /// values.  Each adjustment appends one human-readable line to `notes`
+  /// (when given); `ReliableEndpoint` runs this at construction and emits
+  /// every note as a `reliable`/`config.clamp` trace event, so a
+  /// misconfiguration that used to cause silent spurious-retransmit storms
+  /// now shows up in the trace ring instead.
+  ReliableConfig normalized(std::vector<std::string>* notes = nullptr) const;
 };
 
 /// One destination of a fan-out send: the target node plus the
@@ -127,8 +160,26 @@ class ReliableEndpoint {
   std::vector<std::uint64_t> sendMany(std::vector<OutSend> sends,
                                       std::uint64_t streamId, Payload body);
 
-  /// Blocks until every queued frame on every stream has been acknowledged,
-  /// or `timeout` elapses.  Returns true when fully flushed.
+  /// Outcome of a `flushEx` wait.
+  enum class FlushOutcome {
+    kFlushed,   ///< every queued frame on every stream was acknowledged
+    kFailed,    ///< nothing left in flight, but >=1 stream failed (its
+                ///< pending frames were discarded, not delivered)
+    kTimedOut,  ///< frames still unacknowledged when `timeout` elapsed
+  };
+
+  /// Blocks until no frame is left in flight or queued on any stream, or
+  /// `timeout` elapses.  Distinguishes "drained because everything was
+  /// acknowledged" (kFlushed) from "drained because a stream failed and
+  /// dropped its frames" (kFailed — sticky until `resetStream` clears the
+  /// failed streams).
+  FlushOutcome flushEx(Duration timeout);
+
+  /// Blocks until every queued frame on every stream has been acknowledged
+  /// or discarded by a stream failure, or `timeout` elapses.  Returns true
+  /// when nothing is left in flight.  NOTE: a failed stream counts as
+  /// drained — its frames were dropped, not delivered — so `true` does NOT
+  /// certify delivery; use `flushEx` to tell the two apart.
   bool flush(Duration timeout);
 
   /// Clears the failed flag and pending frames of a stream so it can be
@@ -140,7 +191,21 @@ class ReliableEndpoint {
 
   struct Stats {
     std::uint64_t dataSent = 0;        ///< first transmissions
-    std::uint64_t retransmits = 0;     ///< timer-driven resends
+    std::uint64_t retransmits = 0;     ///< resends (timer-driven + fast)
+    /// Resends triggered by duplicate-SACK evidence before the timer fired.
+    std::uint64_t fastRetransmits = 0;
+    /// RTT samples folded into a peer's SRTT/RTTVAR estimate (Karn's rule:
+    /// retransmitted frames never sample).
+    std::uint64_t rttSamples = 0;
+    /// Frames admitted but parked behind the congestion window instead of
+    /// transmitted immediately.
+    std::uint64_t windowDeferred = 0;
+    /// Payload bytes of first transmissions / of resends / handed to the
+    /// DeliverFn.  retransmitBytes / dataBytes is the retransmit-efficiency
+    /// ratio the fuzz oracle and bench_transport bound.
+    std::uint64_t dataBytes = 0;
+    std::uint64_t retransmitBytes = 0;
+    std::uint64_t deliveredBytes = 0;
     std::uint64_t delivered = 0;       ///< payloads handed to DeliverFn
     std::uint64_t duplicates = 0;      ///< received frames dropped as dups
     /// Ack block emissions — one per receive stream per flush, whether the
@@ -165,6 +230,26 @@ class ReliableEndpoint {
     std::uint64_t failures = 0;        ///< streams declared failed
   };
   Stats stats() const;
+
+  /// Point-in-time view of one peer's RTT estimator (tests/debugging).
+  struct PeerProbe {
+    bool hasRtt = false;  ///< at least one clean (Karn-valid) sample landed
+    Duration srtt{};
+    Duration rttvar{};
+    Duration rto{};  ///< current effective RTO (initial rto until hasRtt)
+  };
+  PeerProbe probePeer(const NodeAddress& peer) const;
+
+  /// Point-in-time view of one send stream's window (tests/debugging).
+  struct StreamProbe {
+    bool exists = false;
+    bool failed = false;
+    double cwnd = 0;          ///< congestion window, frames
+    std::uint64_t ssthresh = 0;
+    std::size_t inFlight = 0;  ///< transmitted, unacked
+    std::size_t queued = 0;    ///< admitted, waiting for window space
+  };
+  StreamProbe probeStream(const NodeAddress& dst, std::uint64_t streamId) const;
 
  private:
   struct Impl;

@@ -250,6 +250,12 @@ obs::MetricsSnapshot Dapplet::metrics() const {
   const ReliableEndpoint::Stats rs = reliable_->stats();
   snap.counters["reliable.data_sent"] += rs.dataSent;
   snap.counters["reliable.retransmits"] += rs.retransmits;
+  snap.counters["reliable.fast_retransmits"] += rs.fastRetransmits;
+  snap.counters["reliable.rtt_samples"] += rs.rttSamples;
+  snap.counters["reliable.window_deferred"] += rs.windowDeferred;
+  snap.counters["reliable.data_bytes"] += rs.dataBytes;
+  snap.counters["reliable.retransmit_bytes"] += rs.retransmitBytes;
+  snap.counters["reliable.delivered_bytes"] += rs.deliveredBytes;
   snap.counters["reliable.delivered"] += rs.delivered;
   snap.counters["reliable.duplicates"] += rs.duplicates;
   snap.counters["reliable.acks_sent"] += rs.acksSent;

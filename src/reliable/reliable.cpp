@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <mutex>
 #include <string_view>
@@ -22,6 +23,10 @@ constexpr const char* kLog = "reliable";
 constexpr std::uint64_t kKindData = 0;
 constexpr std::uint64_t kKindAck = 1;
 constexpr std::size_t kMaxSack = 32;
+
+std::int64_t toMicros(Duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
 
 /// Key of a stream as seen from this endpoint: peer node + stream id.
 struct StreamKey {
@@ -102,11 +107,75 @@ std::string encodeAck(const std::vector<AckBlock>& blocks) {
 
 }  // namespace
 
+ReliableConfig ReliableConfig::normalized(
+    std::vector<std::string>* notes) const {
+  ReliableConfig out = *this;
+  const auto note = [&](std::string s) {
+    if (notes != nullptr) notes->push_back(std::move(s));
+  };
+  if (out.tickInterval <= Duration::zero()) {
+    out.tickInterval = milliseconds(1);
+    note("tickInterval <= 0; raised to 1ms");
+  }
+  if (out.ackEvery == 0) {
+    out.ackEvery = 1;
+    note("ackEvery == 0; raised to 1");
+  }
+  if (out.initialCwnd == 0) {
+    out.initialCwnd = 1;
+    note("initialCwnd == 0; raised to 1");
+  }
+  if (out.maxCwnd < out.initialCwnd) {
+    out.maxCwnd = out.initialCwnd;
+    note("maxCwnd below initialCwnd; raised to initialCwnd");
+  }
+  if (out.fastRetransmitDups == 0) {
+    out.fastRetransmitDups = 1;
+    note("fastRetransmitDups == 0; raised to 1");
+  }
+  if (out.ackDelay < Duration::zero()) {
+    out.ackDelay = Duration::zero();
+    note("ackDelay < 0; raised to 0");
+  }
+  // The RTO floor must clear the clock granularity, or a single tick of
+  // scheduling slop reads as a loss.
+  if (out.minRto < 2 * out.tickInterval) {
+    out.minRto = 2 * out.tickInterval;
+    note("minRto below 2*tickInterval; raised to " +
+         std::to_string(toMicros(out.minRto)) + "us");
+  }
+  // The spurious-retransmit invariant: the receiver may defer an ack for up
+  // to ackDelay + tickInterval, so every RTO the sender can ever use (the
+  // initial rto and the adaptive floor minRto) must stay comfortably above
+  // that deferral.  Misconfiguring this used to cause silent retransmit
+  // storms; now the ackDelay is clamped and the clamp is traced.
+  if (out.rto < out.minRto) {
+    out.rto = out.minRto;
+    note("initial rto below minRto; raised to " +
+         std::to_string(toMicros(out.rto)) + "us");
+  }
+  if (out.maxRto < out.rto) {
+    out.maxRto = out.rto;
+    note("maxRto below rto; raised to " + std::to_string(toMicros(out.maxRto)) +
+         "us");
+  }
+  if (out.ackDelay + out.tickInterval > out.minRto / 2) {
+    const Duration clamped =
+        std::max(Duration::zero(), out.minRto / 2 - out.tickInterval);
+    note("ackDelay " + std::to_string(toMicros(out.ackDelay)) +
+         "us + tickInterval " + std::to_string(toMicros(out.tickInterval)) +
+         "us exceeds minRto/2; ackDelay clamped to " +
+         std::to_string(toMicros(clamped)) + "us");
+    out.ackDelay = clamped;
+  }
+  return out;
+}
+
 struct ReliableEndpoint::Impl {
   Impl(std::shared_ptr<Endpoint> rawEp, ReliableConfig config,
        obs::MetricsRegistry* metrics, ClockSource* clock)
       : raw(std::move(rawEp)),
-        cfg(config),
+        cfg(config.normalized(&clampNotes)),
         clk(clock != nullptr ? clock : &ClockSource::system()) {
     if (metrics != nullptr) {
       // Resolve once; recording below is wait-free.
@@ -115,11 +184,19 @@ struct ReliableEndpoint::Impl {
       mBatchSize = &metrics->histogram("net.batch_size");
       mAckLatencyUs = &metrics->histogram("reliable.ack_latency_us");
       mReorderDepth = &metrics->histogram("reliable.reorder_depth");
+      mSrttUs = &metrics->histogram("reliable.srtt_us");
+      mCwnd = &metrics->gauge("reliable.cwnd");
+      mFastRetransmits = &metrics->counter("reliable.fast_retransmits");
       trace = &metrics->trace();
+    }
+    for (const std::string& n : clampNotes) {
+      DAPPLE_LOG(kDebug, kLog) << "config clamped: " << n;
+      if (trace != nullptr) trace->emit("reliable", "config.clamp", n);
     }
   }
 
   std::shared_ptr<Endpoint> raw;
+  std::vector<std::string> clampNotes;  ///< normalized() adjustments (traced)
   const ReliableConfig cfg;
   ClockSource* const clk;  ///< all timestamps, timer ticks and flush waits
 
@@ -127,8 +204,11 @@ struct ReliableEndpoint::Impl {
   obs::Counter* mDatagramsIn = nullptr;
   obs::Counter* mDatagramsOut = nullptr;
   obs::Histogram* mBatchSize = nullptr;     ///< datagrams per sendBatch submit
-  obs::Histogram* mAckLatencyUs = nullptr;  ///< send -> cumulative/selective ack
+  obs::Histogram* mAckLatencyUs = nullptr;  ///< admission -> cum/selective ack
   obs::Histogram* mReorderDepth = nullptr;  ///< buffered frames per gap event
+  obs::Histogram* mSrttUs = nullptr;        ///< smoothed RTT after each sample
+  obs::Gauge* mCwnd = nullptr;              ///< last updated stream's window
+  obs::Counter* mFastRetransmits = nullptr;
   obs::TraceRing* trace = nullptr;
 
   mutable std::mutex mutex;
@@ -143,22 +223,53 @@ struct ReliableEndpoint::Impl {
   DeliverFn deliver;
   FailFn onFailure;
 
+  /// Per-peer Jacobson RTT estimator (shared by every stream to that peer —
+  /// the path is what has an RTT, not the stream).
+  struct PeerRtt {
+    bool hasSample = false;
+    Duration srtt{};
+    Duration rttvar{};
+    /// Karn's backoff retention: while no clean sample exists, new frames
+    /// inherit the largest per-frame backoff reached so far.  Without this
+    /// a path whose true RTT exceeds cfg.rto never collects a sample (every
+    /// frame retransmits first, and retransmitted frames never sample), so
+    /// the estimator could never bootstrap out of spurious retransmits.
+    Duration noSampleRto{};
+  };
+  std::unordered_map<NodeAddress, PeerRtt> peerRtt;
+
   /// Sender-side state per outgoing stream.
   struct SendStream {
     std::uint64_t epoch = 0;  ///< bumped by resetStream(); resyncs receiver
     std::uint64_t nextSeq = 0;
     bool failed = false;
     std::string failReason;
+    // ---- congestion control (slow start + AIMD, in frames) -------------
+    double cwnd = 0;          ///< seeded from cfg.initialCwnd on creation
+    double ssthresh = 0;      ///< slow start below, additive increase above
+    std::uint64_t recoverSeq = 0;  ///< no second window cut until acks pass
     struct Pending {
       /// Per-destination head + refcounted shared body.  Retransmit state
       /// holds a reference, not a frame copy; the wire bytes (frame header
       /// + head + body) are assembled fresh at each transmission.
       WireBuffer envelope;
-      TimePoint firstSent;
+      TimePoint enqueued;   ///< admission: delivery-timeout + ack-latency base
+      TimePoint lastSent;   ///< last wire transmission: the RTT sample base
       TimePoint nextResend;
       Duration backoff;
+      std::uint32_t dupEvidence = 0;  ///< ack blocks covering higher seqs
+      bool retransmitted = false;     ///< Karn's rule: never RTT-sample
     };
-    std::map<std::uint64_t, Pending> pending;  // seq -> un-acked frame
+    std::map<std::uint64_t, Pending> pending;  // in flight (<= window)
+    /// Frames admitted beyond the window: they hold their sequence number
+    /// and shared envelope but have never touched the wire.  The delivery
+    /// timeout runs from admission for these too.
+    struct Queued {
+      std::uint64_t seq;
+      WireBuffer envelope;
+      TimePoint enqueued;
+    };
+    std::deque<Queued> sendQueue;
   };
   std::unordered_map<StreamKey, SendStream, StreamKeyHash> sendStreams;
 
@@ -187,9 +298,93 @@ struct ReliableEndpoint::Impl {
 
   bool anyPendingLocked() const {
     for (const auto& [key, ss] : sendStreams) {
-      if (!ss.pending.empty() && !ss.failed) return true;
+      if (ss.failed) continue;
+      if (!ss.pending.empty() || !ss.sendQueue.empty()) return true;
     }
     return false;
+  }
+
+  bool anyFailedLocked() const {
+    for (const auto& [key, ss] : sendStreams) {
+      if (ss.failed) return true;
+    }
+    return false;
+  }
+
+  SendStream& streamLocked(const StreamKey& key) {
+    auto [it, inserted] = sendStreams.try_emplace(key);
+    if (inserted) {
+      it->second.cwnd = static_cast<double>(cfg.initialCwnd);
+      it->second.ssthresh = static_cast<double>(cfg.maxCwnd);
+    }
+    return it->second;
+  }
+
+  /// Frames this stream may have in flight right now.
+  std::size_t windowLocked(const SendStream& ss) const {
+    const double w =
+        std::clamp(ss.cwnd, 1.0, static_cast<double>(cfg.maxCwnd));
+    return static_cast<std::size_t>(w);
+  }
+
+  // ---- RTT estimation (Jacobson/Karels, RFC 6298 coefficients) ----------
+
+  Duration rtoForLocked(const NodeAddress& peer) const {
+    Duration rto = cfg.rto;
+    const auto it = peerRtt.find(peer);
+    if (it != peerRtt.end()) {
+      if (it->second.hasSample) {
+        rto = it->second.srtt +
+              std::max(cfg.tickInterval, 4 * it->second.rttvar);
+      } else {
+        rto = std::max(rto, it->second.noSampleRto);
+      }
+    }
+    return std::clamp(rto, cfg.minRto, cfg.maxRto);
+  }
+
+  void sampleRttLocked(const NodeAddress& peer, Duration r) {
+    if (r < Duration::zero()) return;
+    PeerRtt& p = peerRtt[peer];
+    if (!p.hasSample) {
+      p.hasSample = true;
+      p.srtt = r;
+      p.rttvar = r / 2;
+    } else {
+      const Duration err = r > p.srtt ? r - p.srtt : p.srtt - r;
+      p.rttvar = (3 * p.rttvar + err) / 4;
+      p.srtt = (7 * p.srtt + r) / 8;
+    }
+    ++stats.rttSamples;
+    if (mSrttUs != nullptr) {
+      mSrttUs->record(static_cast<std::uint64_t>(toMicros(p.srtt)));
+    }
+  }
+
+  // ---- congestion responses ---------------------------------------------
+
+  void ackGrowLocked(SendStream& ss, std::size_t newlyAcked) {
+    for (std::size_t i = 0; i < newlyAcked; ++i) {
+      if (ss.cwnd < ss.ssthresh) {
+        ss.cwnd += 1.0;  // slow start: +1 per acked frame (~doubles per RTT)
+      } else {
+        ss.cwnd += 1.0 / ss.cwnd;  // congestion avoidance: +1 per window
+      }
+    }
+    ss.cwnd = std::min(ss.cwnd, static_cast<double>(cfg.maxCwnd));
+    if (mCwnd != nullptr) mCwnd->set(static_cast<std::int64_t>(ss.cwnd));
+  }
+
+  /// One multiplicative decrease per flight: frames below recoverSeq were in
+  /// flight when the window was last cut and do not cut it again.
+  void lossCutLocked(SendStream& ss, std::uint64_t seq, bool timerExpiry) {
+    if (seq < ss.recoverSeq) return;
+    ss.ssthresh = std::max(ss.cwnd / 2, 2.0);
+    // Timer expiry means the pipe drained: restart from one frame.  Dup-SACK
+    // evidence means later frames still arrive: resume at half.
+    ss.cwnd = timerExpiry ? 1.0 : ss.ssthresh;
+    ss.recoverSeq = ss.nextSeq;
+    if (mCwnd != nullptr) mCwnd->set(static_cast<std::int64_t>(ss.cwnd));
   }
 
   /// Gathers frame header + envelope (head + shared body) into the final
@@ -203,6 +398,45 @@ struct ReliableEndpoint::Impl {
     envelope.appendTo(out);
     ++stats.payloadCopies;
     return out;
+  }
+
+  /// Assembles one DATA frame (collecting any piggyback acks owed to the
+  /// peer) and stages it on `batch`.  Caller holds `mutex`.
+  void stageDataLocked(std::vector<Datagram>& batch, const StreamKey& key,
+                       const SendStream& ss, std::uint64_t seq,
+                       const WireBuffer& envelope) {
+    const std::vector<AckBlock> piggyback =
+        cfg.ackPiggyback ? collectAckBlocksLocked(key.peer)
+                         : std::vector<AckBlock>{};
+    batch.push_back(Datagram{
+        key.peer,
+        assembleData(encodeDataHead(key.streamId, ss.epoch, seq, piggyback,
+                                    envelope.size()),
+                     envelope)});
+  }
+
+  /// Moves queued frames into flight while the window has room.  Frames
+  /// already past the delivery timeout stay queued — the next tick declares
+  /// the stream failed, and transmitting a doomed frame wastes wire.
+  void transmitQueuedLocked(std::vector<Datagram>& batch,
+                            const StreamKey& key, SendStream& ss,
+                            TimePoint now) {
+    const std::size_t window = windowLocked(ss);
+    while (!ss.sendQueue.empty() && ss.pending.size() < window) {
+      SendStream::Queued& q = ss.sendQueue.front();
+      if (now - q.enqueued > cfg.deliveryTimeout) return;
+      SendStream::Pending p;
+      p.envelope = std::move(q.envelope);
+      p.enqueued = q.enqueued;
+      p.lastSent = now;
+      p.backoff = rtoForLocked(key.peer);
+      p.nextResend = now + p.backoff;
+      stageDataLocked(batch, key, ss, q.seq, p.envelope);
+      ++stats.dataSent;
+      stats.dataBytes += p.envelope.size();
+      ss.pending.emplace(q.seq, std::move(p));
+      ss.sendQueue.pop_front();
+    }
   }
 
   /// Emits and clears every pending ack block owed to `peer`.  Caller holds
@@ -233,6 +467,14 @@ struct ReliableEndpoint::Impl {
     }
     ackQueue.erase(it);
     return blocks;
+  }
+
+  void submitBatch(std::vector<Datagram>&& batch) {
+    if (batch.empty()) return;
+    if (mBatchSize != nullptr) mBatchSize->record(batch.size());
+    const std::size_t n = batch.size();
+    raw->sendBatch(std::move(batch));
+    if (mDatagramsOut != nullptr) mDatagramsOut->inc(n);
   }
 
   void onDatagram(const NodeAddress& src, std::string_view payload) {
@@ -290,9 +532,11 @@ struct ReliableEndpoint::Impl {
         deliverHead = true;
         headPayload = body;
         ++rs.nextExpected;
+        stats.deliveredBytes += body.size();
         // Drain any directly following buffered frames.
         auto it = rs.buffered.begin();
         while (it != rs.buffered.end() && it->first == rs.nextExpected) {
+          stats.deliveredBytes += it->second.size();
           drained.push_back(std::move(it->second));
           it = rs.buffered.erase(it);
           ++rs.nextExpected;
@@ -314,9 +558,10 @@ struct ReliableEndpoint::Impl {
       // Flush once ackEvery arrivals have coalesced; otherwise the timer
       // flushes after ackDelay, or the next outgoing DATA frame to this
       // peer piggybacks the blocks for free.  Deferral is safe for SACK
-      // promptness because the sender is timer-driven: ackDelay +
-      // tickInterval is well under the rto in every configuration, so the
-      // sender always hears about buffered frames before it retransmits.
+      // promptness because `ReliableConfig::normalized()` enforces
+      // ackDelay + tickInterval < minRto/2: every RTO the sender's
+      // estimator can produce leaves room for a deferred SACK to arrive
+      // before the retransmission fires.
       if (rs.pendingFrames >= cfg.ackEvery) {
         const std::vector<AckBlock> blocks = collectAckBlocksLocked(src);
         if (!blocks.empty()) {
@@ -337,43 +582,83 @@ struct ReliableEndpoint::Impl {
     }
   }
 
+  /// Marks one pending frame acknowledged: ack-latency histogram plus the
+  /// RTT sample (Karn's rule: only frames transmitted exactly once sample,
+  /// so a retransmission ambiguity never poisons the estimator).
+  void ackFrameLocked(const NodeAddress& src,
+                      const SendStream::Pending& p, TimePoint now) {
+    if (mAckLatencyUs != nullptr) {
+      mAckLatencyUs->record(
+          static_cast<std::uint64_t>(toMicros(now - p.enqueued)));
+    }
+    if (!p.retransmitted) sampleRttLocked(src, now - p.lastSent);
+  }
+
   void onAckBlocks(const NodeAddress& src,
                    const std::vector<AckBlock>& blocks) {
-    std::scoped_lock lock(mutex);
-    bool ackedAny = false;
-    const TimePoint now = clk->now();
-    for (const AckBlock& b : blocks) {
-      const auto it = sendStreams.find(StreamKey{src, b.streamId});
-      if (it == sendStreams.end()) continue;
-      SendStream& ss = it->second;
-      if (b.epoch != ss.epoch) continue;  // ack for a previous epoch
-      // cumAck = receiver's nextExpected: everything below is delivered.
-      const auto ackedEnd = ss.pending.lower_bound(b.cumAck);
-      if (mAckLatencyUs != nullptr) {
-        // The newly acknowledged frames' send->ack round trips.  Walks only
-        // entries being erased, so the cost scales with acked frames.
+    std::vector<Datagram> batch;
+    {
+      std::scoped_lock lock(mutex);
+      if (closed) return;
+      bool ackedAny = false;
+      const TimePoint now = clk->now();
+      for (const AckBlock& b : blocks) {
+        const auto it = sendStreams.find(StreamKey{src, b.streamId});
+        if (it == sendStreams.end()) continue;
+        SendStream& ss = it->second;
+        if (b.epoch != ss.epoch) continue;  // ack for a previous epoch
+        std::size_t newlyAcked = 0;
+        // cumAck = receiver's nextExpected: everything below is delivered.
+        const auto ackedEnd = ss.pending.lower_bound(b.cumAck);
         for (auto it2 = ss.pending.begin(); it2 != ackedEnd; ++it2) {
-          mAckLatencyUs->record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  now - it2->second.firstSent)
-                  .count()));
+          ackFrameLocked(src, it2->second, now);
+          ++newlyAcked;
         }
-      }
-      ss.pending.erase(ss.pending.begin(), ackedEnd);
-      for (std::uint64_t sack : b.sacks) {
-        const auto it2 = ss.pending.find(sack);
-        if (it2 == ss.pending.end()) continue;
-        if (mAckLatencyUs != nullptr) {
-          mAckLatencyUs->record(static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  now - it2->second.firstSent)
-                  .count()));
+        ss.pending.erase(ss.pending.begin(), ackedEnd);
+        // Highest sequence number the receiver provably holds: dup-SACK
+        // evidence for every lower frame still pending.
+        std::uint64_t evidenceAbove = b.cumAck;  // exclusive bound
+        for (std::uint64_t sack : b.sacks) {
+          evidenceAbove = std::max(evidenceAbove, sack);
+          const auto it2 = ss.pending.find(sack);
+          if (it2 == ss.pending.end()) continue;
+          ackFrameLocked(src, it2->second, now);
+          ss.pending.erase(it2);
+          ++newlyAcked;
         }
-        ss.pending.erase(it2);
+        if (newlyAcked > 0) {
+          ackedAny = true;
+          ackGrowLocked(ss, newlyAcked);
+        }
+        // Fast retransmit: a frame the receiver is provably missing while
+        // later frames keep landing is resent after fastRetransmitDups
+        // blocks of evidence — recovery in ~one RTT instead of an RTO.
+        if (!ss.failed && evidenceAbove > 0 &&
+            cfg.fastRetransmitDups != UINT32_MAX) {
+          for (auto& [seq, p] : ss.pending) {
+            if (seq >= evidenceAbove) break;  // map is seq-ordered
+            if (p.retransmitted) continue;    // timer or fast path already did
+            if (++p.dupEvidence < cfg.fastRetransmitDups) continue;
+            if (now - p.enqueued > cfg.deliveryTimeout) continue;  // doomed
+            lossCutLocked(ss, seq, /*timerExpiry=*/false);
+            p.retransmitted = true;
+            p.backoff = rtoForLocked(src);
+            p.nextResend = now + p.backoff;
+            p.lastSent = now;
+            stageDataLocked(batch, StreamKey{src, b.streamId}, ss, seq,
+                            p.envelope);
+            ++stats.retransmits;
+            ++stats.fastRetransmits;
+            stats.retransmitBytes += p.envelope.size();
+            if (mFastRetransmits != nullptr) mFastRetransmits->inc();
+          }
+        }
+        // Acks freed window space: move queued frames into flight.
+        transmitQueuedLocked(batch, StreamKey{src, b.streamId}, ss, now);
       }
-      ackedAny = true;
+      if (ackedAny && !anyPendingLocked()) clk->notifyAll(flushed);
     }
-    if (ackedAny && !anyPendingLocked()) clk->notifyAll(flushed);
+    submitBatch(std::move(batch));
   }
 
   void tick() {
@@ -386,35 +671,59 @@ struct ReliableEndpoint::Impl {
       const TimePoint now = clk->now();
       for (auto& [key, ss] : sendStreams) {
         if (ss.failed) continue;
-        for (auto& [seq, pending] : ss.pending) {
-          if (now - pending.firstSent > cfg.deliveryTimeout) {
+        // ---- phase 1: delivery-timeout verdict, in-flight AND queued ----
+        // Decided for the whole stream before anything is staged, so a
+        // stream failing this tick can never leak frames into the batch
+        // (previously a retransmission staged earlier in the same scan
+        // still hit the wire after ss.pending.clear()).
+        for (const auto& [seq, pending] : ss.pending) {
+          if (now - pending.enqueued > cfg.deliveryTimeout) {
             ss.failed = true;
             ss.failReason = "delivery timeout on stream " +
                             std::to_string(key.streamId) + " to " +
                             key.peer.toString() + " (seq " +
                             std::to_string(seq) + ")";
-            ++stats.failures;
-            failures.emplace_back(key.peer, key.streamId, ss.failReason);
             break;
           }
-          if (now >= pending.nextResend) {
-            pending.backoff = std::min(pending.backoff * 2, cfg.maxRto);
-            pending.nextResend = now + pending.backoff;
-            const std::vector<AckBlock> piggyback =
-                cfg.ackPiggyback ? collectAckBlocksLocked(key.peer)
-                                 : std::vector<AckBlock>{};
-            batch.push_back(Datagram{
-                key.peer,
-                assembleData(
-                    encodeDataHead(key.streamId, ss.epoch, seq, piggyback,
-                                   pending.envelope.size()),
-                    pending.envelope)});
-            ++stats.retransmits;
+        }
+        if (!ss.failed) {
+          for (const auto& q : ss.sendQueue) {
+            if (now - q.enqueued > cfg.deliveryTimeout) {
+              ss.failed = true;
+              ss.failReason = "delivery timeout on stream " +
+                              std::to_string(key.streamId) + " to " +
+                              key.peer.toString() + " (seq " +
+                              std::to_string(q.seq) + ", never transmitted: " +
+                              "window closed)";
+              break;
+            }
           }
         }
         if (ss.failed) {
+          ++stats.failures;
+          failures.emplace_back(key.peer, key.streamId, ss.failReason);
           ss.pending.clear();
+          ss.sendQueue.clear();
+          continue;
         }
+        // ---- phase 2: timer-driven retransmissions ----------------------
+        for (auto& [seq, pending] : ss.pending) {
+          if (now < pending.nextResend) continue;
+          lossCutLocked(ss, seq, /*timerExpiry=*/true);
+          pending.retransmitted = true;
+          pending.backoff = std::min(pending.backoff * 2, cfg.maxRto);
+          pending.nextResend = now + pending.backoff;
+          PeerRtt& pr = peerRtt[key.peer];
+          if (!pr.hasSample) {
+            pr.noSampleRto = std::max(pr.noSampleRto, pending.backoff);
+          }
+          pending.lastSent = now;
+          stageDataLocked(batch, key, ss, seq, pending.envelope);
+          ++stats.retransmits;
+          stats.retransmitBytes += pending.envelope.size();
+        }
+        // ---- phase 3: window openings (acks shrank the flight) ----------
+        transmitQueuedLocked(batch, key, ss, now);
       }
       // Deferred-ack flush: every peer holding a block older than ackDelay
       // gets ONE datagram carrying all of its pending blocks.
@@ -439,12 +748,7 @@ struct ReliableEndpoint::Impl {
       if (!failures.empty() && !anyPendingLocked()) clk->notifyAll(flushed);
       failFn = onFailure;
     }
-    if (!batch.empty()) {
-      if (mBatchSize != nullptr) mBatchSize->record(batch.size());
-      const std::size_t n = batch.size();
-      raw->sendBatch(std::move(batch));
-      if (mDatagramsOut != nullptr) mDatagramsOut->inc(n);
-    }
+    submitBatch(std::move(batch));
     for (const auto& [dst, streamId, reason] : failures) {
       DAPPLE_LOG(kDebug, kLog) << "stream failed: " << reason;
       if (trace != nullptr) {
@@ -532,42 +836,54 @@ std::vector<std::uint64_t> ReliableEndpoint::sendMany(
     }
     const TimePoint now = impl_->clk->now();
     for (OutSend& s : sends) {
-      Impl::SendStream& ss = impl_->sendStreams[StreamKey{s.dst, streamId}];
+      const StreamKey key{s.dst, streamId};
+      Impl::SendStream& ss = impl_->streamLocked(key);
       const std::uint64_t seq = ss.nextSeq++;
-      Impl::SendStream::Pending pending;
-      pending.envelope = WireBuffer(std::move(s.head), body);
-      pending.firstSent = now;
-      pending.backoff = impl_->cfg.rto;
-      pending.nextResend = now + pending.backoff;
-      const std::vector<AckBlock> piggyback =
-          impl_->cfg.ackPiggyback ? impl_->collectAckBlocksLocked(s.dst)
-                                  : std::vector<AckBlock>{};
-      batch.push_back(Datagram{
-          s.dst, impl_->assembleData(
-                     encodeDataHead(streamId, ss.epoch, seq, piggyback,
-                                    pending.envelope.size()),
-                     pending.envelope)});
-      ss.pending.emplace(seq, std::move(pending));
-      ++impl_->stats.dataSent;
+      WireBuffer envelope(std::move(s.head), body);
+      if (ss.sendQueue.empty() &&
+          ss.pending.size() < impl_->windowLocked(ss)) {
+        Impl::SendStream::Pending pending;
+        pending.envelope = std::move(envelope);
+        pending.enqueued = now;
+        pending.lastSent = now;
+        pending.backoff = impl_->rtoForLocked(s.dst);
+        pending.nextResend = now + pending.backoff;
+        impl_->stageDataLocked(batch, key, ss, seq, pending.envelope);
+        ss.pending.emplace(seq, std::move(pending));
+        ++impl_->stats.dataSent;
+        impl_->stats.dataBytes += ss.pending.at(seq).envelope.size();
+      } else {
+        // Window full (or earlier frames already queued — FIFO): park the
+        // frame instead of flooding the link; acks and ticks drain it.
+        ss.sendQueue.push_back(
+            Impl::SendStream::Queued{seq, std::move(envelope), now});
+        ++impl_->stats.windowDeferred;
+      }
       seqs.push_back(seq);
     }
   }
   // Transmit outside the lock: the raw endpoint has its own locking and a
   // delivery thread that re-enters this class, so holding our mutex across
   // the submit would invert the lock order.
-  if (!batch.empty()) {
-    if (impl_->mBatchSize != nullptr) impl_->mBatchSize->record(batch.size());
-    const std::size_t n = batch.size();
-    impl_->raw->sendBatch(std::move(batch));
-    if (impl_->mDatagramsOut != nullptr) impl_->mDatagramsOut->inc(n);
-  }
+  impl_->submitBatch(std::move(batch));
   return seqs;
 }
 
-bool ReliableEndpoint::flush(Duration timeout) {
+ReliableEndpoint::FlushOutcome ReliableEndpoint::flushEx(Duration timeout) {
   std::unique_lock lock(impl_->mutex);
-  return impl_->clk->waitFor(lock, impl_->flushed, timeout,
-                             [this] { return !impl_->anyPendingLocked(); });
+  const bool drained =
+      impl_->clk->waitFor(lock, impl_->flushed, timeout,
+                          [this] { return !impl_->anyPendingLocked(); });
+  if (!drained) return FlushOutcome::kTimedOut;
+  return impl_->anyFailedLocked() ? FlushOutcome::kFailed
+                                  : FlushOutcome::kFlushed;
+}
+
+bool ReliableEndpoint::flush(Duration timeout) {
+  // NOTE: kFailed counts as "drained" here — a failed stream discarded its
+  // frames, so nothing is left in flight even though nothing was delivered.
+  // Callers that must tell the difference use flushEx().
+  return flushEx(timeout) != FlushOutcome::kTimedOut;
 }
 
 void ReliableEndpoint::resetStream(const NodeAddress& dst,
@@ -578,10 +894,15 @@ void ReliableEndpoint::resetStream(const NodeAddress& dst,
     it->second.failed = false;
     it->second.failReason.clear();
     it->second.pending.clear();
+    it->second.sendQueue.clear();
     // New epoch: undelivered old-epoch frames are abandoned and the
-    // receiver resynchronizes from sequence 0.
+    // receiver resynchronizes from sequence 0.  The congestion window
+    // restarts too — the old estimate described a path that just failed.
     ++it->second.epoch;
     it->second.nextSeq = 0;
+    it->second.cwnd = static_cast<double>(impl_->cfg.initialCwnd);
+    it->second.ssthresh = static_cast<double>(impl_->cfg.maxCwnd);
+    it->second.recoverSeq = 0;
   }
 }
 
@@ -601,6 +922,35 @@ void ReliableEndpoint::close() {
 ReliableEndpoint::Stats ReliableEndpoint::stats() const {
   std::scoped_lock lock(impl_->mutex);
   return impl_->stats;
+}
+
+ReliableEndpoint::PeerProbe ReliableEndpoint::probePeer(
+    const NodeAddress& peer) const {
+  std::scoped_lock lock(impl_->mutex);
+  PeerProbe probe;
+  probe.rto = impl_->rtoForLocked(peer);
+  const auto it = impl_->peerRtt.find(peer);
+  if (it != impl_->peerRtt.end() && it->second.hasSample) {
+    probe.hasRtt = true;
+    probe.srtt = it->second.srtt;
+    probe.rttvar = it->second.rttvar;
+  }
+  return probe;
+}
+
+ReliableEndpoint::StreamProbe ReliableEndpoint::probeStream(
+    const NodeAddress& dst, std::uint64_t streamId) const {
+  std::scoped_lock lock(impl_->mutex);
+  StreamProbe probe;
+  const auto it = impl_->sendStreams.find(StreamKey{dst, streamId});
+  if (it == impl_->sendStreams.end()) return probe;
+  probe.exists = true;
+  probe.failed = it->second.failed;
+  probe.cwnd = it->second.cwnd;
+  probe.ssthresh = static_cast<std::uint64_t>(it->second.ssthresh);
+  probe.inFlight = it->second.pending.size();
+  probe.queued = it->second.sendQueue.size();
+  return probe;
 }
 
 }  // namespace dapple

@@ -1,6 +1,7 @@
 #include "scenario.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -172,9 +173,14 @@ ScenarioResult runScenario(std::uint64_t seed,
   cfg.liveness.suspectTimeout = milliseconds(300);
   if (options.canaryDisableRetransmit) {
     // Canary bug: the first transmission is the only one.  Lossy seeds must
-    // now fail the delivery oracle.
+    // now fail the delivery oracle.  The adaptive sender must be fully
+    // pinned: minRto keeps the SRTT estimator from collapsing the RTO back
+    // under the horizon, and fastRetransmitDups keeps dup-SACK evidence
+    // from resurrecting lost frames without the timer.
     cfg.reliable.rto = seconds(30);
+    cfg.reliable.minRto = seconds(30);
     cfg.reliable.maxRto = seconds(30);
+    cfg.reliable.fastRetransmitDups = UINT32_MAX;
     cfg.reliable.deliveryTimeout = seconds(20);
   }
 
@@ -507,6 +513,47 @@ ScenarioResult runScenario(std::uint64_t seed,
     if (rs.dupAcksSuppressed != rs.duplicates) {
       oracles.fail("acks: fz", i, " suppressed ", rs.dupAcksSuppressed,
                    " dup re-acks but saw ", rs.duplicates, " duplicates");
+    }
+  }
+
+  mark("retransmit-efficiency");
+  // ---- retransmit-efficiency oracle --------------------------------------
+  // The adaptive sender (SRTT-estimated RTO, congestion window, fast
+  // retransmit) must spend retransmitted bytes commensurate with what the
+  // link actually lost.  A loss in either direction (the DATA frame or the
+  // ack block covering it) costs about one resend, so lossy links earn a
+  // proportional allowance; on top of that a fixed slack covers traffic
+  // retransmitted into dark links (partitions, and module 2's crashed
+  // member, whose streams back off to maxRto until the delivery timeout
+  // fails them).  The 3x headroom keeps the verdict schedule-stable.  A
+  // fixed-RTO sender mis-tuned below the path RTT blows through this bound
+  // (bench_transport quantifies the same ratio against that baseline).
+  static const bool dumpRetx = std::getenv("DAPPLE_FUZZ_TRACE") != nullptr;
+  for (std::size_t i = 0; i < shape.n; ++i) {
+    if (dead.count(i) != 0) continue;
+    const ReliableEndpoint::Stats rs = dapplets[i]->transport().stats();
+    if (rs.dataBytes == 0) continue;
+    const double faultRate =
+        std::min(0.9, 2 * shape.link.lossProb + shape.link.dupProb);
+    const double darkSlack =
+        24.0 * 1024 *
+        (1 + static_cast<double>(shape.partitions.size()) +
+         (shape.module == 2 ? static_cast<double>(shape.n) : 0.0));
+    const double allowance =
+        3.0 * (faultRate / (1 - faultRate)) *
+            static_cast<double>(rs.dataBytes) +
+        darkSlack;
+    if (dumpRetx) {
+      std::fprintf(stderr, "retx| fz%zu data=%llu retx=%llu allowance=%.0f\n",
+                   i, static_cast<unsigned long long>(rs.dataBytes),
+                   static_cast<unsigned long long>(rs.retransmitBytes),
+                   allowance);
+    }
+    if (static_cast<double>(rs.retransmitBytes) > allowance) {
+      oracles.fail("retransmit-efficiency: fz", i, " resent ",
+                   rs.retransmitBytes, " bytes against ", rs.dataBytes,
+                   " first-transmission bytes (allowance ",
+                   static_cast<std::uint64_t>(allowance), ")");
     }
   }
 
