@@ -1,0 +1,397 @@
+// Experiment E11 (DESIGN.md §12): crash-recovery cost.
+//
+// Three tables:
+//  * WAL append throughput — fsync on vs off, small vs large values.  The
+//    fsync is the durability tax every journaled mutation pays.
+//  * Checkpoint latency and image size vs state size — what a coordinated
+//    cut costs each member, and how much WAL it retires.
+//  * Kill -> restart -> rejoin, in VIRTUAL time on a simulated WAN: an
+//    undisturbed paced pipeline vs one whose stateful member is killed
+//    mid-stream and recovers via checkpoint + WAL replay + REJOIN.  The
+//    overhead column is the end-to-end price of the crash.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_common.hpp"
+#include "dapple/core/session.hpp"
+#include "dapple/net/sim.hpp"
+#include "dapple/serial/data_message.hpp"
+#include "dapple/services/recovery/recovery.hpp"
+#include "dapple/testkit/virtual_clock.hpp"
+#include "dapple/util/time.hpp"
+
+using namespace dapple;
+
+namespace {
+
+double msBetween(TimePoint from, TimePoint to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+std::string scratchDir(const std::string& tag) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("dapple_bench_rec_" + std::to_string(::getpid()) + "_" +
+                     tag);
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+// ---- WAL append throughput ------------------------------------------------
+
+struct WalRate {
+  double appendsPerSec = 0;
+  double mbPerSec = 0;
+};
+
+WalRate walThroughput(bool fsync, std::size_t valueBytes, std::size_t n,
+                      const std::string& tag) {
+  const std::string dir = scratchDir(tag);
+  WalRate rate;
+  {
+    recovery::WriteAheadLog wal(dir + "/w.wal",
+                                recovery::WriteAheadLog::Options(fsync));
+    wal.replayAll();
+    const Value value(std::string(valueBytes, 'x'));
+    Stopwatch watch;
+    for (std::size_t i = 0; i < n; ++i) {
+      wal.append(recovery::WalRecord::kPut, "key" + std::to_string(i % 64),
+                 &value, i + 1);
+    }
+    const double secs = watch.elapsedSeconds();
+    rate.appendsPerSec = static_cast<double>(n) / secs;
+    rate.mbPerSec =
+        static_cast<double>(wal.sizeBytes()) / secs / (1024.0 * 1024.0);
+  }
+  std::filesystem::remove_all(dir);
+  return rate;
+}
+
+// ---- checkpoint latency ---------------------------------------------------
+
+struct CkptCost {
+  double ms = 0;
+  double imageBytes = 0;
+  double walBytesRetired = 0;
+};
+
+CkptCost checkpointCost(SimNetwork& net, std::uint32_t host, std::size_t keys,
+                        const std::string& tag) {
+  const std::string dir = scratchDir(tag);
+  CkptCost cost;
+  {
+    Dapplet d(net, "ck" + std::to_string(host),
+              [&] {
+                DappletConfig cfg;
+                cfg.host = host;
+                return cfg;
+              }());
+    recovery::DurableState ds(d, dir);
+    const Value value(std::string(64, 'v'));
+    for (std::size_t i = 0; i < keys; ++i) {
+      ds.store().put("state/" + std::to_string(i), value);
+    }
+    cost.walBytesRetired = static_cast<double>(ds.stats().walBytes);
+    Stopwatch watch;
+    ds.checkpoint();
+    cost.ms = watch.elapsedSeconds() * 1e3;
+    cost.imageBytes = static_cast<double>(ds.stats().checkpointBytes);
+    d.stop();
+  }
+  std::filesystem::remove_all(dir);
+  return cost;
+}
+
+// ---- kill -> restart -> rejoin in virtual time ----------------------------
+
+constexpr std::int64_t kItems = 6;
+
+Value roleParams(const std::string& role) {
+  ValueMap params;
+  params["role"] = Value(role);
+  return Value(std::move(params));
+}
+
+/// The recovery test-suite's paced pipeline: the feeder streams numbered
+/// items until acked; "sum" folds them into durable state exactly once,
+/// one apply per 100ms of virtual time.
+void registerPipelineApp(SessionAgent& agent) {
+  agent.registerApp("bench.pipeline", [](SessionContext& ctx) {
+    const std::string role = ctx.params().at("role").asString();
+    if (role == "feeder") {
+      Outbox& out = ctx.outbox("out");
+      Inbox& ack = ctx.inbox("ack");
+      std::int64_t next = 1;
+      while (next <= kItems && !ctx.stopToken().stop_requested()) {
+        DataMessage item("item");
+        item.set("seq", Value(static_cast<long long>(next)));
+        try {
+          out.send(item);
+        } catch (const Error&) {
+          out.reset();
+        }
+        try {
+          if (auto del = ack.receiveFor(milliseconds(200))) {
+            const auto* msg =
+                dynamic_cast<const DataMessage*>(del->message.get());
+            if (msg != nullptr && msg->kind() == "ack") {
+              next = std::max<std::int64_t>(next, msg->get("seq").asInt() + 1);
+            }
+          }
+        } catch (const PeerDownError&) {
+        }
+      }
+      ctx.setResult(Value(static_cast<long long>(next - 1)));
+      return;
+    }
+    Inbox& in = ctx.inbox("in");
+    Outbox& out = ctx.outbox("out");
+    StateView& state = ctx.state();
+    std::int64_t last = state.getOr("b.lastSeq", Value(0)).asInt();
+    std::int64_t sum = state.getOr("b.sum", Value(0)).asInt();
+    while (last < kItems && !ctx.stopToken().stop_requested()) {
+      std::optional<Delivery> del;
+      try {
+        del = in.receiveFor(milliseconds(200));
+      } catch (const PeerDownError&) {
+        continue;
+      }
+      if (!del) continue;
+      const auto* msg = dynamic_cast<const DataMessage*>(del->message.get());
+      if (msg == nullptr || msg->kind() != "item") continue;
+      const std::int64_t seq = msg->get("seq").asInt();
+      if (seq == last + 1) {
+        ctx.dapplet().clockSource().sleepFor(milliseconds(100));
+        sum += seq;
+        last = seq;
+        state.put("b.sum", Value(static_cast<long long>(sum)));
+        state.put("b.lastSeq", Value(static_cast<long long>(last)));
+      }
+      if (seq <= last) {
+        DataMessage ackMsg("ack");
+        ackMsg.set("seq", Value(static_cast<long long>(last)));
+        try {
+          out.send(ackMsg);
+        } catch (const Error&) {
+          out.reset();
+        }
+      }
+    }
+    ctx.setResult(Value(static_cast<long long>(sum)));
+  });
+}
+
+DappletConfig wanCfg(testkit::VirtualClock& clock, std::uint32_t host) {
+  DappletConfig cfg;
+  cfg.clock = &clock;
+  cfg.reliable.tickInterval = milliseconds(2);
+  cfg.reliable.rto = milliseconds(15);
+  cfg.reliable.maxRto = milliseconds(120);
+  cfg.reliable.deliveryTimeout = seconds(10);
+  cfg.host = host;
+  return cfg;
+}
+
+Initiator::Plan pipelinePlan(const InboxRef& feederCtl,
+                             const InboxRef& victimCtl) {
+  Initiator::Plan plan;
+  plan.app = "bench.pipeline";
+  Initiator::MemberPlan feeder;
+  feeder.name = "feeder";
+  feeder.control = feederCtl;
+  feeder.inboxes = {"ack"};
+  feeder.params = roleParams("feeder");
+  Initiator::MemberPlan victim;
+  victim.name = "victim";
+  victim.control = victimCtl;
+  victim.inboxes = {"in"};
+  victim.writeKeys = {"b.sum", "b.lastSeq"};
+  victim.params = roleParams("sum");
+  plan.members = {feeder, victim};
+  plan.edges = {{"feeder", "out", "victim", "in"},
+                {"victim", "out", "feeder", "ack"}};
+  plan.phaseTimeout = seconds(30);
+  return plan;
+}
+
+struct RejoinCost {
+  double baselineMs = 0;        ///< undisturbed session, virtual time
+  double recoveredMs = 0;       ///< with a mid-stream kill-restart
+  double restartToDoneMs = 0;   ///< reboot -> session completion
+  double replayedRecords = 0;   ///< WAL records replayed at the reboot
+};
+
+RejoinCost rejoinCost(std::uint64_t seed) {
+  RejoinCost cost;
+  // Baseline: same pipeline, nobody dies.
+  {
+    testkit::VirtualClock clock;
+    SimNetwork::Options opts;
+    opts.clock = &clock;
+    SimNetwork net(seed, opts);
+    net.setDefaultLink(
+        LinkParams{microseconds(500), microseconds(200), 0.0, 0.0});
+    Dapplet director(net, "director", wanCfg(clock, 1));
+    Dapplet feeder(net, "feeder", wanCfg(clock, 2));
+    SessionAgent feederAgent(feeder);
+    registerPipelineApp(feederAgent);
+    const std::string dir = scratchDir("base");
+    Dapplet victim(net, "victim", wanCfg(clock, 3));
+    recovery::DurableState ds(victim, dir);
+    SessionAgent::Config vcfg;
+    vcfg.store = &ds.store();
+    vcfg.durableSessions = true;
+    vcfg.incarnation = ds.incarnation();
+    SessionAgent victimAgent(victim, vcfg);
+    registerPipelineApp(victimAgent);
+    Initiator initiator(director);
+    auto result = initiator.establish(
+        pipelinePlan(feederAgent.controlRef(), victimAgent.controlRef()));
+    const TimePoint t0 = clock.now();
+    initiator.awaitCompletion(result.sessionId, seconds(120));
+    cost.baselineMs = msBetween(t0, clock.now());
+    initiator.terminate(result.sessionId);
+    victim.stop();
+    feeder.stop();
+    director.stop();
+    std::filesystem::remove_all(dir);
+  }
+  // Kill-restart: crash the stateful member mid-stream, reboot from its
+  // durable directory at a new address, REJOIN, finish.
+  {
+    testkit::VirtualClock clock;
+    SimNetwork::Options opts;
+    opts.clock = &clock;
+    SimNetwork net(seed, opts);
+    net.setDefaultLink(
+        LinkParams{microseconds(500), microseconds(200), 0.0, 0.0});
+    Dapplet director(net, "director", wanCfg(clock, 1));
+    Dapplet feeder(net, "feeder", wanCfg(clock, 2));
+    SessionAgent feederAgent(feeder);
+    registerPipelineApp(feederAgent);
+    const std::string dir = scratchDir("crash");
+    auto victim = std::make_unique<Dapplet>(net, "victim", wanCfg(clock, 3));
+    auto ds = std::make_unique<recovery::DurableState>(*victim, dir);
+    SessionAgent::Config vcfg;
+    vcfg.store = &ds->store();
+    vcfg.durableSessions = true;
+    vcfg.incarnation = ds->incarnation();
+    auto victimAgent = std::make_unique<SessionAgent>(*victim, vcfg);
+    registerPipelineApp(*victimAgent);
+    Initiator initiator(director);
+    auto result = initiator.establish(
+        pipelinePlan(feederAgent.controlRef(), victimAgent->controlRef()));
+    const TimePoint t0 = clock.now();
+    clock.sleepFor(milliseconds(250));  // provably mid-stream (100ms/apply)
+    victim->crash();
+    victimAgent.reset();
+    ds.reset();
+    victim.reset();
+    const TimePoint tRestart = clock.now();
+    auto victim2 = std::make_unique<Dapplet>(net, "victim", wanCfg(clock, 4));
+    auto ds2 = std::make_unique<recovery::DurableState>(*victim2, dir);
+    cost.replayedRecords = static_cast<double>(ds2->info().replayedRecords);
+    SessionAgent::Config vcfg2;
+    vcfg2.store = &ds2->store();
+    vcfg2.durableSessions = true;
+    vcfg2.incarnation = ds2->incarnation();
+    auto victimAgent2 = std::make_unique<SessionAgent>(*victim2, vcfg2);
+    registerPipelineApp(*victimAgent2);
+    victimAgent2->rejoinPersisted();
+    initiator.awaitCompletion(result.sessionId, seconds(120));
+    const TimePoint tDone = clock.now();
+    cost.recoveredMs = msBetween(t0, tDone);
+    cost.restartToDoneMs = msBetween(tRestart, tDone);
+    initiator.terminate(result.sessionId);
+    victimAgent2.reset();
+    ds2.reset();
+    victim2->stop();
+    feeder.stop();
+    director.stop();
+    std::filesystem::remove_all(dir);
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = dapple::benchutil::quickMode(argc, argv);
+  dapple::benchutil::BenchReport report("recovery");
+
+  std::printf("=== E11: crash-recovery cost (DESIGN.md §12) ===\n\n");
+
+  // ---- WAL append throughput ---------------------------------------------
+  const std::size_t appends = quick ? 200 : 2000;
+  std::printf("WAL append throughput (%zu appends)\n", appends);
+  std::printf("%-10s %-10s | %12s %10s\n", "fsync", "value-B", "appends/s",
+              "MB/s");
+  std::printf("---------------------+-------------------------\n");
+  for (const bool fsync : {true, false}) {
+    for (const std::size_t valueBytes : {std::size_t{16}, std::size_t{256}}) {
+      const WalRate rate =
+          walThroughput(fsync, valueBytes, appends,
+                        std::string("wal_") + (fsync ? "on" : "off") + "_" +
+                            std::to_string(valueBytes));
+      std::printf("%-10s %-10zu | %12.0f %10.2f\n", fsync ? "on" : "off",
+                  valueBytes, rate.appendsPerSec, rate.mbPerSec);
+      report
+          .row(std::string("wal/fsync=") + (fsync ? "on" : "off") +
+               "/value_bytes=" + std::to_string(valueBytes))
+          .num("appends_per_s", rate.appendsPerSec)
+          .num("mb_per_s", rate.mbPerSec);
+    }
+  }
+
+  // ---- checkpoint latency -------------------------------------------------
+  SimNetwork net(42);
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{100, 1000}
+            : std::vector<std::size_t>{100, 1000, 10000};
+  std::printf("\nCheckpoint compaction vs state size (64B values)\n");
+  std::printf("%-8s | %10s %12s %14s\n", "keys", "ms", "image-B",
+              "wal-retired-B");
+  std::printf("---------+---------------------------------------\n");
+  std::uint32_t host = 10;
+  for (const std::size_t keys : sizes) {
+    const CkptCost cost =
+        checkpointCost(net, host++, keys, "ckpt_" + std::to_string(keys));
+    std::printf("%-8zu | %10.2f %12.0f %14.0f\n", keys, cost.ms,
+                cost.imageBytes, cost.walBytesRetired);
+    report.row("checkpoint/keys=" + std::to_string(keys))
+        .num("ms", cost.ms)
+        .num("image_bytes", cost.imageBytes)
+        .num("wal_retired_bytes", cost.walBytesRetired);
+  }
+
+  // ---- kill -> restart -> rejoin ------------------------------------------
+  std::printf("\nKill -> restart -> rejoin (virtual time, simulated WAN, "
+              "%lld paced items)\n",
+              static_cast<long long>(kItems));
+  std::printf("%-22s | %12s %12s %16s %10s\n", "", "baseline-ms",
+              "recovered-ms", "restart->done-ms", "replayed");
+  std::printf("-----------------------+------------------------------------"
+              "-----------\n");
+  const RejoinCost cost = rejoinCost(7);
+  std::printf("%-22s | %12.1f %12.1f %16.1f %10.0f\n", "pipeline",
+              cost.baselineMs, cost.recoveredMs, cost.restartToDoneMs,
+              cost.replayedRecords);
+  report.row("rejoin/items=" + std::to_string(kItems))
+      .num("baseline_ms", cost.baselineMs)
+      .num("recovered_ms", cost.recoveredMs)
+      .num("restart_to_done_ms", cost.restartToDoneMs)
+      .num("replayed_records", cost.replayedRecords);
+
+  std::printf("\nExpected shape: fsync dominates WAL cost (orders of "
+              "magnitude below the\nfsync-off ceiling); checkpoint latency "
+              "grows linearly with the image; the\nrecovered run pays the "
+              "crash-to-restart gap plus REJOIN round-trips on top\nof the "
+              "baseline, and replays exactly the journaled mutation "
+              "prefix.\n");
+  return 0;
+}

@@ -102,6 +102,16 @@ class SessionAgent {
     /// each session's initiator, and unlinks sessions whose initiator is
     /// suspected dead.  Must outlive the agent.
     PeerMonitor* monitor = nullptr;
+    /// Crash recovery (DESIGN.md §12): when true (requires `store`, which
+    /// should be a `recovery::DurableState`'s journaled store) the agent
+    /// journals each linked session's metadata under reserved
+    /// "dapple.sess/<id>" keys so that after a kill, `rejoinPersisted()`
+    /// can re-enter those sessions via the REJOIN handshake.
+    bool durableSessions = false;
+    /// This process's restart counter (`DurableState::incarnation()`).
+    /// Carried in REJOIN so the initiator can order a restart against
+    /// stale eviction events.
+    std::uint64_t incarnation = 0;
   };
 
   explicit SessionAgent(Dapplet& dapplet) : SessionAgent(dapplet, Config{}) {}
@@ -123,6 +133,15 @@ class SessionAgent {
   /// Ids of currently linked sessions.
   std::vector<std::string> activeSessions() const;
 
+  /// Crash-recovery re-entry (Config::durableSessions): for every session
+  /// journaled in the store by a previous incarnation, re-creates the
+  /// session's inboxes and role record, then sends REJOIN to its initiator
+  /// (retrying with backoff until acked, rejected, or attempts exhaust —
+  /// the initiator replies with WIRE + START, after which the role re-runs
+  /// from the recovered state).  Call after registering the apps.  Returns
+  /// the session ids for which a rejoin was initiated.
+  std::vector<std::string> rejoinPersisted();
+
   struct Stats {
     std::uint64_t invitesAccepted = 0;
     std::uint64_t invitesRejectedAcl = 0;
@@ -132,6 +151,8 @@ class SessionAgent {
     std::uint64_t sessionsUnlinked = 0;
     std::uint64_t peersEvicted = 0;       ///< MEMBER_DOWN notices processed
     std::uint64_t initiatorsLost = 0;     ///< sessions dropped: initiator died
+    std::uint64_t rejoinsSent = 0;        ///< REJOIN requests initiated
+    std::uint64_t peersRejoined = 0;      ///< MEMBER_UP notices processed
   };
   Stats stats() const;
 

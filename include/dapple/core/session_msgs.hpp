@@ -163,6 +163,62 @@ class MemberDownMsg : public MessageBase<MemberDownMsg> {
   void decodeFields(TextReader& r) override;
 };
 
+/// Restarted member -> initiator: crash-recovery REJOIN request
+/// (DESIGN.md §12).  A dapplet that reloaded a journaled session from its
+/// durable state asks to be re-admitted: `incarnation` orders the request
+/// against stale eviction events (eviction and rejoin are idempotent per
+/// incarnation), `control` is the restarted agent's session-control inbox
+/// (it lives at a new node address), and `inboxRefs` are the re-created
+/// session inboxes the initiator should re-wire peers to.
+class RejoinMsg : public MessageBase<RejoinMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.Rejoin";
+
+  std::string sessionId;
+  std::string memberName;
+  std::uint64_t incarnation = 0;  ///< restart counter (1 = first boot)
+  InboxRef control;               ///< restarted agent's control inbox
+  std::map<std::string, InboxRef> inboxRefs;  ///< re-created session inboxes
+  InboxRef livenessRef;  ///< member's heartbeat inbox (may be invalid)
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Initiator -> restarted member: REJOIN verdict.  On accept the initiator
+/// follows up with WIRE (re-bind the member's outboxes) and START (re-run
+/// its role); on reject the member discards the journaled session.
+class RejoinAckMsg : public MessageBase<RejoinAckMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.RejoinAck";
+
+  std::string sessionId;
+  std::string memberName;
+  std::uint64_t incarnation = 0;  ///< echoes the request
+  bool accepted = false;
+  std::string reason;  ///< set when rejected
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
+/// Initiator -> surviving members: an evicted member rejoined at a new
+/// address (the inverse of MemberDownMsg).  Survivors' stale bindings were
+/// already re-pointed by an accompanying WIRE; this is the narration event
+/// (metrics/trace) and lets apps observe recovery.
+class MemberUpMsg : public MessageBase<MemberUpMsg> {
+ public:
+  static constexpr std::string_view kTypeName = "dapple.session.MemberUp";
+
+  std::string sessionId;
+  std::string memberName;   ///< the rejoined member
+  std::uint64_t node = 0;   ///< NodeAddress::packed() of the new process
+  std::uint64_t incarnation = 0;
+
+  void encodeFields(TextWriter& w) const override;
+  void decodeFields(TextReader& r) override;
+};
+
 /// Mid-session shrink: drop specific outbox->inbox bindings.
 class UnbindMsg : public MessageBase<UnbindMsg> {
  public:

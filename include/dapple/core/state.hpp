@@ -15,7 +15,14 @@
 ///    admits a new session only when its write set is disjoint from every
 ///    live session's read+write sets and its read set is disjoint from
 ///    every live write set.
+///
+/// Crash recovery (DESIGN.md §12): a store can journal its mutations
+/// instead of rewriting its whole file on every put — install a mutation
+/// hook via `setMutationHook` and `services/recovery`'s `DurableState`
+/// appends each mutation to a write-ahead log, compacting via
+/// checkpoint + truncate.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -31,9 +38,23 @@ namespace dapple {
 /// Thread-safe persistent key/value store.
 class StateStore {
  public:
+  /// Warning sink for non-fatal recovery events (corrupt file fallback).
+  /// Receives a one-line human-readable description.
+  using WarnFn = std::function<void(const std::string&)>;
+
+  /// Observes every mutation, invoked *under the store lock* immediately
+  /// after it is applied, so the hook sees mutations in exactly the order
+  /// they took effect.  `value` is the new value for a put and nullptr for
+  /// an erase.  The hook must not call back into this store.
+  using MutationHook =
+      std::function<void(const std::string& key, const Value* value)>;
+
   /// `filePath` may be empty for a memory-only store.  When nonempty and
-  /// the file exists, the constructor loads it.
-  explicit StateStore(std::string filePath = "");
+  /// the file exists, the constructor loads it; a corrupt file is moved
+  /// aside to `<filePath>.corrupt` and the store starts empty (reported
+  /// through `warn` — a crash can happen at any byte, so an unreadable
+  /// store must degrade, not abort the process).
+  explicit StateStore(std::string filePath = "", WarnFn warn = nullptr);
 
   /// Returns the value at `key`; throws StateError when absent.
   Value get(const std::string& key) const;
@@ -46,19 +67,53 @@ class StateStore {
   void erase(const std::string& key);
   std::vector<std::string> keys() const;
 
+  /// Installs `hook` (see MutationHook).  When `autosaveOnMutate` is false
+  /// put()/erase() no longer rewrite the backing file — the hook's journal
+  /// is then the durability mechanism and explicit save()/checkpoints
+  /// persist the full image.  Pass nullptr to uninstall (restores
+  /// autosave).
+  void setMutationHook(MutationHook hook, bool autosaveOnMutate = true);
+
+  /// Full copy of the current contents.
+  ValueMap snapshot() const;
+
+  /// Runs `fn` over the contents *under the store lock*, so the observed
+  /// image is atomic with respect to concurrent mutations AND with the
+  /// mutation hook's journal: every journal record is either reflected in
+  /// the image or ordered after it.  `fn` must not call back into this
+  /// store.  Checkpoint compaction (snapshot + WAL truncate) uses this.
+  void withSnapshot(const std::function<void(const ValueMap&)>& fn) const;
+
+  /// Replaces the entire contents without invoking the mutation hook or
+  /// saving — the recovery replay path (checkpoint image + WAL tail).
+  void replaceAll(ValueMap data);
+
   /// Writes the store to its file (no-op for memory-only stores).  Called
   /// automatically by put()/erase() so state survives process death at any
-  /// point, matching the paper's persistence requirement.
+  /// point, matching the paper's persistence requirement.  The write is
+  /// atomic and durable: temp file + fsync + rename + directory fsync — a
+  /// crash mid-save leaves either the old image or the new one, never a
+  /// torn file.
   void save() const;
 
-  /// Re-reads the file, replacing in-memory contents.
+  /// Re-reads the file, replacing in-memory contents.  Throws StateError
+  /// when the file cannot be opened; a *corrupt* file (unparseable wire
+  /// text, e.g. a partial write by a pre-atomic-save version) is moved
+  /// aside and the store falls back to empty, with a warning.
   void load();
+
+  /// Backing file ("" for memory-only stores).
+  const std::string& filePath() const { return filePath_; }
 
  private:
   void saveLocked() const;
+  void afterMutationLocked(const std::string& key, const Value* value);
 
   mutable std::mutex mutex_;
   std::string filePath_;
+  WarnFn warn_;
+  MutationHook hook_;
+  bool autosaveOnMutate_ = true;
   ValueMap data_;
 };
 

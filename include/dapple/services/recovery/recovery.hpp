@@ -1,0 +1,110 @@
+#pragma once
+/// \file recovery.hpp
+/// \brief Crash-recovery persistence: DurableState = checkpoint + WAL
+/// (DESIGN.md §12).
+///
+/// Upgrades the stack's failure model from crash-stop (PR 1: a killed
+/// dapplet is evicted and its state is gone) to crash-recovery: a dapplet
+/// that owns a `DurableState` journals every `StateStore` mutation to an
+/// fsync'd write-ahead log, periodically compacts the log into an atomic
+/// checkpoint image, and after a kill the restarted process reloads the
+/// checkpoint, replays the log tail, and carries on — `SessionAgent`'s
+/// REJOIN handshake then re-admits it to its healed sessions.
+///
+/// Directory layout (one directory per dapplet):
+///     <dir>/state.ckpt   checkpoint image: map{at, data} in wire text
+///     <dir>/state.wal    mutation journal (see wal.hpp)
+///     <dir>/incarnation  restart counter: "u<n>" — bumped on every open
+///
+/// Coordinated checkpoints: `bindCheckpoint` hooks a `CheckpointService`
+/// (Lamport-clock global snapshot, services/snapshot) so that when the
+/// coordinator cuts the computation at logical time T, every member
+/// compacts its WAL into a checkpoint stamped T — the set of per-member
+/// `state.ckpt` files then forms a consistent recovery line.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dapple/core/state.hpp"
+#include "dapple/services/recovery/wal.hpp"
+
+namespace dapple {
+class Dapplet;
+class CheckpointService;
+}  // namespace dapple
+
+namespace dapple::recovery {
+
+/// A StateStore made crash-durable by a WAL + checkpoint pair.
+/// All members are thread-safe.
+class DurableState {
+ public:
+  struct Options {
+    /// fsync every WAL append (see WriteAheadLog::Options).
+    bool fsyncEachAppend;
+    /// Auto-compact when the WAL grows past this many bytes (0 = only
+    /// explicit/coordinated checkpoints compact).  Compaction runs on a
+    /// spawned worker so the mutating thread never pays the checkpoint
+    /// write inline.
+    std::uint64_t compactAtBytes;
+    Options() : fsyncEachAppend(true), compactAtBytes(0) {}
+  };
+
+  /// Opens (or creates) the durable directory, bumps the incarnation
+  /// counter, loads the checkpoint image, replays the WAL tail, and
+  /// installs the journaling hook on the wrapped store.
+  DurableState(Dapplet& dapplet, std::string dir, Options opts = Options());
+  ~DurableState();
+  DurableState(const DurableState&) = delete;
+  DurableState& operator=(const DurableState&) = delete;
+
+  /// The journaled store.  Pass `&store()` as `SessionAgent::Config::store`
+  /// (and `TokenConfig::journal`) to make sessions and token accounting
+  /// recoverable.
+  StateStore& store();
+
+  struct RecoveryInfo {
+    /// True when a checkpoint image or WAL records existed at open —
+    /// i.e. this process is a restart, not a first boot.
+    bool recovered = false;
+    std::uint64_t incarnation = 1;     ///< 1 on first boot, +1 per restart
+    std::uint64_t replayedRecords = 0; ///< WAL records applied on open
+    std::uint64_t checkpointAt = 0;    ///< Lamport stamp of the loaded image
+    bool tornTail = false;             ///< WAL ended in a torn frame
+  };
+
+  const RecoveryInfo& info() const { return info_; }
+  std::uint64_t incarnation() const { return info_.incarnation; }
+
+  /// Compacts now: atomically writes the full state image and truncates
+  /// the WAL.  The image and the truncation are taken under the store
+  /// lock, so no concurrent mutation can fall between them.
+  void checkpoint();
+
+  /// Coordinated variant: stamps the image with the global cut's logical
+  /// time `at` (see bindCheckpoint).
+  void checkpointAt(std::uint64_t at);
+
+  struct Stats {
+    std::uint64_t walAppends = 0;
+    std::uint64_t walBytes = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t checkpointBytes = 0;  ///< bytes in the last image
+    std::uint64_t replayedRecords = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  RecoveryInfo info_;
+};
+
+/// Wires a CheckpointService to a DurableState: every coordinated cut at
+/// logical time T also compacts this member's WAL into a checkpoint
+/// stamped T.  Call after constructing both; the binding lives until the
+/// service is destroyed.
+void bindCheckpoint(CheckpointService& service, DurableState& durable);
+
+}  // namespace dapple::recovery

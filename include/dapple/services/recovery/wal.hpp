@@ -1,0 +1,102 @@
+#pragma once
+/// \file wal.hpp
+/// \brief Write-ahead log for durable dapplet state (DESIGN.md §12).
+///
+/// The recovery subsystem's journal: every StateStore mutation is appended
+/// as one checksummed, length-framed record and fsync'd before the caller
+/// proceeds, so the sequence of mutations survives a crash at any
+/// instruction.  Recovery = load the last checkpoint image, then replay
+/// the log tail in append order.  Compaction = write a fresh checkpoint
+/// (atomic rename) and truncate the log.
+///
+/// On-disk frame, all in the project's text wire tokens so the log is
+/// greppable like every other artifact:
+///
+///     u<len> u<fnv64(payload)> <payload bytes>\n
+///
+/// and the payload is one record encoded with TextWriter:
+///
+///     u<kind> u<seq> u<lamport> s<keylen>:<key> <value|n>
+///
+/// A crash mid-append leaves a torn final frame: the length prefix points
+/// past EOF, the checksum mismatches, or the frame header itself is cut
+/// short.  `replayAll` stops at the first bad frame, reports it, and
+/// truncates the file back to the last good frame so subsequent appends
+/// extend a clean log — torn tails are expected, anything *before* the
+/// tail failing its checksum indicates real corruption and is also
+/// truncated (with the record loss surfaced to the caller).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dapple/serial/value.hpp"
+
+namespace dapple::recovery {
+
+/// One journaled mutation.
+struct WalRecord {
+  enum Kind : std::uint8_t { kPut = 0, kErase = 1 };
+
+  Kind kind = kPut;
+  std::uint64_t seq = 0;      ///< monotone per-log sequence number
+  std::uint64_t lamport = 0;  ///< writer's Lamport clock at the mutation
+  std::string key;
+  Value value;  ///< null for kErase
+};
+
+/// Append-only fsync'd mutation log.  All members are thread-safe.
+class WriteAheadLog {
+ public:
+  struct Options {
+    /// fsync after every append (durability) — benches can turn this off
+    /// to measure the fsync cost in isolation.  (Initialized in a ctor,
+    /// not a default member initializer, so the enclosing class can use
+    /// `Options()` as a default argument.)
+    bool fsyncEachAppend;
+    Options(bool fsync = true) : fsyncEachAppend(fsync) {}
+  };
+
+  explicit WriteAheadLog(std::string path, Options opts = Options());
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  struct ReplayResult {
+    std::vector<WalRecord> records;
+    /// True when a torn/corrupt frame was found (and truncated away).
+    bool tornTail = false;
+    /// Bytes discarded by the truncation.
+    std::uint64_t truncatedBytes = 0;
+  };
+
+  /// Reads every intact record (seeding the next sequence number) and
+  /// truncates any torn tail.  Call once, before the first append.
+  ReplayResult replayAll();
+
+  /// Appends one record (durably when Options::fsyncEachAppend) and
+  /// returns its sequence number.
+  std::uint64_t append(WalRecord::Kind kind, const std::string& key,
+                       const Value* value, std::uint64_t lamport);
+
+  /// Truncates the log to empty (after its contents were folded into a
+  /// checkpoint image) and fsyncs.
+  void reset();
+
+  std::uint64_t sizeBytes() const;
+  std::uint64_t appendCount() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  const std::string path_;
+  const Options opts_;
+
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t appends_ = 0;
+};
+
+}  // namespace dapple::recovery

@@ -80,6 +80,14 @@ class CheckpointService {
   GlobalSnapshot take(Duration settle = milliseconds(200),
                       Duration timeout = seconds(10));
 
+  /// Local persistence hook for crash recovery (DESIGN.md §12): invoked on
+  /// this member right after it records its local state for a cut at
+  /// logical time `at` — `recovery::bindCheckpoint` uses it to compact the
+  /// member's WAL into a durable checkpoint stamped `at`, so a coordinated
+  /// take() leaves a consistent recovery line on disk.  The hook runs on
+  /// the service's dispatch thread, outside its internal lock.
+  void onLocalCheckpoint(std::function<void(std::uint64_t at)> hook);
+
   struct Stats {
     std::uint64_t checkpointsTaken = 0;
     std::uint64_t channelMessagesRecorded = 0;

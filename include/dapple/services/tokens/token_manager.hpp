@@ -49,6 +49,8 @@ struct TokenRequest {
 };
 using TokenList = std::vector<TokenRequest>;
 
+class StateStore;
+
 /// Tuning for the token-manager network.
 struct TokenConfig {
   /// How long a request may remain unsatisfied before deadlock probes are
@@ -56,6 +58,13 @@ struct TokenConfig {
   Duration probeDelay = milliseconds(100);
   /// Re-probe period while still blocked.
   Duration probeInterval = milliseconds(100);
+  /// Optional crash-recovery journal (DESIGN.md §12), typically a
+  /// `recovery::DurableState`'s store.  When set, the manager persists its
+  /// home pools and held bag under reserved "dapple.tok/*" keys at every
+  /// mutation, and attach() restores them — ignoring `initial` seeds for
+  /// restored colours — so a restarted member neither mints nor loses
+  /// tokens.  Must outlive the manager.
+  StateStore* journal = nullptr;
 };
 
 /// One member's token manager.  Construct one per member; call `attach`
@@ -78,6 +87,12 @@ class TokenManager {
   /// `selfIndex` (seeding a colour homed elsewhere throws TokenError).
   void attach(const std::vector<InboxRef>& managers, std::size_t selfIndex,
               const TokenBag& initial);
+
+  /// Crash recovery: re-points the peer slot `index` at a restarted
+  /// member's manager inbox (the replacement process listens at a new
+  /// address).  Call on every survivor after the restarted member's
+  /// manager ref is re-advertised.  Throws TokenError before attach().
+  void rewire(std::size_t index, const InboxRef& ref);
 
   /// Home member index of a colour (hash over the member count).
   std::size_t homeOf(const TokenColor& color) const;

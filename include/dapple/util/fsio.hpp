@@ -1,0 +1,28 @@
+#pragma once
+/// \file fsio.hpp
+/// \brief Durable file writes for the persistence layer.
+///
+/// Crash-recovery durability (DESIGN.md §12) needs two primitives the
+/// standard library does not give us: an *atomic* full-file replace (a
+/// crash at any byte leaves either the old image or the new one) and an
+/// *fsync'd* write (the data is on stable storage before the caller
+/// proceeds).  `StateStore::save`, the recovery WAL's checkpoint files and
+/// `GlobalSnapshot::saveTo` all route through these helpers.
+
+#include <string>
+#include <string_view>
+
+namespace dapple {
+
+/// Atomically and durably replaces the file at `path` with `bytes`:
+/// writes `<path>.tmp`, fsyncs it, renames it over `path`, then fsyncs the
+/// containing directory so the rename itself survives a crash.  Throws
+/// StateError on any I/O failure.
+void atomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// Fsyncs the directory containing `path` (making a completed rename or
+/// create durable).  Failures are ignored on filesystems that refuse
+/// directory fsync; real write errors surface on the data fsync instead.
+void fsyncParentDir(const std::string& path);
+
+}  // namespace dapple

@@ -2,9 +2,10 @@
 # TSan gate for the concurrency-heavy test subset.
 #
 # Configures a dedicated ThreadSanitizer build tree, builds the test
-# binaries, and runs the `faults` and `fuzz-smoke` ctest labels — the
-# failure-injection suites and the scenario-fuzzer smoke sweep.  Those run
-# on the virtual clock, so TSan reports reproduce run-to-run.
+# binaries, and runs the `faults`, `fuzz-smoke`, and `recovery` ctest
+# labels — the failure-injection suites, the scenario-fuzzer smoke sweep,
+# and the crash-recovery (kill -> restart -> rejoin) suite.  Those run on
+# the virtual clock, so TSan reports reproduce run-to-run.
 #
 #   scripts/tsan_check.sh [build-dir]     (default: build-tsan)
 set -eu
@@ -14,4 +15,4 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -DDAPPLE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery'

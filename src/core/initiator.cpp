@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <set>
+#include <utility>
 
 #include "dapple/core/session.hpp"
 #include "dapple/util/log.hpp"
@@ -21,6 +23,8 @@ struct Initiator::Impl {
         mInviteRoundUs(&d.metricsRegistry().histogram("session.invite_round_us")),
         mWireRoundUs(&d.metricsRegistry().histogram("session.wire_round_us")),
         mStartRoundUs(&d.metricsRegistry().histogram("session.start_round_us")),
+        mRejoinHandled(&d.metricsRegistry().counter("recovery.rejoin_handled")),
+        mRejoinRefused(&d.metricsRegistry().counter("recovery.rejoin_refused")),
         trace(&d.trace()) {}
 
   Dapplet& d;
@@ -35,7 +39,12 @@ struct Initiator::Impl {
   obs::Histogram* mInviteRoundUs;
   obs::Histogram* mWireRoundUs;
   obs::Histogram* mStartRoundUs;
+  obs::Counter* mRejoinHandled;  ///< REJOINs accepted (DESIGN.md §12)
+  obs::Counter* mRejoinRefused;  ///< REJOINs rejected
   obs::TraceRing* trace;
+
+  /// failMember() incarnation sentinel: "evict regardless of restarts".
+  static constexpr std::uint64_t kAnyIncarnation = ~std::uint64_t{0};
 
   /// Session timeouts and backoff all pace on the dapplet's clock.
   TimePoint now() const { return d.clockSource().now(); }
@@ -63,6 +72,13 @@ struct Initiator::Impl {
     std::map<std::string, std::map<std::string, InboxRef>> memberRefs;
     std::map<std::string, InboxRef> memberLiveness;
     std::map<std::string, NodeAddress> memberNodes;
+    /// Restart counter per member (DESIGN.md §12): set by REJOIN, consulted
+    /// by failMember() so eviction verdicts aimed at an earlier process of
+    /// the same member are recognized as stale and dropped.
+    std::map<std::string, std::uint64_t> memberIncarnation;
+    /// Exact liveness-watch key per member ("sid/name" at establish,
+    /// "sid/name#inc" after a rejoin); unwatch must use the watched key.
+    std::map<std::string, std::string> watchKeys;
     std::map<std::string, Value> doneResults;
     std::map<std::string, std::string> down;  // evicted member -> reason
     // Dead members' outboxes are parked here (sends may race with eviction)
@@ -179,18 +195,30 @@ struct Initiator::Impl {
   }
 
   void failMember(const std::string& sessionId, const std::string& member,
-                  const std::string& reason) {
+                  const std::string& reason,
+                  std::uint64_t incarnation = kAnyIncarnation) {
     auto rec = tryFind(sessionId);
     if (!rec) return;
     MemberDownMsg notice;
     notice.sessionId = sessionId;
     notice.memberName = member;
     notice.reason = reason;
+    std::string watchKey;
     {
       std::scoped_lock lock(rec->mtx);
       // Mid-setup failures are owned by the phase retry/timeout logic; a
       // hook firing then must not mutate maps establish() is iterating.
       if (!rec->established) return;
+      // A verdict carrying an incarnation older than the member's current
+      // one condemns a process that already died and was replaced by a
+      // rejoin; evicting the replacement for its predecessor's death would
+      // double-punish the restart (DESIGN.md §12).
+      const auto incIt = rec->memberIncarnation.find(member);
+      if (incarnation != kAnyIncarnation &&
+          incIt != rec->memberIncarnation.end() &&
+          incIt->second > incarnation) {
+        return;
+      }
       if (rec->down.count(member) != 0) return;
       // A member whose result is already in has completed its role; it
       // stops heartbeating afterwards, so late suspicion is expected and
@@ -210,6 +238,11 @@ struct Initiator::Impl {
         rec->retired.push_back(boxIt->second);
         rec->memberOutbox.erase(boxIt);
       }
+      if (const auto wkIt = rec->watchKeys.find(member);
+          wkIt != rec->watchKeys.end()) {
+        watchKey = wkIt->second;
+        rec->watchKeys.erase(wkIt);
+      }
       DAPPLE_LOG(kInfo, kLog) << d.name() << ": session " << sessionId
                               << ": member '" << member << "' declared down ("
                               << reason << ")";
@@ -222,7 +255,177 @@ struct Initiator::Impl {
         }
       }
     }
-    if (monitor != nullptr) monitor->unwatch(sessionId + "/" + member);
+    if (monitor != nullptr && !watchKey.empty()) monitor->unwatch(watchKey);
+  }
+
+  /// REJOIN handshake (DESIGN.md §12): a restarted member asks to be
+  /// re-admitted at its new address.  Accept = re-point the member's
+  /// outbox/refs/node/liveness at the new process, replay WIRE + START to
+  /// it, re-wire the survivors' edges into its re-created inboxes, and
+  /// broadcast MEMBER_UP.  Idempotent per incarnation: duplicate requests
+  /// converge, and requests racing a not-yet-processed eviction of the old
+  /// process win (the eviction becomes stale via `memberIncarnation`).
+  void onRejoin(const RejoinMsg& m) {
+    auto rec = tryFind(m.sessionId);
+    if (!rec) return;  // unknown session: the requester times out and unjournals
+
+    RejoinAckMsg ack;
+    ack.sessionId = m.sessionId;
+    ack.memberName = m.memberName;
+    ack.incarnation = m.incarnation;
+
+    std::string oldWatchKey;
+    std::string newWatchKey;
+    InboxRef liveRef;
+    {
+      std::scoped_lock lock(rec->mtx);
+      const bool known = std::any_of(
+          rec->members.begin(), rec->members.end(),
+          [&](const MemberPlan& mp) { return mp.name == m.memberName; });
+      const auto incIt = rec->memberIncarnation.find(m.memberName);
+      const std::uint64_t cur =
+          incIt == rec->memberIncarnation.end() ? 0 : incIt->second;
+      if (!known) {
+        ack.reason = "unknown member";
+      } else if (!rec->established) {
+        ack.reason = "session not established";
+      } else if (rec->doneResults.count(m.memberName) != 0) {
+        ack.reason = "member already completed";
+      } else if (m.incarnation < cur) {
+        ack.reason = "stale incarnation (current " + std::to_string(cur) + ")";
+      }
+      if (ack.reason.empty()) {
+        const bool wasDown = rec->down.erase(m.memberName) != 0;
+        const auto oldNodeIt = rec->memberNodes.find(m.memberName);
+        const bool nodeChanged =
+            oldNodeIt == rec->memberNodes.end() ||
+            oldNodeIt->second.packed() != m.control.node.packed();
+        // Satellite race: the restart beat the eviction.  Survivors never
+        // saw MEMBER_DOWN for the dead process, so their outboxes still
+        // target its address — tell them to drop it before re-wiring.
+        if (!wasDown && nodeChanged && oldNodeIt != rec->memberNodes.end()) {
+          MemberDownMsg stale;
+          stale.sessionId = m.sessionId;
+          stale.memberName = m.memberName;
+          stale.node = oldNodeIt->second.packed();
+          stale.reason = "superseded by rejoin (incarnation " +
+                         std::to_string(m.incarnation) + ")";
+          for (const auto& [name, box] : rec->memberOutbox) {
+            if (name != m.memberName) sendOn(*box, stale);
+          }
+        }
+        // Never reuse the dead process's outbox: park it (sends may still
+        // race) and re-register under the same member name, so the member
+        // list gains no duplicate entry however the race resolved.
+        if (const auto boxIt = rec->memberOutbox.find(m.memberName);
+            boxIt != rec->memberOutbox.end()) {
+          rec->retired.push_back(boxIt->second);
+          rec->memberOutbox.erase(boxIt);
+        }
+        Outbox& box = d.createOutbox();
+        box.add(m.control);
+        rec->memberOutbox[m.memberName] = &box;
+        rec->memberRefs[m.memberName] = m.inboxRefs;
+        rec->memberNodes[m.memberName] = m.control.node;
+        rec->memberIncarnation[m.memberName] = m.incarnation;
+        if (m.livenessRef.valid()) {
+          rec->memberLiveness[m.memberName] = m.livenessRef;
+          liveRef = m.livenessRef;
+        } else {
+          rec->memberLiveness.erase(m.memberName);
+        }
+        // Swap the liveness watch to an incarnation-scoped key so verdicts
+        // already in flight against the old process miss the new one.
+        if (const auto wkIt = rec->watchKeys.find(m.memberName);
+            wkIt != rec->watchKeys.end()) {
+          oldWatchKey = wkIt->second;
+        }
+        if (liveRef.valid()) {
+          newWatchKey = m.sessionId + "/" + m.memberName + "#" +
+                        std::to_string(m.incarnation);
+          rec->watchKeys[m.memberName] = newWatchKey;
+        } else {
+          rec->watchKeys.erase(m.memberName);
+        }
+
+        // Edges touching the rejoiner, restricted to endpoints that still
+        // resolve (a co-member may have died or left meanwhile).
+        std::vector<Edge> touched;
+        for (const Edge& e : rec->edges) {
+          if (e.fromMember != m.memberName && e.toMember != m.memberName) {
+            continue;
+          }
+          const auto refs = rec->memberRefs.find(e.toMember);
+          if (refs == rec->memberRefs.end() ||
+              refs->second.count(e.toInbox) == 0) {
+            continue;
+          }
+          touched.push_back(e);
+        }
+        const auto rewire = planBindings(*rec, touched);
+
+        ack.accepted = true;
+        sendOn(box, ack);
+        // WIRE precedes START so the role never runs un-wired; the agent's
+        // `started` latch makes the replayed START idempotent.
+        WireMsg wire;
+        wire.sessionId = m.sessionId;
+        if (const auto it = rewire.find(m.memberName); it != rewire.end()) {
+          wire.bindings = it->second;
+        }
+        sendOn(box, wire);
+        StartMsg start;
+        start.sessionId = m.sessionId;
+        for (const MemberPlan& mp : rec->members) start.peers.push_back(mp.name);
+        start.params = rec->params;
+        sendOn(box, start);
+
+        MemberUpMsg up;
+        up.sessionId = m.sessionId;
+        up.memberName = m.memberName;
+        up.node = m.control.node.packed();
+        up.incarnation = m.incarnation;
+        for (const auto& [name, peerBox] : rec->memberOutbox) {
+          if (name == m.memberName) continue;
+          if (const auto it = rewire.find(name); it != rewire.end()) {
+            WireMsg peerWire;
+            peerWire.sessionId = m.sessionId;
+            peerWire.bindings = it->second;
+            sendOn(*peerBox, peerWire);
+          }
+          sendOn(*peerBox, up);
+        }
+        DAPPLE_LOG(kInfo, kLog)
+            << d.name() << ": session " << m.sessionId << ": member '"
+            << m.memberName << "' rejoined (incarnation " << m.incarnation
+            << ")";
+      }
+    }
+    if (!ack.accepted) {
+      // NACK on a throwaway outbox so the requester stops retrying and
+      // discards its journal; parked with the session like other retirees.
+      Outbox& nack = d.createOutbox();
+      nack.add(m.control);
+      sendOn(nack, ack);
+      {
+        std::scoped_lock lock(rec->mtx);
+        rec->retired.push_back(&nack);
+      }
+      mRejoinRefused->inc();
+      trace->emit("recovery", "rejoin.refused",
+                  m.sessionId + "/" + m.memberName + ": " + ack.reason);
+      return;
+    }
+    if (monitor != nullptr) {
+      if (!oldWatchKey.empty() && oldWatchKey != newWatchKey) {
+        monitor->unwatch(oldWatchKey);
+      }
+      if (!newWatchKey.empty()) monitor->watch(newWatchKey, liveRef);
+    }
+    mRejoinHandled->inc();
+    trace->emit("recovery", "member.rejoin",
+                m.sessionId + "/" + m.memberName +
+                    " inc=" + std::to_string(m.incarnation));
   }
 
   void destroy(const std::string& sessionId,
@@ -235,9 +438,8 @@ struct Initiator::Impl {
       std::vector<std::string> keys;
       {
         std::scoped_lock lock(rec->mtx);
-        for (const auto& [name, ref] : rec->memberLiveness) {
-          keys.push_back(sessionId + "/" + name);
-        }
+        for (const auto& [name, key] : rec->watchKeys) keys.push_back(key);
+        rec->watchKeys.clear();
       }
       for (const std::string& key : keys) monitor->unwatch(key);
     }
@@ -263,6 +465,7 @@ Initiator::Initiator(Dapplet& dapplet, PeerMonitor* monitor)
         (void)dst;
         std::string sessionId;
         std::string member;
+        std::uint64_t inc = 0;
         {
           std::scoped_lock lock(impl->mutex);
           for (const auto& [id, rec] : impl->sessions) {
@@ -271,6 +474,11 @@ Initiator::Initiator(Dapplet& dapplet, PeerMonitor* monitor)
               if (box->id() == outboxId) {
                 sessionId = id;
                 member = name;
+                // Pin the verdict to the incarnation the stream belonged
+                // to: if the member rejoins before failMember runs, the
+                // verdict is stale and must not evict the new process.
+                const auto it = rec->memberIncarnation.find(name);
+                inc = it == rec->memberIncarnation.end() ? 0 : it->second;
                 break;
               }
             }
@@ -278,18 +486,27 @@ Initiator::Initiator(Dapplet& dapplet, PeerMonitor* monitor)
           }
         }
         if (!member.empty()) {
-          impl->failMember(sessionId, member, "stream failure: " + reason);
+          impl->failMember(sessionId, member, "stream failure: " + reason,
+                           inc);
         }
       });
   if (monitor != nullptr) {
     monitor->onSuspect([weak](const std::string& key, const InboxRef&) {
       auto impl = weak.lock();
       if (!impl) return;
-      // Initiator watch keys are "<sessionId>/<memberName>".
+      // Initiator watch keys are "<sessionId>/<memberName>" or, after a
+      // rejoin, "<sessionId>/<memberName>#<incarnation>" — the suffix pins
+      // the verdict to the process generation it condemns.
       const auto slash = key.find('/');
       if (slash == std::string::npos) return;
-      impl->failMember(key.substr(0, slash), key.substr(slash + 1),
-                       "liveness: peer suspected dead");
+      std::string member = key.substr(slash + 1);
+      std::uint64_t inc = 0;
+      if (const auto hash = member.rfind('#'); hash != std::string::npos) {
+        inc = std::strtoull(member.c_str() + hash + 1, nullptr, 10);
+        member.resize(hash);
+      }
+      impl->failMember(key.substr(0, slash), member,
+                       "liveness: peer suspected dead", inc);
     });
   }
 }
@@ -511,9 +728,15 @@ Initiator::Result Initiator::establish(const Plan& plan) {
     rec->established = true;
   }
   if (impl_->monitor != nullptr) {
-    for (const auto& [name, ref] : rec->memberLiveness) {
-      impl_->monitor->watch(result.sessionId + "/" + name, ref);
+    std::vector<std::pair<std::string, InboxRef>> watches;
+    {
+      std::scoped_lock lock(rec->mtx);
+      for (const auto& [name, ref] : rec->memberLiveness) {
+        rec->watchKeys[name] = result.sessionId + "/" + name;
+        watches.emplace_back(rec->watchKeys[name], ref);
+      }
     }
+    for (const auto& [key, ref] : watches) impl_->monitor->watch(key, ref);
   }
 
   result.ok = true;
@@ -550,6 +773,14 @@ std::map<std::string, Value> Initiator::awaitCompletion(
         std::min<Duration>(milliseconds(50), deadline - now);
     // An empty slice just means "re-check eviction state".
     if (auto del = rec->reply->receiveFor(slice)) {
+      // Crash recovery (DESIGN.md §12): a killed member's restart asks to
+      // be re-admitted through the same reply inbox its journal recorded.
+      if (const auto* rejoin =
+              dynamic_cast<const RejoinMsg*>(del->message.get());
+          rejoin != nullptr && rejoin->sessionId == sessionId) {
+        impl_->onRejoin(*rejoin);
+        continue;
+      }
       const auto* done = dynamic_cast<const DoneMsg*>(del->message.get());
       if (done == nullptr || done->sessionId != sessionId) continue;
       std::scoped_lock lock(rec->mtx);
@@ -709,7 +940,12 @@ bool Initiator::addMember(const std::string& sessionId,
     rec->memberOutbox.at(member.name)->send(start);
   }
   if (impl_->monitor != nullptr && liveRef.valid()) {
-    impl_->monitor->watch(sessionId + "/" + member.name, liveRef);
+    const std::string key = sessionId + "/" + member.name;
+    {
+      std::scoped_lock lock(rec->mtx);
+      rec->watchKeys[member.name] = key;
+    }
+    impl_->monitor->watch(key, liveRef);
   }
   return true;
 }
@@ -762,10 +998,20 @@ void Initiator::removeMember(const std::string& sessionId,
     }
     rec->memberNodes.erase(member);
     rec->memberLiveness.erase(member);
+    rec->memberIncarnation.erase(member);
+  }
+  std::string watchKey;
+  {
+    std::scoped_lock lock(rec->mtx);
+    if (const auto it = rec->watchKeys.find(member);
+        it != rec->watchKeys.end()) {
+      watchKey = it->second;
+      rec->watchKeys.erase(it);
+    }
   }
   d.flush(seconds(2));
-  if (impl_->monitor != nullptr) {
-    impl_->monitor->unwatch(sessionId + "/" + member);
+  if (impl_->monitor != nullptr && !watchKey.empty()) {
+    impl_->monitor->unwatch(watchKey);
   }
   rec->memberRefs.erase(member);
   {

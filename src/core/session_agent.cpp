@@ -1,4 +1,5 @@
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -11,12 +12,30 @@ namespace dapple {
 namespace {
 constexpr const char* kLog = "session";
 
+/// Reserved state-store key prefix for journaled session metadata
+/// (Config::durableSessions).  Roles cannot touch these keys: session
+/// access sets go through StateView, which only admits declared keys.
+constexpr const char* kJournalPrefix = "dapple.sess/";
+
 AccessSets toSets(const std::vector<std::string>& reads,
                   const std::vector<std::string>& writes) {
   AccessSets sets;
   sets.reads.insert(reads.begin(), reads.end());
   sets.writes.insert(writes.begin(), writes.end());
   return sets;
+}
+
+Value stringsToValue(const std::vector<std::string>& v) {
+  ValueList out;
+  out.reserve(v.size());
+  for (const std::string& s : v) out.emplace_back(s);
+  return Value(std::move(out));
+}
+
+std::vector<std::string> stringsFromValue(const Value& v) {
+  std::vector<std::string> out;
+  for (const Value& s : v.asList()) out.push_back(s.asString());
+  return out;
 }
 }  // namespace
 
@@ -45,6 +64,10 @@ struct SessionContext::Record {
   bool started = false;
   bool roleFinished = false;
   bool unlinked = false;
+  /// Crash recovery: true while this record is a restarted session waiting
+  /// for the initiator's REJOIN verdict; acked flips when it arrives.
+  bool rejoinPending = false;
+  bool rejoinAcked = false;
 };
 
 SessionContext::SessionContext(Dapplet& dapplet, std::shared_ptr<Record> rec)
@@ -116,6 +139,13 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
             &d.metricsRegistry().counter("session.sessions_unlinked")),
         mInitiatorsLost(&d.metricsRegistry().counter("session.initiators_lost")),
         mPeersEvicted(&d.metricsRegistry().counter("session.peers_evicted")),
+        mRejoinRequests(
+            &d.metricsRegistry().counter("recovery.rejoin_requests")),
+        mRejoinAccepted(
+            &d.metricsRegistry().counter("recovery.rejoin_accepted")),
+        mRejoinRejected(
+            &d.metricsRegistry().counter("recovery.rejoin_rejected")),
+        mPeersRejoined(&d.metricsRegistry().counter("recovery.peer_rejoined")),
         trace(&d.trace()) {}
 
   Dapplet& d;
@@ -129,11 +159,20 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
   obs::Counter* mSessionsUnlinked;
   obs::Counter* mInitiatorsLost;
   obs::Counter* mPeersEvicted;
+  obs::Counter* mRejoinRequests;
+  obs::Counter* mRejoinAccepted;
+  obs::Counter* mRejoinRejected;
+  obs::Counter* mPeersRejoined;
   obs::TraceRing* trace;
 
   mutable std::mutex mutex;
   std::condition_variable loopExited;
   bool loopDone = false;
+  // Set by ~SessionAgent under `journalMutex`: background rejoin workers
+  // hold Impl alive past the agent (and past cfg.store, which is only
+  // guaranteed to outlive the *agent*), so journal access must stop here.
+  std::mutex journalMutex;
+  bool closed = false;
 
   std::map<std::string, RoleFn> roles;
   std::map<std::string, std::shared_ptr<SessionContext::Record>> sessions;
@@ -168,6 +207,50 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
     box->send(msg);
   }
 
+  /// Clears a failed cached reply stream so the next reply() can retry
+  /// (used by the rejoin retry loop, which must survive transient
+  /// delivery failures to the initiator).
+  void resetReply(const InboxRef& target) {
+    std::scoped_lock lock(replyMutex);
+    const std::uint64_t key = target.node.packed() * 1000003u + target.localId;
+    const auto it = replyOutboxes.find(key);
+    if (it != replyOutboxes.end()) it->second->reset();
+  }
+
+  // -- crash-recovery journal (Config::durableSessions) -------------------
+
+  bool journaling() const {
+    return cfg.durableSessions && cfg.store != nullptr;
+  }
+
+  static std::string journalKey(const std::string& sessionId) {
+    return kJournalPrefix + sessionId;
+  }
+
+  /// Persists everything a restarted process needs to re-enter the
+  /// session: identity, the initiator's reply/liveness refs, the inbox
+  /// names to re-create, the declared access sets, and the member params.
+  void journalSession(const InviteMsg& m) {
+    ValueMap meta;
+    meta["app"] = Value(m.app);
+    meta["member"] = Value(m.memberName);
+    meta["initiator"] = Value(m.initiatorName);
+    meta["reply"] = inboxRefToValue(m.replyTo);
+    meta["liveness"] = inboxRefToValue(m.livenessRef);
+    meta["inboxes"] = stringsToValue(m.inboxesToCreate);
+    meta["reads"] = stringsToValue(m.readKeys);
+    meta["writes"] = stringsToValue(m.writeKeys);
+    meta["params"] = m.params;
+    std::scoped_lock lock(journalMutex);
+    if (!closed) cfg.store->put(journalKey(m.sessionId), Value(std::move(meta)));
+  }
+
+  void eraseJournal(const std::string& sessionId) {
+    std::scoped_lock lock(journalMutex);
+    if (closed) return;  // the store may already be gone
+    if (journaling()) cfg.store->erase(journalKey(sessionId));
+  }
+
   void run(std::stop_token stop) {
     while (!stop.stop_requested()) {
       Delivery del = control->receive();  // throws ShutdownError at stop
@@ -196,6 +279,10 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       onUnbind(*unbind);
     } else if (const auto* down = dynamic_cast<const MemberDownMsg*>(&m)) {
       onMemberDown(*down);
+    } else if (const auto* ack = dynamic_cast<const RejoinAckMsg*>(&m)) {
+      onRejoinAck(*ack);
+    } else if (const auto* up = dynamic_cast<const MemberUpMsg*>(&m)) {
+      onMemberUp(*up);
     } else {
       DAPPLE_LOG(kDebug, kLog) << d.name() << ": unexpected control message "
                                << m.typeName();
@@ -269,6 +356,7 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         out.accepted = true;
         ++stats.invitesAccepted;
         mInvitesAccepted->inc();
+        if (journaling()) journalSession(m);
       }
     }
     reply(m.replyTo, out);
@@ -471,6 +559,172 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
               "member '" + m.memberName + "' down: " + m.reason);
   }
 
+  /// Crash recovery: the evicted peer came back at a new address.  The
+  /// accompanying WIRE already re-pointed this member's outboxes; this is
+  /// the observable narration of the un-evict.
+  void onMemberUp(const MemberUpMsg& m) {
+    {
+      std::scoped_lock lock(mutex);
+      if (sessions.count(m.sessionId) == 0) return;
+    }
+    mPeersRejoined->inc();
+    {
+      std::scoped_lock lock(mutex);
+      ++stats.peersRejoined;
+    }
+    trace->emit("recovery", "member.rejoined",
+                m.sessionId + ": '" + m.memberName + "' incarnation " +
+                    std::to_string(m.incarnation) + " at " +
+                    NodeAddress::fromPacked(m.node).toString());
+    DAPPLE_LOG(kInfo, kLog) << d.name() << ": session " << m.sessionId
+                            << ": member '" << m.memberName
+                            << "' rejoined (incarnation " << m.incarnation
+                            << ")";
+  }
+
+  /// Initiator's verdict on a REJOIN this agent sent from rejoinPersisted.
+  void onRejoinAck(const RejoinAckMsg& m) {
+    std::shared_ptr<SessionContext::Record> rec;
+    {
+      std::scoped_lock lock(mutex);
+      const auto it = sessions.find(m.sessionId);
+      if (it == sessions.end()) return;
+      rec = it->second;
+    }
+    bool fresh = false;
+    {
+      std::scoped_lock lock(rec->mutex);
+      if (!rec->rejoinPending) return;  // not a rejoining record
+      fresh = !rec->rejoinAcked;
+      if (m.accepted) rec->rejoinAcked = true;
+    }
+    if (!m.accepted) {
+      // The initiator will not have us back (session completed, stale
+      // incarnation, ...): discard the journaled session for good.
+      if (fresh) {
+        mRejoinRejected->inc();
+        trace->emit("recovery", "rejoin.rejected",
+                    m.sessionId + ": " + m.reason);
+      }
+      eraseJournal(m.sessionId);
+      unlinkLocal(rec, false);
+      return;
+    }
+    if (fresh) {
+      mRejoinAccepted->inc();
+      trace->emit("recovery", "rejoin.accepted", m.sessionId);
+      DAPPLE_LOG(kInfo, kLog) << d.name() << ": session " << m.sessionId
+                              << ": rejoin accepted (incarnation "
+                              << m.incarnation << ")";
+    }
+  }
+
+  /// Re-enters every journaled session (see SessionAgent::rejoinPersisted).
+  std::vector<std::string> rejoinPersisted() {
+    std::vector<std::string> out;
+    if (!journaling()) return out;
+    for (const std::string& key : cfg.store->keys()) {
+      if (key.rfind(kJournalPrefix, 0) != 0) continue;
+      const std::string sessionId = key.substr(std::strlen(kJournalPrefix));
+      Value meta;
+      try {
+        meta = cfg.store->get(key);
+      } catch (const Error&) {
+        continue;
+      }
+      std::shared_ptr<SessionContext::Record> rec;
+      RejoinMsg rj;
+      try {
+        std::scoped_lock lock(mutex);
+        if (sessions.count(sessionId) != 0) continue;
+        const std::string app = meta.at("app").asString();
+        if (roles.count(app) == 0) {
+          trace->emit("recovery", "rejoin.skip",
+                      sessionId + ": role '" + app + "' not registered");
+          continue;
+        }
+        rec = std::make_shared<SessionContext::Record>();
+        rec->sessionId = sessionId;
+        rec->app = app;
+        rec->memberName = meta.at("member").asString();
+        rec->initiatorName = meta.at("initiator").asString();
+        rec->initiatorReply = inboxRefFromValue(meta.at("reply"));
+        rec->memberParams = meta.at("params");
+        rec->rejoinPending = true;
+        const auto sets = toSets(stringsFromValue(meta.at("reads")),
+                                 stringsFromValue(meta.at("writes")));
+        for (const std::string& name : stringsFromValue(meta.at("inboxes"))) {
+          Inbox& box = d.createInbox();
+          rec->inboxes[name] = &box;
+          rj.inboxRefs[name] = box.ref();
+        }
+        rec->stateView.emplace(*cfg.store, sets);
+        interference.tryClaim(sessionId, sets);  // fresh process: no rivals
+        if (cfg.monitor != nullptr) {
+          const InboxRef initLive = inboxRefFromValue(meta.at("liveness"));
+          if (initLive.valid()) {
+            rec->livenessKey = "init/" + sessionId;
+            cfg.monitor->watch(rec->livenessKey, initLive);
+          }
+        }
+        sessions[sessionId] = rec;
+      } catch (const Error& e) {
+        trace->emit("recovery", "rejoin.skip",
+                    sessionId + ": bad journal entry: " + e.what());
+        continue;
+      }
+      rj.sessionId = sessionId;
+      rj.memberName = rec->memberName;
+      rj.incarnation = cfg.incarnation;
+      rj.control = control->ref();
+      if (cfg.monitor != nullptr) rj.livenessRef = cfg.monitor->ref();
+      mRejoinRequests->inc();
+      {
+        std::scoped_lock lock(mutex);
+        ++stats.rejoinsSent;
+      }
+      trace->emit("recovery", "rejoin.request",
+                  sessionId + " incarnation " +
+                      std::to_string(cfg.incarnation));
+      // Retry until the initiator answers: the restart races MEMBER_DOWN
+      // eviction and the initiator may still be mid-broadcast, so one send
+      // is not enough.  Backoff is linear and clock-routed (virtual-time
+      // safe).
+      auto self = shared_from_this();
+      d.spawn([self, rec, rj](std::stop_token st) {
+        constexpr int kAttempts = 8;
+        for (int attempt = 0; attempt < kAttempts && !st.stop_requested();
+             ++attempt) {
+          {
+            std::scoped_lock lock(rec->mutex);
+            if (rec->rejoinAcked || rec->unlinked) return;
+          }
+          try {
+            self->reply(rec->initiatorReply, rj);
+          } catch (const Error&) {
+            self->resetReply(rec->initiatorReply);
+          }
+          self->d.clockSource().sleepFor(milliseconds(100) * (attempt + 1));
+        }
+        {
+          std::scoped_lock lock(rec->mutex);
+          if (rec->rejoinAcked || rec->unlinked) return;
+        }
+        {
+          std::scoped_lock lock(self->journalMutex);
+          if (self->closed) return;  // agent destroyed: leave the journal be
+        }
+        // No verdict: the initiator is gone or unreachable.  Give up and
+        // discard, as a headless session can never complete.
+        self->trace->emit("recovery", "rejoin.giveup", rec->sessionId);
+        self->eraseJournal(rec->sessionId);
+        self->unlinkLocal(rec, true);
+      });
+      out.push_back(sessionId);
+    }
+    return out;
+  }
+
   /// Reliable-stream failure hook: a send stream from this dapplet timed
   /// out.  When it is one of a session's data outboxes, evict the dead node
   /// locally (the initiator's MEMBER_DOWN may lag or never come if the
@@ -528,6 +782,7 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
         if (box != nullptr) d.destroyOutbox(*box);
       }
       interference.release(rec->sessionId);
+      eraseJournal(rec->sessionId);
     }
     if (cfg.monitor != nullptr && !rec->livenessKey.empty()) {
       cfg.monitor->unwatch(rec->livenessKey);
@@ -590,6 +845,11 @@ SessionAgent::~SessionAgent() {
   std::unique_lock lock(impl_->mutex);
   impl_->loopExited.wait_for(lock, seconds(5),
                              [&] { return impl_->loopDone; });
+  lock.unlock();
+  // Fence off the journal: rejoin retry workers may outlive this agent (and
+  // cfg.store only has to outlive the agent, not the dapplet).
+  std::scoped_lock gate(impl_->journalMutex);
+  impl_->closed = true;
 }
 
 void SessionAgent::registerApp(const std::string& app, RoleFn role) {
@@ -612,6 +872,10 @@ std::vector<std::string> SessionAgent::activeSessions() const {
 SessionAgent::Stats SessionAgent::stats() const {
   std::scoped_lock lock(impl_->mutex);
   return impl_->stats;
+}
+
+std::vector<std::string> SessionAgent::rejoinPersisted() {
+  return impl_->rejoinPersisted();
 }
 
 }  // namespace dapple

@@ -182,6 +182,54 @@ void MemberDownMsg::decodeFields(TextReader& r) {
   reason = r.readString();
 }
 
+void RejoinMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  w.writeU64(incarnation);
+  control.encode(w);
+  encodeRefMap(w, inboxRefs);
+  livenessRef.encode(w);
+}
+
+void RejoinMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  incarnation = r.readU64();
+  control = InboxRef::decode(r);
+  inboxRefs = decodeRefMap(r);
+  livenessRef = InboxRef::decode(r);
+}
+
+void RejoinAckMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  w.writeU64(incarnation);
+  w.writeBool(accepted);
+  w.writeString(reason);
+}
+
+void RejoinAckMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  incarnation = r.readU64();
+  accepted = r.readBool();
+  reason = r.readString();
+}
+
+void MemberUpMsg::encodeFields(TextWriter& w) const {
+  w.writeString(sessionId);
+  w.writeString(memberName);
+  w.writeU64(node);
+  w.writeU64(incarnation);
+}
+
+void MemberUpMsg::decodeFields(TextReader& r) {
+  sessionId = r.readString();
+  memberName = r.readString();
+  node = r.readU64();
+  incarnation = r.readU64();
+}
+
 void UnbindMsg::encodeFields(TextWriter& w) const {
   w.writeString(sessionId);
   wiredetail::encodeBindings(w, bindings);
@@ -201,5 +249,8 @@ DAPPLE_REGISTER_MESSAGE(DoneMsg)
 DAPPLE_REGISTER_MESSAGE(UnlinkMsg)
 DAPPLE_REGISTER_MESSAGE(UnbindMsg)
 DAPPLE_REGISTER_MESSAGE(MemberDownMsg)
+DAPPLE_REGISTER_MESSAGE(RejoinMsg)
+DAPPLE_REGISTER_MESSAGE(RejoinAckMsg)
+DAPPLE_REGISTER_MESSAGE(MemberUpMsg)
 
 }  // namespace dapple

@@ -6,9 +6,13 @@
 #include <fstream>
 #include <sstream>
 
+#include "dapple/util/fsio.hpp"
+#include "dapple/util/log.hpp"
+
 namespace dapple {
 
-StateStore::StateStore(std::string filePath) : filePath_(std::move(filePath)) {
+StateStore::StateStore(std::string filePath, WarnFn warn)
+    : filePath_(std::move(filePath)), warn_(std::move(warn)) {
   if (!filePath_.empty() && std::filesystem::exists(filePath_)) {
     load();
   }
@@ -29,8 +33,9 @@ Value StateStore::getOr(const std::string& key, Value fallback) const {
 
 void StateStore::put(const std::string& key, Value value) {
   std::scoped_lock lock(mutex_);
-  data_[key] = std::move(value);
-  saveLocked();
+  auto& slot = data_[key];
+  slot = std::move(value);
+  afterMutationLocked(key, &slot);
 }
 
 bool StateStore::has(const std::string& key) const {
@@ -41,7 +46,35 @@ bool StateStore::has(const std::string& key) const {
 void StateStore::erase(const std::string& key) {
   std::scoped_lock lock(mutex_);
   data_.erase(key);
-  saveLocked();
+  afterMutationLocked(key, nullptr);
+}
+
+void StateStore::afterMutationLocked(const std::string& key,
+                                     const Value* value) {
+  if (hook_) hook_(key, value);
+  if (autosaveOnMutate_) saveLocked();
+}
+
+void StateStore::setMutationHook(MutationHook hook, bool autosaveOnMutate) {
+  std::scoped_lock lock(mutex_);
+  hook_ = std::move(hook);
+  autosaveOnMutate_ = hook_ ? autosaveOnMutate : true;
+}
+
+ValueMap StateStore::snapshot() const {
+  std::scoped_lock lock(mutex_);
+  return data_;
+}
+
+void StateStore::withSnapshot(
+    const std::function<void(const ValueMap&)>& fn) const {
+  std::scoped_lock lock(mutex_);
+  fn(data_);
+}
+
+void StateStore::replaceAll(ValueMap data) {
+  std::scoped_lock lock(mutex_);
+  data_ = std::move(data);
 }
 
 std::vector<std::string> StateStore::keys() const {
@@ -59,14 +92,9 @@ void StateStore::save() const {
 
 void StateStore::saveLocked() const {
   if (filePath_.empty()) return;
-  // Write-then-rename so a crash mid-save never corrupts the store.
-  const std::string tmp = filePath_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw StateError("state: cannot write '" + tmp + "'");
-    out << Value(data_).toWire();
-  }
-  std::filesystem::rename(tmp, filePath_);
+  // Temp file + fsync + rename + directory fsync: a crash at any point
+  // leaves either the previous image or the new one, never a torn file.
+  atomicWriteFile(filePath_, Value(data_).toWire());
 }
 
 void StateStore::load() {
@@ -75,7 +103,24 @@ void StateStore::load() {
   if (!in) throw StateError("state: cannot read '" + filePath_ + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  data_ = Value::fromWire(buf.str()).asMap();
+  try {
+    data_ = Value::fromWire(buf.str()).asMap();
+  } catch (const Error& err) {
+    // A torn or garbled image (e.g. written by a crashed pre-atomic-save
+    // process).  Persistence must degrade, not wedge: move the evidence
+    // aside and start empty — the next save writes a clean image.
+    const std::string why = std::string("state: corrupt store '") +
+                            filePath_ + "' (" + err.what() +
+                            "); moved aside to .corrupt, starting empty";
+    std::error_code ec;
+    std::filesystem::rename(filePath_, filePath_ + ".corrupt", ec);
+    data_.clear();
+    if (warn_) {
+      warn_(why);
+    } else {
+      DAPPLE_LOG(kWarn, "state") << why;
+    }
+  }
 }
 
 bool AccessSets::interferesWith(const AccessSets& other) const {

@@ -1,0 +1,221 @@
+#include "dapple/services/recovery/recovery.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "dapple/core/dapplet.hpp"
+#include "dapple/services/snapshot/snapshot.hpp"
+#include "dapple/util/fsio.hpp"
+
+namespace dapple::recovery {
+
+namespace {
+
+constexpr const char* kCkptFile = "state.ckpt";
+constexpr const char* kWalFile = "state.wal";
+constexpr const char* kIncFile = "incarnation";
+
+std::string readFileOr(const std::string& path, std::string fallback) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fallback;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+struct DurableState::Impl : std::enable_shared_from_this<Impl> {
+  Dapplet& d;
+  const Options opts;
+  const std::string dir;
+
+  // Memory-only store: durability comes from the WAL + checkpoint pair,
+  // not from StateStore's own full-file autosave.
+  StateStore store{""};
+  std::unique_ptr<WriteAheadLog> wal;
+
+  obs::Counter* mAppends;
+  obs::Counter* mWalBytes;
+  obs::Counter* mCheckpoints;
+  obs::Counter* mCkptBytes;
+  obs::Counter* mReplayed;
+
+  /// Serializes checkpoints (explicit, coordinated, auto-compact).
+  std::mutex ckptMutex;
+  std::atomic<bool> compactPending{false};
+  std::atomic<std::uint64_t> lastCkptBytes{0};
+  std::atomic<std::uint64_t> checkpoints{0};
+  std::uint64_t replayedRecords = 0;
+
+  Impl(Dapplet& dapplet, std::string dirPath, Options options)
+      : d(dapplet),
+        opts(options),
+        dir(std::move(dirPath)),
+        mAppends(&d.metricsRegistry().counter("recovery.wal_appends")),
+        mWalBytes(&d.metricsRegistry().counter("recovery.wal_bytes")),
+        mCheckpoints(&d.metricsRegistry().counter("recovery.checkpoints")),
+        mCkptBytes(&d.metricsRegistry().counter("recovery.checkpoint_bytes")),
+        mReplayed(&d.metricsRegistry().counter("recovery.replay_records")) {}
+
+  std::string path(const char* file) const { return dir + "/" + file; }
+
+  /// Mutation hook body: runs under the store lock, so WAL order equals
+  /// apply order.
+  void onMutation(const std::string& key, const Value* value) {
+    wal->append(value ? WalRecord::kPut : WalRecord::kErase, key, value,
+                d.clock().tick());
+    mAppends->inc();
+    if (opts.compactAtBytes != 0 && wal->sizeBytes() > opts.compactAtBytes &&
+        !compactPending.exchange(true)) {
+      // Defer: checkpoint() re-takes the store lock via withSnapshot, so
+      // compaction must not run inline here.
+      try {
+        d.spawn([self = shared_from_this()](std::stop_token) {
+          try {
+            self->doCheckpoint(self->d.clock().tick());
+          } catch (const Error&) {
+            // Auto-compaction is opportunistic; the WAL stays valid.
+          }
+          self->compactPending = false;
+        });
+      } catch (const Error&) {
+        compactPending = false;  // dapplet stopping: skip
+      }
+    }
+  }
+
+  void doCheckpoint(std::uint64_t at) {
+    std::scoped_lock ckptLock(ckptMutex);
+    // Image + truncate under the store lock: no mutation can land between
+    // the snapshot and the WAL reset, so nothing is ever lost to
+    // compaction.
+    store.withSnapshot([&](const ValueMap& data) {
+      ValueMap image;
+      image["at"] = Value(static_cast<std::int64_t>(at));
+      image["data"] = Value(data);
+      const std::string wire = Value(std::move(image)).toWire();
+      atomicWriteFile(path(kCkptFile), wire);
+      wal->reset();
+      lastCkptBytes = wire.size();
+      mCkptBytes->inc(wire.size());
+    });
+    checkpoints.fetch_add(1);
+    mCheckpoints->inc();
+    d.trace().emit("recovery", "checkpoint",
+                   "at=" + std::to_string(at) +
+                       " bytes=" + std::to_string(lastCkptBytes.load()));
+  }
+};
+
+DurableState::DurableState(Dapplet& dapplet, std::string dir, Options opts) {
+  std::filesystem::create_directories(dir);
+  impl_ = std::make_shared<Impl>(dapplet, std::move(dir), opts);
+  auto& im = *impl_;
+
+  // Incarnation: read, bump, persist — the rejoin handshake uses it to
+  // order a restart against stale eviction events.
+  std::uint64_t prevInc = 0;
+  {
+    const std::string raw = readFileOr(im.path(kIncFile), "");
+    if (raw.size() > 1 && raw[0] == 'u') {
+      prevInc = std::strtoull(raw.c_str() + 1, nullptr, 10);
+    }
+  }
+  info_.incarnation = prevInc + 1;
+  atomicWriteFile(im.path(kIncFile), "u" + std::to_string(info_.incarnation));
+
+  // Checkpoint image, if any.
+  ValueMap image;
+  bool hadCkpt = false;
+  {
+    const std::string raw = readFileOr(im.path(kCkptFile), "");
+    if (!raw.empty()) {
+      try {
+        const Value v = Value::fromWire(raw);
+        info_.checkpointAt =
+            static_cast<std::uint64_t>(v.at("at").asInt());
+        image = v.at("data").asMap();
+        hadCkpt = true;
+      } catch (const Error& err) {
+        // atomicWriteFile makes this unreachable for our own writes, but
+        // degrade anyway: recovery falls back to WAL-only replay.
+        dapplet.trace().emit("recovery", "checkpoint.corrupt", err.what());
+      }
+    }
+  }
+
+  // WAL tail replay onto the image.
+  im.wal = std::make_unique<WriteAheadLog>(
+      im.path(kWalFile), WriteAheadLog::Options(opts.fsyncEachAppend));
+  auto replay = im.wal->replayAll();
+  std::uint64_t maxLamport = info_.checkpointAt;
+  for (auto& rec : replay.records) {
+    maxLamport = std::max(maxLamport, rec.lamport);
+    if (rec.kind == WalRecord::kPut) {
+      image[rec.key] = std::move(rec.value);
+    } else {
+      image.erase(rec.key);
+    }
+  }
+  info_.replayedRecords = replay.records.size();
+  info_.tornTail = replay.tornTail;
+  info_.recovered = hadCkpt || !replay.records.empty();
+  im.replayedRecords = replay.records.size();
+  im.mReplayed->inc(replay.records.size());
+  im.store.replaceAll(std::move(image));
+
+  // Journal from here on.  Raw `this` capture is safe: the hook lives
+  // inside Impl's own store and cannot outlive Impl.
+  Impl* raw = impl_.get();
+  im.store.setMutationHook(
+      [raw](const std::string& key, const Value* value) {
+        raw->onMutation(key, value);
+      },
+      /*autosaveOnMutate=*/false);
+
+  // A restarted process must not reissue Lamport times it already used.
+  im.d.clock().advanceTo(maxLamport);
+  dapplet.trace().emit(
+      "recovery", replay.tornTail ? "open.torn_tail" : "open",
+      "incarnation=" + std::to_string(info_.incarnation) +
+          " replayed=" + std::to_string(info_.replayedRecords) +
+          " ckpt_at=" + std::to_string(info_.checkpointAt) +
+          (replay.tornTail
+               ? " truncated=" + std::to_string(replay.truncatedBytes)
+               : ""));
+}
+
+DurableState::~DurableState() = default;
+
+StateStore& DurableState::store() { return impl_->store; }
+
+void DurableState::checkpoint() {
+  impl_->doCheckpoint(impl_->d.clock().tick());
+}
+
+void DurableState::checkpointAt(std::uint64_t at) {
+  impl_->doCheckpoint(at);
+}
+
+DurableState::Stats DurableState::stats() const {
+  Stats s;
+  s.walAppends = impl_->wal->appendCount();
+  s.walBytes = impl_->wal->sizeBytes();
+  s.checkpoints = impl_->checkpoints.load();
+  s.checkpointBytes = impl_->lastCkptBytes.load();
+  s.replayedRecords = impl_->replayedRecords;
+  return s;
+}
+
+void bindCheckpoint(CheckpointService& service, DurableState& durable) {
+  service.onLocalCheckpoint(
+      [&durable](std::uint64_t at) { durable.checkpointAt(at); });
+}
+
+}  // namespace dapple::recovery

@@ -1,0 +1,191 @@
+#include "dapple/services/recovery/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "dapple/serial/wire.hpp"
+#include "dapple/util/error.hpp"
+
+namespace dapple::recovery {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string encodeRecord(WalRecord::Kind kind, std::uint64_t seq,
+                         std::uint64_t lamport, const std::string& key,
+                         const Value* value) {
+  TextWriter w;
+  w.writeU64(kind);
+  w.writeU64(seq);
+  w.writeU64(lamport);
+  w.writeString(key);
+  if (value) {
+    value->encode(w);
+  } else {
+    Value().encode(w);
+  }
+  return std::move(w).str();
+}
+
+WalRecord decodeRecord(std::string_view payload) {
+  TextReader r(payload);
+  WalRecord rec;
+  const auto kind = r.readU64();
+  if (kind > WalRecord::kErase) {
+    throw SerializationError("wal: unknown record kind");
+  }
+  rec.kind = static_cast<WalRecord::Kind>(kind);
+  rec.seq = r.readU64();
+  rec.lamport = r.readU64();
+  rec.key = r.readString();
+  rec.value = Value::decode(r);
+  return rec;
+}
+
+/// Parses the decimal after a leading `u`; returns false on any mismatch
+/// (that is what a torn frame header looks like).
+bool parseU64Token(std::string_view data, std::size_t& pos,
+                   std::uint64_t& out) {
+  if (pos >= data.size() || data[pos] != 'u') return false;
+  ++pos;
+  const std::size_t start = pos;
+  std::uint64_t v = 0;
+  while (pos < data.size() && data[pos] >= '0' && data[pos] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(data[pos] - '0');
+    ++pos;
+  }
+  if (pos == start) return false;
+  if (pos >= data.size() || data[pos] != ' ') return false;
+  ++pos;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(std::string path, Options opts)
+    : path_(std::move(path)), opts_(opts) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    throw StateError("wal: cannot open '" + path_ +
+                     "': " + std::strerror(errno));
+  }
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WriteAheadLog::ReplayResult WriteAheadLog::replayAll() {
+  std::scoped_lock lock(mutex_);
+  ReplayResult out;
+
+  std::string data;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    data = std::move(buf).str();
+  }
+
+  std::size_t pos = 0;
+  std::size_t lastGood = 0;
+  while (pos < data.size()) {
+    std::size_t p = pos;
+    std::uint64_t len = 0;
+    std::uint64_t crc = 0;
+    if (!parseU64Token(data, p, len) || !parseU64Token(data, p, crc)) break;
+    if (p + len + 1 > data.size()) break;  // length points past EOF: torn
+    const std::string_view payload(data.data() + p, len);
+    if (data[p + len] != '\n') break;
+    if (fnv1a(payload) != crc) break;
+    WalRecord rec;
+    try {
+      rec = decodeRecord(payload);
+    } catch (const Error&) {
+      break;  // checksum passed but content unparseable — treat as torn
+    }
+    out.records.push_back(std::move(rec));
+    pos = p + len + 1;
+    lastGood = pos;
+  }
+
+  if (lastGood < data.size()) {
+    out.tornTail = true;
+    out.truncatedBytes = data.size() - lastGood;
+    if (::ftruncate(fd_, static_cast<off_t>(lastGood)) != 0) {
+      throw StateError("wal: truncate '" + path_ +
+                       "' failed: " + std::strerror(errno));
+    }
+    if (opts_.fsyncEachAppend) ::fsync(fd_);
+  }
+
+  bytes_ = lastGood;
+  if (!out.records.empty()) nextSeq_ = out.records.back().seq + 1;
+  return out;
+}
+
+std::uint64_t WriteAheadLog::append(WalRecord::Kind kind,
+                                    const std::string& key,
+                                    const Value* value,
+                                    std::uint64_t lamport) {
+  std::scoped_lock lock(mutex_);
+  const std::uint64_t seq = nextSeq_++;
+  const std::string payload = encodeRecord(kind, seq, lamport, key, value);
+  std::string frame = "u" + std::to_string(payload.size()) + " u" +
+                      std::to_string(fnv1a(payload)) + " " + payload + "\n";
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StateError("wal: append to '" + path_ +
+                       "' failed: " + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (opts_.fsyncEachAppend && ::fsync(fd_) != 0) {
+    throw StateError("wal: fsync '" + path_ +
+                     "' failed: " + std::strerror(errno));
+  }
+  bytes_ += frame.size();
+  ++appends_;
+  return seq;
+}
+
+void WriteAheadLog::reset() {
+  std::scoped_lock lock(mutex_);
+  if (::ftruncate(fd_, 0) != 0) {
+    throw StateError("wal: truncate '" + path_ +
+                     "' failed: " + std::strerror(errno));
+  }
+  ::fsync(fd_);
+  bytes_ = 0;
+}
+
+std::uint64_t WriteAheadLog::sizeBytes() const {
+  std::scoped_lock lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t WriteAheadLog::appendCount() const {
+  std::scoped_lock lock(mutex_);
+  return appends_;
+}
+
+}  // namespace dapple::recovery

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "dapple/serial/data_message.hpp"
+#include "dapple/util/fsio.hpp"
 #include "dapple/util/log.hpp"
 
 namespace dapple {
@@ -53,6 +54,8 @@ struct CheckpointService::Impl {
   /// Gather waits, their notifies, and the settle pause pace on this clock.
   ClockSource& clk() const { return d.clockSource(); }
   StateFn stateFn;
+  /// Crash-recovery compaction hook (see onLocalCheckpoint).
+  std::function<void(std::uint64_t)> localCkptHook;
   Inbox* control = nullptr;
 
   mutable std::mutex mutex;
@@ -135,6 +138,7 @@ struct CheckpointService::Impl {
       //     can slip between the two, so nothing is counted in both the
       //     state and a channel.
       d.clock().advanceTo(time);
+      std::function<void(std::uint64_t)> hook;
       {
         std::scoped_lock lock(mutex);
         Recording rec;
@@ -143,7 +147,14 @@ struct CheckpointService::Impl {
         rec.localState = stateFn();
         recording = std::move(rec);
         ++stats.checkpointsTaken;
+        hook = localCkptHook;
       }
+      // Crash-recovery binding (outside the lock: the hook does file I/O
+      // and re-enters the state store).  The local state above and the
+      // durable image the hook writes may differ by mutations landing in
+      // between; both sit at-or-after the cut, which is what the recovery
+      // line needs.
+      if (hook) hook(time);
     } else if (kind == kReport) {
       DataMessage reply(kState);
       std::scoped_lock lock(mutex);
@@ -289,6 +300,12 @@ GlobalSnapshot CheckpointService::take(Duration settle, Duration timeout) {
 CheckpointService::Stats CheckpointService::stats() const {
   std::scoped_lock lock(impl_->mutex);
   return impl_->stats;
+}
+
+void CheckpointService::onLocalCheckpoint(
+    std::function<void(std::uint64_t at)> hook) {
+  std::scoped_lock lock(impl_->mutex);
+  impl_->localCkptHook = std::move(hook);
 }
 
 // ===========================================================================
@@ -558,13 +575,9 @@ GlobalSnapshot GlobalSnapshot::fromValue(const Value& value) {
 }
 
 void GlobalSnapshot::saveTo(const std::string& path) const {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw StateError("snapshot: cannot write '" + tmp + "'");
-    out << toValue().toWire();
-  }
-  std::filesystem::rename(tmp, path);
+  // Durable atomic replace (temp + fsync + rename): a crash mid-save must
+  // never leave a torn snapshot, same contract as StateStore::save.
+  atomicWriteFile(path, toValue().toWire());
 }
 
 GlobalSnapshot GlobalSnapshot::loadFrom(const std::string& path) {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdlib>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <set>
 
+#include "dapple/core/state.hpp"
 #include "dapple/serial/data_message.hpp"
 #include "dapple/util/log.hpp"
 
@@ -26,6 +29,10 @@ constexpr const char* kProbe = "tok.probe";        // member -> home
 constexpr const char* kProbeFwd = "tok.probe.fwd"; // home -> holder
 constexpr const char* kTotalQ = "tok.total.q";
 constexpr const char* kTotalA = "tok.total.a";
+
+// Reserved journal keys (TokenConfig::journal, DESIGN.md §12).
+constexpr const char* kJournalHeld = "dapple.tok/held";
+constexpr const char* kJournalHomePrefix = "dapple.tok/home/";
 
 std::uint64_t colorHash(const TokenColor& color) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a
@@ -92,6 +99,66 @@ struct TokenManager::Impl {
   // ---- member-side state --------------------------------------------------
   TokenBag held;  ///< the paper's holdsTokens
 
+  // ---- crash-recovery journal (cfg.journal) -------------------------------
+  // Persisted under the store lock of the *caller's* mutex — every call
+  // site already holds `mutex`, so journal writes are ordered like the
+  // in-memory mutations they mirror.  The wait queue is deliberately not
+  // journaled: a home that dies loses its waiters, whose request() calls
+  // time out and retry against the restarted home.
+
+  void journalHomeLocked(const TokenColor& color) {
+    if (cfg.journal == nullptr) return;
+    const auto it = homed.find(color);
+    if (it == homed.end()) return;
+    ValueMap entry;
+    entry["total"] = Value(static_cast<long long>(it->second.total));
+    entry["free"] = Value(static_cast<long long>(it->second.free));
+    ValueMap holders;
+    for (const auto& [member, count] : it->second.holders) {
+      if (count != 0) {
+        holders[std::to_string(member)] =
+            Value(static_cast<long long>(count));
+      }
+    }
+    entry["holders"] = Value(std::move(holders));
+    cfg.journal->put(kJournalHomePrefix + color, Value(std::move(entry)));
+  }
+
+  void journalHeldLocked() {
+    if (cfg.journal == nullptr) return;
+    ValueMap bag;
+    for (const auto& [color, count] : held) {
+      if (count != 0) bag[color] = Value(static_cast<long long>(count));
+    }
+    cfg.journal->put(kJournalHeld, Value(std::move(bag)));
+  }
+
+  /// attach()-time restore: returns the colours whose home pool came back
+  /// from the journal (their `initial` seeds must be skipped, or a restart
+  /// would mint a second batch of every token).
+  std::set<TokenColor> restoreJournalLocked() {
+    std::set<TokenColor> restored;
+    if (cfg.journal == nullptr) return restored;
+    const Value heldImage = cfg.journal->getOr(kJournalHeld, Value(ValueMap{}));
+    for (const auto& [color, count] : heldImage.asMap()) {
+      if (count.asInt() != 0) held[color] = count.asInt();
+    }
+    for (const std::string& key : cfg.journal->keys()) {
+      if (key.rfind(kJournalHomePrefix, 0) != 0) continue;
+      const TokenColor color = key.substr(std::strlen(kJournalHomePrefix));
+      const Value entry = cfg.journal->get(key);
+      HomeColor& home = homed[color];
+      home.total = entry.at("total").asInt();
+      home.free = entry.at("free").asInt();
+      for (const auto& [member, count] : entry.at("holders").asMap()) {
+        home.holders[std::strtoull(member.c_str(), nullptr, 10)] =
+            count.asInt();
+      }
+      restored.insert(color);
+    }
+    return restored;
+  }
+
   struct PendingRequest {
     std::string reqId;
     std::uint64_t ts = 0;
@@ -141,6 +208,7 @@ struct TokenManager::Impl {
     grant.set("color", Value(color));
     grant.set("count", Value(static_cast<long long>(waiter.count)));
     sendTo(waiter.from, grant);
+    journalHomeLocked(color);
     ++stats.grantsIssued;
     mGrants->inc();
   }
@@ -205,6 +273,7 @@ struct TokenManager::Impl {
                               << " colour " << color;
       heldByFrom = 0;
     }
+    journalHomeLocked(color);
     ++stats.releasesServed;
     serveWaitQLocked(color, home);
   }
@@ -468,6 +537,10 @@ void TokenManager::attach(const std::vector<InboxRef>& managers,
     box.add(managers[i]);
     impl_->peers[i] = &box;
   }
+  // Crash recovery: journaled pools and holdings take precedence over the
+  // `initial` seeds — re-seeding a restored colour would mint new tokens
+  // and break conservation.
+  const std::set<TokenColor> restored = impl_->restoreJournalLocked();
   for (const auto& [color, count] : initial) {
     if (impl_->homeOf(color) != selfIndex) {
       throw TokenError("colour '" + color + "' is homed at member " +
@@ -475,9 +548,11 @@ void TokenManager::attach(const std::vector<InboxRef>& managers,
                        ", seed it there");
     }
     if (count < 0) throw TokenError("negative seed for '" + color + "'");
+    if (restored.count(color) != 0) continue;
     auto& home = impl_->homed[color];
     home.total = count;
     home.free = count;
+    impl_->journalHomeLocked(color);
   }
   impl_->attached = true;
   impl_->clk().notifyAll(impl_->cv);  // release a delivery parked by the loop
@@ -576,6 +651,7 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
   for (const auto& [color, count] : impl_->pending->granted) {
     impl_->held[color] += count;
   }
+  impl_->journalHeldLocked();
   ++impl_->stats.requestsGranted;
   impl_->pending.reset();
 }
@@ -606,10 +682,12 @@ void TokenManager::release(const TokenList& gives) {
                        " are held");
     }
   }
+  bool heldChanged = false;
   for (const auto& [color, count] : toGive) {
     if (count == 0) continue;
     impl_->held[color] -= count;
     if (impl_->held[color] == 0) impl_->held.erase(color);
+    heldChanged = true;
     const std::size_t home = impl_->homeOf(color);
     if (home == impl_->selfIndex) {
       // Self-homed colours are applied synchronously: routing the release
@@ -624,6 +702,19 @@ void TokenManager::release(const TokenList& gives) {
     rel.set("count", Value(static_cast<long long>(count)));
     impl_->sendTo(home, rel);
   }
+  if (heldChanged) impl_->journalHeldLocked();
+}
+
+void TokenManager::rewire(std::size_t index, const InboxRef& ref) {
+  std::scoped_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  if (index >= impl_->peers.size()) {
+    throw TokenError("rewire index " + std::to_string(index) +
+                     " out of range");
+  }
+  Outbox& box = *impl_->peers[index];
+  for (const InboxRef& old : box.destinations()) box.remove(old);
+  box.add(ref);
 }
 
 TokenBag TokenManager::totalTokens(Duration timeout) {

@@ -1,0 +1,72 @@
+#include "dapple/util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "dapple/util/error.hpp"
+
+namespace dapple {
+
+namespace {
+
+std::string errnoText() { return std::strerror(errno); }
+
+void writeAll(int fd, std::string_view bytes, const std::string& path) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw StateError("fsio: write '" + path + "' failed: " + errnoText());
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void fsyncParentDir(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);  // best effort: some filesystems reject directory fsync
+  ::close(fd);
+}
+
+void atomicWriteFile(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw StateError("fsio: cannot create '" + tmp + "': " + errnoText());
+  }
+  try {
+    writeAll(fd, bytes, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::fsync(fd) != 0) {
+    const std::string why = errnoText();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw StateError("fsio: fsync '" + tmp + "' failed: " + why);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = errnoText();
+    ::unlink(tmp.c_str());
+    throw StateError("fsio: rename '" + tmp + "' -> '" + path +
+                     "' failed: " + why);
+  }
+  fsyncParentDir(path);
+}
+
+}  // namespace dapple

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <string>
 
+#include "dapple/util/log.hpp"
 #include "scenario.hpp"
 
 namespace {
@@ -20,7 +21,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--start N] [--count M] [--canary] "
-               "[--quiet]\n",
+               "[--no-kill] [--log-debug] [--quiet]\n",
                argv0);
 }
 
@@ -55,6 +56,12 @@ int main(int argc, char** argv) {
       count = next();
     } else if (arg == "--canary") {
       options.canaryDisableRetransmit = true;
+    } else if (arg == "--no-kill") {
+      // Module-3 control run: same workload, no kill-restart.  Its
+      // recoveryDigest must match the default run of the same seed.
+      options.suppressKillRestart = true;
+    } else if (arg == "--log-debug") {
+      dapple::log::setLevel(dapple::log::Level::kDebug);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -77,10 +84,18 @@ int main(int argc, char** argv) {
       std::printf("  repro: %s\n", reproLine(seed).c_str());
       if (options.canaryDisableRetransmit) break;  // one catch is proof
     } else if (!quiet) {
-      std::printf("ok   seed=%llu digest=%016llx %s\n",
-                  static_cast<unsigned long long>(seed),
-                  static_cast<unsigned long long>(result.digest),
-                  result.summary.c_str());
+      if (result.recoveryDigest != 0) {
+        std::printf("ok   seed=%llu digest=%016llx rdigest=%016llx %s\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(result.digest),
+                    static_cast<unsigned long long>(result.recoveryDigest),
+                    result.summary.c_str());
+      } else {
+        std::printf("ok   seed=%llu digest=%016llx %s\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(result.digest),
+                    result.summary.c_str());
+      }
     }
   }
 

@@ -10,11 +10,17 @@
 #include <sstream>
 #include <vector>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+
 #include "dapple/apps/cardgame.hpp"
 #include "dapple/core/session.hpp"
 #include "dapple/net/sim.hpp"
 #include "dapple/serial/data_message.hpp"
 #include "dapple/services/liveness/liveness.hpp"
+#include "dapple/services/recovery/recovery.hpp"
 #include "dapple/services/tokens/token_manager.hpp"
 #include "dapple/testkit/virtual_clock.hpp"
 #include "dapple/util/rng.hpp"
@@ -73,16 +79,18 @@ constexpr const char* kMeshKind = "fz.mesh";
 struct Shape {
   std::size_t n = 0;           // mesh dapplets
   LinkParams link;
-  int module = 0;              // 0 tokens, 1 cardgame, 2 crash/eviction
+  int module = 0;  // 0 tokens, 1 cardgame, 2 crash/eviction, 3 recovery
   std::size_t rounds = 0;      // mesh messages per ordered pair
   struct Partition {
     std::uint32_t hostA = 0, hostB = 0;
     Duration at{}, heal{};
   };
   std::vector<Partition> partitions;
-  // module 2 only: which mesh member is crash-stopped, and when.
+  // modules 2 and 3: which mesh member is crash-stopped, and when.
   std::size_t victim = 0;
   Duration crashAt{};
+  // module 3 only: kill-restart delay between the crash and the reboot.
+  Duration restartDelay{};
 };
 
 Shape generate(std::uint64_t seed) {
@@ -94,7 +102,7 @@ Shape generate(std::uint64_t seed) {
   s.link = LinkParams{microseconds(100 + rng.below(900)),
                       microseconds(rng.below(2000)),
                       kLoss[rng.below(4)], kDup[rng.below(2)]};
-  s.module = static_cast<int>(seed % 3);
+  s.module = static_cast<int>(seed % 4);
   s.rounds = 5 + rng.below(10);
   // Partitions always heal, well inside the 10s delivery timeout, so they
   // degrade channels without killing them.
@@ -114,6 +122,10 @@ Shape generate(std::uint64_t seed) {
     s.n = std::max<std::size_t>(s.n, 3);  // need survivors + a victim
     s.victim = 1 + rng.below(s.n - 1);    // never member 0
     s.crashAt = milliseconds(150 + rng.below(300));
+  } else if (s.module == 3) {
+    s.victim = 1 + rng.below(s.n - 1);  // member 0 is the feeder
+    s.crashAt = milliseconds(100 + rng.below(300));
+    s.restartDelay = milliseconds(50 + rng.below(400));
   }
   return s;
 }
@@ -122,8 +134,130 @@ const char* moduleName(int module) {
   switch (module) {
     case 0: return "tokens";
     case 1: return "cardgame";
-    default: return "eviction";
+    case 2: return "eviction";
+    default: return "recovery";
   }
+}
+
+// ---- module 3 (crash recovery) helpers ------------------------------------
+
+// Enough paced items (50ms of virtual time each) that the seed-chosen crash
+// instant — bounded by the pre-crash mesh rounds plus crashAt, well under a
+// second of virtual time — always lands mid-stream.  A crash after the sum
+// role finished would leave the feeder unackable: the final ack dies with
+// the process and a completed role is never re-run.
+constexpr std::int64_t kRecItems = 24;
+constexpr std::int64_t kRecTokens = 4;
+
+/// First colour whose home is manager index 1 of 2 (the victim), so the
+/// restart actually owns a token pool worth conserving.
+std::string victimHomedColor() {
+  for (int i = 0; i < 1000; ++i) {
+    const std::string c = "t" + std::to_string(i);
+    if (TokenManager::homeOfColor(c, 2) == 1) return c;
+  }
+  return "t0";
+}
+
+/// Scratch directory for one run's durable state.  Unique per process and
+/// per invocation; never folded into any digest.
+std::string recoveryScratchDir() {
+  static std::atomic<int> counter{0};
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("dapple_fuzz_rec_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+/// One app, two roles, dispatched on the member's "role" param.  The feeder
+/// streams kRecItems numbered items until each is acked; the "sum" member
+/// folds them into durable state exactly once (the journaled lastSeq dedups
+/// redelivery across the kill-restart), pacing applies in virtual time so
+/// the seed-chosen crash instant lands mid-stream.
+Value recRoleParams(const std::string& role) {
+  ValueMap params;
+  params["role"] = Value(role);
+  return Value(std::move(params));
+}
+
+void registerRecoveryApp(SessionAgent& agent) {
+  agent.registerApp("fz.recover", [](SessionContext& ctx) {
+    const std::string role = ctx.params().at("role").asString();
+    if (role == "feeder") {
+      Outbox& out = ctx.outbox("out");
+      Inbox& ack = ctx.inbox("ack");
+      std::int64_t next = 1;
+      while (next <= kRecItems && !ctx.stopToken().stop_requested()) {
+        DataMessage item("item");
+        item.set("seq", Value(static_cast<long long>(next)));
+        try {
+          out.send(item);
+        } catch (const Error&) {
+          out.reset();  // victim down; the rejoin WIRE re-points us
+        }
+        try {
+          if (auto del = ack.receiveFor(milliseconds(200))) {
+            const auto* msg =
+                dynamic_cast<const DataMessage*>(del->message.get());
+            if (msg != nullptr && msg->kind() == "ack") {
+              next = std::max<std::int64_t>(next, msg->get("seq").asInt() + 1);
+            }
+          }
+        } catch (const PeerDownError&) {
+          // Eviction notice: keep retrying until the member rejoins.
+        }
+      }
+      ctx.setResult(Value(static_cast<long long>(next - 1)));
+      return;
+    }
+    Inbox& in = ctx.inbox("in");
+    Outbox& out = ctx.outbox("out");
+    StateView& state = ctx.state();
+    std::int64_t last = state.getOr("fz.lastSeq", Value(0)).asInt();
+    std::int64_t sum = state.getOr("fz.sum", Value(0)).asInt();
+    if (last > 0) {
+      // Restart: the pre-crash acks died with the old process.  Re-ack the
+      // recovered progress so the feeder resumes without waiting to probe.
+      DataMessage ackMsg("ack");
+      ackMsg.set("seq", Value(static_cast<long long>(last)));
+      try {
+        out.send(ackMsg);
+      } catch (const Error&) {
+        out.reset();
+      }
+    }
+    while (last < kRecItems && !ctx.stopToken().stop_requested()) {
+      std::optional<Delivery> del;
+      try {
+        del = in.receiveFor(milliseconds(200));
+      } catch (const PeerDownError&) {
+        continue;
+      }
+      if (!del) continue;
+      const auto* msg = dynamic_cast<const DataMessage*>(del->message.get());
+      if (msg == nullptr || msg->kind() != "item") continue;
+      const std::int64_t seq = msg->get("seq").asInt();
+      if (seq == last + 1) {  // exactly-once apply, paced in virtual time
+        ctx.dapplet().clockSource().sleepFor(milliseconds(50));
+        sum += seq;
+        last = seq;
+        state.put("fz.sum", Value(static_cast<long long>(sum)));
+        state.put("fz.lastSeq", Value(static_cast<long long>(last)));
+      }
+      if (seq <= last) {
+        DataMessage ackMsg("ack");
+        ackMsg.set("seq", Value(static_cast<long long>(last)));
+        try {
+          out.send(ackMsg);
+        } catch (const Error&) {
+          out.reset();
+        }
+      }
+    }
+    ctx.setResult(Value(static_cast<long long>(sum)));
+  });
 }
 
 }  // namespace
@@ -223,6 +357,18 @@ ScenarioResult runScenario(std::uint64_t seed,
   Directory directory;
   std::string sessionId;
   constexpr std::int64_t kGold = 4, kSilver = 3;
+  // Module 3 (crash recovery): the victim's first-boot durable handles, the
+  // two token managers, and — once the kill-restart fires — the restarted
+  // process, which lives outside the mesh `dapplets` vector at a fresh host.
+  std::unique_ptr<recovery::DurableState> recDurable;
+  std::unique_ptr<TokenManager> feederTok, victimTok;
+  std::string recoveryDir, recColor;
+  std::unique_ptr<Dapplet> victim2;
+  std::unique_ptr<recovery::DurableState> recDurable2;
+  std::unique_ptr<SessionAgent> victimAgent2;
+  std::unique_ptr<TokenManager> victimTok2;
+  bool restarted = false;
+  std::uint64_t recoveryDigestOut = 0;
 
   if (shape.module == 0) {
     for (std::size_t i = 0; i < shape.n; ++i) {
@@ -246,6 +392,36 @@ ScenarioResult runScenario(std::uint64_t seed,
       apps::registerCardGameApp(*agents.back());
       directory.put("fz" + std::to_string(i), agents.back()->controlRef());
     }
+    director = std::make_unique<Dapplet>(net, "fzdir", cfg);
+    initiator = std::make_unique<Initiator>(*director);
+  } else if (shape.module == 3) {
+    // Two-member durable pipeline riding the mesh: fz0 feeds, the victim
+    // folds items into WAL-backed state and homes a journaled token pool.
+    // No failure detector — the restart itself must converge the session.
+    recoveryDir = recoveryScratchDir();
+    recColor = victimHomedColor();
+    agents.push_back(std::make_unique<SessionAgent>(*dapplets[0]));
+    registerRecoveryApp(*agents[0]);
+    recDurable = std::make_unique<recovery::DurableState>(
+        *dapplets[shape.victim], recoveryDir);
+    SessionAgent::Config vcfg;
+    vcfg.store = &recDurable->store();
+    vcfg.durableSessions = true;
+    vcfg.incarnation = recDurable->incarnation();
+    agents.push_back(
+        std::make_unique<SessionAgent>(*dapplets[shape.victim], vcfg));
+    registerRecoveryApp(*agents[1]);
+    // The feeder requests tokens of a colour it already holds; keep the
+    // deadlock prober's edge-chasing out of that legitimate wait.
+    TokenConfig fTok;
+    fTok.probeDelay = seconds(60);
+    feederTok = std::make_unique<TokenManager>(*dapplets[0], fTok);
+    TokenConfig vTok;
+    vTok.journal = &recDurable->store();
+    victimTok = std::make_unique<TokenManager>(*dapplets[shape.victim], vTok);
+    feederTok->attach({feederTok->ref(), victimTok->ref()}, 0, {});
+    victimTok->attach({feederTok->ref(), victimTok->ref()}, 1,
+                      {{recColor, kRecTokens}});
     director = std::make_unique<Dapplet>(net, "fzdir", cfg);
     initiator = std::make_unique<Initiator>(*director);
   } else {
@@ -324,6 +500,38 @@ ScenarioResult runScenario(std::uint64_t seed,
       oracles.fail("eviction: session setup failed");
     }
     sessionId = result.sessionId;
+  } else if (shape.module == 3) {
+    Initiator::Plan plan;
+    plan.app = "fz.recover";
+    Initiator::MemberPlan feeder;
+    feeder.name = "feeder";
+    feeder.control = agents[0]->controlRef();
+    feeder.inboxes = {"ack"};
+    feeder.params = recRoleParams("feeder");
+    Initiator::MemberPlan victim;
+    victim.name = "victim";
+    victim.control = agents[1]->controlRef();
+    victim.inboxes = {"in"};
+    victim.writeKeys = {"fz.sum", "fz.lastSeq"};
+    victim.params = recRoleParams("sum");
+    plan.members = {feeder, victim};
+    plan.edges = {{"feeder", "out", "victim", "in"},
+                  {"victim", "out", "feeder", "ack"}};
+    plan.phaseTimeout = seconds(30);
+    plan.setupAttempts = 8;
+    auto result = initiator->establish(plan);
+    if (!result.ok) {
+      oracles.fail("recovery: session setup failed");
+    } else {
+      // Spread the victim-homed pool before the kill: the restart must
+      // restore this grant from the journal, not re-mint the pool.
+      try {
+        feederTok->request({{recColor, 2}}, seconds(30));
+      } catch (const Error& e) {
+        oracles.fail("recovery: pre-crash token request failed: ", e.what());
+      }
+    }
+    sessionId = result.sessionId;
   }
 
   mark("workload");
@@ -339,6 +547,47 @@ ScenarioResult runScenario(std::uint64_t seed,
       dapplets[shape.victim]->crash();
       dead.insert(shape.victim);
       crashed = true;
+    }
+    if (shape.module == 3 && !options.suppressKillRestart && !crashed &&
+        round * 2 >= shape.rounds) {
+      // Kill-restart: crash cold, destroy the whole process (agent, token
+      // manager, durable handles), then after a seed-chosen delay reboot
+      // from the same directory at a fresh address and rejoin.
+      clock.sleepFor(shape.crashAt);
+      dapplets[shape.victim]->crash();
+      dead.insert(shape.victim);
+      crashed = true;
+      agents[1].reset();
+      victimTok.reset();
+      recDurable.reset();
+      dapplets[shape.victim].reset();
+      clock.sleepFor(shape.restartDelay);
+      DappletConfig vcfg = cfg;
+      vcfg.host = static_cast<std::uint32_t>(shape.n + 2);
+      victim2 = std::make_unique<Dapplet>(
+          net, "fz" + std::to_string(shape.victim), vcfg);
+      recDurable2 =
+          std::make_unique<recovery::DurableState>(*victim2, recoveryDir);
+      if (!recDurable2->info().recovered ||
+          recDurable2->incarnation() != 2) {
+        oracles.fail("recovery: restart did not recover durable state");
+      }
+      SessionAgent::Config acfg;
+      acfg.store = &recDurable2->store();
+      acfg.durableSessions = true;
+      acfg.incarnation = recDurable2->incarnation();
+      victimAgent2 = std::make_unique<SessionAgent>(*victim2, acfg);
+      registerRecoveryApp(*victimAgent2);
+      TokenConfig tcfg;
+      tcfg.journal = &recDurable2->store();
+      victimTok2 = std::make_unique<TokenManager>(*victim2, tcfg);
+      victimTok2->attach({feederTok->ref(), victimTok2->ref()}, 1,
+                         {{recColor, kRecTokens}});
+      // Zero sessions journaled is legitimate: the role may have completed
+      // (and been unlinked) before the crash landed.  The outcome oracles
+      // below are crash-placement-independent either way.
+      victimAgent2->rejoinPersisted();
+      restarted = true;
     }
     for (std::size_t i = 0; i < shape.n; ++i) {
       for (std::size_t j = 0; j < shape.n; ++j) {
@@ -451,6 +700,55 @@ ScenarioResult runScenario(std::uint64_t seed,
       oracles.fail("eviction: completion failed: ", e.what());
     }
     initiator->terminate(sessionId);
+  } else if (shape.module == 3 && !sessionId.empty()) {
+    // Deterministic-outcome digest: must be identical between this run and
+    // the suppressKillRestart control run of the same seed.  Only outcome
+    // values are folded — never schedule artifacts (rejoin and eviction
+    // counts depend on where the crash lands relative to role completion).
+    Digest rec;
+    try {
+      auto results = initiator->awaitCompletion(sessionId, seconds(120));
+      const std::int64_t want = kRecItems * (kRecItems + 1) / 2;
+      const std::int64_t sum = results.at("victim").asInt();
+      const std::int64_t fed = results.at("feeder").asInt();
+      if (sum != want) {
+        oracles.fail("recovery: victim summed ", sum, " != ", want);
+      }
+      if (fed != kRecItems) {
+        oracles.fail("recovery: feeder delivered ", fed, "/", kRecItems);
+      }
+      if (results.size() != 2) {
+        oracles.fail("recovery: ", results.size(), "/2 members settled");
+      }
+      rec.addf("results victim=", sum, " feeder=", fed,
+               " settled=", results.size());
+      // Token accounting across the restart: the journaled pool restored
+      // the pre-crash grant, so two more exhaust it — and totals must show
+      // the original mint, neither leaked nor doubled.
+      if (restarted) feederTok->rewire(1, victimTok2->ref());
+      feederTok->request({{recColor, 2}}, seconds(30));
+      const TokenBag held = feederTok->holdsTokens();
+      const std::int64_t holds =
+          held.count(recColor) != 0 ? held.at(recColor) : 0;
+      const TokenBag totals = feederTok->totalTokens(seconds(30));
+      const std::int64_t total =
+          totals.count(recColor) != 0 ? totals.at(recColor) : 0;
+      if (holds != kRecTokens) {
+        oracles.fail("recovery: grant lost across restart: holds ", holds,
+                     "/", kRecTokens);
+      }
+      if (total != kRecTokens) {
+        oracles.fail("recovery: token conservation broken: ", total, "/",
+                     kRecTokens);
+      }
+      rec.addf("tokens holds=", holds, " total=", total);
+    } catch (const Error& e) {
+      oracles.fail("recovery: workload failed: ", e.what());
+      rec.addf("failed");
+    }
+    recoveryDigestOut = rec.value();
+    digest.addf("recovery rdigest=", rec.value());
+    initiator->terminate(sessionId);
   }
 
   mark("drain");
@@ -491,8 +789,15 @@ ScenarioResult runScenario(std::uint64_t seed,
         oracles.fail("delivery: channel fz", i, "->fz", j, " delivered ",
                      got, "/", shape.rounds);
       }
-      digest.addf("ch fz", i, "->fz", j, " got=", got,
-                  " pay=", paySum[i]);
+      if (dead.count(i) == 0) {
+        digest.addf("ch fz", i, "->fz", j, " got=", got,
+                    " pay=", paySum[i]);
+      } else {
+        // A crashed sender's partial delivery count is schedule noise (how
+        // many in-flight frames beat the crash): fold the fact, not the
+        // number — the FIFO oracle above still vets whatever did arrive.
+        digest.addf("ch fz", i, "->fz", j, " sender-crashed");
+      }
     }
   }
 
@@ -538,7 +843,7 @@ ScenarioResult runScenario(std::uint64_t seed,
     const double darkSlack =
         24.0 * 1024 *
         (1 + static_cast<double>(shape.partitions.size()) +
-         (shape.module == 2 ? static_cast<double>(shape.n) : 0.0));
+         (shape.module >= 2 ? static_cast<double>(shape.n) : 0.0));
     const double allowance =
         3.0 * (faultRate / (1 - faultRate)) *
             static_cast<double>(rs.dataBytes) +
@@ -559,14 +864,29 @@ ScenarioResult runScenario(std::uint64_t seed,
 
   mark("teardown");
   // ---- teardown, then the fabric-level conservation oracle ---------------
+  // Module 3 ordering: token managers and agents go before the durable
+  // handles that back them; the restarted process lives outside the mesh
+  // vector and is stopped explicitly (the mesh loop below skips it — the
+  // original victim slot is in `dead`).
+  feederTok.reset();
+  victimTok.reset();
+  victimTok2.reset();
+  victimAgent2.reset();
   managers.clear();
   agents.clear();
   monitors.clear();
+  recDurable.reset();
+  recDurable2.reset();
   directorMonitor.reset();
   initiator.reset();
   if (director) director->stop();
+  if (victim2) victim2->stop();
   for (std::size_t i = 0; i < shape.n; ++i) {
     if (dead.count(i) == 0) dapplets[i]->stop();
+  }
+  if (!recoveryDir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(recoveryDir, ec);
   }
   mark("await-quiescent");
   if (!net.awaitQuiescent(seconds(30))) {
@@ -595,6 +915,7 @@ ScenarioResult runScenario(std::uint64_t seed,
   ScenarioResult out;
   for (const std::string& f : oracles.failures) digest.add(f);
   out.digest = digest.value();
+  out.recoveryDigest = recoveryDigestOut;
   out.ok = oracles.failures.empty();
   if (!out.ok) {
     std::ostringstream os;

@@ -15,7 +15,12 @@
 ///    sent - dropped + duplicated` (see sim.hpp);
 ///  * token conservation across managers (module 0);
 ///  * single-winner agreement in the card game (module 1);
-///  * session membership convergence after a member crash (module 2).
+///  * session membership convergence after a member crash (module 2);
+///  * crash-recovery equivalence (module 3): a session member is killed and
+///    restarted from its durable state (WAL + journal + REJOIN), and every
+///    deterministic outcome — role results, token totals — must equal a
+///    control run of the same seed that never killed anyone (compare
+///    `recoveryDigest` against a `suppressKillRestart` run).
 ///
 /// The run folds its observable outcome (per-channel content sequences,
 /// oracle verdicts, module results) into an FNV-1a digest.  With
@@ -35,6 +40,10 @@ struct ScenarioOptions {
   /// never fires (rto beyond the delivery timeout).  Any lossy seed must
   /// then fail an oracle — proving the fuzzer can actually see bugs.
   bool canaryDisableRetransmit = false;
+  /// Control run for module 3: skip the kill-restart event but run the
+  /// identical workload.  `recoveryDigest` must match the un-suppressed run
+  /// of the same seed — crash-recovery must be outcome-invisible.
+  bool suppressKillRestart = false;
 };
 
 struct ScenarioResult {
@@ -45,6 +54,10 @@ struct ScenarioResult {
   /// FNV-1a digest of the canonical outcome; identical across runs of the
   /// same seed.
   std::uint64_t digest = 0;
+  /// Module 3 only: digest of the *deterministic* outcomes (role results,
+  /// token totals — never schedule artifacts like rejoin counts).  Equal
+  /// between a kill-restart run and its `suppressKillRestart` control.
+  std::uint64_t recoveryDigest = 0;
   /// Human-oriented counts ("n=3 loss=0.10 module=tokens ..." ).
   std::string summary;
 };

@@ -27,6 +27,30 @@ TEST(FuzzSmoke, SeedsPassAndReplayToIdenticalDigest) {
   }
 }
 
+TEST(FuzzSmoke, KillRestartMatchesControlOutcome) {
+  // Crash-recovery equivalence (module 3): a kill-restart run's
+  // deterministic outcomes — role results, token totals — must equal the
+  // never-killed control run of the same seed.  Recovery has to be
+  // outcome-invisible.
+  ScenarioOptions control;
+  control.suppressKillRestart = true;
+  const std::uint64_t base = testSeed(1);
+  int checked = 0;
+  for (std::uint64_t seed = base; checked < 2; ++seed) {
+    if (seed % 4 != 3) continue;  // module 3 seeds only
+    DAPPLE_SEED_TRACE(seed);
+    const ScenarioResult killed = runScenario(seed);
+    EXPECT_TRUE(killed.ok) << killed.failure << "\n  repro: "
+                           << reproLine(seed) << "\n  " << killed.summary;
+    const ScenarioResult ctrl = runScenario(seed, control);
+    EXPECT_TRUE(ctrl.ok) << ctrl.failure;
+    EXPECT_NE(0u, killed.recoveryDigest);
+    EXPECT_EQ(killed.recoveryDigest, ctrl.recoveryDigest)
+        << "crash recovery changed the outcome (" << reproLine(seed) << ")";
+    ++checked;
+  }
+}
+
 TEST(FuzzSmoke, CanaryBugIsCaught) {
   // Disable the retransmit path; some seed in the first few must fail an
   // oracle.  If none does, the fuzzer has gone blind.
