@@ -75,7 +75,7 @@ void BM_MessageRoundTripWithClock(benchmark::State& state) {
   DataMessage msg("rt");
   for (auto _ : state) {
     outA.send(msg);
-    (void)inA.receive(seconds(10));
+    (void)inA.receiveFor(seconds(10));
   }
   state.SetLabel("full round trip incl. Lamport stamping");
   a.stop();

@@ -45,11 +45,11 @@ void runFigure3() {
 
   int d3got = 0;
   for (int i = 0; i < 2; ++i) {
-    (void)in3.receive(seconds(5));
+    (void)in3.receiveFor(seconds(5));
     ++d3got;
   }
-  (void)in4.receive(seconds(5));
-  (void)in5.receive(seconds(5));
+  (void)in4.receiveFor(seconds(5));
+  (void)in5.receiveFor(seconds(5));
   std::printf("Figure 3 topology: d3 received %d messages (from d1 and d2), "
               "d4 and d5 one each — as drawn.\n\n",
               d3got);
@@ -91,7 +91,7 @@ void BM_FanoutSend(benchmark::State& state) {
     rig.out->send(msg);
     ++sent;
     // Consume to keep queues bounded.
-    for (Inbox* in : rig.inboxes) (void)in->receive(seconds(5));
+    for (Inbox* in : rig.inboxes) (void)in->receiveFor(seconds(5));
   }
   state.counters["copies/s"] = benchmark::Counter(
       static_cast<double>(sent * fanout), benchmark::Counter::kIsRate);
@@ -118,7 +118,7 @@ void BM_ManyToOneInbox(benchmark::State& state) {
   DataMessage msg("m");
   for (auto _ : state) {
     for (Outbox* out : outs) out->send(msg);
-    for (int i = 0; i < senders; ++i) (void)in.receive(seconds(5));
+    for (int i = 0; i < senders; ++i) (void)in.receiveFor(seconds(5));
   }
   state.counters["senders"] = senders;
   receiver.stop();

@@ -51,9 +51,14 @@ int main() {
   hello.set("from", Value("alice"));
   aliceOut.send(hello);
 
-  Delivery del = aliceIn.receive(seconds(5));
+  // Timed receive: "nothing arrived" comes back as nullopt, not a throw.
+  std::optional<Delivery> del = aliceIn.receiveFor(seconds(5));
+  if (!del) {
+    std::printf("alice received nothing within 5s\n");
+    return 1;
+  }
   std::printf("alice received: %s\n",
-              del.as<DataMessage>().get("text").asString().c_str());
+              del->as<DataMessage>().get("text").asString().c_str());
 
   alice.stop();
   bob.stop();

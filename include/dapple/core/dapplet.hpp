@@ -22,6 +22,7 @@
 #include "dapple/core/inbox.hpp"
 #include "dapple/core/lamport_clock.hpp"
 #include "dapple/core/outbox.hpp"
+#include "dapple/core/reactor.hpp"
 #include "dapple/net/transport.hpp"
 #include "dapple/obs/metrics.hpp"
 #include "dapple/reliable/reliable.hpp"
@@ -41,20 +42,33 @@ struct DappletConfig {
   /// Failure-detector knobs (consumed by services/liveness): how often a
   /// LivenessMonitor on this dapplet sends heartbeats to watched peers, and
   /// how long a peer may stay silent before it is suspected crashed.
-  /// (Nested like `reliable` — one struct per policy domain.)
+  /// (Nested like `reliable` — one struct per policy domain.  The old flat
+  /// `heartbeatInterval`/`suspectTimeout` aliases were removed after one
+  /// deprecation release; spell them `liveness.heartbeatInterval` etc.)
   struct LivenessConfig {
     Duration heartbeatInterval = std::chrono::milliseconds(50);
     Duration suspectTimeout = std::chrono::milliseconds(250);
   };
   LivenessConfig liveness{};
 
-  /// \deprecated Flat aliases of `liveness.heartbeatInterval` /
-  /// `liveness.suspectTimeout`, kept so pre-observability code compiles.
-  /// Zero means "unset"; a nonzero value overrides the nested field (the
-  /// Dapplet constructor normalizes, so `config().liveness` is always
-  /// authoritative afterwards).
-  Duration heartbeatInterval = Duration::zero();
-  Duration suspectTimeout = Duration::zero();
+  /// Event-driven runtime knobs (one struct per policy domain, like
+  /// `reliable` and `liveness`).
+  struct RuntimeConfig {
+    /// Shared event-loop pool this dapplet schedules on: its reliable-layer
+    /// retransmission ticks run on the reactor's timer wheel instead of a
+    /// dedicated thread, and services (liveness, session agent, RPC server)
+    /// register `Inbox::onMessage` handlers instead of spawning dispatch
+    /// loops.  Many dapplets share one reactor — that is the point: one
+    /// process hosts tens of thousands of dapplets on `hw_concurrency`
+    /// threads (see bench_swarm).  Null selects the legacy threaded mode;
+    /// `Dapplet::after`/`every`/`Inbox::onMessage` then lazily create a
+    /// small dapplet-owned reactor.  Must outlive the dapplet.
+    Reactor* reactor = nullptr;
+    /// Loop threads for the lazily-created owned reactor (only consulted
+    /// when `reactor` is null and an async API is first used).
+    unsigned ownedThreads = 1;
+  };
+  RuntimeConfig runtime{};
 
   /// Capacity of the dapplet's trace-event ring (see obs/trace.hpp).
   std::size_t traceCapacity = 512;
@@ -66,18 +80,17 @@ struct DappletConfig {
   /// outlive the dapplet.
   ClockSource* clock = nullptr;
 
-  /// Resolves the deprecated flat liveness fields into `liveness` and
-  /// mirrors the result back, so both spellings read identically.
+  /// Historical shim from the flat-knob era, kept one release as the
+  /// documented place config normalization happens.  Today it clamps
+  /// nonsense runtime knobs (`ownedThreads == 0` becomes 1) and folds the
+  /// runtime mode into the reliable layer: a dapplet scheduled on a shared
+  /// reactor drives its retransmission scan from the reactor's timer wheel,
+  /// so the per-endpoint timer thread is switched off.  The deprecated flat
+  /// liveness fields it used to fold into `liveness` are gone.
   DappletConfig normalized() const {
     DappletConfig out = *this;
-    if (out.heartbeatInterval > Duration::zero()) {
-      out.liveness.heartbeatInterval = out.heartbeatInterval;
-    }
-    if (out.suspectTimeout > Duration::zero()) {
-      out.liveness.suspectTimeout = out.suspectTimeout;
-    }
-    out.heartbeatInterval = out.liveness.heartbeatInterval;
-    out.suspectTimeout = out.liveness.suspectTimeout;
+    if (out.runtime.ownedThreads == 0) out.runtime.ownedThreads = 1;
+    if (out.runtime.reactor != nullptr) out.reliable.externalTick = true;
     return out;
   }
 };
@@ -154,6 +167,23 @@ class Dapplet {
   /// Runs `fn` on a dapplet-owned thread; the stop token fires at stop().
   void spawn(std::function<void(std::stop_token)> fn);
 
+  // --- event-driven runtime ------------------------------------------------
+
+  /// The reactor this dapplet schedules on: the one injected via
+  /// `DappletConfig::runtime.reactor`, or a lazily-created dapplet-owned
+  /// pool (`runtime.ownedThreads` loops on this dapplet's clock) the first
+  /// time an async API is used.  The owned reactor is stopped by stop().
+  Reactor& reactor();
+
+  /// Runs `fn` once, `delay` from now, on a reactor loop thread.  Callbacks
+  /// must not block for long (they share the loop with every other dapplet
+  /// on the reactor); use spawn() for blocking work.
+  Reactor::TimerHandle after(Duration delay, std::function<void()> fn);
+
+  /// Runs `fn` every `period` on a reactor loop thread, until the handle is
+  /// cancelled or the dapplet stops.
+  Reactor::TimerHandle every(Duration period, std::function<void()> fn);
+
   /// Stops the dapplet: closes every inbox (waking blocked receivers with
   /// ShutdownError), requests stop on spawned threads, joins them, and
   /// closes the endpoint.  Idempotent.
@@ -185,9 +215,8 @@ class Dapplet {
       const NodeAddress& dst, std::uint64_t outboxId, const std::string& reason)>;
   void addPeerFailureListener(PeerFailureListener listener);
 
-  /// The configuration this dapplet was created with, normalized (deprecated
-  /// flat liveness knobs folded into `liveness`; note: `port` is the
-  /// requested port; use address() for the bound one).
+  /// The configuration this dapplet was created with, normalized (note:
+  /// `port` is the requested port; use address() for the bound one).
   const DappletConfig& config() const { return config_; }
 
   // --- observability -------------------------------------------------------

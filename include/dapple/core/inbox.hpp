@@ -9,16 +9,22 @@
 /// source channel), which the paper's clock and snapshot services rely on.
 ///
 /// Receive-surface conventions (beyond the paper's trio):
-///  * `receiveFor(timeout)` / `tryReceive()` report "nothing arrived" in the
-///    return value (`std::nullopt`), never by exception — use these in retry
-///    loops.
-///  * `receive(timeout)` throws TimeoutError — use it when a missed deadline
-///    IS the failure.
+///  * `receiveFor(timeout)` / `receiveAs<T>(timeout)` / `tryReceive()` are
+///    the canonical surface: "nothing arrived" is reported in the return
+///    value (`std::nullopt`), never by exception.
+///  * The throwing `receive(timeout)` overload is deprecated; callers that
+///    treat a missed deadline as failure throw `TimeoutError` themselves (or
+///    use `receiveAs<T>(timeout)`, which still throws for them).
 ///  * All receives throw ShutdownError once the inbox is closed-and-drained
 ///    and PeerDownError when a peer-failure alert is pending (see raise()).
+///  * `onMessage(handler)` switches the inbox to event-driven delivery on
+///    the dapplet's `Reactor` — no blocked thread at all.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -58,7 +64,12 @@ struct Delivery {
 
 /// A message queue owned by a dapplet.  All members are thread-safe.
 /// Create via `Dapplet::createInbox`.
-class Inbox {
+///
+/// Held by shared_ptr inside the dapplet so drain tasks posted to a shared
+/// reactor can pin the inbox (`shared_from_this`) — a task still queued when
+/// the dapplet dies runs against a live (closed, empty) inbox instead of a
+/// dangling pointer.
+class Inbox : public std::enable_shared_from_this<Inbox> {
  public:
   Inbox(const Inbox&) = delete;
   Inbox& operator=(const Inbox&) = delete;
@@ -88,8 +99,13 @@ class Inbox {
 
   // --- extensions ----------------------------------------------------------
 
-  /// Timed receive; throws TimeoutError when nothing arrives in time.
-  Delivery receive(Duration timeout) {
+  /// \deprecated Timed receive that throws TimeoutError when nothing
+  /// arrives in time.  Use `receiveFor(timeout)` (nullopt on timeout) or
+  /// `receiveAs<T>(timeout)` instead; this overload is kept one release for
+  /// out-of-tree callers.
+  [[deprecated(
+      "use receiveFor(timeout) or receiveAs<T>(timeout)")]] Delivery
+  receive(Duration timeout) {
     auto d = queue_.popFor(timeout);
     if (!d) {
       throw TimeoutError("inbox '" + name_ + "' receive timed out");
@@ -112,14 +128,49 @@ class Inbox {
     return receive().template as<T>();
   }
 
-  /// Typed timed receive; throws TimeoutError like receive(timeout).
+  /// Typed timed receive; throws TimeoutError when nothing arrives in time
+  /// (a decode target is expected, so here the missed deadline IS the
+  /// failure — unlike receiveFor, which reports it as nullopt).
   template <typename T>
   T receiveAs(Duration timeout) {
-    return receive(timeout).template as<T>();
+    auto d = queue_.popFor(timeout);
+    if (!d) {
+      throw TimeoutError("inbox '" + name_ + "' receive timed out");
+    }
+    return std::move(*d).template as<T>();
   }
 
   /// Non-blocking receive.
   std::optional<Delivery> tryReceive() { return queue_.tryPop(); }
+
+  // --- event-driven delivery (reactor mode) --------------------------------
+
+  /// Per-delivery callback; runs on a reactor loop thread.
+  using MessageHandler = std::function<void(Delivery)>;
+
+  /// Installs (or, with nullptr, removes) the message handler.  While a
+  /// handler is installed, deliveries are drained to it on the dapplet's
+  /// `Reactor` — in arrival order, one invocation at a time (a strand), with
+  /// no thread blocked in between.  Messages already queued are delivered
+  /// too.  Removal is synchronous: `onMessage(nullptr)` returns only once
+  /// any in-flight handler invocation has finished, so the caller may free
+  /// state the handler captures (do not call it from inside the handler).
+  ///
+  /// Peer-failure alerts (raise()) are not routed to the handler — reactor
+  /// consumers observe failures via `Dapplet::addPeerFailureListener`.
+  /// Blocking receives remain functional alongside a handler but compete
+  /// for the same messages; mixing the two on one inbox is discouraged.
+  void onMessage(MessageHandler handler) {
+    std::scoped_lock lock(handlerMutex_);
+    handler_ = std::move(handler);
+    hasHandler_.store(handler_ != nullptr, std::memory_order_release);
+    if (handler_) maybeScheduleDrain();
+  }
+
+  /// True while a message handler is installed.
+  bool hasHandler() const {
+    return hasHandler_.load(std::memory_order_acquire);
+  }
 
   /// Timed awaitNonEmpty; false on timeout.
   bool awaitNonEmptyFor(Duration timeout) {
@@ -165,15 +216,66 @@ class Inbox {
   /// tests).  Called by Dapplet::createInbox before the inbox is visible.
   void setClockSource(ClockSource* clock) { queue_.setClockSource(clock); }
 
+  /// Installs the task poster drains are scheduled through (the dapplet's
+  /// reactor).  Called by Dapplet::createInbox before the inbox is visible;
+  /// the poster must stay callable for the inbox's lifetime.
+  void setScheduler(std::function<void(std::function<void()>)> poster) {
+    poster_ = std::move(poster);
+  }
+
   /// Deliveries to a closed inbox are silently dropped.  After raise() the
   /// push still queues normally (drain-then-throw: the data outranks the
   /// pending alert).
-  void push(Delivery delivery) { queue_.tryPush(std::move(delivery)); }
+  void push(Delivery delivery) {
+    if (queue_.tryPush(std::move(delivery))) maybeScheduleDrain();
+  }
+
+  /// Schedules one drain task unless one is already pending.  The exchange
+  /// makes the drain a strand: at most one runs or is queued at a time, so
+  /// handler invocations for this inbox never overlap and stay FIFO.  The
+  /// task pins the inbox (see class comment) — reactors outlive dapplets.
+  void maybeScheduleDrain() {
+    if (!hasHandler_.load(std::memory_order_acquire) || !poster_) return;
+    if (drainScheduled_.exchange(true, std::memory_order_acq_rel)) return;
+    poster_([self = shared_from_this()] { self->drain(); });
+  }
+
+  /// Runs on a reactor loop: feeds up to kDrainBatch queued deliveries to
+  /// the handler, then reschedules itself if more remain — the batch bound
+  /// keeps one flooded inbox from starving the other dapplets sharded onto
+  /// the same loop.
+  void drain() {
+    constexpr int kDrainBatch = 64;
+    try {
+      std::scoped_lock lock(handlerMutex_);
+      for (int i = 0; i < kDrainBatch && handler_; ++i) {
+        auto d = queue_.tryPop();
+        if (!d) break;
+        handler_(std::move(*d));
+      }
+    } catch (...) {
+      // A throwing handler must not strand the strand: clear the flag, let
+      // the remaining backlog reschedule, and surface the exception to the
+      // reactor loop (which logs it).
+      drainScheduled_.store(false, std::memory_order_release);
+      if (!queue_.empty()) maybeScheduleDrain();
+      throw;
+    }
+    drainScheduled_.store(false, std::memory_order_release);
+    // Re-check after clearing the flag: a push that lost the exchange race
+    // above relies on this tail check to re-arm.
+    if (!queue_.empty()) maybeScheduleDrain();
+  }
 
   const std::uint32_t localId_;
   const std::string name_;
   const InboxRef ref_;
   SyncQueue<Delivery> queue_;
+  std::mutex handlerMutex_;  ///< serializes handler runs + (un)install
+  MessageHandler handler_;   ///< guarded by handlerMutex_
+  std::atomic<bool> hasHandler_{false};
+  std::atomic<bool> drainScheduled_{false};
+  std::function<void(std::function<void()>)> poster_;
 };
 
 }  // namespace dapple

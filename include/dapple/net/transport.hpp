@@ -48,18 +48,24 @@ class Endpoint {
   /// The address peers use to reach this endpoint.
   virtual NodeAddress address() const = 0;
 
-  /// Fire-and-forget datagram.  May be dropped, delayed arbitrarily,
-  /// duplicated, or reordered relative to other sends.
-  virtual void send(const NodeAddress& dst, std::string payload) = 0;
+  /// THE send primitive: hands every datagram of `batch` to the network in
+  /// one call.  Each datagram is fire-and-forget — it may be dropped,
+  /// delayed arbitrarily, duplicated, or reordered relative to any other
+  /// send, including others in the same batch.  Batching is purely a cost
+  /// model: the reliable layer's fan-out send, retransmission scan and
+  /// coalesced-ack flush submit bursts so they cost one syscall (`sendmmsg`
+  /// on UDP) or one lock acquisition (simulator) instead of one per
+  /// datagram.  Undeliverable datagrams (oversize, transient socket errors)
+  /// count as loss — they are dropped and tallied, never thrown.
+  virtual void sendBatch(std::vector<Datagram> batch) = 0;
 
-  /// Batched submit: hands every datagram to the network in one call.  The
-  /// reliable layer's fan-out send, retransmission scan and coalesced-ack
-  /// flush use this so a burst costs one syscall (`sendmmsg` on UDP) or one
-  /// lock acquisition (simulator) instead of one per datagram.  Transports
-  /// that do not override it get the portable one-at-a-time fallback; the
-  /// per-datagram loss/duplication/ordering contract of send() is unchanged.
-  virtual void sendBatch(std::vector<Datagram> batch) {
-    for (Datagram& d : batch) send(d.dst, std::move(d.payload));
+  /// Single-datagram convenience: a one-element sendBatch.  Same contract,
+  /// same loss accounting — kept non-virtual so every transport has exactly
+  /// one send path to implement and instrument.
+  void send(const NodeAddress& dst, std::string payload) {
+    std::vector<Datagram> batch;
+    batch.push_back(Datagram{dst, std::move(payload)});
+    sendBatch(std::move(batch));
   }
 
   /// Installs the receive handler.  Must be called before traffic arrives;

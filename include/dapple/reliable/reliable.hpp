@@ -83,6 +83,13 @@ struct ReliableConfig {
   /// under content-hashed link randomness — the scenario fuzzer disables
   /// piggybacking for exactly that reason).
   bool ackPiggyback = true;
+  /// When true the endpoint spawns no retransmission-timer thread; the
+  /// owner drives the scan by calling `ReliableEndpoint::tick()` every
+  /// `tickInterval` instead.  This is how reactor-mode dapplets run: one
+  /// shared timer wheel paces every endpoint's ticks, so ten thousand
+  /// dapplets cost zero timer threads (DappletConfig::runtime.reactor sets
+  /// this automatically).
+  bool externalTick = false;
 
   /// Returns a copy with inconsistent knob combinations clamped to safe
   /// values.  Each adjustment appends one human-readable line to `notes`
@@ -142,9 +149,11 @@ class ReliableEndpoint {
   void setDeliver(DeliverFn fn);
   void setOnFailure(FailFn fn);
 
-  /// Queues `payload` on stream (`dst`, `streamId`) and transmits it.
-  /// Returns the frame's sequence number.  Throws DeliveryError if the
-  /// stream has already failed.
+  /// Single-destination convenience: a one-element sendMany (same batched
+  /// surface underneath — one transport submit, shared accounting).  Queues
+  /// `payload` on stream (`dst`, `streamId`) and transmits it.  Returns the
+  /// frame's sequence number.  Throws DeliveryError if the stream has
+  /// already failed.
   std::uint64_t send(const NodeAddress& dst, std::uint64_t streamId,
                      std::string payload);
 
@@ -185,6 +194,13 @@ class ReliableEndpoint {
   /// Clears the failed flag and pending frames of a stream so it can be
   /// used again (e.g. after a partition heals).
   void resetStream(const NodeAddress& dst, std::uint64_t streamId);
+
+  /// One retransmission-scan pass: RTO/fast-retransmit checks, delivery
+  /// timeouts, delayed-ack flush.  With the internal timer thread this runs
+  /// automatically every `tickInterval`; under `externalTick` the owner
+  /// (the dapplet's reactor timer) calls it instead.  Safe from any thread;
+  /// a no-op after close().
+  void tick();
 
   /// Stops the retransmission timer and closes the raw endpoint.
   void close();

@@ -28,7 +28,7 @@
 namespace dapple {
 
 /// Detector tuning.  Zero durations inherit the owning dapplet's
-/// `DappletConfig::heartbeatInterval` / `suspectTimeout`.
+/// `DappletConfig::liveness.heartbeatInterval` / `liveness.suspectTimeout`.
 struct LivenessConfig {
   Duration heartbeatInterval = Duration::zero();
   Duration suspectTimeout = Duration::zero();
@@ -39,7 +39,10 @@ struct LivenessConfig {
 /// strings, so independent components can watch the same peer.
 class LivenessMonitor final : public PeerMonitor {
  public:
-  /// Creates the detector inbox ("live.ctl") and starts the beat loop.
+  /// Creates the detector inbox ("live.ctl") and starts the beat loop — a
+  /// spawned thread in legacy mode, or a timer-wheel beat plus an
+  /// `Inbox::onMessage` handler (zero threads) when the dapplet runs on a
+  /// reactor (`DappletConfig::runtime.reactor`).
   explicit LivenessMonitor(Dapplet& dapplet, LivenessConfig config = {});
   ~LivenessMonitor() override;
 

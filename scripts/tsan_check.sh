@@ -2,10 +2,11 @@
 # TSan gate for the concurrency-heavy test subset.
 #
 # Configures a dedicated ThreadSanitizer build tree, builds the test
-# binaries, and runs the `faults`, `fuzz-smoke`, and `recovery` ctest
-# labels — the failure-injection suites, the scenario-fuzzer smoke sweep,
-# and the crash-recovery (kill -> restart -> rejoin) suite.  Those run on
-# the virtual clock, so TSan reports reproduce run-to-run.
+# binaries, and runs the `faults`, `fuzz-smoke`, `recovery`, and `reactor`
+# ctest labels — the failure-injection suites, the scenario-fuzzer smoke
+# sweep, the crash-recovery (kill -> restart -> rejoin) suite, and the
+# event-loop runtime (timer wheel, handler strands).  Those run on the
+# virtual clock, so TSan reports reproduce run-to-run.
 #
 #   scripts/tsan_check.sh [build-dir]     (default: build-tsan)
 set -eu
@@ -15,4 +16,4 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -DDAPPLE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery|reactor'

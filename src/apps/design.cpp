@@ -171,9 +171,13 @@ void designerRole(SessionContext& ctx) {
     }
     return true;
   };
-  // receive(timeout) (not receiveFor): a 10s stall here means replication
-  // genuinely broke, and the TimeoutError is the right way to fail the role.
-  while (!converged()) handle(updates.receive(seconds(10)));
+  // A 10s stall here means replication genuinely broke, so the missed
+  // deadline IS a failure: surface it as TimeoutError, which fails the role.
+  while (!converged()) {
+    auto del = updates.receiveFor(seconds(10));
+    if (!del) throw TimeoutError("design role: replication stalled for 10s");
+    handle(std::move(*del));
+  }
 
   ValueMap result;
   result["reads"] = Value(static_cast<long long>(reads));

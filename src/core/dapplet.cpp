@@ -21,14 +21,15 @@ struct Dapplet::Impl {
   std::uint32_t nextInboxId = 1;
   std::uint64_t nextOutboxId = 1;
 
-  // Inboxes are owned here; named lookup is by the inbox's own name field.
-  std::unordered_map<std::uint32_t, std::unique_ptr<Inbox>> inboxesById;
+  // Inboxes are owned here (shared: reactor drain tasks pin them via
+  // shared_from_this); named lookup is by the inbox's own name field.
+  std::unordered_map<std::uint32_t, std::shared_ptr<Inbox>> inboxesById;
   std::unordered_map<std::string, Inbox*> inboxesByName;
   // Destroyed inboxes are parked here (closed) rather than freed: delivery
   // and taps run without the dapplet lock, so Inbox storage must stay valid
   // for the dapplet's lifetime.  Sessions create a handful of inboxes each,
   // so the cost is negligible.
-  std::vector<std::unique_ptr<Inbox>> inboxGraveyard;
+  std::vector<std::shared_ptr<Inbox>> inboxGraveyard;
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Outbox>> outboxesById;
   std::unordered_map<std::string, Outbox*> outboxesByName;
@@ -41,6 +42,15 @@ struct Dapplet::Impl {
 
   bool stopped = false;
   std::vector<std::jthread> workers;
+
+  /// Wheel timer pacing reliable_->tick() when the dapplet runs on a shared
+  /// reactor (DappletConfig::runtime.reactor); inert otherwise.
+  Reactor::TimerHandle reliableTick;
+
+  // Declared LAST so it is destroyed FIRST: the owned reactor's loops must
+  // stop (joining any in-flight drain task) before the inbox maps and the
+  // graveyard above are freed.
+  std::unique_ptr<Reactor> ownedReactor;
 };
 
 Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
@@ -63,6 +73,15 @@ Dapplet::Dapplet(Network& network, std::string name, DappletConfig config)
                                  const std::string& reason) {
     onStreamFailure(dst, streamId, reason);
   });
+  if (config_.runtime.reactor != nullptr) {
+    // Reactor mode: normalized() switched the endpoint to externalTick, so
+    // its retransmission scan is paced here, on the shared timer wheel —
+    // zero dedicated threads per dapplet.  tick() is a no-op after close(),
+    // so a firing that races teardown is harmless.
+    impl_->reliableTick = config_.runtime.reactor->every(
+        config_.reliable.tickInterval,
+        [rel = reliable_.get()] { rel->tick(); });
+  }
 }
 
 Dapplet::~Dapplet() { stop(); }
@@ -77,9 +96,25 @@ Inbox& Dapplet::createInbox(const std::string& name) {
   }
   const std::uint32_t id = impl_->nextInboxId++;
   InboxRef ref{address(), id, name};
-  auto inboxPtr =
-      std::unique_ptr<Inbox>(new Inbox(id, name, std::move(ref)));
+  auto inboxPtr = std::shared_ptr<Inbox>(new Inbox(id, name, std::move(ref)));
   inboxPtr->setClockSource(clockSource_);
+  if (config_.runtime.reactor != nullptr) {
+    // The poster must not capture the dapplet: on a shared reactor a drain
+    // task (which pins the inbox) can run after this dapplet is gone, and
+    // its tail re-check re-posts through this lambda.  The configured
+    // reactor outlives the dapplet by contract.
+    inboxPtr->setScheduler(
+        [r = config_.runtime.reactor](std::function<void()> task) {
+          r->post(std::move(task));
+        });
+  } else {
+    // Owned-reactor mode: the lazily-created reactor is stopped before the
+    // inboxes are freed (Impl member order), so `this` stays valid for as
+    // long as any drain task can run.
+    inboxPtr->setScheduler([this](std::function<void()> task) {
+      reactor().post(std::move(task));
+    });
+  }
   Inbox& result = *inboxPtr;
   impl_->inboxesById.emplace(id, std::move(inboxPtr));
   if (!name.empty()) impl_->inboxesByName.emplace(name, &result);
@@ -189,6 +224,28 @@ void Dapplet::spawn(std::function<void(std::stop_token)> fn) {
       });
 }
 
+Reactor& Dapplet::reactor() {
+  if (config_.runtime.reactor != nullptr) return *config_.runtime.reactor;
+  std::scoped_lock lock(impl_->mutex);
+  if (!impl_->ownedReactor) {
+    Reactor::Options opts;
+    opts.threads = config_.runtime.ownedThreads;
+    opts.clock = clockSource_;
+    impl_->ownedReactor = std::make_unique<Reactor>(opts);
+  }
+  return *impl_->ownedReactor;
+}
+
+Reactor::TimerHandle Dapplet::after(Duration delay,
+                                    std::function<void()> fn) {
+  return reactor().after(delay, std::move(fn));
+}
+
+Reactor::TimerHandle Dapplet::every(Duration period,
+                                    std::function<void()> fn) {
+  return reactor().every(period, std::move(fn));
+}
+
 void Dapplet::stop() {
   std::vector<std::jthread> workers;
   {
@@ -204,7 +261,17 @@ void Dapplet::stop() {
   // wake must be routed, not waited out.
   clockSource_->interruptAll();
   workers.clear();  // joins
+  // Off a loop thread, cancel() waits out any in-flight tick; from inside a
+  // reactor callback it is async, which is still safe — close() below makes
+  // further ticks no-ops.
+  impl_->reliableTick.cancel();
   reliable_->close();
+  Reactor* owned = nullptr;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    owned = impl_->ownedReactor.get();
+  }
+  if (owned) owned->stop();
 }
 
 void Dapplet::crash() {
@@ -212,6 +279,7 @@ void Dapplet::crash() {
   // retransmission/ACK machinery — escapes after this line.  stop() is the
   // graceful inverse (drain, then close).
   reliable_->close();
+  impl_->reliableTick.cancel();  // after close: ticks are already no-ops
   std::vector<std::jthread> workers;
   {
     std::scoped_lock lock(impl_->mutex);
@@ -223,6 +291,12 @@ void Dapplet::crash() {
   for (auto& worker : workers) worker.request_stop();
   clockSource_->interruptAll();
   workers.clear();  // joins
+  Reactor* owned = nullptr;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    owned = impl_->ownedReactor.get();
+  }
+  if (owned) owned->stop();
 }
 
 void Dapplet::addPeerFailureListener(PeerFailureListener listener) {

@@ -24,6 +24,10 @@ struct RpcServer::Impl : std::enable_shared_from_this<RpcServer::Impl> {
   mutable std::mutex mutex;
   std::condition_variable loopExited;
   bool loopDone = false;
+  /// Reactor mode: requests are served from an Inbox::onMessage handler —
+  /// no serve thread.  Bound methods then run on a reactor loop and must
+  /// not block for long.
+  bool reactorMode = false;
   std::map<std::string, Method> methods;
   Stats stats;
 
@@ -119,6 +123,20 @@ RpcServer::RpcServer(Dapplet& dapplet, const std::string& inboxName)
     : impl_(std::make_shared<Impl>(dapplet)) {
   impl_->inbox = &dapplet.createInbox(inboxName);
   auto impl = impl_;
+  if (dapplet.config().runtime.reactor != nullptr) {
+    impl_->reactorMode = true;
+    impl_->inbox->onMessage([impl](Delivery del) {
+      try {
+        impl->serveOne(del);
+      } catch (const ShutdownError&) {
+        // Dapplet stopping under us; remaining requests drain harmlessly.
+      } catch (const Error& e) {
+        DAPPLE_LOG(kWarn, kLog)
+            << impl->d.name() << ": rpc dispatch error: " << e.what();
+      }
+    });
+    return;
+  }
   dapplet.spawn([impl](std::stop_token stop) {
     try {
       impl->run(stop);
@@ -135,10 +153,14 @@ RpcServer::RpcServer(Dapplet& dapplet, const std::string& inboxName)
 }
 
 RpcServer::~RpcServer() {
+  // onMessage(nullptr) returns only once any in-flight serveOne has
+  // finished — the reactor-mode equivalent of the loopExited wait below.
+  if (impl_->reactorMode) impl_->inbox->onMessage(nullptr);
   try {
     impl_->d.destroyInbox(*impl_->inbox);
   } catch (const Error&) {
   }
+  if (impl_->reactorMode) return;
   std::unique_lock lock(impl_->mutex);
   impl_->loopExited.wait_for(lock, seconds(5),
                              [&] { return impl_->loopDone; });

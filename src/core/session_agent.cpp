@@ -168,6 +168,10 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
   mutable std::mutex mutex;
   std::condition_variable loopExited;
   bool loopDone = false;
+  /// Reactor mode (dapplet configured with runtime.reactor): control
+  /// messages are dispatched from an Inbox::onMessage handler and rejoin
+  /// retries are an after() chain — no dispatch thread, no retry threads.
+  bool reactorMode = false;
   // Set by ~SessionAgent under `journalMutex`: background rejoin workers
   // hold Impl alive past the agent (and past cfg.store, which is only
   // guaranteed to outlive the *agent*), so journal access must stop here.
@@ -215,6 +219,42 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
     const std::uint64_t key = target.node.packed() * 1000003u + target.localId;
     const auto it = replyOutboxes.find(key);
     if (it != replyOutboxes.end()) it->second->reset();
+  }
+
+  /// How many times a restarted member re-sends its REJOIN before declaring
+  /// the initiator unreachable and discarding the journaled session.
+  static constexpr int kRejoinAttempts = 8;
+
+  /// Reactor-mode rejoin retry: one send per step, rescheduled through the
+  /// timer wheel with the same linear backoff the legacy thread loop uses.
+  /// Each step holds Impl alive via shared_from_this, exactly like the
+  /// legacy worker held its shared_ptr.
+  void rejoinRetryStep(std::shared_ptr<SessionContext::Record> rec,
+                       RejoinMsg rj, int attempt) {
+    {
+      std::scoped_lock lock(rec->mutex);
+      if (rec->rejoinAcked || rec->unlinked) return;
+    }
+    if (attempt >= kRejoinAttempts) {
+      {
+        std::scoped_lock lock(journalMutex);
+        if (closed) return;  // agent destroyed: leave the journal be
+      }
+      trace->emit("recovery", "rejoin.giveup", rec->sessionId);
+      eraseJournal(rec->sessionId);
+      unlinkLocal(rec, true);
+      return;
+    }
+    try {
+      reply(rec->initiatorReply, rj);
+    } catch (const Error&) {
+      resetReply(rec->initiatorReply);
+    }
+    auto self = shared_from_this();
+    d.after(milliseconds(100) * (attempt + 1),
+            [self, rec = std::move(rec), rj = std::move(rj), attempt] {
+              self->rejoinRetryStep(rec, rj, attempt + 1);
+            });
   }
 
   // -- crash-recovery journal (Config::durableSessions) -------------------
@@ -689,37 +729,40 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       // Retry until the initiator answers: the restart races MEMBER_DOWN
       // eviction and the initiator may still be mid-broadcast, so one send
       // is not enough.  Backoff is linear and clock-routed (virtual-time
-      // safe).
-      auto self = shared_from_this();
-      d.spawn([self, rec, rj](std::stop_token st) {
-        constexpr int kAttempts = 8;
-        for (int attempt = 0; attempt < kAttempts && !st.stop_requested();
-             ++attempt) {
+      // safe).  Reactor mode walks the same schedule as a timer chain.
+      if (reactorMode) {
+        rejoinRetryStep(rec, rj, 0);
+      } else {
+        auto self = shared_from_this();
+        d.spawn([self, rec, rj](std::stop_token st) {
+          for (int attempt = 0;
+               attempt < kRejoinAttempts && !st.stop_requested(); ++attempt) {
+            {
+              std::scoped_lock lock(rec->mutex);
+              if (rec->rejoinAcked || rec->unlinked) return;
+            }
+            try {
+              self->reply(rec->initiatorReply, rj);
+            } catch (const Error&) {
+              self->resetReply(rec->initiatorReply);
+            }
+            self->d.clockSource().sleepFor(milliseconds(100) * (attempt + 1));
+          }
           {
             std::scoped_lock lock(rec->mutex);
             if (rec->rejoinAcked || rec->unlinked) return;
           }
-          try {
-            self->reply(rec->initiatorReply, rj);
-          } catch (const Error&) {
-            self->resetReply(rec->initiatorReply);
+          {
+            std::scoped_lock lock(self->journalMutex);
+            if (self->closed) return;  // agent destroyed: leave the journal be
           }
-          self->d.clockSource().sleepFor(milliseconds(100) * (attempt + 1));
-        }
-        {
-          std::scoped_lock lock(rec->mutex);
-          if (rec->rejoinAcked || rec->unlinked) return;
-        }
-        {
-          std::scoped_lock lock(self->journalMutex);
-          if (self->closed) return;  // agent destroyed: leave the journal be
-        }
-        // No verdict: the initiator is gone or unreachable.  Give up and
-        // discard, as a headless session can never complete.
-        self->trace->emit("recovery", "rejoin.giveup", rec->sessionId);
-        self->eraseJournal(rec->sessionId);
-        self->unlinkLocal(rec, true);
-      });
+          // No verdict: the initiator is gone or unreachable.  Give up and
+          // discard, as a headless session can never complete.
+          self->trace->emit("recovery", "rejoin.giveup", rec->sessionId);
+          self->eraseJournal(rec->sessionId);
+          self->unlinkLocal(rec, true);
+        });
+      }
       out.push_back(sessionId);
     }
     return out;
@@ -819,6 +862,25 @@ SessionAgent::SessionAgent(Dapplet& dapplet, Config config)
         });
   }
   auto impl = impl_;
+  if (dapplet.config().runtime.reactor != nullptr) {
+    // Reactor mode: control messages are dispatched straight from the
+    // inbox handler strand — same serialization guarantee as the legacy
+    // single dispatch thread, zero threads.  (Role functions registered via
+    // registerApp still run on spawned threads; they are arbitrary
+    // user code and may block.)
+    impl_->reactorMode = true;
+    impl_->control->onMessage([impl](Delivery del) {
+      try {
+        impl->dispatch(del);
+      } catch (const ShutdownError&) {
+        // Dapplet stopping under us; remaining messages drain harmlessly.
+      } catch (const Error& e) {
+        DAPPLE_LOG(kWarn, kLog)
+            << impl->d.name() << ": control dispatch failed: " << e.what();
+      }
+    });
+    return;
+  }
   dapplet.spawn([impl](std::stop_token stop) {
     try {
       impl->run(stop);
@@ -835,6 +897,10 @@ SessionAgent::SessionAgent(Dapplet& dapplet, Config config)
 }
 
 SessionAgent::~SessionAgent() {
+  // Reactor mode: onMessage(nullptr) is the dispatch barrier — it returns
+  // only once any in-flight handler invocation has finished, the same
+  // guarantee the loopExited wait below gives for the legacy thread.
+  if (impl_->reactorMode) impl_->control->onMessage(nullptr);
   // Close the control inbox so the dispatch loop exits, then wait for it;
   // role threads hold their own shared_ptr to Impl and finish on their own.
   try {
@@ -843,8 +909,10 @@ SessionAgent::~SessionAgent() {
     // Dapplet already stopped.
   }
   std::unique_lock lock(impl_->mutex);
-  impl_->loopExited.wait_for(lock, seconds(5),
-                             [&] { return impl_->loopDone; });
+  if (!impl_->reactorMode) {
+    impl_->loopExited.wait_for(lock, seconds(5),
+                               [&] { return impl_->loopDone; });
+  }
   lock.unlock();
   // Fence off the journal: rejoin retry workers may outlive this agent (and
   // cfg.store only has to outlive the agent, not the dapplet).

@@ -48,7 +48,6 @@ class SimNetwork::EndpointImpl final
 
   NodeAddress address() const override { return addr_; }
 
-  void send(const NodeAddress& dst, std::string payload) override;
   void sendBatch(std::vector<Datagram> batch) override;
 
   void setHandler(Handler handler) override {
@@ -272,15 +271,9 @@ struct SimNetwork::Impl {
   }
 };
 
-void SimNetwork::EndpointImpl::send(const NodeAddress& dst,
-                                    std::string payload) {
-  // Lock-free closed check: send() may run from inside deliver()'s handler
-  // (ACKs), which already holds the endpoint mutex.
-  if (closed_.load(std::memory_order_acquire)) return;
-  net_.route(addr_, dst, std::move(payload));
-}
-
 void SimNetwork::EndpointImpl::sendBatch(std::vector<Datagram> batch) {
+  // Lock-free closed check: sends may run from inside deliver()'s handler
+  // (ACKs), which already holds the endpoint mutex.
   if (closed_.load(std::memory_order_acquire)) return;
   net_.routeBatch(addr_, std::move(batch));
 }

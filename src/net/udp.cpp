@@ -88,22 +88,14 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
 
   NodeAddress address() const override { return addr_; }
 
-  void send(const NodeAddress& dst, std::string payload) override {
-    if (payload.size() > kMaxDatagram) {
-      throw NetworkError("datagram too large: " +
-                         std::to_string(payload.size()));
-    }
-    {
-      std::scoped_lock lock(mutex_);
-      if (closed_) return;
-    }
+  /// One sendto.  Transient errors are treated as loss, which the reliable
+  /// layer above absorbs.  Callers have already checked closed_ and size.
+  void sendOne(const NodeAddress& dst, const std::string& payload) {
     const sockaddr_in sa = toSockaddr(dst);
     const ssize_t n =
         ::sendto(fd_, payload.data(), payload.size(), 0,
                  reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
     if (n < 0) {
-      // UDP is fire-and-forget; transient errors are treated as loss, which
-      // the reliable layer above absorbs.
       counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
       DAPPLE_LOG(kDebug, kLog)
           << "sendto " << dst.toString() << " failed: " << std::strerror(errno);
@@ -172,7 +164,7 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
         counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
-      send(d.dst, std::move(d.payload));
+      sendOne(d.dst, d.payload);
     }
 #endif
   }

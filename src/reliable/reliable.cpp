@@ -785,13 +785,17 @@ ReliableEndpoint::ReliableEndpoint(std::shared_ptr<Endpoint> raw,
       [impl = impl_.get()](const NodeAddress& src, std::string_view payload) {
         impl->onDatagram(src, payload);
       });
-  // Announce before spawn: a virtual clock advancing in the window before
-  // the timer thread registers could leap past the delivery timeout and
-  // fail streams that never got a single retransmit.
-  impl_->clk->announceWorker();
-  impl_->timer = std::jthread(
-      [impl = impl_.get()](std::stop_token stop) { impl->runTimer(stop); });
+  if (!impl_->cfg.externalTick) {
+    // Announce before spawn: a virtual clock advancing in the window before
+    // the timer thread registers could leap past the delivery timeout and
+    // fail streams that never got a single retransmit.
+    impl_->clk->announceWorker();
+    impl_->timer = std::jthread(
+        [impl = impl_.get()](std::stop_token stop) { impl->runTimer(stop); });
+  }
 }
+
+void ReliableEndpoint::tick() { impl_->tick(); }
 
 ReliableEndpoint::~ReliableEndpoint() { close(); }
 

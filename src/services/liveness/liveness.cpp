@@ -48,6 +48,12 @@ struct LivenessMonitor::Impl {
   std::condition_variable cv;
   bool loopDone = false;
 
+  /// Reactor mode (dapplet configured with runtime.reactor): beats ride the
+  /// shared timer wheel and heartbeats arrive through Inbox::onMessage — no
+  /// beat thread at all.
+  bool reactorMode = false;
+  Reactor::TimerHandle beatTimer;
+
   struct Watch {
     InboxRef peer;
     Outbox* out = nullptr;
@@ -176,6 +182,25 @@ LivenessMonitor::LivenessMonitor(Dapplet& dapplet, LivenessConfig config)
     : impl_(std::make_shared<Impl>(dapplet, config)) {
   impl_->inbox = &dapplet.createInbox("live.ctl");
   auto impl = impl_;
+  if (dapplet.config().runtime.reactor != nullptr) {
+    // Reactor mode: the beat is a wheel timer and heartbeats are handled
+    // event-driven — this monitor costs zero threads, which is what lets
+    // bench_swarm run a monitor per dapplet at 10k+ dapplets.
+    impl_->reactorMode = true;
+    impl_->inbox->onMessage([impl](Delivery del) {
+      const auto* msg = dynamic_cast<const DataMessage*>(del.message.get());
+      if (msg == nullptr || msg->kind() != kHeartbeat) return;
+      std::vector<Impl::Event> events;
+      impl->onHeartbeat(del.srcNode, events);
+      impl->fire(events);
+    });
+    impl_->beatTimer = dapplet.every(impl_->interval, [impl] {
+      std::vector<Impl::Event> events;
+      impl->beat(events);
+      impl->fire(events);
+    });
+    return;
+  }
   dapplet.spawn([impl](std::stop_token stop) {
     try {
       impl->run(stop);
@@ -192,12 +217,21 @@ LivenessMonitor::LivenessMonitor(Dapplet& dapplet, LivenessConfig config)
 }
 
 LivenessMonitor::~LivenessMonitor() {
+  if (impl_->reactorMode) {
+    // Off-loop cancel() waits out an in-flight beat, and onMessage(nullptr)
+    // returns only once any running handler has finished — after these two
+    // lines nothing touches the watches again.
+    impl_->beatTimer.cancel();
+    impl_->inbox->onMessage(nullptr);
+  }
   try {
     impl_->d.destroyInbox(*impl_->inbox);
   } catch (const Error&) {
   }
   std::unique_lock lock(impl_->mutex);
-  impl_->cv.wait_for(lock, seconds(5), [&] { return impl_->loopDone; });
+  if (!impl_->reactorMode) {
+    impl_->cv.wait_for(lock, seconds(5), [&] { return impl_->loopDone; });
+  }
   for (auto& [key, w] : impl_->watches) {
     try {
       impl_->d.destroyOutbox(*w.out);

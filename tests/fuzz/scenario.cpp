@@ -434,14 +434,14 @@ ScenarioResult runScenario(std::uint64_t seed,
       agents.back()->registerApp("fz.evict", [isVictim](SessionContext& ctx) {
         if (isVictim) {
           try {
-            ctx.inbox("in").receive(seconds(60));
+            (void)ctx.inbox("in").receiveFor(seconds(60));
           } catch (const Error&) {
           }
           return;
         }
         ValueMap r;
         try {
-          ctx.inbox("in").receive(seconds(60));
+          (void)ctx.inbox("in").receiveFor(seconds(60));
           r["sawPeerDown"] = Value(false);
         } catch (const PeerDownError&) {
           r["sawPeerDown"] = Value(true);

@@ -120,8 +120,7 @@ TEST(PortLifecycle, MessagesToDestroyedNamedInboxDropAfterRecreationUsesNewRef) 
   byName.add(InboxRef{b.address(), 0, "mailbox"});
   byName.send(DataMessage("to-the-living"));
 
-  Delivery del = fresh.receive(seconds(5));
-  EXPECT_EQ(del.as<DataMessage>().kind(), "to-the-living");
+  EXPECT_EQ(fresh.receiveAs<DataMessage>(seconds(5)).kind(), "to-the-living");
   EXPECT_TRUE(fresh.isEmpty());
   a.stop();
   b.stop();

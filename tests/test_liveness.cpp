@@ -183,24 +183,25 @@ TEST(Liveness, ConfigInheritsFromDappletAndOverrides) {
   e.stop();
 }
 
-// Compatibility shim: the deprecated flat DappletConfig knobs must keep
-// working, and a flat knob set explicitly wins over the nested default.
-TEST(Liveness, LegacyFlatConfigKnobsStillApply) {
+// The flat DappletConfig knobs are gone (one deprecation release after the
+// nested move); normalized() now only clamps runtime nonsense and folds the
+// reactor mode into the reliable layer.
+TEST(Liveness, NormalizedClampsRuntimeAndDefaultsHold) {
   SimNetwork net(906);
   DappletConfig cfg;
-  cfg.heartbeatInterval = milliseconds(40);  // legacy flat field only
-  cfg.suspectTimeout = milliseconds(320);
+  cfg.runtime.ownedThreads = 0;  // nonsense: clamped to 1
   Dapplet d(net, "d", cfg);
 
-  EXPECT_EQ(d.config().liveness.heartbeatInterval, milliseconds(40));
-  EXPECT_EQ(d.config().liveness.suspectTimeout, milliseconds(320));
-  // The flat mirrors reflect the resolved values too.
-  EXPECT_EQ(d.config().heartbeatInterval, milliseconds(40));
-  EXPECT_EQ(d.config().suspectTimeout, milliseconds(320));
+  EXPECT_EQ(d.config().runtime.ownedThreads, 1u);
+  EXPECT_EQ(d.config().runtime.reactor, nullptr);
+  EXPECT_FALSE(d.config().reliable.externalTick);
+  // Nested liveness defaults survive normalization untouched.
+  EXPECT_EQ(d.config().liveness.heartbeatInterval, milliseconds(50));
+  EXPECT_EQ(d.config().liveness.suspectTimeout, milliseconds(250));
 
   LivenessMonitor inherited(d);
-  EXPECT_EQ(inherited.heartbeatInterval(), milliseconds(40));
-  EXPECT_EQ(inherited.suspectTimeout(), milliseconds(320));
+  EXPECT_EQ(inherited.heartbeatInterval(), milliseconds(50));
+  EXPECT_EQ(inherited.suspectTimeout(), milliseconds(250));
   d.stop();
 }
 

@@ -198,10 +198,10 @@ TEST(AgentIdempotency, DuplicateInviteReconfirmsSameInboxes) {
   ctl.send(invite);
   ctl.send(invite);  // duplicate (e.g. an initiator retry)
 
-  const auto& first = replies.receive(seconds(5)).as<InviteReplyMsg>();
+  const auto first = replies.receiveAs<InviteReplyMsg>(seconds(5));
   ASSERT_TRUE(first.accepted);
   const auto firstRefs = first.inboxRefs;
-  const auto& second = replies.receive(seconds(5)).as<InviteReplyMsg>();
+  const auto second = replies.receiveAs<InviteReplyMsg>(seconds(5));
   ASSERT_TRUE(second.accepted);
   EXPECT_EQ(second.inboxRefs, firstRefs)
       << "duplicate invite must not create new inboxes";

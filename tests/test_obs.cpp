@@ -187,8 +187,8 @@ TEST(ObsWiring, LossyLinkShowsUpAsRetransmitsAndDrops) {
     out.send(m);
   }
   for (int i = 0; i < kMessages; ++i) {
-    const Delivery del = in.receive(seconds(20));
-    EXPECT_EQ(del.as<DataMessage>().get("i").asInt(), i);  // FIFO held
+    EXPECT_EQ(in.receiveAs<DataMessage>(seconds(20)).get("i").asInt(), i);
+    // FIFO held
   }
 
   const MetricsSnapshot sender = a.metrics();
@@ -280,9 +280,9 @@ TEST(ObsWiring, FanoutHistogramTracksDestinationCount) {
   out.add(in2.ref());
   out.add(in3.ref());
   out.send(DataMessage("x"));
-  (void)in1.receive(seconds(5));
-  (void)in2.receive(seconds(5));
-  (void)in3.receive(seconds(5));
+  ASSERT_TRUE(in1.receiveFor(seconds(5)).has_value());
+  ASSERT_TRUE(in2.receiveFor(seconds(5)).has_value());
+  ASSERT_TRUE(in3.receiveFor(seconds(5)).has_value());
 
   const HistogramSnapshot fanout =
       a.metrics().histograms.at("core.fanout");

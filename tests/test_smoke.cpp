@@ -28,15 +28,16 @@ TEST(Smoke, PingPongOverSimNetwork) {
   ping.set("n", Value(7));
   aliceOut.send(ping);
 
-  Delivery del = bobIn.receive(seconds(5));
-  const auto& received = del.as<DataMessage>();
+  auto got = bobIn.receiveFor(seconds(5));
+  ASSERT_TRUE(got.has_value());
+  const auto& received = got->as<DataMessage>();
   EXPECT_EQ(received.kind(), "ping");
   EXPECT_EQ(received.get("n").asInt(), 7);
-  EXPECT_LT(del.sentAt, del.receivedAt);  // snapshot criterion
+  EXPECT_LT(got->sentAt, got->receivedAt);  // snapshot criterion
 
   DataMessage pong("pong");
   bobOut.send(pong);
-  EXPECT_EQ(aliceIn.receive(seconds(5)).as<DataMessage>().kind(), "pong");
+  EXPECT_EQ(aliceIn.receiveAs<DataMessage>(seconds(5)).kind(), "pong");
 
   alice.stop();
   bob.stop();

@@ -70,8 +70,10 @@ TEST_P(RandomTopology, FloodMatchesInDegree) {
       std::int64_t got = 0;
       std::set<std::string> senders;
       while (got < expect) {
-        Delivery del = ctx.inbox("in").receive(seconds(20));
-        senders.insert(del.as<DataMessage>().get("from").asString());
+        senders.insert(ctx.inbox("in")
+                           .receiveAs<DataMessage>(seconds(20))
+                           .get("from")
+                           .asString());
         ++got;
       }
       ValueMap result;

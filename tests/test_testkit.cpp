@@ -138,8 +138,7 @@ TEST(VirtualClock, DappletRoundTripRunsInVirtualTime) {
   const Stopwatch wall;
   const TimePoint start = clock.now();
   out.send(DataMessage("ping"));
-  const Delivery del = in.receive(seconds(10));
-  EXPECT_EQ(del.as<DataMessage>().kind(), "ping");
+  EXPECT_EQ(in.receiveAs<DataMessage>(seconds(10)).kind(), "ping");
   // 100ms of virtual link delay crossed, in (much) less than 100ms of wall
   // time: the clock jumped instead of sleeping.
   EXPECT_GE(clock.now() - start, milliseconds(100));
@@ -176,8 +175,7 @@ TEST(VirtualClock, RetransmitsBridgeLossWithoutWallClockSleeps) {
     out.send(m);
   }
   for (int i = 0; i < kMessages; ++i) {
-    const Delivery del = in.receive(seconds(30));
-    EXPECT_EQ(del.as<DataMessage>().get("i").asInt(), i);
+    EXPECT_EQ(in.receiveAs<DataMessage>(seconds(30)).get("i").asInt(), i);
   }
   a.stop();
   b.stop();

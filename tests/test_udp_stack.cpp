@@ -28,7 +28,7 @@ TEST(UdpStack, OrderedChannelsOverRealSockets) {
     out.send(m);
   }
   for (int i = 0; i < 200; ++i) {
-    EXPECT_EQ(in.receive(seconds(10)).as<DataMessage>().get("n").asInt(), i);
+    EXPECT_EQ(in.receiveAs<DataMessage>(seconds(10)).get("n").asInt(), i);
   }
   a.stop();
   b.stop();
