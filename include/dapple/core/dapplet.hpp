@@ -186,7 +186,12 @@ class Dapplet {
 
   /// Stops the dapplet: closes every inbox (waking blocked receivers with
   /// ShutdownError), requests stop on spawned threads, joins them, and
-  /// closes the endpoint.  Idempotent.
+  /// closes the endpoint.  Idempotent.  Must NOT be called from a reactor
+  /// callback (a handler or timer running on a loop thread): teardown waits
+  /// out the in-flight retransmit tick before destroying the reliable
+  /// layer, and from a loop thread that wait degrades to asynchronous
+  /// cancellation — a tick on another loop could still be executing while
+  /// the endpoint is torn down.  The same constraint applies to ~Dapplet.
   void stop();
 
   /// Crash-stop fault injection: abruptly closes the endpoint FIRST — no

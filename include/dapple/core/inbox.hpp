@@ -21,12 +21,14 @@
 ///    the dapplet's `Reactor` — no blocked thread at all.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "dapple/core/inbox_ref.hpp"
 #include "dapple/serial/message.hpp"
@@ -152,19 +154,33 @@ class Inbox : public std::enable_shared_from_this<Inbox> {
   /// handler is installed, deliveries are drained to it on the dapplet's
   /// `Reactor` — in arrival order, one invocation at a time (a strand), with
   /// no thread blocked in between.  Messages already queued are delivered
-  /// too.  Removal is synchronous: `onMessage(nullptr)` returns only once
-  /// any in-flight handler invocation has finished, so the caller may free
-  /// state the handler captures (do not call it from inside the handler).
+  /// too.  The handler runs *outside* the install lock, so installing or
+  /// replacing a handler never blocks behind a slow invocation (a handler
+  /// replaced mid-drain may still receive the remainder of the current
+  /// batch).  Removal is the synchronous barrier: `onMessage(nullptr)`
+  /// returns only once any in-flight handler invocation has finished, so
+  /// the caller may free state the handler captures.  Calling onMessage
+  /// from inside the handler throws Error — it would deadlock the removal
+  /// barrier.
   ///
   /// Peer-failure alerts (raise()) are not routed to the handler — reactor
   /// consumers observe failures via `Dapplet::addPeerFailureListener`.
   /// Blocking receives remain functional alongside a handler but compete
   /// for the same messages; mixing the two on one inbox is discouraged.
   void onMessage(MessageHandler handler) {
-    std::scoped_lock lock(handlerMutex_);
+    std::unique_lock lock(handlerMutex_);
+    if (draining_ && drainThread_ == std::this_thread::get_id()) {
+      throw Error("inbox '" + name_ +
+                  "': onMessage called from inside the message handler");
+    }
     handler_ = std::move(handler);
     hasHandler_.store(handler_ != nullptr, std::memory_order_release);
-    if (handler_) maybeScheduleDrain();
+    if (handler_) {
+      maybeScheduleDrain();
+    } else {
+      // Removal barrier: wait until no handler invocation is in flight.
+      drainCv_.wait(lock, [this] { return !draining_; });
+    }
   }
 
   /// True while a message handler is installed.
@@ -243,23 +259,43 @@ class Inbox : public std::enable_shared_from_this<Inbox> {
   /// Runs on a reactor loop: feeds up to kDrainBatch queued deliveries to
   /// the handler, then reschedules itself if more remain — the batch bound
   /// keeps one flooded inbox from starving the other dapplets sharded onto
-  /// the same loop.
+  /// the same loop.  The handler is copied out and invoked *outside*
+  /// `handlerMutex_` (the strand property comes from drainScheduled_, not
+  /// the mutex), so install/replace never blocks behind a batch;
+  /// `draining_` + `drainCv_` give onMessage(nullptr) its removal barrier.
   void drain() {
     constexpr int kDrainBatch = 64;
-    try {
+    MessageHandler handler;
+    {
       std::scoped_lock lock(handlerMutex_);
-      for (int i = 0; i < kDrainBatch && handler_; ++i) {
-        auto d = queue_.tryPop();
-        if (!d) break;
-        handler_(std::move(*d));
+      handler = handler_;
+      if (handler) {
+        draining_ = true;
+        drainThread_ = std::this_thread::get_id();
       }
-    } catch (...) {
-      // A throwing handler must not strand the strand: clear the flag, let
-      // the remaining backlog reschedule, and surface the exception to the
-      // reactor loop (which logs it).
-      drainScheduled_.store(false, std::memory_order_release);
-      if (!queue_.empty()) maybeScheduleDrain();
-      throw;
+    }
+    if (handler) {
+      try {
+        // The hasHandler_ re-check ends the batch early once an uninstall
+        // is parked on the barrier — it should wait out one invocation, not
+        // the whole batch.
+        for (int i = 0;
+             i < kDrainBatch && hasHandler_.load(std::memory_order_acquire);
+             ++i) {
+          auto d = queue_.tryPop();
+          if (!d) break;
+          handler(std::move(*d));
+        }
+      } catch (...) {
+        // A throwing handler must not strand the strand: release the
+        // barrier, clear the flag, let the remaining backlog reschedule,
+        // and surface the exception to the reactor loop (which logs it).
+        finishDrain();
+        drainScheduled_.store(false, std::memory_order_release);
+        if (!queue_.empty()) maybeScheduleDrain();
+        throw;
+      }
+      finishDrain();
     }
     drainScheduled_.store(false, std::memory_order_release);
     // Re-check after clearing the flag: a push that lost the exchange race
@@ -267,12 +303,23 @@ class Inbox : public std::enable_shared_from_this<Inbox> {
     if (!queue_.empty()) maybeScheduleDrain();
   }
 
+  /// Clears the in-flight-handler marker and wakes a parked uninstall.
+  void finishDrain() {
+    std::scoped_lock lock(handlerMutex_);
+    draining_ = false;
+    drainThread_ = std::thread::id{};
+    drainCv_.notify_all();
+  }
+
   const std::uint32_t localId_;
   const std::string name_;
   const InboxRef ref_;
   SyncQueue<Delivery> queue_;
-  std::mutex handlerMutex_;  ///< serializes handler runs + (un)install
+  std::mutex handlerMutex_;  ///< guards handler_/draining_/drainThread_
   MessageHandler handler_;   ///< guarded by handlerMutex_
+  std::condition_variable drainCv_;  ///< signalled when a batch finishes
+  bool draining_ = false;            ///< a handler invocation is in flight
+  std::thread::id drainThread_{};    ///< thread running the current batch
   std::atomic<bool> hasHandler_{false};
   std::atomic<bool> drainScheduled_{false};
   std::function<void(std::function<void()>)> poster_;

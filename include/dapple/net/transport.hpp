@@ -16,7 +16,9 @@
 /// paper's separation between the network layer and the distributed
 /// computing layer.
 
+#include <cstddef>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -66,6 +68,17 @@ class Endpoint {
     std::vector<Datagram> batch;
     batch.push_back(Datagram{dst, std::move(payload)});
     sendBatch(std::move(batch));
+  }
+
+  /// Largest payload this transport can carry in one datagram.  A larger
+  /// send is undeliverable by construction and is counted as loss (see
+  /// sendBatch).  Layers that still have a caller to fail — the reliable
+  /// layer's send admission — check against this bound and throw
+  /// synchronously instead of letting a doomed payload surface as an
+  /// eventual delivery timeout.  Default: unbounded (the simulator carries
+  /// any size).
+  virtual std::size_t maxDatagramSize() const {
+    return std::numeric_limits<std::size_t>::max();
   }
 
   /// Installs the receive handler.  Must be called before traffic arrives;

@@ -164,8 +164,10 @@ class ReliableEndpoint {
   /// once per wire transmission (at frame-assembly time).  All first
   /// transmissions go out as one `Endpoint::sendBatch` submit.  Returns the
   /// per-destination sequence numbers.  Admission is all-or-nothing: if any
-  /// target stream has already failed, throws DeliveryError and queues
-  /// nothing.
+  /// target stream has already failed, or any head+body cannot fit the
+  /// transport's datagram limit (`Endpoint::maxDatagramSize` — such a frame
+  /// is undeliverable by construction and would only surface as a delivery
+  /// timeout), throws DeliveryError and queues nothing.
   std::vector<std::uint64_t> sendMany(std::vector<OutSend> sends,
                                       std::uint64_t streamId, Payload body);
 

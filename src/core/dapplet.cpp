@@ -261,9 +261,12 @@ void Dapplet::stop() {
   // wake must be routed, not waited out.
   clockSource_->interruptAll();
   workers.clear();  // joins
-  // Off a loop thread, cancel() waits out any in-flight tick; from inside a
-  // reactor callback it is async, which is still safe — close() below makes
-  // further ticks no-ops.
+  // cancel() waits out any in-flight tick, so after it returns no loop
+  // thread is still inside reliable_->tick() and reliable_ can be torn down
+  // safely.  That wait only happens off loop threads, which is why stop()
+  // (and ~Dapplet) must not be called from a reactor callback — there the
+  // cancel degrades to asynchronous and a tick in flight on another loop
+  // would race the teardown below (see the header contract).
   impl_->reliableTick.cancel();
   reliable_->close();
   Reactor* owned = nullptr;

@@ -212,8 +212,17 @@ void Reactor::Impl::runLoop(Loop& loop, std::stop_token stop) {
     }
 
     auto fired = loop.collectExpired(tickOf(clk->now()));
-    for (auto& t : fired) {
-      if (stop.stop_requested()) break;
+    for (std::size_t fi = 0; fi < fired.size(); ++fi) {
+      const auto& t = fired[fi];
+      if (stop.stop_requested()) {
+        // Stop mid-batch: the rest of the batch was already pulled off the
+        // wheel, so stop()'s slot sweep cannot reach it — retire it here or
+        // TimerHandle::active() would report these timers live forever.
+        for (; fi < fired.size(); ++fi) {
+          fired[fi]->scheduled.store(false, std::memory_order_release);
+        }
+        break;
+      }
       if (t->cancelled.load(std::memory_order_acquire)) {
         t->scheduled.store(false, std::memory_order_release);
         ++loop.timersCancelled;

@@ -177,6 +177,13 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
   // guaranteed to outlive the *agent*), so journal access must stop here.
   std::mutex journalMutex;
   bool closed = false;
+  /// Reactor-mode rejoin retry chains in flight, keyed by session id and
+  /// guarded by `journalMutex`.  Unlike the legacy spawn workers (joined in
+  /// Dapplet::stop), the shared reactor outlives the dapplet by contract, so
+  /// every pending step's TimerHandle is retained here for ~SessionAgent to
+  /// cancel — otherwise a step firing after teardown would touch the
+  /// dangling `d` reference.
+  std::map<std::string, Reactor::TimerHandle> rejoinTimers;
 
   std::map<std::string, RoleFn> roles;
   std::map<std::string, std::shared_ptr<SessionContext::Record>> sessions;
@@ -227,21 +234,36 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
 
   /// Reactor-mode rejoin retry: one send per step, rescheduled through the
   /// timer wheel with the same linear backoff the legacy thread loop uses.
-  /// Each step holds Impl alive via shared_from_this, exactly like the
-  /// legacy worker held its shared_ptr.
+  /// Each step holds Impl alive via shared_from_this, but Impl's `d` is a
+  /// plain reference and the shared reactor outlives the dapplet by
+  /// contract, so every step re-checks `closed` before touching `d` and the
+  /// armed TimerHandle is retained in `rejoinTimers` — ~SessionAgent cancels
+  /// it (cancel additionally waits out an in-flight step) so no step can run
+  /// once the agent is gone.
   void rejoinRetryStep(std::shared_ptr<SessionContext::Record> rec,
                        RejoinMsg rj, int attempt) {
+    const std::string sessionId = rec->sessionId;
+    {
+      std::scoped_lock lock(journalMutex);
+      if (closed) {  // agent destroyed: `d` may be next — never touch it
+        rejoinTimers.erase(sessionId);
+        return;
+      }
+    }
+    bool settled;
     {
       std::scoped_lock lock(rec->mutex);
-      if (rec->rejoinAcked || rec->unlinked) return;
+      settled = rec->rejoinAcked || rec->unlinked;
     }
-    if (attempt >= kRejoinAttempts) {
+    if (settled || attempt >= kRejoinAttempts) {
       {
         std::scoped_lock lock(journalMutex);
+        rejoinTimers.erase(sessionId);
         if (closed) return;  // agent destroyed: leave the journal be
       }
-      trace->emit("recovery", "rejoin.giveup", rec->sessionId);
-      eraseJournal(rec->sessionId);
+      if (settled) return;  // verdict arrived: chain retired
+      trace->emit("recovery", "rejoin.giveup", sessionId);
+      eraseJournal(sessionId);
       unlinkLocal(rec, true);
       return;
     }
@@ -251,10 +273,15 @@ struct SessionAgent::Impl : std::enable_shared_from_this<SessionAgent::Impl> {
       resetReply(rec->initiatorReply);
     }
     auto self = shared_from_this();
-    d.after(milliseconds(100) * (attempt + 1),
-            [self, rec = std::move(rec), rj = std::move(rj), attempt] {
-              self->rejoinRetryStep(rec, rj, attempt + 1);
-            });
+    const Duration delay = milliseconds(100) * (attempt + 1);
+    std::scoped_lock lock(journalMutex);
+    if (closed) {  // destroyed while we were sending: do not re-arm
+      rejoinTimers.erase(sessionId);
+      return;
+    }
+    rejoinTimers[sessionId] =
+        d.after(delay, [self, rec = std::move(rec), rj = std::move(rj),
+                        attempt] { self->rejoinRetryStep(rec, rj, attempt + 1); });
   }
 
   // -- crash-recovery journal (Config::durableSessions) -------------------
@@ -916,8 +943,17 @@ SessionAgent::~SessionAgent() {
   lock.unlock();
   // Fence off the journal: rejoin retry workers may outlive this agent (and
   // cfg.store only has to outlive the agent, not the dapplet).
-  std::scoped_lock gate(impl_->journalMutex);
-  impl_->closed = true;
+  std::map<std::string, Reactor::TimerHandle> rejoinTimers;
+  {
+    std::scoped_lock gate(impl_->journalMutex);
+    impl_->closed = true;
+    rejoinTimers.swap(impl_->rejoinTimers);
+  }
+  // Reactor mode: retire the rejoin retry chains.  `closed` stops any step
+  // from re-arming (or touching `d`), and cancel() waits out a step already
+  // in flight, so after this loop no chain callback runs again — required
+  // because the shared reactor outlives both this agent and the dapplet.
+  for (auto& [id, handle] : rejoinTimers) handle.cancel();
 }
 
 void SessionAgent::registerApp(const std::string& app, RoleFn role) {

@@ -88,6 +88,8 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
 
   NodeAddress address() const override { return addr_; }
 
+  std::size_t maxDatagramSize() const override { return kMaxDatagram; }
+
   /// One sendto.  Transient errors are treated as loss, which the reliable
   /// layer above absorbs.  Callers have already checked closed_ and size.
   void sendOne(const NodeAddress& dst, const std::string& payload) {
@@ -125,9 +127,13 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
       while (i < batch.size() && n < kBatch) {
         Datagram& d = batch[i++];
         if (d.payload.size() > kMaxDatagram) {
+          // Counted as loss per the sendBatch contract, but an oversize
+          // frame is an application bug (the reliable layer's admission
+          // check rejects doomed payloads up front), so warn, not debug.
           counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
-          DAPPLE_LOG(kDebug, kLog) << "batched datagram too large: "
-                                   << d.payload.size();
+          DAPPLE_LOG(kWarn, kLog) << "dropping oversize datagram ("
+                                  << d.payload.size() << " > " << kMaxDatagram
+                                  << " bytes): counted as loss";
           continue;
         }
         sas[n] = toSockaddr(d.dst);
@@ -162,6 +168,9 @@ class UdpNetwork::EndpointImpl final : public Endpoint {
     for (Datagram& d : batch) {
       if (d.payload.size() > kMaxDatagram) {
         counters_->sendErrors.fetch_add(1, std::memory_order_relaxed);
+        DAPPLE_LOG(kWarn, kLog) << "dropping oversize datagram ("
+                                << d.payload.size() << " > " << kMaxDatagram
+                                << " bytes): counted as loss";
         continue;
       }
       sendOne(d.dst, d.payload);

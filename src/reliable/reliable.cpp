@@ -830,7 +830,21 @@ std::vector<std::uint64_t> ReliableEndpoint::sendMany(
     if (impl_->closed) throw ShutdownError("reliable endpoint closed");
     // All-or-nothing admission: probe every target stream before queueing
     // anything so a failed stream cannot leave a partial fan-out behind.
+    // Oversize payloads are rejected here too: the transport counts them as
+    // loss (never delivers, never throws — see Endpoint::sendBatch), so a
+    // payload at or past the datagram limit would otherwise surface only as
+    // an eventual delivery timeout.  The frame header only adds bytes, so
+    // envelope size alone is a sufficient reject condition; payloads just
+    // under the limit can still exceed it with the header attached and then
+    // follow the loss path.
+    const std::size_t maxDatagram = impl_->raw->maxDatagramSize();
     for (const OutSend& s : sends) {
+      if (s.head.size() + body.size() >= maxDatagram) {
+        throw DeliveryError(
+            "payload of " + std::to_string(s.head.size() + body.size()) +
+            " bytes cannot fit the transport datagram limit (" +
+            std::to_string(maxDatagram) + " bytes)");
+      }
       const auto it = impl_->sendStreams.find(StreamKey{s.dst, streamId});
       if (it != impl_->sendStreams.end() && it->second.failed) {
         throw DeliveryError(it->second.failReason.empty()

@@ -323,6 +323,34 @@ TEST(ReactorDapplet, HandlerUninstallIsABarrier) {
   EXPECT_EQ(handled.load(), 1);
 }
 
+// onMessage from inside the handler can never be honored — removal is a
+// barrier on the very invocation making the call — so it fails loudly with
+// Error instead of deadlocking on the barrier.
+TEST(ReactorDapplet, ReentrantOnMessageThrows) {
+  testkit::VirtualClock clock;
+  Reactor reactor(onClock(clock));
+  SimNetwork::Options simOpts;
+  simOpts.clock = &clock;
+  SimNetwork net(testkit::testSeed(11), simOpts);
+  Dapplet d(net, "reent", reactorConfig(clock, reactor, 1));
+  Inbox& in = d.createInbox("ctl");
+  Outbox& out = d.createOutbox();
+  out.add(in.ref());
+
+  std::atomic<bool> threw{false};
+  in.onMessage([&](Delivery) {
+    try {
+      in.onMessage(nullptr);
+    } catch (const Error&) {
+      threw.store(true);
+    }
+  });
+  out.send(DataMessage("poke"));
+  while (!threw.load()) clock.sleepFor(milliseconds(1));
+  in.onMessage(nullptr);  // from outside the handler: still works
+  EXPECT_FALSE(in.hasHandler());
+}
+
 // Without a configured reactor the async APIs lazily create a small owned
 // pool on the dapplet's clock; stop() shuts it down.
 TEST(ReactorDapplet, OwnedReactorIsLazyAndStopsWithDapplet) {

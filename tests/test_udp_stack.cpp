@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "dapple/apps/calendar.hpp"
 #include "dapple/core/rpc.hpp"
@@ -30,6 +31,29 @@ TEST(UdpStack, OrderedChannelsOverRealSockets) {
   for (int i = 0; i < 200; ++i) {
     EXPECT_EQ(in.receiveAs<DataMessage>(seconds(10)).get("n").asInt(), i);
   }
+  a.stop();
+  b.stop();
+}
+
+TEST(UdpStack, OversizePayloadFailsSynchronously) {
+  // A payload UDP can never carry (>65507 bytes framed) must fail the
+  // send() call itself with DeliveryError — not be silently counted as loss
+  // and surface much later as a stream delivery timeout.
+  UdpNetwork net;
+  Dapplet a(net, "a");
+  Dapplet b(net, "b");
+  Inbox& in = b.createInbox("in");
+  Outbox& out = a.createOutbox();
+  out.add(in.ref());
+  DataMessage big("big");
+  big.set("blob", Value(std::string(70 * 1024, 'x')));
+  EXPECT_THROW(out.send(big), DeliveryError);
+  // The rejected send queued nothing and did not fail the stream: a sane
+  // payload afterwards still flows.
+  DataMessage ok("ok");
+  ok.set("n", Value(7));
+  out.send(ok);
+  EXPECT_EQ(in.receiveAs<DataMessage>(seconds(10)).get("n").asInt(), 7);
   a.stop();
   b.stop();
 }
