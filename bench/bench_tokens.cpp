@@ -1,7 +1,11 @@
 // Experiment E3 (DESIGN.md): the token service of paper §4.1.
 //
 // Part 1 (google-benchmark): request/release round-trip cost, local-home
-// vs remote-home colours, and the reader/writer protocol.
+// vs remote-home colours, the reader/writer protocol, and E13 — grant
+// latency percentiles on a hot contended colour, cached credit
+// (DESIGN.md §14) vs the round-trip-per-grant baseline.  The percentile
+// counters land in BENCH_tokens.json; scripts/bench_tokens_gate.py gates
+// the cached-vs-round-trip P99 ratio in the bench-smoke pass.
 // Part 2 (table): deadlock-detection latency vs hold-and-wait cycle
 // length.  Expected shape: detection latency grows with cycle length (the
 // probe must traverse the whole cycle) on top of the probe delay.
@@ -106,6 +110,68 @@ void BM_ReaderWriterMix(benchmark::State& state) {
 }
 BENCHMARK(BM_ReaderWriterMix)->Arg(0)->Arg(20)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMicrosecond);
+
+// ---- E13: hot-colour grant latency, cached credit vs round-trip ----------
+
+/// Three members hammer one remote-homed colour with request/release pairs
+/// and record each grant's latency.  With `creditBatch > 0` the first miss
+/// borrows a credit batch and everything after is served from the local
+/// cache; with 0 every grant pays the home round trip (the link delay
+/// below, twice).
+std::vector<double> hotGrantLatenciesUs(std::int64_t creditBatch,
+                                        int opsPerMember) {
+  const std::size_t n = 4;
+  const TokenColor color = colorHomedAt(3, n);
+  TokenConfig cfg;
+  // Waiting on a hot colour is legitimate; keep deadlock probes out.
+  cfg.probeDelay = seconds(60);
+  cfg.probeInterval = seconds(60);
+  cfg.creditBatch = creditBatch;
+  cfg.leaseDuration = seconds(10);
+  // Pool large enough that three borrowers' credit batches never collide:
+  // the contention under test is request rate, not token scarcity.
+  TokenRig rig(n, {{color, 24}}, cfg,
+               LinkParams{milliseconds(1), microseconds(0), 0.0, 0.0});
+  std::vector<std::vector<double>> lat(3);
+  std::vector<std::thread> threads;
+  for (std::size_t m = 0; m < 3; ++m) {
+    threads.emplace_back([&, m] {
+      lat[m].reserve(static_cast<std::size_t>(opsPerMember));
+      for (int i = 0; i < opsPerMember; ++i) {
+        Stopwatch watch;
+        rig.managers[m]->request({{color, 1}});
+        lat[m].push_back(watch.elapsedSeconds() * 1e6);
+        rig.managers[m]->release({{color, 1}});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<double> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  return all;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+void BM_HotColorGrant(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  for (auto _ : state) {
+    std::vector<double> lats = hotGrantLatenciesUs(cached ? 8 : 0, 150);
+    std::sort(lats.begin(), lats.end());
+    state.counters["p50_us"] = percentile(lats, 0.50);
+    state.counters["p99_us"] = percentile(lats, 0.99);
+  }
+}
+BENCHMARK(BM_HotColorGrant)
+    ->ArgName("cached")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 /// Deadlock-detection latency for an L-cycle: member i holds colour i and
 /// requests colour (i+1) mod L.

@@ -1,6 +1,7 @@
 #pragma once
 /// \file directory_service.hpp
-/// \brief A network directory service.
+/// \brief A network directory service, sharded by key range and cacheable
+/// under leases.
 ///
 /// Paper §3.1 hands the initiator "a directory of addresses ... of
 /// component dapplets" and then notes: *"We do not address how this
@@ -15,9 +16,23 @@
 /// crashed dapplets eventually vanish from the directory — the same
 /// pragmatic design every production registry (DNS SRV, ZooKeeper
 /// ephemerals, Consul) converged on.
+///
+/// Scaling (DESIGN.md §14.4).  One server is one funnel.  With
+/// `DirectoryConfig::shards > 1` the name space splits by key range (first
+/// byte of the name), each shard serving its range from its own inbox with
+/// independent locking; shard 0 keeps the historical inbox name, so the
+/// single-shard configuration is byte-compatible with the unsharded
+/// service.  On the client side a sharded `DirectoryClient` caches
+/// `lookup()` results under the registration's remaining lease: repeat
+/// lookups are local until the lease expires — invalidation is purely
+/// expiry-driven (no broadcast), exactly Gray & Cheriton's design and the
+/// same tradeoff DNS makes with TTLs.  A stale cache entry can therefore
+/// outlive an unregister by at most one lease; re-registrations at the
+/// same name become visible as caches age out.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,10 +41,26 @@
 
 namespace dapple {
 
-/// Hosts the name service on a dapplet.  Methods (via RPC):
+namespace obs {
+class Counter;
+}  // namespace obs
+
+/// Tuning for the directory service and its clients.
+struct DirectoryConfig {
+  /// Number of key-range shards.  1 (the default, values < 1 are treated
+  /// as 1) reproduces the classic single-server layout byte-for-byte.
+  std::size_t shards = 1;
+  /// Client side: cache resolved refs until their registration lease
+  /// expires.  Only honoured by the shard-aware `DirectoryClient`
+  /// constructor; the legacy single-ref constructor never caches.
+  bool cacheLookups = true;
+};
+
+/// Hosts the name service on a dapplet.  Methods (via RPC, per shard):
 ///   register {name, ref, ttlMs} -> lease id
 ///   refresh  {name, lease}      -> bool
 ///   lookup   {name}             -> ref           (Error if absent/expired)
+///   resolve  {name}             -> {ref, ttlMs}  (lease-cacheable lookup)
 ///   unregister {name, lease}    -> bool
 ///   list     {prefix}           -> map name -> ref
 class DirectoryServer {
@@ -38,15 +69,29 @@ class DirectoryServer {
   static constexpr std::int64_t kDefaultTtlMs = 30'000;
 
   explicit DirectoryServer(Dapplet& dapplet);
+  DirectoryServer(Dapplet& dapplet, DirectoryConfig config);
   ~DirectoryServer();
 
   DirectoryServer(const DirectoryServer&) = delete;
   DirectoryServer& operator=(const DirectoryServer&) = delete;
 
-  /// The address clients connect to.
+  /// The address clients connect to (shard 0 — the only shard in the
+  /// default configuration).
   InboxRef ref() const;
 
-  /// Number of live (unexpired) entries.
+  /// Every shard's address, in shard order.  Hand the full vector to a
+  /// shard-aware `DirectoryClient`.
+  std::vector<InboxRef> refs() const;
+
+  /// Number of key-range shards this server runs.
+  std::size_t shardCount() const;
+
+  /// Which shard owns `name`: the name's first byte scaled over the shard
+  /// count, so each shard serves one contiguous byte range and any
+  /// nonempty prefix maps to a single shard.
+  static std::size_t shardOf(const std::string& name, std::size_t shards);
+
+  /// Number of live (unexpired) entries across all shards.
   std::size_t size() const;
 
   /// Drops expired entries now (also happens lazily on every access).
@@ -57,10 +102,21 @@ class DirectoryServer {
   std::shared_ptr<Impl> impl_;
 };
 
-/// Client-side stub.
+/// Client-side stub.  The single-ref constructor talks to one unsharded
+/// server and never caches (the pre-sharding behaviour, byte-compatible on
+/// the wire).  The vector constructor routes each name to its shard and —
+/// with `DirectoryConfig::cacheLookups` — serves repeat lookups from a
+/// local lease cache, counting `directory.cache_hits` / `misses` in the
+/// dapplet's metrics registry.
 class DirectoryClient {
  public:
   DirectoryClient(Dapplet& dapplet, InboxRef server);
+  DirectoryClient(Dapplet& dapplet, std::vector<InboxRef> shards,
+                  DirectoryConfig config = DirectoryConfig{});
+  ~DirectoryClient();
+
+  DirectoryClient(const DirectoryClient&) = delete;
+  DirectoryClient& operator=(const DirectoryClient&) = delete;
 
   /// Registers `name -> ref` with a lease; returns the lease id used for
   /// refresh/unregister.  Re-registering an existing name replaces it.
@@ -71,18 +127,39 @@ class DirectoryClient {
   /// Extends the lease; false when the lease is unknown (expired/replaced).
   bool refresh(const std::string& name, std::uint64_t lease);
 
-  /// Resolves a name; throws AddressError when absent or expired.
+  /// Resolves a name; throws AddressError when absent or expired.  A
+  /// caching client may return a locally cached ref whose registration
+  /// lease has not yet expired — see the header comment for staleness.
   InboxRef lookup(const std::string& name);
 
-  /// Removes the entry if the lease matches.
+  /// Removes the entry if the lease matches.  Also drops this client's
+  /// cached ref for `name` (other clients' caches age out by lease).
   bool unregister(const std::string& name, std::uint64_t lease);
 
   /// All entries whose name starts with `prefix` ("" = everything),
-  /// packaged as a `Directory` ready to hand to an `Initiator`.
+  /// packaged as a `Directory` ready to hand to an `Initiator`.  An empty
+  /// prefix fans out to every shard; a nonempty prefix is served by the
+  /// single shard owning its byte range.
   Directory list(const std::string& prefix = "");
 
+  /// Drops every cached ref (testing aid; production invalidation is by
+  /// lease expiry only).
+  void invalidateCache();
+
  private:
-  RpcClient rpc_;
+  RpcClient& shardFor(const std::string& name);
+
+  Dapplet& d_;
+  std::vector<std::unique_ptr<RpcClient>> shards_;
+  bool cache_ = false;
+  struct CachedRef {
+    InboxRef ref;
+    TimePoint expiresAt;
+  };
+  std::mutex cacheMutex_;
+  std::map<std::string, CachedRef> cached_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
 };
 
 }  // namespace dapple

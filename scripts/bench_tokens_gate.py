@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Drive bench_tokens and gate the E13 credit-caching invariant.
+
+Usage:
+    scripts/bench_tokens_gate.py [--bench PATH] [--quick] [--out DIR]
+
+Runs the `bench_tokens` binary (see bench/bench_tokens.cpp), reads the
+emitted BENCH_tokens.json, and enforces the E13 acceptance invariant:
+
+  * on a hot contended colour, the P99 grant latency with cached credit
+    (`BM_HotColorGrant/cached:1`, DESIGN.md §14) must be >= 10x lower than
+    the round-trip-per-grant baseline (`cached:0`).  Credit caching exists
+    precisely to take the home round trip off the hot path; anything under
+    10x means grants are still paying RTT.
+
+Exit code 1 when the invariant fails.  The emitted BENCH_tokens.json is the
+same file bench_compare.py diffs against bench/baselines/, so a later
+regression in the percentile counters is caught by both paths.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+MIN_P99_RATIO = 10.0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=Path,
+                        default=Path("build/bench/bench_tokens"),
+                        help="bench_tokens binary")
+    parser.add_argument("--quick", action="store_true",
+                        help="forwarded to the bench (short gbench reps)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to run in / leave the JSON "
+                             "(default: the binary's directory)")
+    args = parser.parse_args()
+
+    bench = args.bench.resolve()
+    if not bench.exists():
+        print(f"error: bench binary not found: {bench}", file=sys.stderr)
+        return 2
+    run_dir = args.out if args.out is not None else bench.parent
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    cmd = [str(bench)] + (["--quick"] if args.quick else [])
+    # Only the gated rows need to run; the full E3 sweep rides other tests.
+    cmd.append("--benchmark_filter=BM_HotColorGrant")
+    proc = subprocess.run(cmd, cwd=run_dir)
+    if proc.returncode != 0:
+        print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+              file=sys.stderr)
+        return proc.returncode
+
+    report = run_dir / "BENCH_tokens.json"
+    with report.open() as f:
+        doc = json.load(f)
+    rows = {b["name"]: b for b in doc.get("benchmarks", [])}
+
+    p99 = {}
+    for name, metrics in rows.items():
+        if not name.startswith("BM_HotColorGrant/"):
+            continue
+        cached = name.rsplit(":", 1)[-1] == "1"
+        if "p99_us" in metrics:
+            p99[cached] = float(metrics["p99_us"])
+
+    failures = []
+    if True not in p99 or False not in p99:
+        failures.append(f"BM_HotColorGrant rows missing from {report} "
+                        f"(found {sorted(rows)})")
+    else:
+        cached_us, roundtrip_us = p99[True], p99[False]
+        ratio = roundtrip_us / cached_us if cached_us > 0 else float("inf")
+        print(f"\nhot-colour grant P99: round-trip {roundtrip_us:.1f}us, "
+              f"cached {cached_us:.3f}us -> {ratio:.1f}x")
+        if ratio < MIN_P99_RATIO:
+            failures.append(
+                f"cached-credit P99 speedup {ratio:.2f}x < {MIN_P99_RATIO}x "
+                f"(round-trip {roundtrip_us:.1f}us vs cached "
+                f"{cached_us:.3f}us)")
+
+    if failures:
+        print(f"\n{len(failures)} invariant failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  FAIL {f_}", file=sys.stderr)
+        return 1
+    print("all token-lease bench invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

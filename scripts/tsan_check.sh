@@ -2,11 +2,13 @@
 # TSan gate for the concurrency-heavy test subset.
 #
 # Configures a dedicated ThreadSanitizer build tree, builds the test
-# binaries, and runs the `faults`, `fuzz-smoke`, `recovery`, and `reactor`
-# ctest labels — the failure-injection suites, the scenario-fuzzer smoke
-# sweep, the crash-recovery (kill -> restart -> rejoin) suite, and the
-# event-loop runtime (timer wheel, handler strands).  Those run on the
-# virtual clock, so TSan reports reproduce run-to-run.
+# binaries, and runs the `faults`, `fuzz-smoke`, `recovery`, `reactor`,
+# and `tokens` ctest labels — the failure-injection suites, the
+# scenario-fuzzer smoke sweep, the crash-recovery (kill -> restart ->
+# rejoin) suite, the event-loop runtime (timer wheel, handler strands),
+# and the token service's credit/lease machinery (renewal timers racing
+# grants, recalls, and member crashes).  Those run on the virtual clock,
+# so TSan reports reproduce run-to-run.
 #
 #   scripts/tsan_check.sh [build-dir]     (default: build-tsan)
 set -eu
@@ -16,4 +18,4 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -DDAPPLE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery|reactor'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery|reactor|tokens'

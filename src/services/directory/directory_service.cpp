@@ -9,96 +9,139 @@ namespace dapple {
 
 namespace {
 constexpr const char* kLog = "dirsvc";
+
+std::string shardInboxName(std::size_t shard) {
+  // Shard 0 keeps the historical name so a single-shard server is
+  // byte-compatible with the pre-sharding service.
+  if (shard == 0) return "directory.rpc";
+  return "directory.rpc." + std::to_string(shard);
 }
+}  // namespace
 
 struct DirectoryServer::Impl {
-  explicit Impl(Dapplet& dapplet)
-      : d(dapplet), server(dapplet, "directory.rpc") {}
+  Impl(Dapplet& dapplet, DirectoryConfig cfg) : d(dapplet) {
+    if (cfg.shards < 1) cfg.shards = 1;
+    config = cfg;
+    shards.reserve(config.shards);
+    for (std::size_t i = 0; i < config.shards; ++i) {
+      shards.push_back(std::make_unique<Shard>(dapplet, shardInboxName(i)));
+    }
+  }
 
   Dapplet& d;
+  DirectoryConfig config;
   /// Lease expiry is judged on the dapplet's clock.
   TimePoint now() const { return d.clockSource().now(); }
 
-  RpcServer server;
-
-  mutable std::mutex mutex;
   struct Entry {
     InboxRef ref;
     std::uint64_t lease = 0;
     TimePoint expiresAt;
   };
-  std::map<std::string, Entry> entries;
-  std::uint64_t nextLease = 1;
 
-  void expireLocked(TimePoint now) {
-    for (auto it = entries.begin(); it != entries.end();) {
+  /// One key-range partition: its own inbox, lock, and entry map, so hot
+  /// shards contend only with themselves.
+  struct Shard {
+    Shard(Dapplet& dapplet, const std::string& inboxName)
+        : server(dapplet, inboxName) {}
+    RpcServer server;
+    mutable std::mutex mutex;
+    std::map<std::string, Entry> entries;
+    std::uint64_t nextLease = 1;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  Shard& shardFor(const std::string& name) {
+    return *shards[DirectoryServer::shardOf(name, shards.size())];
+  }
+
+  static void expireLocked(Shard& s, TimePoint now) {
+    for (auto it = s.entries.begin(); it != s.entries.end();) {
       if (it->second.expiresAt <= now) {
         DAPPLE_LOG(kDebug, kLog) << "lease expired for '" << it->first << "'";
-        it = entries.erase(it);
+        it = s.entries.erase(it);
       } else {
         ++it;
       }
     }
   }
 
-  void bindMethods() {
-    server.bind("register", [this](const Value& args) {
+  void bindMethods(Shard& s) {
+    s.server.bind("register", [this, &s](const Value& args) {
       const std::string name = args.at("name").asString();
       const InboxRef ref = inboxRefFromValue(args.at("ref"));
       const auto ttlMs = args.at("ttlMs").asInt();
-      std::scoped_lock lock(mutex);
+      std::scoped_lock lock(s.mutex);
       const TimePoint now = this->now();
-      expireLocked(now);
+      expireLocked(s, now);
       Entry entry;
       entry.ref = ref;
-      entry.lease = nextLease++;
+      entry.lease = s.nextLease++;
       entry.expiresAt = now + milliseconds(ttlMs);
-      entries[name] = entry;
+      s.entries[name] = entry;
       return Value(static_cast<long long>(entry.lease));
     });
-    server.bind("refresh", [this](const Value& args) {
+    s.server.bind("refresh", [this, &s](const Value& args) {
       const std::string name = args.at("name").asString();
       const auto lease = static_cast<std::uint64_t>(
           args.at("lease").asInt());
       const auto ttlMs = args.at("ttlMs").asInt();
-      std::scoped_lock lock(mutex);
+      std::scoped_lock lock(s.mutex);
       const TimePoint now = this->now();
-      expireLocked(now);
-      const auto it = entries.find(name);
-      if (it == entries.end() || it->second.lease != lease) {
+      expireLocked(s, now);
+      const auto it = s.entries.find(name);
+      if (it == s.entries.end() || it->second.lease != lease) {
         return Value(false);
       }
       it->second.expiresAt = now + milliseconds(ttlMs);
       return Value(true);
     });
-    server.bind("lookup", [this](const Value& args) -> Value {
+    s.server.bind("lookup", [this, &s](const Value& args) -> Value {
       const std::string name = args.at("name").asString();
-      std::scoped_lock lock(mutex);
-      expireLocked(now());
-      const auto it = entries.find(name);
-      if (it == entries.end()) {
+      std::scoped_lock lock(s.mutex);
+      expireLocked(s, now());
+      const auto it = s.entries.find(name);
+      if (it == s.entries.end()) {
         throw AddressError("directory: no entry for '" + name + "'");
       }
       return inboxRefToValue(it->second.ref);
     });
-    server.bind("unregister", [this](const Value& args) {
+    s.server.bind("resolve", [this, &s](const Value& args) -> Value {
+      // Lookup plus the registration's remaining lease, so the caller can
+      // cache the ref until the entry could expire (DESIGN.md §14.4).
+      const std::string name = args.at("name").asString();
+      std::scoped_lock lock(s.mutex);
+      const TimePoint now = this->now();
+      expireLocked(s, now);
+      const auto it = s.entries.find(name);
+      if (it == s.entries.end()) {
+        throw AddressError("directory: no entry for '" + name + "'");
+      }
+      ValueMap out;
+      out["ref"] = inboxRefToValue(it->second.ref);
+      out["ttlMs"] = Value(static_cast<long long>(
+          std::chrono::duration_cast<milliseconds>(it->second.expiresAt - now)
+              .count()));
+      return Value(std::move(out));
+    });
+    s.server.bind("unregister", [&s](const Value& args) {
       const std::string name = args.at("name").asString();
       const auto lease = static_cast<std::uint64_t>(
           args.at("lease").asInt());
-      std::scoped_lock lock(mutex);
-      const auto it = entries.find(name);
-      if (it == entries.end() || it->second.lease != lease) {
+      std::scoped_lock lock(s.mutex);
+      const auto it = s.entries.find(name);
+      if (it == s.entries.end() || it->second.lease != lease) {
         return Value(false);
       }
-      entries.erase(it);
+      s.entries.erase(it);
       return Value(true);
     });
-    server.bind("list", [this](const Value& args) {
+    s.server.bind("list", [this, &s](const Value& args) {
       const std::string prefix = args.at("prefix").asString();
-      std::scoped_lock lock(mutex);
-      expireLocked(now());
+      std::scoped_lock lock(s.mutex);
+      expireLocked(s, now());
       ValueMap out;
-      for (const auto& [name, entry] : entries) {
+      for (const auto& [name, entry] : s.entries) {
         if (name.compare(0, prefix.size(), prefix) == 0) {
           out[name] = inboxRefToValue(entry.ref);
         }
@@ -109,27 +152,76 @@ struct DirectoryServer::Impl {
 };
 
 DirectoryServer::DirectoryServer(Dapplet& dapplet)
-    : impl_(std::make_shared<Impl>(dapplet)) {
-  impl_->bindMethods();
+    : DirectoryServer(dapplet, DirectoryConfig{}) {}
+
+DirectoryServer::DirectoryServer(Dapplet& dapplet, DirectoryConfig config)
+    : impl_(std::make_shared<Impl>(dapplet, config)) {
+  for (auto& shard : impl_->shards) impl_->bindMethods(*shard);
 }
 
 DirectoryServer::~DirectoryServer() = default;
 
-InboxRef DirectoryServer::ref() const { return impl_->server.ref(); }
+InboxRef DirectoryServer::ref() const { return impl_->shards[0]->server.ref(); }
+
+std::vector<InboxRef> DirectoryServer::refs() const {
+  std::vector<InboxRef> out;
+  out.reserve(impl_->shards.size());
+  for (const auto& shard : impl_->shards) out.push_back(shard->server.ref());
+  return out;
+}
+
+std::size_t DirectoryServer::shardCount() const { return impl_->shards.size(); }
+
+std::size_t DirectoryServer::shardOf(const std::string& name,
+                                     std::size_t shards) {
+  if (shards <= 1) return 0;
+  const auto first =
+      name.empty() ? 0u : static_cast<unsigned char>(name.front());
+  return static_cast<std::size_t>(first) * shards / 256;
+}
 
 std::size_t DirectoryServer::size() const {
-  std::scoped_lock lock(impl_->mutex);
-  impl_->expireLocked(impl_->now());
-  return impl_->entries.size();
+  std::size_t total = 0;
+  for (auto& shard : impl_->shards) {
+    std::scoped_lock lock(shard->mutex);
+    Impl::expireLocked(*shard, impl_->now());
+    total += shard->entries.size();
+  }
+  return total;
 }
 
 void DirectoryServer::expireNow() {
-  std::scoped_lock lock(impl_->mutex);
-  impl_->expireLocked(impl_->now());
+  for (auto& shard : impl_->shards) {
+    std::scoped_lock lock(shard->mutex);
+    Impl::expireLocked(*shard, impl_->now());
+  }
 }
 
-DirectoryClient::DirectoryClient(Dapplet& dapplet, InboxRef server)
-    : rpc_(dapplet, std::move(server)) {}
+DirectoryClient::DirectoryClient(Dapplet& dapplet, InboxRef server) : d_(dapplet) {
+  shards_.push_back(std::make_unique<RpcClient>(dapplet, std::move(server)));
+}
+
+DirectoryClient::DirectoryClient(Dapplet& dapplet, std::vector<InboxRef> shards,
+                                 DirectoryConfig config)
+    : d_(dapplet), cache_(config.cacheLookups) {
+  if (shards.empty()) {
+    throw AddressError("DirectoryClient: no shard refs");
+  }
+  shards_.reserve(shards.size());
+  for (auto& ref : shards) {
+    shards_.push_back(std::make_unique<RpcClient>(dapplet, std::move(ref)));
+  }
+  if (cache_) {
+    hits_ = &d_.metricsRegistry().counter("directory.cache_hits");
+    misses_ = &d_.metricsRegistry().counter("directory.cache_misses");
+  }
+}
+
+DirectoryClient::~DirectoryClient() = default;
+
+RpcClient& DirectoryClient::shardFor(const std::string& name) {
+  return *shards_[DirectoryServer::shardOf(name, shards_.size())];
+}
 
 std::uint64_t DirectoryClient::registerName(const std::string& name,
                                             const InboxRef& ref,
@@ -139,8 +231,13 @@ std::uint64_t DirectoryClient::registerName(const std::string& name,
   args["ref"] = inboxRefToValue(ref);
   args["ttlMs"] = Value(static_cast<long long>(
       std::chrono::duration_cast<milliseconds>(ttl).count()));
-  return static_cast<std::uint64_t>(
-      rpc_.call("register", Value(std::move(args))).asInt());
+  const auto lease = static_cast<std::uint64_t>(
+      shardFor(name).call("register", Value(std::move(args))).asInt());
+  if (cache_) {
+    std::scoped_lock lock(cacheMutex_);
+    cached_[name] = CachedRef{ref, d_.clockSource().now() + ttl};
+  }
+  return lease;
 }
 
 bool DirectoryClient::refresh(const std::string& name, std::uint64_t lease) {
@@ -149,15 +246,41 @@ bool DirectoryClient::refresh(const std::string& name, std::uint64_t lease) {
   args["lease"] = Value(static_cast<long long>(lease));
   args["ttlMs"] = Value(static_cast<long long>(
       DirectoryServer::kDefaultTtlMs));
-  return rpc_.call("refresh", Value(std::move(args))).asBool();
+  return shardFor(name).call("refresh", Value(std::move(args))).asBool();
 }
 
 InboxRef DirectoryClient::lookup(const std::string& name) {
+  if (cache_) {
+    std::scoped_lock lock(cacheMutex_);
+    const auto it = cached_.find(name);
+    if (it != cached_.end()) {
+      if (d_.clockSource().now() < it->second.expiresAt) {
+        hits_->inc();
+        return it->second.ref;
+      }
+      cached_.erase(it);  // lease ran out — the only invalidation path
+    }
+  }
   ValueMap args;
   args["name"] = Value(name);
   try {
-    return inboxRefFromValue(rpc_.call("lookup", Value(std::move(args))));
+    if (!cache_) {
+      return inboxRefFromValue(
+          shardFor(name).call("lookup", Value(std::move(args))));
+    }
+    misses_->inc();
+    const Value rsp = shardFor(name).call("resolve", Value(std::move(args)));
+    const InboxRef ref = inboxRefFromValue(rsp.at("ref"));
+    const auto ttlMs = rsp.at("ttlMs").asInt();
+    if (ttlMs > 0) {
+      std::scoped_lock lock(cacheMutex_);
+      cached_[name] =
+          CachedRef{ref, d_.clockSource().now() + milliseconds(ttlMs)};
+    }
+    return ref;
   } catch (const TimeoutError&) {
+    throw;
+  } catch (const AddressError&) {
     throw;
   } catch (const Error& e) {
     throw AddressError(e.what());
@@ -166,21 +289,39 @@ InboxRef DirectoryClient::lookup(const std::string& name) {
 
 bool DirectoryClient::unregister(const std::string& name,
                                  std::uint64_t lease) {
+  if (cache_) {
+    std::scoped_lock lock(cacheMutex_);
+    cached_.erase(name);
+  }
   ValueMap args;
   args["name"] = Value(name);
   args["lease"] = Value(static_cast<long long>(lease));
-  return rpc_.call("unregister", Value(std::move(args))).asBool();
+  return shardFor(name).call("unregister", Value(std::move(args))).asBool();
 }
 
 Directory DirectoryClient::list(const std::string& prefix) {
-  ValueMap args;
-  args["prefix"] = Value(prefix);
-  const Value entries = rpc_.call("list", Value(std::move(args)));
   Directory dir;
-  for (const auto& [name, ref] : entries.asMap()) {
-    dir.put(name, inboxRefFromValue(ref));
+  const auto query = [&](RpcClient& shard) {
+    ValueMap args;
+    args["prefix"] = Value(prefix);
+    const Value entries = shard.call("list", Value(std::move(args)));
+    for (const auto& [name, ref] : entries.asMap()) {
+      dir.put(name, inboxRefFromValue(ref));
+    }
+  };
+  if (prefix.empty()) {
+    for (auto& shard : shards_) query(*shard);  // the full namespace
+  } else {
+    // Key-range sharding by first byte: every name sharing a nonempty
+    // prefix lives on the prefix's shard.
+    query(shardFor(prefix));
   }
   return dir;
+}
+
+void DirectoryClient::invalidateCache() {
+  std::scoped_lock lock(cacheMutex_);
+  cached_.clear();
 }
 
 }  // namespace dapple

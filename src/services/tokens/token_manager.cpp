@@ -8,7 +8,9 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <utility>
 
+#include "dapple/core/peer_monitor.hpp"
 #include "dapple/core/state.hpp"
 #include "dapple/serial/data_message.hpp"
 #include "dapple/util/log.hpp"
@@ -29,10 +31,18 @@ constexpr const char* kProbe = "tok.probe";        // member -> home
 constexpr const char* kProbeFwd = "tok.probe.fwd"; // home -> holder
 constexpr const char* kTotalQ = "tok.total.q";
 constexpr const char* kTotalA = "tok.total.a";
+// Credit/lease protocol (DESIGN.md §14).
+constexpr const char* kLeaseRenew = "tok.lease.renew";    // borrower -> home
+constexpr const char* kLeaseRenewA = "tok.lease.renew.a"; // home -> borrower
+constexpr const char* kLeaseRet = "tok.lease.ret";        // borrower -> home
+constexpr const char* kLeaseRecall = "tok.lease.recall";  // home -> borrower
+constexpr const char* kLeaseReq = "tok.lease.req";        // restart re-lease
+constexpr const char* kLeaseGrant = "tok.lease.grant";    // home -> borrower
 
-// Reserved journal keys (TokenConfig::journal, DESIGN.md §12).
+// Reserved journal keys (TokenConfig::journal, DESIGN.md §12/§14).
 constexpr const char* kJournalHeld = "dapple.tok/held";
 constexpr const char* kJournalHomePrefix = "dapple.tok/home/";
+constexpr const char* kJournalLeases = "dapple.tok/leases";
 
 std::uint64_t colorHash(const TokenColor& color) {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a
@@ -43,7 +53,54 @@ std::uint64_t colorHash(const TokenColor& color) {
   return h;
 }
 
+long long toMs(Duration d) {
+  return std::chrono::duration_cast<milliseconds>(d).count();
+}
+
 }  // namespace
+
+TokenConfig TokenConfig::normalized(std::vector<std::string>* notes) const {
+  TokenConfig out = *this;
+  const auto note = [notes](std::string n) {
+    if (notes != nullptr) notes->push_back(std::move(n));
+  };
+  if (out.probeDelay <= Duration::zero()) {
+    out.probeDelay = milliseconds(1);
+    note("probeDelay <= 0 would probe every wakeup; clamped to 1ms");
+  }
+  if (out.probeInterval <= Duration::zero()) {
+    out.probeInterval = milliseconds(1);
+    note("probeInterval <= 0 would spin the prober; clamped to 1ms");
+  }
+  if (out.creditBatch < 0) {
+    out.creditBatch = 0;
+    note("creditBatch < 0 is meaningless; credit caching disabled");
+  }
+  if (out.leaseDuration <= Duration::zero()) {
+    out.leaseDuration = milliseconds(20);
+    note("leaseDuration <= 0 would expire loans before the first renewal; "
+         "clamped to 20ms");
+  }
+  if (out.maintenanceInterval < Duration::zero()) {
+    out.maintenanceInterval = Duration::zero();
+    note("maintenanceInterval < 0 is meaningless; deriving from "
+         "leaseDuration");
+  }
+  if (out.maintenanceInterval == Duration::zero()) {
+    out.maintenanceInterval =
+        std::max<Duration>(milliseconds(1), out.leaseDuration / 4);
+  } else if (out.maintenanceInterval > out.leaseDuration / 2) {
+    out.maintenanceInterval =
+        std::max<Duration>(milliseconds(1), out.leaseDuration / 2);
+    note("maintenanceInterval > leaseDuration/2 would miss the renewal "
+         "window; clamped to leaseDuration/2");
+  }
+  if (out.incarnation == 0) {
+    out.incarnation = 1;
+    note("incarnation 0 is reserved for 'unknown'; clamped to 1");
+  }
+  return out;
+}
 
 struct TokenManager::Impl {
   Impl(Dapplet& dapplet, TokenConfig config)
@@ -52,12 +109,18 @@ struct TokenManager::Impl {
         mGrants(&d.metricsRegistry().counter("tokens.grants_issued")),
         mDenied(&d.metricsRegistry().counter("tokens.requests_denied")),
         mProbes(&d.metricsRegistry().counter("tokens.probes_sent")),
+        mCacheHits(&d.metricsRegistry().counter("tokens.cache_hits")),
+        mCacheMisses(&d.metricsRegistry().counter("tokens.cache_misses")),
+        mRenewals(&d.metricsRegistry().counter("tokens.lease_renewals")),
+        mExpiries(&d.metricsRegistry().counter("tokens.lease_expiries")),
+        gCreditOut(&d.metricsRegistry().gauge("tokens.credit_outstanding")),
         trace(&d.trace()) {}
 
   Dapplet& d;
   const TokenConfig cfg;
-  /// Request deadlines, probe pacing, and every cv wait/notify run on the
-  /// dapplet's clock so virtual-time tests advance through them.
+  /// Request deadlines, probe pacing, lease expiry, and every cv
+  /// wait/notify run on the dapplet's clock so virtual-time tests advance
+  /// through them.
   ClockSource& clk() const { return d.clockSource(); }
   TimePoint now() const { return clk().now(); }
   // `requests_denied` counts deadlock verdicts and timeouts together — the
@@ -65,8 +128,14 @@ struct TokenManager::Impl {
   obs::Counter* mGrants;
   obs::Counter* mDenied;
   obs::Counter* mProbes;
+  obs::Counter* mCacheHits;
+  obs::Counter* mCacheMisses;
+  obs::Counter* mRenewals;
+  obs::Counter* mExpiries;
+  obs::Gauge* gCreditOut;
   obs::TraceRing* trace;
   Inbox* inbox = nullptr;
+  std::weak_ptr<Impl> weakSelf;  // for timer/monitor callbacks
 
   mutable std::mutex mutex;
   std::condition_variable cv;
@@ -78,15 +147,24 @@ struct TokenManager::Impl {
   std::vector<Outbox*> peers;  // index-aligned; self slot used too (loop-back)
 
   // ---- home-side state (for colours homed at this member) ---------------
+  struct Lease {
+    std::int64_t credits = 0;      ///< lent and not yet returned
+    std::uint64_t id = 0;
+    std::uint64_t incarnation = 1; ///< borrower's boot count
+    TimePoint expiresAt{};
+  };
   struct HomeColor {
     std::int64_t total = 0;  ///< conservation constant
     std::int64_t free = 0;
     std::map<std::size_t, std::int64_t> holders;  ///< member -> held count
+    std::map<std::size_t, Lease> leases;          ///< member -> open loan
     struct Waiter {
       std::uint64_t ts;
       std::size_t from;
       std::int64_t count;
       std::string reqId;
+      std::int64_t leaseAsk = 0;     ///< extra credits to lend alongside
+      std::uint64_t incarnation = 1;
       friend bool operator<(const Waiter& a, const Waiter& b) {
         // Earlier timestamp first; ties to the lower member id (§4.2).
         return std::tie(a.ts, a.from) < std::tie(b.ts, b.from);
@@ -95,9 +173,33 @@ struct TokenManager::Impl {
     std::vector<Waiter> waitQ;  // kept sorted
   };
   std::map<TokenColor, HomeColor> homed;
+  std::uint64_t nextLeaseId = 1;
+  std::int64_t lentTotal = 0;  ///< Σ lease credits across homed colours
 
   // ---- member-side state --------------------------------------------------
-  TokenBag held;  ///< the paper's holdsTokens
+  TokenBag held;  ///< tokens granted through the legacy (uncached) path
+  struct CacheEntry {
+    std::int64_t credit = 0;      ///< borrowed, free to sub-let locally
+    std::int64_t heldLeased = 0;  ///< borrowed and sub-let to the app
+    std::uint64_t leaseId = 0;    ///< 0 = no live lease (or re-lease pending)
+    TimePoint expiresAt{};
+    TimePoint renewSentAt{};
+    bool renewInFlight = false;
+    TimePoint recallUntil{};      ///< fast path disabled until then
+  };
+  std::map<TokenColor, CacheEntry> cache;
+  /// App-held tokens whose lease died under us (the home reclaimed the
+  /// loan).  The app still sees them in holdsTokens(); release() retires
+  /// them silently — the home's pool already counts them.
+  TokenBag orphaned;
+
+  // Maintenance timer (renewals, expiry sweeps, recalls); armed lazily the
+  // first time a loan exists on either side.
+  Reactor::TimerHandle maintTimer;
+  bool maintArmed = false;
+
+  // PeerMonitor wiring (cfg.monitor): watch key -> member index.
+  std::map<std::string, std::size_t> watchIndex;
 
   // ---- crash-recovery journal (cfg.journal) -------------------------------
   // Persisted under the store lock of the *caller's* mutex — every call
@@ -121,6 +223,16 @@ struct TokenManager::Impl {
       }
     }
     entry["holders"] = Value(std::move(holders));
+    ValueMap lent;
+    for (const auto& [member, lease] : it->second.leases) {
+      ValueMap l;
+      l["credits"] = Value(static_cast<long long>(lease.credits));
+      l["id"] = Value(static_cast<long long>(lease.id));
+      l["inc"] = Value(static_cast<long long>(lease.incarnation));
+      lent[std::to_string(member)] = Value(std::move(l));
+    }
+    entry["lent"] = Value(std::move(lent));
+    entry["nextLease"] = Value(static_cast<long long>(nextLeaseId));
     cfg.journal->put(kJournalHomePrefix + color, Value(std::move(entry)));
   }
 
@@ -131,6 +243,19 @@ struct TokenManager::Impl {
       if (count != 0) bag[color] = Value(static_cast<long long>(count));
     }
     cfg.journal->put(kJournalHeld, Value(std::move(bag)));
+  }
+
+  void journalLeasesLocked() {
+    if (cfg.journal == nullptr) return;
+    ValueMap bag;
+    for (const auto& [color, e] : cache) {
+      if (e.credit == 0 && e.heldLeased == 0) continue;
+      ValueMap l;
+      l["credit"] = Value(static_cast<long long>(e.credit));
+      l["held"] = Value(static_cast<long long>(e.heldLeased));
+      bag[color] = Value(std::move(l));
+    }
+    cfg.journal->put(kJournalLeases, Value(std::move(bag)));
   }
 
   /// attach()-time restore: returns the colours whose home pool came back
@@ -154,9 +279,53 @@ struct TokenManager::Impl {
         home.holders[std::strtoull(member.c_str(), nullptr, 10)] =
             count.asInt();
       }
+      // Outstanding loans survive the home's own restart with a fresh
+      // grace period: live borrowers renew within it, dead ones lapse and
+      // the sweep returns their credits.
+      if (entry.asMap().count("lent") != 0) {
+        for (const auto& [member, lv] : entry.at("lent").asMap()) {
+          Lease lease;
+          lease.credits = lv.at("credits").asInt();
+          lease.id = static_cast<std::uint64_t>(lv.at("id").asInt());
+          lease.incarnation =
+              static_cast<std::uint64_t>(lv.at("inc").asInt());
+          lease.expiresAt = now() + cfg.leaseDuration;
+          if (lease.credits > 0) {
+            home.leases[std::strtoull(member.c_str(), nullptr, 10)] = lease;
+            lentTotal += lease.credits;
+          }
+        }
+      }
+      if (entry.asMap().count("nextLease") != 0) {
+        nextLeaseId = std::max<std::uint64_t>(
+            nextLeaseId,
+            static_cast<std::uint64_t>(entry.at("nextLease").asInt()));
+      }
       restored.insert(color);
     }
+    gCreditOut->set(lentTotal);
     return restored;
+  }
+
+  /// attach()-time restore of the member side of loans.  The journaled
+  /// sub-let portion becomes a provisional claim (leaseId 0, fast path
+  /// off); attach() then asks each home to re-lease it under this boot's
+  /// incarnation.  Journaled *free* credit is abandoned — the home retires
+  /// the whole old loan when the re-lease arrives (or by expiry).
+  std::vector<std::pair<TokenColor, std::int64_t>> restoreLeasesLocked() {
+    std::vector<std::pair<TokenColor, std::int64_t>> claims;
+    if (cfg.journal == nullptr) return claims;
+    const Value img = cfg.journal->getOr(kJournalLeases, Value(ValueMap{}));
+    for (const auto& [color, e] : img.asMap()) {
+      const std::int64_t claim = e.at("held").asInt();
+      if (claim > 0) {
+        cache[color].heldLeased = claim;
+        claims.emplace_back(color, claim);
+      } else if (e.at("credit").asInt() > 0) {
+        claims.emplace_back(color, 0);  // prompt retirement of the old loan
+      }
+    }
+    return claims;
   }
 
   struct PendingRequest {
@@ -166,15 +335,24 @@ struct TokenManager::Impl {
     std::map<TokenColor, std::int64_t> wants;
     // colour -> granted count (present once granted)
     std::map<TokenColor, std::int64_t> granted;
+    // colours whose grant arrived under a lease (credits, not holdings)
+    std::set<TokenColor> leasedColors;
     bool deadlocked = false;
     std::string error;
     TimePoint startedAt;
     TimePoint nextProbe;
+    // Edge-chasing round counter: bumped on every re-probe, carried by the
+    // probe messages, and part of the intermediate dedup key — so a retry
+    // round traverses members that already forwarded an earlier round.
+    // Without it, a first round that races a not-yet-blocked (or
+    // just-aborted) member dies, and every retry is dropped at the first
+    // intermediate: the cycle is never detected again.
+    std::uint64_t probeRound = 0;
   };
   std::optional<PendingRequest> pending;
   std::uint64_t nextReqSerial = 1;
 
-  // Probe dedup: (origin, reqId) pairs already forwarded.
+  // Probe dedup: (origin, "reqId#round") pairs already forwarded.
   std::set<std::pair<std::size_t, std::string>> probesSeen;
 
   // totalTokens() bookkeeping.
@@ -197,16 +375,159 @@ struct TokenManager::Impl {
     return static_cast<std::size_t>(colorHash(color) % peers.size());
   }
 
+  void rewireSlotLocked(std::size_t index, const InboxRef& ref) {
+    Outbox& box = *peers.at(index);
+    for (const InboxRef& old : box.destinations()) box.remove(old);
+    box.add(ref);
+  }
+
+  // ---- maintenance (renewals, expiry, recall) -----------------------------
+
+  Duration renewLead() const { return cfg.leaseDuration / 2; }
+
+  void armMaintenanceLocked() {
+    if (maintArmed || stopping) return;
+    maintArmed = true;
+    std::weak_ptr<Impl> weak = weakSelf;
+    maintTimer = d.every(cfg.maintenanceInterval, [weak] {
+      if (auto impl = weak.lock()) impl->maintenanceTick();
+    });
+  }
+
+  void maintenanceTick() {
+    std::scoped_lock lock(mutex);
+    if (!attached || stopping) return;
+    const TimePoint t = now();
+    try {
+      memberTickLocked(t);
+      homeTickLocked(t);
+    } catch (const Error& e) {
+      // A renewal/recall can race the transport closing (the dapplet is
+      // crashing or stopping); the lease machinery must not take the
+      // reactor's timer wheel down with it.
+      DAPPLE_LOG(kDebug, kLog) << "maintenance tick skipped: " << e.what();
+    }
+  }
+
+  void memberTickLocked(TimePoint t) {
+    bool dirty = false;
+    for (auto& [color, e] : cache) {
+      if (e.leaseId == 0) continue;
+      if (t >= e.expiresAt) {
+        // Our lease died (home reclaims on its side): stop spending the
+        // credit and orphan the sub-let tokens — restoring them too would
+        // double the colour.
+        if (e.heldLeased > 0) {
+          orphaned[color] += e.heldLeased;
+          e.heldLeased = 0;
+        }
+        e.credit = 0;
+        e.leaseId = 0;
+        e.renewInFlight = false;
+        dirty = true;
+        trace->emit("tokens", "lease.lost", color);
+        continue;
+      }
+      if ((e.credit > 0 || e.heldLeased > 0) && !e.renewInFlight &&
+          t + renewLead() >= e.expiresAt) {
+        DataMessage renew(kLeaseRenew);
+        renew.set("from", Value(static_cast<long long>(selfIndex)));
+        renew.set("color", Value(color));
+        renew.set("leaseId", Value(static_cast<long long>(e.leaseId)));
+        renew.set("inc", Value(static_cast<long long>(cfg.incarnation)));
+        sendTo(homeOf(color), renew);
+        e.renewSentAt = t;
+        e.renewInFlight = true;
+      }
+    }
+    if (dirty) journalLeasesLocked();
+  }
+
+  void homeTickLocked(TimePoint t) {
+    for (auto& [color, home] : homed) {
+      std::vector<std::size_t> lapsed;
+      for (const auto& [member, lease] : home.leases) {
+        if (t >= lease.expiresAt) lapsed.push_back(member);
+      }
+      for (const std::size_t member : lapsed) {
+        reclaimLeaseLocked(color, home, member, /*expiry=*/true);
+      }
+      if (!home.waitQ.empty()) {
+        // Demand outruns the pool: recall outstanding loans so borrowers
+        // return unused credit and route releases home for a while.
+        for (const auto& [member, lease] : home.leases) {
+          if (lease.credits <= 0) continue;
+          DataMessage recall(kLeaseRecall);
+          recall.set("color", Value(color));
+          sendTo(member, recall);
+        }
+      }
+    }
+  }
+
+  /// Exactly-once loan reclaim: the record's erasure is the once-guard, so
+  /// lease expiry, memberDown(), and re-lease retirement can race freely.
+  bool reclaimLeaseLocked(const TokenColor& color, HomeColor& home,
+                          std::size_t member, bool expiry) {
+    const auto it = home.leases.find(member);
+    if (it == home.leases.end()) return false;
+    home.free += it->second.credits;
+    lentTotal -= it->second.credits;
+    home.leases.erase(it);
+    ++stats.leasesReclaimed;
+    if (expiry) {
+      ++stats.leaseExpiries;
+      mExpiries->inc();
+      trace->emit("tokens", "lease.expire", color);
+    } else {
+      trace->emit("tokens", "lease.reclaim", color);
+    }
+    gCreditOut->set(lentTotal);
+    journalHomeLocked(color);
+    serveWaitQLocked(color, home);
+    return true;
+  }
+
+  void memberDownLocked(std::size_t index) {
+    for (auto& [color, home] : homed) {
+      reclaimLeaseLocked(color, home, index, /*expiry=*/false);
+    }
+  }
+
   // ---- home logic ---------------------------------------------------------
 
   void grantLocked(HomeColor& home, const TokenColor& color,
                    const HomeColor::Waiter& waiter) {
-    home.free -= waiter.count;
-    home.holders[waiter.from] += waiter.count;
     DataMessage grant(kGrant);
     grant.set("reqId", Value(waiter.reqId));
     grant.set("color", Value(color));
     grant.set("count", Value(static_cast<long long>(waiter.count)));
+    if (waiter.leaseAsk > 0) {
+      // Borrow/sub-let: the whole grant plus up to `leaseAsk` extra
+      // credits go out as one loan instead of a holder entry.
+      std::int64_t extra =
+          std::min<std::int64_t>(waiter.leaseAsk, home.free - waiter.count);
+      if (extra < 0) extra = 0;
+      const std::int64_t lent = waiter.count + extra;
+      home.free -= lent;
+      Lease& lease = home.leases[waiter.from];
+      if (lease.id == 0) lease.id = nextLeaseId++;
+      if (waiter.incarnation > lease.incarnation) {
+        lease.incarnation = waiter.incarnation;
+      }
+      lease.credits += lent;
+      lease.expiresAt = now() + cfg.leaseDuration;
+      lentTotal += lent;
+      gCreditOut->set(lentTotal);
+      ++stats.leasesGranted;
+      grant.set("leaseId", Value(static_cast<long long>(lease.id)));
+      grant.set("lent", Value(static_cast<long long>(lent)));
+      grant.set("durMs", Value(toMs(cfg.leaseDuration)));
+      armMaintenanceLocked();
+    } else {
+      home.free -= waiter.count;
+      home.holders[waiter.from] += waiter.count;
+    }
     sendTo(waiter.from, grant);
     journalHomeLocked(color);
     ++stats.grantsIssued;
@@ -253,6 +574,10 @@ struct TokenManager::Impl {
       return;
     }
     HomeColor::Waiter waiter{ts, from, count, reqId};
+    if (msg.has("lease")) waiter.leaseAsk = msg.get("lease").asInt();
+    if (msg.has("inc")) {
+      waiter.incarnation = static_cast<std::uint64_t>(msg.get("inc").asInt());
+    }
     home.waitQ.insert(
         std::upper_bound(home.waitQ.begin(), home.waitQ.end(), waiter),
         waiter);
@@ -298,19 +623,29 @@ struct TokenManager::Impl {
   }
 
   void onProbe(const DataMessage& msg) {
-    // Home side: fan the probe out to the colour's current holders.
+    // Home side: fan the probe out to the colour's current holders — both
+    // legacy holders and live borrowers (sub-let tokens can be part of a
+    // hold-and-wait cycle just as held ones can).
     const auto origin = static_cast<std::size_t>(msg.get("origin").asInt());
     const std::string reqId = msg.get("reqId").asString();
+    const long long round = msg.get("round").asInt();
     const TokenColor color = msg.get("color").asString();
     std::scoped_lock lock(mutex);
     const auto it = homed.find(color);
     if (it == homed.end()) return;
+    std::set<std::size_t> targets;
     for (const auto& [holder, count] : it->second.holders) {
-      if (count <= 0) continue;
+      if (count > 0) targets.insert(holder);
+    }
+    for (const auto& [borrower, lease] : it->second.leases) {
+      if (lease.credits > 0) targets.insert(borrower);
+    }
+    for (const std::size_t target : targets) {
       DataMessage fwd(kProbeFwd);
       fwd.set("origin", Value(static_cast<long long>(origin)));
       fwd.set("reqId", Value(reqId));
-      sendTo(holder, fwd);
+      fwd.set("round", Value(round));
+      sendTo(target, fwd);
       ++stats.probesForwarded;
     }
   }
@@ -318,6 +653,7 @@ struct TokenManager::Impl {
   void onProbeFwd(const DataMessage& msg) {
     const auto origin = static_cast<std::size_t>(msg.get("origin").asInt());
     const std::string reqId = msg.get("reqId").asString();
+    const long long round = msg.get("round").asInt();
     std::scoped_lock lock(mutex);
     if (origin == selfIndex) {
       // The probe came back: a hold-and-wait cycle through this member's
@@ -332,13 +668,15 @@ struct TokenManager::Impl {
       return;
     }
     if (!pending) return;  // not blocked: the chain breaks here
-    if (!probesSeen.emplace(origin, reqId).second) return;  // already sent
-    if (probesSeen.size() > 4096) probesSeen.clear();       // bound memory
+    const std::string dedupKey = reqId + "#" + std::to_string(round);
+    if (!probesSeen.emplace(origin, dedupKey).second) return;  // already sent
+    if (probesSeen.size() > 4096) probesSeen.clear();          // bound memory
     for (const auto& [color, want] : pending->wants) {
       if (pending->granted.count(color) != 0) continue;  // satisfied colour
       DataMessage probe(kProbe);
       probe.set("origin", Value(static_cast<long long>(origin)));
       probe.set("reqId", Value(reqId));
+      probe.set("round", Value(round));
       probe.set("color", Value(color));
       sendTo(homeOf(color), probe);
       ++stats.probesForwarded;
@@ -350,14 +688,35 @@ struct TokenManager::Impl {
     const TokenColor color = msg.get("color").asString();
     const auto count = msg.get("count").asInt();
     std::scoped_lock lock(mutex);
+    const bool leased = msg.has("leaseId");
+    if (leased) {
+      // The loan opens (or tops up) regardless of whether the request is
+      // still live: the extra credits beyond `count` land in the cache now.
+      auto& e = cache[color];
+      e.leaseId = static_cast<std::uint64_t>(msg.get("leaseId").asInt());
+      e.expiresAt = now() + milliseconds(msg.get("durMs").asInt());
+      e.credit += msg.get("lent").asInt() - count;
+      armMaintenanceLocked();
+    }
     if (!pending || pending->reqId != reqId) {
-      // Grant for an aborted request: hand the tokens straight back.
+      if (leased) {
+        // Grant for an aborted request: the tokens are leased credit we
+        // legitimately hold — bank them in the cache.
+        cache[color].credit += count;
+        journalLeasesLocked();
+        return;
+      }
+      // Legacy grant for an aborted request: hand the tokens straight back.
       DataMessage rel(kRel);
       rel.set("from", Value(static_cast<long long>(selfIndex)));
       rel.set("color", Value(color));
       rel.set("count", Value(static_cast<long long>(count)));
       sendTo(homeOf(color), rel);
       return;
+    }
+    if (leased) {
+      pending->leasedColors.insert(color);
+      journalLeasesLocked();
     }
     pending->granted[color] = count;
     clk().notifyAll(cv);
@@ -371,6 +730,192 @@ struct TokenManager::Impl {
     clk().notifyAll(cv);
   }
 
+  // ---- lease protocol handlers -------------------------------------------
+
+  void onLeaseRenew(const DataMessage& msg) {
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    const TokenColor color = msg.get("color").asString();
+    const auto id = static_cast<std::uint64_t>(msg.get("leaseId").asInt());
+    const auto inc = static_cast<std::uint64_t>(msg.get("inc").asInt());
+    std::scoped_lock lock(mutex);
+    bool ok = false;
+    const auto hit = homed.find(color);
+    if (hit != homed.end()) {
+      const auto lit = hit->second.leases.find(from);
+      if (lit != hit->second.leases.end() && lit->second.id == id &&
+          inc >= lit->second.incarnation) {
+        if (now() >= lit->second.expiresAt) {
+          // The sweep's verdict stands even when the renewal races it in:
+          // expiry already returned the credits to the pool.
+          reclaimLeaseLocked(color, hit->second, from, /*expiry=*/true);
+        } else {
+          lit->second.expiresAt = now() + cfg.leaseDuration;
+          ok = true;
+        }
+      }
+    }
+    DataMessage reply(kLeaseRenewA);
+    reply.set("color", Value(color));
+    reply.set("leaseId", Value(static_cast<long long>(id)));
+    reply.set("ok", Value(ok));
+    reply.set("durMs", Value(toMs(cfg.leaseDuration)));
+    sendTo(from, reply);
+  }
+
+  void onLeaseRenewA(const DataMessage& msg) {
+    const TokenColor color = msg.get("color").asString();
+    const auto id = static_cast<std::uint64_t>(msg.get("leaseId").asInt());
+    std::scoped_lock lock(mutex);
+    const auto it = cache.find(color);
+    if (it == cache.end() || it->second.leaseId != id) return;
+    CacheEntry& e = it->second;
+    e.renewInFlight = false;
+    if (msg.get("ok").asBool()) {
+      // Measured from when the renewal was *sent*, so the member's view of
+      // the deadline is never later than the home's.
+      e.expiresAt = e.renewSentAt + milliseconds(msg.get("durMs").asInt());
+      ++stats.leaseRenewals;
+      mRenewals->inc();
+      return;
+    }
+    // Refused (reclaimed, or a newer incarnation took over): stop spending.
+    if (e.heldLeased > 0) {
+      orphaned[color] += e.heldLeased;
+      e.heldLeased = 0;
+    }
+    e.credit = 0;
+    e.leaseId = 0;
+    journalLeasesLocked();
+    trace->emit("tokens", "lease.refused", color);
+  }
+
+  void onLeaseRet(const DataMessage& msg) {
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    const TokenColor color = msg.get("color").asString();
+    const auto id = static_cast<std::uint64_t>(msg.get("leaseId").asInt());
+    const auto count = msg.get("count").asInt();
+    std::scoped_lock lock(mutex);
+    const auto hit = homed.find(color);
+    if (hit == homed.end()) return;
+    HomeColor& home = hit->second;
+    const auto lit = home.leases.find(from);
+    // A return racing a reclaim is dropped: the reclaim already restored
+    // the whole loan (in-flight returns included) to the pool.
+    if (lit == home.leases.end() || lit->second.id != id) return;
+    const std::int64_t n = std::min<std::int64_t>(count, lit->second.credits);
+    lit->second.credits -= n;
+    home.free += n;
+    lentTotal -= n;
+    gCreditOut->set(lentTotal);
+    if (lit->second.credits <= 0) home.leases.erase(lit);
+    journalHomeLocked(color);
+    serveWaitQLocked(color, home);
+  }
+
+  void onLeaseRecall(const DataMessage& msg) {
+    const TokenColor color = msg.get("color").asString();
+    std::scoped_lock lock(mutex);
+    const auto it = cache.find(color);
+    if (it == cache.end() || it->second.leaseId == 0) return;
+    CacheEntry& e = it->second;
+    e.recallUntil = now() + cfg.leaseDuration;
+    if (e.credit > 0) {
+      DataMessage ret(kLeaseRet);
+      ret.set("from", Value(static_cast<long long>(selfIndex)));
+      ret.set("color", Value(color));
+      ret.set("leaseId", Value(static_cast<long long>(e.leaseId)));
+      ret.set("count", Value(static_cast<long long>(e.credit)));
+      sendTo(homeOf(color), ret);
+      e.credit = 0;
+      journalLeasesLocked();
+      trace->emit("tokens", "lease.recalled", color);
+    }
+  }
+
+  void onLeaseReq(const DataMessage& msg) {
+    const auto from = static_cast<std::size_t>(msg.get("from").asInt());
+    const TokenColor color = msg.get("color").asString();
+    const auto claim = msg.get("claim").asInt();
+    const auto batch = msg.get("batch").asInt();
+    const auto inc = static_cast<std::uint64_t>(msg.get("inc").asInt());
+    std::scoped_lock lock(mutex);
+    // The re-lease doubles as the restarted member's re-advertisement to
+    // the token layer: replies (and future recalls) need its new address.
+    rewireSlotLocked(from, inboxRefFromValue(msg.get("ref")));
+    std::uint64_t leaseId = 0;
+    std::int64_t covered = 0, extra = 0;
+    const auto hit = homed.find(color);
+    if (hit != homed.end()) {
+      HomeColor& home = hit->second;
+      const auto lit = home.leases.find(from);
+      const bool stale =
+          lit != home.leases.end() && inc <= lit->second.incarnation;
+      if (!stale) {
+        if (lit != home.leases.end()) {
+          // Retire the dead incarnation's loan first — inline, so its
+          // credits cover the claim before any waiter can grab them.
+          home.free += lit->second.credits;
+          lentTotal -= lit->second.credits;
+          home.leases.erase(lit);
+          ++stats.leasesReclaimed;
+        }
+        covered = std::min<std::int64_t>(claim, home.free);
+        home.free -= covered;
+        extra = std::min<std::int64_t>(batch, home.free);
+        home.free -= extra;
+        if (covered + extra > 0) {
+          Lease lease;
+          lease.credits = covered + extra;
+          lease.id = nextLeaseId++;
+          lease.incarnation = inc;
+          lease.expiresAt = now() + cfg.leaseDuration;
+          home.leases[from] = lease;
+          lentTotal += lease.credits;
+          ++stats.leasesGranted;
+          leaseId = lease.id;
+          armMaintenanceLocked();
+        }
+        gCreditOut->set(lentTotal);
+        journalHomeLocked(color);
+        serveWaitQLocked(color, home);
+      }
+    }
+    DataMessage reply(kLeaseGrant);
+    reply.set("color", Value(color));
+    reply.set("leaseId", Value(static_cast<long long>(leaseId)));
+    reply.set("covered", Value(static_cast<long long>(covered)));
+    reply.set("extra", Value(static_cast<long long>(extra)));
+    reply.set("durMs", Value(toMs(cfg.leaseDuration)));
+    sendTo(from, reply);
+  }
+
+  void onLeaseGrant(const DataMessage& msg) {
+    const TokenColor color = msg.get("color").asString();
+    const auto leaseId = static_cast<std::uint64_t>(
+        msg.get("leaseId").asInt());
+    const auto covered = msg.get("covered").asInt();
+    const auto extra = msg.get("extra").asInt();
+    std::scoped_lock lock(mutex);
+    CacheEntry& e = cache[color];
+    if (e.heldLeased > covered) {
+      // The home could not cover the journaled claim (its own state was
+      // lost, or the pool was re-granted meanwhile): the shortfall is
+      // forfeited — holding it would mint tokens.
+      DAPPLE_LOG(kWarn, kLog)
+          << d.name() << ": re-lease of '" << color << "' covered " << covered
+          << "/" << e.heldLeased << "; forfeiting the difference";
+      e.heldLeased = covered;
+    }
+    e.credit = covered + extra - e.heldLeased;
+    e.leaseId = leaseId;
+    e.expiresAt = now() + milliseconds(msg.get("durMs").asInt());
+    if (leaseId == 0) e.credit = 0;
+    if (leaseId != 0) armMaintenanceLocked();
+    journalLeasesLocked();
+    trace->emit("tokens", "lease.restored", color);
+    clk().notifyAll(cv);
+  }
+
   void onTotalQ(const DataMessage& msg) {
     const auto qid = static_cast<std::uint64_t>(msg.get("qid").asInt());
     const auto from = static_cast<std::size_t>(msg.get("from").asInt());
@@ -381,10 +926,15 @@ struct TokenManager::Impl {
     for (const auto& [color, home] : homed) {
       std::int64_t heldSum = 0;
       for (const auto& [holder, count] : home.holders) heldSum += count;
+      std::int64_t lentSum = 0;
+      for (const auto& [borrower, lease] : home.leases) {
+        lentSum += lease.credits;
+      }
       ValueMap entry;
       entry["total"] = Value(static_cast<long long>(home.total));
       entry["free"] = Value(static_cast<long long>(home.free));
       entry["held"] = Value(static_cast<long long>(heldSum));
+      entry["lent"] = Value(static_cast<long long>(lentSum));
       colors[color] = Value(std::move(entry));
     }
     reply.set("colors", Value(std::move(colors)));
@@ -424,6 +974,18 @@ struct TokenManager::Impl {
       onTotalQ(*msg);
     } else if (kind == kTotalA) {
       onTotalA(*msg);
+    } else if (kind == kLeaseRenew) {
+      onLeaseRenew(*msg);
+    } else if (kind == kLeaseRenewA) {
+      onLeaseRenewA(*msg);
+    } else if (kind == kLeaseRet) {
+      onLeaseRet(*msg);
+    } else if (kind == kLeaseRecall) {
+      onLeaseRecall(*msg);
+    } else if (kind == kLeaseReq) {
+      onLeaseReq(*msg);
+    } else if (kind == kLeaseGrant) {
+      onLeaseGrant(*msg);
     }
   }
 
@@ -459,11 +1021,13 @@ struct TokenManager::Impl {
   // ---- requester-side helpers -------------------------------------------
 
   void sendProbesLocked() {
+    ++pending->probeRound;
     for (const auto& [color, want] : pending->wants) {
       if (pending->granted.count(color) != 0) continue;
       DataMessage probe(kProbe);
       probe.set("origin", Value(static_cast<long long>(selfIndex)));
       probe.set("reqId", Value(pending->reqId));
+      probe.set("round", Value(static_cast<long long>(pending->probeRound)));
       probe.set("color", Value(color));
       sendTo(homeOf(color), probe);
       ++stats.probesSent;
@@ -473,6 +1037,7 @@ struct TokenManager::Impl {
 
   /// Cancels outstanding colour requests and returns partial grants.
   void abortPendingLocked() {
+    bool cacheDirty = false;
     for (const auto& [color, want] : pending->wants) {
       if (pending->granted.count(color) != 0) continue;
       DataMessage cancel(kCancel);
@@ -481,18 +1046,32 @@ struct TokenManager::Impl {
       sendTo(homeOf(color), cancel);
     }
     for (const auto& [color, count] : pending->granted) {
+      if (pending->leasedColors.count(color) != 0) {
+        // Leased grants stay borrowed: returning them to the cache is a
+        // local no-message operation, and the loan's renewal keeps them.
+        cache[color].credit += count;
+        cacheDirty = true;
+        continue;
+      }
       DataMessage rel(kRel);
       rel.set("from", Value(static_cast<long long>(selfIndex)));
       rel.set("color", Value(color));
       rel.set("count", Value(static_cast<long long>(count)));
       sendTo(homeOf(color), rel);
     }
+    if (cacheDirty) journalLeasesLocked();
     pending.reset();
   }
 };
 
-TokenManager::TokenManager(Dapplet& dapplet, TokenConfig config)
-    : impl_(std::make_shared<Impl>(dapplet, config)) {
+TokenManager::TokenManager(Dapplet& dapplet, TokenConfig config) {
+  std::vector<std::string> notes;
+  impl_ = std::make_shared<Impl>(dapplet, config.normalized(&notes));
+  impl_->weakSelf = impl_;
+  for (const std::string& n : notes) {
+    impl_->trace->emit("tokens", "config.clamp", n);
+    DAPPLE_LOG(kWarn, kLog) << dapplet.name() << ": " << n;
+  }
   impl_->inbox = &dapplet.createInbox("tokens.mgr");
   auto impl = impl_;
   dapplet.spawn([impl](std::stop_token stop) {
@@ -516,6 +1095,15 @@ TokenManager::~TokenManager() {
     impl_->stopping = true;
     impl_->clk().notifyAll(impl_->cv);
   }
+  // Cancel the maintenance timer before tearing the inbox down: cancel()
+  // waits out an in-flight tick, so no callback touches impl state after
+  // this line.
+  impl_->maintTimer.cancel();
+  if (impl_->cfg.monitor != nullptr) {
+    for (const auto& [key, index] : impl_->watchIndex) {
+      impl_->cfg.monitor->unwatch(key);
+    }
+  }
   try {
     impl_->d.destroyInbox(*impl_->inbox);
   } catch (const Error&) {
@@ -528,34 +1116,82 @@ InboxRef TokenManager::ref() const { return impl_->inbox->ref(); }
 
 void TokenManager::attach(const std::vector<InboxRef>& managers,
                           std::size_t selfIndex, const TokenBag& initial) {
-  std::scoped_lock lock(impl_->mutex);
-  if (impl_->attached) throw TokenError("token manager already attached");
-  impl_->selfIndex = selfIndex;
-  impl_->peers.resize(managers.size(), nullptr);
-  for (std::size_t i = 0; i < managers.size(); ++i) {
-    Outbox& box = impl_->d.createOutbox();
-    box.add(managers[i]);
-    impl_->peers[i] = &box;
-  }
-  // Crash recovery: journaled pools and holdings take precedence over the
-  // `initial` seeds — re-seeding a restored colour would mint new tokens
-  // and break conservation.
-  const std::set<TokenColor> restored = impl_->restoreJournalLocked();
-  for (const auto& [color, count] : initial) {
-    if (impl_->homeOf(color) != selfIndex) {
-      throw TokenError("colour '" + color + "' is homed at member " +
-                       std::to_string(impl_->homeOf(color)) +
-                       ", seed it there");
+  std::vector<std::pair<TokenColor, std::int64_t>> claims;
+  {
+    std::scoped_lock lock(impl_->mutex);
+    if (impl_->attached) throw TokenError("token manager already attached");
+    impl_->selfIndex = selfIndex;
+    impl_->peers.resize(managers.size(), nullptr);
+    for (std::size_t i = 0; i < managers.size(); ++i) {
+      Outbox& box = impl_->d.createOutbox();
+      box.add(managers[i]);
+      impl_->peers[i] = &box;
     }
-    if (count < 0) throw TokenError("negative seed for '" + color + "'");
-    if (restored.count(color) != 0) continue;
-    auto& home = impl_->homed[color];
-    home.total = count;
-    home.free = count;
-    impl_->journalHomeLocked(color);
+    // Crash recovery: journaled pools and holdings take precedence over the
+    // `initial` seeds — re-seeding a restored colour would mint new tokens
+    // and break conservation.
+    const std::set<TokenColor> restored = impl_->restoreJournalLocked();
+    claims = impl_->restoreLeasesLocked();
+    for (const auto& [color, count] : initial) {
+      if (impl_->homeOf(color) != selfIndex) {
+        throw TokenError("colour '" + color + "' is homed at member " +
+                         std::to_string(impl_->homeOf(color)) +
+                         ", seed it there");
+      }
+      if (count < 0) throw TokenError("negative seed for '" + color + "'");
+      if (restored.count(color) != 0) continue;
+      auto& home = impl_->homed[color];
+      home.total = count;
+      home.free = count;
+      impl_->journalHomeLocked(color);
+    }
+    impl_->attached = true;
+    impl_->clk().notifyAll(impl_->cv);  // release a delivery parked by the loop
+    // Re-lease every journaled loan under this boot's incarnation: the home
+    // retires the dead incarnation's loan and covers the claim from it.
+    for (const auto& [color, claim] : claims) {
+      DataMessage req(kLeaseReq);
+      req.set("from", Value(static_cast<long long>(selfIndex)));
+      req.set("color", Value(color));
+      req.set("claim", Value(static_cast<long long>(claim)));
+      req.set("batch",
+              Value(static_cast<long long>(impl_->cfg.creditBatch)));
+      req.set("inc",
+              Value(static_cast<long long>(impl_->cfg.incarnation)));
+      req.set("ref", inboxRefToValue(impl_->inbox->ref()));
+      impl_->sendTo(impl_->homeOf(color), req);
+    }
+    if (!claims.empty()) impl_->armMaintenanceLocked();
+    bool homeLoans = false;
+    for (const auto& [color, home] : impl_->homed) {
+      if (!home.leases.empty()) homeLoans = true;
+    }
+    if (homeLoans) impl_->armMaintenanceLocked();
   }
-  impl_->attached = true;
-  impl_->clk().notifyAll(impl_->cv);  // release a delivery parked by the loop
+  // Failure-detector wiring: a suspect verdict reclaims the member's loans
+  // without waiting out the lease.
+  if (impl_->cfg.monitor != nullptr) {
+    for (std::size_t i = 0; i < managers.size(); ++i) {
+      if (i == selfIndex) continue;
+      const std::string key =
+          "dapple.tok/" + impl_->d.name() + "/" + std::to_string(i);
+      {
+        std::scoped_lock lock(impl_->mutex);
+        impl_->watchIndex[key] = i;
+      }
+      impl_->cfg.monitor->watch(key, managers[i]);
+    }
+    std::weak_ptr<Impl> weak = impl_;
+    impl_->cfg.monitor->onSuspect(
+        [weak](const std::string& key, const InboxRef&) {
+          auto impl = weak.lock();
+          if (!impl) return;
+          std::scoped_lock lock(impl->mutex);
+          const auto it = impl->watchIndex.find(key);
+          if (it == impl->watchIndex.end()) return;
+          impl->memberDownLocked(it->second);
+        });
+  }
 }
 
 std::size_t TokenManager::homeOf(const TokenColor& color) const {
@@ -570,6 +1206,12 @@ std::size_t TokenManager::homeOfColor(const TokenColor& color,
   return static_cast<std::size_t>(colorHash(color) % memberCount);
 }
 
+void TokenManager::memberDown(std::size_t index) {
+  std::scoped_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  impl_->memberDownLocked(index);
+}
+
 void TokenManager::request(const TokenList& wants, Duration timeout) {
   std::unique_lock lock(impl_->mutex);
   if (!impl_->attached) throw TokenError("token manager not attached");
@@ -578,17 +1220,14 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
   }
   if (wants.empty()) return;
 
-  Impl::PendingRequest req;
-  req.reqId = impl_->d.name() + "#" +
-              std::to_string(impl_->nextReqSerial++);
-  req.ts = impl_->d.clock().tick();
+  std::map<TokenColor, std::int64_t> folded;
   for (const TokenRequest& want : wants) {
     if (want.count == 0) continue;
     if (want.count < 0 && want.count != TokenRequest::kAllTokens) {
       throw TokenError("invalid token count");
     }
-    req.wants[want.color] += 0;  // ensure entry
-    auto& entry = req.wants[want.color];
+    folded[want.color] += 0;  // ensure entry
+    auto& entry = folded[want.color];
     if (want.count == TokenRequest::kAllTokens ||
         entry == TokenRequest::kAllTokens) {
       entry = TokenRequest::kAllTokens;
@@ -596,8 +1235,48 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
       entry += want.count;
     }
   }
-  if (req.wants.empty()) return;
-  req.startedAt = impl_->now();
+  if (folded.empty()) return;
+
+  const TimePoint tnow = impl_->now();
+  if (impl_->cfg.creditBatch > 0) {
+    // Fast path: the whole request covered by live cached credit means a
+    // grant with zero network hops.
+    bool allCached = true;
+    for (const auto& [color, count] : folded) {
+      if (count == TokenRequest::kAllTokens) {
+        allCached = false;
+        break;
+      }
+      const auto it = impl_->cache.find(color);
+      if (it == impl_->cache.end() || it->second.leaseId == 0 ||
+          tnow >= it->second.expiresAt || tnow < it->second.recallUntil ||
+          it->second.credit < count) {
+        allCached = false;
+        break;
+      }
+    }
+    if (allCached) {
+      for (const auto& [color, count] : folded) {
+        auto& e = impl_->cache.at(color);
+        e.credit -= count;
+        e.heldLeased += count;
+      }
+      impl_->journalLeasesLocked();
+      ++impl_->stats.cacheHits;
+      impl_->mCacheHits->inc();
+      ++impl_->stats.requestsGranted;
+      return;
+    }
+    ++impl_->stats.cacheMisses;
+    impl_->mCacheMisses->inc();
+  }
+
+  Impl::PendingRequest req;
+  req.reqId = impl_->d.name() + "#" +
+              std::to_string(impl_->nextReqSerial++);
+  req.ts = impl_->d.clock().tick();
+  req.wants = std::move(folded);
+  req.startedAt = tnow;
   req.nextProbe = req.startedAt + impl_->cfg.probeDelay;
   impl_->pending = std::move(req);
 
@@ -608,6 +1287,18 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
     msg.set("ts", Value(static_cast<long long>(impl_->pending->ts)));
     msg.set("color", Value(color));
     msg.set("count", Value(static_cast<long long>(count)));
+    if (impl_->cfg.creditBatch > 0 && count != TokenRequest::kAllTokens) {
+      const auto cit = impl_->cache.find(color);
+      const bool recalled =
+          cit != impl_->cache.end() && tnow < cit->second.recallUntil;
+      if (!recalled) {
+        // Ask the home to lend a batch of extra credits with the grant.
+        msg.set("lease",
+                Value(static_cast<long long>(impl_->cfg.creditBatch)));
+        msg.set("inc",
+                Value(static_cast<long long>(impl_->cfg.incarnation)));
+      }
+    }
     impl_->sendTo(impl_->homeOf(color), msg);
   }
 
@@ -648,10 +1339,18 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
     }
     impl_->clk().parkUntil(lock, impl_->cv, std::min(deadline, p.nextProbe));
   }
+  bool heldDirty = false, cacheDirty = false;
   for (const auto& [color, count] : impl_->pending->granted) {
-    impl_->held[color] += count;
+    if (impl_->pending->leasedColors.count(color) != 0) {
+      impl_->cache[color].heldLeased += count;
+      cacheDirty = true;
+    } else {
+      impl_->held[color] += count;
+      heldDirty = true;
+    }
   }
-  impl_->journalHeldLocked();
+  if (heldDirty) impl_->journalHeldLocked();
+  if (cacheDirty) impl_->journalLeasesLocked();
   ++impl_->stats.requestsGranted;
   impl_->pending.reset();
 }
@@ -659,14 +1358,24 @@ void TokenManager::request(const TokenList& wants, Duration timeout) {
 void TokenManager::release(const TokenList& gives) {
   std::scoped_lock lock(impl_->mutex);
   if (!impl_->attached) throw TokenError("token manager not attached");
+  const TimePoint tnow = impl_->now();
+  const auto availableOf = [&](const TokenColor& color) {
+    std::int64_t have = 0;
+    const auto hit = impl_->held.find(color);
+    if (hit != impl_->held.end()) have += hit->second;
+    const auto cit = impl_->cache.find(color);
+    if (cit != impl_->cache.end()) have += cit->second.heldLeased;
+    const auto oit = impl_->orphaned.find(color);
+    if (oit != impl_->orphaned.end()) have += oit->second;
+    return have;
+  };
   // Validate first so the operation is all-or-nothing (paper: "if the
   // tokens specified in tokenList are not in holdsTokens an exception is
   // raised").
   TokenBag toGive;
   for (const TokenRequest& give : gives) {
     if (give.count == TokenRequest::kAllTokens) {
-      const auto it = impl_->held.find(give.color);
-      toGive[give.color] += it == impl_->held.end() ? 0 : it->second;
+      toGive[give.color] += availableOf(give.color) - toGive[give.color];
     } else if (give.count < 0) {
       throw TokenError("invalid release count");
     } else {
@@ -674,35 +1383,69 @@ void TokenManager::release(const TokenList& gives) {
     }
   }
   for (const auto& [color, count] : toGive) {
-    const auto it = impl_->held.find(color);
-    const std::int64_t have = it == impl_->held.end() ? 0 : it->second;
+    const std::int64_t have = availableOf(color);
     if (count > have) {
       throw TokenError("release of " + std::to_string(count) + " '" + color +
                        "' tokens but only " + std::to_string(have) +
                        " are held");
     }
   }
-  bool heldChanged = false;
+  bool heldDirty = false, cacheDirty = false;
   for (const auto& [color, count] : toGive) {
     if (count == 0) continue;
-    impl_->held[color] -= count;
-    if (impl_->held[color] == 0) impl_->held.erase(color);
-    heldChanged = true;
-    const std::size_t home = impl_->homeOf(color);
-    if (home == impl_->selfIndex) {
-      // Self-homed colours are applied synchronously: routing the release
-      // through the loopback would leave a window where the tokens are
-      // neither held nor free, so stats (and grants) lag the caller.
-      impl_->applyReleaseLocked(impl_->selfIndex, color, count);
-      continue;
+    std::int64_t remaining = count;
+    // 1. Orphaned tokens retire silently: their lease died, so the home's
+    //    pool already counts them.
+    const auto oit = impl_->orphaned.find(color);
+    if (oit != impl_->orphaned.end() && remaining > 0) {
+      const std::int64_t n = std::min(remaining, oit->second);
+      oit->second -= n;
+      remaining -= n;
+      if (oit->second == 0) impl_->orphaned.erase(oit);
     }
-    DataMessage rel(kRel);
-    rel.set("from", Value(static_cast<long long>(impl_->selfIndex)));
-    rel.set("color", Value(color));
-    rel.set("count", Value(static_cast<long long>(count)));
-    impl_->sendTo(home, rel);
+    // 2. Sub-let tokens return to the cache credit (no messages) — unless
+    //    a recall is in force, in which case they go straight home.
+    const auto cit = impl_->cache.find(color);
+    if (cit != impl_->cache.end() && remaining > 0 &&
+        cit->second.heldLeased > 0) {
+      Impl::CacheEntry& e = cit->second;
+      const std::int64_t n = std::min(remaining, e.heldLeased);
+      e.heldLeased -= n;
+      remaining -= n;
+      if (e.leaseId != 0 && tnow < e.recallUntil) {
+        DataMessage ret(kLeaseRet);
+        ret.set("from", Value(static_cast<long long>(impl_->selfIndex)));
+        ret.set("color", Value(color));
+        ret.set("leaseId", Value(static_cast<long long>(e.leaseId)));
+        ret.set("count", Value(static_cast<long long>(n)));
+        impl_->sendTo(impl_->homeOf(color), ret);
+      } else {
+        e.credit += n;
+      }
+      cacheDirty = true;
+    }
+    // 3. Legacy holdings go back through the home.
+    if (remaining > 0) {
+      impl_->held[color] -= remaining;
+      if (impl_->held[color] == 0) impl_->held.erase(color);
+      heldDirty = true;
+      const std::size_t home = impl_->homeOf(color);
+      if (home == impl_->selfIndex) {
+        // Self-homed colours are applied synchronously: routing the release
+        // through the loopback would leave a window where the tokens are
+        // neither held nor free, so stats (and grants) lag the caller.
+        impl_->applyReleaseLocked(impl_->selfIndex, color, remaining);
+        continue;
+      }
+      DataMessage rel(kRel);
+      rel.set("from", Value(static_cast<long long>(impl_->selfIndex)));
+      rel.set("color", Value(color));
+      rel.set("count", Value(static_cast<long long>(remaining)));
+      impl_->sendTo(home, rel);
+    }
   }
-  if (heldChanged) impl_->journalHeldLocked();
+  if (heldDirty) impl_->journalHeldLocked();
+  if (cacheDirty) impl_->journalLeasesLocked();
 }
 
 void TokenManager::rewire(std::size_t index, const InboxRef& ref) {
@@ -712,9 +1455,13 @@ void TokenManager::rewire(std::size_t index, const InboxRef& ref) {
     throw TokenError("rewire index " + std::to_string(index) +
                      " out of range");
   }
-  Outbox& box = *impl_->peers[index];
-  for (const InboxRef& old : box.destinations()) box.remove(old);
-  box.add(ref);
+  impl_->rewireSlotLocked(index, ref);
+  if (impl_->cfg.monitor != nullptr && index != impl_->selfIndex) {
+    const std::string key =
+        "dapple.tok/" + impl_->d.name() + "/" + std::to_string(index);
+    impl_->watchIndex[key] = index;
+    impl_->cfg.monitor->watch(key, ref);
+  }
 }
 
 TokenBag TokenManager::totalTokens(Duration timeout) {
@@ -741,7 +1488,70 @@ TokenBag TokenManager::totalTokens(Duration timeout) {
 
 TokenBag TokenManager::holdsTokens() const {
   std::scoped_lock lock(impl_->mutex);
-  return impl_->held;
+  TokenBag out = impl_->held;
+  for (const auto& [color, e] : impl_->cache) {
+    if (e.heldLeased != 0) out[color] += e.heldLeased;
+  }
+  for (const auto& [color, count] : impl_->orphaned) {
+    if (count != 0) out[color] += count;
+  }
+  return out;
+}
+
+TokenBag TokenManager::cachedCredits() const {
+  std::scoped_lock lock(impl_->mutex);
+  TokenBag out;
+  for (const auto& [color, e] : impl_->cache) {
+    if (e.credit != 0) out[color] = e.credit;
+  }
+  return out;
+}
+
+TokenBag TokenManager::lentCredits() const {
+  std::scoped_lock lock(impl_->mutex);
+  TokenBag out;
+  for (const auto& [color, home] : impl_->homed) {
+    std::int64_t sum = 0;
+    for (const auto& [borrower, lease] : home.leases) sum += lease.credits;
+    if (sum != 0) out[color] = sum;
+  }
+  return out;
+}
+
+std::vector<std::string> TokenManager::auditHomeLedger() const {
+  std::scoped_lock lock(impl_->mutex);
+  std::vector<std::string> violations;
+  for (const auto& [color, home] : impl_->homed) {
+    std::int64_t held = 0;
+    for (const auto& [holder, count] : home.holders) held += count;
+    std::int64_t lent = 0;
+    for (const auto& [borrower, lease] : home.leases) lent += lease.credits;
+    if (home.free + held + lent != home.total) {
+      violations.push_back(color + ": free=" + std::to_string(home.free) +
+                           " held=" + std::to_string(held) +
+                           " lent=" + std::to_string(lent) +
+                           " != total=" + std::to_string(home.total));
+    }
+  }
+  return violations;
+}
+
+void TokenManager::returnCachedCredits() {
+  std::scoped_lock lock(impl_->mutex);
+  if (!impl_->attached) throw TokenError("token manager not attached");
+  bool dirty = false;
+  for (auto& [color, e] : impl_->cache) {
+    if (e.credit <= 0 || e.leaseId == 0) continue;
+    DataMessage ret(kLeaseRet);
+    ret.set("from", Value(static_cast<long long>(impl_->selfIndex)));
+    ret.set("color", Value(color));
+    ret.set("leaseId", Value(static_cast<long long>(e.leaseId)));
+    ret.set("count", Value(static_cast<long long>(e.credit)));
+    impl_->sendTo(impl_->homeOf(color), ret);
+    e.credit = 0;
+    dirty = true;
+  }
+  if (dirty) impl_->journalLeasesLocked();
 }
 
 TokenManager::Stats TokenManager::stats() const {

@@ -79,17 +79,18 @@ constexpr const char* kMeshKind = "fz.mesh";
 struct Shape {
   std::size_t n = 0;           // mesh dapplets
   LinkParams link;
-  int module = 0;  // 0 tokens, 1 cardgame, 2 crash/eviction, 3 recovery
+  // 0 tokens, 1 cardgame, 2 crash/eviction, 3 recovery, 4 token leases
+  int module = 0;
   std::size_t rounds = 0;      // mesh messages per ordered pair
   struct Partition {
     std::uint32_t hostA = 0, hostB = 0;
     Duration at{}, heal{};
   };
   std::vector<Partition> partitions;
-  // modules 2 and 3: which mesh member is crash-stopped, and when.
+  // modules 2..4: which mesh member is crash-stopped, and when.
   std::size_t victim = 0;
   Duration crashAt{};
-  // module 3 only: kill-restart delay between the crash and the reboot.
+  // modules 3 and 4: kill-restart delay between the crash and the reboot.
   Duration restartDelay{};
 };
 
@@ -102,7 +103,7 @@ Shape generate(std::uint64_t seed) {
   s.link = LinkParams{microseconds(100 + rng.below(900)),
                       microseconds(rng.below(2000)),
                       kLoss[rng.below(4)], kDup[rng.below(2)]};
-  s.module = static_cast<int>(seed % 4);
+  s.module = static_cast<int>(seed % 5);
   s.rounds = 5 + rng.below(10);
   // Partitions always heal, well inside the 10s delivery timeout, so they
   // degrade channels without killing them.
@@ -122,8 +123,8 @@ Shape generate(std::uint64_t seed) {
     s.n = std::max<std::size_t>(s.n, 3);  // need survivors + a victim
     s.victim = 1 + rng.below(s.n - 1);    // never member 0
     s.crashAt = milliseconds(150 + rng.below(300));
-  } else if (s.module == 3) {
-    s.victim = 1 + rng.below(s.n - 1);  // member 0 is the feeder
+  } else if (s.module == 3 || s.module == 4) {
+    s.victim = 1 + rng.below(s.n - 1);  // member 0 is the feeder / a survivor
     s.crashAt = milliseconds(100 + rng.below(300));
     s.restartDelay = milliseconds(50 + rng.below(400));
   }
@@ -135,7 +136,8 @@ const char* moduleName(int module) {
     case 0: return "tokens";
     case 1: return "cardgame";
     case 2: return "eviction";
-    default: return "recovery";
+    case 3: return "recovery";
+    default: return "lease";
   }
 }
 
@@ -369,6 +371,9 @@ ScenarioResult runScenario(std::uint64_t seed,
   std::unique_ptr<TokenManager> victimTok2;
   bool restarted = false;
   std::uint64_t recoveryDigestOut = 0;
+  // Module 4 (token leases): the shared credit-caching config; the victim's
+  // copy additionally journals so the kill-restart can re-lease.
+  TokenConfig leaseTokCfg;
 
   if (shape.module == 0) {
     for (std::size_t i = 0; i < shape.n; ++i) {
@@ -424,6 +429,50 @@ ScenarioResult runScenario(std::uint64_t seed,
                       {{recColor, kRecTokens}});
     director = std::make_unique<Dapplet>(net, "fzdir", cfg);
     initiator = std::make_unique<Initiator>(*director);
+  } else if (shape.module == 4) {
+    // Credit/lease workload (DESIGN.md §14): every member caches borrowed
+    // credit under leases; the victim journals its manager and is
+    // kill-restarted mid-run, so incarnation-guarded re-lease, survivor
+    // rewire, and the home-side loan-retire path all get fuzzed.
+    recoveryDir = recoveryScratchDir();
+    // Blocked-on-recall waits are legitimate: keep deadlock probes out.
+    leaseTokCfg.probeDelay = seconds(60);
+    leaseTokCfg.probeInterval = seconds(60);
+    leaseTokCfg.creditBatch = 2;
+    // Long enough (virtual time) that neither a partition (≤2.5s) nor the
+    // kill-restart window expires a live member's loan: the only reclaims
+    // are the deliberate ones, keeping the outcome digest schedule-stable.
+    leaseTokCfg.leaseDuration = seconds(5);
+    for (std::size_t i = 0; i < shape.n; ++i) {
+      TokenConfig mcfg = leaseTokCfg;
+      if (i == shape.victim) {
+        recDurable = std::make_unique<recovery::DurableState>(*dapplets[i],
+                                                              recoveryDir);
+        mcfg.journal = &recDurable->store();
+        mcfg.incarnation = recDurable->incarnation();
+      }
+      managers.push_back(std::make_unique<TokenManager>(*dapplets[i], mcfg));
+    }
+    std::vector<InboxRef> refs;
+    for (auto& m : managers) refs.push_back(m->ref());
+    for (std::size_t i = 0; i < shape.n; ++i) {
+      TokenBag mine;
+      if (TokenManager::homeOfColor("gold", shape.n) == i) {
+        mine["gold"] = kGold;
+      }
+      if (TokenManager::homeOfColor("silver", shape.n) == i) {
+        mine["silver"] = kSilver;
+      }
+      managers[i]->attach(refs, i, mine);
+    }
+    // Pre-crash loans: the victim's journaled holding must survive the
+    // restart; member 0's (never the victim) must stay live throughout it.
+    try {
+      managers[shape.victim]->request({{"gold", 1}}, seconds(30));
+      managers[0]->request({{"silver", 1}}, seconds(30));
+    } catch (const Error& e) {
+      oracles.fail("lease: pre-crash request failed: ", e.what());
+    }
   } else {
     for (std::size_t i = 0; i < shape.n; ++i) {
       monitors.push_back(std::make_unique<LivenessMonitor>(*dapplets[i]));
@@ -589,6 +638,53 @@ ScenarioResult runScenario(std::uint64_t seed,
       victimAgent2->rejoinPersisted();
       restarted = true;
     }
+    if (shape.module == 4 && !options.suppressKillRestart && !crashed &&
+        round * 2 >= shape.rounds) {
+      // Lease-module kill-restart: crash cold, drop every handle, reboot
+      // from the journal at a fresh address.  attach() re-leases the
+      // journaled loans under incarnation 2, and every survivor rewires.
+      clock.sleepFor(shape.crashAt);
+      dapplets[shape.victim]->crash();
+      dead.insert(shape.victim);
+      crashed = true;
+      managers[shape.victim].reset();
+      recDurable.reset();
+      dapplets[shape.victim].reset();
+      clock.sleepFor(shape.restartDelay);
+      DappletConfig vcfg = cfg;
+      vcfg.host = static_cast<std::uint32_t>(shape.n + 2);
+      victim2 = std::make_unique<Dapplet>(
+          net, "fz" + std::to_string(shape.victim), vcfg);
+      recDurable2 =
+          std::make_unique<recovery::DurableState>(*victim2, recoveryDir);
+      if (!recDurable2->info().recovered ||
+          recDurable2->incarnation() != 2) {
+        oracles.fail("lease: restart did not recover durable state");
+      }
+      TokenConfig tcfg = leaseTokCfg;
+      tcfg.journal = &recDurable2->store();
+      tcfg.incarnation = recDurable2->incarnation();
+      victimTok2 = std::make_unique<TokenManager>(*victim2, tcfg);
+      std::vector<InboxRef> refs;
+      for (std::size_t i = 0; i < shape.n; ++i) {
+        refs.push_back(i == shape.victim ? victimTok2->ref()
+                                         : managers[i]->ref());
+      }
+      TokenBag mine;
+      if (TokenManager::homeOfColor("gold", shape.n) == shape.victim) {
+        mine["gold"] = kGold;
+      }
+      if (TokenManager::homeOfColor("silver", shape.n) == shape.victim) {
+        mine["silver"] = kSilver;
+      }
+      victimTok2->attach(refs, shape.victim, mine);
+      for (std::size_t i = 0; i < shape.n; ++i) {
+        if (i != shape.victim) {
+          managers[i]->rewire(shape.victim, victimTok2->ref());
+        }
+      }
+      restarted = true;
+    }
     for (std::size_t i = 0; i < shape.n; ++i) {
       for (std::size_t j = 0; j < shape.n; ++j) {
         if (i == j || dead.count(i) != 0 || dead.count(j) != 0) continue;
@@ -749,6 +845,77 @@ ScenarioResult runScenario(std::uint64_t seed,
     recoveryDigestOut = rec.value();
     digest.addf("recovery rdigest=", rec.value());
     initiator->terminate(sessionId);
+  } else if (shape.module == 4) {
+    // Deterministic-outcome digest, compared against the suppressKillRestart
+    // control run of the same seed: only invariant final state is folded
+    // (balanced home ledgers, zero outstanding loans, the conserved mint) —
+    // never stats or counters, which are crash-placement-dependent.
+    Digest rec;
+    const auto mgrAt = [&](std::size_t i) -> TokenManager& {
+      return restarted && i == shape.victim ? *victimTok2 : *managers[i];
+    };
+    try {
+      // The victim's journaled pre-crash grant must have survived the kill.
+      const TokenBag vh = mgrAt(shape.victim).holdsTokens();
+      if ((vh.count("gold") != 0 ? vh.at("gold") : 0) != 1) {
+        oracles.fail("lease: victim's journaled grant lost across restart");
+      }
+      // Borrow/spend/release churn across every member; a request colliding
+      // with credit cached elsewhere exercises the recall path.
+      for (int op = 0; op < 10; ++op) {
+        auto& mgr = mgrAt(rng.below(shape.n));
+        const char* color = rng.below(2) == 0 ? "gold" : "silver";
+        const std::int64_t want = 1 + static_cast<std::int64_t>(rng.below(2));
+        mgr.request({{color, want}}, seconds(60));
+        mgr.release({{color, want}});
+      }
+      // Wind down: release the pre-crash holdings, flush every cache, let
+      // the returns land (virtual time; link delays are microseconds).
+      mgrAt(shape.victim).release({{"gold", 1}});
+      managers[0]->release({{"silver", 1}});
+      for (std::size_t i = 0; i < shape.n; ++i) {
+        mgrAt(i).returnCachedCredits();
+      }
+      clock.sleepFor(milliseconds(500));
+      // Conservation, exactly: pool + cached credit + in-flight grants all
+      // returned home, once each.
+      bool audited = true;
+      for (std::size_t i = 0; i < shape.n; ++i) {
+        TokenManager& m = mgrAt(i);
+        for (const std::string& v : m.auditHomeLedger()) {
+          oracles.fail("lease: fz", i, " ledger: ", v);
+          audited = false;
+        }
+        if (!m.lentCredits().empty()) {
+          oracles.fail("lease: fz", i, " still lends after wind-down");
+          audited = false;
+        }
+        if (!m.cachedCredits().empty()) {
+          oracles.fail("lease: fz", i, " still caches after wind-down");
+          audited = false;
+        }
+        if (!m.holdsTokens().empty()) {
+          oracles.fail("lease: fz", i, " still holds after wind-down");
+          audited = false;
+        }
+      }
+      const TokenBag totals = mgrAt(0).totalTokens(seconds(30));
+      const std::int64_t gold =
+          totals.count("gold") != 0 ? totals.at("gold") : 0;
+      const std::int64_t silver =
+          totals.count("silver") != 0 ? totals.at("silver") : 0;
+      if (gold != kGold || silver != kSilver) {
+        oracles.fail("lease: conservation broken: gold=", gold, "/", kGold,
+                     " silver=", silver, "/", kSilver);
+      }
+      rec.addf("lease gold=", gold, " silver=", silver,
+               " audit=", audited ? "ok" : "broken");
+    } catch (const Error& e) {
+      oracles.fail("lease: workload failed: ", e.what());
+      rec.addf("failed");
+    }
+    recoveryDigestOut = rec.value();
+    digest.addf("lease rdigest=", rec.value());
   }
 
   mark("drain");
@@ -864,10 +1031,10 @@ ScenarioResult runScenario(std::uint64_t seed,
 
   mark("teardown");
   // ---- teardown, then the fabric-level conservation oracle ---------------
-  // Module 3 ordering: token managers and agents go before the durable
-  // handles that back them; the restarted process lives outside the mesh
-  // vector and is stopped explicitly (the mesh loop below skips it — the
-  // original victim slot is in `dead`).
+  // Modules 3 and 4 ordering: token managers and agents go before the
+  // durable handles that back them; the restarted process lives outside the
+  // mesh vector and is stopped explicitly (the mesh loop below skips it —
+  // the original victim slot is in `dead`).
   feederTok.reset();
   victimTok.reset();
   victimTok2.reset();

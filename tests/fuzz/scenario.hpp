@@ -20,7 +20,13 @@
 ///    restarted from its durable state (WAL + journal + REJOIN), and every
 ///    deterministic outcome — role results, token totals — must equal a
 ///    control run of the same seed that never killed anyone (compare
-///    `recoveryDigest` against a `suppressKillRestart` run).
+///    `recoveryDigest` against a `suppressKillRestart` run);
+///  * token-lease conservation (module 4): every member borrows credit
+///    under leases (DESIGN.md §14) through a borrow/spend/release churn
+///    with one member kill-restarted mid-run; at wind-down every home
+///    ledger must balance (`free + Σheld + Σlent == total`), no credit may
+///    remain cached or lent, and the totals must equal the mint — with the
+///    same kill-vs-control `recoveryDigest` equivalence as module 3.
 ///
 /// The run folds its observable outcome (per-channel content sequences,
 /// oracle verdicts, module results) into an FNV-1a digest.  With
@@ -40,9 +46,9 @@ struct ScenarioOptions {
   /// never fires (rto beyond the delivery timeout).  Any lossy seed must
   /// then fail an oracle — proving the fuzzer can actually see bugs.
   bool canaryDisableRetransmit = false;
-  /// Control run for module 3: skip the kill-restart event but run the
-  /// identical workload.  `recoveryDigest` must match the un-suppressed run
-  /// of the same seed — crash-recovery must be outcome-invisible.
+  /// Control run for modules 3 and 4: skip the kill-restart event but run
+  /// the identical workload.  `recoveryDigest` must match the un-suppressed
+  /// run of the same seed — crash-recovery must be outcome-invisible.
   bool suppressKillRestart = false;
 };
 
@@ -54,9 +60,10 @@ struct ScenarioResult {
   /// FNV-1a digest of the canonical outcome; identical across runs of the
   /// same seed.
   std::uint64_t digest = 0;
-  /// Module 3 only: digest of the *deterministic* outcomes (role results,
-  /// token totals — never schedule artifacts like rejoin counts).  Equal
-  /// between a kill-restart run and its `suppressKillRestart` control.
+  /// Modules 3 and 4 only: digest of the *deterministic* outcomes (role
+  /// results, token totals, ledger audits — never schedule artifacts like
+  /// rejoin counts).  Equal between a kill-restart run and its
+  /// `suppressKillRestart` control.
   std::uint64_t recoveryDigest = 0;
   /// Human-oriented counts ("n=3 loss=0.10 module=tokens ..." ).
   std::string summary;

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <thread>
 
 #include "dapple/net/sim.hpp"
+#include "dapple/services/directory/directory_service.hpp"
+#include "dapple/services/recovery/recovery.hpp"
 #include "dapple/services/sync/distributed.hpp"
 #include "dapple/services/tokens/token_manager.hpp"
+#include "dapple/testkit/virtual_clock.hpp"
 #include "dapple/util/rng.hpp"
 
 namespace dapple {
@@ -181,34 +185,32 @@ TEST(Tokens, ReaderWriterProtocol) {
 TEST(Tokens, DeadlockDetectedOnTwoCycle) {
   // Paper: "If the token managers detect a deadlock an exception is
   // raised" — the hold-and-wait two-cycle: 0 holds A wants B, 1 holds B
-  // wants A.
+  // wants A.  A deadlock victim releases its held colour, so one abort
+  // unwinds the whole cycle and the survivor's request completes.
   TokenRig rig(2, {{"A", 1}, {"B", 1}});
   rig.managers[0]->request({{"A", 1}});
   rig.managers[1]->request({{"B", 1}});
   std::atomic<int> deadlocks{0};
-  std::thread t0([&] {
+  const auto chase = [&](std::size_t self, const char* held, const char* want) {
     try {
-      rig.managers[0]->request({{"B", 1}}, seconds(10));
-      rig.managers[0]->release({{"B", 1}});
+      rig.managers[self]->request({{want, 1}}, seconds(30));
+      rig.managers[self]->release({{want, 1}});
+      rig.managers[self]->release({{held, 1}});
     } catch (const DeadlockError&) {
       ++deadlocks;
+      rig.managers[self]->release({{held, 1}});
+    } catch (const Error& e) {
+      ADD_FAILURE() << "member " << self << " raised " << e.what();
     }
-  });
-  std::thread t1([&] {
-    try {
-      rig.managers[1]->request({{"A", 1}}, seconds(10));
-      rig.managers[1]->release({{"A", 1}});
-    } catch (const DeadlockError&) {
-      ++deadlocks;
-    }
-  });
+  };
+  std::thread t0(chase, 0, "A", "B");
+  std::thread t1(chase, 1, "B", "A");
   t0.join();
   t1.join();
   EXPECT_GE(deadlocks.load(), 1) << "no deadlock detected";
-  // The aborted request returned its partial grants: the system recovers.
-  rig.managers[0]->release({{"A", 1}});
-  rig.managers[1]->release({{"B", 1}});
-  rig.managers[0]->request({{"A", 1}, {"B", 1}}, seconds(10));
+  // Every colour is back at its home: the system recovers.
+  rig.managers[0]->request({{"A", 1}, {"B", 1}}, seconds(30));
+  rig.managers[0]->release({{"A", 1}, {"B", 1}});
 }
 
 TEST(Tokens, DeadlockDetectedOnThreeCycle) {
@@ -217,17 +219,23 @@ TEST(Tokens, DeadlockDetectedOnThreeCycle) {
   rig.managers[1]->request({{"B", 1}});
   rig.managers[2]->request({{"C", 1}});
   std::atomic<int> deadlocks{0};
-  const auto chase = [&](std::size_t self, const char* want) {
+  const auto chase = [&](std::size_t self, const char* held, const char* want) {
     try {
-      rig.managers[self]->request({{want, 1}}, seconds(10));
+      rig.managers[self]->request({{want, 1}}, seconds(30));
       rig.managers[self]->release({{want, 1}});
+      rig.managers[self]->release({{held, 1}});
     } catch (const DeadlockError&) {
+      // Aborting releases nothing by itself — drop the held colour too so
+      // the ring unwinds and the remaining chasers finish cleanly.
       ++deadlocks;
+      rig.managers[self]->release({{held, 1}});
+    } catch (const Error& e) {
+      ADD_FAILURE() << "member " << self << " raised " << e.what();
     }
   };
-  std::thread t0(chase, 0, "B");
-  std::thread t1(chase, 1, "C");
-  std::thread t2(chase, 2, "A");
+  std::thread t0(chase, 0, "A", "B");
+  std::thread t1(chase, 1, "B", "C");
+  std::thread t2(chase, 2, "C", "A");
   t0.join();
   t1.join();
   t2.join();
@@ -332,6 +340,382 @@ TEST(Tokens, StatsAreMaintained) {
   const auto homeStats = rig.managers[home]->stats();
   EXPECT_GE(homeStats.grantsIssued, 1u);
   EXPECT_GE(homeStats.releasesServed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Credit caching under leases (DESIGN.md §14), on the virtual clock so lease
+// lifetimes cost milliseconds of wall time and expiry races are repeatable.
+// ---------------------------------------------------------------------------
+
+SimNetwork::Options simOpts(testkit::VirtualClock& clock) {
+  SimNetwork::Options opts;
+  opts.clock = &clock;
+  return opts;
+}
+
+/// Lease knobs: short leases, quiet deadlock prober (a borrower that holds
+/// tokens while waiting would otherwise trip edge-chasing probes).
+TokenConfig leaseCfg() {
+  TokenConfig cfg;
+  cfg.probeDelay = seconds(60);
+  cfg.probeInterval = seconds(60);
+  cfg.creditBatch = 3;
+  cfg.leaseDuration = milliseconds(400);
+  return cfg;
+}
+
+/// First colour (by enumeration) whose home is member `home` of `n`.
+TokenColor colorHomedAt(std::size_t home, std::size_t n) {
+  for (int i = 0;; ++i) {
+    TokenColor c = "col" + std::to_string(i);
+    if (TokenManager::homeOfColor(c, n) == home) return c;
+  }
+}
+
+std::string leaseTempDir(const std::string& tag) {
+  static std::atomic<int> counter{0};
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("dapple_tokens_" + tag + "_" +
+                     std::to_string(counter.fetch_add(1)));
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+/// N managers on the virtual clock.  Declaration order makes the clock
+/// outlive the network and dapplets.
+struct LeaseRig {
+  LeaseRig(std::size_t n, const TokenBag& seed, TokenConfig cfg = leaseCfg())
+      : net(91, simOpts(clock)) {
+    for (std::size_t i = 0; i < n; ++i) {
+      DappletConfig dc;
+      dc.clock = &clock;
+      dc.host = static_cast<std::uint32_t>(i + 1);
+      dapplets.push_back(
+          std::make_unique<Dapplet>(net, "L" + std::to_string(i), dc));
+      managers.push_back(
+          std::make_unique<TokenManager>(*dapplets.back(), cfg));
+    }
+    for (auto& m : managers) refs.push_back(m->ref());
+    for (std::size_t i = 0; i < n; ++i) {
+      TokenBag mine;
+      for (const auto& [color, count] : seed) {
+        if (TokenManager::homeOfColor(color, n) == i) mine[color] = count;
+      }
+      managers[i]->attach(refs, i, mine);
+    }
+  }
+
+  ~LeaseRig() {
+    managers.clear();
+    for (auto& d : dapplets) {
+      if (d) d->stop();
+    }
+  }
+
+  /// Abrupt death: the member's manager vanishes without returning its
+  /// loan — only lease expiry (or memberDown) can recover the credits.
+  void crashMember(std::size_t i) {
+    dapplets[i]->crash();
+    managers[i].reset();
+    dapplets[i].reset();
+  }
+
+  testkit::VirtualClock clock;
+  SimNetwork net;
+  std::vector<std::unique_ptr<Dapplet>> dapplets;
+  std::vector<std::unique_ptr<TokenManager>> managers;
+  std::vector<InboxRef> refs;
+};
+
+TEST(TokenLeases, CachedCreditServesLocalGrants) {
+  const TokenColor color = colorHomedAt(0, 2);
+  LeaseRig rig(2, {{color, 6}});
+  auto& borrower = *rig.managers[1];
+
+  borrower.request({{color, 1}});  // remote: grant + a borrowed batch
+  EXPECT_EQ(borrower.stats().cacheMisses, 1u);
+  EXPECT_EQ(borrower.cachedCredits().at(color), 3);
+
+  borrower.request({{color, 2}});  // sub-let from the cache, no round trip
+  EXPECT_EQ(borrower.stats().cacheHits, 1u);
+  EXPECT_EQ(borrower.holdsTokens().at(color), 3);
+  EXPECT_EQ(borrower.cachedCredits().at(color), 1);
+
+  borrower.release({{color, 3}});  // leased grants return to the cache
+  EXPECT_TRUE(borrower.holdsTokens().empty());
+  EXPECT_EQ(borrower.cachedCredits().at(color), 4);
+
+  // Home accounting: the whole loan (grant + batch) is on the books, and
+  // the colour's system total is untouched by any of it.
+  EXPECT_EQ(rig.managers[0]->lentCredits().at(color), 4);
+  EXPECT_EQ(rig.managers[0]->totalTokens().at(color), 6);
+}
+
+TEST(TokenLeases, RenewalExtendsLeaseWithoutAGrantGap) {
+  const TokenConfig cfg = leaseCfg();
+  const TokenColor color = colorHomedAt(0, 2);
+  LeaseRig rig(2, {{color, 6}}, cfg);
+  auto& borrower = *rig.managers[1];
+
+  borrower.request({{color, 2}});
+  const auto lentBefore = rig.managers[0]->lentCredits().at(color);
+
+  // Many lease lifetimes pass; the maintenance wheel renews in time, so
+  // the home never reclaims and the cached credit never lapses.
+  rig.clock.sleepFor(cfg.leaseDuration * 6);
+
+  const auto home = rig.managers[0]->stats();
+  EXPECT_EQ(home.leaseExpiries, 0u) << "renewal arrived late";
+  EXPECT_EQ(home.leasesReclaimed, 0u);
+  EXPECT_EQ(rig.managers[0]->lentCredits().at(color), lentBefore);
+  EXPECT_GE(borrower.stats().leaseRenewals, 2u);
+
+  borrower.request({{color, 1}});  // still served locally: no grant gap
+  EXPECT_EQ(borrower.stats().cacheHits, 1u);
+}
+
+TEST(TokenLeases, ExpiryReclaimsACrashedBorrowersCredit) {
+  const TokenConfig cfg = leaseCfg();
+  const TokenColor color = colorHomedAt(0, 2);
+  LeaseRig rig(2, {{color, 4}}, cfg);
+
+  rig.managers[1]->request({{color, 2}});
+  EXPECT_EQ(rig.managers[0]->lentCredits().at(color), 4);  // 2 held + batch
+
+  rig.crashMember(1);
+  rig.clock.sleepFor(cfg.leaseDuration * 4);  // renewals stopped with it
+
+  const auto home = rig.managers[0]->stats();
+  EXPECT_GE(home.leaseExpiries, 1u);
+  EXPECT_GE(home.leasesReclaimed, 1u);
+  EXPECT_TRUE(rig.managers[0]->lentCredits().empty());
+
+  // Every token is back in the pool: the full colour is grantable again.
+  rig.managers[0]->request({{color, 4}}, seconds(10));
+  EXPECT_EQ(rig.managers[0]->holdsTokens().at(color), 4);
+}
+
+TEST(TokenLeases, ExpiryAndMemberDownReclaimExactlyOnce) {
+  const TokenConfig cfg = leaseCfg();
+  const TokenColor color = colorHomedAt(0, 3);
+  LeaseRig rig(3, {{color, 9}}, cfg);
+
+  rig.managers[1]->request({{color, 2}});  // loan of 5 (2 held + batch 3)
+  rig.managers[2]->request({{color, 1}});  // loan of 4
+
+  // Order one: failure detector first, expiry sweep later.
+  rig.crashMember(1);
+  rig.managers[0]->memberDown(1);
+  EXPECT_EQ(rig.managers[0]->stats().leasesReclaimed, 1u);
+  rig.clock.sleepFor(cfg.leaseDuration * 4);
+  // The sweep found no record left for member 1, and member 2 kept
+  // renewing: still exactly one reclaim.
+  EXPECT_EQ(rig.managers[0]->stats().leasesReclaimed, 1u);
+
+  // Order two: expiry first, a (late) MEMBER_DOWN verdict after.
+  rig.crashMember(2);
+  rig.clock.sleepFor(cfg.leaseDuration * 4);
+  EXPECT_EQ(rig.managers[0]->stats().leasesReclaimed, 2u);
+  EXPECT_GE(rig.managers[0]->stats().leaseExpiries, 1u);
+  rig.managers[0]->memberDown(2);
+  EXPECT_EQ(rig.managers[0]->stats().leasesReclaimed, 2u)
+      << "MEMBER_DOWN after expiry double-freed the loan";
+
+  // Exactly-once accounting: the pool holds exactly the seeded 9 — all
+  // nine grantable, a tenth is not.
+  EXPECT_TRUE(rig.managers[0]->lentCredits().empty());
+  rig.managers[0]->request({{color, 9}}, seconds(10));
+  EXPECT_THROW(rig.managers[0]->request({{color, 1}}, milliseconds(500)),
+               TimeoutError);
+}
+
+TEST(TokenLeases, RestartReLeasesJournaledHoldingsUnderIncarnationGuard) {
+  const std::uint64_t seed = 923;
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOpts(clock));
+  const std::string dir = leaseTempDir("relet");
+  const TokenColor color = colorHomedAt(0, 2);  // homed at the survivor
+
+  DappletConfig ac;
+  ac.clock = &clock;
+  ac.host = 1;
+  Dapplet a(net, "a", ac);
+  TokenManager ma(a, leaseCfg());
+
+  DappletConfig bc;
+  bc.clock = &clock;
+  bc.host = 2;
+  auto b = std::make_unique<Dapplet>(net, "b", bc);
+  auto bds = std::make_unique<recovery::DurableState>(*b, dir);
+  TokenConfig bCfg = leaseCfg();
+  bCfg.journal = &bds->store();
+  bCfg.incarnation = bds->incarnation();
+  auto mb = std::make_unique<TokenManager>(*b, bCfg);
+
+  ma.attach({ma.ref(), mb->ref()}, 0, {{color, 6}});
+  mb->attach({ma.ref(), mb->ref()}, 1, {});
+
+  mb->request({{color, 2}});  // loan of 5: 2 held + batch 3 cached
+  EXPECT_EQ(ma.lentCredits().at(color), 5);
+
+  b->crash();
+  mb.reset();
+  bds.reset();
+  b.reset();
+
+  DappletConfig b2c;
+  b2c.clock = &clock;
+  b2c.host = 3;
+  auto b2 = std::make_unique<Dapplet>(net, "b", b2c);
+  auto bds2 = std::make_unique<recovery::DurableState>(*b2, dir);
+  EXPECT_TRUE(bds2->info().recovered);
+  EXPECT_EQ(bds2->incarnation(), 2u);
+  TokenConfig b2Cfg = leaseCfg();
+  b2Cfg.journal = &bds2->store();
+  b2Cfg.incarnation = bds2->incarnation();
+  auto mb2 = std::make_unique<TokenManager>(*b2, b2Cfg);
+  mb2->attach({ma.ref(), mb2->ref()}, 1, {});
+  // The journaled holdings survive the reboot immediately (provisionally,
+  // pending the re-lease).
+  EXPECT_EQ(mb2->holdsTokens().at(color), 2);
+  ma.rewire(1, mb2->ref());
+
+  clock.sleepFor(milliseconds(300));  // the re-lease round trip completes
+
+  // The home retired the first incarnation's loan before covering the
+  // claim: one loan on the books, not two — a recovered borrower cannot
+  // double-spend.
+  EXPECT_EQ(ma.lentCredits().at(color), 5);
+  EXPECT_EQ(mb2->holdsTokens().at(color), 2);
+  EXPECT_EQ(mb2->cachedCredits().at(color), 3);
+  EXPECT_EQ(ma.totalTokens().at(color), 6);
+
+  // Wind the loan down: everything must land back in the home pool.
+  mb2->release({{color, 2}});
+  mb2->returnCachedCredits();
+  clock.sleepFor(milliseconds(300));
+  EXPECT_TRUE(ma.lentCredits().empty());
+  ma.request({{color, 6}}, seconds(10));
+  EXPECT_THROW(ma.request({{color, 1}}, milliseconds(500)), TimeoutError);
+
+  mb2.reset();
+  bds2.reset();
+  b2->stop();
+  a.stop();
+}
+
+TEST(TokenLeases, ConfigNormalizedClampsNonsense) {
+  TokenConfig cfg;
+  cfg.probeDelay = milliseconds(0);
+  cfg.probeInterval = milliseconds(-5);
+  cfg.creditBatch = -3;
+  cfg.leaseDuration = milliseconds(0);
+  cfg.maintenanceInterval = milliseconds(-1);
+  cfg.incarnation = 0;
+  std::vector<std::string> notes;
+  const TokenConfig n = cfg.normalized(&notes);
+  EXPECT_GT(n.probeDelay, Duration::zero());
+  EXPECT_GT(n.probeInterval, Duration::zero());
+  EXPECT_EQ(n.creditBatch, 0);  // nonsense batch falls back to no caching
+  EXPECT_GT(n.leaseDuration, Duration::zero());
+  EXPECT_GT(n.maintenanceInterval, Duration::zero());
+  EXPECT_EQ(n.incarnation, 1u);
+  EXPECT_FALSE(notes.empty());
+
+  // A sane config normalizes silently (the derived maintenance interval is
+  // not a clamp).
+  std::vector<std::string> clean;
+  leaseCfg().normalized(&clean);
+  EXPECT_TRUE(clean.empty());
+}
+
+TEST(TokenLeases, WedgedLeaseKnobsStillGrantAfterClamping) {
+  // Zero lease duration + caching on used to arm a zero-period renewal
+  // wheel; the clamp must leave a functioning (if short-leased) manager.
+  TokenConfig cfg = leaseCfg();
+  cfg.leaseDuration = Duration::zero();
+  cfg.maintenanceInterval = milliseconds(-7);
+  const TokenColor color = colorHomedAt(0, 2);
+  LeaseRig rig(2, {{color, 3}}, cfg);
+  rig.managers[1]->request({{color, 1}});
+  EXPECT_EQ(rig.managers[1]->holdsTokens().at(color), 1);
+  rig.managers[1]->release({{color, 1}});
+  EXPECT_EQ(rig.managers[0]->totalTokens().at(color), 3);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded directory with lease-cached lookups (DESIGN.md §14.4)
+// ---------------------------------------------------------------------------
+
+TEST(TokenLeases, ShardedDirectoryRoutesLooksUpAndExpiresCacheByLease) {
+  testkit::VirtualClock clock;
+  SimNetwork net(73, simOpts(clock));
+  DappletConfig sc;
+  sc.clock = &clock;
+  sc.host = 1;
+  Dapplet serverD(net, "registry", sc);
+  DappletConfig cc;
+  cc.clock = &clock;
+  cc.host = 2;
+  Dapplet clientD(net, "reader", cc);
+
+  DirectoryConfig dirCfg;
+  dirCfg.shards = 4;
+  DirectoryServer server(serverD, dirCfg);
+  EXPECT_EQ(server.shardCount(), 4u);
+  // Key-range routing: first byte scaled over the shard count.
+  EXPECT_EQ(DirectoryServer::shardOf("0numeric", 4), 0u);
+  EXPECT_EQ(DirectoryServer::shardOf("alpha", 4), 1u);
+  EXPECT_EQ(DirectoryServer::shardOf("\xE0high", 4), 3u);
+
+  DirectoryClient registrar(serverD, server.refs(), dirCfg);
+  DirectoryClient reader(clientD, server.refs(), dirCfg);
+  const auto hits = [&] {
+    return clientD.metricsRegistry().counter("directory.cache_hits").value();
+  };
+  const auto misses = [&] {
+    return clientD.metricsRegistry()
+        .counter("directory.cache_misses")
+        .value();
+  };
+
+  // TTLs are minutes, not milliseconds: the test driver is a clock *guest*,
+  // so virtual time may gallop through idle 5ms transport ticks while the
+  // driver is between calls.  Minutes-scale leases make that drift
+  // harmless; expiry is still exercised via an explicit sleepFor below.
+  const InboxRef refA{NodeAddress{42, 1}, 0, "a"};
+  const InboxRef refB{NodeAddress{42, 2}, 0, "b"};
+  const InboxRef refN{NodeAddress{42, 3}, 0, "n"};
+  registrar.registerName("alpha", refA, seconds(120));
+  registrar.registerName("0numeric", refN, seconds(3600));
+
+  // Miss, then hit: the second lookup is served from the lease cache.
+  EXPECT_EQ(reader.lookup("alpha"), refA);
+  EXPECT_EQ(misses(), 1u);
+  EXPECT_EQ(reader.lookup("alpha"), refA);
+  EXPECT_EQ(hits(), 1u);
+  EXPECT_EQ(reader.lookup("0numeric"), refN);  // a different shard serves it
+  EXPECT_EQ(misses(), 2u);
+
+  // The full namespace spans shards; a nonempty prefix is one shard's.
+  EXPECT_EQ(reader.list("").size(), 2u);
+  EXPECT_EQ(reader.list("al").size(), 1u);
+
+  // Replace the registration: the reader's cache is NOT broadcast-
+  // invalidated — it keeps the old ref until the lease runs out...
+  registrar.registerName("alpha", refB, seconds(3600));
+  EXPECT_EQ(reader.lookup("alpha"), refA);
+  EXPECT_EQ(hits(), 2u);
+
+  // ...and expiry is the invalidation: past the lease, the next lookup
+  // goes remote and sees the new ref.
+  clock.sleepFor(seconds(121));
+  EXPECT_EQ(reader.lookup("alpha"), refB);
+  EXPECT_EQ(misses(), 3u);
+
+  serverD.stop();
+  clientD.stop();
 }
 
 }  // namespace
