@@ -13,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "dapple/serial/wire.hpp"
+
 namespace dapple::benchutil {
 
 /// True when `--quick` appears in argv.  Hand-rolled benches use this to
@@ -22,6 +24,20 @@ inline bool quickMode(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") return true;
   }
   return false;
+}
+
+/// `--codec text|binary` (default text, matching DappletConfig).  Benches
+/// on the data path thread this into their rig configs so the same binary
+/// captures a text baseline and a binary candidate; runBenchmarks() strips
+/// the flag before gbench sees it.
+inline WireCodec codecFlag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--codec" &&
+        std::string(argv[i + 1]) == "binary") {
+      return WireCodec::kBinary;
+    }
+  }
+  return WireCodec::kText;
 }
 
 /// Google-benchmark front door.  Rewrites argv so that:
@@ -38,6 +54,10 @@ inline int runBenchmarks(const char* shortName, int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--quick") {
       args.emplace_back("--benchmark_min_time=0.01");
+      continue;
+    }
+    if (arg == "--codec") {  // consumed by codecFlag(); skip flag + value
+      if (i + 1 < argc) ++i;
       continue;
     }
     if (arg.rfind("--benchmark_out=", 0) == 0) haveOut = true;

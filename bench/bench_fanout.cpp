@@ -21,6 +21,15 @@ using namespace dapple;
 
 namespace {
 
+// Data-path wire codec for every rig (--codec binary flips it; see E14).
+WireCodec gCodec = WireCodec::kText;
+
+DappletConfig codecCfg() {
+  DappletConfig cfg;
+  cfg.wireCodec = gCodec;
+  return cfg;
+}
+
 /// Figure 3, literally.
 void runFigure3() {
   SimNetwork net(1);
@@ -58,11 +67,11 @@ void runFigure3() {
 
 struct FanoutRig {
   explicit FanoutRig(int fanout) : net(2) {
-    sender = std::make_unique<Dapplet>(net, "sender");
+    sender = std::make_unique<Dapplet>(net, "sender", codecCfg());
     out = &sender->createOutbox();
     for (int i = 0; i < fanout; ++i) {
       receivers.push_back(
-          std::make_unique<Dapplet>(net, "r" + std::to_string(i)));
+          std::make_unique<Dapplet>(net, "r" + std::to_string(i), codecCfg()));
       Inbox& in = receivers.back()->createInbox("in");
       inboxes.push_back(&in);
       out->add(in.ref());
@@ -105,12 +114,13 @@ void BM_ManyToOneInbox(benchmark::State& state) {
   // The dual direction: K outboxes bound to ONE inbox.
   const int senders = static_cast<int>(state.range(0));
   SimNetwork net(3);
-  Dapplet receiver(net, "rx");
+  Dapplet receiver(net, "rx", codecCfg());
   Inbox& in = receiver.createInbox("shared");
   std::vector<std::unique_ptr<Dapplet>> txs;
   std::vector<Outbox*> outs;
   for (int i = 0; i < senders; ++i) {
-    txs.push_back(std::make_unique<Dapplet>(net, "tx" + std::to_string(i)));
+    txs.push_back(
+        std::make_unique<Dapplet>(net, "tx" + std::to_string(i), codecCfg()));
     Outbox& out = txs.back()->createOutbox();
     out.add(in.ref());
     outs.push_back(&out);
@@ -131,7 +141,9 @@ BENCHMARK(BM_ManyToOneInbox)->Arg(1)->Arg(4)->Arg(16)->Arg(48)
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("=== F3: outbox/inbox binding (paper Figure 3) ===\n");
+  gCodec = dapple::benchutil::codecFlag(argc, argv);
+  std::printf("=== F3: outbox/inbox binding (paper Figure 3, codec=%s) ===\n",
+              wireCodecName(gCodec));
   runFigure3();
   const int rc = dapple::benchutil::runBenchmarks("fanout", argc, argv);
   if (rc != 0) return rc;

@@ -29,6 +29,10 @@ using namespace dapple;
 
 namespace {
 
+// Dapplet-level wire codec for the checkpoint/rejoin rigs (--codec binary).
+// The WAL table sweeps BOTH codecs in one run so the rows sit side by side.
+WireCodec gCodec = WireCodec::kText;
+
 double msBetween(TimePoint from, TimePoint to) {
   return std::chrono::duration<double, std::milli>(to - from).count();
 }
@@ -49,13 +53,13 @@ struct WalRate {
   double mbPerSec = 0;
 };
 
-WalRate walThroughput(bool fsync, std::size_t valueBytes, std::size_t n,
-                      const std::string& tag) {
+WalRate walThroughput(bool fsync, WireCodec codec, std::size_t valueBytes,
+                      std::size_t n, const std::string& tag) {
   const std::string dir = scratchDir(tag);
   WalRate rate;
   {
-    recovery::WriteAheadLog wal(dir + "/w.wal",
-                                recovery::WriteAheadLog::Options(fsync));
+    recovery::WriteAheadLog wal(
+        dir + "/w.wal", recovery::WriteAheadLog::Options(fsync, codec));
     wal.replayAll();
     const Value value(std::string(valueBytes, 'x'));
     Stopwatch watch;
@@ -89,6 +93,7 @@ CkptCost checkpointCost(SimNetwork& net, std::uint32_t host, std::size_t keys,
               [&] {
                 DappletConfig cfg;
                 cfg.host = host;
+                cfg.wireCodec = gCodec;
                 return cfg;
               }());
     recovery::DurableState ds(d, dir);
@@ -194,6 +199,7 @@ DappletConfig wanCfg(testkit::VirtualClock& clock, std::uint32_t host) {
   cfg.reliable.maxRto = milliseconds(120);
   cfg.reliable.deliveryTimeout = seconds(10);
   cfg.host = host;
+  cfg.wireCodec = gCodec;
   return cfg;
 }
 
@@ -322,29 +328,40 @@ RejoinCost rejoinCost(std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const bool quick = dapple::benchutil::quickMode(argc, argv);
+  gCodec = dapple::benchutil::codecFlag(argc, argv);
   dapple::benchutil::BenchReport report("recovery");
 
-  std::printf("=== E11: crash-recovery cost (DESIGN.md §12) ===\n\n");
+  std::printf("=== E11: crash-recovery cost (DESIGN.md §12, codec=%s) ===\n\n",
+              wireCodecName(gCodec));
 
   // ---- WAL append throughput ---------------------------------------------
+  // Sweeps both codecs regardless of --codec so text and binary rows land in
+  // one report.  Text rows keep their historical names; binary rows add a
+  // /codec=binary suffix (bench_compare treats new rows as informational).
   const std::size_t appends = quick ? 200 : 2000;
   std::printf("WAL append throughput (%zu appends)\n", appends);
-  std::printf("%-10s %-10s | %12s %10s\n", "fsync", "value-B", "appends/s",
-              "MB/s");
-  std::printf("---------------------+-------------------------\n");
+  std::printf("%-10s %-8s %-10s | %12s %10s\n", "fsync", "codec", "value-B",
+              "appends/s", "MB/s");
+  std::printf("------------------------------+-------------------------\n");
   for (const bool fsync : {true, false}) {
-    for (const std::size_t valueBytes : {std::size_t{16}, std::size_t{256}}) {
-      const WalRate rate =
-          walThroughput(fsync, valueBytes, appends,
-                        std::string("wal_") + (fsync ? "on" : "off") + "_" +
-                            std::to_string(valueBytes));
-      std::printf("%-10s %-10zu | %12.0f %10.2f\n", fsync ? "on" : "off",
-                  valueBytes, rate.appendsPerSec, rate.mbPerSec);
-      report
-          .row(std::string("wal/fsync=") + (fsync ? "on" : "off") +
-               "/value_bytes=" + std::to_string(valueBytes))
-          .num("appends_per_s", rate.appendsPerSec)
-          .num("mb_per_s", rate.mbPerSec);
+    for (const WireCodec codec : {WireCodec::kText, WireCodec::kBinary}) {
+      for (const std::size_t valueBytes :
+           {std::size_t{16}, std::size_t{256}}) {
+        const WalRate rate = walThroughput(
+            fsync, codec, valueBytes, appends,
+            std::string("wal_") + (fsync ? "on" : "off") + "_" +
+                wireCodecName(codec) + "_" + std::to_string(valueBytes));
+        std::printf("%-10s %-8s %-10zu | %12.0f %10.2f\n",
+                    fsync ? "on" : "off", wireCodecName(codec), valueBytes,
+                    rate.appendsPerSec, rate.mbPerSec);
+        std::string rowName = std::string("wal/fsync=") +
+                              (fsync ? "on" : "off") +
+                              "/value_bytes=" + std::to_string(valueBytes);
+        if (codec == WireCodec::kBinary) rowName += "/codec=binary";
+        report.row(rowName)
+            .num("appends_per_s", rate.appendsPerSec)
+            .num("mb_per_s", rate.mbPerSec);
+      }
     }
   }
 

@@ -25,6 +25,9 @@ namespace {
 
 int kMessages = 400;  // shrunk under --quick
 
+// Frame-head wire codec for the reliable endpoints (--codec binary; E14).
+WireCodec gCodec = WireCodec::kText;
+
 struct RawResult {
   int delivered = 0;
   int reordered = 0;
@@ -74,6 +77,7 @@ ReliableResult runReliable(double loss, std::uint64_t seed) {
   cfg.tickInterval = milliseconds(2);
   cfg.rto = milliseconds(8);
   cfg.maxRto = milliseconds(100);
+  cfg.codec = gCodec;
   ReliableEndpoint tx(net.open(), cfg);
   ReliableEndpoint rx(net.open(), cfg);
   std::mutex mutex;
@@ -122,6 +126,7 @@ AckEconomy runAckEconomy(bool coalesce, std::uint64_t seed) {
   cfg.tickInterval = milliseconds(2);
   cfg.rto = milliseconds(8);
   cfg.maxRto = milliseconds(100);
+  cfg.codec = gCodec;
   cfg.ackEvery = coalesce ? 8 : 1;
   cfg.ackDelay = coalesce ? milliseconds(2) : milliseconds(0);
   cfg.ackPiggyback = coalesce;
@@ -163,8 +168,11 @@ AckEconomy runAckEconomy(bool coalesce, std::uint64_t seed) {
 int main(int argc, char** argv) {
   const bool quick = dapple::benchutil::quickMode(argc, argv);
   if (quick) kMessages = 100;
+  gCodec = dapple::benchutil::codecFlag(argc, argv);
   dapple::benchutil::BenchReport report("reliable");
-  std::printf("=== E1: ordering-layer overhead vs raw datagrams ===\n");
+  std::printf("=== E1: ordering-layer overhead vs raw datagrams (codec=%s) "
+              "===\n",
+              wireCodecName(gCodec));
   std::printf("%d messages, 0.2ms base delay + 0.4ms jitter per link.\n\n",
               kMessages);
   std::printf("%-7s | %-28s | %-36s\n", "", "raw UDP-like datagrams",

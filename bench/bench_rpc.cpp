@@ -21,11 +21,16 @@ using namespace dapple;
 
 namespace {
 
+// Data-path wire codec for every rig (--codec binary flips it; see E14).
+WireCodec gCodec = WireCodec::kText;
+
 struct RpcRig {
   explicit RpcRig(microseconds delay) : net(6) {
     net.setDefaultLink(LinkParams{delay, delay / 4, 0.0, 0.0});
-    serverD = std::make_unique<Dapplet>(net, "server");
-    clientD = std::make_unique<Dapplet>(net, "client");
+    DappletConfig cfg;
+    cfg.wireCodec = gCodec;
+    serverD = std::make_unique<Dapplet>(net, "server", cfg);
+    clientD = std::make_unique<Dapplet>(net, "client", cfg);
     server = std::make_unique<RpcServer>(*serverD);
     server->bind("echo", [](const Value& args) { return args; });
     server->bind("bump", [this](const Value&) {
@@ -100,16 +105,18 @@ void BM_NotifyFanout(benchmark::State& state) {
   std::vector<std::unique_ptr<Dapplet>> serverDs;
   std::vector<std::unique_ptr<RpcServer>> servers;
   std::atomic<std::int64_t> served{0};
+  DappletConfig cfg;
+  cfg.wireCodec = gCodec;
   for (std::size_t i = 0; i < width; ++i) {
     serverDs.push_back(
-        std::make_unique<Dapplet>(net, "server" + std::to_string(i)));
+        std::make_unique<Dapplet>(net, "server" + std::to_string(i), cfg));
     servers.push_back(std::make_unique<RpcServer>(*serverDs.back()));
     servers.back()->bind("bump", [&served](const Value&) {
       ++served;
       return Value();
     });
   }
-  Dapplet clientD(net, "client");
+  Dapplet clientD(net, "client", cfg);
   RpcClient client(clientD, servers[0]->ref());
   for (std::size_t i = 1; i < width; ++i) client.addServer(servers[i]->ref());
   ValueMap args;
@@ -159,7 +166,9 @@ BENCHMARK(BM_SyncCallPayloadSize)->Arg(64)->Arg(1024)->Arg(8192)->Arg(30000)
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::printf("=== E6: RPC over inboxes (paper §3.2) ===\n");
+  gCodec = dapple::benchutil::codecFlag(argc, argv);
+  std::printf("=== E6: RPC over inboxes (paper §3.2, codec=%s) ===\n",
+              wireCodecName(gCodec));
   std::printf("Sync call = request + correlated reply; async notify = "
               "fire-and-forget message.\nExpected shape: sync latency ~ "
               "2x one-way delay + fixed stack cost; notify\nthroughput "

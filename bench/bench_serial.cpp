@@ -1,0 +1,217 @@
+// Experiment E14 (DESIGN.md §15): wire-codec cost — text vs binary.
+//
+// google-benchmark, two levels:
+//
+//  * BM_Encode / BM_Decode / BM_RoundTrip — token-stream cost, the level
+//    the data path actually runs: reliable frame heads, session control
+//    messages, WAL records, and typed message fields are written and read
+//    token-by-token (no Value tree in between).  Three shapes: a small
+//    DATA-frame head, a medium control record, a list-heavy numeric batch.
+//    scripts/bench_serial_gate.py gates on BM_RoundTrip: binary must
+//    deliver >= 3x text throughput (geomean across shapes) and >= 25%
+//    smaller frames on every shape.
+//
+//  * BM_ValueRoundTrip — the same codecs under a generic Value-tree
+//    round-trip (DataMessage bodies, checkpoint images).  Ungated:
+//    tree construction dominates and is codec-independent, so the ratio
+//    here shows the codec's share of a full dynamic decode.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+#include <string>
+
+#include "dapple/serial/value.hpp"
+#include "dapple/serial/wire.hpp"
+
+using namespace dapple;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token-stream shapes.  Encoders write one frame; decoders consume it and
+// fold every field into a checksum (defeats dead-code elimination and
+// proves the round trip).
+// ---------------------------------------------------------------------------
+
+/// A reliable-layer DATA head: kind, 54-bit stream hash, epoch, seq, two
+/// piggybacked ack blocks.
+void encodeSmall(WireWriter& w) {
+  w.writeU64(0);                     // kind = DATA
+  w.writeU64(0x3779b97f4a7c15ull);   // streamId (FNV-style hash)
+  w.writeU64(7);                     // epoch
+  w.writeU64(482113);                // seq
+  w.beginList(2);                    // ack blocks (base, len)
+  w.writeU64(481900);
+  w.writeU64(113);
+  w.writeU64(9125);
+  w.writeU64(40);
+}
+
+std::uint64_t decodeSmall(WireReader& r) {
+  std::uint64_t sum = r.readU64() + r.readU64() + r.readU64() + r.readU64();
+  const std::size_t blocks = r.beginList();
+  for (std::size_t i = 0; i < 2 * blocks; ++i) sum += r.readU64();
+  return sum;
+}
+
+/// A session/checkpoint control record: kind string, Lamport timestamps and
+/// counters of mixed magnitude, two rate doubles, a flag, member ids.
+void encodeMedium(WireWriter& w) {
+  w.writeString("ckpt.marker");
+  w.writeU64(0x5deece66d123ull);  // lamport
+  w.writeU64(123456789);          // seq
+  w.writeU64(42);                 // epoch
+  w.writeU64(0x9e3779b97f4aull);  // session hash
+  w.writeI64(-987654);            // drift
+  w.writeU64(31337);              // appends
+  w.writeU64(7);                  // retries
+  w.writeU64(1722550000000ull);   // wall millis
+  w.writeU64(65536);              // window
+  w.writeU64(3);                  // round
+  w.writeF64(0.7312584);          // load
+  w.writeF64(15625.25);           // rate
+  w.writeBool(true);              // stable
+  w.beginList(4);                 // member ids
+  w.writeU64(0x1f2e3d4cull);
+  w.writeU64(0x2e3d4c5bull);
+  w.writeU64(0x3d4c5b6aull);
+  w.writeU64(0x4c5b6a79ull);
+}
+
+std::uint64_t decodeMedium(WireReader& r) {
+  std::uint64_t sum = r.readStringView().size();
+  sum += r.readU64() + r.readU64() + r.readU64() + r.readU64();
+  sum += static_cast<std::uint64_t>(r.readI64());
+  sum += r.readU64() + r.readU64() + r.readU64() + r.readU64() + r.readU64();
+  sum += static_cast<std::uint64_t>(r.readF64() + r.readF64());
+  sum += r.readBool() ? 1 : 0;
+  const std::size_t members = r.beginList();
+  for (std::size_t i = 0; i < members; ++i) sum += r.readU64();
+  return sum;
+}
+
+/// A numeric batch: 512 signed values spanning 2^15..2^63 (timestamps,
+/// hashes, deltas) — the shape where per-token cost dominates.
+void encodeListHeavy(WireWriter& w) {
+  w.beginList(512);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const auto v = static_cast<std::int64_t>(i * 0x9e3779b97f4a7c15ull);
+    w.writeI64(v >> ((i % 4) * 16));
+  }
+}
+
+std::uint64_t decodeListHeavy(WireReader& r) {
+  std::uint64_t sum = 0;
+  const std::size_t count = r.beginList();
+  for (std::size_t i = 0; i < count; ++i) {
+    sum += static_cast<std::uint64_t>(r.readI64());
+  }
+  return sum;
+}
+
+using EncodeFn = void (*)(WireWriter&);
+using DecodeFn = std::uint64_t (*)(WireReader&);
+
+void BM_Encode(benchmark::State& state, EncodeFn encode, DecodeFn /*decode*/,
+               WireCodec codec) {
+  std::string scratch;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    WireWriter w(codec, scratch);
+    encode(w);
+    bytes = w.str().size();
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.counters["bytes_per_msg"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Decode(benchmark::State& state, EncodeFn encode, DecodeFn decode,
+               WireCodec codec) {
+  WireWriter w(codec);
+  encode(w);
+  const std::string wire = std::move(w).str();
+  for (auto _ : state) {
+    WireReader r(wire);
+    benchmark::DoNotOptimize(decode(r));
+  }
+  state.counters["bytes_per_msg"] = static_cast<double>(wire.size());
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Encode + decode in one loop: the number the gate compares, matching what
+/// a frame actually costs end to end (sender serialize + receiver parse).
+void BM_RoundTrip(benchmark::State& state, EncodeFn encode, DecodeFn decode,
+                  WireCodec codec) {
+  std::string scratch;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    WireWriter w(codec, scratch);
+    encode(w);
+    bytes = w.str().size();
+    WireReader r(w.str());
+    benchmark::DoNotOptimize(decode(r));
+  }
+  state.counters["bytes_per_msg"] = static_cast<double>(bytes);
+  state.SetItemsProcessed(state.iterations());
+}
+
+#define SERIAL_BENCH(fn)                                                    \
+  BENCHMARK_CAPTURE(fn, small_text, encodeSmall, decodeSmall,               \
+                    WireCodec::kText);                                      \
+  BENCHMARK_CAPTURE(fn, small_binary, encodeSmall, decodeSmall,             \
+                    WireCodec::kBinary);                                    \
+  BENCHMARK_CAPTURE(fn, medium_text, encodeMedium, decodeMedium,            \
+                    WireCodec::kText);                                      \
+  BENCHMARK_CAPTURE(fn, medium_binary, encodeMedium, decodeMedium,          \
+                    WireCodec::kBinary);                                    \
+  BENCHMARK_CAPTURE(fn, listheavy_text, encodeListHeavy, decodeListHeavy,   \
+                    WireCodec::kText);                                      \
+  BENCHMARK_CAPTURE(fn, listheavy_binary, encodeListHeavy, decodeListHeavy, \
+                    WireCodec::kBinary)
+
+SERIAL_BENCH(BM_Encode);
+SERIAL_BENCH(BM_Decode);
+SERIAL_BENCH(BM_RoundTrip);
+
+// ---------------------------------------------------------------------------
+// Value-tree round trip (ungated — tree construction is codec-independent
+// and dominates; the gap here is the codec's share of a dynamic decode).
+// ---------------------------------------------------------------------------
+
+Value makeTree() {
+  ValueMap m;
+  m["kind"] = Value("calendar.update");
+  m["seq"] = Value(static_cast<std::int64_t>(123456789));
+  m["load"] = Value(0.7312584);
+  m["owner"] = Value("dapplet-17@host-3");
+  ValueList rows;
+  for (int i = 0; i < 32; ++i) {
+    rows.push_back(Value(static_cast<std::int64_t>(i * 1009)));
+  }
+  m["rows"] = Value(std::move(rows));
+  return Value(std::move(m));
+}
+
+void BM_ValueRoundTrip(benchmark::State& state, WireCodec codec) {
+  const Value v = makeTree();
+  std::string scratch;
+  for (auto _ : state) {
+    WireWriter w(codec, scratch);
+    v.encode(w);
+    Value out = Value::fromWire(w.str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["bytes_per_msg"] =
+      static_cast<double>(v.toWire(codec).size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_ValueRoundTrip, text, WireCodec::kText);
+BENCHMARK_CAPTURE(BM_ValueRoundTrip, binary, WireCodec::kBinary);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return dapple::benchutil::runBenchmarks("serial", argc, argv);
+}

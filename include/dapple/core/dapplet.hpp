@@ -39,6 +39,15 @@ struct DappletConfig {
   /// Ordering-layer parameters (retransmission, delivery timeout).
   ReliableConfig reliable{};
 
+  /// Wire codec for everything this dapplet *sends*: message envelopes,
+  /// session control frames, RPC bodies, and (folded into
+  /// `reliable.codec` by `normalized()`) the ordering layer's DATA/ACK
+  /// frames.  Incoming traffic is always auto-detected per frame from the
+  /// preamble byte, so a binary dapplet and a text dapplet interoperate in
+  /// one session.  Text is the default (cross-version compat, readable
+  /// captures); set `WireCodec::kBinary` for the fast path.
+  WireCodec wireCodec = WireCodec::kText;
+
   /// Failure-detector knobs (consumed by services/liveness): how often a
   /// LivenessMonitor on this dapplet sends heartbeats to watched peers, and
   /// how long a peer may stay silent before it is suspected crashed.
@@ -91,6 +100,9 @@ struct DappletConfig {
     DappletConfig out = *this;
     if (out.runtime.ownedThreads == 0) out.runtime.ownedThreads = 1;
     if (out.runtime.reactor != nullptr) out.reliable.externalTick = true;
+    // One knob governs the whole dapplet: the ordering layer inherits the
+    // dapplet-level codec choice.
+    out.reliable.codec = out.wireCodec;
     return out;
   }
 };

@@ -32,13 +32,13 @@ struct InboxRef {
            (localId != 0 ? ("#" + std::to_string(localId)) : name);
   }
 
-  void encode(TextWriter& w) const {
+  void encode(WireWriter& w) const {
     w.writeU64(node.packed());
     w.writeU64(localId);
     w.writeString(name);
   }
 
-  static InboxRef decode(TextReader& r) {
+  static InboxRef decode(WireReader& r) {
     InboxRef ref;
     ref.node = NodeAddress::fromPacked(r.readU64());
     ref.localId = static_cast<std::uint32_t>(r.readU64());

@@ -30,10 +30,10 @@ namespace dapple {
 
 namespace wiredetail {
 
-void encodeStrings(TextWriter& w, const std::vector<std::string>& v);
-std::vector<std::string> decodeStrings(TextReader& r);
-void encodeRefMap(TextWriter& w, const std::map<std::string, InboxRef>& m);
-std::map<std::string, InboxRef> decodeRefMap(TextReader& r);
+void encodeStrings(WireWriter& w, const std::vector<std::string>& v);
+std::vector<std::string> decodeStrings(WireReader& r);
+void encodeRefMap(WireWriter& w, const std::map<std::string, InboxRef>& m);
+std::map<std::string, InboxRef> decodeRefMap(WireReader& r);
 
 }  // namespace wiredetail
 
@@ -61,8 +61,8 @@ class InviteMsg : public MessageBase<InviteMsg> {
   InboxRef livenessRef;          ///< initiator's heartbeat inbox (may be
                                  ///< invalid when it runs no detector)
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Phase 1 reply.
@@ -77,8 +77,8 @@ class InviteReplyMsg : public MessageBase<InviteReplyMsg> {
   std::map<std::string, InboxRef> inboxRefs;  ///< created session inboxes
   InboxRef livenessRef;  ///< member's heartbeat inbox (may be invalid)
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Phase 2: bind outboxes to peer inboxes.  Also used mid-session to grow
@@ -90,8 +90,8 @@ class WireMsg : public MessageBase<WireMsg> {
   std::string sessionId;
   std::vector<Binding> bindings;
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Phase 2 reply.
@@ -104,8 +104,8 @@ class WireReplyMsg : public MessageBase<WireReplyMsg> {
   bool ok = false;
   std::string reason;
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Phase 3: run.
@@ -117,8 +117,8 @@ class StartMsg : public MessageBase<StartMsg> {
   std::vector<std::string> peers;  ///< all member names, initiator-ordered
   Value params;
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Member -> initiator: my role finished, with an app-defined result.
@@ -130,8 +130,8 @@ class DoneMsg : public MessageBase<DoneMsg> {
   std::string memberName;
   Value result;
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Initiator -> member: tear the session down and unlink.
@@ -142,8 +142,8 @@ class UnlinkMsg : public MessageBase<UnlinkMsg> {
   std::string sessionId;
   std::string reason;  ///< "" for normal termination
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Initiator -> surviving members: a member crash-stopped and has been
@@ -159,8 +159,8 @@ class MemberDownMsg : public MessageBase<MemberDownMsg> {
   std::uint64_t node = 0;   ///< NodeAddress::packed() of the dead dapplet
   std::string reason;       ///< detector verdict (liveness / stream failure)
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Restarted member -> initiator: crash-recovery REJOIN request
@@ -181,8 +181,8 @@ class RejoinMsg : public MessageBase<RejoinMsg> {
   std::map<std::string, InboxRef> inboxRefs;  ///< re-created session inboxes
   InboxRef livenessRef;  ///< member's heartbeat inbox (may be invalid)
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Initiator -> restarted member: REJOIN verdict.  On accept the initiator
@@ -198,8 +198,8 @@ class RejoinAckMsg : public MessageBase<RejoinAckMsg> {
   bool accepted = false;
   std::string reason;  ///< set when rejected
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Initiator -> surviving members: an evicted member rejoined at a new
@@ -215,8 +215,8 @@ class MemberUpMsg : public MessageBase<MemberUpMsg> {
   std::uint64_t node = 0;   ///< NodeAddress::packed() of the new process
   std::uint64_t incarnation = 0;
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 /// Mid-session shrink: drop specific outbox->inbox bindings.
@@ -227,8 +227,8 @@ class UnbindMsg : public MessageBase<UnbindMsg> {
   std::string sessionId;
   std::vector<Binding> bindings;
 
-  void encodeFields(TextWriter& w) const override;
-  void decodeFields(TextReader& r) override;
+  void encodeFields(WireWriter& w) const override;
+  void decodeFields(WireReader& r) override;
 };
 
 }  // namespace dapple

@@ -29,6 +29,7 @@
 #include "dapple/net/transport.hpp"
 #include "dapple/obs/metrics.hpp"
 #include "dapple/serial/payload.hpp"
+#include "dapple/serial/wire.hpp"
 #include "dapple/util/time.hpp"
 
 namespace dapple {
@@ -90,6 +91,11 @@ struct ReliableConfig {
   /// dapplets cost zero timer threads (DappletConfig::runtime.reactor sets
   /// this automatically).
   bool externalTick = false;
+  /// Wire codec for outgoing frames (DATA heads and ACKs).  Incoming frames
+  /// are always auto-detected from the per-frame preamble byte, so peers
+  /// configured differently interoperate; text stays the default for
+  /// cross-version compat and human-readable captures.
+  WireCodec codec = WireCodec::kText;
 
   /// Returns a copy with inconsistent knob combinations clamped to safe
   /// values.  Each adjustment appends one human-readable line to `notes`

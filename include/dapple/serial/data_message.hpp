@@ -43,11 +43,11 @@ class DataMessage : public MessageBase<DataMessage> {
   }
   bool has(const std::string& key) const { return body_.count(key) != 0; }
 
-  void encodeFields(TextWriter& w) const override {
+  void encodeFields(WireWriter& w) const override {
     w.writeString(kind_);
     Value(body_).encode(w);
   }
-  void decodeFields(TextReader& r) override {
+  void decodeFields(WireReader& r) override {
     kind_ = r.readString();
     body_ = Value::decode(r).asMap();
   }

@@ -13,8 +13,8 @@
 /// struct Hello : dapple::MessageBase<Hello> {
 ///   static constexpr std::string_view kTypeName = "example.Hello";
 ///   std::string who;
-///   void encodeFields(TextWriter& w) const override { w.writeString(who); }
-///   void decodeFields(TextReader& r) override { who = r.readString(); }
+///   void encodeFields(WireWriter& w) const override { w.writeString(who); }
+///   void decodeFields(WireReader& r) override { who = r.readString(); }
 /// };
 /// DAPPLE_REGISTER_MESSAGE(Hello);   // at namespace scope in one .cpp
 /// ```
@@ -38,10 +38,10 @@ class Message {
   virtual std::string_view typeName() const = 0;
 
   /// Serializes the fields (not the type name) to `w`.
-  virtual void encodeFields(TextWriter& w) const = 0;
+  virtual void encodeFields(WireWriter& w) const = 0;
 
   /// Reconstructs the fields from `r`; the object was default-constructed.
-  virtual void decodeFields(TextReader& r) = 0;
+  virtual void decodeFields(WireReader& r) = 0;
 
   /// Deep copy.  `MessageBase` provides this automatically.
   virtual std::unique_ptr<Message> clone() const = 0;
@@ -91,10 +91,18 @@ class MessageRegistry {
   Impl& impl() const;
 };
 
-/// Serializes `msg` (type name + fields) to a standalone wire string.
-std::string encodeMessage(const Message& msg);
+/// Serializes `msg` (type name + fields) to a standalone wire string under
+/// `codec` (text stays the default for cross-version compat).
+std::string encodeMessage(const Message& msg,
+                          WireCodec codec = WireCodec::kText);
 
-/// Reconstructs a message of its original type from `wire`.
+/// Scratch-buffer variant: encodes into `scratch` (recycling its capacity)
+/// and returns a view of the encoded bytes.
+std::string_view encodeMessageInto(const Message& msg, WireCodec codec,
+                                   std::string& scratch);
+
+/// Reconstructs a message of its original type from `wire`; the codec is
+/// auto-detected from the frame's first byte.
 std::unique_ptr<Message> decodeMessage(std::string_view wire);
 
 /// Downcast helper: returns the message as `T&` or throws

@@ -62,11 +62,12 @@ class Value {
   /// Map convenience: true when this is a map containing `key`.
   bool contains(const std::string& key) const;
 
-  void encode(TextWriter& w) const;
-  static Value decode(TextReader& r);
+  void encode(WireWriter& w) const;
+  static Value decode(WireReader& r);
 
-  /// Encodes to a standalone wire string / decodes a standalone wire string.
-  std::string toWire() const;
+  /// Encodes to a standalone wire string / decodes a standalone wire string
+  /// (codec auto-detected from the frame's first byte).
+  std::string toWire(WireCodec codec = WireCodec::kText) const;
   static Value fromWire(std::string_view wire);
 
   friend bool operator==(const Value& a, const Value& b) {

@@ -1,20 +1,52 @@
 #pragma once
 /// \file wire.hpp
-/// \brief Text wire format: typed tokens in a printable string.
+/// \brief Wire formats: one writer/reader pair, two codecs.
 ///
 /// The paper (§3.2 "Messages") serializes objects to *strings* before they
-/// cross the network.  We use a compact token stream that is fully printable
-/// except for raw string payloads, which are length-prefixed so no escaping
-/// is ever needed:
+/// cross the network.  The stack supports two concrete encodings behind the
+/// same `WireWriter`/`WireReader` surface, selected by `WireCodec`:
+///
+/// **Text** — the debug/compat codec (the original wire format, and still
+/// the default).  Typed tokens in a printable string, fully printable except
+/// raw string payloads, which are length-prefixed so no escaping is needed:
 ///
 ///   i-42        signed integer            u17         unsigned integer
 ///   d1.5e3      double (shortest exact)   b0 / b1     boolean
 ///   s5:hello    string (length:bytes)     l3 e e e    list of 3 elements
-///   n           null
+///   n           null                      m2 k v k v  map of 2 entries
 ///
 /// Tokens are separated by a single space.  The format round-trips exactly
 /// (doubles via shortest-representation `std::to_chars`).
+///
+/// **Binary** — the fast codec benches and new deployments run.  A frame
+/// starts with the preamble byte 0xDB (no text frame can: text tokens start
+/// with a lowercase ASCII tag letter), followed by tagged tokens:
+///
+///   0xE0                    null
+///   0xE1 / 0xE2             bool false / true
+///   0xE3 <zigzag varint>    signed integer (LEB128 of zigzag(v))
+///   0xE4 <varint>           unsigned integer (LEB128)
+///   0xE5 <8 bytes LE>       double (IEEE-754 bits, little-endian)
+///   0xE6 <varint len> bytes string (length-prefixed, raw)
+///   0xE7 <varint count>     list header, `count` elements follow
+///   0xE8 <varint count>     map header, `count` (string key, value) pairs
+///
+/// There are no separators.  Varints are LEB128: 7 value bits per byte,
+/// high bit = continuation, at most 10 bytes for 64-bit values.
+///
+/// The preamble doubles as per-frame negotiation: a reader auto-detects the
+/// codec of each frame from its first byte, so peers configured differently
+/// interoperate without a handshake, and nested frames (a message body
+/// inside an envelope string token, a Value inside a WAL record) may use a
+/// different codec than their carrier.
+///
+/// Layout note: the binary token paths are defined inline below — they are
+/// a handful of byte pushes, and the data path (reliable frame heads,
+/// session messages, WAL records, field decode) runs one call per token.
+/// The text paths stay out-of-line in wire.cpp; text is the compat codec
+/// and is not on the fast path.
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -23,69 +55,362 @@
 
 namespace dapple {
 
-/// Serializes typed tokens into a string.
-class TextWriter {
- public:
-  void writeI64(std::int64_t v);
-  void writeU64(std::uint64_t v);
-  void writeF64(double v);
-  void writeBool(bool v);
-  void writeString(std::string_view v);
-  /// Writes only the `s<len>:` header of a string token whose `len` payload
-  /// bytes the caller appends out-of-band (e.g. gathered from a shared
-  /// `Payload` at transmit time).  The text returned by str() is a valid
-  /// token stream only once exactly `len` raw bytes follow it.
-  void beginString(std::size_t len);
-  void writeNull();
-  /// Starts a list of exactly `count` elements; the caller then writes
-  /// `count` values (which may themselves be lists).
-  void beginList(std::size_t count);
-  /// Starts a map of exactly `count` entries; the caller then writes `count`
-  /// (string key, value) pairs.
-  void beginMap(std::size_t count);
-
-  /// The accumulated wire text.
-  const std::string& str() const& { return out_; }
-  std::string str() && { return std::move(out_); }
-
- private:
-  void sep();
-  std::string out_;
+/// Which concrete encoding a writer emits.  Readers never need this: every
+/// frame self-identifies through the preamble byte.
+enum class WireCodec : std::uint8_t {
+  kText = 0,    ///< printable tokens — debug/compat, the default
+  kBinary = 1,  ///< tagged varint/raw tokens — the fast path
 };
 
-/// Parses typed tokens from a wire string.  Every read checks the token tag
-/// and throws SerializationError on mismatch or truncation.
-class TextReader {
- public:
-  explicit TextReader(std::string_view wire) : wire_(wire) {}
+/// First byte of every binary frame.  Text frames always begin with a
+/// lowercase ASCII tag letter, so this byte unambiguously marks binary.
+inline constexpr char kBinaryPreamble = static_cast<char>(0xDB);
 
-  std::int64_t readI64();
-  std::uint64_t readU64();
-  double readF64();
-  bool readBool();
-  std::string readString();
+/// "text" / "binary" — for config notes, bench rows, and fuzz summaries.
+const char* wireCodecName(WireCodec codec);
+
+namespace wire_detail {
+
+// Binary token tags.  Chosen well outside printable ASCII so a hex dump of
+// a binary frame reads unambiguously; the values are wire ABI (wire_dump.py
+// mirrors them).
+inline constexpr unsigned char kBinNull = 0xE0;
+inline constexpr unsigned char kBinFalse = 0xE1;
+inline constexpr unsigned char kBinTrue = 0xE2;
+inline constexpr unsigned char kBinI64 = 0xE3;
+inline constexpr unsigned char kBinU64 = 0xE4;
+inline constexpr unsigned char kBinF64 = 0xE5;
+inline constexpr unsigned char kBinStr = 0xE6;
+inline constexpr unsigned char kBinList = 0xE7;
+inline constexpr unsigned char kBinMap = 0xE8;
+
+constexpr std::uint64_t zigzagEncode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+constexpr std::int64_t zigzagDecode(std::uint64_t u) {
+  return static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+}  // namespace wire_detail
+
+/// Serializes typed tokens into a string under the chosen codec.
+///
+/// Two buffer modes: the default constructor owns its output string; the
+/// scratch constructor borrows a caller-owned growable buffer (clearing it
+/// first) so hot paths — `Outbox` fan-out, `ReliableEndpoint` frame
+/// assembly, the WAL append loop — can recycle one allocation per
+/// thread/strand instead of churning a fresh `std::string` per message.
+/// The borrowed buffer must outlive the writer; `str()` returns a reference
+/// into it.
+class WireWriter {
+ public:
+  explicit WireWriter(WireCodec codec = WireCodec::kText)
+      : out_(&owned_), codec_(codec) {
+    if (codec_ == WireCodec::kBinary) out_->push_back(kBinaryPreamble);
+  }
+
+  /// Borrow `scratch` as the output buffer (its capacity is recycled; its
+  /// previous contents are cleared).
+  WireWriter(WireCodec codec, std::string& scratch)
+      : out_(&scratch), codec_(codec) {
+    out_->clear();
+    if (codec_ == WireCodec::kBinary) out_->push_back(kBinaryPreamble);
+  }
+
+  WireWriter(const WireWriter&) = delete;
+  WireWriter& operator=(const WireWriter&) = delete;
+
+  void writeI64(std::int64_t v) {
+    if (codec_ == WireCodec::kBinary) {
+      putTagVarint(wire_detail::kBinI64, wire_detail::zigzagEncode(v));
+    } else {
+      writeI64Text(v);
+    }
+  }
+
+  void writeU64(std::uint64_t v) {
+    if (codec_ == WireCodec::kBinary) {
+      putTagVarint(wire_detail::kBinU64, v);
+    } else {
+      writeU64Text(v);
+    }
+  }
+
+  void writeF64(double v) {
+    if (codec_ == WireCodec::kBinary) {
+      char buf[9];
+      buf[0] = static_cast<char>(wire_detail::kBinF64);
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+      for (int i = 0; i < 8; ++i) {
+        buf[1 + i] = static_cast<char>((bits >> (8 * i)) & 0xff);
+      }
+      out_->append(buf, 9);
+    } else {
+      writeF64Text(v);
+    }
+  }
+
+  void writeBool(bool v) {
+    if (codec_ == WireCodec::kBinary) {
+      out_->push_back(
+          static_cast<char>(v ? wire_detail::kBinTrue : wire_detail::kBinFalse));
+    } else {
+      writeBoolText(v);
+    }
+  }
+
+  void writeString(std::string_view v) {
+    beginString(v.size());
+    out_->append(v);
+  }
+
+  /// Writes only the string-token header (text: `s<len>:`, binary:
+  /// 0xE6 + varint) whose `len` payload bytes the caller appends
+  /// out-of-band (e.g. gathered from a shared `Payload` at transmit time).
+  /// The bytes returned by str() are a valid token stream only once exactly
+  /// `len` raw bytes follow them.
+  void beginString(std::size_t len) {
+    if (codec_ == WireCodec::kBinary) {
+      putTagVarint(wire_detail::kBinStr, len);
+    } else {
+      beginStringText(len);
+    }
+  }
+
+  void writeNull() {
+    if (codec_ == WireCodec::kBinary) {
+      out_->push_back(static_cast<char>(wire_detail::kBinNull));
+    } else {
+      writeNullText();
+    }
+  }
+
+  /// Starts a list of exactly `count` elements; the caller then writes
+  /// `count` values (which may themselves be lists).
+  void beginList(std::size_t count) {
+    if (codec_ == WireCodec::kBinary) {
+      putTagVarint(wire_detail::kBinList, count);
+    } else {
+      beginListText(count);
+    }
+  }
+
+  /// Starts a map of exactly `count` entries; the caller then writes `count`
+  /// (string key, value) pairs.
+  void beginMap(std::size_t count) {
+    if (codec_ == WireCodec::kBinary) {
+      putTagVarint(wire_detail::kBinMap, count);
+    } else {
+      beginMapText(count);
+    }
+  }
+
+  WireCodec codec() const { return codec_; }
+
+  /// The accumulated wire bytes (owned or borrowed buffer).
+  const std::string& str() const& { return *out_; }
+  /// Moves the bytes out (leaves a borrowed scratch buffer empty but valid).
+  std::string str() && { return std::move(*out_); }
+
+ private:
+  /// Tag byte + LEB128 varint, staged in a stack buffer and appended in one
+  /// call — one capacity check instead of one per byte.
+  void putTagVarint(unsigned char tag, std::uint64_t v) {
+    char buf[11];
+    buf[0] = static_cast<char>(tag);
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      buf[n++] = static_cast<char>((v & 0x7f) | 0x80);
+      v >>= 7;
+    }
+    buf[n++] = static_cast<char>(v);
+    out_->append(buf, n);
+  }
+
+  // Text-codec slow paths (wire.cpp).
+  void writeI64Text(std::int64_t v);
+  void writeU64Text(std::uint64_t v);
+  void writeF64Text(double v);
+  void writeBoolText(bool v);
+  void beginStringText(std::size_t len);
+  void writeNullText();
+  void beginListText(std::size_t count);
+  void beginMapText(std::size_t count);
+  void sep();
+
+  std::string owned_;
+  std::string* out_;
+  WireCodec codec_;
+};
+
+/// Parses typed tokens from a wire buffer.  The codec is auto-detected from
+/// the first byte (0xDB -> binary, anything else -> text).  Every read
+/// checks the token tag and throws SerializationError — carrying the byte
+/// offset — on mismatch or truncation; no malformed input is ever UB.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view wire) : wire_(wire) {
+    if (!wire_.empty() &&
+        static_cast<unsigned char>(wire_[0]) ==
+            static_cast<unsigned char>(kBinaryPreamble)) {
+      codec_ = WireCodec::kBinary;
+      pos_ = 1;
+    }
+  }
+
+  std::int64_t readI64() {
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinI64) fail("expected i64 token");
+      return wire_detail::zigzagDecode(takeVarint());
+    }
+    return readI64Text();
+  }
+
+  std::uint64_t readU64() {
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinU64) fail("expected u64 token");
+      return takeVarint();
+    }
+    return readU64Text();
+  }
+
+  double readF64() {
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinF64) fail("expected f64 token");
+      if (wire_.size() - pos_ < 8) fail("truncated f64");
+      std::uint64_t bits = 0;
+      for (int i = 0; i < 8; ++i) {
+        bits |= static_cast<std::uint64_t>(
+                    static_cast<unsigned char>(wire_[pos_ + i]))
+                << (8 * i);
+      }
+      pos_ += 8;
+      return std::bit_cast<double>(bits);
+    }
+    return readF64Text();
+  }
+
+  bool readBool() {
+    if (codec_ == WireCodec::kBinary) {
+      const unsigned char tag = takeByte();
+      if (tag == wire_detail::kBinFalse) return false;
+      if (tag == wire_detail::kBinTrue) return true;
+      fail("expected bool token");
+    }
+    return readBoolText();
+  }
+
+  std::string readString() { return std::string(readStringView()); }
+
   /// Zero-copy readString: the returned view aliases the wire buffer this
   /// reader was constructed over and is valid only while that buffer lives.
   /// Use for header fields and payloads that are fully consumed before the
   /// buffer is released (envelope decode, frame parse).
-  std::string_view readStringView();
-  void readNull();
-  /// Reads a list header and returns the element count.
-  std::size_t beginList();
-  /// Reads a map header and returns the entry count.
-  std::size_t beginMap();
+  std::string_view readStringView() {
+    std::size_t len = 0;
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinStr) fail("expected string token");
+      len = static_cast<std::size_t>(takeVarint());
+    } else {
+      len = readStringHeaderText();
+    }
+    if (wire_.size() - pos_ < len) fail("truncated string payload");
+    std::string_view out = wire_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
 
-  /// Tag character of the next token without consuming it; '\0' at end.
+  void readNull() {
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinNull) fail("expected null token");
+      return;
+    }
+    readNullText();
+  }
+
+  /// Reads a list header and returns the element count.
+  std::size_t beginList() {
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinList) fail("expected list token");
+      return static_cast<std::size_t>(takeVarint());
+    }
+    return beginListText();
+  }
+
+  /// Reads a map header and returns the entry count.
+  std::size_t beginMap() {
+    if (codec_ == WireCodec::kBinary) {
+      if (takeByte() != wire_detail::kBinMap) fail("expected map token");
+      return static_cast<std::size_t>(takeVarint());
+    }
+    return beginMapText();
+  }
+
+  /// Canonical tag character of the next token without consuming it —
+  /// 'i', 'u', 'd', 'b', 's', 'n', 'l', 'm' under EITHER codec (binary tag
+  /// bytes map back to their text tag letters, so dispatch code is
+  /// codec-independent); '\0' at end; '?' for an unrecognized binary tag.
   char peek() const;
+
+  /// The codec this buffer was detected as.
+  WireCodec codec() const { return codec_; }
 
   /// True when all input has been consumed.
   bool atEnd() const { return pos_ >= wire_.size(); }
 
+  /// Current byte offset into the wire buffer — for callers layering their
+  /// own errors on top (they should carry the offset too).
+  std::size_t offset() const { return pos_; }
+
  private:
-  [[noreturn]] void fail(const std::string& what) const;
+  [[noreturn]] void fail(const char* what) const;
+
+  unsigned char takeByte() {
+    if (pos_ >= wire_.size()) fail("unexpected end of input");
+    return static_cast<unsigned char>(wire_[pos_++]);
+  }
+
+  std::uint64_t takeVarint() {
+    // Local cursor: one load of the bounds, no member write per byte.
+    const char* const data = wire_.data();
+    const std::size_t end = wire_.size();
+    std::size_t p = pos_;
+    std::uint64_t value = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      if (p >= end) {
+        pos_ = p;
+        fail("unexpected end of input");
+      }
+      const auto byte = static_cast<unsigned char>(data[p++]);
+      value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        pos_ = p;
+        // The 10th byte holds the top single bit; anything above it would
+        // have been dropped by the shift — reject instead of truncating.
+        if (shift == 63 && byte > 1) fail("varint overflow");
+        return value;
+      }
+    }
+    pos_ = p;
+    fail("varint overflow");
+  }
+
+  // Text-codec slow paths (wire.cpp).
   char take();
+  std::int64_t readI64Text();
+  std::uint64_t readU64Text();
+  double readF64Text();
+  bool readBoolText();
+  std::size_t readStringHeaderText();
+  void readNullText();
+  std::size_t beginListText();
+  std::size_t beginMapText();
+
   std::string_view wire_;
   std::size_t pos_ = 0;
+  WireCodec codec_ = WireCodec::kText;
 };
 
 }  // namespace dapple

@@ -9,12 +9,18 @@
 /// the log tail in append order.  Compaction = write a fresh checkpoint
 /// (atomic rename) and truncate the log.
 ///
-/// On-disk frame, all in the project's text wire tokens so the log is
-/// greppable like every other artifact:
+/// Two on-disk frame formats, selected per log by `Options::codec` and
+/// auto-detected per frame on replay (a log may even mix them, e.g. after a
+/// process upgrade flips the codec mid-file):
 ///
+///   text (debug/compat, greppable like every other artifact):
 ///     u<len> u<fnv64(payload)> <payload bytes>\n
+///   binary (the fast path — frames start with the 0xDB preamble byte,
+///   which no text frame can):
+///     0xDB <varint len> <8-byte LE fnv64(payload)> <payload bytes>
 ///
-/// and the payload is one record encoded with TextWriter:
+/// and the payload is one record encoded with WireWriter under the same
+/// codec (text shown):
 ///
 ///     u<kind> u<seq> u<lamport> s<keylen>:<key> <value|n>
 ///
@@ -55,7 +61,12 @@ class WriteAheadLog {
     /// not a default member initializer, so the enclosing class can use
     /// `Options()` as a default argument.)
     bool fsyncEachAppend;
-    Options(bool fsync = true) : fsyncEachAppend(fsync) {}
+    /// Frame + record encoding for *appends*.  Replay auto-detects each
+    /// frame, so switching the codec on an existing (e.g. pre-upgrade
+    /// text) journal is safe.
+    WireCodec codec;
+    Options(bool fsync = true, WireCodec walCodec = WireCodec::kText)
+        : fsyncEachAppend(fsync), codec(walCodec) {}
   };
 
   explicit WriteAheadLog(std::string path, Options opts = Options());
@@ -97,6 +108,11 @@ class WriteAheadLog {
   std::uint64_t nextSeq_ = 1;
   std::uint64_t bytes_ = 0;
   std::uint64_t appends_ = 0;
+  /// Append-path scratch buffers (guarded by mutex_): the record payload
+  /// and the framed bytes are built into these every append, so the
+  /// steady-state append loop allocates nothing.
+  std::string payloadScratch_;
+  std::string frameScratch_;
 };
 
 }  // namespace dapple::recovery

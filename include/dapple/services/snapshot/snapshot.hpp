@@ -147,11 +147,11 @@ class MarkerMsg : public MessageBase<MarkerMsg> {
   std::uint64_t snapshotId = 0;
   std::uint64_t coordinator = 0;  ///< member index reports go to
 
-  void encodeFields(TextWriter& w) const override {
+  void encodeFields(WireWriter& w) const override {
     w.writeU64(snapshotId);
     w.writeU64(coordinator);
   }
-  void decodeFields(TextReader& r) override {
+  void decodeFields(WireReader& r) override {
     snapshotId = r.readU64();
     coordinator = r.readU64();
   }

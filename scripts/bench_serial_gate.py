@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Drive bench_serial and gate the E14 wire-codec invariants.
+
+Usage:
+    scripts/bench_serial_gate.py [--bench PATH] [--quick] [--out DIR]
+
+Runs the `bench_serial` binary (see bench/bench_serial.cpp), reads the
+emitted BENCH_serial.json, and enforces the E14 acceptance invariants for
+each message shape (small, medium, listheavy):
+
+  * combined encode+decode throughput (`BM_RoundTrip/<shape>_binary` vs
+    `..._text`, per-iteration cpu time) must be >= 3x for the geometric
+    mean across shapes — the binary codec exists to take tokenizing and
+    decimal parsing off the hot path;
+  * binary frames must be >= 25% smaller than text frames
+    (`bytes_per_msg`) on every shape.
+
+Exit code 1 when an invariant fails.  The emitted BENCH_serial.json is the
+same file bench_compare.py diffs against bench/baselines/.
+"""
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+MIN_SPEEDUP_GEOMEAN = 3.0
+MAX_BINARY_SIZE_FRACTION = 0.75
+SHAPES = ["small", "medium", "listheavy"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=Path,
+                        default=Path("build/bench/bench_serial"),
+                        help="bench_serial binary")
+    parser.add_argument("--quick", action="store_true",
+                        help="forwarded to the bench (short gbench reps)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory to run in / leave the JSON "
+                             "(default: the binary's directory)")
+    args = parser.parse_args()
+
+    bench = args.bench.resolve()
+    if not bench.exists():
+        print(f"error: bench binary not found: {bench}", file=sys.stderr)
+        return 2
+    run_dir = args.out if args.out is not None else bench.parent
+    run_dir.mkdir(parents=True, exist_ok=True)
+
+    cmd = [str(bench)] + (["--quick"] if args.quick else [])
+    # Only the gated rows need to run; the encode/decode split rides the
+    # full bench pass.
+    cmd.append("--benchmark_filter=BM_RoundTrip")
+    proc = subprocess.run(cmd, cwd=run_dir)
+    if proc.returncode != 0:
+        print(f"error: {' '.join(cmd)} exited {proc.returncode}",
+              file=sys.stderr)
+        return proc.returncode
+
+    report = run_dir / "BENCH_serial.json"
+    with report.open() as f:
+        doc = json.load(f)
+    rows = {b["name"]: b for b in doc.get("benchmarks", [])
+            if b.get("run_type") != "aggregate"}
+
+    failures = []
+    speedups = []
+    for shape in SHAPES:
+        text = rows.get(f"BM_RoundTrip/{shape}_text")
+        binary = rows.get(f"BM_RoundTrip/{shape}_binary")
+        if text is None or binary is None:
+            failures.append(f"BM_RoundTrip rows for shape '{shape}' missing "
+                            f"from {report} (found {sorted(rows)})")
+            continue
+        speedup = float(text["cpu_time"]) / float(binary["cpu_time"])
+        speedups.append(speedup)
+        tbytes = float(text["bytes_per_msg"])
+        bbytes = float(binary["bytes_per_msg"])
+        fraction = bbytes / tbytes if tbytes > 0 else float("inf")
+        print(f"{shape:>10}: round-trip {float(text['cpu_time']):.0f}ns -> "
+              f"{float(binary['cpu_time']):.0f}ns ({speedup:.2f}x), frame "
+              f"{tbytes:.0f}B -> {bbytes:.0f}B ({fraction:.2f}x)")
+        if fraction > MAX_BINARY_SIZE_FRACTION:
+            failures.append(
+                f"{shape}: binary frame is {fraction:.2f}x the text frame "
+                f"({bbytes:.0f}B vs {tbytes:.0f}B), must be <= "
+                f"{MAX_BINARY_SIZE_FRACTION}")
+
+    if speedups:
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        print(f"encode+decode speedup geomean: {geomean:.2f}x")
+        if geomean < MIN_SPEEDUP_GEOMEAN:
+            failures.append(
+                f"binary encode+decode speedup geomean {geomean:.2f}x < "
+                f"{MIN_SPEEDUP_GEOMEAN}x")
+
+    if failures:
+        print(f"\n{len(failures)} invariant failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  FAIL {f_}", file=sys.stderr)
+        return 1
+    print("all wire-codec bench invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

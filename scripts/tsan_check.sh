@@ -3,9 +3,10 @@
 #
 # Configures a dedicated ThreadSanitizer build tree, builds the test
 # binaries, and runs the `faults`, `fuzz-smoke`, `recovery`, `reactor`,
-# and `tokens` ctest labels — the failure-injection suites, the
+# `serial`, and `tokens` ctest labels — the failure-injection suites, the
 # scenario-fuzzer smoke sweep, the crash-recovery (kill -> restart ->
 # rejoin) suite, the event-loop runtime (timer wheel, handler strands),
+# the wire codec (text/binary encode-decode, malformed-input hardening),
 # and the token service's credit/lease machinery (renewal timers racing
 # grants, recalls, and member crashes).  Those run on the virtual clock,
 # so TSan reports reproduce run-to-run.
@@ -18,4 +19,4 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -DDAPPLE_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery|reactor|tokens'
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L 'faults|fuzz-smoke|recovery|reactor|serial|tokens'

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Pretty-print a captured dapple wire frame back to the text form.
+
+The binary codec (include/dapple/serial/wire.hpp) opens with the 0xDB
+preamble and then carries tagged tokens:
+
+    0xE0 null                     0xE5 f64      (8-byte LE IEEE double)
+    0xE1 false                    0xE6 string   (varint length + bytes)
+    0xE2 true                     0xE7 list     (varint element count)
+    0xE3 i64 (zigzag LEB128)      0xE8 map      (varint pair count)
+    0xE4 u64 (LEB128)
+
+This tool decodes such a frame and re-emits the equivalent text-codec
+tokens (`i-42 u17 d1.5 b1 s5:hello n l3 m2`, space-separated), so a
+binary capture from a WAL, a pcap, or a fuzz artifact reads like the
+debug codec.  Frames without the preamble are already text and pass
+through unchanged.
+
+Usage:
+    scripts/wire_dump.py FILE            # raw frame bytes from a file
+    scripts/wire_dump.py -               # raw frame bytes from stdin
+    scripts/wire_dump.py --hex 'db e4 2a'  # hex string on the command line
+
+Exit status 1 with an offset-bearing message on malformed input (mirrors
+the C++ reader's SerializationError contract).
+"""
+
+import struct
+import sys
+
+PREAMBLE = 0xDB
+TAG_NULL = 0xE0
+TAG_FALSE = 0xE1
+TAG_TRUE = 0xE2
+TAG_I64 = 0xE3
+TAG_U64 = 0xE4
+TAG_F64 = 0xE5
+TAG_STR = 0xE6
+TAG_LIST = 0xE7
+TAG_MAP = 0xE8
+
+
+class WireError(Exception):
+    def __init__(self, what, offset):
+        super().__init__(f"wire: {what} at offset {offset}")
+
+
+def read_varint(data, pos):
+    """LEB128, max 10 bytes; returns (value, new_pos)."""
+    value = 0
+    for shift in range(0, 64, 7):
+        if pos >= len(data):
+            raise WireError("unexpected end of input", pos)
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            if shift == 63 and byte > 1:
+                raise WireError("varint overflow", pos)
+            return value, pos
+    raise WireError("varint overflow", pos)
+
+
+def zigzag_decode(u):
+    return (u >> 1) ^ -(u & 1)
+
+
+def fmt_double(d):
+    # Match to_chars-style shortest round-trip closely enough for eyeballs.
+    text = repr(d)
+    return text[:-2] if text.endswith(".0") else text
+
+
+def dump_tokens(data):
+    """Decode one binary frame body (preamble already consumed)."""
+    tokens = []
+    pos = 0
+    while pos < len(data):
+        tag = data[pos]
+        pos += 1
+        if tag == TAG_NULL:
+            tokens.append("n")
+        elif tag == TAG_FALSE:
+            tokens.append("b0")
+        elif tag == TAG_TRUE:
+            tokens.append("b1")
+        elif tag == TAG_I64:
+            u, pos = read_varint(data, pos)
+            tokens.append(f"i{zigzag_decode(u)}")
+        elif tag == TAG_U64:
+            u, pos = read_varint(data, pos)
+            tokens.append(f"u{u}")
+        elif tag == TAG_F64:
+            if pos + 8 > len(data):
+                raise WireError("unexpected end of input", pos)
+            (d,) = struct.unpack_from("<d", data, pos)
+            pos += 8
+            tokens.append(f"d{fmt_double(d)}")
+        elif tag == TAG_STR:
+            n, pos = read_varint(data, pos)
+            if pos + n > len(data):
+                raise WireError("unexpected end of input", pos)
+            body = data[pos:pos + n]
+            pos += n
+            tokens.append(f"s{n}:" + body.decode("utf-8", "backslashreplace"))
+        elif tag == TAG_LIST:
+            n, pos = read_varint(data, pos)
+            tokens.append(f"l{n}")
+        elif tag == TAG_MAP:
+            n, pos = read_varint(data, pos)
+            tokens.append(f"m{n}")
+        else:
+            raise WireError(f"unknown binary tag 0x{tag:02X}", pos - 1)
+    return " ".join(tokens)
+
+
+def dump_frame(raw):
+    if raw[:1] == bytes([PREAMBLE]):
+        return dump_tokens(raw[1:])
+    # No preamble: already the text codec; show it as-is.
+    return raw.decode("utf-8", "backslashreplace")
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--hex":
+        raw = bytes.fromhex(argv[2].replace(" ", ""))
+    elif len(argv) == 2 and argv[1] == "-":
+        raw = sys.stdin.buffer.read()
+    elif len(argv) == 2:
+        with open(argv[1], "rb") as f:
+            raw = f.read()
+    else:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: wire_dump.py FILE | - | --hex 'db e4 2a'",
+              file=sys.stderr)
+        return 2
+    try:
+        print(dump_frame(raw))
+    except WireError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -372,14 +372,14 @@ void Dapplet::sendFromOutbox(std::uint64_t outboxId,
                              const Message& msg) {
   const std::uint64_t ts = clock_.tick();
   // Encode ONCE; every destination shares the refcounted body and adds only
-  // its small addressing head (the `s<len>:` prefix written by beginString
-  // is completed by the body bytes at frame-assembly time).
-  const Payload body(encodeMessage(msg));
+  // its small addressing head (the string header written by beginString is
+  // completed by the body bytes at frame-assembly time).
+  const Payload body(encodeMessage(msg, config_.wireCodec));
   impl_->mFanout->record(destinations.size());
   std::vector<OutSend> sends;
   sends.reserve(destinations.size());
   for (const InboxRef& dst : destinations) {
-    TextWriter w;
+    WireWriter w(config_.wireCodec);
     w.writeU64(dst.localId);
     w.writeString(dst.name);
     w.writeU64(ts);
@@ -396,7 +396,7 @@ void Dapplet::onDeliver(const NodeAddress& src, std::uint64_t streamId,
   try {
     // Zero-copy envelope decode: every field is a view into the frame the
     // reliable layer handed us; decodeMessage copies only the leaf values.
-    TextReader r(payload);
+    WireReader r(payload);
     const auto dstLocal = static_cast<std::uint32_t>(r.readU64());
     const std::string_view dstName = r.readStringView();
     const std::uint64_t sentAt = r.readU64();

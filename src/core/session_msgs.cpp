@@ -4,12 +4,12 @@ namespace dapple {
 
 namespace wiredetail {
 
-void encodeStrings(TextWriter& w, const std::vector<std::string>& v) {
+void encodeStrings(WireWriter& w, const std::vector<std::string>& v) {
   w.beginList(v.size());
   for (const std::string& s : v) w.writeString(s);
 }
 
-std::vector<std::string> decodeStrings(TextReader& r) {
+std::vector<std::string> decodeStrings(WireReader& r) {
   const std::size_t n = r.beginList();
   std::vector<std::string> out;
   out.reserve(n);
@@ -17,7 +17,7 @@ std::vector<std::string> decodeStrings(TextReader& r) {
   return out;
 }
 
-void encodeRefMap(TextWriter& w, const std::map<std::string, InboxRef>& m) {
+void encodeRefMap(WireWriter& w, const std::map<std::string, InboxRef>& m) {
   w.beginMap(m.size());
   for (const auto& [name, ref] : m) {
     w.writeString(name);
@@ -25,7 +25,7 @@ void encodeRefMap(TextWriter& w, const std::map<std::string, InboxRef>& m) {
   }
 }
 
-std::map<std::string, InboxRef> decodeRefMap(TextReader& r) {
+std::map<std::string, InboxRef> decodeRefMap(WireReader& r) {
   const std::size_t n = r.beginMap();
   std::map<std::string, InboxRef> out;
   for (std::size_t i = 0; i < n; ++i) {
@@ -37,7 +37,7 @@ std::map<std::string, InboxRef> decodeRefMap(TextReader& r) {
 
 namespace {
 
-void encodeBindings(TextWriter& w, const std::vector<Binding>& bindings) {
+void encodeBindings(WireWriter& w, const std::vector<Binding>& bindings) {
   w.beginList(bindings.size());
   for (const Binding& b : bindings) {
     w.writeString(b.outboxName);
@@ -46,7 +46,7 @@ void encodeBindings(TextWriter& w, const std::vector<Binding>& bindings) {
   }
 }
 
-std::vector<Binding> decodeBindings(TextReader& r) {
+std::vector<Binding> decodeBindings(WireReader& r) {
   const std::size_t n = r.beginList();
   std::vector<Binding> out;
   out.reserve(n);
@@ -66,7 +66,7 @@ std::vector<Binding> decodeBindings(TextReader& r) {
 
 using namespace wiredetail;
 
-void InviteMsg::encodeFields(TextWriter& w) const {
+void InviteMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(app);
   w.writeString(initiatorName);
@@ -79,7 +79,7 @@ void InviteMsg::encodeFields(TextWriter& w) const {
   livenessRef.encode(w);
 }
 
-void InviteMsg::decodeFields(TextReader& r) {
+void InviteMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   app = r.readString();
   initiatorName = r.readString();
@@ -92,7 +92,7 @@ void InviteMsg::decodeFields(TextReader& r) {
   livenessRef = InboxRef::decode(r);
 }
 
-void InviteReplyMsg::encodeFields(TextWriter& w) const {
+void InviteReplyMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   w.writeBool(accepted);
@@ -101,7 +101,7 @@ void InviteReplyMsg::encodeFields(TextWriter& w) const {
   livenessRef.encode(w);
 }
 
-void InviteReplyMsg::decodeFields(TextReader& r) {
+void InviteReplyMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   accepted = r.readBool();
@@ -110,79 +110,79 @@ void InviteReplyMsg::decodeFields(TextReader& r) {
   livenessRef = InboxRef::decode(r);
 }
 
-void WireMsg::encodeFields(TextWriter& w) const {
+void WireMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   encodeBindings(w, bindings);
 }
 
-void WireMsg::decodeFields(TextReader& r) {
+void WireMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   bindings = decodeBindings(r);
 }
 
-void WireReplyMsg::encodeFields(TextWriter& w) const {
+void WireReplyMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   w.writeBool(ok);
   w.writeString(reason);
 }
 
-void WireReplyMsg::decodeFields(TextReader& r) {
+void WireReplyMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   ok = r.readBool();
   reason = r.readString();
 }
 
-void StartMsg::encodeFields(TextWriter& w) const {
+void StartMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   encodeStrings(w, peers);
   params.encode(w);
 }
 
-void StartMsg::decodeFields(TextReader& r) {
+void StartMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   peers = decodeStrings(r);
   params = Value::decode(r);
 }
 
-void DoneMsg::encodeFields(TextWriter& w) const {
+void DoneMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   result.encode(w);
 }
 
-void DoneMsg::decodeFields(TextReader& r) {
+void DoneMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   result = Value::decode(r);
 }
 
-void UnlinkMsg::encodeFields(TextWriter& w) const {
+void UnlinkMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(reason);
 }
 
-void UnlinkMsg::decodeFields(TextReader& r) {
+void UnlinkMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   reason = r.readString();
 }
 
-void MemberDownMsg::encodeFields(TextWriter& w) const {
+void MemberDownMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   w.writeU64(node);
   w.writeString(reason);
 }
 
-void MemberDownMsg::decodeFields(TextReader& r) {
+void MemberDownMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   node = r.readU64();
   reason = r.readString();
 }
 
-void RejoinMsg::encodeFields(TextWriter& w) const {
+void RejoinMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   w.writeU64(incarnation);
@@ -191,7 +191,7 @@ void RejoinMsg::encodeFields(TextWriter& w) const {
   livenessRef.encode(w);
 }
 
-void RejoinMsg::decodeFields(TextReader& r) {
+void RejoinMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   incarnation = r.readU64();
@@ -200,7 +200,7 @@ void RejoinMsg::decodeFields(TextReader& r) {
   livenessRef = InboxRef::decode(r);
 }
 
-void RejoinAckMsg::encodeFields(TextWriter& w) const {
+void RejoinAckMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   w.writeU64(incarnation);
@@ -208,7 +208,7 @@ void RejoinAckMsg::encodeFields(TextWriter& w) const {
   w.writeString(reason);
 }
 
-void RejoinAckMsg::decodeFields(TextReader& r) {
+void RejoinAckMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   incarnation = r.readU64();
@@ -216,26 +216,26 @@ void RejoinAckMsg::decodeFields(TextReader& r) {
   reason = r.readString();
 }
 
-void MemberUpMsg::encodeFields(TextWriter& w) const {
+void MemberUpMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   w.writeString(memberName);
   w.writeU64(node);
   w.writeU64(incarnation);
 }
 
-void MemberUpMsg::decodeFields(TextReader& r) {
+void MemberUpMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   memberName = r.readString();
   node = r.readU64();
   incarnation = r.readU64();
 }
 
-void UnbindMsg::encodeFields(TextWriter& w) const {
+void UnbindMsg::encodeFields(WireWriter& w) const {
   w.writeString(sessionId);
   wiredetail::encodeBindings(w, bindings);
 }
 
-void UnbindMsg::decodeFields(TextReader& r) {
+void UnbindMsg::decodeFields(WireReader& r) {
   sessionId = r.readString();
   bindings = wiredetail::decodeBindings(r);
 }

@@ -53,7 +53,7 @@ struct AckBlock {
   std::vector<std::uint64_t> sacks;
 };
 
-void writeAckBlocks(TextWriter& w, const std::vector<AckBlock>& blocks) {
+void writeAckBlocks(WireWriter& w, const std::vector<AckBlock>& blocks) {
   w.beginList(blocks.size());
   for (const AckBlock& b : blocks) {
     w.writeU64(b.streamId);
@@ -64,7 +64,7 @@ void writeAckBlocks(TextWriter& w, const std::vector<AckBlock>& blocks) {
   }
 }
 
-std::vector<AckBlock> readAckBlocks(TextReader& r) {
+std::vector<AckBlock> readAckBlocks(WireReader& r) {
   const std::size_t n = r.beginList();
   std::vector<AckBlock> blocks;
   blocks.reserve(n);
@@ -81,25 +81,8 @@ std::vector<AckBlock> readAckBlocks(TextReader& r) {
   return blocks;
 }
 
-/// DATA frame header: every token up to and including the payload string's
-/// `s<len>:` prefix.  The payload bytes follow raw; they are gathered from
-/// the shared envelope only at transmit time (see Impl::assembleData).
-std::string encodeDataHead(std::uint64_t streamId, std::uint64_t epoch,
-                           std::uint64_t seq,
-                           const std::vector<AckBlock>& piggyback,
-                           std::size_t payloadLen) {
-  TextWriter w;
-  w.writeU64(kKindData);
-  w.writeU64(streamId);
-  w.writeU64(epoch);
-  w.writeU64(seq);
-  writeAckBlocks(w, piggyback);
-  w.beginString(payloadLen);
-  return std::move(w).str();
-}
-
-std::string encodeAck(const std::vector<AckBlock>& blocks) {
-  TextWriter w;
+std::string encodeAck(WireCodec codec, const std::vector<AckBlock>& blocks) {
+  WireWriter w(codec);
   w.writeU64(kKindAck);
   writeAckBlocks(w, blocks);
   return std::move(w).str();
@@ -387,14 +370,25 @@ struct ReliableEndpoint::Impl {
     if (mCwnd != nullptr) mCwnd->set(static_cast<std::int64_t>(ss.cwnd));
   }
 
-  /// Gathers frame header + envelope (head + shared body) into the final
-  /// wire bytes — the single point on the transmit path where payload bytes
-  /// are copied.  Caller holds `mutex` (stats).
-  std::string assembleData(const std::string& frameHead,
+  /// Builds one complete DATA frame: header tokens (every token up to and
+  /// including the payload string header) written straight into the
+  /// datagram's own string, then the envelope bytes (head + shared body)
+  /// gathered after it — the single point on the transmit path where
+  /// payload bytes are copied, with no intermediate head string.  Caller
+  /// holds `mutex` (stats).
+  std::string assembleData(std::uint64_t streamId, std::uint64_t epoch,
+                           std::uint64_t seq,
+                           const std::vector<AckBlock>& piggyback,
                            const WireBuffer& envelope) {
     std::string out;
-    out.reserve(frameHead.size() + envelope.size());
-    out.append(frameHead);
+    WireWriter w(cfg.codec, out);
+    out.reserve(64 + envelope.size());
+    w.writeU64(kKindData);
+    w.writeU64(streamId);
+    w.writeU64(epoch);
+    w.writeU64(seq);
+    writeAckBlocks(w, piggyback);
+    w.beginString(envelope.size());
     envelope.appendTo(out);
     ++stats.payloadCopies;
     return out;
@@ -410,9 +404,7 @@ struct ReliableEndpoint::Impl {
                          : std::vector<AckBlock>{};
     batch.push_back(Datagram{
         key.peer,
-        assembleData(encodeDataHead(key.streamId, ss.epoch, seq, piggyback,
-                                    envelope.size()),
-                     envelope)});
+        assembleData(key.streamId, ss.epoch, seq, piggyback, envelope)});
   }
 
   /// Moves queued frames into flight while the window has room.  Frames
@@ -479,7 +471,7 @@ struct ReliableEndpoint::Impl {
 
   void onDatagram(const NodeAddress& src, std::string_view payload) {
     if (mDatagramsIn != nullptr) mDatagramsIn->inc();
-    TextReader r(payload);
+    WireReader r(payload);
     try {
       const std::uint64_t kind = r.readU64();
       if (kind == kKindData) {
@@ -565,7 +557,7 @@ struct ReliableEndpoint::Impl {
       if (rs.pendingFrames >= cfg.ackEvery) {
         const std::vector<AckBlock> blocks = collectAckBlocksLocked(src);
         if (!blocks.empty()) {
-          ackDatagram = encodeAck(blocks);
+          ackDatagram = encodeAck(cfg.codec, blocks);
           ++stats.ackFramesSent;
         }
       }
@@ -742,7 +734,7 @@ struct ReliableEndpoint::Impl {
       for (const NodeAddress& peer : duePeers) {
         const std::vector<AckBlock> blocks = collectAckBlocksLocked(peer);
         if (blocks.empty()) continue;
-        batch.push_back(Datagram{peer, encodeAck(blocks)});
+        batch.push_back(Datagram{peer, encodeAck(cfg.codec, blocks)});
         ++stats.ackFramesSent;
       }
       if (!failures.empty() && !anyPendingLocked()) clk->notifyAll(flushed);

@@ -52,21 +52,29 @@ bool MessageRegistry::knows(std::string_view name) const {
   return i.factories.count(std::string(name)) != 0;
 }
 
-std::string encodeMessage(const Message& msg) {
-  TextWriter w;
+std::string encodeMessage(const Message& msg, WireCodec codec) {
+  WireWriter w(codec);
   w.writeString(msg.typeName());
   msg.encodeFields(w);
   return std::move(w).str();
 }
 
+std::string_view encodeMessageInto(const Message& msg, WireCodec codec,
+                                   std::string& scratch) {
+  WireWriter w(codec, scratch);
+  w.writeString(msg.typeName());
+  msg.encodeFields(w);
+  return scratch;
+}
+
 std::unique_ptr<Message> decodeMessage(std::string_view wire) {
-  TextReader r(wire);
+  WireReader r(wire);
   const std::string name = r.readString();
   std::unique_ptr<Message> msg = MessageRegistry::instance().create(name);
   msg->decodeFields(r);
   if (!r.atEnd()) {
     throw SerializationError("trailing wire data after message '" + name +
-                             "'");
+                             "' at offset " + std::to_string(r.offset()));
   }
   return msg;
 }

@@ -1,5 +1,7 @@
 #include "dapple/serial/value.hpp"
 
+#include <algorithm>
+
 namespace dapple {
 
 const Value& Value::at(const std::string& key) const {
@@ -13,7 +15,7 @@ bool Value::contains(const std::string& key) const {
   return isMap() && asMap().count(key) != 0;
 }
 
-void Value::encode(TextWriter& w) const {
+void Value::encode(WireWriter& w) const {
   if (isNull()) {
     w.writeNull();
   } else if (isBool()) {
@@ -38,7 +40,7 @@ void Value::encode(TextWriter& w) const {
   }
 }
 
-Value Value::decode(TextReader& r) {
+Value Value::decode(WireReader& r) {
   switch (r.peek()) {
     case 'n':
       r.readNull();
@@ -54,7 +56,10 @@ Value Value::decode(TextReader& r) {
     case 'l': {
       const std::size_t count = r.beginList();
       ValueList list;
-      list.reserve(count);
+      // A corrupt frame can claim any count; cap the speculative reserve and
+      // let the element reads hit end-of-input (SerializationError) instead
+      // of attempting a huge allocation up front.
+      list.reserve(std::min<std::size_t>(count, 1024));
       for (std::size_t i = 0; i < count; ++i) list.push_back(decode(r));
       return Value(std::move(list));
     }
@@ -68,20 +73,24 @@ Value Value::decode(TextReader& r) {
       return Value(std::move(map));
     }
     default:
-      throw SerializationError("Value: unknown wire tag");
+      throw SerializationError("Value: unknown wire tag at offset " +
+                               std::to_string(r.offset()));
   }
 }
 
-std::string Value::toWire() const {
-  TextWriter w;
+std::string Value::toWire(WireCodec codec) const {
+  WireWriter w(codec);
   encode(w);
   return std::move(w).str();
 }
 
 Value Value::fromWire(std::string_view wire) {
-  TextReader r(wire);
+  WireReader r(wire);
   Value v = decode(r);
-  if (!r.atEnd()) throw SerializationError("Value: trailing wire data");
+  if (!r.atEnd()) {
+    throw SerializationError("Value: trailing wire data at offset " +
+                             std::to_string(r.offset()));
+  }
   return v;
 }
 

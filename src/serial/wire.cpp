@@ -3,93 +3,114 @@
 #include <charconv>
 #include <system_error>
 
+// Text-codec slow paths only: the binary token paths are inline in
+// wire.hpp (they are the fast path; see the layout note there).
+
 namespace dapple {
 
-void TextWriter::sep() {
-  if (!out_.empty()) out_.push_back(' ');
+const char* wireCodecName(WireCodec codec) {
+  return codec == WireCodec::kBinary ? "binary" : "text";
 }
 
-void TextWriter::writeI64(std::int64_t v) {
+void WireWriter::sep() {
+  if (!out_->empty()) out_->push_back(' ');
+}
+
+void WireWriter::writeI64Text(std::int64_t v) {
   sep();
   char buf[24];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  out_.push_back('i');
-  out_.append(buf, ptr);
+  out_->push_back('i');
+  out_->append(buf, ptr);
 }
 
-void TextWriter::writeU64(std::uint64_t v) {
+void WireWriter::writeU64Text(std::uint64_t v) {
   sep();
   char buf[24];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  out_.push_back('u');
-  out_.append(buf, ptr);
+  out_->push_back('u');
+  out_->append(buf, ptr);
 }
 
-void TextWriter::writeF64(double v) {
+void WireWriter::writeF64Text(double v) {
   sep();
   char buf[40];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
-  out_.push_back('d');
-  out_.append(buf, ptr);
+  out_->push_back('d');
+  out_->append(buf, ptr);
 }
 
-void TextWriter::writeBool(bool v) {
+void WireWriter::writeBoolText(bool v) {
   sep();
-  out_.append(v ? "b1" : "b0");
+  out_->append(v ? "b1" : "b0");
 }
 
-void TextWriter::writeString(std::string_view v) {
-  sep();
-  char buf[24];
-  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v.size());
-  out_.push_back('s');
-  out_.append(buf, ptr);
-  out_.push_back(':');
-  out_.append(v);
-}
-
-void TextWriter::beginString(std::size_t len) {
+void WireWriter::beginStringText(std::size_t len) {
   sep();
   char buf[24];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, len);
-  out_.push_back('s');
-  out_.append(buf, ptr);
-  out_.push_back(':');
+  out_->push_back('s');
+  out_->append(buf, ptr);
+  out_->push_back(':');
 }
 
-void TextWriter::writeNull() {
+void WireWriter::writeNullText() {
   sep();
-  out_.push_back('n');
+  out_->push_back('n');
 }
 
-void TextWriter::beginList(std::size_t count) {
-  sep();
-  char buf[24];
-  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, count);
-  out_.push_back('l');
-  out_.append(buf, ptr);
-}
-
-void TextWriter::beginMap(std::size_t count) {
+void WireWriter::beginListText(std::size_t count) {
   sep();
   char buf[24];
   auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, count);
-  out_.push_back('m');
-  out_.append(buf, ptr);
+  out_->push_back('l');
+  out_->append(buf, ptr);
 }
 
-void TextReader::fail(const std::string& what) const {
-  throw SerializationError("wire: " + what + " at offset " +
+void WireWriter::beginMapText(std::size_t count) {
+  sep();
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, count);
+  out_->push_back('m');
+  out_->append(buf, ptr);
+}
+
+void WireReader::fail(const char* what) const {
+  throw SerializationError(std::string("wire: ") + what + " at offset " +
                            std::to_string(pos_));
 }
 
-char TextReader::peek() const {
+char WireReader::peek() const {
+  if (codec_ == WireCodec::kBinary) {
+    if (pos_ >= wire_.size()) return '\0';
+    switch (static_cast<unsigned char>(wire_[pos_])) {
+      case wire_detail::kBinNull:
+        return 'n';
+      case wire_detail::kBinFalse:
+      case wire_detail::kBinTrue:
+        return 'b';
+      case wire_detail::kBinI64:
+        return 'i';
+      case wire_detail::kBinU64:
+        return 'u';
+      case wire_detail::kBinF64:
+        return 'd';
+      case wire_detail::kBinStr:
+        return 's';
+      case wire_detail::kBinList:
+        return 'l';
+      case wire_detail::kBinMap:
+        return 'm';
+      default:
+        return '?';
+    }
+  }
   std::size_t p = pos_;
   while (p < wire_.size() && wire_[p] == ' ') ++p;
   return p < wire_.size() ? wire_[p] : '\0';
 }
 
-char TextReader::take() {
+char WireReader::take() {
   while (pos_ < wire_.size() && wire_[pos_] == ' ') ++pos_;
   if (pos_ >= wire_.size()) fail("unexpected end of input");
   return wire_[pos_++];
@@ -97,10 +118,9 @@ char TextReader::take() {
 
 namespace {
 
-// Scans a number immediately following a tag character.
+// Scans a number immediately following a text tag character.
 template <typename T>
-T parseNumber(std::string_view wire, std::size_t& pos,
-              const TextReader& reader, const char* what) {
+T parseNumber(std::string_view wire, std::size_t& pos, const char* what) {
   T value{};
   auto [ptr, ec] =
       std::from_chars(wire.data() + pos, wire.data() + wire.size(), value);
@@ -108,29 +128,28 @@ T parseNumber(std::string_view wire, std::size_t& pos,
     throw SerializationError(std::string("wire: bad ") + what + " at offset " +
                              std::to_string(pos));
   }
-  (void)reader;
   pos = static_cast<std::size_t>(ptr - wire.data());
   return value;
 }
 
 }  // namespace
 
-std::int64_t TextReader::readI64() {
+std::int64_t WireReader::readI64Text() {
   if (take() != 'i') fail("expected i64 token");
-  return parseNumber<std::int64_t>(wire_, pos_, *this, "i64");
+  return parseNumber<std::int64_t>(wire_, pos_, "i64");
 }
 
-std::uint64_t TextReader::readU64() {
+std::uint64_t WireReader::readU64Text() {
   if (take() != 'u') fail("expected u64 token");
-  return parseNumber<std::uint64_t>(wire_, pos_, *this, "u64");
+  return parseNumber<std::uint64_t>(wire_, pos_, "u64");
 }
 
-double TextReader::readF64() {
+double WireReader::readF64Text() {
   if (take() != 'd') fail("expected f64 token");
-  return parseNumber<double>(wire_, pos_, *this, "f64");
+  return parseNumber<double>(wire_, pos_, "f64");
 }
 
-bool TextReader::readBool() {
+bool WireReader::readBoolText() {
   if (take() != 'b') fail("expected bool token");
   const char c = take();
   if (c == '0') return false;
@@ -138,31 +157,26 @@ bool TextReader::readBool() {
   fail("bad bool value");
 }
 
-std::string TextReader::readString() { return std::string(readStringView()); }
-
-std::string_view TextReader::readStringView() {
+std::size_t WireReader::readStringHeaderText() {
   if (take() != 's') fail("expected string token");
-  const auto len = parseNumber<std::size_t>(wire_, pos_, *this, "string len");
+  const std::size_t len = parseNumber<std::size_t>(wire_, pos_, "string len");
   if (pos_ >= wire_.size() || wire_[pos_] != ':') fail("expected ':'");
   ++pos_;
-  if (wire_.size() - pos_ < len) fail("truncated string payload");
-  std::string_view out = wire_.substr(pos_, len);
-  pos_ += len;
-  return out;
+  return len;
 }
 
-void TextReader::readNull() {
+void WireReader::readNullText() {
   if (take() != 'n') fail("expected null token");
 }
 
-std::size_t TextReader::beginList() {
+std::size_t WireReader::beginListText() {
   if (take() != 'l') fail("expected list token");
-  return parseNumber<std::size_t>(wire_, pos_, *this, "list count");
+  return parseNumber<std::size_t>(wire_, pos_, "list count");
 }
 
-std::size_t TextReader::beginMap() {
+std::size_t WireReader::beginMapText() {
   if (take() != 'm') fail("expected map token");
-  return parseNumber<std::size_t>(wire_, pos_, *this, "map count");
+  return parseNumber<std::size_t>(wire_, pos_, "map count");
 }
 
 }  // namespace dapple

@@ -99,7 +99,8 @@ struct DurableState::Impl : std::enable_shared_from_this<Impl> {
       ValueMap image;
       image["at"] = Value(static_cast<std::int64_t>(at));
       image["data"] = Value(data);
-      const std::string wire = Value(std::move(image)).toWire();
+      const std::string wire =
+          Value(std::move(image)).toWire(d.config().wireCodec);
       atomicWriteFile(path(kCkptFile), wire);
       wal->reset();
       lastCkptBytes = wire.size();
@@ -150,9 +151,13 @@ DurableState::DurableState(Dapplet& dapplet, std::string dir, Options opts) {
     }
   }
 
-  // WAL tail replay onto the image.
+  // WAL tail replay onto the image.  The journal's append codec follows the
+  // dapplet's wire codec; replay auto-detects per frame, so a pre-existing
+  // journal written under the other codec replays fine.
   im.wal = std::make_unique<WriteAheadLog>(
-      im.path(kWalFile), WriteAheadLog::Options(opts.fsyncEachAppend));
+      im.path(kWalFile),
+      WriteAheadLog::Options(opts.fsyncEachAppend,
+                             dapplet.config().wireCodec));
   auto replay = im.wal->replayAll();
   std::uint64_t maxLamport = info_.checkpointAt;
   for (auto& rec : replay.records) {

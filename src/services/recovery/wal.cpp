@@ -24,10 +24,11 @@ std::uint64_t fnv1a(std::string_view bytes) {
   return h;
 }
 
-std::string encodeRecord(WalRecord::Kind kind, std::uint64_t seq,
-                         std::uint64_t lamport, const std::string& key,
-                         const Value* value) {
-  TextWriter w;
+void encodeRecordInto(WireCodec codec, std::string& scratch,
+                      WalRecord::Kind kind, std::uint64_t seq,
+                      std::uint64_t lamport, const std::string& key,
+                      const Value* value) {
+  WireWriter w(codec, scratch);
   w.writeU64(kind);
   w.writeU64(seq);
   w.writeU64(lamport);
@@ -37,11 +38,10 @@ std::string encodeRecord(WalRecord::Kind kind, std::uint64_t seq,
   } else {
     Value().encode(w);
   }
-  return std::move(w).str();
 }
 
 WalRecord decodeRecord(std::string_view payload) {
-  TextReader r(payload);
+  WireReader r(payload);
   WalRecord rec;
   const auto kind = r.readU64();
   if (kind > WalRecord::kErase) {
@@ -53,6 +53,32 @@ WalRecord decodeRecord(std::string_view payload) {
   rec.key = r.readString();
   rec.value = Value::decode(r);
   return rec;
+}
+
+void appendVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Parses a LEB128 varint; returns false on truncation/overflow (what a
+/// torn binary frame header looks like).
+bool parseVarint(std::string_view data, std::size_t& pos,
+                 std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 64; shift += 7) {
+    if (pos >= data.size()) return false;
+    const auto byte = static_cast<unsigned char>(data[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && byte > 1) return false;
+      out = v;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// Parses the decimal after a leading `u`; returns false on any mismatch
@@ -104,13 +130,36 @@ WriteAheadLog::ReplayResult WriteAheadLog::replayAll() {
   std::size_t pos = 0;
   std::size_t lastGood = 0;
   while (pos < data.size()) {
+    // Per-frame codec auto-detect: 'u' opens a text frame, the 0xDB
+    // preamble a binary one; anything else is a torn tail.  Pre-existing
+    // text journals replay transparently under a binary-configured log.
     std::size_t p = pos;
     std::uint64_t len = 0;
     std::uint64_t crc = 0;
-    if (!parseU64Token(data, p, len) || !parseU64Token(data, p, crc)) break;
-    if (p + len + 1 > data.size()) break;  // length points past EOF: torn
+    std::size_t frameEnd = 0;
+    if (data[pos] == 'u') {
+      if (!parseU64Token(data, p, len) || !parseU64Token(data, p, crc)) break;
+      if (p + len + 1 > data.size()) break;  // length points past EOF: torn
+      if (data[p + len] != '\n') break;
+      frameEnd = p + len + 1;
+    } else if (static_cast<unsigned char>(data[pos]) ==
+               static_cast<unsigned char>(kBinaryPreamble)) {
+      ++p;
+      if (!parseVarint(data, p, len)) break;
+      if (data.size() - p < 8) break;  // torn before the checksum
+      crc = 0;
+      for (int i = 0; i < 8; ++i) {
+        crc |= static_cast<std::uint64_t>(
+                   static_cast<unsigned char>(data[p + i]))
+               << (8 * i);
+      }
+      p += 8;
+      if (len > data.size() - p) break;  // length points past EOF: torn
+      frameEnd = p + len;
+    } else {
+      break;  // unrecognizable frame byte: torn
+    }
     const std::string_view payload(data.data() + p, len);
-    if (data[p + len] != '\n') break;
     if (fnv1a(payload) != crc) break;
     WalRecord rec;
     try {
@@ -119,7 +168,7 @@ WriteAheadLog::ReplayResult WriteAheadLog::replayAll() {
       break;  // checksum passed but content unparseable — treat as torn
     }
     out.records.push_back(std::move(rec));
-    pos = p + len + 1;
+    pos = frameEnd;
     lastGood = pos;
   }
 
@@ -144,9 +193,25 @@ std::uint64_t WriteAheadLog::append(WalRecord::Kind kind,
                                     std::uint64_t lamport) {
   std::scoped_lock lock(mutex_);
   const std::uint64_t seq = nextSeq_++;
-  const std::string payload = encodeRecord(kind, seq, lamport, key, value);
-  std::string frame = "u" + std::to_string(payload.size()) + " u" +
-                      std::to_string(fnv1a(payload)) + " " + payload + "\n";
+  encodeRecordInto(opts_.codec, payloadScratch_, kind, seq, lamport, key,
+                   value);
+  const std::string& payload = payloadScratch_;
+  std::string& frame = frameScratch_;
+  frame.clear();
+  const std::uint64_t crc = fnv1a(payload);
+  if (opts_.codec == WireCodec::kBinary) {
+    frame.push_back(kBinaryPreamble);
+    appendVarint(frame, payload.size());
+    for (int i = 0; i < 8; ++i) {
+      frame.push_back(static_cast<char>((crc >> (8 * i)) & 0xff));
+    }
+    frame.append(payload);
+  } else {
+    frame.append("u").append(std::to_string(payload.size()));
+    frame.append(" u").append(std::to_string(crc)).append(" ");
+    frame.append(payload);
+    frame.push_back('\n');
+  }
   const char* p = frame.data();
   std::size_t left = frame.size();
   while (left > 0) {

@@ -21,7 +21,7 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--start N] [--count M] [--canary] "
-               "[--no-kill] [--log-debug] [--quiet]\n",
+               "[--no-kill] [--codec text|binary] [--log-debug] [--quiet]\n",
                argv0);
 }
 
@@ -60,6 +60,23 @@ int main(int argc, char** argv) {
       // Module-3 control run: same workload, no kill-restart.  Its
       // recoveryDigest must match the default run of the same seed.
       options.suppressKillRestart = true;
+    } else if (arg == "--codec") {
+      // Force one codec across every seed (default: the seed picks).
+      // Digests are codec-invariant, so `--seed N --codec text` and
+      // `--seed N --codec binary` must print the same digest.
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        return 2;
+      }
+      const std::string name = argv[++i];
+      if (name == "text") {
+        options.codec = dapple::WireCodec::kText;
+      } else if (name == "binary") {
+        options.codec = dapple::WireCodec::kBinary;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
     } else if (arg == "--log-debug") {
       dapple::log::setLevel(dapple::log::Level::kDebug);
     } else if (arg == "--quiet") {

@@ -81,6 +81,8 @@ struct Shape {
   LinkParams link;
   // 0 tokens, 1 cardgame, 2 crash/eviction, 3 recovery, 4 token leases
   int module = 0;
+  // Wire codec for the whole stack (half the seeds each way).
+  WireCodec codec = WireCodec::kText;
   std::size_t rounds = 0;      // mesh messages per ordered pair
   struct Partition {
     std::uint32_t hostA = 0, hostB = 0;
@@ -104,6 +106,9 @@ Shape generate(std::uint64_t seed) {
                       microseconds(rng.below(2000)),
                       kLoss[rng.below(4)], kDup[rng.below(2)]};
   s.module = static_cast<int>(seed % 5);
+  // Derived from the seed directly (not the rng stream, so pre-existing
+  // seeds keep their shapes) and orthogonal to the module choice.
+  s.codec = ((seed / 5) % 2) ? WireCodec::kBinary : WireCodec::kText;
   s.rounds = 5 + rng.below(10);
   // Partitions always heal, well inside the 10s delivery timeout, so they
   // degrade channels without killing them.
@@ -307,6 +312,11 @@ ScenarioResult runScenario(std::uint64_t seed,
   cfg.reliable.ackPiggyback = false;
   cfg.liveness.heartbeatInterval = milliseconds(25);
   cfg.liveness.suspectTimeout = milliseconds(300);
+  // The codec changes the bytes on the wire (and therefore the
+  // content-hashed fault schedule) but must never change an outcome — it is
+  // deliberately NOT folded into the digest, and the smoke suite asserts
+  // the digest is codec-invariant per seed.
+  cfg.wireCodec = options.codec.value_or(shape.codec);
   if (options.canaryDisableRetransmit) {
     // Canary bug: the first transmission is the only one.  Lossy seeds must
     // now fail the delivery oracle.  The adaptive sender must be fully
@@ -1097,7 +1107,8 @@ ScenarioResult runScenario(std::uint64_t seed,
     os << "n=" << shape.n << " loss=" << shape.link.lossProb
        << " dup=" << shape.link.dupProb << " module="
        << moduleName(shape.module) << " rounds=" << shape.rounds
-       << " partitions=" << shape.partitions.size();
+       << " partitions=" << shape.partitions.size()
+       << " codec=" << wireCodecName(options.codec.value_or(shape.codec));
     out.summary = os.str();
   }
   return out;

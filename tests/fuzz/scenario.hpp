@@ -35,8 +35,10 @@
 /// `dapple_fuzz --seed N`.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
+#include "dapple/serial/wire.hpp"
 #include "dapple/util/time.hpp"
 
 namespace dapple::testkit {
@@ -50,6 +52,12 @@ struct ScenarioOptions {
   /// the identical workload.  `recoveryDigest` must match the un-suppressed
   /// run of the same seed — crash-recovery must be outcome-invisible.
   bool suppressKillRestart = false;
+  /// Wire codec override.  By default the seed picks one (half the seeds
+  /// run binary, half text); forcing it lets the smoke suite assert that
+  /// digests and every oracle are codec-invariant — the encoding changes
+  /// the bytes (and thus the content-hashed fault schedule) but must never
+  /// change an outcome.
+  std::optional<WireCodec> codec;
 };
 
 struct ScenarioResult {

@@ -27,6 +27,31 @@ TEST(FuzzSmoke, SeedsPassAndReplayToIdenticalDigest) {
   }
 }
 
+TEST(FuzzSmoke, DigestIsCodecInvariant) {
+  // The wire codec changes every byte on the wire — and, through the
+  // content-hashed link faults, the loss/duplication schedule — but must
+  // never change an outcome: same seed, forced text vs forced binary, must
+  // pass every oracle and fold to the SAME digest.  This covers all five
+  // modules (seed % 5 cycles through them).
+  ScenarioOptions text, binary;
+  text.codec = WireCodec::kText;
+  binary.codec = WireCodec::kBinary;
+  const std::uint64_t base = testSeed(3);
+  for (std::uint64_t offset = 0; offset < 5; ++offset) {
+    const std::uint64_t seed = base + offset;
+    DAPPLE_SEED_TRACE(seed);
+    const ScenarioResult t = runScenario(seed, text);
+    EXPECT_TRUE(t.ok) << t.failure << "\n  repro: " << reproLine(seed)
+                      << "\n  " << t.summary;
+    const ScenarioResult b = runScenario(seed, binary);
+    EXPECT_TRUE(b.ok) << b.failure << "\n  repro: " << reproLine(seed)
+                      << "\n  " << b.summary;
+    EXPECT_EQ(t.digest, b.digest)
+        << "codec changed the outcome (" << reproLine(seed) << ")";
+    EXPECT_EQ(t.recoveryDigest, b.recoveryDigest);
+  }
+}
+
 TEST(FuzzSmoke, KillRestartMatchesControlOutcome) {
   // Crash-recovery equivalence (module 3): a kill-restart run's
   // deterministic outcomes — role results, token totals — must equal the

@@ -578,6 +578,70 @@ TEST(Rpc, ConcurrentCallersMultiplexCorrectly) {
   EXPECT_TRUE(ok) << "a caller received someone else's reply";
 }
 
+// ---------------------------------------------------------------------------
+// Mixed-codec interop: the 0xDB frame preamble *is* the negotiation, so a
+// binary-configured dapplet and a text-configured dapplet must complete a
+// session without any handshake or shared configuration.
+// ---------------------------------------------------------------------------
+
+TEST(Codec, TextAndBinaryPeersInteroperateBothDirections) {
+  SimNetwork net(31);
+  DappletConfig binaryCfg;
+  binaryCfg.wireCodec = WireCodec::kBinary;
+  Dapplet textPeer(net, "textpeer");
+  Dapplet binPeer(net, "binpeer", binaryCfg);
+
+  Inbox& textIn = textPeer.createInbox("in");
+  Inbox& binIn = binPeer.createInbox("in");
+  Outbox& textOut = textPeer.createOutbox();
+  Outbox& binOut = binPeer.createOutbox();
+  textOut.add(binIn.ref());
+  binOut.add(textIn.ref());
+
+  // Both directions, including a payload that exercises every scalar shape
+  // plus nesting — decode auto-detects per frame, so neither side needs to
+  // know what the other emits.
+  DataMessage fancy("probe");
+  fancy.set("i", Value(-12345));
+  fancy.set("d", Value(2.5));
+  fancy.set("s", Value(std::string(300, 'x')));
+  fancy.set("list", Value(ValueList{Value(1), Value(), Value("two")}));
+  textOut.send(fancy);
+  binOut.send(fancy);
+
+  const DataMessage fromText = binIn.receiveAs<DataMessage>(seconds(2));
+  const DataMessage fromBin = textIn.receiveAs<DataMessage>(seconds(2));
+  for (const DataMessage* got : {&fromText, &fromBin}) {
+    EXPECT_EQ(got->kind(), "probe");
+    EXPECT_EQ(got->get("i").asInt(), -12345);
+    EXPECT_EQ(got->get("d").asDouble(), 2.5);
+    EXPECT_EQ(got->get("s").asString().size(), 300u);
+    EXPECT_EQ(got->get("list").asList().at(2).asString(), "two");
+  }
+
+  textPeer.stop();
+  binPeer.stop();
+}
+
+TEST(Codec, RpcAcrossMixedCodecPeers) {
+  SimNetwork net(32);
+  DappletConfig binaryCfg;
+  binaryCfg.wireCodec = WireCodec::kBinary;
+  Dapplet serverD(net, "server", binaryCfg);  // binary server,
+  Dapplet clientD(net, "client");             // text client
+  RpcServer server(serverD);
+  server.bind("add", [](const Value& args) {
+    return Value(args.at("a").asInt() + args.at("b").asInt());
+  });
+  RpcClient client(clientD, server.ref());
+  ValueMap args;
+  args["a"] = Value(20);
+  args["b"] = Value(22);
+  EXPECT_EQ(client.call("add", Value(args)).asInt(), 42);
+  serverD.stop();
+  clientD.stop();
+}
+
 /// The paper: "the address of the inbox serves as a global pointer to an
 /// object" — addresses must be communicable and usable by third parties.
 TEST(Rpc, RefTravelsThroughMessages) {

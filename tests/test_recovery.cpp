@@ -118,6 +118,69 @@ TEST(Wal, TornTailIsTruncatedAndLogStaysAppendable) {
   EXPECT_EQ("c", replay.records[2].key);
 }
 
+// A process upgrade that flips the codec must be able to reopen a journal
+// written under the old codec: replay auto-detects each frame, appends use
+// the new codec, and a log mixing both formats replays in full order.
+TEST(Wal, CodecSwitchReplaysOldTextJournalAndMixesFrames) {
+  const std::string path = tempDir("codec") + "/w.wal";
+  const Value v1(static_cast<std::int64_t>(1));
+  const Value v2(std::string("two"));
+  {
+    recovery::WriteAheadLog wal(path);  // default: text frames
+    wal.replayAll();
+    wal.append(recovery::WalRecord::kPut, "a", &v1, 1);
+    wal.append(recovery::WalRecord::kPut, "b", &v2, 2);
+  }
+  {
+    // Reopen binary-configured over the pre-existing text journal.
+    recovery::WriteAheadLog wal(
+        path, recovery::WriteAheadLog::Options(true, WireCodec::kBinary));
+    auto replay = wal.replayAll();
+    ASSERT_EQ(2u, replay.records.size());
+    EXPECT_FALSE(replay.tornTail);
+    EXPECT_EQ("b", replay.records[1].key);
+    EXPECT_EQ("two", replay.records[1].value.asString());
+    wal.append(recovery::WalRecord::kPut, "c", &v1, 3);  // binary frame
+  }
+  // The mixed text+binary log replays in order under either configuration.
+  for (const WireCodec codec : {WireCodec::kText, WireCodec::kBinary}) {
+    recovery::WriteAheadLog wal(path,
+                                recovery::WriteAheadLog::Options(true, codec));
+    auto replay = wal.replayAll();
+    ASSERT_EQ(3u, replay.records.size());
+    EXPECT_FALSE(replay.tornTail);
+    EXPECT_EQ("a", replay.records[0].key);
+    EXPECT_EQ("c", replay.records[2].key);
+    EXPECT_EQ(3u, replay.records[2].seq);
+  }
+}
+
+TEST(Wal, BinaryTornTailIsTruncatedAndLogStaysAppendable) {
+  const std::string path = tempDir("btorn") + "/w.wal";
+  const recovery::WriteAheadLog::Options binOpts(true, WireCodec::kBinary);
+  const Value v(static_cast<std::int64_t>(1));
+  {
+    recovery::WriteAheadLog wal(path, binOpts);
+    wal.replayAll();
+    wal.append(recovery::WalRecord::kPut, "a", &v, 1);
+  }
+  // A crash mid-append: binary preamble + varint length promising more
+  // bytes than the file holds.
+  appendRaw(path, std::string(1, kBinaryPreamble) + "\x40partial");
+  {
+    recovery::WriteAheadLog wal(path, binOpts);
+    auto replay = wal.replayAll();
+    ASSERT_EQ(1u, replay.records.size());
+    EXPECT_TRUE(replay.tornTail);
+    wal.append(recovery::WalRecord::kPut, "b", &v, 2);
+  }
+  recovery::WriteAheadLog wal(path, binOpts);
+  auto replay = wal.replayAll();
+  ASSERT_EQ(2u, replay.records.size());
+  EXPECT_FALSE(replay.tornTail);
+  EXPECT_EQ("b", replay.records[1].key);
+}
+
 // ---------------------------------------------------------------------------
 // StateStore durability (atomic save + corrupt-file fallback)
 // ---------------------------------------------------------------------------
@@ -206,6 +269,49 @@ TEST(DurableState, ReopenReplaysWalOntoCheckpoint) {
     EXPECT_EQ(2, ds.store().get("d").asInt());
     // A restarted process must not reissue Lamport times it already used.
     EXPECT_GE(d.clock().now(), checkpointAt);
+    d.stop();
+  }
+}
+
+// Full-stack codec upgrade: a restart that flips `wireCodec` to binary must
+// replay the incarnation-1 text journal, journal new mutations in binary,
+// and a third (text-again) incarnation must replay the mixed log + the
+// binary checkpoint image.
+TEST(DurableState, CodecUpgradeAcrossIncarnations) {
+  const std::uint64_t seed = testkit::testSeed(915);
+  DAPPLE_SEED_TRACE(seed);
+  testkit::VirtualClock clock;
+  SimNetwork net(seed, simOn(clock));
+  const std::string dir = tempDir("codecup");
+
+  {
+    Dapplet d(net, "p1", recoveryCfg(clock, 1));  // text (default)
+    recovery::DurableState ds(d, dir);
+    ds.store().put("a", Value(static_cast<std::int64_t>(1)));
+    d.stop();
+  }
+  {
+    DappletConfig cfg = recoveryCfg(clock, 2);
+    cfg.wireCodec = WireCodec::kBinary;
+    Dapplet d(net, "p2", cfg);
+    recovery::DurableState ds(d, dir);
+    EXPECT_TRUE(ds.info().recovered);
+    EXPECT_FALSE(ds.info().tornTail);
+    EXPECT_EQ(1, ds.store().get("a").asInt());
+    ds.store().put("b", Value(std::string("bin")));  // binary WAL frame
+    ds.checkpoint();                                 // binary checkpoint image
+    ds.store().put("c", Value(static_cast<std::int64_t>(3)));
+    d.stop();
+  }
+  {
+    Dapplet d(net, "p3", recoveryCfg(clock, 3));  // back to text
+    recovery::DurableState ds(d, dir);
+    EXPECT_TRUE(ds.info().recovered);
+    EXPECT_FALSE(ds.info().tornTail);
+    EXPECT_EQ(1u, ds.info().replayedRecords);  // just the post-compact put
+    EXPECT_EQ(1, ds.store().get("a").asInt());
+    EXPECT_EQ("bin", ds.store().get("b").asString());
+    EXPECT_EQ(3, ds.store().get("c").asInt());
     d.stop();
   }
 }

@@ -1,5 +1,8 @@
-// Unit + property tests for the serialization layer: the text wire format,
-// Values, the message registry, and DataMessage.
+// Unit + property tests for the serialization layer: both wire codecs
+// (text and binary), Values, the message registry, and DataMessage.
+// The whole file is also compiled as an AddressSanitizer twin
+// (test_serial_asan) so the malformed-input sweeps below prove "throws
+// SerializationError, never UB" under instrumentation.
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -20,7 +23,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TEST(Wire, ScalarRoundTrip) {
-  TextWriter w;
+  WireWriter w;
   w.writeI64(-42);
   w.writeU64(17);
   w.writeF64(3.25);
@@ -29,7 +32,7 @@ TEST(Wire, ScalarRoundTrip) {
   w.writeString("hello world");
   w.writeNull();
 
-  TextReader r(w.str());
+  WireReader r(w.str());
   EXPECT_EQ(r.readI64(), -42);
   EXPECT_EQ(r.readU64(), 17u);
   EXPECT_EQ(r.readF64(), 3.25);
@@ -41,11 +44,11 @@ TEST(Wire, ScalarRoundTrip) {
 }
 
 TEST(Wire, ExtremeIntegers) {
-  TextWriter w;
+  WireWriter w;
   w.writeI64(std::numeric_limits<std::int64_t>::min());
   w.writeI64(std::numeric_limits<std::int64_t>::max());
   w.writeU64(std::numeric_limits<std::uint64_t>::max());
-  TextReader r(w.str());
+  WireReader r(w.str());
   EXPECT_EQ(r.readI64(), std::numeric_limits<std::int64_t>::min());
   EXPECT_EQ(r.readI64(), std::numeric_limits<std::int64_t>::max());
   EXPECT_EQ(r.readU64(), std::numeric_limits<std::uint64_t>::max());
@@ -55,9 +58,9 @@ TEST(Wire, DoublesRoundTripExactly) {
   const double values[] = {0.0,     -0.0,   1.0 / 3.0,        1e308,
                            5e-324,  -2.5e7, 3.141592653589793, 1e-9};
   for (double v : values) {
-    TextWriter w;
+    WireWriter w;
     w.writeF64(v);
-    TextReader r(w.str());
+    WireReader r(w.str());
     const double back = r.readF64();
     EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << v;
   }
@@ -66,24 +69,24 @@ TEST(Wire, DoublesRoundTripExactly) {
 TEST(Wire, StringsWithBinaryContent) {
   std::string payload;
   for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
-  TextWriter w;
+  WireWriter w;
   w.writeString(payload);
   w.writeString("");       // empty
   w.writeString(" a b ");  // embedded spaces
-  TextReader r(w.str());
+  WireReader r(w.str());
   EXPECT_EQ(r.readString(), payload);
   EXPECT_EQ(r.readString(), "");
   EXPECT_EQ(r.readString(), " a b ");
 }
 
 TEST(Wire, NestedLists) {
-  TextWriter w;
+  WireWriter w;
   w.beginList(2);
   w.beginList(2);
   w.writeI64(1);
   w.writeI64(2);
   w.beginList(0);
-  TextReader r(w.str());
+  WireReader r(w.str());
   EXPECT_EQ(r.beginList(), 2u);
   EXPECT_EQ(r.beginList(), 2u);
   EXPECT_EQ(r.readI64(), 1);
@@ -93,30 +96,30 @@ TEST(Wire, NestedLists) {
 }
 
 TEST(Wire, TypeMismatchThrows) {
-  TextWriter w;
+  WireWriter w;
   w.writeI64(5);
-  TextReader r(w.str());
+  WireReader r(w.str());
   EXPECT_THROW(r.readString(), SerializationError);
 }
 
 TEST(Wire, TruncatedStringThrows) {
-  TextReader r("s10:short");
+  WireReader r("s10:short");
   EXPECT_THROW(r.readString(), SerializationError);
 }
 
 TEST(Wire, MalformedInputsThrow) {
-  EXPECT_THROW(TextReader("ix").readI64(), SerializationError);
-  EXPECT_THROW(TextReader("").readI64(), SerializationError);
-  EXPECT_THROW(TextReader("b7").readBool(), SerializationError);
-  EXPECT_THROW(TextReader("s5x:abcde").readString(), SerializationError);
-  EXPECT_THROW(TextReader("q9").readU64(), SerializationError);
+  EXPECT_THROW(WireReader("ix").readI64(), SerializationError);
+  EXPECT_THROW(WireReader("").readI64(), SerializationError);
+  EXPECT_THROW(WireReader("b7").readBool(), SerializationError);
+  EXPECT_THROW(WireReader("s5x:abcde").readString(), SerializationError);
+  EXPECT_THROW(WireReader("q9").readU64(), SerializationError);
 }
 
 TEST(Wire, ReadStringViewAliasesWireBuffer) {
-  TextWriter w;
+  WireWriter w;
   w.writeString("payload-bytes");
   const std::string wire = std::move(w).str();
-  TextReader r(wire);
+  WireReader r(wire);
   const std::string_view view = r.readStringView();
   EXPECT_EQ(view, "payload-bytes");
   // Zero-copy: the view points into the wire buffer itself.
@@ -126,40 +129,284 @@ TEST(Wire, ReadStringViewAliasesWireBuffer) {
 }
 
 TEST(Wire, ReadStringViewChecksLikeReadString) {
-  EXPECT_THROW(TextReader("s10:short").readStringView(), SerializationError);
-  EXPECT_THROW(TextReader("i3").readStringView(), SerializationError);
-  EXPECT_EQ(TextReader("s0:").readStringView(), "");
+  EXPECT_THROW(WireReader("s10:short").readStringView(), SerializationError);
+  EXPECT_THROW(WireReader("i3").readStringView(), SerializationError);
+  EXPECT_EQ(WireReader("s0:").readStringView(), "");
 }
 
 TEST(Wire, BeginStringMatchesOutOfBandPayload) {
   // beginString writes only the s<len>: header; appending exactly len raw
   // bytes afterwards must yield the same wire text as writeString.
   const std::string body = "shared body \x01\x02 bytes";
-  TextWriter header;
+  WireWriter header;
   header.writeU64(7);
   header.beginString(body.size());
   std::string assembled = std::move(header).str();
   assembled += body;  // the scatter/gather step
 
-  TextWriter direct;
+  WireWriter direct;
   direct.writeU64(7);
   direct.writeString(body);
   EXPECT_EQ(assembled, direct.str());
 
-  TextReader r(assembled);
+  WireReader r(assembled);
   EXPECT_EQ(r.readU64(), 7u);
   EXPECT_EQ(r.readStringView(), body);
   EXPECT_TRUE(r.atEnd());
 }
 
 TEST(Wire, PeekDoesNotConsume) {
-  TextWriter w;
+  WireWriter w;
   w.writeI64(1);
-  TextReader r(w.str());
+  WireReader r(w.str());
   EXPECT_EQ(r.peek(), 'i');
   EXPECT_EQ(r.peek(), 'i');
   EXPECT_EQ(r.readI64(), 1);
   EXPECT_EQ(r.peek(), '\0');
+}
+
+// ---------------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------------
+
+TEST(WireBinary, ScalarRoundTrip) {
+  WireWriter w(WireCodec::kBinary);
+  w.writeI64(-42);
+  w.writeU64(17);
+  w.writeF64(3.25);
+  w.writeBool(true);
+  w.writeBool(false);
+  w.writeString("hello world");
+  w.writeNull();
+
+  WireReader r(w.str());
+  EXPECT_EQ(r.codec(), WireCodec::kBinary);
+  EXPECT_EQ(r.readI64(), -42);
+  EXPECT_EQ(r.readU64(), 17u);
+  EXPECT_EQ(r.readF64(), 3.25);
+  EXPECT_TRUE(r.readBool());
+  EXPECT_FALSE(r.readBool());
+  EXPECT_EQ(r.readString(), "hello world");
+  r.readNull();
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(WireBinary, PreambleAutoDetect) {
+  WireWriter bin(WireCodec::kBinary);
+  bin.writeU64(7);
+  ASSERT_FALSE(bin.str().empty());
+  EXPECT_EQ(static_cast<unsigned char>(bin.str()[0]), 0xDBu);
+  EXPECT_EQ(WireReader(bin.str()).codec(), WireCodec::kBinary);
+
+  WireWriter text(WireCodec::kText);
+  text.writeU64(7);
+  EXPECT_EQ(WireReader(text.str()).codec(), WireCodec::kText);
+  // Both decode to the same value through the same reader surface.
+  EXPECT_EQ(WireReader(bin.str()).readU64(), 7u);
+  EXPECT_EQ(WireReader(text.str()).readU64(), 7u);
+}
+
+TEST(WireBinary, ExtremeIntegers) {
+  WireWriter w(WireCodec::kBinary);
+  w.writeI64(std::numeric_limits<std::int64_t>::min());
+  w.writeI64(std::numeric_limits<std::int64_t>::max());
+  w.writeI64(0);
+  w.writeI64(-1);
+  w.writeU64(std::numeric_limits<std::uint64_t>::max());
+  w.writeU64(0);
+  WireReader r(w.str());
+  EXPECT_EQ(r.readI64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.readI64(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(r.readI64(), 0);
+  EXPECT_EQ(r.readI64(), -1);
+  EXPECT_EQ(r.readU64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.readU64(), 0u);
+}
+
+TEST(WireBinary, DoublesRoundTripBitExactly) {
+  const double values[] = {0.0,     -0.0,   1.0 / 3.0,        1e308,
+                           5e-324,  -2.5e7, 3.141592653589793, 1e-9,
+                           std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN()};
+  for (double v : values) {
+    WireWriter w(WireCodec::kBinary);
+    w.writeF64(v);
+    WireReader r(w.str());
+    const double back = r.readF64();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0) << v;
+  }
+}
+
+TEST(WireBinary, StringsWithEmbeddedPreambleBytes) {
+  // Payload bytes equal to the preamble (0xDB) and every other value must
+  // ride through untouched — only the *first* byte of a frame is special.
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  WireWriter w(WireCodec::kBinary);
+  w.writeString(payload);
+  w.writeString("");
+  WireReader r(w.str());
+  EXPECT_EQ(r.readString(), payload);
+  EXPECT_EQ(r.readString(), "");
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(WireBinary, PeekMapsTagsToCanonicalChars) {
+  WireWriter w(WireCodec::kBinary);
+  w.writeI64(1);
+  w.writeU64(2);
+  w.writeF64(3.0);
+  w.writeBool(true);
+  w.writeString("x");
+  w.writeNull();
+  w.beginList(0);
+  w.beginMap(0);
+  WireReader r(w.str());
+  EXPECT_EQ(r.peek(), 'i');
+  r.readI64();
+  EXPECT_EQ(r.peek(), 'u');
+  r.readU64();
+  EXPECT_EQ(r.peek(), 'd');
+  r.readF64();
+  EXPECT_EQ(r.peek(), 'b');
+  r.readBool();
+  EXPECT_EQ(r.peek(), 's');
+  r.readString();
+  EXPECT_EQ(r.peek(), 'n');
+  r.readNull();
+  EXPECT_EQ(r.peek(), 'l');
+  r.beginList();
+  EXPECT_EQ(r.peek(), 'm');
+  r.beginMap();
+  EXPECT_EQ(r.peek(), '\0');
+}
+
+TEST(WireBinary, BeginStringMatchesOutOfBandPayload) {
+  // The PR 5 scatter/gather contract under the binary codec: beginString
+  // writes only the tag + varint length; appending exactly `len` raw bytes
+  // yields the same frame as writeString.
+  const std::string body = "shared body \x01\xDB\x02 bytes";
+  WireWriter header(WireCodec::kBinary);
+  header.writeU64(7);
+  header.beginString(body.size());
+  std::string assembled = std::move(header).str();
+  assembled += body;  // the scatter/gather step
+
+  WireWriter direct(WireCodec::kBinary);
+  direct.writeU64(7);
+  direct.writeString(body);
+  EXPECT_EQ(assembled, direct.str());
+
+  WireReader r(assembled);
+  EXPECT_EQ(r.readU64(), 7u);
+  EXPECT_EQ(r.readStringView(), body);
+  EXPECT_TRUE(r.atEnd());
+}
+
+TEST(WireBinary, ReadStringViewAliasesWireBuffer) {
+  WireWriter w(WireCodec::kBinary);
+  w.writeString("payload-bytes");
+  const std::string wire = std::move(w).str();
+  WireReader r(wire);
+  const std::string_view view = r.readStringView();
+  EXPECT_EQ(view, "payload-bytes");
+  EXPECT_GE(view.data(), wire.data());
+  EXPECT_LE(view.data() + view.size(), wire.data() + wire.size());
+}
+
+TEST(WireBinary, FramesAreSmallerThanText) {
+  const auto encode = [](WireCodec codec) {
+    WireWriter w(codec);
+    w.writeU64(123456789);
+    w.writeI64(-987654321);
+    w.writeF64(3.141592653589793);
+    w.writeString("key");
+    w.beginList(3);
+    for (int i = 0; i < 3; ++i) w.writeF64(1e9 + i);
+    return std::move(w).str().size();
+  };
+  EXPECT_LT(encode(WireCodec::kBinary), encode(WireCodec::kText));
+}
+
+TEST(WireBinary, ScratchBufferIsRecycled) {
+  std::string scratch = "stale contents";
+  {
+    WireWriter w(WireCodec::kBinary, scratch);
+    w.writeU64(1);
+    EXPECT_EQ(&w.str(), &scratch);  // borrowed, not copied
+  }
+  WireReader r1(scratch);
+  EXPECT_EQ(r1.readU64(), 1u);
+  const char* data = scratch.data();
+  const std::size_t cap = scratch.capacity();
+  {
+    WireWriter w(WireCodec::kBinary, scratch);
+    w.writeU64(2);
+  }
+  // Same allocation reused: no churn across writes that fit the capacity.
+  EXPECT_EQ(scratch.data(), data);
+  EXPECT_EQ(scratch.capacity(), cap);
+  WireReader r2(scratch);
+  EXPECT_EQ(r2.readU64(), 2u);
+}
+
+TEST(WireBinary, TypeMismatchAndTruncationThrowWithOffset) {
+  WireWriter w(WireCodec::kBinary);
+  w.writeI64(5);
+  WireReader r(w.str());
+  try {
+    r.readString();
+    FAIL() << "expected SerializationError";
+  } catch (const SerializationError& e) {
+    EXPECT_NE(std::string(e.what()).find("at offset"), std::string::npos);
+  }
+
+  // Truncated string payload.
+  WireWriter w2(WireCodec::kBinary);
+  w2.writeString("0123456789");
+  std::string cut = std::move(w2).str();
+  cut.resize(cut.size() - 4);
+  EXPECT_THROW(WireReader(cut).readString(), SerializationError);
+
+  // Truncated f64.
+  WireWriter w3(WireCodec::kBinary);
+  w3.writeF64(1.5);
+  std::string cutF = std::move(w3).str();
+  cutF.resize(cutF.size() - 3);
+  EXPECT_THROW(WireReader(cutF).readF64(), SerializationError);
+}
+
+TEST(WireBinary, VarintOverflowThrows) {
+  // 11 continuation bytes cannot encode a u64.
+  std::string wire;
+  wire.push_back(kBinaryPreamble);
+  wire.push_back(static_cast<char>(0xE4));  // u64 tag
+  for (int i = 0; i < 10; ++i) wire.push_back(static_cast<char>(0xFF));
+  wire.push_back(static_cast<char>(0x7F));
+  EXPECT_THROW(WireReader(wire).readU64(), SerializationError);
+  // A 10th byte carrying more than the top single bit overflows too.
+  std::string wire2;
+  wire2.push_back(kBinaryPreamble);
+  wire2.push_back(static_cast<char>(0xE4));
+  for (int i = 0; i < 9; ++i) wire2.push_back(static_cast<char>(0xFF));
+  wire2.push_back(static_cast<char>(0x02));
+  EXPECT_THROW(WireReader(wire2).readU64(), SerializationError);
+}
+
+TEST(WireBinary, HugeClaimedListCountIsRejectedCheaply) {
+  // A corrupt frame may claim a 2^40-element list; decoding must throw a
+  // SerializationError from the element reads, not attempt the allocation.
+  std::string wire;
+  wire.push_back(kBinaryPreamble);
+  wire.push_back(static_cast<char>(0xE7));  // list tag
+  const std::uint64_t huge = 1ull << 40;
+  std::uint64_t v = huge;
+  while (v >= 0x80) {
+    wire.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  wire.push_back(static_cast<char>(v));
+  EXPECT_THROW(Value::fromWire(wire), SerializationError);
 }
 
 // ---------------------------------------------------------------------------
@@ -210,8 +457,69 @@ TEST_P(ValueRoundTrip, RandomValueSurvivesWire) {
   Rng rng(GetParam());
   for (int i = 0; i < 50; ++i) {
     const Value v = randomValue(rng, 0);
-    const Value back = Value::fromWire(v.toWire());
-    EXPECT_TRUE(v == back);
+    for (const WireCodec codec : {WireCodec::kText, WireCodec::kBinary}) {
+      const Value back = Value::fromWire(v.toWire(codec));
+      EXPECT_TRUE(v == back) << wireCodecName(codec);
+    }
+  }
+}
+
+TEST_P(ValueRoundTrip, CodecsAgreeOnValue) {
+  // The two codecs are different encodings of the same data model: decoding
+  // either frame must reconstruct an identical Value.
+  Rng rng(GetParam() ^ 0x5eed);
+  for (int i = 0; i < 25; ++i) {
+    const Value v = randomValue(rng, 0);
+    EXPECT_TRUE(Value::fromWire(v.toWire(WireCodec::kText)) ==
+                Value::fromWire(v.toWire(WireCodec::kBinary)));
+  }
+}
+
+TEST_P(ValueRoundTrip, TruncatedFramesThrowNeverUB) {
+  // Wire-level fuzz: every proper prefix of a valid frame must throw
+  // SerializationError (carrying a byte offset) — under both codecs, and
+  // under ASan in the test_serial_asan twin.
+  Rng rng(GetParam() ^ 0xdead);
+  for (int i = 0; i < 10; ++i) {
+    const Value v = randomValue(rng, 0);
+    for (const WireCodec codec : {WireCodec::kText, WireCodec::kBinary}) {
+      const std::string wire = v.toWire(codec);
+      for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        try {
+          const Value back = Value::fromWire(wire.substr(0, cut));
+          // A prefix that happens to parse (e.g. cutting trailing spaces is
+          // impossible, but a text int may shorten) must still be a Value —
+          // reaching here without crashing is the property; nothing to
+          // assert about its content.
+          (void)back;
+        } catch (const SerializationError& e) {
+          EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos)
+              << e.what();
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ValueRoundTrip, CorruptedBytesThrowOrParseNeverUB) {
+  // Flip every byte of valid frames through a few mutations: the decoder
+  // must either throw SerializationError or produce some Value; it must
+  // never crash, hang, or trip ASan.
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int i = 0; i < 5; ++i) {
+    const Value v = randomValue(rng, 0);
+    for (const WireCodec codec : {WireCodec::kText, WireCodec::kBinary}) {
+      const std::string wire = v.toWire(codec);
+      for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+        std::string mut = wire;
+        mut[pos] = static_cast<char>(rng.below(256));
+        try {
+          (void)Value::fromWire(mut);
+        } catch (const SerializationError&) {
+          // expected for most mutations
+        }
+      }
+    }
   }
 }
 
@@ -251,7 +559,7 @@ TEST(Value, MapAtAndContains) {
 }
 
 TEST(Value, TrailingDataRejected) {
-  TextWriter w;
+  WireWriter w;
   w.writeI64(1);
   w.writeI64(2);
   EXPECT_THROW(Value::fromWire(w.str()), SerializationError);
@@ -266,11 +574,11 @@ struct TestGreeting : MessageBase<TestGreeting> {
   std::string who;
   std::int64_t n = 0;
 
-  void encodeFields(TextWriter& w) const override {
+  void encodeFields(WireWriter& w) const override {
     w.writeString(who);
     w.writeI64(n);
   }
-  void decodeFields(TextReader& r) override {
+  void decodeFields(WireReader& r) override {
     who = r.readString();
     n = r.readI64();
   }
@@ -290,7 +598,7 @@ TEST(MessageRegistry, RoundTripReconstructsOriginalType) {
 }
 
 TEST(MessageRegistry, UnknownTypeThrows) {
-  TextWriter w;
+  WireWriter w;
   w.writeString("no.such.Type");
   EXPECT_THROW(decodeMessage(w.str()), SerializationError);
 }
@@ -319,6 +627,58 @@ TEST(MessageRegistry, TrailingDataRejected) {
   std::string wire = encodeMessage(msg);
   wire += " i5";
   EXPECT_THROW(decodeMessage(wire), SerializationError);
+}
+
+TEST(MessageRegistry, BinaryRoundTripReconstructsOriginalType) {
+  TestGreeting msg;
+  msg.who = "mani";
+  msg.n = 1996;
+  const std::string wire = encodeMessage(msg, WireCodec::kBinary);
+  EXPECT_EQ(static_cast<unsigned char>(wire[0]), 0xDBu);
+  auto back = decodeMessage(wire);
+  const auto& typed = messageAs<TestGreeting>(*back);
+  EXPECT_EQ(typed.who, "mani");
+  EXPECT_EQ(typed.n, 1996);
+}
+
+TEST(MessageRegistry, BinaryTrailingDataRejected) {
+  TestGreeting msg;
+  std::string wire = encodeMessage(msg, WireCodec::kBinary);
+  wire.push_back('\0');
+  EXPECT_THROW(decodeMessage(wire), SerializationError);
+}
+
+TEST(MessageRegistry, EncodeMessageIntoRecyclesScratch) {
+  TestGreeting msg;
+  msg.who = "scratch";
+  std::string scratch;
+  const std::string_view wire =
+      encodeMessageInto(msg, WireCodec::kBinary, scratch);
+  EXPECT_EQ(wire.data(), scratch.data());
+  EXPECT_EQ(messageAs<TestGreeting>(*decodeMessage(wire)).who, "scratch");
+}
+
+TEST(MessageRegistry, MixedNestingTextEnvelopeBinaryBody) {
+  // Per-frame auto-detect means a carrier and its nested body may use
+  // different codecs: here a text envelope carries a binary message frame
+  // as an opaque string token (what a text-configured relay would do with
+  // a binary peer's payload), and vice versa.
+  TestGreeting msg;
+  msg.who = "nested";
+  msg.n = 7;
+  for (const WireCodec outer : {WireCodec::kText, WireCodec::kBinary}) {
+    for (const WireCodec inner : {WireCodec::kText, WireCodec::kBinary}) {
+      WireWriter envelope(outer);
+      envelope.writeU64(42);
+      envelope.writeString(encodeMessage(msg, inner));
+      const std::string wire = std::move(envelope).str();
+
+      WireReader r(wire);
+      EXPECT_EQ(r.readU64(), 42u);
+      auto back = decodeMessage(r.readStringView());
+      EXPECT_EQ(messageAs<TestGreeting>(*back).n, 7);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
